@@ -1,0 +1,65 @@
+// E4 — Claim C1: "users pay for extra (35% according to [14]) computing
+// resources they do not need because no cloud service matches their precise
+// needs."
+//
+// Draws a heavy-tailed synthetic tenant mix, maps each demand to the
+// cheapest-fitting EC2-style instance, and reports the paid-but-unused
+// fraction (by resource and by dollars), against UDC's exact allocation.
+
+#include <cstdio>
+
+#include "src/baseline/catalog.h"
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/workload/tenants.h"
+
+int main() {
+  udc::Rng rng(42);
+  const int kTenants = 5000;
+  const auto demands = udc::SampleTenantMix(rng, kTenants);
+  const udc::InstanceCatalog catalog = udc::InstanceCatalog::Ec2Style();
+  const udc::PriceList prices = udc::PriceList::DefaultOnDemand();
+
+  udc::Histogram waste_fraction;
+  udc::Histogram gpu_waste_fraction;
+  udc::Money total_paid;
+  udc::Money total_wasted;
+  int unfit = 0;
+  for (const udc::TenantDemand& d : demands) {
+    const auto pick = catalog.CheapestFitting(d.demand);
+    if (!pick.ok()) {
+      ++unfit;
+      continue;
+    }
+    const double w = udc::WasteFraction(*pick, d.demand);
+    waste_fraction.Add(w);
+    if (d.gpu_heavy) {
+      gpu_waste_fraction.Add(w);
+    }
+    const udc::SimTime hour = udc::SimTime::Hours(1);
+    total_paid += udc::Money(static_cast<int64_t>(
+        static_cast<double>(pick->hourly.micro_usd())));
+    total_wasted += udc::WasteValue(*pick, d.demand, prices, hour);
+  }
+
+  std::printf("E4 / claim C1 — paid-but-unused resources under instance shapes\n\n");
+  std::printf("tenants: %d (%d unfittable by any instance)\n",
+              kTenants, unfit);
+  std::printf("\n%-34s %10s\n", "metric", "value");
+  std::printf("%-34s %9.1f%%\n", "mean waste fraction (IaaS)",
+              waste_fraction.Mean() * 100.0);
+  std::printf("%-34s %9.1f%%\n", "median waste fraction",
+              waste_fraction.Median() * 100.0);
+  std::printf("%-34s %9.1f%%\n", "p99 waste fraction",
+              waste_fraction.P99() * 100.0);
+  std::printf("%-34s %9.1f%%\n", "mean waste, GPU-heavy tenants",
+              gpu_waste_fraction.Mean() * 100.0);
+  std::printf("%-34s %9.1f%%\n", "wasted spend / total spend",
+              100.0 * static_cast<double>(total_wasted.micro_usd()) /
+                  static_cast<double>(total_paid.micro_usd()));
+  std::printf("%-34s %9.1f%%\n", "waste fraction (UDC exact alloc)", 0.0);
+  std::printf("\npaper expectation: ~35%% of cloud spend is waste (Flexera [14]);\n"
+              "measured mean waste should land in the 30-50%% band, with the\n"
+              "paper's GPU example (8 GPUs + 64 forced vCPUs) near the top.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// E7 — Claim C4: "many ML inference tasks are event-triggered and could
+// benefit from serverless computing and GPU acceleration ... no cloud
+// provider has yet supported GPU in their serverless computing offerings."
+//
+// One bursty inference trace, three deployments:
+//   FaaS      — expressible only on CPU; low idle cost, high latency;
+//   IaaS GPU  — dedicated p3-class box; low latency, pays for idle;
+//   UDC       — fine-grained GPU slice + warm env; low latency AND pay-per-use.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/baseline/faas.h"
+#include "src/baseline/iaas.h"
+#include "src/core/runtime.h"
+#include "src/core/udc_cloud.h"
+#include "src/workload/inference.h"
+
+int main() {
+  udc::Rng rng(11);
+  udc::InferenceTraceConfig trace_config;
+  trace_config.horizon = udc::SimTime::Hours(12);
+  trace_config.mean_rate_per_hour = 90.0;
+  const auto trace = udc::GenerateInferenceTrace(rng, trace_config);
+
+  std::printf("E7 / claim C4 — GPU + serverless gap\n\n");
+  std::printf("trace: %zu CNN inference requests over %s (bursty Poisson)\n\n",
+              trace.size(), trace_config.horizon.ToString().c_str());
+
+  struct Row {
+    const char* name;
+    double p50_ms, p99_ms;
+    double cost_usd;
+    const char* note;
+  };
+  std::vector<Row> rows;
+
+  // --- FaaS (CPU only).
+  {
+    udc::Simulation sim(1);
+    udc::FaasCloud faas(&sim);
+    udc::Histogram lat;
+    udc::Money cost;
+    for (const auto& req : trace) {
+      sim.RunUntil(req.arrival);
+      const auto r = faas.Invoke(
+          udc::FaasFunction{"cnn", udc::Bytes::MiB(3008), req.work_units});
+      lat.Add(r.latency.millis());
+      cost += r.charge;
+    }
+    rows.push_back(Row{"FaaS (CPU-only)", lat.Median(), lat.P99(),
+                       cost.dollars(), "GPU not offered"});
+  }
+
+  // --- IaaS: always-on GPU instance.
+  {
+    const auto pick = udc::InstanceCatalog::Ec2Style().CheapestFitting(
+        udc::ResourceVector::MilliGpu(1000) +
+        udc::ResourceVector::MilliCpu(1000) +
+        udc::ResourceVector::Dram(udc::Bytes::GiB(16)));
+    udc::Histogram lat;
+    udc::SimTime busy;
+    for (const auto& req : trace) {
+      const udc::SimTime start = std::max(req.arrival, busy);
+      const auto service =
+          udc::SimTime(static_cast<int64_t>(req.work_units / 40.0)) +
+          udc::SimTime::Micros(5);
+      busy = start + service;
+      lat.Add((busy - req.arrival).millis());
+    }
+    rows.push_back(Row{"IaaS (always-on GPU)", lat.Median(), lat.P99(),
+                       pick.ok() ? pick->hourly.dollars() *
+                                       trace_config.horizon.hours()
+                                 : 0.0,
+                       "paid while idle"});
+  }
+
+  // --- UDC: quarter-GPU slice, warm environment, pay-per-use.
+  {
+    udc::UdcCloud cloud;
+    const udc::TenantId t = cloud.RegisterTenant("ml");
+    const auto spec = udc::ParseAppSpec(R"(
+app infer
+task cnn work=30000 out=64KiB
+aspect cnn resource gpu=250m dram=4GiB
+aspect cnn exec isolation=medium
+)");
+    auto deployment = cloud.Deploy(t, *spec);
+    if (!deployment.ok()) {
+      std::fprintf(stderr, "%s\n", deployment.status().ToString().c_str());
+      return 1;
+    }
+    udc::DagRuntime runtime(cloud.sim(), deployment->get());
+    const auto stage = runtime.ComputeStage(spec->graph.IdOf("cnn"));
+    udc::Histogram lat;
+    udc::SimTime busy;
+    udc::SimTime busy_total;
+    for (const auto& req : trace) {
+      const udc::SimTime start = std::max(req.arrival, busy);
+      const udc::SimTime service = udc::Scale(
+          stage->compute_time, req.work_units / 30000.0);
+      busy = start + service;
+      busy_total += service;
+      lat.Add((busy - req.arrival).millis());
+    }
+    // Pay-per-use: the slice is billed only while busy (UDC can release the
+    // fine-grained slice between requests; env stays warm).
+    const udc::Money cost = cloud.prices().CostFor(
+        (*deployment)->TotalResources(), busy_total);
+    rows.push_back(Row{"UDC (GPU slice, pay-per-use)", lat.Median(), lat.P99(),
+                       cost.dollars(), "event-triggered + GPU"});
+  }
+
+  std::printf("%-30s %10s %10s %12s   %s\n", "platform", "p50 ms", "p99 ms",
+              "cost (12h)", "note");
+  for (const Row& r : rows) {
+    std::printf("%-30s %10.1f %10.1f %11.4f$   %s\n", r.name, r.p50_ms,
+                r.p99_ms, r.cost_usd, r.note);
+  }
+  std::printf("\npaper expectation: FaaS is orders of magnitude slower (CPU inference),\n"
+              "IaaS is fast but pays for idle; UDC matches IaaS latency at a\n"
+              "fraction of the cost — the combination today's clouds don't offer.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// E8 — Claim C5 (sec. 3.4): "a promising direction is to explore the
+// programmability in the network to enforce the distributed specifications"
+// (NOPaxos [26], Pegasus [27], DistCache [30]).
+//
+// Sweeps replication factor and write size across the three protocols and
+// reports write latency and message count. The in-network sequencer should
+// win on latency at every factor (it removes the primary's coordination
+// round), with the gap widening as replicas are added.
+
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/dist/replication.h"
+
+int main() {
+  udc::Simulation sim(1);
+  udc::Topology topo;
+  const int r0 = topo.AddRack();
+  const int r1 = topo.AddRack();
+  const udc::NodeId client = topo.AddNode(r0, udc::NodeRole::kDevice);
+  std::vector<udc::NodeId> replicas;
+  for (int i = 0; i < 5; ++i) {
+    replicas.push_back(topo.AddNode(i % 2 == 0 ? r0 : r1, udc::NodeRole::kDevice));
+  }
+  udc::Fabric fabric(&sim, &topo);
+  udc::SwitchSequencer sequencer(&sim, &fabric, topo.TorSwitch(r0));
+
+  std::printf("E8 / claim C5 — software vs in-network replication\n\n");
+  std::printf("%-8s %-8s | %12s %6s | %12s %6s | %12s %6s\n", "factor",
+              "size", "prim-backup", "msgs", "quorum", "msgs", "in-network",
+              "msgs");
+
+  for (const int factor : {1, 2, 3, 5}) {
+    for (const udc::Bytes size :
+         {udc::Bytes::KiB(1), udc::Bytes::KiB(64), udc::Bytes::MiB(1)}) {
+      const std::vector<udc::NodeId> set(replicas.begin(),
+                                         replicas.begin() + factor);
+      sequencer.SetGroup("obj", set);
+      auto plan = [&](udc::ReplicationProtocol protocol) {
+        udc::ReplicationConfig config;
+        config.protocol = protocol;
+        config.replication_factor = factor;
+        udc::ReplicatedStore store(&sim, &fabric, &topo, "obj", set, config,
+                                   &sequencer);
+        return store.PlanWrite(client, size);
+      };
+      const udc::OpResult pb = plan(udc::ReplicationProtocol::kPrimaryBackup);
+      const udc::OpResult qu = plan(udc::ReplicationProtocol::kQuorum);
+      const udc::OpResult in = plan(udc::ReplicationProtocol::kInNetwork);
+      std::printf("%-8d %-8s | %12s %6d | %12s %6d | %12s %6d\n", factor,
+                  size.ToString().c_str(), pb.latency.ToString().c_str(),
+                  pb.messages, qu.latency.ToString().c_str(), qu.messages,
+                  in.latency.ToString().c_str(), in.messages);
+    }
+  }
+  // --- Third in-network program: switch caching for skewed reads
+  // (DistCache [30]). A Zipf-distributed key popularity means a small
+  // switch-resident cache absorbs most reads.
+  udc::SwitchCache cache(&sim, &fabric, topo.TorSwitch(r0), /*capacity=*/32);
+  udc::Rng rng(5);
+  const udc::NodeId remote_home = replicas[1];  // cross-rack home replica
+  udc::SimTime cached_total;
+  udc::SimTime uncached_total;
+  const int kReads = 20000;
+  for (int i = 0; i < kReads; ++i) {
+    const uint64_t key = rng.NextZipf(1000, 1.2);
+    const std::string object = "k" + std::to_string(key);
+    cached_total +=
+        cache.PlanRead(client, object, remote_home, udc::Bytes::KiB(4), topo);
+    uncached_total += topo.TransferTime(client, remote_home, udc::Bytes(128)) +
+                      topo.TransferTime(remote_home, client, udc::Bytes::KiB(4));
+  }
+  std::printf("\nswitch-cached reads (Zipf 1.2 over 1000 keys, 32-entry cache):\n");
+  std::printf("  hit rate %.1f%%, mean read %.2fus vs %.2fus uncached (%.2fx)\n",
+              100.0 * static_cast<double>(cache.hits()) / kReads,
+              static_cast<double>(cached_total.micros()) / kReads,
+              static_cast<double>(uncached_total.micros()) / kReads,
+              static_cast<double>(uncached_total.micros()) /
+                  static_cast<double>(cached_total.micros()));
+
+  std::printf("\npaper expectation: for factor >= 2 the on-path sequencer orders\n"
+              "writes without the primary's store-and-forward detour, so\n"
+              "in-network approaches quorum latency while still giving\n"
+              "sequential ordering; primary-backup pays an extra full hop plus\n"
+              "an ack relay. factor 1 shows the sequencer's fixed cost only.\n");
+  return 0;
+}

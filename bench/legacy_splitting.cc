@@ -1,0 +1,156 @@
+// E12 — sec. 4, Supporting legacy software: granularity sweep.
+//
+// A synthetic monolith with heterogeneous segment footprints (one GPU
+// training phase, one memory-hungry indexing phase, light glue) is cut into
+// 1..10 modules by the dependency-minimizing partitioner. Each granularity
+// is deployed with the parts' profiled peak demands and measured:
+//
+//   run cost  — Σ over parts of (part resources x part runtime): the unsplit
+//               program reserves its global peak (GPU + big DRAM) for the
+//               entire run; fine parts hold the GPU only while training.
+//   transfer  — bytes crossing part boundaries (the cost of oversplitting).
+//
+// Reproduces the trade-off the paper describes: "without splitting these
+// programs into smaller modules, their executions would not benefit from
+// the fine-grained treatments UDC enables at each layer".
+
+#include <cstdio>
+
+#include "src/core/runtime.h"
+#include "src/core/udc_cloud.h"
+#include "src/ir/partitioner.h"
+
+namespace {
+
+udc::LegacyProgram MakeMonolith() {
+  udc::LegacyProgram p;
+  p.name = "legacy";
+  auto seg = [](double work, bool shift, udc::ResourceVector demand) {
+    udc::CodeSegment s;
+    s.label = "s";
+    s.work_units = work;
+    s.usage_shift_hint = shift;
+    s.demand = demand;
+    return s;
+  };
+  const udc::ResourceVector light =
+      udc::ResourceVector::MilliCpu(1000) +
+      udc::ResourceVector::Dram(udc::Bytes::MiB(512));
+  const udc::ResourceVector wide =
+      udc::ResourceVector::MilliCpu(4000) +
+      udc::ResourceVector::Dram(udc::Bytes::GiB(4));
+  const udc::ResourceVector big_mem =
+      udc::ResourceVector::MilliCpu(2000) +
+      udc::ResourceVector::Dram(udc::Bytes::GiB(48));
+  const udc::ResourceVector gpu_train =
+      udc::ResourceVector::MilliGpu(1000) + udc::ResourceVector::MilliCpu(1000) +
+      udc::ResourceVector::Dram(udc::Bytes::GiB(16));
+
+  p.segments = {
+      seg(8000, false, light),    // ingest
+      seg(6000, false, light),    // decode
+      seg(12000, true, wide),     // parse
+      seg(5000, false, light),    // filter
+      seg(20000, true, big_mem),  // index
+      seg(15000, false, wide),    // join
+      seg(60000, true, gpu_train),// train
+      seg(9000, false, wide),     // evaluate
+      seg(4000, true, light),     // package
+      seg(2000, false, light),    // publish
+  };
+  const size_t n = p.segments.size();
+  p.dep_bytes.assign(n, std::vector<double>(n, 0.0));
+  const double adjacent[] = {8e6, 8e6, 2e6, 6e6, 1e6, 4e6, 5e5, 3e6, 1e6};
+  for (size_t i = 0; i + 1 < n; ++i) {
+    p.dep_bytes[i][i + 1] = adjacent[i];
+  }
+  p.dep_bytes[0][4] = 5e5;
+  p.dep_bytes[2][6] = 8e5;
+  return p;
+}
+
+}  // namespace
+
+// A segment always executes on the hardware its profile names (a GPU
+// segment cannot run its kernels on the glue cores), so the compute
+// timeline is partition-independent; what the partitioning changes is which
+// resources are HELD while each piece of the timeline runs, plus the
+// cross-part transfer overhead.
+udc::SimTime SegmentTime(const udc::CodeSegment& s) {
+  const int64_t gpu = s.demand.Get(udc::ResourceKind::kGpu);
+  if (gpu > 0) {
+    const double rate = 40.0 * static_cast<double>(gpu) / 1000.0;
+    return udc::SimTime(static_cast<int64_t>(s.work_units / rate));
+  }
+  const double cores =
+      static_cast<double>(std::max<int64_t>(
+          s.demand.Get(udc::ResourceKind::kCpu), 1000)) /
+      1000.0;
+  return udc::SimTime(static_cast<int64_t>(s.work_units / cores));
+}
+
+int main() {
+  const udc::LegacyProgram monolith = MakeMonolith();
+  const udc::PriceList prices = udc::PriceList::DefaultOnDemand();
+  const double kFabricMibPerSec = 12500.0;  // 100 Gbit/s intra-rack
+
+  std::printf("E12 — legacy program splitting: granularity sweep\n\n");
+  std::printf("%-7s %16s %14s %14s %14s\n", "parts", "cross-cut bytes",
+              "end-to-end", "cost/run (u$)", "gpu-hold");
+
+  for (size_t parts = 1; parts <= 10; ++parts) {
+    const auto partitioning =
+        udc::PartitionChain(monolith, parts, /*hint_bonus_bytes=*/2e5);
+    if (!partitioning.ok()) {
+      std::fprintf(stderr, "%s\n", partitioning.status().ToString().c_str());
+      return 1;
+    }
+    auto demands = udc::PartDemands(monolith, *partitioning);
+    if (!demands.ok()) {
+      std::fprintf(stderr, "%s\n", demands.status().ToString().c_str());
+      return 1;
+    }
+
+    // Per-part wall time: its segments' compute plus the inbound transfer.
+    const size_t n = monolith.segments.size();
+    udc::Money run_cost;
+    udc::SimTime end_to_end;
+    udc::SimTime gpu_hold;
+    for (size_t m = 0; m < partitioning->boundaries.size(); ++m) {
+      const size_t begin = partitioning->boundaries[m];
+      const size_t end = (m + 1 < partitioning->boundaries.size())
+                             ? partitioning->boundaries[m + 1]
+                             : n;
+      udc::SimTime part_time;
+      for (size_t s = begin; s < end; ++s) {
+        part_time += SegmentTime(monolith.segments[s]);
+      }
+      // Inbound bytes from earlier parts cross the fabric.
+      double inbound = 0.0;
+      for (size_t i = 0; i < begin; ++i) {
+        for (size_t j = begin; j < end; ++j) {
+          inbound += monolith.dep_bytes[i][j];
+        }
+      }
+      part_time += udc::SimTime(static_cast<int64_t>(
+          inbound / (kFabricMibPerSec * 1024 * 1024) * 1e6));
+
+      run_cost += prices.CostFor((*demands)[m], part_time);
+      end_to_end += part_time;  // the chain is sequential
+      if ((*demands)[m].Get(udc::ResourceKind::kGpu) > 0) {
+        gpu_hold += part_time;
+      }
+    }
+    std::printf("%-7zu %16.3g %14s %14lld %14s\n", parts,
+                partitioning->cross_cut_bytes, end_to_end.ToString().c_str(),
+                static_cast<long long>(run_cost.micro_usd()),
+                gpu_hold.ToString().c_str());
+  }
+  std::printf("\npaper expectation: the unsplit program holds the GPU and peak\n"
+              "DRAM for the whole run (gpu-hold == end-to-end); moderate splits\n"
+              "cut run cost steeply by confining the GPU to the training part;\n"
+              "past the sweet spot transfer overhead grows while savings\n"
+              "flatten — the semi-automated splitting of sec. 4 targets that\n"
+              "middle.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Microbenchmarks (google-benchmark) for the substrate hot paths: the
+// numbers that determine whether the control plane itself could keep up
+// with fine-grained allocation at datacenter scale.
+
+#include <benchmark/benchmark.h>
+
+#include "src/aspects/spec_parser.h"
+#include "src/crypto/cipher.h"
+#include "src/crypto/merkle.h"
+#include "src/crypto/sha256.h"
+#include "src/hw/pool.h"
+#include "src/sim/simulation.h"
+#include "src/workload/medical.h"
+
+namespace udc {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  const std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_AeadSealOpen(benchmark::State& state) {
+  const AeadCipher cipher(KeyFromString("bench"));
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)), 7);
+  uint64_t nonce = 0;
+  for (auto _ : state) {
+    const SealedBox box = cipher.Seal(data, ++nonce);
+    auto out = cipher.Open(box);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AeadSealOpen)->Arg(4096)->Arg(1 << 16);
+
+void BM_MerkleProofVerify(benchmark::State& state) {
+  std::vector<Sha256Digest> leaves;
+  for (int i = 0; i < state.range(0); ++i) {
+    leaves.push_back(Sha256::Hash(std::to_string(i)));
+  }
+  const MerkleTree tree(leaves);
+  const auto proof = tree.ProveLeaf(static_cast<uint64_t>(state.range(0) / 2));
+  const Sha256Digest leaf =
+      Sha256::Hash(std::to_string(state.range(0) / 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MerkleTree::VerifyProof(tree.root(), leaf, *proof));
+  }
+}
+BENCHMARK(BM_MerkleProofVerify)->Arg(256)->Arg(65536);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    for (int i = 0; i < state.range(0); ++i) {
+      sim.After(SimTime::Micros(i % 997), [] {});
+    }
+    sim.RunToCompletion();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_PoolAllocateRelease(benchmark::State& state) {
+  Topology topo;
+  const int rack = topo.AddRack();
+  ResourcePool pool(PoolId(0), DeviceKind::kCpuBlade);
+  for (int i = 0; i < 32; ++i) {
+    pool.AddDevice(std::make_unique<Device>(
+        DeviceId(static_cast<uint64_t>(i)), DeviceKind::kCpuBlade, 32000,
+        topo.AddNode(rack, NodeRole::kDevice),
+        DeviceProfile::DefaultFor(DeviceKind::kCpuBlade)));
+  }
+  AllocationConstraints constraints;
+  for (auto _ : state) {
+    auto alloc = pool.Allocate(TenantId(1), 2500, constraints, topo);
+    benchmark::DoNotOptimize(alloc);
+    (void)pool.Release(*alloc);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolAllocateRelease);
+
+void BM_ParseMedicalSpec(benchmark::State& state) {
+  const std::string text = MedicalAppUdcl();
+  for (auto _ : state) {
+    auto spec = ParseAppSpec(text);
+    benchmark::DoNotOptimize(spec);
+  }
+}
+BENCHMARK(BM_ParseMedicalSpec);
+
+}  // namespace
+}  // namespace udc
+
+BENCHMARK_MAIN();

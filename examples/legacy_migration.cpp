@@ -1,0 +1,104 @@
+// Legacy-software migration (paper sec. 4): a monolithic program is split
+// into UDC modules by the static-analysis partitioner, then each
+// granularity is deployed and priced. Shows the trade-off the paper
+// describes: finer modules unlock exact allocation (cheaper) but add
+// cross-module transfer.
+
+#include <cstdio>
+
+#include "src/core/runtime.h"
+#include "src/core/udc_cloud.h"
+#include "src/ir/partitioner.h"
+
+namespace {
+
+// A synthetic monolith: ingest -> parse -> index -> train -> serve-prep,
+// with profiler-measured per-segment work and inter-segment data flow.
+udc::LegacyProgram MakeMonolith() {
+  udc::LegacyProgram p;
+  p.name = "monolith";
+  const struct {
+    const char* label;
+    double work;
+    bool shift;
+  } kSegments[] = {
+      {"ingest", 8000, false},  {"decode", 6000, false},
+      {"parse", 12000, true},   {"filter", 5000, false},
+      {"index", 20000, true},   {"join", 15000, false},
+      {"train", 60000, true},   {"evaluate", 9000, false},
+      {"package", 4000, true},  {"publish", 2000, false},
+  };
+  for (const auto& s : kSegments) {
+    p.segments.push_back(udc::CodeSegment{s.label, s.work, s.shift});
+  }
+  const size_t n = p.segments.size();
+  p.dep_bytes.assign(n, std::vector<double>(n, 0.0));
+  // Adjacent segments stream heavily; a few long-range deps exist.
+  const double kAdjacent[] = {8e6, 8e6, 2e6, 6e6, 1e6, 4e6, 5e5, 3e6, 1e6};
+  for (size_t i = 0; i + 1 < n; ++i) {
+    p.dep_bytes[i][i + 1] = kAdjacent[i];
+  }
+  p.dep_bytes[0][4] = 5e5;  // ingest metadata used by index
+  p.dep_bytes[2][6] = 8e5;  // parsed features used by train
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  const udc::LegacyProgram monolith = MakeMonolith();
+  std::printf("monolith: %zu segments\n\n", monolith.segments.size());
+  std::printf("%-6s %-16s %-14s %-12s %-12s\n", "parts", "cross-cut bytes",
+              "end-to-end", "cost/hour", "cross-rack");
+
+  for (const size_t parts : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    const auto partitioning =
+        udc::PartitionChain(monolith, parts, /*hint_bonus_bytes=*/2e5);
+    if (!partitioning.ok()) {
+      std::fprintf(stderr, "partition: %s\n",
+                   partitioning.status().ToString().c_str());
+      return 1;
+    }
+    auto graph = udc::ToModuleGraph(monolith, *partitioning);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "graph: %s\n", graph.status().ToString().c_str());
+      return 1;
+    }
+
+    udc::UdcCloud cloud;
+    const udc::TenantId tenant = cloud.RegisterTenant("migrator");
+    udc::AppSpec spec;
+    spec.graph = std::move(*graph);
+    // The IT team annotates every part "cheapest" — the point of splitting.
+    for (const udc::ModuleId id : spec.graph.TaskIds()) {
+      udc::AspectSet aspects = udc::ProviderDefaults();
+      aspects.resource.defined = true;
+      aspects.resource.objective = udc::ResourceObjective::kCheapest;
+      spec.aspects[id] = aspects;
+    }
+
+    auto deployment = cloud.Deploy(tenant, spec);
+    if (!deployment.ok()) {
+      std::fprintf(stderr, "deploy: %s\n",
+                   deployment.status().ToString().c_str());
+      return 1;
+    }
+    udc::DagRuntime runtime(cloud.sim(), deployment->get());
+    const auto report = runtime.RunOnce();
+    if (!report.ok()) {
+      std::fprintf(stderr, "run: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    const udc::Bill bill = cloud.billing().BillFor(
+        **deployment, udc::SimTime(0), udc::SimTime::Hours(1));
+    std::printf("%-6zu %-16.3g %-14s %-12s %-12lld\n", parts,
+                partitioning->cross_cut_bytes,
+                report->end_to_end.ToString().c_str(),
+                bill.total.ToString().c_str(),
+                static_cast<long long>(report->cross_rack_transfers));
+  }
+  std::printf(
+      "\nfiner modules -> exact per-part allocation (cheaper), at the price\n"
+      "of cross-module transfers — the trade-off of paper sec. 4.\n");
+  return 0;
+}

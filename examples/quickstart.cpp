@@ -1,0 +1,76 @@
+// Quickstart: define a tiny app in udcl, deploy it on a UDC cloud, run it,
+// verify the provider kept its promises, and read the bill.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+
+#include "src/aspects/spec_parser.h"
+#include "src/core/runtime.h"
+#include "src/core/udc_cloud.h"
+
+int main() {
+  // 1. The user's application: two tasks and one data module, with aspects.
+  const char* kApp = R"(
+app quickstart
+data input size=4GiB
+task resize work=1500 out=4MiB
+task classify work=25000 out=64KiB
+edge input -> resize
+edge resize -> classify
+colocate resize classify
+
+aspect input resource ssd=4GiB
+aspect input exec encrypt integrity
+aspect input dist replication=2
+
+aspect resize resource objective=cheapest
+aspect classify resource gpu=500m dram=2GiB
+aspect classify exec isolation=strong tenancy=single
+aspect classify dist checkpoint
+)";
+
+  auto spec = udc::ParseAppSpec(kApp);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "spec error: %s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. The provider's cloud: 4 racks of disaggregated devices.
+  udc::UdcCloud cloud;
+  const udc::TenantId me = cloud.RegisterTenant("quickstart-user");
+
+  // 3. Deploy: the scheduler resolves aspects, allocates exact resources,
+  //    launches environments, wires replication.
+  auto deployment = cloud.Deploy(me, *spec);
+  if (!deployment.ok()) {
+    std::fprintf(stderr, "deploy error: %s\n",
+                 deployment.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("=== deployment ===\n%s\n", (*deployment)->DebugString().c_str());
+
+  // 4. Run one invocation end to end.
+  udc::DagRuntime runtime(cloud.sim(), deployment->get());
+  const auto report = runtime.RunOnce();
+  if (!report.ok()) {
+    std::fprintf(stderr, "run error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("=== run ===\n%s\n", report->Table().c_str());
+
+  // 5. Verify fulfillment with only the vendor root key.
+  const auto verification = cloud.Verify(deployment->get());
+  if (!verification.ok()) {
+    std::fprintf(stderr, "verify error: %s\n",
+                 verification.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("=== verification ===\n%s\n", verification->Table().c_str());
+
+  // 6. Pay only for what was held.
+  cloud.sim()->RunUntil(udc::SimTime::Hours(1));
+  const udc::Bill bill = cloud.billing().BillToNow(**deployment);
+  std::printf("=== bill ===\n%s", bill.Table().c_str());
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Secure medical records end to end: Table 1's data-protection options on
+// real bytes. The hospital stores records in a SecureDataStore keyed by its
+// own key (the provider never sees it), an adversarial storage host tampers
+// and rolls back chunks, and the continuous auditor catches a provider that
+// downgrades an environment after deployment.
+
+#include <cstdio>
+
+#include "src/core/auditor.h"
+#include "src/core/udc_cloud.h"
+#include "src/dist/secure_store.h"
+#include "src/workload/medical.h"
+
+int main() {
+  // --- Part 1: the data plane. S1's Table 1 row: encryption + integrity
+  // (+ replay protection, since these are medical records).
+  udc::DataProtection s1_protection;
+  s1_protection.encryption = true;
+  s1_protection.integrity = true;
+  s1_protection.replay_protection = true;
+  udc::SecureDataStore records("S1", udc::KeyFromString("hospital-master-key"),
+                               s1_protection);
+
+  std::printf("=== storing patient records (encrypt+integrity+replay) ===\n");
+  const char* kRecords[] = {
+      "patient 1: prior diagnosis - hypertension",
+      "patient 2: prior diagnosis - type 2 diabetes",
+      "patient 3: consented to research use",
+  };
+  for (uint64_t i = 0; i < 3; ++i) {
+    const std::string_view r = kRecords[i];
+    (void)records.Put(i, std::vector<uint8_t>(r.begin(), r.end()));
+  }
+  std::printf("stored %zu records; integrity root = %s...\n\n",
+              records.chunk_count(),
+              udc::DigestToHex(*records.IntegrityRoot()).substr(0, 16).c_str());
+
+  // A compromised storage device flips bits in record 1.
+  std::printf("=== storage host tampers with record 1 ===\n");
+  records.TamperChunkForTest(1);
+  const auto tampered = records.Get(1);
+  std::printf("read record 1 -> %s\n\n",
+              tampered.ok() ? "SERVED (Bad!)"
+                            : tampered.status().ToString().c_str());
+
+  // A rollback attack: restore a stale version of record 0.
+  std::printf("=== storage host rolls back record 0 ===\n");
+  (void)records.Put(0, std::vector<uint8_t>{'u', 'p', 'd', 'a', 't', 'e', 'd'});
+  (void)records.Get(0);  // reader pins the new version
+  records.RollbackChunkForTest(0);
+  const auto rolled = records.Get(0);
+  std::printf("read record 0 -> %s\n\n",
+              rolled.ok() ? "SERVED (Bad!)" : rolled.status().ToString().c_str());
+
+  // --- Part 2: the control plane. Deploy the medical app and audit it.
+  udc::UdcCloud cloud;
+  const udc::TenantId hospital = cloud.RegisterTenant("hospital");
+  auto spec = udc::MedicalAppSpec();
+  auto deployment = cloud.Deploy(hospital, *spec);
+  if (!deployment.ok()) {
+    std::fprintf(stderr, "deploy: %s\n", deployment.status().ToString().c_str());
+    return 1;
+  }
+
+  udc::FulfillmentVerifier verifier(cloud.sim(), cloud.vendor_root(),
+                                    &cloud.attestation());
+  udc::AuditorConfig audit_config;
+  audit_config.period = udc::SimTime::Minutes(5);
+  audit_config.sample_per_round = 0;  // audit everything each round
+  udc::ContinuousAuditor auditor(cloud.sim(), &verifier, deployment->get(),
+                                 audit_config);
+
+  std::printf("=== continuous audit: honest provider ===\n");
+  auto findings = auditor.RunRound();
+  std::printf("round 1: %zu violations\n\n", findings.size());
+
+  std::printf("=== provider silently downgrades A4 to a shared container ===\n");
+  const udc::Placement* a4 =
+      (*deployment)->PlacementOf(spec->graph.IdOf("A4"));
+  udc::ResourceUnit* unit = (*deployment)->FindUnit(a4->unit);
+  udc::LaunchOptions cheap;
+  cheap.kind = udc::EnvKind::kContainer;
+  cheap.tenancy = udc::TenancyMode::kShared;
+  unit->env = cloud.envs().Launch(hospital, a4->home, cheap, nullptr);
+  cloud.sim()->RunToCompletion();
+
+  findings = auditor.RunRound();
+  std::printf("round 2: %zu violation(s)\n", findings.size());
+  for (const udc::AuditFinding& f : findings) {
+    std::printf("  %s: %s\n", f.module_name.c_str(), f.detail.c_str());
+  }
+  std::printf("\nthe hospital detects the downgrade from quotes alone — no trust\n"
+              "in the provider required (paper sec. 4).\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "src/aspects/aspects.h"
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+std::string_view ResourceObjectiveName(ResourceObjective objective) {
+  switch (objective) {
+    case ResourceObjective::kExplicit:
+      return "explicit";
+    case ResourceObjective::kFastest:
+      return "fastest";
+    case ResourceObjective::kCheapest:
+      return "cheapest";
+  }
+  return "unknown";
+}
+
+std::string ResourceAspect::ToString() const {
+  if (!defined) {
+    return "resource: <provider default>";
+  }
+  std::string out = StrFormat("resource: objective=%s",
+                              std::string(ResourceObjectiveName(objective)).c_str());
+  if (!demand.IsZero()) {
+    out += " demand={" + demand.ToString() + "}";
+  }
+  if (!allowed_compute.empty()) {
+    out += " allowed={";
+    for (size_t i = 0; i < allowed_compute.size(); ++i) {
+      if (i > 0) {
+        out += ",";
+      }
+      out += std::string(ResourceKindName(allowed_compute[i]));
+    }
+    out += "}";
+  }
+  if (deadline.has_value()) {
+    out += " deadline=" + deadline->ToString();
+  }
+  if (hourly_budget.has_value()) {
+    out += " budget=" + hourly_budget->ToString() + "/h";
+  }
+  return out;
+}
+
+std::string ExecEnvAspect::ToString() const {
+  if (!defined) {
+    return "exec: <provider default>";
+  }
+  std::string out = StrFormat(
+      "exec: isolation=%s tenancy=%s",
+      std::string(IsolationLevelName(isolation)).c_str(),
+      tenancy == TenancyMode::kSingleTenant ? "single" : "shared");
+  if (tee_if_cpu) {
+    out += " tee-if-cpu";
+  }
+  if (explicit_env.has_value()) {
+    out += " env=" + std::string(EnvKindName(*explicit_env));
+  }
+  out += " protect=" + protection.ToString();
+  return out;
+}
+
+std::string DistAspect::ToString() const {
+  if (!defined) {
+    return "dist: <provider default>";
+  }
+  std::string out = StrFormat(
+      "dist: replication=%d consistency=%s prefer=%s failure=%s",
+      replication_factor,
+      std::string(ConsistencyLevelName(consistency)).c_str(),
+      std::string(AccessPreferenceName(preference)).c_str(),
+      std::string(FailureHandlingName(failure_handling)).c_str());
+  if (checkpoint) {
+    out += " checkpoint";
+  }
+  return out;
+}
+
+std::string AspectSet::ToString() const {
+  return resource.ToString() + "; " + exec.ToString() + "; " + dist.ToString();
+}
+
+AspectSet ProviderDefaults() {
+  AspectSet defaults;
+  defaults.resource.defined = false;
+  defaults.resource.objective = ResourceObjective::kCheapest;
+  defaults.exec.defined = false;
+  defaults.exec.isolation = IsolationLevel::kWeak;
+  defaults.exec.tenancy = TenancyMode::kShared;
+  defaults.dist.defined = false;
+  defaults.dist.replication_factor = 1;
+  defaults.dist.consistency = ConsistencyLevel::kEventual;
+  return defaults;
+}
+
+Status ValidateAspects(const AspectSet& aspects) {
+  if (aspects.dist.replication_factor < 1 ||
+      aspects.dist.replication_factor > 16) {
+    return InvalidArgumentError("replication factor must be in [1, 16]");
+  }
+  if (aspects.dist.checkpoint &&
+      aspects.dist.failure_handling == FailureHandling::kReexecute) {
+    return InvalidArgumentError(
+        "checkpointing declared but failure handling is re-execute; "
+        "use failure=checkpoint");
+  }
+  if (aspects.exec.protection.replay_protection &&
+      !aspects.exec.protection.integrity) {
+    return InvalidArgumentError(
+        "replay protection requires integrity protection");
+  }
+  if (aspects.resource.defined &&
+      aspects.resource.objective == ResourceObjective::kExplicit &&
+      aspects.resource.demand.IsZero()) {
+    return InvalidArgumentError("explicit resource aspect with empty demand");
+  }
+  return OkStatus();
+}
+
+}  // namespace udc

@@ -1,0 +1,492 @@
+#include "src/aspects/spec_parser.h"
+
+#include <vector>
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+AspectSet AppSpec::AspectsFor(ModuleId module) const {
+  const auto it = aspects.find(module);
+  return it == aspects.end() ? ProviderDefaults() : it->second;
+}
+
+const FailureDomainSpec* AppSpec::DomainOf(ModuleId module) const {
+  for (const FailureDomainSpec& domain : domains) {
+    for (const ModuleId member : domain.members) {
+      if (member == module) {
+        return &domain;
+      }
+    }
+  }
+  return nullptr;
+}
+
+std::vector<ModuleId> AppSpec::CoFailingWith(ModuleId module) const {
+  const FailureDomainSpec* domain = DomainOf(module);
+  if (domain == nullptr) {
+    return {module};
+  }
+  return domain->members;
+}
+
+Result<Bytes> ParseSize(std::string_view token) {
+  int64_t multiplier = 1;
+  std::string_view digits = token;
+  if (EndsWith(token, "TiB")) {
+    multiplier = 1024LL * 1024 * 1024 * 1024;
+    digits = token.substr(0, token.size() - 3);
+  } else if (EndsWith(token, "GiB")) {
+    multiplier = 1024LL * 1024 * 1024;
+    digits = token.substr(0, token.size() - 3);
+  } else if (EndsWith(token, "MiB")) {
+    multiplier = 1024LL * 1024;
+    digits = token.substr(0, token.size() - 3);
+  } else if (EndsWith(token, "KiB")) {
+    multiplier = 1024;
+    digits = token.substr(0, token.size() - 3);
+  } else if (EndsWith(token, "B")) {
+    digits = token.substr(0, token.size() - 1);
+  }
+  uint64_t value = 0;
+  if (!ParseUint64(digits, &value)) {
+    return Status(InvalidArgumentError("bad size literal: " + std::string(token)));
+  }
+  return Bytes(static_cast<int64_t>(value) * multiplier);
+}
+
+Result<int64_t> ParseMilli(std::string_view token) {
+  if (EndsWith(token, "m")) {
+    uint64_t value = 0;
+    if (!ParseUint64(token.substr(0, token.size() - 1), &value)) {
+      return Status(
+          InvalidArgumentError("bad milli literal: " + std::string(token)));
+    }
+    return static_cast<int64_t>(value);
+  }
+  uint64_t whole = 0;
+  if (!ParseUint64(token, &whole)) {
+    return Status(
+        InvalidArgumentError("bad compute literal: " + std::string(token)));
+  }
+  return static_cast<int64_t>(whole) * 1000;
+}
+
+Result<SimTime> ParseDuration(std::string_view token) {
+  int64_t scale = 0;
+  std::string_view digits = token;
+  if (EndsWith(token, "us")) {
+    scale = 1;
+    digits = token.substr(0, token.size() - 2);
+  } else if (EndsWith(token, "ms")) {
+    scale = 1000;
+    digits = token.substr(0, token.size() - 2);
+  } else if (EndsWith(token, "s")) {
+    scale = 1000000;
+    digits = token.substr(0, token.size() - 1);
+  } else {
+    return Status(InvalidArgumentError(
+        "duration needs a us/ms/s suffix: " + std::string(token)));
+  }
+  uint64_t value = 0;
+  if (!ParseUint64(digits, &value)) {
+    return Status(
+        InvalidArgumentError("bad duration literal: " + std::string(token)));
+  }
+  return SimTime(static_cast<int64_t>(value) * scale);
+}
+
+namespace {
+
+Status LineError(size_t line_no, std::string_view message) {
+  return InvalidArgumentError(
+      StrFormat("line %zu: %s", line_no, std::string(message).c_str()));
+}
+
+// key=value tokens plus bare flags.
+struct KvArgs {
+  std::unordered_map<std::string, std::string> kv;
+  std::vector<std::string> flags;
+};
+
+KvArgs ParseKvArgs(const std::vector<std::string_view>& tokens, size_t start) {
+  KvArgs args;
+  for (size_t i = start; i < tokens.size(); ++i) {
+    const std::string_view t = tokens[i];
+    if (t.empty()) {
+      continue;
+    }
+    const size_t eq = t.find('=');
+    if (eq == std::string_view::npos) {
+      args.flags.emplace_back(t);
+    } else {
+      args.kv[std::string(t.substr(0, eq))] = std::string(t.substr(eq + 1));
+    }
+  }
+  return args;
+}
+
+Status ParseResourceAspect(const KvArgs& args, size_t line_no,
+                           ResourceAspect* aspect) {
+  aspect->defined = true;
+  aspect->objective = ResourceObjective::kExplicit;
+  for (const auto& [key, value] : args.kv) {
+    if (key == "objective") {
+      if (value == "fastest") {
+        aspect->objective = ResourceObjective::kFastest;
+      } else if (value == "cheapest") {
+        aspect->objective = ResourceObjective::kCheapest;
+      } else if (value == "explicit") {
+        aspect->objective = ResourceObjective::kExplicit;
+      } else {
+        return LineError(line_no, "unknown objective: " + value);
+      }
+      continue;
+    }
+    if (key == "deadline") {
+      auto duration = ParseDuration(value);
+      if (!duration.ok()) {
+        return LineError(line_no, duration.status().message());
+      }
+      aspect->deadline = *duration;
+      continue;
+    }
+    if (key == "budget") {
+      double usd_per_hour = 0.0;
+      if (!ParseDouble(value, &usd_per_hour) || usd_per_hour <= 0) {
+        return LineError(line_no, "bad budget (USD/hour): " + value);
+      }
+      aspect->hourly_budget = Money::FromDollars(usd_per_hour);
+      continue;
+    }
+    if (key == "allow") {
+      for (std::string_view part : SplitString(value, ',')) {
+        ResourceKind kind;
+        if (!ParseResourceKind(part, &kind)) {
+          return LineError(line_no, "unknown resource kind in allow=");
+        }
+        aspect->allowed_compute.push_back(kind);
+      }
+      continue;
+    }
+    ResourceKind kind;
+    if (!ParseResourceKind(key, &kind)) {
+      return LineError(line_no, "unknown resource key: " + key);
+    }
+    if (IsComputeKind(kind)) {
+      auto milli = ParseMilli(value);
+      if (!milli.ok()) {
+        return LineError(line_no, milli.status().message());
+      }
+      aspect->demand.Set(kind, *milli);
+    } else if (kind == ResourceKind::kNetBw) {
+      uint64_t mbps = 0;
+      if (!ParseUint64(value, &mbps)) {
+        return LineError(line_no, "bad netbw value");
+      }
+      aspect->demand.Set(kind, static_cast<int64_t>(mbps));
+    } else {
+      auto size = ParseSize(value);
+      if (!size.ok()) {
+        return LineError(line_no, size.status().message());
+      }
+      aspect->demand.Set(kind, size->bytes());
+    }
+  }
+  if (!args.flags.empty()) {
+    return LineError(line_no, "unexpected flag in resource aspect: " +
+                                  args.flags.front());
+  }
+  // A goal-only aspect ("deadline=10ms", "budget=2.0") names no explicit
+  // amounts: the provider chooses, steered by the goal.
+  if (aspect->demand.IsZero() &&
+      aspect->objective == ResourceObjective::kExplicit &&
+      (aspect->deadline.has_value() || aspect->hourly_budget.has_value())) {
+    aspect->objective = ResourceObjective::kCheapest;
+  }
+  return OkStatus();
+}
+
+Status ParseExecAspect(const KvArgs& args, size_t line_no,
+                       ExecEnvAspect* aspect) {
+  aspect->defined = true;
+  for (const auto& [key, value] : args.kv) {
+    if (key == "isolation") {
+      if (!ParseIsolationLevel(value, &aspect->isolation)) {
+        return LineError(line_no, "unknown isolation level: " + value);
+      }
+    } else if (key == "tenancy") {
+      if (value == "single") {
+        aspect->tenancy = TenancyMode::kSingleTenant;
+      } else if (value == "shared") {
+        aspect->tenancy = TenancyMode::kShared;
+      } else {
+        return LineError(line_no, "unknown tenancy: " + value);
+      }
+    } else if (key == "env") {
+      bool found = false;
+      for (int i = 0; i < kNumEnvKinds; ++i) {
+        const auto kind = static_cast<EnvKind>(i);
+        if (EnvKindName(kind) == value) {
+          aspect->explicit_env = kind;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return LineError(line_no, "unknown env kind: " + value);
+      }
+    } else {
+      return LineError(line_no, "unknown exec key: " + key);
+    }
+  }
+  for (const std::string& flag : args.flags) {
+    if (flag == "tee_if_cpu") {
+      aspect->tee_if_cpu = true;
+    } else if (flag == "encrypt") {
+      aspect->protection.encryption = true;
+    } else if (flag == "integrity") {
+      aspect->protection.integrity = true;
+    } else if (flag == "replay") {
+      aspect->protection.replay_protection = true;
+    } else {
+      return LineError(line_no, "unknown exec flag: " + flag);
+    }
+  }
+  return OkStatus();
+}
+
+Status ParseDistAspect(const KvArgs& args, size_t line_no, DistAspect* aspect) {
+  aspect->defined = true;
+  for (const auto& [key, value] : args.kv) {
+    if (key == "replication") {
+      uint64_t factor = 0;
+      if (!ParseUint64(value, &factor) || factor == 0) {
+        return LineError(line_no, "bad replication factor");
+      }
+      aspect->replication_factor = static_cast<int>(factor);
+    } else if (key == "consistency") {
+      if (!ParseConsistencyLevel(value, &aspect->consistency)) {
+        return LineError(line_no, "unknown consistency level: " + value);
+      }
+      aspect->consistency_specified = true;
+    } else if (key == "prefer") {
+      if (!ParseAccessPreference(value, &aspect->preference)) {
+        return LineError(line_no, "unknown access preference: " + value);
+      }
+    } else if (key == "failure") {
+      if (!ParseFailureHandling(value, &aspect->failure_handling)) {
+        return LineError(line_no, "unknown failure handling: " + value);
+      }
+    } else {
+      return LineError(line_no, "unknown dist key: " + key);
+    }
+  }
+  for (const std::string& flag : args.flags) {
+    if (flag == "checkpoint") {
+      aspect->checkpoint = true;
+      if (aspect->failure_handling == FailureHandling::kReexecute) {
+        aspect->failure_handling = FailureHandling::kCheckpointRestore;
+      }
+    } else {
+      return LineError(line_no, "unknown dist flag: " + flag);
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Result<AppSpec> ParseAppSpec(std::string_view text) {
+  AppSpec spec;
+  size_t line_no = 0;
+  for (std::string_view raw_line : SplitString(text, '\n')) {
+    ++line_no;
+    std::string_view line = raw_line;
+    const size_t hash = line.find('#');
+    if (hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = TrimWhitespace(line);
+    if (line.empty()) {
+      continue;
+    }
+    std::vector<std::string_view> tokens;
+    for (std::string_view t : SplitString(line, ' ')) {
+      t = TrimWhitespace(t);
+      if (!t.empty()) {
+        tokens.push_back(t);
+      }
+    }
+    const std::string_view verb = tokens[0];
+
+    if (verb == "app") {
+      if (tokens.size() != 2) {
+        return Status(LineError(line_no, "usage: app <name>"));
+      }
+      spec.graph.set_app_name(std::string(tokens[1]));
+      continue;
+    }
+    if (verb == "task") {
+      if (tokens.size() < 2) {
+        return Status(LineError(line_no, "usage: task <name> work=N [out=SIZE]"));
+      }
+      const KvArgs args = ParseKvArgs(tokens, 2);
+      double work = 0.0;
+      Bytes out = Bytes::KiB(64);
+      const auto wit = args.kv.find("work");
+      if (wit != args.kv.end() && !ParseDouble(wit->second, &work)) {
+        return Status(LineError(line_no, "bad work value"));
+      }
+      const auto oit = args.kv.find("out");
+      if (oit != args.kv.end()) {
+        auto size = ParseSize(oit->second);
+        if (!size.ok()) {
+          return Status(LineError(line_no, size.status().message()));
+        }
+        out = *size;
+      }
+      auto id = spec.graph.AddTask(std::string(tokens[1]), work, out);
+      if (!id.ok()) {
+        return Status(LineError(line_no, id.status().message()));
+      }
+      continue;
+    }
+    if (verb == "data") {
+      if (tokens.size() < 2) {
+        return Status(LineError(line_no, "usage: data <name> size=SIZE"));
+      }
+      const KvArgs args = ParseKvArgs(tokens, 2);
+      const auto sit = args.kv.find("size");
+      if (sit == args.kv.end()) {
+        return Status(LineError(line_no, "data module requires size="));
+      }
+      auto size = ParseSize(sit->second);
+      if (!size.ok()) {
+        return Status(LineError(line_no, size.status().message()));
+      }
+      auto id = spec.graph.AddData(std::string(tokens[1]), *size);
+      if (!id.ok()) {
+        return Status(LineError(line_no, id.status().message()));
+      }
+      continue;
+    }
+    if (verb == "edge") {
+      if (tokens.size() != 4 || tokens[2] != "->") {
+        return Status(LineError(line_no, "usage: edge <from> -> <to>"));
+      }
+      const ModuleId from = spec.graph.IdOf(std::string(tokens[1]));
+      const ModuleId to = spec.graph.IdOf(std::string(tokens[3]));
+      if (!from.valid() || !to.valid()) {
+        return Status(LineError(line_no, "edge references unknown module"));
+      }
+      const Status s = spec.graph.AddEdge(from, to);
+      if (!s.ok()) {
+        return Status(LineError(line_no, s.message()));
+      }
+      continue;
+    }
+    if (verb == "colocate" || verb == "affinity") {
+      if (tokens.size() != 3) {
+        return Status(LineError(line_no, "usage: colocate|affinity <a> <b>"));
+      }
+      const ModuleId a = spec.graph.IdOf(std::string(tokens[1]));
+      const ModuleId b = spec.graph.IdOf(std::string(tokens[2]));
+      if (!a.valid() || !b.valid()) {
+        return Status(LineError(line_no, "hint references unknown module"));
+      }
+      const Status s = verb == "colocate" ? spec.graph.AddColocation(a, b)
+                                          : spec.graph.AddAffinity(a, b);
+      if (!s.ok()) {
+        return Status(LineError(line_no, s.message()));
+      }
+      continue;
+    }
+    if (verb == "domain") {
+      // domain <name> members=A,B[,C...] [replication=N] [failure=...]
+      if (tokens.size() < 3) {
+        return Status(LineError(
+            line_no, "usage: domain <name> members=A,B [replication=N]"));
+      }
+      FailureDomainSpec domain;
+      domain.name = std::string(tokens[1]);
+      const KvArgs args = ParseKvArgs(tokens, 2);
+      const auto members = args.kv.find("members");
+      if (members == args.kv.end()) {
+        return Status(LineError(line_no, "domain requires members="));
+      }
+      for (std::string_view member : SplitString(members->second, ',')) {
+        const ModuleId id = spec.graph.IdOf(std::string(member));
+        if (!id.valid()) {
+          return Status(LineError(
+              line_no, "domain references unknown module: " +
+                           std::string(member)));
+        }
+        if (spec.DomainOf(id) != nullptr) {
+          return Status(LineError(
+              line_no, "module already in another failure domain: " +
+                           std::string(member)));
+        }
+        domain.members.push_back(id);
+      }
+      const auto repl = args.kv.find("replication");
+      if (repl != args.kv.end()) {
+        uint64_t factor = 0;
+        if (!ParseUint64(repl->second, &factor) || factor == 0) {
+          return Status(LineError(line_no, "bad domain replication factor"));
+        }
+        domain.replication_factor = static_cast<int>(factor);
+      }
+      const auto failure = args.kv.find("failure");
+      if (failure != args.kv.end() &&
+          !ParseFailureHandling(failure->second, &domain.handling)) {
+        return Status(LineError(line_no, "unknown domain failure handling"));
+      }
+      spec.domains.push_back(std::move(domain));
+      continue;
+    }
+    if (verb == "aspect") {
+      if (tokens.size() < 3) {
+        return Status(
+            LineError(line_no, "usage: aspect <module> resource|exec|dist ..."));
+      }
+      const ModuleId module = spec.graph.IdOf(std::string(tokens[1]));
+      if (!module.valid()) {
+        return Status(LineError(line_no, "aspect references unknown module"));
+      }
+      AspectSet& set =
+          spec.aspects.try_emplace(module, ProviderDefaults()).first->second;
+      const KvArgs args = ParseKvArgs(tokens, 3);
+      Status s;
+      if (tokens[2] == "resource") {
+        s = ParseResourceAspect(args, line_no, &set.resource);
+      } else if (tokens[2] == "exec") {
+        s = ParseExecAspect(args, line_no, &set.exec);
+      } else if (tokens[2] == "dist") {
+        s = ParseDistAspect(args, line_no, &set.dist);
+      } else {
+        s = LineError(line_no,
+                      "unknown aspect type: " + std::string(tokens[2]));
+      }
+      if (!s.ok()) {
+        return s;
+      }
+      continue;
+    }
+    return Status(LineError(line_no, "unknown directive: " + std::string(verb)));
+  }
+
+  UDC_RETURN_IF_ERROR(spec.graph.Validate());
+  for (const auto& [module, aspects] : spec.aspects) {
+    const Status s = ValidateAspects(aspects);
+    if (!s.ok()) {
+      const Module* m = spec.graph.Find(module);
+      return Status(InvalidArgumentError(
+          StrFormat("module %s: %s", m ? m->name.c_str() : "?",
+                    s.message().c_str())));
+    }
+  }
+  return spec;
+}
+
+}  // namespace udc

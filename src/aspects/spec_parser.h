@@ -1,0 +1,75 @@
+// Parser for "udcl", the declarative UDC specification language.
+//
+// Design Principle 2: "let the IT team specify aspects in a declarative way
+// and decouple these specifications from their low-level implementation."
+// udcl is a line-oriented text format covering both what the development
+// team writes (modules, edges, locality hints) and what the IT team writes
+// (per-module aspects):
+//
+//   # medical-information-processing (paper Figure 2 / Table 1)
+//   app medical
+//   task A1 work=500 out=2MiB
+//   data S3 size=512MiB
+//   edge S3 -> A1
+//   colocate A1 A2
+//   affinity A3 S1
+//   aspect A2 resource gpu=1000m dram=4GiB
+//   aspect A2 exec isolation=strong tenancy=single
+//   aspect A2 dist replication=1 failure=checkpoint checkpoint
+//
+// Unknown module references, malformed values and duplicate definitions are
+// reported with line numbers.
+
+#ifndef UDC_SRC_ASPECTS_SPEC_PARSER_H_
+#define UDC_SRC_ASPECTS_SPEC_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/aspects/aspects.h"
+#include "src/common/status.h"
+#include "src/ir/module_graph.h"
+
+namespace udc {
+
+// A user-declared failure domain (sec. 3.4): members fail as a whole.
+//   domain frontends members=A1,A2 replication=2 failure=checkpoint
+struct FailureDomainSpec {
+  std::string name;
+  std::vector<ModuleId> members;
+  int replication_factor = 1;
+  FailureHandling handling = FailureHandling::kReexecute;
+};
+
+struct AppSpec {
+  ModuleGraph graph;
+  std::unordered_map<ModuleId, AspectSet> aspects;
+  std::vector<FailureDomainSpec> domains;
+
+  // The aspects for `module`, falling back to ProviderDefaults().
+  AspectSet AspectsFor(ModuleId module) const;
+
+  // The failure domain containing `module`, or nullptr.
+  const FailureDomainSpec* DomainOf(ModuleId module) const;
+
+  // Modules co-failing with `module` (domain members incl. itself).
+  std::vector<ModuleId> CoFailingWith(ModuleId module) const;
+};
+
+// Parses a full udcl document. The graph is validated (DAG etc.) and each
+// module's aspects pass ValidateAspects.
+Result<AppSpec> ParseAppSpec(std::string_view text);
+
+// Parses a size literal: "512", "64KiB", "2MiB", "3GiB", "1TiB".
+Result<Bytes> ParseSize(std::string_view token);
+
+// Parses a compute amount: "4" (whole units) or "2500m" (milli-units).
+Result<int64_t> ParseMilli(std::string_view token);
+
+// Parses a duration literal: "500us", "50ms", "3s".
+Result<SimTime> ParseDuration(std::string_view token);
+
+}  // namespace udc
+
+#endif  // UDC_SRC_ASPECTS_SPEC_PARSER_H_

@@ -1,0 +1,80 @@
+#include "src/attest/attestation_service.h"
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+AttestationService::AttestationService(Simulation* sim, Key256 vendor_root)
+    : sim_(sim), vendor_root_(vendor_root) {}
+
+void AttestationService::ProvisionDevice(uint64_t device_identity) {
+  if (roots_.count(device_identity) == 0) {
+    roots_[device_identity] =
+        std::make_unique<RootOfTrust>(vendor_root_, device_identity);
+  }
+}
+
+bool AttestationService::IsProvisioned(uint64_t device_identity) const {
+  return roots_.count(device_identity) > 0;
+}
+
+Result<const RootOfTrust*> AttestationService::RotFor(
+    uint64_t device_identity) const {
+  const auto it = roots_.find(device_identity);
+  if (it == roots_.end()) {
+    return Status(NotFoundError(StrFormat(
+        "device %llu has no provisioned root of trust",
+        static_cast<unsigned long long>(device_identity))));
+  }
+  return it->second.get();
+}
+
+Result<Quote> AttestationService::QuoteEnvironment(const ExecEnvironment& env) {
+  if (!env.profile().attestable &&
+      env.tenancy() != TenancyMode::kSingleTenant) {
+    return Status(FailedPreconditionError(
+        "environment kind is not attestable and not single-tenant"));
+  }
+  UDC_ASSIGN_OR_RETURN(const RootOfTrust* rot, RotFor(env.node().value()));
+  const std::string report = EnvironmentReport(
+      env.measurement(), IsolationLevelName(env.isolation()),
+      env.tenancy() == TenancyMode::kSingleTenant ? "single" : "shared",
+      env.tenant().value());
+  return rot->Sign(quote_ids_.Next(), QuoteSubject::kEnvironment, sim_->now(),
+                   report);
+}
+
+Result<std::vector<Quote>> AttestationService::QuoteResources(
+    const ResourcePool& pool, TenantId tenant) {
+  std::vector<Quote> quotes;
+  for (const LedgerEntry& row : pool.LedgerSnapshot()) {
+    if (row.tenant != tenant) {
+      continue;
+    }
+    UDC_ASSIGN_OR_RETURN(const RootOfTrust* rot, RotFor(row.device.value()));
+    const std::string report =
+        ResourceReport(row.device.value(), ResourceKindName(pool.resource_kind()),
+                       tenant.value(), row.amount);
+    quotes.push_back(rot->Sign(quote_ids_.Next(), QuoteSubject::kResources,
+                               sim_->now(), report));
+  }
+  return quotes;
+}
+
+Result<Quote> AttestationService::QuoteReplica(uint64_t replica_device,
+                                               const std::string& object,
+                                               TenantId tenant) {
+  UDC_ASSIGN_OR_RETURN(const RootOfTrust* rot, RotFor(replica_device));
+  return rot->Sign(quote_ids_.Next(), QuoteSubject::kReplication, sim_->now(),
+                   ReplicationReport(object, replica_device, tenant.value()));
+}
+
+Result<Quote> AttestationService::QuoteSoftware(
+    uint64_t host_device, const Sha256Digest& code_measurement,
+    const std::string& module_name) {
+  UDC_ASSIGN_OR_RETURN(const RootOfTrust* rot, RotFor(host_device));
+  return rot->Sign(quote_ids_.Next(), QuoteSubject::kSoftware, sim_->now(),
+                   SoftwareReport(code_measurement, module_name));
+}
+
+}  // namespace udc

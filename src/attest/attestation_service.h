@@ -1,0 +1,63 @@
+// Provider-side attestation service.
+//
+// Issues quotes on behalf of device roots of trust: environment quotes at
+// launch, resource quotes from pool-ledger snapshots, replication quotes
+// from replica hosts. The user-side FulfillmentVerifier (src/core) replays
+// these against the user's aspect specification.
+
+#ifndef UDC_SRC_ATTEST_ATTESTATION_SERVICE_H_
+#define UDC_SRC_ATTEST_ATTESTATION_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/attest/quote.h"
+#include "src/exec/environment.h"
+#include "src/hw/pool.h"
+#include "src/sim/simulation.h"
+
+namespace udc {
+
+class AttestationService {
+ public:
+  AttestationService(Simulation* sim, Key256 vendor_root);
+
+  // Registers a device identity; its RoT key is derived from the vendor
+  // root, as if fused at manufacturing.
+  void ProvisionDevice(uint64_t device_identity);
+  bool IsProvisioned(uint64_t device_identity) const;
+
+  // Quote over a launched environment's measurement and isolation claim.
+  Result<Quote> QuoteEnvironment(const ExecEnvironment& env);
+
+  // Quotes over every ledger row of `pool` belonging to `tenant`: one quote
+  // per device, signed by that device's RoT. This is UDC's answer to
+  // "whether or not resources were provided as specified" (paper sec. 4).
+  Result<std::vector<Quote>> QuoteResources(const ResourcePool& pool,
+                                            TenantId tenant);
+
+  // Quote from one replica host acknowledging it stores `object`.
+  Result<Quote> QuoteReplica(uint64_t replica_device, const std::string& object,
+                             TenantId tenant);
+
+  // Quote over code identity running in an environment.
+  Result<Quote> QuoteSoftware(uint64_t host_device,
+                              const Sha256Digest& code_measurement,
+                              const std::string& module_name);
+
+  uint64_t quotes_issued() const { return quote_ids_.issued(); }
+
+ private:
+  Result<const RootOfTrust*> RotFor(uint64_t device_identity) const;
+
+  Simulation* sim_;
+  Key256 vendor_root_;
+  IdGenerator<QuoteId> quote_ids_;
+  std::unordered_map<uint64_t, std::unique_ptr<RootOfTrust>> roots_;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_ATTEST_ATTESTATION_SERVICE_H_

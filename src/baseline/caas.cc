@@ -1,0 +1,88 @@
+#include "src/baseline/caas.h"
+
+#include <algorithm>
+
+namespace udc {
+
+CaasCloud::CaasCloud(Simulation* sim, Topology* topology, int nodes_per_rack,
+                     ServerShape node_shape, Money node_hourly)
+    : sim_(sim), node_hourly_(node_hourly), node_shape_(node_shape) {
+  for (int rack = 0; rack < topology->rack_count(); ++rack) {
+    for (int s = 0; s < nodes_per_rack; ++s) {
+      const NodeId node = topology->AddNode(rack, NodeRole::kServer);
+      fleet_.AddServer(node_shape_, node);
+    }
+  }
+}
+
+Result<CaasContainer> CaasCloud::Schedule(TenantId tenant,
+                                          const ResourceVector& request) {
+  // First-fit over most-utilized nodes first (packs tightly, like the
+  // default kube-scheduler MostAllocated strategy used for consolidation).
+  std::vector<Server*> servers = fleet_.servers();
+  std::sort(servers.begin(), servers.end(), [](Server* a, Server* b) {
+    return a->MeanUtilization() > b->MeanUtilization();
+  });
+  for (Server* server : servers) {
+    if (!server->CanHost(request)) {
+      continue;
+    }
+    CaasContainer container;
+    container.id = ids_.Next();
+    container.tenant = tenant;
+    container.request = request;
+    container.node = server->id();
+    UDC_RETURN_IF_ERROR(server->Place(container.id, tenant, request));
+    containers_[container.id] = container;
+    sim_->metrics().IncrementCounter("caas.containers_scheduled");
+    return container;
+  }
+  return Status(ResourceExhaustedError("no cluster node fits the container"));
+}
+
+Status CaasCloud::Remove(InstanceId container) {
+  const auto it = containers_.find(container);
+  if (it == containers_.end()) {
+    return NotFoundError("unknown container");
+  }
+  Server* server = fleet_.FindServer(it->second.node);
+  if (server != nullptr) {
+    UDC_RETURN_IF_ERROR(server->Evict(container));
+  }
+  containers_.erase(it);
+  return OkStatus();
+}
+
+Money CaasCloud::BillFor(const CaasContainer& container,
+                         SimTime duration) const {
+  // Dominant-share of the node's shape determines the tenant's fraction of
+  // the node price.
+  double dominant = 0.0;
+  for (int i = 0; i < kNumResourceKinds; ++i) {
+    const auto kind = static_cast<ResourceKind>(i);
+    const int64_t cap = node_shape_.capacity.Get(kind);
+    if (cap == 0) {
+      continue;
+    }
+    dominant = std::max(dominant, static_cast<double>(container.request.Get(kind)) /
+                                      static_cast<double>(cap));
+  }
+  return Money(static_cast<int64_t>(
+      static_cast<double>(node_hourly_.micro_usd()) * dominant *
+      duration.hours()));
+}
+
+double CaasCloud::NodeUtilization(ResourceKind kind) const {
+  int64_t cap = 0;
+  int64_t used = 0;
+  for (const Server* server : fleet_.servers()) {
+    if (server->instance_count() == 0) {
+      continue;
+    }
+    cap += server->capacity().Get(kind);
+    used += server->allocated().Get(kind);
+  }
+  return cap == 0 ? 0.0 : static_cast<double>(used) / static_cast<double>(cap);
+}
+
+}  // namespace udc

@@ -1,0 +1,56 @@
+// CaaS baseline: container requests packed onto fixed-shape cluster nodes.
+//
+// Finer-grained than IaaS (the tenant asks for what the container needs) but
+// the *cluster* is still made of coarse nodes the tenant pays for: the
+// autoscaler bills whole nodes, so stranding moves from the instance level
+// to the node level. Kubernetes-style first-fit-decreasing placement.
+
+#ifndef UDC_SRC_BASELINE_CAAS_H_
+#define UDC_SRC_BASELINE_CAAS_H_
+
+#include <map>
+
+#include "src/hw/datacenter.h"
+#include "src/sim/simulation.h"
+
+namespace udc {
+
+struct CaasContainer {
+  InstanceId id;
+  TenantId tenant;
+  ResourceVector request;
+  ServerId node;
+};
+
+class CaasCloud {
+ public:
+  CaasCloud(Simulation* sim, Topology* topology, int nodes_per_rack = 8,
+            ServerShape node_shape = ServerShape::ComputeBox(),
+            Money node_hourly = Money::FromDollars(2.304));
+
+  ServerFleet& fleet() { return fleet_; }
+
+  Result<CaasContainer> Schedule(TenantId tenant,
+                                 const ResourceVector& request);
+  Status Remove(InstanceId container);
+
+  // Node-hours billing: tenants share a node's price proportionally to
+  // their requested share of it.
+  Money BillFor(const CaasContainer& container, SimTime duration) const;
+
+  size_t NodesInUse() const { return fleet_.OccupiedCount(); }
+  double NodeUtilization(ResourceKind kind) const;
+  size_t live_containers() const { return containers_.size(); }
+
+ private:
+  Simulation* sim_;
+  ServerFleet fleet_;
+  Money node_hourly_;
+  ServerShape node_shape_;
+  IdGenerator<InstanceId> ids_;
+  std::map<InstanceId, CaasContainer> containers_;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_BASELINE_CAAS_H_

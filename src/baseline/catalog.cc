@@ -1,0 +1,117 @@
+#include "src/baseline/catalog.h"
+
+#include <algorithm>
+
+namespace udc {
+
+void InstanceCatalog::Add(InstanceType type) { types_.push_back(std::move(type)); }
+
+Result<InstanceType> InstanceCatalog::CheapestFitting(
+    const ResourceVector& demand) const {
+  const InstanceType* best = nullptr;
+  for (const InstanceType& t : types_) {
+    if (!demand.FitsIn(t.shape)) {
+      continue;
+    }
+    if (best == nullptr || t.hourly < best->hourly) {
+      best = &t;
+    }
+  }
+  if (best == nullptr) {
+    return Status(ResourceExhaustedError(
+        "no catalog instance covers the demand: " + demand.ToString()));
+  }
+  return *best;
+}
+
+std::vector<InstanceType> InstanceCatalog::AllFitting(
+    const ResourceVector& demand) const {
+  std::vector<InstanceType> out;
+  for (const InstanceType& t : types_) {
+    if (demand.FitsIn(t.shape)) {
+      out.push_back(t);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const InstanceType& a, const InstanceType& b) {
+              return a.hourly < b.hourly;
+            });
+  return out;
+}
+
+namespace {
+
+// GPU amounts are in V100-equivalent milli-units so heterogeneous GPU
+// classes compare by delivered throughput: a V100 is 1000m, a T4 (g4dn)
+// counts as 500m.
+InstanceType Make(const std::string& name, int vcpus, int dram_gib,
+                  int gpu_milli, int ssd_gib, double usd_hourly) {
+  InstanceType t;
+  t.name = name;
+  t.shape = ResourceVector::MilliCpu(vcpus * 1000) +
+            ResourceVector::Dram(Bytes::GiB(dram_gib)) +
+            ResourceVector::MilliGpu(gpu_milli) +
+            ResourceVector::Ssd(Bytes::GiB(ssd_gib));
+  t.hourly = Money::FromDollars(usd_hourly);
+  return t;
+}
+
+}  // namespace
+
+InstanceCatalog InstanceCatalog::Ec2Style() {
+  InstanceCatalog c;
+  // General purpose (m5-like).
+  c.Add(Make("m5.large", 2, 8, 0, 32, 0.096));
+  c.Add(Make("m5.xlarge", 4, 16, 0, 64, 0.192));
+  c.Add(Make("m5.2xlarge", 8, 32, 0, 128, 0.384));
+  c.Add(Make("m5.4xlarge", 16, 64, 0, 256, 0.768));
+  c.Add(Make("m5.12xlarge", 48, 192, 0, 768, 2.304));
+  c.Add(Make("m5.24xlarge", 96, 384, 0, 1536, 4.608));
+  // Compute optimized (c5-like).
+  c.Add(Make("c5.large", 2, 4, 0, 32, 0.085));
+  c.Add(Make("c5.2xlarge", 8, 16, 0, 128, 0.34));
+  c.Add(Make("c5.9xlarge", 36, 72, 0, 512, 1.53));
+  c.Add(Make("c5.18xlarge", 72, 144, 0, 1024, 3.06));
+  // Memory optimized (r5-like).
+  c.Add(Make("r5.large", 2, 16, 0, 32, 0.126));
+  c.Add(Make("r5.2xlarge", 8, 64, 0, 128, 0.504));
+  c.Add(Make("r5.8xlarge", 32, 256, 0, 512, 2.016));
+  // GPU (p3-like): the paper's example shapes.
+  c.Add(Make("p3.2xlarge", 8, 61, 1000, 128, 3.06));
+  c.Add(Make("p3.8xlarge", 32, 244, 4000, 512, 12.24));
+  c.Add(Make("p3.16xlarge", 64, 488, 8000, 1024, 24.48));
+  c.Add(Make("p3dn.24xlarge", 96, 768, 8000, 2048, 31.212));
+  // Small GPU (g4dn-like).
+  c.Add(Make("g4dn.xlarge", 4, 16, 500, 125, 0.526));   // 1x T4
+  c.Add(Make("g4dn.12xlarge", 48, 192, 2000, 900, 3.912));  // 4x T4
+  // Storage optimized (i3-like).
+  c.Add(Make("i3.large", 2, 15, 0, 475, 0.156));
+  c.Add(Make("i3.4xlarge", 16, 122, 0, 3800, 1.248));
+  return c;
+}
+
+double WasteFraction(const InstanceType& instance,
+                     const ResourceVector& demand) {
+  double waste_sum = 0.0;
+  int kinds = 0;
+  for (int i = 0; i < kNumResourceKinds; ++i) {
+    const auto kind = static_cast<ResourceKind>(i);
+    const int64_t cap = instance.shape.Get(kind);
+    if (cap == 0) {
+      continue;
+    }
+    const int64_t used = std::min(demand.Get(kind), cap);
+    waste_sum += 1.0 - static_cast<double>(used) / static_cast<double>(cap);
+    ++kinds;
+  }
+  return kinds == 0 ? 0.0 : waste_sum / kinds;
+}
+
+Money WasteValue(const InstanceType& instance, const ResourceVector& demand,
+                 const PriceList& prices, SimTime duration) {
+  const ResourceVector used = ResourceVector::Min(instance.shape, demand);
+  const ResourceVector wasted = instance.shape - used;
+  return prices.CostFor(wasted, duration);
+}
+
+}  // namespace udc

@@ -1,0 +1,68 @@
+#include "src/baseline/faas.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace udc {
+
+FaasCloud::FaasCloud(Simulation* sim, FaasPricing pricing)
+    : sim_(sim), pricing_(pricing) {}
+
+double FaasCloud::VcpusFor(Bytes memory) {
+  return static_cast<double>(memory.bytes()) / (1769.0 * 1024 * 1024);
+}
+
+FaasInvocationResult FaasCloud::Invoke(const FaasFunction& fn,
+                                       SimTime keep_warm) {
+  ++invocations_;
+  FaasInvocationResult result;
+
+  WarmPool& pool = warm_[fn.name];
+  const bool warm_available =
+      pool.instances > 0 && pool.expires_at >= sim_->now();
+  SimTime cold_start;
+  if (warm_available) {
+    --pool.instances;
+  } else {
+    result.cold = true;
+    ++cold_starts_;
+    cold_start = SimTime::Millis(350);  // container cold start
+  }
+
+  // Execution: work on a fractional vCPU (reference rate 1 unit/us/core).
+  const double vcpus = std::max(0.05, VcpusFor(fn.memory));
+  result.execution = SimTime(
+      static_cast<int64_t>(std::llround(fn.work_units / vcpus)));
+  result.latency = cold_start + result.execution;
+
+  // Billing: round execution up to the quantum; charge GB-seconds + request.
+  const int64_t quanta =
+      (result.execution.micros() + pricing_.billing_quantum.micros() - 1) /
+      std::max<int64_t>(1, pricing_.billing_quantum.micros());
+  const double billed_seconds =
+      static_cast<double>(quanta * pricing_.billing_quantum.micros()) / 1e6;
+  const double gb = static_cast<double>(fn.memory.bytes()) / (1024.0 * 1024 * 1024);
+  result.charge =
+      Money(static_cast<int64_t>(std::llround(
+          static_cast<double>(pricing_.per_gb_second.micro_usd()) * gb *
+          billed_seconds))) +
+      pricing_.per_request;
+
+  // The instance stays warm for a while after finishing.
+  ++pool.instances;
+  pool.expires_at = sim_->now() + result.latency + keep_warm;
+
+  sim_->metrics().IncrementCounter("faas.invocations");
+  if (result.cold) {
+    sim_->metrics().IncrementCounter("faas.cold_starts");
+  }
+  return result;
+}
+
+Result<FaasInvocationResult> FaasCloud::InvokeGpu(const FaasFunction& fn) {
+  (void)fn;
+  return Status(FailedPreconditionError(
+      "serverless platform does not offer GPU execution"));
+}
+
+}  // namespace udc

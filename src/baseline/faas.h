@@ -1,0 +1,75 @@
+// FaaS (serverless) baseline.
+//
+// Figure 1's "Serverless Computing (FaaS)" column: no IT burden, but also no
+// control. Functions are CPU-only (claim C4: "no cloud provider has yet
+// supported GPU in their serverless computing offerings"), get CPU in
+// proportion to configured memory (the Lambda model), pay per GB-second with
+// a per-request fee, and eat a container cold start whenever no warm
+// instance of the function exists.
+
+#ifndef UDC_SRC_BASELINE_FAAS_H_
+#define UDC_SRC_BASELINE_FAAS_H_
+
+#include <map>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/sim/simulation.h"
+
+namespace udc {
+
+struct FaasFunction {
+  std::string name;
+  Bytes memory = Bytes::MiB(1024);
+  // Abstract work units (same scale as Module::work_units).
+  double work_units = 0.0;
+};
+
+struct FaasInvocationResult {
+  SimTime latency;        // cold start (if any) + execution
+  SimTime execution;      // compute only
+  bool cold = false;
+  Money charge;
+};
+
+struct FaasPricing {
+  Money per_gb_second = Money::MicroUsd(16667);  // ~$0.0000166667/GB-s
+  Money per_request = Money::MicroUsd(200);      // $0.20 per 1M requests
+  SimTime billing_quantum = SimTime::Millis(1);
+};
+
+class FaasCloud {
+ public:
+  explicit FaasCloud(Simulation* sim, FaasPricing pricing = FaasPricing());
+
+  // MB-to-vCPU proportionality: 1769 MB = 1 vCPU (AWS-documented knee).
+  static double VcpusFor(Bytes memory);
+
+  // Invokes `fn`; a warm instance is consumed if present, else cold start.
+  // Warm instances linger `keep_warm` after completion.
+  FaasInvocationResult Invoke(const FaasFunction& fn,
+                              SimTime keep_warm = SimTime::Minutes(10));
+
+  // GPU functions are simply not offered (claim C4).
+  Result<FaasInvocationResult> InvokeGpu(const FaasFunction& fn);
+
+  uint64_t cold_starts() const { return cold_starts_; }
+  uint64_t invocations() const { return invocations_; }
+
+ private:
+  struct WarmPool {
+    int instances = 0;
+    SimTime expires_at;
+  };
+
+  Simulation* sim_;
+  FaasPricing pricing_;
+  std::map<std::string, WarmPool> warm_;
+  uint64_t cold_starts_ = 0;
+  uint64_t invocations_ = 0;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_BASELINE_FAAS_H_

@@ -1,0 +1,124 @@
+#include "src/baseline/iaas.h"
+
+#include <algorithm>
+
+namespace udc {
+
+IaasCloud::IaasCloud(Simulation* sim, Topology* topology, int servers_per_rack,
+                     InstanceCatalog catalog)
+    : sim_(sim), catalog_(std::move(catalog)) {
+  // Build a fleet big enough for the benches: GPU boxes and compute boxes in
+  // every rack.
+  for (int rack = 0; rack < topology->rack_count(); ++rack) {
+    for (int s = 0; s < servers_per_rack; ++s) {
+      const NodeId node = topology->AddNode(rack, NodeRole::kServer);
+      const ServerShape shape =
+          (s % 4 == 0) ? ServerShape::GpuBox() : ServerShape::ComputeBox();
+      fleet_.AddServer(shape, node);
+    }
+  }
+}
+
+Result<IaasInstance> IaasCloud::LaunchForDemand(TenantId tenant,
+                                                const ResourceVector& demand) {
+  UDC_ASSIGN_OR_RETURN(const InstanceType type,
+                       catalog_.CheapestFitting(demand));
+  return Launch(tenant, type, demand);
+}
+
+Result<IaasInstance> IaasCloud::Launch(TenantId tenant,
+                                       const InstanceType& type,
+                                       const ResourceVector& true_demand) {
+  // Best-fit: the healthy server with the least remaining headroom that
+  // still hosts the instance (keeps big holes for big instances).
+  Server* best = nullptr;
+  double best_headroom = 0.0;
+  for (Server* server : fleet_.servers()) {
+    if (!server->CanHost(type.shape)) {
+      continue;
+    }
+    const double headroom = 1.0 - server->MeanUtilization();
+    if (best == nullptr || headroom < best_headroom) {
+      best = server;
+      best_headroom = headroom;
+    }
+  }
+  if (best == nullptr) {
+    return Status(
+        ResourceExhaustedError("no server can host " + type.name));
+  }
+  IaasInstance instance;
+  instance.id = instance_ids_.Next();
+  instance.tenant = tenant;
+  instance.type = type;
+  instance.server = best->id();
+  instance.launched_at = sim_->now();
+  instance.true_demand = true_demand;
+  UDC_RETURN_IF_ERROR(best->Place(instance.id, tenant, type.shape));
+  instances_[instance.id] = instance;
+  sim_->metrics().IncrementCounter("iaas.instances_launched");
+  return instance;
+}
+
+Status IaasCloud::Terminate(InstanceId instance) {
+  const auto it = instances_.find(instance);
+  if (it == instances_.end()) {
+    return NotFoundError("unknown instance");
+  }
+  Server* server = fleet_.FindServer(it->second.server);
+  if (server != nullptr) {
+    UDC_RETURN_IF_ERROR(server->Evict(instance));
+  }
+  instances_.erase(it);
+  return OkStatus();
+}
+
+Money IaasCloud::BillFor(const IaasInstance& instance,
+                         SimTime duration) const {
+  // Whole-instance billing: the tenant pays the catalog hourly price for the
+  // entire shape regardless of use.
+  const double hours = duration.hours();
+  return Money(static_cast<int64_t>(
+      static_cast<double>(instance.type.hourly.micro_usd()) * hours));
+}
+
+double IaasCloud::MeanWasteFraction() const {
+  if (instances_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const auto& [id, inst] : instances_) {
+    sum += WasteFraction(inst.type, inst.true_demand);
+  }
+  return sum / static_cast<double>(instances_.size());
+}
+
+double IaasCloud::EffectiveUtilization(ResourceKind kind) const {
+  int64_t cap = 0;
+  for (const Server* server : fleet_.servers()) {
+    if (server->instance_count() == 0) {
+      continue;
+    }
+    cap += server->capacity().Get(kind);
+  }
+  int64_t used = 0;
+  for (const auto& [id, inst] : instances_) {
+    used += std::min(inst.true_demand.Get(kind), inst.type.shape.Get(kind));
+  }
+  return cap == 0 ? 0.0 : static_cast<double>(used) / static_cast<double>(cap);
+}
+
+double IaasCloud::OccupiedUtilization(ResourceKind kind) const {
+  int64_t cap = 0;
+  int64_t used = 0;
+  for (const Server* server : fleet_.servers()) {
+    if (server->instance_count() == 0) {
+      continue;
+    }
+    cap += server->capacity().Get(kind);
+    used += server->allocated().Get(kind);
+  }
+  return cap == 0 ? 0.0 : static_cast<double>(used) / static_cast<double>(cap);
+}
+
+}  // namespace udc

@@ -1,0 +1,79 @@
+// IaaS baseline: fixed instance types bin-packed onto monolithic servers.
+//
+// This is "today's cloud" of the paper's Figure 1 (VM-/container-based,
+// IaaS/CaaS column): the tenant picks a catalog instance (paying for its
+// whole shape) and the provider places whole instances onto servers with
+// best-fit-decreasing. Both coarseness effects the paper attacks live here:
+// tenant-side waste (instance > demand, claim C1) and provider-side
+// stranding (servers that cannot fit another instance, claim C2).
+
+#ifndef UDC_SRC_BASELINE_IAAS_H_
+#define UDC_SRC_BASELINE_IAAS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/baseline/catalog.h"
+#include "src/hw/datacenter.h"
+#include "src/sim/simulation.h"
+
+namespace udc {
+
+struct IaasInstance {
+  InstanceId id;
+  TenantId tenant;
+  InstanceType type;
+  ServerId server;
+  SimTime launched_at;
+  ResourceVector true_demand;  // what the tenant actually needed
+};
+
+class IaasCloud {
+ public:
+  IaasCloud(Simulation* sim, Topology* topology, int servers_per_rack = 8,
+            InstanceCatalog catalog = InstanceCatalog::Ec2Style());
+
+  const InstanceCatalog& catalog() const { return catalog_; }
+  ServerFleet& fleet() { return fleet_; }
+
+  // Picks the cheapest catalog instance covering `demand` and places it.
+  Result<IaasInstance> LaunchForDemand(TenantId tenant,
+                                       const ResourceVector& demand);
+
+  // Places a specific instance type.
+  Result<IaasInstance> Launch(TenantId tenant, const InstanceType& type,
+                              const ResourceVector& true_demand);
+
+  Status Terminate(InstanceId instance);
+
+  // Tenant bill for one instance over `duration` (whole-instance pricing).
+  Money BillFor(const IaasInstance& instance, SimTime duration) const;
+
+  // Mean waste fraction across live instances (claim C1).
+  double MeanWasteFraction() const;
+
+  // Fleet utilization of `kind` counting only occupied servers (claim C2).
+  double OccupiedUtilization(ResourceKind kind) const;
+  size_t ServersInUse() const { return fleet_.OccupiedCount(); }
+  size_t live_instances() const { return instances_.size(); }
+  const std::map<InstanceId, IaasInstance>& instances() const {
+    return instances_;
+  }
+
+  // Utilization of `kind` across occupied servers counting the tenants'
+  // *true* demands rather than the instance shapes — the number claim C2
+  // compares against disaggregated allocation.
+  double EffectiveUtilization(ResourceKind kind) const;
+
+ private:
+  Simulation* sim_;
+  InstanceCatalog catalog_;
+  ServerFleet fleet_;
+  IdGenerator<InstanceId> instance_ids_;
+  std::map<InstanceId, IaasInstance> instances_;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_BASELINE_IAAS_H_

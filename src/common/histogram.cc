@@ -1,0 +1,91 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+void Histogram::Add(double value) {
+  samples_.push_back(value);
+  sorted_ = false;
+  sum_ += value;
+  sum_sq_ += value * value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+void Histogram::Clear() {
+  samples_.clear();
+  sorted_ = true;
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+}
+
+void Histogram::SortIfNeeded() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::Min() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  SortIfNeeded();
+  return samples_.front();
+}
+
+double Histogram::Max() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  SortIfNeeded();
+  return samples_.back();
+}
+
+double Histogram::Mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::Stddev() const {
+  const auto n = static_cast<double>(samples_.size());
+  if (n < 2) {
+    return 0.0;
+  }
+  const double mean = sum_ / n;
+  const double var = std::max(0.0, sum_sq_ / n - mean * mean);
+  return std::sqrt(var);
+}
+
+double Histogram::Quantile(double q) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  SortIfNeeded();
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank with linear interpolation between adjacent samples.
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::string Histogram::Summary() const {
+  return StrFormat("n=%lld mean=%.4g p50=%.4g p99=%.4g max=%.4g",
+                   static_cast<long long>(count()), Mean(), Quantile(0.5),
+                   Quantile(0.99), Max());
+}
+
+}  // namespace udc

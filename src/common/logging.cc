@@ -1,0 +1,46 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace udc {
+
+namespace {
+
+LogSeverity g_threshold = LogSeverity::kWarning;
+
+const char* SeverityTag(LogSeverity s) {
+  switch (s) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+  }
+  return "?";
+}
+
+// Strips the directory prefix so log lines stay short.
+std::string_view Basename(std::string_view path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+void SetLogThreshold(LogSeverity severity) { g_threshold = severity; }
+
+LogSeverity GetLogThreshold() { return g_threshold; }
+
+void EmitLogLine(LogSeverity severity, std::string_view file, int line,
+                 std::string_view message) {
+  const std::string_view base = Basename(file);
+  std::fprintf(stderr, "[%s %.*s:%d] %.*s\n", SeverityTag(severity),
+               static_cast<int>(base.size()), base.data(), line,
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace udc

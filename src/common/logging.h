@@ -1,0 +1,69 @@
+// Minimal leveled logging for the library and tools.
+//
+// Usage: UDC_LOG(Info) << "placed module " << id << " on " << node;
+// The global threshold defaults to Warning so tests and benches stay quiet;
+// tools can raise verbosity with SetLogThreshold.
+
+#ifndef UDC_SRC_COMMON_LOGGING_H_
+#define UDC_SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string_view>
+
+namespace udc {
+
+enum class LogSeverity {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Sets / reads the global severity threshold; messages below it are dropped.
+void SetLogThreshold(LogSeverity severity);
+LogSeverity GetLogThreshold();
+
+// Internal: emits one formatted line to stderr.
+void EmitLogLine(LogSeverity severity, std::string_view file, int line,
+                 std::string_view message);
+
+// RAII message builder; flushes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line)
+      : severity_(severity), file_(file), line_(line) {}
+  ~LogMessage() { EmitLogLine(severity_, file_, line_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Discards everything; used when the severity is below threshold.
+class NullLogMessage {
+ public:
+  template <typename T>
+  NullLogMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace udc
+
+#define UDC_LOG(severity_suffix)                                          \
+  if (::udc::LogSeverity::k##severity_suffix < ::udc::GetLogThreshold()) { \
+  } else                                                                  \
+    ::udc::LogMessage(::udc::LogSeverity::k##severity_suffix, __FILE__, __LINE__)
+
+#endif  // UDC_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,75 @@
+// Deterministic pseudo-random number generation.
+//
+// The whole simulation must be reproducible from a single seed, so all
+// randomness flows through Rng (xoshiro256** core). Distributions used by the
+// workload generators (exponential arrivals, Pareto/lognormal demand sizes)
+// are provided here rather than via <random> so results are identical across
+// standard-library implementations.
+
+#ifndef UDC_SRC_COMMON_RNG_H_
+#define UDC_SRC_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace udc {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  // Uniform in [0, bound). `bound` must be > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. `lo <= hi` required.
+  int64_t NextInt64InRange(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform in [lo, hi).
+  double NextDoubleInRange(double lo, double hi);
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Exponential with the given rate (mean 1/rate). rate must be > 0.
+  double NextExponential(double rate);
+
+  // Pareto with scale xm > 0 and shape alpha > 0; heavy-tailed sizes.
+  double NextPareto(double xm, double alpha);
+
+  // Lognormal with the given parameters of the underlying normal.
+  double NextLognormal(double mu, double sigma);
+
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+
+  // Zipf-distributed rank in [0, n) with exponent s (popularity skew).
+  // O(n) setup is avoided by rejection-inversion; adequate for n <= 1e7.
+  uint64_t NextZipf(uint64_t n, double s);
+
+  // Derives an independent child generator (for per-component streams).
+  Rng Fork();
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextUint64(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_COMMON_RNG_H_

@@ -1,0 +1,78 @@
+#include "src/common/status.h"
+
+namespace udc {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case StatusCode::kConflict:
+      return "CONFLICT";
+    case StatusCode::kVerificationFailed:
+      return "VERIFICATION_FAILED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status OkStatus() { return Status(); }
+
+Status InvalidArgumentError(std::string_view message) {
+  return Status(StatusCode::kInvalidArgument, std::string(message));
+}
+Status NotFoundError(std::string_view message) {
+  return Status(StatusCode::kNotFound, std::string(message));
+}
+Status AlreadyExistsError(std::string_view message) {
+  return Status(StatusCode::kAlreadyExists, std::string(message));
+}
+Status FailedPreconditionError(std::string_view message) {
+  return Status(StatusCode::kFailedPrecondition, std::string(message));
+}
+Status ResourceExhaustedError(std::string_view message) {
+  return Status(StatusCode::kResourceExhausted, std::string(message));
+}
+Status UnavailableError(std::string_view message) {
+  return Status(StatusCode::kUnavailable, std::string(message));
+}
+Status PermissionDeniedError(std::string_view message) {
+  return Status(StatusCode::kPermissionDenied, std::string(message));
+}
+Status ConflictError(std::string_view message) {
+  return Status(StatusCode::kConflict, std::string(message));
+}
+Status VerificationFailedError(std::string_view message) {
+  return Status(StatusCode::kVerificationFailed, std::string(message));
+}
+Status InternalError(std::string_view message) {
+  return Status(StatusCode::kInternal, std::string(message));
+}
+
+}  // namespace udc

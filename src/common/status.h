@@ -1,0 +1,145 @@
+// Error-handling primitives for the UDC library.
+//
+// The library does not use exceptions on hot paths. Fallible operations
+// return `Status` (no payload) or `Result<T>` (payload or error), loosely
+// modeled after absl::Status / absl::StatusOr.
+
+#ifndef UDC_SRC_COMMON_STATUS_H_
+#define UDC_SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace udc {
+
+// Canonical error space, a small subset of the gRPC/absl codes that covers
+// every failure mode in this codebase.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   // malformed spec, bad parameter
+  kNotFound = 2,          // unknown id / missing module
+  kAlreadyExists = 3,     // duplicate registration
+  kFailedPrecondition = 4,// operation not valid in current state
+  kResourceExhausted = 5, // pool cannot satisfy the request
+  kUnavailable = 6,       // device/fabric failure, retryable
+  kPermissionDenied = 7,  // isolation / tenancy violation
+  kConflict = 8,          // conflicting user specifications (paper sec. 3.4)
+  kVerificationFailed = 9,// attestation quote does not match spec (sec. 4)
+  kInternal = 10,         // invariant violation; a bug
+};
+
+// Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on success (no allocation).
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: bad spec".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Convenience constructors mirroring absl.
+Status OkStatus();
+Status InvalidArgumentError(std::string_view message);
+Status NotFoundError(std::string_view message);
+Status AlreadyExistsError(std::string_view message);
+Status FailedPreconditionError(std::string_view message);
+Status ResourceExhaustedError(std::string_view message);
+Status UnavailableError(std::string_view message);
+Status PermissionDeniedError(std::string_view message);
+Status ConflictError(std::string_view message);
+Status VerificationFailedError(std::string_view message);
+Status InternalError(std::string_view message);
+
+// A value of type T or an error Status. `value()` must only be called when
+// `ok()`; this is checked with assert in debug builds.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit, so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = InternalError("Result constructed from OK status without value");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace udc
+
+// Propagates a non-OK Status from an expression, mirroring absl's macro.
+#define UDC_RETURN_IF_ERROR(expr)             \
+  do {                                        \
+    ::udc::Status udc_status_ = (expr);       \
+    if (!udc_status_.ok()) {                  \
+      return udc_status_;                     \
+    }                                         \
+  } while (false)
+
+// Assigns the value of a Result expression to `lhs`, or returns its error.
+#define UDC_ASSIGN_OR_RETURN(lhs, expr)       \
+  UDC_ASSIGN_OR_RETURN_IMPL(                  \
+      UDC_STATUS_CONCAT_(udc_result_, __LINE__), lhs, expr)
+
+#define UDC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) {                                \
+    return tmp.status();                          \
+  }                                               \
+  lhs = std::move(tmp).value()
+
+#define UDC_STATUS_CONCAT_INNER_(a, b) a##b
+#define UDC_STATUS_CONCAT_(a, b) UDC_STATUS_CONCAT_INNER_(a, b)
+
+#endif  // UDC_SRC_COMMON_STATUS_H_

@@ -1,0 +1,40 @@
+// Small string utilities used by the spec parsers and report printers.
+
+#ifndef UDC_SRC_COMMON_STRINGS_H_
+#define UDC_SRC_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace udc {
+
+// Splits on `sep`, keeping empty fields.
+std::vector<std::string_view> SplitString(std::string_view s, char sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+// Case-sensitive prefix / suffix tests.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// ASCII lowercase copy.
+std::string ToLowerAscii(std::string_view s);
+
+// Joins with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+// Parses a non-negative integer; returns false on any non-digit or overflow.
+bool ParseUint64(std::string_view s, uint64_t* out);
+
+// Parses a double via strtod over the full string.
+bool ParseDouble(std::string_view s, double* out);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace udc
+
+#endif  // UDC_SRC_COMMON_STRINGS_H_

@@ -1,0 +1,56 @@
+#include "src/common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace udc {
+
+std::string SimTime::ToString() const {
+  char buf[64];
+  const double us = static_cast<double>(micros_);
+  if (micros_ < 1000) {
+    std::snprintf(buf, sizeof(buf), "%ldus", static_cast<long>(micros_));
+  } else if (micros_ < 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.3gms", us / 1e3);
+  } else if (micros_ < 60LL * 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.4gs", us / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4gmin", us / 60e6);
+  }
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << t.ToString();
+}
+
+std::string Money::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "$%.4f", dollars());
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Money m) {
+  return os << m.ToString();
+}
+
+std::string Bytes::ToString() const {
+  char buf[64];
+  const double b = static_cast<double>(bytes_);
+  if (bytes_ < 1024) {
+    std::snprintf(buf, sizeof(buf), "%ldB", static_cast<long>(bytes_));
+  } else if (bytes_ < 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.4gKiB", b / 1024.0);
+  } else if (bytes_ < 1024LL * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.4gMiB", b / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4gGiB", b / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Bytes b) {
+  return os << b.ToString();
+}
+
+}  // namespace udc

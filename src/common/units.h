@@ -1,0 +1,139 @@
+// Units used throughout the simulator.
+//
+// Simulated time is an integer count of microseconds (SimTime). Money is an
+// integer count of micro-dollars (Money) so that per-100ms serverless billing
+// and fractional-cent unit prices never lose precision. Data sizes are bytes.
+
+#ifndef UDC_SRC_COMMON_UNITS_H_
+#define UDC_SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace udc {
+
+// ---------------------------------------------------------------------------
+// Time
+// ---------------------------------------------------------------------------
+
+// A point or span on the simulated clock, in microseconds.
+class SimTime {
+ public:
+  constexpr SimTime() : micros_(0) {}
+  constexpr explicit SimTime(int64_t micros) : micros_(micros) {}
+
+  static constexpr SimTime Micros(int64_t v) { return SimTime(v); }
+  static constexpr SimTime Millis(int64_t v) { return SimTime(v * 1000); }
+  static constexpr SimTime Seconds(int64_t v) { return SimTime(v * 1000000); }
+  static constexpr SimTime Minutes(int64_t v) { return Seconds(v * 60); }
+  static constexpr SimTime Hours(int64_t v) { return Seconds(v * 3600); }
+  static constexpr SimTime Max() { return SimTime(INT64_MAX); }
+
+  constexpr int64_t micros() const { return micros_; }
+  constexpr double millis() const { return static_cast<double>(micros_) / 1e3; }
+  constexpr double seconds() const { return static_cast<double>(micros_) / 1e6; }
+  constexpr double hours() const { return seconds() / 3600.0; }
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime(micros_ + o.micros_); }
+  constexpr SimTime operator-(SimTime o) const { return SimTime(micros_ - o.micros_); }
+  constexpr SimTime operator*(int64_t k) const { return SimTime(micros_ * k); }
+  constexpr SimTime operator/(int64_t k) const { return SimTime(micros_ / k); }
+  SimTime& operator+=(SimTime o) { micros_ += o.micros_; return *this; }
+  SimTime& operator-=(SimTime o) { micros_ -= o.micros_; return *this; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  // "12.5ms", "3.2s" — a compact human-readable rendering.
+  std::string ToString() const;
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t);
+
+ private:
+  int64_t micros_;
+};
+
+// Scales a time span by a double factor (used for overhead multipliers).
+inline SimTime Scale(SimTime t, double factor) {
+  return SimTime(static_cast<int64_t>(static_cast<double>(t.micros()) * factor));
+}
+
+// ---------------------------------------------------------------------------
+// Money
+// ---------------------------------------------------------------------------
+
+// Monetary amount in micro-dollars (1e-6 USD).
+class Money {
+ public:
+  constexpr Money() : micro_usd_(0) {}
+  constexpr explicit Money(int64_t micro_usd) : micro_usd_(micro_usd) {}
+
+  static constexpr Money MicroUsd(int64_t v) { return Money(v); }
+  static constexpr Money Cents(int64_t v) { return Money(v * 10000); }
+  static constexpr Money Dollars(int64_t v) { return Money(v * 1000000); }
+  static Money FromDollars(double usd) {
+    return Money(static_cast<int64_t>(usd * 1e6 + (usd >= 0 ? 0.5 : -0.5)));
+  }
+
+  constexpr int64_t micro_usd() const { return micro_usd_; }
+  constexpr double dollars() const { return static_cast<double>(micro_usd_) / 1e6; }
+
+  constexpr Money operator+(Money o) const { return Money(micro_usd_ + o.micro_usd_); }
+  constexpr Money operator-(Money o) const { return Money(micro_usd_ - o.micro_usd_); }
+  Money& operator+=(Money o) { micro_usd_ += o.micro_usd_; return *this; }
+  Money& operator-=(Money o) { micro_usd_ -= o.micro_usd_; return *this; }
+
+  constexpr auto operator<=>(const Money&) const = default;
+
+  // "$1.2345" with 4 decimal places.
+  std::string ToString() const;
+
+  friend std::ostream& operator<<(std::ostream& os, Money m);
+
+ private:
+  int64_t micro_usd_;
+};
+
+// Scales a monetary amount by a double factor (price multipliers).
+inline Money Scale(Money m, double factor) {
+  return Money(static_cast<int64_t>(static_cast<double>(m.micro_usd()) * factor));
+}
+
+// ---------------------------------------------------------------------------
+// Data size
+// ---------------------------------------------------------------------------
+
+// Data size in bytes with convenience constructors.
+class Bytes {
+ public:
+  constexpr Bytes() : bytes_(0) {}
+  constexpr explicit Bytes(int64_t bytes) : bytes_(bytes) {}
+
+  static constexpr Bytes B(int64_t v) { return Bytes(v); }
+  static constexpr Bytes KiB(int64_t v) { return Bytes(v * 1024); }
+  static constexpr Bytes MiB(int64_t v) { return Bytes(v * 1024 * 1024); }
+  static constexpr Bytes GiB(int64_t v) { return Bytes(v * 1024 * 1024 * 1024); }
+
+  constexpr int64_t bytes() const { return bytes_; }
+  constexpr double mib() const { return static_cast<double>(bytes_) / (1024.0 * 1024.0); }
+  constexpr double gib() const { return mib() / 1024.0; }
+
+  constexpr Bytes operator+(Bytes o) const { return Bytes(bytes_ + o.bytes_); }
+  constexpr Bytes operator-(Bytes o) const { return Bytes(bytes_ - o.bytes_); }
+  Bytes& operator+=(Bytes o) { bytes_ += o.bytes_; return *this; }
+  Bytes& operator-=(Bytes o) { bytes_ -= o.bytes_; return *this; }
+
+  constexpr auto operator<=>(const Bytes&) const = default;
+
+  // "512MiB", "1.5GiB".
+  std::string ToString() const;
+
+  friend std::ostream& operator<<(std::ostream& os, Bytes b);
+
+ private:
+  int64_t bytes_;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_COMMON_UNITS_H_

@@ -1,0 +1,185 @@
+#include "src/core/actor_executor.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+namespace {
+
+// Messages carry only the invocation id; the transfer and read/write costs
+// are pre-charged inside each module's service time so that one unloaded
+// invocation through the actor path matches the analytic DagRuntime to the
+// microsecond, while contention emerges from the actors' queues.
+constexpr Bytes kControlMessageSize = Bytes(0);
+
+}  // namespace
+
+ActorExecutor::ActorExecutor(Simulation* sim, Deployment* deployment,
+                             RuntimeConfig config)
+    : sim_(sim), deployment_(deployment),
+      analytic_(sim, deployment, config),
+      actors_(sim, &deployment->datacenter()->topology()) {
+  const ModuleGraph& graph = deployment_->spec().graph;
+  for (const ModuleId task : graph.TaskIds()) {
+    // Service time: everything the analytic model charges a stage.
+    const auto stage = analytic_.ComputeStage(task);
+    service_time_[task] = stage.ok() ? stage->input_time +
+                                           stage->compute_time +
+                                           stage->output_time
+                                     : SimTime::Millis(1);
+    // Upstream tasks: direct task predecessors plus writers of the data
+    // modules this task reads (the same relation the downstream wiring
+    // uses, so triggers and joins are symmetric).
+    int task_preds = 0;
+    for (const ModuleId pred : graph.Predecessors(task)) {
+      if (graph.Find(pred)->kind == ModuleKind::kTask) {
+        ++task_preds;
+      } else {
+        for (const ModuleId writer : graph.Predecessors(pred)) {
+          if (graph.Find(writer)->kind == ModuleKind::kTask) {
+            ++task_preds;
+          }
+        }
+      }
+    }
+    input_degree_[task] = std::max(task_preds, 1);  // sources need 1 trigger
+    if (task_preds == 0) {
+      sources_.push_back(task);
+    }
+    bool has_task_succ = false;
+    for (const ModuleId succ : graph.Successors(task)) {
+      if (graph.Find(succ)->kind == ModuleKind::kTask) {
+        has_task_succ = true;
+      }
+      // task -> data -> task chains count as successors too.
+      if (graph.Find(succ)->kind == ModuleKind::kData) {
+        for (const ModuleId reader : graph.Successors(succ)) {
+          if (graph.Find(reader)->kind == ModuleKind::kTask) {
+            has_task_succ = true;
+          }
+        }
+      }
+    }
+    if (!has_task_succ) {
+      sinks_.push_back(task);
+    }
+    WireModule(task);
+  }
+}
+
+ActorId ActorExecutor::ActorOf(ModuleId module) const {
+  const auto it = actor_of_.find(module);
+  return it == actor_of_.end() ? ActorId::Invalid() : it->second;
+}
+
+void ActorExecutor::WireModule(ModuleId module) {
+  const Placement* placement = deployment_->PlacementOf(module);
+  const NodeId node = placement != nullptr ? placement->home : NodeId(0);
+  const ModuleGraph& graph = deployment_->spec().graph;
+
+  // Downstream task modules (direct, or via a data module they write).
+  std::vector<ModuleId> downstream;
+  for (const ModuleId succ : graph.Successors(module)) {
+    if (graph.Find(succ)->kind == ModuleKind::kTask) {
+      downstream.push_back(succ);
+    } else {
+      for (const ModuleId reader : graph.Successors(succ)) {
+        if (graph.Find(reader)->kind == ModuleKind::kTask) {
+          downstream.push_back(reader);
+        }
+      }
+    }
+  }
+  const bool is_sink =
+      std::find(sinks_.begin(), sinks_.end(), module) != sinks_.end();
+
+  const ActorId actor = actors_.Spawn(
+      node,
+      [this, module, downstream, is_sink](ActorContext& ctx,
+                                          const ActorMessage& msg) {
+        uint64_t invocation = 0;
+        if (!ParseUint64(msg.payload, &invocation)) {
+          return;
+        }
+        auto it = pending_.find(invocation);
+        if (it == pending_.end()) {
+          return;  // invocation already completed (e.g. a recovery replay)
+        }
+        int& remaining =
+            it->second.remaining_inputs.try_emplace(module,
+                                                    input_degree_[module])
+                .first->second;
+        if (--remaining > 0) {
+          return;  // waiting for the join (e.g. A4 needs A2 and A3)
+        }
+        const SimTime service = service_time_[module];
+        ctx.Work(service);  // later messages queue behind this invocation
+        sim_->After(service, [this, module, downstream, is_sink, invocation] {
+          for (const ModuleId next : downstream) {
+            const auto next_actor = actor_of_.find(next);
+            if (next_actor != actor_of_.end()) {
+              actors_.Send(actor_of_[module], next_actor->second, "inv",
+                           StrFormat("%llu", static_cast<unsigned long long>(
+                                                 invocation)),
+                           kControlMessageSize);
+            }
+          }
+          if (is_sink) {
+            OnSinkComplete(InvocationId(invocation));
+          }
+        });
+      });
+  actor_of_[module] = actor;
+}
+
+InvocationId ActorExecutor::Submit(
+    std::function<void(const InvocationResult&)> done) {
+  const InvocationId id = invocation_ids_.Next();
+  PendingInvocation pending;
+  pending.submitted_at = sim_->now();
+  pending.done = std::move(done);
+  pending.sinks_remaining = static_cast<int>(sinks_.size());
+  pending_[id.value()] = std::move(pending);
+  for (const ModuleId source : sources_) {
+    actors_.Inject(actor_of_[source], "inv",
+                   StrFormat("%llu", static_cast<unsigned long long>(id.value())),
+                   kControlMessageSize);
+  }
+  return id;
+}
+
+void ActorExecutor::OnSinkComplete(InvocationId invocation) {
+  const auto it = pending_.find(invocation.value());
+  if (it == pending_.end()) {
+    return;
+  }
+  if (--it->second.sinks_remaining > 0) {
+    return;
+  }
+  InvocationResult result;
+  result.id = invocation;
+  result.submitted_at = it->second.submitted_at;
+  result.completed_at = sim_->now();
+  auto done = std::move(it->second.done);
+  pending_.erase(it);
+  ++completed_;
+  sim_->metrics().IncrementCounter("actor_exec.completed");
+  if (done) {
+    done(result);
+  }
+}
+
+Result<size_t> ActorExecutor::CrashAndRecover(ModuleId module) {
+  const auto it = actor_of_.find(module);
+  if (it == actor_of_.end()) {
+    return Status(NotFoundError("module has no actor"));
+  }
+  UDC_RETURN_IF_ERROR(actors_.Kill(it->second));
+  const Placement* placement = deployment_->PlacementOf(module);
+  return actors_.Recover(it->second,
+                         placement != nullptr ? placement->home : NodeId(0));
+}
+
+}  // namespace udc

@@ -1,0 +1,83 @@
+// Actor-based execution mode (paper sec. 3.1).
+//
+// The analytic DagRuntime computes one invocation's timing in closed form;
+// ActorExecutor instead *runs* the application: every task module becomes
+// an actor at its placed node, invocations flow through the DAG as
+// messages, and concurrent invocations queue at busy modules — giving the
+// queueing behaviour, message logs, and fast actor recovery the paper's
+// actor-framework proposal promises. Both modes share the same deployment,
+// so tests can cross-check them.
+
+#ifndef UDC_SRC_CORE_ACTOR_EXECUTOR_H_
+#define UDC_SRC_CORE_ACTOR_EXECUTOR_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/actor/actor_system.h"
+#include "src/core/deployment.h"
+#include "src/core/runtime.h"
+
+namespace udc {
+
+struct InvocationResult {
+  InvocationId id;
+  SimTime submitted_at;
+  SimTime completed_at;
+  SimTime latency() const { return completed_at - submitted_at; }
+};
+
+class ActorExecutor {
+ public:
+  // Spawns one actor per task module at its placement's node. The per-stage
+  // service times come from the analytic model (compute + crypto), so both
+  // execution modes agree on a single unloaded invocation.
+  ActorExecutor(Simulation* sim, Deployment* deployment,
+                RuntimeConfig config = RuntimeConfig());
+
+  ActorExecutor(const ActorExecutor&) = delete;
+  ActorExecutor& operator=(const ActorExecutor&) = delete;
+
+  // Submits one invocation at the current simulated time; `done` fires when
+  // every sink module has processed it. Run the simulation to completion
+  // (or until idle) to drain.
+  InvocationId Submit(std::function<void(const InvocationResult&)> done);
+
+  ActorSystem& actors() { return actors_; }
+  ActorId ActorOf(ModuleId module) const;
+
+  // Kills the actor of `module` and recovers it at its current placement
+  // node, replaying its message log. In-flight invocations re-run.
+  Result<size_t> CrashAndRecover(ModuleId module);
+
+  uint64_t completed() const { return completed_; }
+
+ private:
+  struct PendingInvocation {
+    SimTime submitted_at;
+    std::function<void(const InvocationResult&)> done;
+    std::map<ModuleId, int> remaining_inputs;  // per module, inputs not yet seen
+    int sinks_remaining = 0;
+  };
+
+  void WireModule(ModuleId module);
+  void OnSinkComplete(InvocationId invocation);
+
+  Simulation* sim_;
+  Deployment* deployment_;
+  DagRuntime analytic_;
+  ActorSystem actors_;
+  IdGenerator<InvocationId> invocation_ids_;
+  std::map<ModuleId, ActorId> actor_of_;
+  std::map<ModuleId, SimTime> service_time_;     // compute incl. overheads
+  std::map<ModuleId, int> input_degree_;         // task-predecessor count
+  std::vector<ModuleId> sources_;                // tasks with no task preds
+  std::vector<ModuleId> sinks_;                  // tasks with no task succs
+  std::map<uint64_t, PendingInvocation> pending_;
+  uint64_t completed_ = 0;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_CORE_ACTOR_EXECUTOR_H_

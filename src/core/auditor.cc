@@ -1,0 +1,63 @@
+#include "src/core/auditor.h"
+
+#include <algorithm>
+
+namespace udc {
+
+ContinuousAuditor::ContinuousAuditor(Simulation* sim,
+                                     FulfillmentVerifier* verifier,
+                                     Deployment* deployment,
+                                     AuditorConfig config)
+    : sim_(sim), verifier_(verifier), deployment_(deployment), config_(config) {}
+
+std::vector<AuditFinding> ContinuousAuditor::RunRound() {
+  ++rounds_;
+  std::vector<ModuleId> modules = deployment_->spec().graph.ModuleIds();
+  if (config_.sample_per_round > 0 &&
+      static_cast<size_t>(config_.sample_per_round) < modules.size()) {
+    sim_->rng().Shuffle(modules);
+    modules.resize(static_cast<size_t>(config_.sample_per_round));
+  }
+  std::vector<AuditFinding> round_findings;
+  for (const ModuleId module : modules) {
+    ++modules_audited_;
+    auto verification = verifier_->VerifyModule(deployment_, module);
+    if (!verification.ok()) {
+      continue;  // module gone (being repaired); next round will see it
+    }
+    if (verification->AllChecksPassed()) {
+      continue;
+    }
+    AuditFinding finding;
+    finding.at = sim_->now();
+    finding.module = module;
+    finding.module_name = verification->name;
+    finding.detail = verification->detail;
+    findings_.push_back(finding);
+    round_findings.push_back(finding);
+    sim_->metrics().IncrementCounter("audit.violations");
+    if (on_violation_) {
+      on_violation_(finding);
+    }
+  }
+  sim_->metrics().IncrementCounter("audit.rounds");
+  return round_findings;
+}
+
+void ContinuousAuditor::ScheduleNext(SimTime horizon) {
+  if (sim_->now() + config_.period > horizon) {
+    return;
+  }
+  sim_->After(config_.period, [this, horizon] {
+    (void)RunRound();
+    ScheduleNext(horizon);
+  });
+}
+
+void ContinuousAuditor::Start(
+    SimTime horizon, std::function<void(const AuditFinding&)> on_violation) {
+  on_violation_ = std::move(on_violation);
+  ScheduleNext(horizon);
+}
+
+}  // namespace udc

@@ -1,0 +1,64 @@
+// Continuous fulfillment auditing.
+//
+// A one-shot verification (sec. 4) proves the deployment was correct at
+// deploy time; nothing stops a provider from downgrading an environment or
+// shrinking an allocation later. The auditor re-verifies a random sample of
+// modules on a period, keeps a drift log, and raises a callback on the
+// first violation — turning the paper's attestation primitive into a
+// monitoring loop.
+
+#ifndef UDC_SRC_CORE_AUDITOR_H_
+#define UDC_SRC_CORE_AUDITOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/core/verifier.h"
+
+namespace udc {
+
+struct AuditFinding {
+  SimTime at;
+  ModuleId module;
+  std::string module_name;
+  std::string detail;
+};
+
+struct AuditorConfig {
+  SimTime period = SimTime::Minutes(5);
+  // Modules sampled per round (all when 0).
+  int sample_per_round = 3;
+};
+
+class ContinuousAuditor {
+ public:
+  ContinuousAuditor(Simulation* sim, FulfillmentVerifier* verifier,
+                    Deployment* deployment, AuditorConfig config = {});
+
+  // Schedules rounds until `horizon`. `on_violation` fires per finding.
+  void Start(SimTime horizon,
+             std::function<void(const AuditFinding&)> on_violation = nullptr);
+
+  // Runs one audit round immediately; returns findings from this round.
+  std::vector<AuditFinding> RunRound();
+
+  int64_t rounds() const { return rounds_; }
+  int64_t modules_audited() const { return modules_audited_; }
+  const std::vector<AuditFinding>& findings() const { return findings_; }
+
+ private:
+  void ScheduleNext(SimTime horizon);
+
+  Simulation* sim_;
+  FulfillmentVerifier* verifier_;
+  Deployment* deployment_;
+  AuditorConfig config_;
+  std::function<void(const AuditFinding&)> on_violation_;
+  int64_t rounds_ = 0;
+  int64_t modules_audited_ = 0;
+  std::vector<AuditFinding> findings_;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_CORE_AUDITOR_H_

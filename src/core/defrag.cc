@@ -1,0 +1,86 @@
+#include "src/core/defrag.h"
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+Defragmenter::Defragmenter(Simulation* sim, Deployment* deployment)
+    : sim_(sim), deployment_(deployment) {}
+
+ResourcePool* Defragmenter::PoolOf(PoolId id) {
+  for (int i = 0; i < kNumDeviceKinds; ++i) {
+    ResourcePool& pool =
+        deployment_->datacenter()->pool(static_cast<DeviceKind>(i));
+    if (pool.id() == id) {
+      return &pool;
+    }
+  }
+  return nullptr;
+}
+
+FragmentationReport Defragmenter::Measure() const {
+  FragmentationReport report;
+  Deployment* deployment = deployment_;
+  for (ResourceUnit* unit : deployment->units()) {
+    for (const PoolAllocation& alloc : unit->allocations) {
+      ++report.allocations;
+      report.total_slices += static_cast<int64_t>(alloc.slices.size());
+      if (alloc.slices.size() > 1) {
+        ++report.fragmented;
+      }
+    }
+  }
+  return report;
+}
+
+Result<ConsolidationResult> Defragmenter::Consolidate() {
+  ConsolidationResult result;
+  for (ResourceUnit* unit : deployment_->units()) {
+    for (PoolAllocation& alloc : unit->allocations) {
+      if (alloc.slices.size() <= 1) {
+        continue;
+      }
+      ResourcePool* pool = PoolOf(alloc.pool);
+      if (pool == nullptr) {
+        continue;
+      }
+      const int64_t amount = alloc.total();
+      // Try a single-device home, avoiding the devices the allocation
+      // already occupies so the new slice does not race its own release.
+      AllocationConstraints constraints;
+      constraints.preferred_rack = unit->home_rack;
+      constraints.single_device = true;
+      for (const AllocationSlice& slice : alloc.slices) {
+        constraints.avoid.push_back(slice.device);
+      }
+      auto replacement = pool->Allocate(alloc.tenant, amount, constraints,
+                                        deployment_->datacenter()->topology());
+      if (!replacement.ok()) {
+        continue;  // no room; try again after churn
+      }
+      // Migration cost: move each old slice's bytes to the new home. For
+      // compute kinds the "bytes" are the working state (fixed charge).
+      const NodeId target = replacement->slices.front().node;
+      for (const AllocationSlice& slice : alloc.slices) {
+        const Bytes moved = IsComputeKind(alloc.kind)
+                                ? Bytes::MiB(64)  // context + working set
+                                : Bytes(slice.amount);
+        result.migration_time +=
+            deployment_->datacenter()->topology().TransferTime(slice.node,
+                                                               target, moved);
+      }
+      PoolAllocation old = alloc;
+      alloc = *std::move(replacement);
+      (void)pool->Release(old);
+      ++result.moves;
+      sim_->metrics().IncrementCounter("defrag.moves");
+      sim_->Trace("defrag",
+                  StrFormat("consolidated %lld %s onto one device",
+                            static_cast<long long>(amount),
+                            std::string(ResourceKindName(alloc.kind)).c_str()));
+    }
+  }
+  return result;
+}
+
+}  // namespace udc

@@ -1,0 +1,128 @@
+#include "src/core/deployment.h"
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+Deployment::Deployment(TenantId tenant, AppSpec spec,
+                       DisaggregatedDatacenter* datacenter, SimTime deployed_at)
+    : tenant_(tenant), spec_(std::move(spec)), datacenter_(datacenter),
+      deployed_at_(deployed_at) {}
+
+Deployment::~Deployment() { Teardown(); }
+
+ResourceUnit& Deployment::AddUnit(ResourceUnit unit) {
+  unit.id = unit_ids_.Next();
+  units_.push_back(std::make_unique<ResourceUnit>(std::move(unit)));
+  return *units_.back();
+}
+
+HighLevelObject& Deployment::AddObject(HighLevelObject object) {
+  object.id = object_ids_.Next();
+  objects_.push_back(std::move(object));
+  return objects_.back();
+}
+
+void Deployment::SetPlacement(Placement placement) {
+  placements_[placement.module] = std::move(placement);
+}
+
+void Deployment::AddStore(ModuleId data_module,
+                          std::unique_ptr<ReplicatedStore> store) {
+  stores_[data_module] = std::move(store);
+}
+
+const Placement* Deployment::PlacementOf(ModuleId module) const {
+  const auto it = placements_.find(module);
+  return it == placements_.end() ? nullptr : &it->second;
+}
+
+Placement* Deployment::MutablePlacementOf(ModuleId module) {
+  const auto it = placements_.find(module);
+  return it == placements_.end() ? nullptr : &it->second;
+}
+
+ResourceUnit* Deployment::FindUnit(ResourceUnitId id) {
+  for (auto& u : units_) {
+    if (u->id == id) {
+      return u.get();
+    }
+  }
+  return nullptr;
+}
+
+const ResourceUnit* Deployment::FindUnit(ResourceUnitId id) const {
+  for (const auto& u : units_) {
+    if (u->id == id) {
+      return u.get();
+    }
+  }
+  return nullptr;
+}
+
+ReplicatedStore* Deployment::StoreOf(ModuleId data_module) {
+  const auto it = stores_.find(data_module);
+  return it == stores_.end() ? nullptr : it->second.get();
+}
+
+std::vector<ResourceUnit*> Deployment::units() {
+  std::vector<ResourceUnit*> out;
+  out.reserve(units_.size());
+  for (auto& u : units_) {
+    out.push_back(u.get());
+  }
+  return out;
+}
+
+ResourceVector Deployment::TotalResources() const {
+  ResourceVector total;
+  for (const auto& u : units_) {
+    total += u->TotalResources();
+  }
+  return total;
+}
+
+ResourceVector Deployment::ResourcesOf(ModuleId module) const {
+  const Placement* placement = PlacementOf(module);
+  if (placement == nullptr) {
+    return ResourceVector();
+  }
+  const ResourceUnit* unit = FindUnit(placement->unit);
+  return unit == nullptr ? ResourceVector() : unit->TotalResources();
+}
+
+void Deployment::Teardown() {
+  if (torn_down_) {
+    return;
+  }
+  torn_down_ = true;
+  for (auto& unit : units_) {
+    for (PoolAllocation& alloc : unit->allocations) {
+      for (int i = 0; i < kNumDeviceKinds; ++i) {
+        ResourcePool& pool = datacenter_->pool(static_cast<DeviceKind>(i));
+        if (pool.id() == alloc.pool) {
+          (void)pool.Release(alloc);
+          break;
+        }
+      }
+    }
+    unit->allocations.clear();
+  }
+}
+
+std::string Deployment::DebugString() const {
+  std::string out =
+      StrFormat("deployment tenant=%llu app=%s: %zu objects, %zu units\n",
+                static_cast<unsigned long long>(tenant_.value()),
+                spec_.graph.app_name().c_str(), objects_.size(), units_.size());
+  for (const auto& [module, p] : placements_) {
+    out += StrFormat("  %-8s rack=%d home=%llu %s\n", p.name.c_str(), p.rack,
+                     static_cast<unsigned long long>(p.home.value()),
+                     p.kind == ModuleKind::kTask
+                         ? std::string(EnvKindName(p.env_kind)).c_str()
+                         : "data");
+  }
+  return out;
+}
+
+}  // namespace udc

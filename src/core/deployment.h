@@ -1,0 +1,102 @@
+// A deployed application: the realization of an AppSpec for one tenant.
+//
+// Holds the high-level objects, resource units, launched environments,
+// replicated data stores and consistency resolutions produced by the
+// scheduler, plus the bookkeeping needed to tear everything down and to
+// answer verification/billing queries.
+
+#ifndef UDC_SRC_CORE_DEPLOYMENT_H_
+#define UDC_SRC_CORE_DEPLOYMENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/aspects/spec_parser.h"
+#include "src/core/resource_unit.h"
+#include "src/dist/replication.h"
+#include "src/hw/datacenter.h"
+
+namespace udc {
+
+// Where one module landed.
+struct Placement {
+  ModuleId module;
+  std::string name;
+  ModuleKind kind = ModuleKind::kTask;
+  ResourceUnitId unit;
+  ObjectId object;
+  NodeId home;            // primary node (compute device / first replica)
+  int rack = -1;
+  // Tasks:
+  EnvKind env_kind = EnvKind::kContainer;
+  SimTime env_ready_at;
+  ResourceKind compute_kind = ResourceKind::kCpu;
+  // Data:
+  std::vector<NodeId> replica_nodes;
+  std::vector<DeviceId> replica_devices;
+  ResourceKind storage_medium = ResourceKind::kSsd;
+  ConsistencyLevel effective_consistency = ConsistencyLevel::kEventual;
+};
+
+class Deployment {
+ public:
+  Deployment(TenantId tenant, AppSpec spec, DisaggregatedDatacenter* datacenter,
+             SimTime deployed_at);
+  ~Deployment();
+
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+
+  TenantId tenant() const { return tenant_; }
+  const AppSpec& spec() const { return spec_; }
+  SimTime deployed_at() const { return deployed_at_; }
+  DisaggregatedDatacenter* datacenter() const { return datacenter_; }
+
+  // Mutators used by the scheduler while building the deployment.
+  ResourceUnit& AddUnit(ResourceUnit unit);
+  HighLevelObject& AddObject(HighLevelObject object);
+  void SetPlacement(Placement placement);
+  void AddStore(ModuleId data_module, std::unique_ptr<ReplicatedStore> store);
+
+  const Placement* PlacementOf(ModuleId module) const;
+  Placement* MutablePlacementOf(ModuleId module);
+  ResourceUnit* FindUnit(ResourceUnitId id);
+  const ResourceUnit* FindUnit(ResourceUnitId id) const;
+  ReplicatedStore* StoreOf(ModuleId data_module);
+
+  const std::vector<HighLevelObject>& objects() const { return objects_; }
+  const std::map<ModuleId, Placement>& placements() const { return placements_; }
+  std::vector<ResourceUnit*> units();
+
+  // Total resources held across all units.
+  ResourceVector TotalResources() const;
+  // Resources held for one module.
+  ResourceVector ResourcesOf(ModuleId module) const;
+
+  // Releases every pool allocation. Idempotent. Called by the destructor.
+  void Teardown();
+  bool torn_down() const { return torn_down_; }
+
+  std::string DebugString() const;
+
+ private:
+  TenantId tenant_;
+  AppSpec spec_;
+  DisaggregatedDatacenter* datacenter_;
+  SimTime deployed_at_;
+  IdGenerator<ResourceUnitId> unit_ids_;
+  IdGenerator<ObjectId> object_ids_;
+  std::vector<std::unique_ptr<ResourceUnit>> units_;
+  std::vector<HighLevelObject> objects_;
+  std::map<ModuleId, Placement> placements_;
+  std::map<ModuleId, std::unique_ptr<ReplicatedStore>> stores_;
+  bool torn_down_ = false;
+
+  friend class UdcScheduler;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_CORE_DEPLOYMENT_H_

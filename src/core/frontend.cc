@@ -1,0 +1,169 @@
+#include "src/core/frontend.h"
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+namespace {
+
+// Request payloads lead with "tenant=<id>\n"; deploy carries the udcl text
+// after that line, the others carry "id=<deployment>".
+bool ParseHeader(std::string_view payload, uint64_t* tenant,
+                 std::string_view* rest) {
+  const size_t newline = payload.find('\n');
+  const std::string_view first =
+      newline == std::string_view::npos ? payload : payload.substr(0, newline);
+  if (!StartsWith(first, "tenant=")) {
+    return false;
+  }
+  if (!ParseUint64(first.substr(7), tenant)) {
+    return false;
+  }
+  *rest = newline == std::string_view::npos ? std::string_view()
+                                            : payload.substr(newline + 1);
+  return true;
+}
+
+bool ParseDeploymentId(std::string_view rest, uint64_t* id) {
+  const std::string_view trimmed = TrimWhitespace(rest);
+  if (!StartsWith(trimmed, "id=")) {
+    return false;
+  }
+  return ParseUint64(trimmed.substr(3), id);
+}
+
+}  // namespace
+
+CloudFrontend::CloudFrontend(UdcCloud* cloud, NodeId node)
+    : cloud_(cloud), endpoint_(cloud->sim(), &cloud->fabric(), node) {
+  endpoint_.Serve("deploy", [this](const Message& m) { return HandleDeploy(m); });
+  endpoint_.Serve("verify", [this](const Message& m) { return HandleVerify(m); });
+  endpoint_.Serve("bill", [this](const Message& m) { return HandleBill(m); });
+  endpoint_.Serve("teardown",
+                  [this](const Message& m) { return HandleTeardown(m); });
+}
+
+Deployment* CloudFrontend::FindDeployment(uint64_t id) {
+  const auto it = deployments_.find(id);
+  return it == deployments_.end() ? nullptr : it->second.get();
+}
+
+std::string CloudFrontend::HandleDeploy(const Message& msg) {
+  uint64_t tenant = 0;
+  std::string_view udcl;
+  if (!ParseHeader(msg.payload, &tenant, &udcl)) {
+    return "err:malformed request";
+  }
+  auto spec = ParseAppSpec(udcl);
+  if (!spec.ok()) {
+    return "err:" + spec.status().ToString();
+  }
+  auto deployment = cloud_->Deploy(TenantId(tenant), *spec);
+  if (!deployment.ok()) {
+    return "err:" + deployment.status().ToString();
+  }
+  const uint64_t id = next_id_++;
+  deployments_[id] = std::move(*deployment);
+  owners_[id] = TenantId(tenant);
+  cloud_->sim()->metrics().IncrementCounter("frontend.deploys");
+  return StrFormat("ok:%llu", static_cast<unsigned long long>(id));
+}
+
+std::string CloudFrontend::HandleVerify(const Message& msg) {
+  uint64_t tenant = 0;
+  std::string_view rest;
+  uint64_t id = 0;
+  if (!ParseHeader(msg.payload, &tenant, &rest) ||
+      !ParseDeploymentId(rest, &id)) {
+    return "err:malformed request";
+  }
+  const auto owner = owners_.find(id);
+  if (owner == owners_.end() || owner->second != TenantId(tenant)) {
+    return "err:PERMISSION_DENIED: not your deployment";
+  }
+  Deployment* deployment = FindDeployment(id);
+  auto report = cloud_->Verify(deployment);
+  if (!report.ok()) {
+    return "err:" + report.status().ToString();
+  }
+  return "ok:" + report->Table();
+}
+
+std::string CloudFrontend::HandleBill(const Message& msg) {
+  uint64_t tenant = 0;
+  std::string_view rest;
+  uint64_t id = 0;
+  if (!ParseHeader(msg.payload, &tenant, &rest) ||
+      !ParseDeploymentId(rest, &id)) {
+    return "err:malformed request";
+  }
+  const auto owner = owners_.find(id);
+  if (owner == owners_.end() || owner->second != TenantId(tenant)) {
+    return "err:PERMISSION_DENIED: not your deployment";
+  }
+  const Bill bill = cloud_->billing().BillToNow(*FindDeployment(id));
+  return "ok:" + bill.Table();
+}
+
+std::string CloudFrontend::HandleTeardown(const Message& msg) {
+  uint64_t tenant = 0;
+  std::string_view rest;
+  uint64_t id = 0;
+  if (!ParseHeader(msg.payload, &tenant, &rest) ||
+      !ParseDeploymentId(rest, &id)) {
+    return "err:malformed request";
+  }
+  const auto owner = owners_.find(id);
+  if (owner == owners_.end() || owner->second != TenantId(tenant)) {
+    return "err:PERMISSION_DENIED: not your deployment";
+  }
+  deployments_.erase(id);  // destructor releases every allocation
+  owners_.erase(id);
+  return "ok:released";
+}
+
+TenantClient::TenantClient(Simulation* sim, Fabric* fabric, NodeId node,
+                           NodeId frontend, TenantId tenant)
+    : endpoint_(sim, fabric, node), frontend_(frontend), tenant_(tenant) {}
+
+void TenantClient::Deploy(const std::string& udcl_text,
+                          std::function<void(Result<std::string>)> done) {
+  const std::string payload =
+      StrFormat("tenant=%llu\n", static_cast<unsigned long long>(tenant_.value())) +
+      udcl_text;
+  endpoint_.Call(frontend_, "deploy", payload,
+                 Bytes(static_cast<int64_t>(payload.size())), Bytes::KiB(1),
+                 SimTime::Seconds(5), std::move(done));
+}
+
+void TenantClient::Verify(uint64_t deployment_id,
+                          std::function<void(Result<std::string>)> done) {
+  endpoint_.Call(frontend_, "verify",
+                 StrFormat("tenant=%llu\nid=%llu",
+                           static_cast<unsigned long long>(tenant_.value()),
+                           static_cast<unsigned long long>(deployment_id)),
+                 Bytes::B(64), Bytes::KiB(4), SimTime::Seconds(5),
+                 std::move(done));
+}
+
+void TenantClient::Bill(uint64_t deployment_id,
+                        std::function<void(Result<std::string>)> done) {
+  endpoint_.Call(frontend_, "bill",
+                 StrFormat("tenant=%llu\nid=%llu",
+                           static_cast<unsigned long long>(tenant_.value()),
+                           static_cast<unsigned long long>(deployment_id)),
+                 Bytes::B(64), Bytes::KiB(4), SimTime::Seconds(5),
+                 std::move(done));
+}
+
+void TenantClient::Teardown(uint64_t deployment_id,
+                            std::function<void(Result<std::string>)> done) {
+  endpoint_.Call(frontend_, "teardown",
+                 StrFormat("tenant=%llu\nid=%llu",
+                           static_cast<unsigned long long>(tenant_.value()),
+                           static_cast<unsigned long long>(deployment_id)),
+                 Bytes::B(64), Bytes::B(64), SimTime::Seconds(5),
+                 std::move(done));
+}
+
+}  // namespace udc

@@ -1,0 +1,72 @@
+// Provider frontend: the control plane as a networked service.
+//
+// Tenants do not link against the scheduler; they submit udcl text to the
+// provider's frontend endpoint over the fabric and drive their deployments
+// by id. This closes the loop on Figure 1's "cloud-managed" side: the same
+// RPC plane the paper's users would see.
+//
+//   methods: deploy (udcl text) -> deployment id
+//            verify:<id>        -> verification table
+//            bill:<id>          -> current bill table
+//            teardown:<id>      -> releases everything
+
+#ifndef UDC_SRC_CORE_FRONTEND_H_
+#define UDC_SRC_CORE_FRONTEND_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/core/udc_cloud.h"
+#include "src/net/rpc.h"
+
+namespace udc {
+
+class CloudFrontend {
+ public:
+  // Binds the service to `node` on the cloud's fabric.
+  CloudFrontend(UdcCloud* cloud, NodeId node);
+
+  NodeId node() const { return endpoint_.node(); }
+  size_t live_deployments() const { return deployments_.size(); }
+
+  Deployment* FindDeployment(uint64_t id);
+
+ private:
+  std::string HandleDeploy(const Message& msg);
+  std::string HandleVerify(const Message& msg);
+  std::string HandleBill(const Message& msg);
+  std::string HandleTeardown(const Message& msg);
+
+  UdcCloud* cloud_;
+  RpcEndpoint endpoint_;
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, std::unique_ptr<Deployment>> deployments_;
+  std::map<uint64_t, TenantId> owners_;
+};
+
+// Tenant-side client: wraps the RPC calls.
+class TenantClient {
+ public:
+  TenantClient(Simulation* sim, Fabric* fabric, NodeId node, NodeId frontend,
+               TenantId tenant);
+
+  // Submits a spec; `done` receives "ok:<deployment-id>" or "err:<message>".
+  void Deploy(const std::string& udcl_text,
+              std::function<void(Result<std::string>)> done);
+  void Verify(uint64_t deployment_id,
+              std::function<void(Result<std::string>)> done);
+  void Bill(uint64_t deployment_id,
+            std::function<void(Result<std::string>)> done);
+  void Teardown(uint64_t deployment_id,
+                std::function<void(Result<std::string>)> done);
+
+ private:
+  RpcEndpoint endpoint_;
+  NodeId frontend_;
+  TenantId tenant_;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_CORE_FRONTEND_H_

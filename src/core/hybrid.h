@@ -1,0 +1,58 @@
+// Hybrid deployment (paper sec. 4, "Deployment to existing clouds"):
+// "Cloud providers could also partially adopt UDC, e.g., with a hybrid
+// cluster that contains both regular servers and disaggregated devices; by
+// combining the UDC service with existing cloud services."
+//
+// HybridDeployer tries the fine-grained UDC path first; when the pools
+// cannot satisfy a spec, it falls back to instance-shaped placement on the
+// attached server fleet — so an overloaded or partially-built UDC region
+// still serves every tenant, at instance economics.
+
+#ifndef UDC_SRC_CORE_HYBRID_H_
+#define UDC_SRC_CORE_HYBRID_H_
+
+#include <map>
+#include <memory>
+
+#include "src/baseline/iaas.h"
+#include "src/core/planner.h"
+#include "src/core/udc_cloud.h"
+
+namespace udc {
+
+enum class HybridPath {
+  kUdc,      // fine-grained disaggregated deployment
+  kIaas,     // instance-shaped fallback on the server fleet
+};
+
+struct HybridDeployment {
+  HybridPath path = HybridPath::kUdc;
+  // Exactly one of these is populated.
+  std::unique_ptr<Deployment> udc;
+  std::vector<IaasInstance> instances;  // one per module (fallback path)
+
+  // Hourly cost on whichever path was taken.
+  Money HourlyCost(const BillingEngine& billing, const IaasCloud& iaas) const;
+};
+
+class HybridDeployer {
+ public:
+  HybridDeployer(UdcCloud* cloud, IaasCloud* iaas);
+
+  // UDC first, IaaS on kResourceExhausted (other failures propagate —
+  // a malformed spec should not silently land on the fallback).
+  Result<HybridDeployment> Deploy(TenantId tenant, const AppSpec& spec);
+
+  int64_t udc_deploys() const { return udc_deploys_; }
+  int64_t iaas_fallbacks() const { return iaas_fallbacks_; }
+
+ private:
+  UdcCloud* cloud_;
+  IaasCloud* iaas_;
+  int64_t udc_deploys_ = 0;
+  int64_t iaas_fallbacks_ = 0;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_CORE_HYBRID_H_

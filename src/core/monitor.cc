@@ -1,0 +1,55 @@
+#include "src/core/monitor.h"
+
+#include <algorithm>
+
+namespace udc {
+
+UtilizationMonitor::UtilizationMonitor(Simulation* sim, AdaptiveTuner* tuner,
+                                       SimTime window)
+    : sim_(sim), tuner_(tuner), window_(window) {}
+
+void UtilizationMonitor::FlushModule(ModuleId module, ModuleWindow& w,
+                                     SimTime window_end) {
+  const SimTime span = window_end - w.window_start;
+  if (span <= SimTime(0)) {
+    return;
+  }
+  const double utilization =
+      std::min(4.0, w.busy.seconds() / span.seconds());
+  w.last_utilization = utilization;
+  w.window_start = window_end;
+  w.busy = SimTime(0);
+  ++windows_flushed_;
+  sim_->metrics().Observe("monitor.utilization", utilization);
+  if (tuner_ != nullptr) {
+    (void)tuner_->Observe(module, utilization);
+  }
+}
+
+void UtilizationMonitor::ReportBusy(ModuleId module, SimTime busy) {
+  auto [it, inserted] = state_.try_emplace(module);
+  ModuleWindow& w = it->second;
+  if (inserted) {
+    w.window_start = sim_->now();
+  }
+  // Close any windows that elapsed before this report.
+  while (sim_->now() - w.window_start >= window_) {
+    FlushModule(module, w, w.window_start + window_);
+  }
+  w.busy += busy;
+}
+
+void UtilizationMonitor::Flush() {
+  for (auto& [module, w] : state_) {
+    if (sim_->now() > w.window_start) {
+      FlushModule(module, w, sim_->now());
+    }
+  }
+}
+
+double UtilizationMonitor::LastUtilization(ModuleId module) const {
+  const auto it = state_.find(module);
+  return it == state_.end() ? 0.0 : it->second.last_utilization;
+}
+
+}  // namespace udc

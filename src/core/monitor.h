@@ -1,0 +1,55 @@
+// Windowed utilization monitoring: the telemetry half of the adaptive loop.
+//
+// Design Principle 1's runtime "collects the feedback and performs adaptive
+// optimizations". The monitor is the feedback collector: execution paths
+// report busy time per module, and at each window boundary the monitor
+// computes utilization, publishes it to the metrics registry, and feeds the
+// adaptive tuner. bench/adaptive_loop.cc shows the loop converging.
+
+#ifndef UDC_SRC_CORE_MONITOR_H_
+#define UDC_SRC_CORE_MONITOR_H_
+
+#include <map>
+
+#include "src/core/tuner.h"
+
+namespace udc {
+
+class UtilizationMonitor {
+ public:
+  // `tuner` may be null (observe-only mode, e.g. for dashboards).
+  UtilizationMonitor(Simulation* sim, AdaptiveTuner* tuner,
+                     SimTime window = SimTime::Minutes(15));
+
+  // Reports that `module` was busy for `busy` of simulated time ending now.
+  // Windows close lazily: the first report past a boundary flushes the
+  // previous window to the tuner.
+  void ReportBusy(ModuleId module, SimTime busy);
+
+  // Forces the current window of every module to flush (end of a run).
+  void Flush();
+
+  // Most recent completed-window utilization of `module` (0 if none).
+  double LastUtilization(ModuleId module) const;
+
+  int64_t windows_flushed() const { return windows_flushed_; }
+
+ private:
+  struct ModuleWindow {
+    SimTime window_start;
+    SimTime busy;
+    double last_utilization = 0.0;
+  };
+
+  void FlushModule(ModuleId module, ModuleWindow& w, SimTime window_end);
+
+  Simulation* sim_;
+  AdaptiveTuner* tuner_;
+  SimTime window_;
+  std::map<ModuleId, ModuleWindow> state_;
+  int64_t windows_flushed_ = 0;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_CORE_MONITOR_H_

@@ -1,0 +1,67 @@
+// Resource planning: turning a resource aspect into a concrete demand.
+//
+// Paper sec. 3.2: the developer names a set of possible hardware, then
+// "dry runs" on each candidate measure actual usage; "if users only provide
+// a performance/cost goal, then UDC will select resources based on load and
+// available hardware". DryRunProfiler estimates time and cost per candidate
+// using the device performance models; ResolveDemand picks per objective.
+
+#ifndef UDC_SRC_CORE_PLANNER_H_
+#define UDC_SRC_CORE_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/aspects/aspects.h"
+#include "src/hw/datacenter.h"
+#include "src/ir/module_graph.h"
+
+namespace udc {
+
+struct ProfileResult {
+  ResourceKind compute = ResourceKind::kCpu;
+  ResourceVector demand;     // full demand including memory
+  SimTime estimated_time;    // compute time of the module on this choice
+  Money estimated_cost;      // demand priced for the estimated time
+};
+
+class DryRunProfiler {
+ public:
+  DryRunProfiler(const DisaggregatedDatacenter* datacenter,
+                 const PriceList* prices);
+
+  // Profiles `module` on one compute kind, assuming one whole unit of that
+  // kind plus a working set sized from the module's IO.
+  Result<ProfileResult> ProfileOn(const Module& module,
+                                  ResourceKind compute) const;
+
+  // Profiles on every allowed compute kind (default: cpu, gpu, fpga).
+  std::vector<ProfileResult> ProfileAll(
+      const Module& module,
+      const std::vector<ResourceKind>& allowed_compute) const;
+
+ private:
+  const DisaggregatedDatacenter* datacenter_;
+  const PriceList* prices_;
+};
+
+// The fully-resolved demand for a module, after applying the objective and
+// (for undefined aspects) the provider defaults.
+struct ResolvedDemand {
+  ResourceVector demand;
+  // Storage medium selected for data modules.
+  ResourceKind storage_medium = ResourceKind::kSsd;
+  // The profile the decision came from (tasks only).
+  ProfileResult chosen_profile;
+};
+
+// Resolves a task or data module's resource aspect into concrete amounts.
+// Tasks get compute + dram; data modules get a storage medium sized to the
+// module. The profiler supplies fastest/cheapest decisions.
+Result<ResolvedDemand> ResolveDemand(const Module& module,
+                                     const ResourceAspect& aspect,
+                                     const DryRunProfiler& profiler);
+
+}  // namespace udc
+
+#endif  // UDC_SRC_CORE_PLANNER_H_

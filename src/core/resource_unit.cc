@@ -1,0 +1,22 @@
+#include "src/core/resource_unit.h"
+
+namespace udc {
+
+ResourceVector ResourceUnit::TotalResources() const {
+  ResourceVector total;
+  for (const PoolAllocation& alloc : allocations) {
+    total.Add(alloc.kind, alloc.total());
+  }
+  return total;
+}
+
+DeviceId ResourceUnit::PrimaryDevice(ResourceKind kind) const {
+  for (const PoolAllocation& alloc : allocations) {
+    if (alloc.kind == kind && !alloc.slices.empty()) {
+      return alloc.slices.front().device;
+    }
+  }
+  return DeviceId::Invalid();
+}
+
+}  // namespace udc

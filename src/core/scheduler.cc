@@ -1,0 +1,354 @@
+#include "src/core/scheduler.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace udc {
+
+namespace {
+
+DeviceKind DeviceKindFor(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kCpu:
+      return DeviceKind::kCpuBlade;
+    case ResourceKind::kGpu:
+      return DeviceKind::kGpuBoard;
+    case ResourceKind::kFpga:
+      return DeviceKind::kFpgaCard;
+    case ResourceKind::kDram:
+      return DeviceKind::kDramModule;
+    case ResourceKind::kNvm:
+      return DeviceKind::kNvmModule;
+    case ResourceKind::kSsd:
+      return DeviceKind::kSsdDrive;
+    case ResourceKind::kHdd:
+      return DeviceKind::kHddDrive;
+    case ResourceKind::kNetBw:
+      return DeviceKind::kCpuBlade;  // bandwidth is not a pooled device
+  }
+  return DeviceKind::kCpuBlade;
+}
+
+// The compute kind of a resolved task demand (largest compute component).
+ResourceKind DominantCompute(const ResourceVector& demand) {
+  if (demand.Get(ResourceKind::kGpu) > 0) {
+    return ResourceKind::kGpu;
+  }
+  if (demand.Get(ResourceKind::kFpga) > 0) {
+    return ResourceKind::kFpga;
+  }
+  return ResourceKind::kCpu;
+}
+
+}  // namespace
+
+UdcScheduler::UdcScheduler(Simulation* sim, DisaggregatedDatacenter* datacenter,
+                           Fabric* fabric, EnvManager* env_manager,
+                           AttestationService* attestation,
+                           const PriceList* prices, SchedulerConfig config)
+    : sim_(sim), datacenter_(datacenter), fabric_(fabric),
+      env_manager_(env_manager), attestation_(attestation), prices_(prices),
+      config_(config), profiler_(datacenter, prices) {}
+
+int UdcScheduler::PickRack(const AppSpec& spec, ModuleId module,
+                           const Deployment& deployment,
+                           ResourceKind dominant) const {
+  if (config_.use_locality_hints) {
+    for (const ModuleId partner : spec.graph.LocalityPartners(module)) {
+      const Placement* p = deployment.PlacementOf(partner);
+      if (p != nullptr && p->rack >= 0) {
+        return p->rack;
+      }
+    }
+    // Second-order locality: a placed DAG neighbour.
+    for (const ModuleId pred : spec.graph.Predecessors(module)) {
+      const Placement* p = deployment.PlacementOf(pred);
+      if (p != nullptr && p->rack >= 0) {
+        return p->rack;
+      }
+    }
+  }
+  // Most free capacity of the dominant resource.
+  const ResourcePool& pool = datacenter_->pool(DeviceKindFor(dominant));
+  std::vector<int64_t> free_per_rack(
+      static_cast<size_t>(datacenter_->topology().rack_count()), 0);
+  for (const Device* d : pool.devices()) {
+    const int rack = datacenter_->topology().RackOf(d->node());
+    if (rack >= 0 && d->healthy()) {
+      free_per_rack[static_cast<size_t>(rack)] += d->free_capacity();
+    }
+  }
+  int best = 0;
+  for (size_t r = 1; r < free_per_rack.size(); ++r) {
+    if (free_per_rack[r] > free_per_rack[static_cast<size_t>(best)]) {
+      best = static_cast<int>(r);
+    }
+  }
+  return best;
+}
+
+Status UdcScheduler::PlaceTask(TenantId tenant, const AppSpec& spec,
+                               ModuleId module, Deployment* deployment) {
+  const Module* m = spec.graph.Find(module);
+  const AspectSet aspects = spec.AspectsFor(module);
+
+  UDC_ASSIGN_OR_RETURN(ResolvedDemand resolved,
+                       ResolveDemand(*m, aspects.resource, profiler_));
+
+  const ResourceKind compute = DominantCompute(resolved.demand);
+  const int rack = PickRack(spec, module, *deployment, compute);
+  const bool single_tenant =
+      aspects.exec.tenancy == TenancyMode::kSingleTenant ||
+      aspects.exec.isolation >= IsolationLevel::kStrong;
+
+  ResourceUnit unit;
+  unit.tenant = tenant;
+  unit.home_rack = rack;
+  unit.shim.replication_factor = aspects.dist.replication_factor;
+  unit.shim.consistency = aspects.dist.consistency;
+  unit.shim.checkpoint_enabled = aspects.dist.checkpoint;
+
+  // Acquire each demand component from its pool; roll back on failure.
+  Status failure = OkStatus();
+  for (int i = 0; i < kNumResourceKinds && failure.ok(); ++i) {
+    const auto kind = static_cast<ResourceKind>(i);
+    const int64_t amount = resolved.demand.Get(kind);
+    if (amount == 0 || kind == ResourceKind::kNetBw) {
+      continue;
+    }
+    AllocationConstraints constraints;
+    constraints.preferred_rack = rack;
+    constraints.single_device = IsComputeKind(kind);
+    constraints.require_exclusive = single_tenant && IsComputeKind(kind);
+    ResourcePool& pool = datacenter_->pool(DeviceKindFor(kind));
+    auto alloc = pool.Allocate(tenant, amount, constraints,
+                               datacenter_->topology());
+    if (!alloc.ok()) {
+      failure = alloc.status();
+      break;
+    }
+    unit.allocations.push_back(*std::move(alloc));
+  }
+  if (!failure.ok()) {
+    for (PoolAllocation& alloc : unit.allocations) {
+      for (int i = 0; i < kNumDeviceKinds; ++i) {
+        ResourcePool& pool = datacenter_->pool(static_cast<DeviceKind>(i));
+        if (pool.id() == alloc.pool) {
+          (void)pool.Release(alloc);
+        }
+      }
+    }
+    return failure;
+  }
+
+  // Home node = the compute slice's device node.
+  NodeId home;
+  for (const PoolAllocation& alloc : unit.allocations) {
+    if (alloc.kind == compute && !alloc.slices.empty()) {
+      home = alloc.slices.front().node;
+      break;
+    }
+  }
+
+  // Pick and launch the execution environment.
+  EnvKind env_kind;
+  if (aspects.exec.explicit_env.has_value()) {
+    env_kind = *aspects.exec.explicit_env;
+  } else if (aspects.exec.tee_if_cpu && compute == ResourceKind::kCpu) {
+    env_kind = EnvKind::kTeeEnclave;
+  } else if (aspects.exec.defined) {
+    env_kind = ProviderChoiceFor(aspects.exec.isolation,
+                                 compute != ResourceKind::kCpu,
+                                 config_.tee_gpu_supported);
+  } else {
+    env_kind = EnvKind::kContainer;  // provider default
+  }
+
+  LaunchOptions options;
+  options.kind = env_kind;
+  options.tenancy = single_tenant ? TenancyMode::kSingleTenant
+                                  : aspects.exec.tenancy;
+  options.image = m->name;
+  ExecEnvironment* env =
+      env_manager_->Launch(tenant, home, options, /*on_ready=*/nullptr);
+
+  // Provision attestation identities for every device backing the unit and
+  // the environment's host node.
+  for (const PoolAllocation& alloc : unit.allocations) {
+    for (const AllocationSlice& slice : alloc.slices) {
+      attestation_->ProvisionDevice(slice.device.value());
+    }
+  }
+  attestation_->ProvisionDevice(home.value());
+
+  unit.env = env;
+  unit.home = home;
+  ResourceUnit& stored = deployment->AddUnit(std::move(unit));
+
+  HighLevelObject object;
+  object.module = module;
+  object.module_name = m->name;
+  object.aspects = aspects;
+  object.units.push_back(stored.id);
+  HighLevelObject& stored_object = deployment->AddObject(std::move(object));
+
+  Placement placement;
+  placement.module = module;
+  placement.name = m->name;
+  placement.kind = ModuleKind::kTask;
+  placement.unit = stored.id;
+  placement.object = stored_object.id;
+  placement.home = home;
+  placement.rack = rack;
+  placement.env_kind = env_kind;
+  placement.env_ready_at = env->ready_at();
+  placement.compute_kind = compute;
+  deployment->SetPlacement(std::move(placement));
+
+  sim_->metrics().IncrementCounter("core.tasks_placed");
+  sim_->Trace("sched", StrFormat("placed task %s rack=%d env=%s compute=%s",
+                                 m->name.c_str(), rack,
+                                 std::string(EnvKindName(env_kind)).c_str(),
+                                 std::string(ResourceKindName(compute)).c_str()));
+  return OkStatus();
+}
+
+Status UdcScheduler::PlaceData(TenantId tenant, const AppSpec& spec,
+                               ModuleId module, Deployment* deployment) {
+  const Module* m = spec.graph.Find(module);
+  const AspectSet aspects = spec.AspectsFor(module);
+
+  UDC_ASSIGN_OR_RETURN(ResolvedDemand resolved,
+                       ResolveDemand(*m, aspects.resource, profiler_));
+  const ResourceKind medium = resolved.storage_medium;
+  const int64_t size = resolved.demand.Get(medium);
+  const int replicas = std::max(1, aspects.dist.replication_factor);
+
+  // Resolve consistency against every accessor's dist aspect (sec. 3.4).
+  // Accessors participate only when they explicitly specified a level.
+  std::vector<ConsistencyLevel> levels;
+  levels.push_back(aspects.dist.defined && aspects.dist.consistency_specified
+                       ? aspects.dist.consistency
+                       : ConsistencyLevel::kEventual);
+  for (const ModuleId accessor : spec.graph.AccessorsOf(module)) {
+    const AspectSet accessor_aspects = spec.AspectsFor(accessor);
+    if (accessor_aspects.dist.defined &&
+        accessor_aspects.dist.consistency_specified) {
+      levels.push_back(accessor_aspects.dist.consistency);
+    }
+  }
+  UDC_ASSIGN_OR_RETURN(ConsistencyResolution resolution,
+                       ResolveConsistency(levels, config_.conflict_policy));
+  if (resolution.had_conflict) {
+    sim_->metrics().IncrementCounter("core.consistency_conflicts_resolved");
+  }
+
+  const int rack = PickRack(spec, module, *deployment, medium);
+
+  ResourceUnit unit;
+  unit.tenant = tenant;
+  unit.home_rack = rack;
+  unit.shim.replication_factor = replicas;
+  unit.shim.consistency = resolution.level;
+
+  // One single-device allocation per replica, on distinct devices.
+  std::vector<NodeId> replica_nodes;
+  std::vector<DeviceId> replica_devices;
+  AllocationConstraints constraints;
+  constraints.preferred_rack = rack;
+  constraints.single_device = true;
+  ResourcePool& pool = datacenter_->pool(DeviceKindFor(medium));
+  Status failure = OkStatus();
+  for (int r = 0; r < replicas; ++r) {
+    auto alloc = pool.Allocate(tenant, size, constraints,
+                               datacenter_->topology());
+    if (!alloc.ok()) {
+      failure = alloc.status();
+      break;
+    }
+    replica_nodes.push_back(alloc->slices.front().node);
+    replica_devices.push_back(alloc->slices.front().device);
+    constraints.avoid.push_back(alloc->slices.front().device);
+    unit.allocations.push_back(*std::move(alloc));
+  }
+  if (!failure.ok()) {
+    for (PoolAllocation& alloc : unit.allocations) {
+      (void)pool.Release(alloc);
+    }
+    return failure;
+  }
+
+  for (DeviceId device : replica_devices) {
+    attestation_->ProvisionDevice(device.value());
+  }
+
+  unit.home = replica_nodes.front();
+  ResourceUnit& stored = deployment->AddUnit(std::move(unit));
+
+  ReplicationConfig repl_config;
+  repl_config.replication_factor = replicas;
+  repl_config.protocol = config_.replication_protocol;
+  repl_config.consistency = resolution.level;
+  repl_config.preference = aspects.dist.preference;
+  deployment->AddStore(
+      module, std::make_unique<ReplicatedStore>(
+                  sim_, fabric_, &datacenter_->topology(), m->name,
+                  replica_nodes, repl_config, sequencer_));
+
+  HighLevelObject object;
+  object.module = module;
+  object.module_name = m->name;
+  object.aspects = aspects;
+  object.units.push_back(stored.id);
+  HighLevelObject& stored_object = deployment->AddObject(std::move(object));
+
+  Placement placement;
+  placement.module = module;
+  placement.name = m->name;
+  placement.kind = ModuleKind::kData;
+  placement.unit = stored.id;
+  placement.object = stored_object.id;
+  placement.home = replica_nodes.front();
+  placement.rack = rack;
+  placement.replica_nodes = std::move(replica_nodes);
+  placement.replica_devices = std::move(replica_devices);
+  placement.storage_medium = medium;
+  placement.effective_consistency = resolution.level;
+  deployment->SetPlacement(std::move(placement));
+
+  sim_->metrics().IncrementCounter("core.data_placed");
+  sim_->Trace("sched", StrFormat("placed data %s rack=%d replicas=%d medium=%s",
+                                 m->name.c_str(), rack, replicas,
+                                 std::string(ResourceKindName(medium)).c_str()));
+  return OkStatus();
+}
+
+Result<std::unique_ptr<Deployment>> UdcScheduler::Deploy(TenantId tenant,
+                                                         const AppSpec& spec) {
+  UDC_RETURN_IF_ERROR(spec.graph.Validate());
+  for (const auto& [module, aspects] : spec.aspects) {
+    UDC_RETURN_IF_ERROR(ValidateAspects(aspects));
+  }
+
+  auto deployment =
+      std::make_unique<Deployment>(tenant, spec, datacenter_, sim_->now());
+
+  // Data modules first (tasks want to land near their data), then tasks in
+  // topological order so DAG-neighbour locality can chain.
+  for (const ModuleId data : spec.graph.DataIds()) {
+    UDC_RETURN_IF_ERROR(PlaceData(tenant, spec, data, deployment.get()));
+  }
+  UDC_ASSIGN_OR_RETURN(const std::vector<ModuleId> topo, spec.graph.TopoOrder());
+  for (const ModuleId task : topo) {
+    UDC_RETURN_IF_ERROR(PlaceTask(tenant, spec, task, deployment.get()));
+  }
+
+  UDC_LOG(Info) << "deployed " << spec.graph.app_name() << " for tenant "
+                << tenant.value() << ": " << deployment->objects().size()
+                << " objects";
+  return deployment;
+}
+
+}  // namespace udc

@@ -1,0 +1,84 @@
+// The UDC runtime scheduler (paper sec. 3.2).
+//
+// "Our runtime scheduler would use the user-supplied resource aspect,
+// execution environment aspect, and locality information from the
+// application semantic aspect to decide the location(s) to execute a module
+// and initialize it with the resource amount as user specified."
+//
+// Deploy() walks the module DAG, resolves each module's demand through the
+// dry-run profiler, picks a rack with the locality hints, carves slices out
+// of the disaggregated pools, launches the execution environment the
+// exec-env aspect calls for, wires replicated stores for data modules, and
+// bundles everything into resource units + high-level objects.
+
+#ifndef UDC_SRC_CORE_SCHEDULER_H_
+#define UDC_SRC_CORE_SCHEDULER_H_
+
+#include <memory>
+
+#include "src/attest/attestation_service.h"
+#include "src/core/deployment.h"
+#include "src/core/planner.h"
+#include "src/exec/env_manager.h"
+#include "src/net/fabric.h"
+#include "src/net/switch_programs.h"
+
+namespace udc {
+
+struct SchedulerConfig {
+  // Ablation knob (bench E11): honour colocation/affinity hints.
+  bool use_locality_hints = true;
+  // Whether this deployment supports TEEs spanning GPUs/FPGAs (sec. 3.3
+  // names Graviton-style hardware support as one option).
+  bool tee_gpu_supported = false;
+  // How conflicting consistency specs are settled (sec. 3.4).
+  ConflictPolicy conflict_policy = ConflictPolicy::kStrictestWins;
+  // Replication protocol for data modules; kInNetwork uses the switch
+  // sequencer when available.
+  ReplicationProtocol replication_protocol = ReplicationProtocol::kPrimaryBackup;
+};
+
+class UdcScheduler {
+ public:
+  UdcScheduler(Simulation* sim, DisaggregatedDatacenter* datacenter,
+               Fabric* fabric, EnvManager* env_manager,
+               AttestationService* attestation, const PriceList* prices,
+               SchedulerConfig config = SchedulerConfig());
+
+  // Realizes `spec` for `tenant`. On success the deployment holds all
+  // resources; on failure everything partially acquired is rolled back.
+  Result<std::unique_ptr<Deployment>> Deploy(TenantId tenant,
+                                             const AppSpec& spec);
+
+  const SchedulerConfig& config() const { return config_; }
+  DryRunProfiler& profiler() { return profiler_; }
+
+  // Optional: attach a switch sequencer for in-network replication.
+  void SetSequencer(SwitchSequencer* sequencer) { sequencer_ = sequencer; }
+
+ private:
+  // Picks the rack for `module`: the rack of an already-placed locality
+  // partner when hints are on, else the rack with the most free capacity of
+  // the module's dominant resource.
+  int PickRack(const AppSpec& spec, ModuleId module,
+               const Deployment& deployment, ResourceKind dominant) const;
+
+  Status PlaceTask(TenantId tenant, const AppSpec& spec, ModuleId module,
+                   Deployment* deployment);
+  Status PlaceData(TenantId tenant, const AppSpec& spec, ModuleId module,
+                   Deployment* deployment);
+
+  Simulation* sim_;
+  DisaggregatedDatacenter* datacenter_;
+  Fabric* fabric_;
+  EnvManager* env_manager_;
+  AttestationService* attestation_;
+  const PriceList* prices_;
+  SchedulerConfig config_;
+  DryRunProfiler profiler_;
+  SwitchSequencer* sequencer_ = nullptr;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_CORE_SCHEDULER_H_

@@ -1,0 +1,44 @@
+#include "src/core/udc_cloud.h"
+
+namespace udc {
+
+UdcCloud::UdcCloud(const UdcCloudConfig& config)
+    : sim_(config.seed),
+      datacenter_(config.datacenter),
+      fabric_(&sim_, &datacenter_.topology()),
+      sequencer_(&sim_, &fabric_, datacenter_.topology().AggSwitch()),
+      env_manager_(&sim_),
+      vendor_root_(KeyFromString(config.vendor_key_seed)),
+      attestation_(&sim_, vendor_root_),
+      prices_(PriceList::DefaultOnDemand()),
+      scheduler_(&sim_, &datacenter_, &fabric_, &env_manager_, &attestation_,
+                 &prices_, config.scheduler),
+      billing_(&sim_, prices_, config.billing),
+      failure_injector_(&sim_),
+      verifier_(&sim_, vendor_root_, &attestation_) {
+  scheduler_.SetSequencer(&sequencer_);
+}
+
+TenantId UdcCloud::RegisterTenant(const std::string& name) {
+  tenant_names_.push_back(name);
+  return tenant_ids_.Next();
+}
+
+const std::string& UdcCloud::TenantName(TenantId id) const {
+  static const std::string kUnknown = "<unknown>";
+  if (id.value() >= tenant_names_.size()) {
+    return kUnknown;
+  }
+  return tenant_names_[id.value()];
+}
+
+Result<std::unique_ptr<Deployment>> UdcCloud::Deploy(TenantId tenant,
+                                                     const AppSpec& spec) {
+  return scheduler_.Deploy(tenant, spec);
+}
+
+Result<VerificationReport> UdcCloud::Verify(Deployment* deployment) {
+  return verifier_.VerifyDeployment(deployment);
+}
+
+}  // namespace udc

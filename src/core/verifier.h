@@ -1,0 +1,78 @@
+// User-side fulfillment verification (paper sec. 4).
+//
+// "UDC must enable users to verify that the cloud vendor is correctly
+// providing their selected features ... through comprehensive remote
+// attestation primitives ... by just trusting the hardware itself."
+//
+// The verifier holds only the vendor root key. For each module it checks:
+//   - environment: the quoted measurement/isolation/tenancy matches the
+//     exec-env aspect (only for user-verifiable isolation levels);
+//   - resources: the signed pool-ledger quotes sum to at least the resolved
+//     demand (the paper's open problem, solved with device-local ledgers);
+//   - replication: one valid replica quote per declared replica.
+
+#ifndef UDC_SRC_CORE_VERIFIER_H_
+#define UDC_SRC_CORE_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/attest/attestation_service.h"
+#include "src/core/deployment.h"
+
+namespace udc {
+
+struct ModuleVerification {
+  ModuleId module;
+  std::string name;
+  bool env_checked = false;     // false = not applicable (trust provider)
+  bool env_ok = false;
+  bool resources_checked = false;
+  bool resources_ok = false;
+  bool replication_checked = false;
+  bool replication_ok = false;
+  std::string detail;
+
+  bool AllChecksPassed() const {
+    return (!env_checked || env_ok) && (!resources_checked || resources_ok) &&
+           (!replication_checked || replication_ok);
+  }
+};
+
+struct VerificationReport {
+  std::vector<ModuleVerification> modules;
+  bool all_ok = true;
+
+  std::string Table() const;
+};
+
+class FulfillmentVerifier {
+ public:
+  // `vendor_root` is the hardware vendor's key — the user's only trust
+  // anchor. `attestation` plays the provider issuing quotes on request.
+  FulfillmentVerifier(Simulation* sim, const Key256& vendor_root,
+                      AttestationService* attestation);
+
+  // Verifies every module of the deployment against its aspects.
+  Result<VerificationReport> VerifyDeployment(Deployment* deployment);
+
+  // Individual checks (used by tests and by VerifyDeployment).
+  Result<ModuleVerification> VerifyModule(Deployment* deployment,
+                                          ModuleId module);
+
+ private:
+  Status CheckEnvironment(Deployment* deployment, const Placement& placement,
+                          const AspectSet& aspects);
+  Status CheckResources(Deployment* deployment, const Placement& placement,
+                        const AspectSet& aspects);
+  Status CheckReplication(Deployment* deployment, const Placement& placement,
+                          const AspectSet& aspects);
+
+  Simulation* sim_;
+  QuoteVerifier verifier_;
+  AttestationService* attestation_;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_CORE_VERIFIER_H_

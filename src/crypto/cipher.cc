@@ -1,0 +1,73 @@
+#include "src/crypto/cipher.h"
+
+#include <cstring>
+
+namespace udc {
+
+AeadCipher::AeadCipher(const Key256& key)
+    : enc_key_(DeriveKey(key, "udc-enc")), mac_key_(DeriveKey(key, "udc-mac")) {}
+
+std::vector<uint8_t> AeadCipher::Keystream(uint64_t nonce, size_t length) const {
+  std::vector<uint8_t> out(length);
+  uint64_t counter = 0;
+  size_t offset = 0;
+  while (offset < length) {
+    uint8_t block_input[48];
+    std::memcpy(block_input, enc_key_.data(), 32);
+    std::memcpy(block_input + 32, &nonce, 8);
+    std::memcpy(block_input + 40, &counter, 8);
+    const Sha256Digest block =
+        Sha256::Hash(std::span<const uint8_t>(block_input, sizeof(block_input)));
+    const size_t take = std::min(block.size(), length - offset);
+    std::memcpy(out.data() + offset, block.data(), take);
+    offset += take;
+    ++counter;
+  }
+  return out;
+}
+
+SealedBox AeadCipher::Seal(std::span<const uint8_t> plaintext,
+                           uint64_t nonce) const {
+  SealedBox box;
+  box.nonce = nonce;
+  box.ciphertext.resize(plaintext.size());
+  const std::vector<uint8_t> ks = Keystream(nonce, plaintext.size());
+  for (size_t i = 0; i < plaintext.size(); ++i) {
+    box.ciphertext[i] = plaintext[i] ^ ks[i];
+  }
+  std::vector<uint8_t> mac_input(8 + box.ciphertext.size());
+  std::memcpy(mac_input.data(), &nonce, 8);
+  std::memcpy(mac_input.data() + 8, box.ciphertext.data(),
+              box.ciphertext.size());
+  box.mac = HmacSha256(mac_key_, mac_input);
+  return box;
+}
+
+Result<std::vector<uint8_t>> AeadCipher::Open(const SealedBox& box) const {
+  std::vector<uint8_t> mac_input(8 + box.ciphertext.size());
+  std::memcpy(mac_input.data(), &box.nonce, 8);
+  std::memcpy(mac_input.data() + 8, box.ciphertext.data(),
+              box.ciphertext.size());
+  const Sha256Digest expected = HmacSha256(mac_key_, mac_input);
+  if (!DigestEqual(expected, box.mac)) {
+    return Status(
+        VerificationFailedError("AEAD integrity check failed (tamper?)"));
+  }
+  std::vector<uint8_t> plaintext(box.ciphertext.size());
+  const std::vector<uint8_t> ks = Keystream(box.nonce, box.ciphertext.size());
+  for (size_t i = 0; i < box.ciphertext.size(); ++i) {
+    plaintext[i] = box.ciphertext[i] ^ ks[i];
+  }
+  return plaintext;
+}
+
+bool ReplayGuard::Accept(uint64_t nonce) {
+  if (any_ && nonce <= last_) {
+    return false;
+  }
+  last_ = nonce;
+  any_ = true;
+  return true;
+}
+
+}  // namespace udc

@@ -1,0 +1,63 @@
+// Authenticated stream cipher for data-module confidentiality.
+//
+// SHA-256 in counter mode generates the keystream; an HMAC over the
+// ciphertext provides integrity; the nonce doubles as a replay-protection
+// sequence number. This construction is real enough to exercise every code
+// path the paper's "encryption & integrity protection & replay protection"
+// options require (Table 1, S1-S4), but it is NOT hardened cryptography —
+// do not reuse outside the simulator.
+
+#ifndef UDC_SRC_CRYPTO_CIPHER_H_
+#define UDC_SRC_CRYPTO_CIPHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/crypto/hmac.h"
+
+namespace udc {
+
+struct SealedBox {
+  uint64_t nonce = 0;                 // also the replay sequence number
+  std::vector<uint8_t> ciphertext;
+  Sha256Digest mac{};                 // HMAC(key_mac, nonce || ciphertext)
+};
+
+class AeadCipher {
+ public:
+  explicit AeadCipher(const Key256& key);
+
+  // Encrypts and authenticates. Nonces must be unique per key; the caller
+  // supplies them (the data-module layer uses a monotonic counter).
+  SealedBox Seal(std::span<const uint8_t> plaintext, uint64_t nonce) const;
+
+  // Verifies the MAC and decrypts. Fails on tamper or key mismatch.
+  Result<std::vector<uint8_t>> Open(const SealedBox& box) const;
+
+ private:
+  std::vector<uint8_t> Keystream(uint64_t nonce, size_t length) const;
+
+  Key256 enc_key_;
+  Key256 mac_key_;
+};
+
+// Replay guard: accepts each nonce at most once and only in increasing
+// order (per key/channel). Lightweight stand-in for TEE replay protection.
+class ReplayGuard {
+ public:
+  ReplayGuard() = default;
+
+  // Returns true and advances when `nonce` is fresh; false on replay.
+  bool Accept(uint64_t nonce);
+
+  uint64_t last_accepted() const { return last_; }
+
+ private:
+  uint64_t last_ = 0;
+  bool any_ = false;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_CRYPTO_CIPHER_H_

@@ -1,0 +1,48 @@
+#include "src/crypto/hmac.h"
+
+#include <cstring>
+
+namespace udc {
+
+Sha256Digest HmacSha256(const Key256& key, std::span<const uint8_t> data) {
+  uint8_t ipad[64];
+  uint8_t opad[64];
+  std::memset(ipad, 0x36, sizeof(ipad));
+  std::memset(opad, 0x5c, sizeof(opad));
+  for (size_t i = 0; i < key.size(); ++i) {
+    ipad[i] ^= key[i];
+    opad[i] ^= key[i];
+  }
+
+  Sha256 inner;
+  inner.Update(std::span<const uint8_t>(ipad, sizeof(ipad)));
+  inner.Update(data);
+  const Sha256Digest inner_digest = inner.Finalize();
+
+  Sha256 outer;
+  outer.Update(std::span<const uint8_t>(opad, sizeof(opad)));
+  outer.Update(std::span<const uint8_t>(inner_digest.data(), inner_digest.size()));
+  return outer.Finalize();
+}
+
+Sha256Digest HmacSha256(const Key256& key, std::string_view data) {
+  return HmacSha256(key, std::span<const uint8_t>(
+                             reinterpret_cast<const uint8_t*>(data.data()),
+                             data.size()));
+}
+
+Key256 DeriveKey(const Key256& parent, std::string_view label) {
+  const Sha256Digest d = HmacSha256(parent, label);
+  Key256 out;
+  std::memcpy(out.data(), d.data(), out.size());
+  return out;
+}
+
+Key256 KeyFromString(std::string_view seed) {
+  const Sha256Digest d = Sha256::Hash(seed);
+  Key256 out;
+  std::memcpy(out.data(), d.data(), out.size());
+  return out;
+}
+
+}  // namespace udc

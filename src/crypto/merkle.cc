@@ -1,0 +1,79 @@
+#include "src/crypto/merkle.h"
+
+#include <cstring>
+
+namespace udc {
+
+namespace {
+
+Sha256Digest HashPair(const Sha256Digest& a, const Sha256Digest& b) {
+  Sha256 h;
+  h.Update(std::span<const uint8_t>(a.data(), a.size()));
+  h.Update(std::span<const uint8_t>(b.data(), b.size()));
+  return h.Finalize();
+}
+
+}  // namespace
+
+MerkleTree::MerkleTree(std::vector<Sha256Digest> leaves) {
+  if (leaves.empty()) {
+    // Conventional empty root: hash of the empty string.
+    leaves.push_back(Sha256::Hash(std::string_view()));
+  }
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Sha256Digest> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (size_t i = 0; i < prev.size(); i += 2) {
+      const Sha256Digest& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
+      next.push_back(HashPair(prev[i], right));
+    }
+    levels_.push_back(std::move(next));
+  }
+}
+
+MerkleTree MerkleTree::FromChunks(
+    const std::vector<std::vector<uint8_t>>& chunks) {
+  std::vector<Sha256Digest> leaves;
+  leaves.reserve(chunks.size());
+  for (const auto& c : chunks) {
+    leaves.push_back(Sha256::Hash(std::span<const uint8_t>(c.data(), c.size())));
+  }
+  return MerkleTree(std::move(leaves));
+}
+
+const Sha256Digest& MerkleTree::root() const { return levels_.back()[0]; }
+
+Result<MerkleProof> MerkleTree::ProveLeaf(uint64_t index) const {
+  if (index >= levels_[0].size()) {
+    return Status(InvalidArgumentError("merkle leaf index out of range"));
+  }
+  MerkleProof proof;
+  proof.leaf_index = index;
+  size_t i = index;
+  for (size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const auto& nodes = levels_[level];
+    const size_t sibling = (i % 2 == 0) ? std::min(i + 1, nodes.size() - 1) : i - 1;
+    proof.siblings.push_back(nodes[sibling]);
+    i /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::VerifyProof(const Sha256Digest& root, const Sha256Digest& leaf,
+                             const MerkleProof& proof) {
+  Sha256Digest current = leaf;
+  uint64_t index = proof.leaf_index;
+  for (const auto& sibling : proof.siblings) {
+    if (index % 2 == 0) {
+      current = HashPair(current, sibling);
+    } else {
+      current = HashPair(sibling, current);
+    }
+    index /= 2;
+  }
+  return DigestEqual(current, root);
+}
+
+}  // namespace udc

@@ -1,0 +1,46 @@
+// Merkle tree over data-module chunks.
+//
+// Gives O(log n) integrity proofs so a user can verify a single chunk of a
+// replicated data module without fetching the whole thing — the mechanism
+// behind the "integrity protection" options of Table 1.
+
+#ifndef UDC_SRC_CRYPTO_MERKLE_H_
+#define UDC_SRC_CRYPTO_MERKLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/crypto/sha256.h"
+
+namespace udc {
+
+struct MerkleProof {
+  uint64_t leaf_index = 0;
+  std::vector<Sha256Digest> siblings;  // bottom-up sibling hashes
+};
+
+class MerkleTree {
+ public:
+  // Builds over leaf digests. Odd nodes are paired with themselves.
+  explicit MerkleTree(std::vector<Sha256Digest> leaves);
+
+  static MerkleTree FromChunks(const std::vector<std::vector<uint8_t>>& chunks);
+
+  const Sha256Digest& root() const;
+  size_t leaf_count() const { return levels_.empty() ? 0 : levels_[0].size(); }
+
+  Result<MerkleProof> ProveLeaf(uint64_t index) const;
+
+  // Verifies that `leaf` at `proof.leaf_index` is included under `root`.
+  static bool VerifyProof(const Sha256Digest& root, const Sha256Digest& leaf,
+                          const MerkleProof& proof);
+
+ private:
+  // levels_[0] = leaves, levels_.back() = {root}.
+  std::vector<std::vector<Sha256Digest>> levels_;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_CRYPTO_MERKLE_H_

@@ -1,0 +1,53 @@
+// SHA-256.
+//
+// A from-scratch, dependency-free implementation (FIPS 180-4). Used for
+// attestation measurements, Merkle trees, HMAC and key derivation. Verified
+// against the standard test vectors in tests/crypto_test.cc.
+
+#ifndef UDC_SRC_CRYPTO_SHA256_H_
+#define UDC_SRC_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace udc {
+
+using Sha256Digest = std::array<uint8_t, 32>;
+
+// Incremental hasher.
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(std::span<const uint8_t> data);
+  void Update(std::string_view data);
+
+  // Finalizes and returns the digest. The hasher must not be reused after.
+  Sha256Digest Finalize();
+
+  // One-shot convenience.
+  static Sha256Digest Hash(std::span<const uint8_t> data);
+  static Sha256Digest Hash(std::string_view data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_bytes_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+  bool finalized_;
+};
+
+// Lowercase hex rendering of a digest.
+std::string DigestToHex(const Sha256Digest& digest);
+
+// Constant-time-ish comparison (full scan regardless of mismatch position).
+bool DigestEqual(const Sha256Digest& a, const Sha256Digest& b);
+
+}  // namespace udc
+
+#endif  // UDC_SRC_CRYPTO_SHA256_H_

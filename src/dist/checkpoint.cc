@@ -1,0 +1,56 @@
+#include "src/dist/checkpoint.h"
+
+#include <span>
+
+namespace udc {
+
+CheckpointId CheckpointStore::Save(ModuleId module, SimTime now,
+                                   uint64_t progress,
+                                   std::vector<uint8_t> state) {
+  Checkpoint cp;
+  cp.id = ids_.Next();
+  cp.module = module;
+  cp.taken_at = now;
+  cp.progress = progress;
+  cp.digest = Sha256::Hash(std::span<const uint8_t>(state.data(), state.size()));
+  cp.state = std::move(state);
+  per_module_[module].push_back(std::move(cp));
+  return per_module_[module].back().id;
+}
+
+Result<Checkpoint> CheckpointStore::RestoreLatest(ModuleId module) const {
+  const auto it = per_module_.find(module);
+  if (it == per_module_.end() || it->second.empty()) {
+    return Status(NotFoundError("no checkpoint for module"));
+  }
+  const Checkpoint& latest = it->second.back();
+  const Sha256Digest digest = Sha256::Hash(
+      std::span<const uint8_t>(latest.state.data(), latest.state.size()));
+  if (!DigestEqual(digest, latest.digest)) {
+    return Status(VerificationFailedError("checkpoint integrity violated"));
+  }
+  return latest;
+}
+
+size_t CheckpointStore::CountFor(ModuleId module) const {
+  const auto it = per_module_.find(module);
+  return it == per_module_.end() ? 0 : it->second.size();
+}
+
+void CheckpointStore::Drop(ModuleId module) { per_module_.erase(module); }
+
+bool CheckpointStore::CorruptLatestForTest(ModuleId module) {
+  auto it = per_module_.find(module);
+  if (it == per_module_.end() || it->second.empty()) {
+    return false;
+  }
+  Checkpoint& latest = it->second.back();
+  if (latest.state.empty()) {
+    latest.state.push_back(0xFF);  // size change also breaks the digest
+  } else {
+    latest.state[0] ^= 0xFF;
+  }
+  return true;
+}
+
+}  // namespace udc

@@ -1,0 +1,61 @@
+// Checkpoint store for module state.
+//
+// Modules whose distributed aspect says "Checkpoint" (Table 1: A2-A4, B2)
+// periodically save state; on failure the runtime restores the newest
+// checkpoint instead of re-executing from scratch. Integrity of checkpoint
+// payloads is protected with SHA-256 so a tampered checkpoint is rejected
+// at restore time.
+
+#ifndef UDC_SRC_DIST_CHECKPOINT_H_
+#define UDC_SRC_DIST_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/crypto/sha256.h"
+
+namespace udc {
+
+struct Checkpoint {
+  CheckpointId id;
+  ModuleId module;
+  SimTime taken_at;
+  uint64_t progress = 0;          // application-defined progress marker
+  std::vector<uint8_t> state;
+  Sha256Digest digest{};
+};
+
+class CheckpointStore {
+ public:
+  CheckpointStore() = default;
+
+  // Saves a checkpoint; newer checkpoints shadow older ones per module.
+  CheckpointId Save(ModuleId module, SimTime now, uint64_t progress,
+                    std::vector<uint8_t> state);
+
+  // Latest checkpoint of `module`; verifies integrity before returning.
+  Result<Checkpoint> RestoreLatest(ModuleId module) const;
+
+  // Number of checkpoints held for `module`.
+  size_t CountFor(ModuleId module) const;
+
+  // Deletes all checkpoints of `module` (e.g. after successful completion).
+  void Drop(ModuleId module);
+
+  // Test hook: corrupts the newest checkpoint of `module` to exercise the
+  // integrity-rejection path. Returns false when none exists.
+  bool CorruptLatestForTest(ModuleId module);
+
+ private:
+  IdGenerator<CheckpointId> ids_;
+  std::map<ModuleId, std::vector<Checkpoint>> per_module_;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_DIST_CHECKPOINT_H_

@@ -1,0 +1,94 @@
+#include "src/dist/consistency.h"
+
+#include <algorithm>
+
+namespace udc {
+
+std::string_view ConsistencyLevelName(ConsistencyLevel level) {
+  switch (level) {
+    case ConsistencyLevel::kEventual:
+      return "eventual";
+    case ConsistencyLevel::kRelease:
+      return "release";
+    case ConsistencyLevel::kCausal:
+      return "causal";
+    case ConsistencyLevel::kSequential:
+      return "sequential";
+    case ConsistencyLevel::kLinearizable:
+      return "linearizable";
+  }
+  return "unknown";
+}
+
+bool ParseConsistencyLevel(std::string_view name, ConsistencyLevel* out) {
+  for (int i = 0; i <= static_cast<int>(ConsistencyLevel::kLinearizable); ++i) {
+    const auto level = static_cast<ConsistencyLevel>(i);
+    if (ConsistencyLevelName(level) == name) {
+      *out = level;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string_view AccessPreferenceName(AccessPreference pref) {
+  switch (pref) {
+    case AccessPreference::kNone:
+      return "none";
+    case AccessPreference::kReader:
+      return "reader";
+    case AccessPreference::kWriter:
+      return "writer";
+  }
+  return "unknown";
+}
+
+bool ParseAccessPreference(std::string_view name, AccessPreference* out) {
+  if (name == "none") {
+    *out = AccessPreference::kNone;
+    return true;
+  }
+  if (name == "reader") {
+    *out = AccessPreference::kReader;
+    return true;
+  }
+  if (name == "writer") {
+    *out = AccessPreference::kWriter;
+    return true;
+  }
+  return false;
+}
+
+bool StricterThan(ConsistencyLevel a, ConsistencyLevel b) {
+  return static_cast<int>(a) > static_cast<int>(b);
+}
+
+ConsistencyLevel Strictest(const std::vector<ConsistencyLevel>& levels) {
+  ConsistencyLevel max = ConsistencyLevel::kEventual;
+  for (ConsistencyLevel level : levels) {
+    if (StricterThan(level, max)) {
+      max = level;
+    }
+  }
+  return max;
+}
+
+Result<ConsistencyResolution> ResolveConsistency(
+    const std::vector<ConsistencyLevel>& accessor_levels,
+    ConflictPolicy policy) {
+  if (accessor_levels.empty()) {
+    return Status(InvalidArgumentError("no accessors to resolve"));
+  }
+  ConsistencyResolution resolution;
+  resolution.level = Strictest(accessor_levels);
+  resolution.had_conflict =
+      std::any_of(accessor_levels.begin(), accessor_levels.end(),
+                  [&](ConsistencyLevel l) { return l != resolution.level; });
+  if (resolution.had_conflict && policy == ConflictPolicy::kReject) {
+    return Status(ConflictError(
+        "accessors disagree on consistency level for a shared data module"));
+  }
+  return resolution;
+}
+
+}  // namespace udc

@@ -1,0 +1,62 @@
+// Consistency levels and the specification-conflict rules of paper sec. 3.4.
+//
+// Users pick a consistency level per data module and an access preference
+// (read vs write). Levels form a total order (our lattice is a chain), so
+// "choose the strictest specification" is a max; the alternative policy is
+// to return an error to the user — both are implemented.
+
+#ifndef UDC_SRC_DIST_CONSISTENCY_H_
+#define UDC_SRC_DIST_CONSISTENCY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace udc {
+
+// Ordered weakest to strongest.
+enum class ConsistencyLevel : int {
+  kEventual = 0,
+  kRelease = 1,     // release consistency: sync at acquire/release
+  kCausal = 2,
+  kSequential = 3,
+  kLinearizable = 4,
+};
+
+enum class AccessPreference {
+  kNone,
+  kReader,   // optimize read latency (serve from any replica)
+  kWriter,   // optimize write latency (serve reads from primary)
+};
+
+std::string_view ConsistencyLevelName(ConsistencyLevel level);
+bool ParseConsistencyLevel(std::string_view name, ConsistencyLevel* out);
+
+std::string_view AccessPreferenceName(AccessPreference pref);
+bool ParseAccessPreference(std::string_view name, AccessPreference* out);
+
+// Strictness comparison and lattice join (max of the chain).
+bool StricterThan(ConsistencyLevel a, ConsistencyLevel b);
+ConsistencyLevel Strictest(const std::vector<ConsistencyLevel>& levels);
+
+// How to settle different specs for one shared data module.
+enum class ConflictPolicy {
+  kStrictestWins,  // silently upgrade everyone to the strictest level
+  kReject,         // kConflict error back to the user
+};
+
+struct ConsistencyResolution {
+  ConsistencyLevel level = ConsistencyLevel::kEventual;
+  bool had_conflict = false;
+};
+
+// Resolves the consistency specs of every accessor of a shared data module.
+// With kReject, any disagreement returns kConflict.
+Result<ConsistencyResolution> ResolveConsistency(
+    const std::vector<ConsistencyLevel>& accessor_levels, ConflictPolicy policy);
+
+}  // namespace udc
+
+#endif  // UDC_SRC_DIST_CONSISTENCY_H_

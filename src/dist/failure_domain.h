@@ -1,0 +1,64 @@
+// Failure domains and failure-handling policies (paper sec. 3.4).
+//
+// "Users (developers) can define the failure domains in their programs, with
+// the understanding that different domains could fail independently while
+// code and data within a domain will fail as a whole." Each domain carries a
+// replication factor and a handling policy (re-execute vs restore from a
+// user-defined checkpoint).
+
+#ifndef UDC_SRC_DIST_FAILURE_DOMAIN_H_
+#define UDC_SRC_DIST_FAILURE_DOMAIN_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+
+namespace udc {
+
+enum class FailureHandling {
+  kReexecute,          // restart the module from its inputs
+  kCheckpointRestore,  // restore the latest user-defined checkpoint
+  kFailover,           // promote a replica (data modules)
+};
+
+std::string_view FailureHandlingName(FailureHandling handling);
+bool ParseFailureHandling(std::string_view name, FailureHandling* out);
+
+struct FailureDomain {
+  DomainId id;
+  std::string name;
+  std::vector<ModuleId> members;
+  int replication_factor = 1;
+  FailureHandling handling = FailureHandling::kReexecute;
+};
+
+// Registry enforcing that every module belongs to at most one domain.
+class DomainManager {
+ public:
+  DomainManager() = default;
+
+  Result<DomainId> CreateDomain(std::string name, int replication_factor,
+                                FailureHandling handling);
+
+  Status AddModule(DomainId domain, ModuleId module);
+
+  const FailureDomain* Find(DomainId id) const;
+  const FailureDomain* DomainOf(ModuleId module) const;
+
+  // Modules co-failing with `module` (its domain members), itself included.
+  std::vector<ModuleId> CoFailing(ModuleId module) const;
+
+  size_t domain_count() const { return domains_.size(); }
+
+ private:
+  IdGenerator<DomainId> ids_;
+  std::vector<FailureDomain> domains_;
+  std::unordered_map<ModuleId, DomainId> module_domain_;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_DIST_FAILURE_DOMAIN_H_

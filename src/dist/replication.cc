@@ -1,0 +1,278 @@
+#include "src/dist/replication.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace udc {
+
+namespace {
+
+constexpr Bytes kAckSize = Bytes(64);
+constexpr Bytes kReadRequestSize = Bytes(128);
+constexpr SimTime kDataplaneDelay = SimTime::Micros(1);
+
+}  // namespace
+
+std::string_view ReplicationProtocolName(ReplicationProtocol protocol) {
+  switch (protocol) {
+    case ReplicationProtocol::kPrimaryBackup:
+      return "primary-backup";
+    case ReplicationProtocol::kQuorum:
+      return "quorum";
+    case ReplicationProtocol::kInNetwork:
+      return "in-network";
+  }
+  return "unknown";
+}
+
+ReplicatedStore::ReplicatedStore(Simulation* sim, Fabric* fabric,
+                                 const Topology* topology, std::string name,
+                                 std::vector<NodeId> replicas,
+                                 ReplicationConfig config,
+                                 SwitchSequencer* sequencer)
+    : sim_(sim), fabric_(fabric), topology_(topology), name_(std::move(name)),
+      replicas_(std::move(replicas)), config_(config), sequencer_(sequencer) {
+  assert(!replicas_.empty());
+  assert(static_cast<size_t>(config_.replication_factor) <= replicas_.size());
+}
+
+std::vector<NodeId> ReplicatedStore::HealthyReplicas() const {
+  std::vector<NodeId> out;
+  for (NodeId r : replicas_) {
+    const auto it = failed_.find(r);
+    if (it == failed_.end() || !it->second) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+NodeId ReplicatedStore::Primary() const {
+  const std::vector<NodeId> healthy = HealthyReplicas();
+  return healthy.empty() ? NodeId::Invalid() : healthy.front();
+}
+
+NodeId ReplicatedStore::ClosestReplica(NodeId client) const {
+  const std::vector<NodeId> healthy = HealthyReplicas();
+  NodeId best = NodeId::Invalid();
+  int best_dist = 1 << 30;
+  for (NodeId r : healthy) {
+    const int d = topology_->Distance(client, r);
+    if (d < best_dist || (d == best_dist && (!best.valid() || r < best))) {
+      best_dist = d;
+      best = r;
+    }
+  }
+  return best;
+}
+
+bool ReplicatedStore::ReadsFromPrimary() const {
+  if (config_.preference == AccessPreference::kReader) {
+    return false;  // reader preference: any replica, freshness traded away
+  }
+  // Sequential and stronger need a single serialization point under the
+  // software protocols; the in-network protocol orders at the switch, so any
+  // replica is safe to read once writes are sequenced.
+  if (config_.protocol == ReplicationProtocol::kInNetwork) {
+    return false;
+  }
+  return StricterThan(config_.consistency, ConsistencyLevel::kCausal) ||
+         config_.preference == AccessPreference::kWriter;
+}
+
+void ReplicatedStore::MarkReplicaFailed(NodeId replica) {
+  failed_[replica] = true;
+}
+
+void ReplicatedStore::MarkReplicaRecovered(NodeId replica) {
+  failed_[replica] = false;
+}
+
+size_t ReplicatedStore::HealthyCount() const { return HealthyReplicas().size(); }
+
+OpResult ReplicatedStore::PlanWrite(NodeId client, Bytes size) const {
+  OpResult result;
+  const std::vector<NodeId> healthy = HealthyReplicas();
+
+  // Weak levels return before the full protocol completes; propagation
+  // continues asynchronously (its messages are still counted).
+  const ConsistencyLevel level = config_.consistency;
+  if (level == ConsistencyLevel::kEventual ||
+      level == ConsistencyLevel::kRelease) {
+    const NodeId nearest = ClosestReplica(client);
+    result.served_by = nearest;
+    if (!nearest.valid()) {
+      result.latency = SimTime::Max();
+      return result;
+    }
+    result.latency = topology_->TransferTime(client, nearest, size) +
+                     topology_->TransferTime(nearest, client, kAckSize);
+    // Async fan-out to the remaining replicas still happens on the wire.
+    result.messages = 2 + 2 * static_cast<int>(healthy.size() - 1);
+    return result;
+  }
+  if (level == ConsistencyLevel::kCausal) {
+    // Ack after the ordering point accepts; backups catch up asynchronously.
+    if (config_.protocol == ReplicationProtocol::kInNetwork &&
+        sequencer_ != nullptr) {
+      const NodeId switch_node = topology_->TorSwitch(0);
+      result.served_by = switch_node;
+      result.latency = topology_->TransferTime(client, switch_node, size) +
+                       kDataplaneDelay +
+                       topology_->TransferTime(switch_node, client, kAckSize);
+      result.messages = 2 + static_cast<int>(healthy.size());
+      return result;
+    }
+    const NodeId primary = Primary();
+    result.served_by = primary;
+    if (!primary.valid()) {
+      result.latency = SimTime::Max();
+      return result;
+    }
+    result.latency = topology_->TransferTime(client, primary, size) +
+                     topology_->TransferTime(primary, client, kAckSize);
+    result.messages = 2 + 2 * static_cast<int>(healthy.size() - 1);
+    return result;
+  }
+
+  switch (config_.protocol) {
+    case ReplicationProtocol::kPrimaryBackup: {
+      const NodeId primary = Primary();
+      result.served_by = primary;
+      if (!primary.valid()) {
+        result.latency = SimTime::Max();
+        return result;
+      }
+      // client -> primary (data), primary -> backups (data) in parallel,
+      // backup -> primary (ack), primary -> client (ack).
+      SimTime latency = topology_->TransferTime(client, primary, size);
+      int messages = 1;
+      SimTime slowest_backup;
+      for (NodeId backup : healthy) {
+        if (backup == primary) {
+          continue;
+        }
+        const SimTime round =
+            topology_->TransferTime(primary, backup, size) +
+            topology_->TransferTime(backup, primary, kAckSize);
+        slowest_backup = std::max(slowest_backup, round);
+        messages += 2;
+      }
+      latency += slowest_backup;
+      latency += topology_->TransferTime(primary, client, kAckSize);
+      messages += 1;
+      result.latency = latency;
+      result.messages = messages;
+      return result;
+    }
+    case ReplicationProtocol::kQuorum: {
+      const size_t quorum =
+          static_cast<size_t>(config_.replication_factor) / 2 + 1;
+      if (healthy.size() < quorum) {
+        result.latency = SimTime::Max();
+        return result;
+      }
+      // client -> each replica (data), replica -> client (ack); done at the
+      // quorum-th fastest round trip.
+      std::vector<SimTime> rounds;
+      int messages = 0;
+      for (NodeId r : healthy) {
+        rounds.push_back(topology_->TransferTime(client, r, size) +
+                         topology_->TransferTime(r, client, kAckSize));
+        messages += 2;
+      }
+      std::sort(rounds.begin(), rounds.end());
+      result.latency = rounds[quorum - 1];
+      result.messages = messages;
+      result.served_by = client;
+      return result;
+    }
+    case ReplicationProtocol::kInNetwork: {
+      if (sequencer_ == nullptr) {
+        // No switch program installed: degrade to primary-backup.
+        ReplicatedStore copy_view = *this;  // cheap: pointers + small vectors
+        copy_view.config_.protocol = ReplicationProtocol::kPrimaryBackup;
+        return copy_view.PlanWrite(client, size);
+      }
+      if (healthy.empty()) {
+        result.latency = SimTime::Max();
+        return result;
+      }
+      // client -> switch (data), switch fans out (data), replica -> client
+      // (ack). One dataplane ordering point, no inter-replica coordination.
+      const NodeId switch_node = topology_->TorSwitch(0);
+      const SimTime to_switch =
+          topology_->TransferTime(client, switch_node, size);
+      SimTime slowest;
+      int messages = 1;
+      for (NodeId r : healthy) {
+        const SimTime leg = topology_->TransferTime(switch_node, r, size) +
+                            topology_->TransferTime(r, client, kAckSize);
+        slowest = std::max(slowest, leg);
+        messages += 2;
+      }
+      result.latency = to_switch + kDataplaneDelay + slowest;
+      result.messages = messages;
+      result.served_by = switch_node;
+      return result;
+    }
+  }
+  result.latency = SimTime::Max();
+  return result;
+}
+
+
+OpResult ReplicatedStore::PlanReleaseFence(NodeId client,
+                                           Bytes pending_bytes) const {
+  // A fence makes every buffered update visible everywhere: one full
+  // strongly-consistent round over the pending bytes.
+  ReplicatedStore strict = *this;
+  strict.config_.consistency = ConsistencyLevel::kSequential;
+  return strict.PlanWrite(client, pending_bytes);
+}
+
+OpResult ReplicatedStore::PlanRead(NodeId client, Bytes size) const {
+  OpResult result;
+  const NodeId target = ReadsFromPrimary() ? Primary() : ClosestReplica(client);
+  result.served_by = target;
+  if (!target.valid()) {
+    result.latency = SimTime::Max();
+    return result;
+  }
+  result.latency = topology_->TransferTime(client, target, kReadRequestSize) +
+                   topology_->TransferTime(target, client, size);
+  result.messages = 2;
+  return result;
+}
+
+void ReplicatedStore::Write(NodeId client, Bytes size,
+                            std::function<void(OpResult)> done) {
+  ++writes_;
+  sim_->metrics().IncrementCounter("dist.writes");
+  if (config_.protocol == ReplicationProtocol::kInNetwork &&
+      sequencer_ != nullptr) {
+    sequencer_->Multicast(client, name_, "", size);
+  }
+  const OpResult result = PlanWrite(client, size);
+  sim_->metrics().IncrementCounter("dist.messages", result.messages);
+  if (result.latency == SimTime::Max()) {
+    done(result);
+    return;
+  }
+  sim_->After(result.latency, [result, done = std::move(done)] { done(result); });
+}
+
+void ReplicatedStore::Read(NodeId client, Bytes size,
+                           std::function<void(OpResult)> done) {
+  ++reads_;
+  sim_->metrics().IncrementCounter("dist.reads");
+  const OpResult result = PlanRead(client, size);
+  sim_->metrics().IncrementCounter("dist.messages", result.messages);
+  if (result.latency == SimTime::Max()) {
+    done(result);
+    return;
+  }
+  sim_->After(result.latency, [result, done = std::move(done)] { done(result); });
+}
+
+}  // namespace udc

@@ -1,0 +1,124 @@
+// Replicated data modules.
+//
+// Implements the replication strategies a UDC user can declare (paper
+// Table 1: "Replicate 3x, sequential consistency", "Replicate 2x, reader
+// preference", "no replication") over three protocols:
+//
+//   kPrimaryBackup — software: client -> primary -> backups -> acks.
+//   kQuorum        — software: client -> all replicas, wait for majority.
+//   kInNetwork     — switch sequencer orders the write in the dataplane and
+//                    fans out to replicas; replicas ack the client directly
+//                    (NOPaxos-style; removes the coordination round trip).
+//
+// Reads honour the access preference: reader preference serves from the
+// closest replica; writer preference (or sequential and stronger levels
+// under software protocols) serve from the primary.
+
+#ifndef UDC_SRC_DIST_REPLICATION_H_
+#define UDC_SRC_DIST_REPLICATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/dist/consistency.h"
+#include "src/net/fabric.h"
+#include "src/net/switch_programs.h"
+
+namespace udc {
+
+enum class ReplicationProtocol {
+  kPrimaryBackup,
+  kQuorum,
+  kInNetwork,
+};
+
+std::string_view ReplicationProtocolName(ReplicationProtocol protocol);
+
+struct ReplicationConfig {
+  int replication_factor = 1;  // 1 = no replication
+  ReplicationProtocol protocol = ReplicationProtocol::kPrimaryBackup;
+  ConsistencyLevel consistency = ConsistencyLevel::kSequential;
+  AccessPreference preference = AccessPreference::kNone;
+};
+
+struct OpResult {
+  SimTime latency;
+  int messages = 0;   // fabric messages this op generated
+  NodeId served_by;   // replica that served a read / ordered a write
+};
+
+// One replicated object living on `replicas[0..k-1]` (replicas[0] is the
+// primary for software protocols). The store drives all timing through the
+// fabric and an optional switch sequencer.
+class ReplicatedStore {
+ public:
+  ReplicatedStore(Simulation* sim, Fabric* fabric, const Topology* topology,
+                  std::string name, std::vector<NodeId> replicas,
+                  ReplicationConfig config,
+                  SwitchSequencer* sequencer = nullptr);
+
+  const std::string& name() const { return name_; }
+  const ReplicationConfig& config() const { return config_; }
+  const std::vector<NodeId>& replicas() const { return replicas_; }
+
+  // Issues a write of `size` from `client`; `done` fires on the simulation
+  // clock when the write satisfies the configured protocol + consistency.
+  void Write(NodeId client, Bytes size, std::function<void(OpResult)> done);
+
+  // Issues a read of `size` from `client`.
+  void Read(NodeId client, Bytes size, std::function<void(OpResult)> done);
+
+  // Analytic latency/message-count of an op without issuing it (used by the
+  // DAG runtime to compose stage times).
+  //
+  // The consistency level sets how much of the replication protocol the
+  // writer must wait for (the user-visible performance knob of sec. 3.4):
+  //   linearizable/sequential — full protocol acknowledgement
+  //   causal                  — ordering point (primary/switch) ack only;
+  //                             propagation to backups is asynchronous
+  //   release/eventual        — nearest-replica ack; everything else async
+  // Release consistency additionally pays PlanReleaseFence at sync points.
+  OpResult PlanWrite(NodeId client, Bytes size) const;
+  OpResult PlanRead(NodeId client, Bytes size) const;
+
+  // The release-fence cost: flush all asynchronously-propagated writes
+  // (one full write-all round for `pending_bytes` of buffered updates).
+  OpResult PlanReleaseFence(NodeId client, Bytes pending_bytes) const;
+
+  // Marks a replica failed (reads/writes avoid it; quorum still succeeds
+  // while a majority is healthy).
+  void MarkReplicaFailed(NodeId replica);
+  void MarkReplicaRecovered(NodeId replica);
+  size_t HealthyCount() const;
+
+  uint64_t writes() const { return writes_; }
+  uint64_t reads() const { return reads_; }
+
+ private:
+  std::vector<NodeId> HealthyReplicas() const;
+  NodeId Primary() const;
+  // The replica closest to `client` (fewest topology hops, ties by id).
+  NodeId ClosestReplica(NodeId client) const;
+  // True when reads must be served by the primary under this config.
+  bool ReadsFromPrimary() const;
+
+  Simulation* sim_;
+  Fabric* fabric_;
+  const Topology* topology_;
+  std::string name_;
+  std::vector<NodeId> replicas_;
+  std::map<NodeId, bool> failed_;
+  ReplicationConfig config_;
+  SwitchSequencer* sequencer_;
+  uint64_t writes_ = 0;
+  uint64_t reads_ = 0;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_DIST_REPLICATION_H_

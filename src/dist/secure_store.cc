@@ -1,0 +1,163 @@
+#include "src/dist/secure_store.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+SecureDataStore::SecureDataStore(std::string module_name,
+                                 const Key256& root_key,
+                                 DataProtection protection)
+    : module_name_(std::move(module_name)),
+      cipher_(DeriveKey(root_key, "udc-data-" + module_name_)),
+      protection_(protection) {}
+
+void SecureDataStore::RebuildTree() {
+  std::vector<Sha256Digest> leaves;
+  tree_order_.clear();
+  for (const auto& [index, chunk] : chunks_) {
+    // Leaf = digest of what is stored (ciphertext when encrypted), bound to
+    // the nonce so a rollback changes the leaf.
+    Sha256 h;
+    h.Update(std::span<const uint8_t>(chunk.box.ciphertext.data(),
+                                      chunk.box.ciphertext.size()));
+    const uint64_t nonce = chunk.box.nonce;
+    h.Update(std::string_view(reinterpret_cast<const char*>(&nonce),
+                              sizeof(nonce)));
+    leaves.push_back(h.Finalize());
+    tree_order_.push_back(index);
+  }
+  tree_ = std::make_unique<MerkleTree>(std::move(leaves));
+}
+
+Status SecureDataStore::Put(uint64_t index, std::vector<uint8_t> plaintext) {
+  StoredChunk chunk;
+  const uint64_t nonce = next_nonce_++;
+  if (protection_.encryption) {
+    chunk.box = cipher_.Seal(plaintext, nonce);
+    chunk.encrypted = true;
+  } else {
+    chunk.box.nonce = nonce;
+    chunk.box.ciphertext = std::move(plaintext);
+    chunk.plain_digest = Sha256::Hash(std::span<const uint8_t>(
+        chunk.box.ciphertext.data(), chunk.box.ciphertext.size()));
+  }
+  // Keep the old version around as the adversary's rollback material.
+  const auto it = chunks_.find(index);
+  if (it != chunks_.end()) {
+    previous_versions_[index] = it->second;
+  }
+  chunks_[index] = std::move(chunk);
+  if (protection_.integrity) {
+    RebuildTree();
+  }
+  return OkStatus();
+}
+
+Result<std::vector<uint8_t>> SecureDataStore::Get(uint64_t index) {
+  const auto it = chunks_.find(index);
+  if (it == chunks_.end()) {
+    return Status(NotFoundError(
+        StrFormat("%s: no chunk %llu", module_name_.c_str(),
+                  static_cast<unsigned long long>(index))));
+  }
+  const StoredChunk& chunk = it->second;
+
+  // Replay / rollback protection: the nonce must never move backwards for a
+  // given chunk index.
+  if (protection_.replay_protection) {
+    auto& last = last_seen_nonce_[index];
+    if (chunk.box.nonce < last) {
+      return Status(VerificationFailedError(
+          StrFormat("%s: chunk %llu rolled back (nonce %llu < %llu)",
+                    module_name_.c_str(),
+                    static_cast<unsigned long long>(index),
+                    static_cast<unsigned long long>(chunk.box.nonce),
+                    static_cast<unsigned long long>(last))));
+    }
+    last = chunk.box.nonce;
+  }
+
+  // Integrity: check the Merkle proof for this chunk's leaf.
+  if (protection_.integrity) {
+    if (tree_ == nullptr) {
+      RebuildTree();
+    }
+    const auto leaf_pos =
+        std::find(tree_order_.begin(), tree_order_.end(), index);
+    if (leaf_pos == tree_order_.end()) {
+      return Status(InternalError("chunk missing from integrity tree"));
+    }
+    const auto leaf_index =
+        static_cast<uint64_t>(leaf_pos - tree_order_.begin());
+    Sha256 h;
+    h.Update(std::span<const uint8_t>(chunk.box.ciphertext.data(),
+                                      chunk.box.ciphertext.size()));
+    const uint64_t nonce = chunk.box.nonce;
+    h.Update(std::string_view(reinterpret_cast<const char*>(&nonce),
+                              sizeof(nonce)));
+    const Sha256Digest leaf = h.Finalize();
+    UDC_ASSIGN_OR_RETURN(const MerkleProof proof, tree_->ProveLeaf(leaf_index));
+    if (!MerkleTree::VerifyProof(tree_->root(), leaf, proof)) {
+      return Status(VerificationFailedError(
+          module_name_ + ": chunk failed integrity proof"));
+    }
+    // Plain chunks additionally check their own digest (the tree could have
+    // been rebuilt over tampered data by a compromised storage host; the
+    // digest pins the content the writer produced).
+    if (!chunk.encrypted) {
+      const Sha256Digest digest = Sha256::Hash(std::span<const uint8_t>(
+          chunk.box.ciphertext.data(), chunk.box.ciphertext.size()));
+      if (!DigestEqual(digest, chunk.plain_digest)) {
+        return Status(VerificationFailedError(
+            module_name_ + ": plain chunk content digest mismatch"));
+      }
+    }
+  }
+
+  // Confidentiality: open the sealed box (also authenticates).
+  if (chunk.encrypted) {
+    auto plain = cipher_.Open(chunk.box);
+    if (!plain.ok()) {
+      return Status(VerificationFailedError(
+          module_name_ + ": AEAD open failed (tampered or wrong key)"));
+    }
+    return plain;
+  }
+  return chunk.box.ciphertext;
+}
+
+Result<Sha256Digest> SecureDataStore::IntegrityRoot() const {
+  if (!protection_.integrity) {
+    return Status(
+        FailedPreconditionError("integrity protection not enabled"));
+  }
+  if (tree_ == nullptr) {
+    const_cast<SecureDataStore*>(this)->RebuildTree();
+  }
+  return tree_->root();
+}
+
+bool SecureDataStore::TamperChunkForTest(uint64_t index) {
+  auto it = chunks_.find(index);
+  if (it == chunks_.end() || it->second.box.ciphertext.empty()) {
+    return false;
+  }
+  it->second.box.ciphertext[0] ^= 0xFF;
+  return true;
+}
+
+bool SecureDataStore::RollbackChunkForTest(uint64_t index) {
+  const auto old = previous_versions_.find(index);
+  if (old == previous_versions_.end()) {
+    return false;
+  }
+  chunks_[index] = old->second;
+  if (protection_.integrity) {
+    RebuildTree();  // a colluding storage host re-anchors the tree too
+  }
+  return true;
+}
+
+}  // namespace udc

@@ -1,0 +1,93 @@
+#include "src/exec/env_manager.h"
+
+#include <algorithm>
+
+namespace udc {
+
+namespace {
+
+std::pair<int, uint64_t> WarmKey(EnvKind kind, TenantId tenant) {
+  return {static_cast<int>(kind), tenant.value()};
+}
+
+}  // namespace
+
+EnvManager::EnvManager(Simulation* sim) : sim_(sim) {}
+
+ExecEnvironment* EnvManager::Launch(
+    TenantId tenant, NodeId node, const LaunchOptions& options,
+    std::function<void(ExecEnvironment*)> on_ready) {
+  auto env = std::make_unique<ExecEnvironment>(next_id_++, options.kind,
+                                               options.tenancy, tenant, node);
+  env->SetImage(options.image);
+  ExecEnvironment* raw = env.get();
+  envs_.push_back(std::move(env));
+
+  SimTime start_latency = raw->profile().cold_start;
+  const auto key = WarmKey(options.kind, tenant);
+  auto warm_it = warm_slots_.find(key);
+  if (options.allow_warm && warm_it != warm_slots_.end() &&
+      warm_it->second > 0) {
+    --warm_it->second;
+    start_latency = raw->profile().warm_start;
+    sim_->metrics().IncrementCounter("exec.warm_starts");
+  } else {
+    sim_->metrics().IncrementCounter("exec.cold_starts");
+  }
+  sim_->metrics().Observe("exec.start_latency_ms", start_latency.millis());
+
+  raw->set_state(EnvState::kStarting);
+  raw->set_ready_at(sim_->now() + start_latency);
+  sim_->After(start_latency, [raw, on_ready = std::move(on_ready)] {
+    raw->set_state(EnvState::kReady);
+    if (on_ready) {
+      on_ready(raw);
+    }
+  });
+  return raw;
+}
+
+Status EnvManager::Stop(ExecEnvironment* env, bool keep_warm) {
+  if (env->state() == EnvState::kStopped) {
+    return FailedPreconditionError("environment already stopped");
+  }
+  env->set_state(EnvState::kStopped);
+  if (keep_warm) {
+    ++warm_slots_[WarmKey(env->kind(), env->tenant())];
+  }
+  return OkStatus();
+}
+
+Status EnvManager::Destroy(ExecEnvironment* env) {
+  if (env->state() != EnvState::kStopped) {
+    return FailedPreconditionError("destroy requires a stopped environment");
+  }
+  const auto it =
+      std::find_if(envs_.begin(), envs_.end(),
+                   [env](const auto& e) { return e.get() == env; });
+  if (it == envs_.end()) {
+    return NotFoundError("environment not owned by this manager");
+  }
+  envs_.erase(it);
+  return OkStatus();
+}
+
+void EnvManager::Prewarm(EnvKind kind, TenantId tenant, int count) {
+  warm_slots_[WarmKey(kind, tenant)] += count;
+}
+
+int EnvManager::WarmSlots(EnvKind kind, TenantId tenant) const {
+  const auto it = warm_slots_.find(WarmKey(kind, tenant));
+  return it == warm_slots_.end() ? 0 : it->second;
+}
+
+SimTime EnvManager::NextStartLatency(EnvKind kind, TenantId tenant,
+                                     const LaunchOptions& options) const {
+  const EnvProfile profile = EnvProfile::DefaultFor(kind);
+  if (options.allow_warm && WarmSlots(kind, tenant) > 0) {
+    return profile.warm_start;
+  }
+  return profile.cold_start;
+}
+
+}  // namespace udc

@@ -1,0 +1,212 @@
+#include "src/exec/environment.h"
+
+#include <vector>
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+std::string_view EnvKindName(EnvKind kind) {
+  switch (kind) {
+    case EnvKind::kBareProcess:
+      return "process";
+    case EnvKind::kContainer:
+      return "container";
+    case EnvKind::kSandboxedContainer:
+      return "sandboxed-container";
+    case EnvKind::kLightweightVm:
+      return "lightweight-vm";
+    case EnvKind::kUnikernel:
+      return "unikernel";
+    case EnvKind::kFullVm:
+      return "full-vm";
+    case EnvKind::kTeeEnclave:
+      return "tee-enclave";
+    case EnvKind::kTeeVm:
+      return "tee-vm";
+  }
+  return "unknown";
+}
+
+std::string_view IsolationLevelName(IsolationLevel level) {
+  switch (level) {
+    case IsolationLevel::kWeak:
+      return "weak";
+    case IsolationLevel::kMedium:
+      return "medium";
+    case IsolationLevel::kStrong:
+      return "strong";
+    case IsolationLevel::kStrongest:
+      return "strongest";
+  }
+  return "unknown";
+}
+
+bool ParseIsolationLevel(std::string_view name, IsolationLevel* out) {
+  for (int i = 0; i <= static_cast<int>(IsolationLevel::kStrongest); ++i) {
+    const auto level = static_cast<IsolationLevel>(i);
+    if (IsolationLevelName(level) == name) {
+      *out = level;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string DataProtection::ToString() const {
+  if (!any()) {
+    return "none";
+  }
+  std::vector<std::string> parts;
+  if (encryption) {
+    parts.push_back("encrypt");
+  }
+  if (integrity) {
+    parts.push_back("integrity");
+  }
+  if (replay_protection) {
+    parts.push_back("replay");
+  }
+  return JoinStrings(parts, "+");
+}
+
+EnvProfile EnvProfile::DefaultFor(EnvKind kind) {
+  EnvProfile p;
+  switch (kind) {
+    case EnvKind::kBareProcess:
+      p.cold_start = SimTime::Millis(1);
+      p.warm_start = SimTime::Micros(100);
+      p.cpu_overhead = 1.0;
+      p.memory_overhead = Bytes::MiB(2);
+      break;
+    case EnvKind::kContainer:
+      p.cold_start = SimTime::Millis(350);
+      p.warm_start = SimTime::Millis(12);
+      p.cpu_overhead = 1.02;
+      p.memory_overhead = Bytes::MiB(16);
+      break;
+    case EnvKind::kSandboxedContainer:
+      p.cold_start = SimTime::Millis(520);
+      p.warm_start = SimTime::Millis(25);
+      p.cpu_overhead = 1.15;
+      p.memory_overhead = Bytes::MiB(40);
+      break;
+    case EnvKind::kLightweightVm:
+      p.cold_start = SimTime::Millis(130);
+      p.warm_start = SimTime::Millis(8);
+      p.cpu_overhead = 1.05;
+      p.memory_overhead = Bytes::MiB(32);
+      break;
+    case EnvKind::kUnikernel:
+      p.cold_start = SimTime::Millis(35);
+      p.warm_start = SimTime::Millis(3);
+      p.cpu_overhead = 1.0;
+      p.memory_overhead = Bytes::MiB(8);
+      break;
+    case EnvKind::kFullVm:
+      p.cold_start = SimTime::Seconds(25);
+      p.warm_start = SimTime::Millis(400);
+      p.cpu_overhead = 1.05;
+      p.memory_overhead = Bytes::MiB(512);
+      break;
+    case EnvKind::kTeeEnclave:
+      p.cold_start = SimTime::Millis(1800);  // EPC init + measurement
+      p.warm_start = SimTime::Millis(90);
+      p.cpu_overhead = 1.3;                  // EPC paging / transitions
+      p.memory_overhead = Bytes::MiB(96);
+      p.attestable = true;
+      p.supports_gpu = false;
+      break;
+    case EnvKind::kTeeVm:
+      p.cold_start = SimTime::Seconds(9);    // SEV launch + measurement
+      p.warm_start = SimTime::Millis(600);
+      p.cpu_overhead = 1.08;
+      p.memory_overhead = Bytes::MiB(256);
+      p.attestable = true;
+      p.supports_gpu = false;
+      break;
+  }
+  return p;
+}
+
+IsolationLevel IsolationOf(EnvKind kind, TenancyMode tenancy) {
+  const bool single = tenancy == TenancyMode::kSingleTenant;
+  const bool tee = kind == EnvKind::kTeeEnclave || kind == EnvKind::kTeeVm;
+  if (tee && single) {
+    return IsolationLevel::kStrongest;
+  }
+  if (tee || single) {
+    return IsolationLevel::kStrong;
+  }
+  switch (kind) {
+    case EnvKind::kUnikernel:
+    case EnvKind::kLightweightVm:
+    case EnvKind::kSandboxedContainer:
+    case EnvKind::kFullVm:
+      return IsolationLevel::kMedium;
+    case EnvKind::kContainer:
+    case EnvKind::kBareProcess:
+    default:
+      return IsolationLevel::kWeak;
+  }
+}
+
+bool UserVerifiable(IsolationLevel level) {
+  return level == IsolationLevel::kStrong || level == IsolationLevel::kStrongest;
+}
+
+EnvKind ProviderChoiceFor(IsolationLevel level, bool needs_gpu,
+                          bool tee_gpu_supported) {
+  switch (level) {
+    case IsolationLevel::kWeak:
+      return EnvKind::kContainer;
+    case IsolationLevel::kMedium:
+      return EnvKind::kLightweightVm;  // cheapest medium option
+    case IsolationLevel::kStrong:
+    case IsolationLevel::kStrongest:
+      if (needs_gpu && !tee_gpu_supported) {
+        // TEEs cannot span the GPU: fall back to single-tenant lightweight
+        // VM (physically-isolated device mode, paper sec. 3.3).
+        return EnvKind::kLightweightVm;
+      }
+      return EnvKind::kTeeEnclave;
+  }
+  return EnvKind::kContainer;
+}
+
+ExecEnvironment::ExecEnvironment(uint64_t id, EnvKind kind, TenancyMode tenancy,
+                                 TenantId tenant, NodeId node)
+    : id_(id), kind_(kind), tenancy_(tenancy), tenant_(tenant), node_(node),
+      profile_(EnvProfile::DefaultFor(kind)) {
+  RecomputeMeasurement();
+}
+
+void ExecEnvironment::SetImage(std::string_view image_name) {
+  image_ = std::string(image_name);
+  RecomputeMeasurement();
+}
+
+void ExecEnvironment::RecomputeMeasurement() {
+  const std::string manifest = StrFormat(
+      "env kind=%s tenancy=%s tenant=%llu image=%s",
+      std::string(EnvKindName(kind_)).c_str(),
+      tenancy_ == TenancyMode::kSingleTenant ? "single" : "shared",
+      static_cast<unsigned long long>(tenant_.value()), image_.c_str());
+  measurement_ = Sha256::Hash(manifest);
+}
+
+SimTime ExecEnvironment::AdjustCompute(SimTime raw) const {
+  return Scale(raw, profile_.cpu_overhead);
+}
+
+std::string ExecEnvironment::DebugString() const {
+  return StrFormat("env#%llu %s/%s tenant=%llu node=%llu %s",
+                   static_cast<unsigned long long>(id_),
+                   std::string(EnvKindName(kind_)).c_str(),
+                   std::string(IsolationLevelName(isolation())).c_str(),
+                   static_cast<unsigned long long>(tenant_.value()),
+                   static_cast<unsigned long long>(node_.value()),
+                   state_ == EnvState::kReady ? "ready" : "not-ready");
+}
+
+}  // namespace udc

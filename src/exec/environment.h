@@ -1,0 +1,151 @@
+// Execution environments and the isolation lattice (paper sec. 3.3).
+//
+// Users pick an isolation level per module; the provider realizes it with a
+// concrete environment kind. Strong levels (TEE / single-tenant) are
+// verifiable by the user through attestation; weak/medium levels require
+// trusting the provider — exactly the paper's taxonomy:
+//
+//   strongest: single-tenant TEE        (SW + physical + side-channel)
+//   strong:    TEE or single-tenant     (subset of the above)
+//   medium:    unikernel / lightweight VM / sandboxed container
+//   weak:      container
+//
+// Each environment kind carries a startup-cost and overhead model, because
+// the cold-start of secure environments is one of the paper's stated
+// challenges for fine-grained execution (reproduced by bench E6).
+
+#ifndef UDC_SRC_EXEC_ENVIRONMENT_H_
+#define UDC_SRC_EXEC_ENVIRONMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/ids.h"
+#include "src/common/units.h"
+#include "src/crypto/sha256.h"
+#include "src/hw/resource.h"
+
+namespace udc {
+
+enum class EnvKind : int {
+  kBareProcess = 0,
+  kContainer = 1,
+  kSandboxedContainer = 2,  // gVisor-style
+  kLightweightVm = 3,       // Firecracker-style
+  kUnikernel = 4,
+  kFullVm = 5,
+  kTeeEnclave = 6,          // SGX-style: CPU only, attestable
+  kTeeVm = 7,               // SEV-style: whole-VM, attestable
+};
+
+inline constexpr int kNumEnvKinds = 8;
+
+enum class IsolationLevel : int {
+  kWeak = 0,
+  kMedium = 1,
+  kStrong = 2,
+  kStrongest = 3,
+};
+
+enum class TenancyMode {
+  kShared,
+  kSingleTenant,
+};
+
+std::string_view EnvKindName(EnvKind kind);
+std::string_view IsolationLevelName(IsolationLevel level);
+bool ParseIsolationLevel(std::string_view name, IsolationLevel* out);
+
+// Per-datum protection when data leaves the execution environment
+// (sec. 3.3: "encryption, integrity protection, and replay protection").
+struct DataProtection {
+  bool encryption = false;
+  bool integrity = false;
+  bool replay_protection = false;
+
+  bool any() const { return encryption || integrity || replay_protection; }
+  std::string ToString() const;
+};
+
+// Cost/behaviour model of one environment kind.
+struct EnvProfile {
+  SimTime cold_start;        // from nothing to ready
+  SimTime warm_start;        // from a pre-provisioned pool slot to ready
+  double cpu_overhead = 1.0; // multiplier on compute time
+  Bytes memory_overhead;     // fixed per-instance memory tax
+  bool attestable = false;   // supports measured launch + quotes
+  bool supports_gpu = true;  // TEEs classically cannot span GPUs
+
+  // Calibrated against published 2021-era numbers (Docker, gVisor,
+  // Firecracker, MirageOS, QEMU/KVM, SGX EPC init, SEV launch).
+  static EnvProfile DefaultFor(EnvKind kind);
+};
+
+// The isolation level provided by `kind` under `tenancy`.
+IsolationLevel IsolationOf(EnvKind kind, TenancyMode tenancy);
+
+// True when a user can verify this level without trusting the provider
+// (paper: the strongest/strong options "can enable verification by the
+// user"; medium/weak require trust in provider software).
+bool UserVerifiable(IsolationLevel level);
+
+// The cheapest environment kind the provider uses to realize `level`.
+// `needs_gpu` steers away from enclave kinds that cannot host GPUs when the
+// deployment does not support TEE-on-GPU.
+EnvKind ProviderChoiceFor(IsolationLevel level, bool needs_gpu,
+                          bool tee_gpu_supported);
+
+enum class EnvState {
+  kStarting,
+  kReady,
+  kStopped,
+};
+
+// One launched environment instance.
+class ExecEnvironment {
+ public:
+  ExecEnvironment(uint64_t id, EnvKind kind, TenancyMode tenancy,
+                  TenantId tenant, NodeId node);
+
+  uint64_t id() const { return id_; }
+  EnvKind kind() const { return kind_; }
+  TenancyMode tenancy() const { return tenancy_; }
+  TenantId tenant() const { return tenant_; }
+  NodeId node() const { return node_; }
+  const EnvProfile& profile() const { return profile_; }
+  IsolationLevel isolation() const { return IsolationOf(kind_, tenancy_); }
+
+  EnvState state() const { return state_; }
+  void set_state(EnvState s) { state_ = s; }
+  SimTime ready_at() const { return ready_at_; }
+  void set_ready_at(SimTime t) { ready_at_ = t; }
+
+  // Measurement of the launched image+config, extended into attestation
+  // quotes. Deterministic over (kind, tenancy, tenant, image).
+  const Sha256Digest& measurement() const { return measurement_; }
+  void SetImage(std::string_view image_name);
+
+  // Compute time after applying this environment's CPU overhead.
+  SimTime AdjustCompute(SimTime raw) const;
+
+  std::string DebugString() const;
+
+ private:
+  void RecomputeMeasurement();
+
+  uint64_t id_;
+  EnvKind kind_;
+  TenancyMode tenancy_;
+  TenantId tenant_;
+  NodeId node_;
+  EnvProfile profile_;
+  EnvState state_ = EnvState::kStarting;
+  SimTime ready_at_;
+  std::string image_ = "default";
+  Sha256Digest measurement_{};
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_EXEC_ENVIRONMENT_H_

@@ -1,0 +1,222 @@
+#include "src/hw/device.h"
+
+#include <cmath>
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+std::string_view DeviceKindName(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kCpuBlade:
+      return "cpu-blade";
+    case DeviceKind::kGpuBoard:
+      return "gpu-board";
+    case DeviceKind::kFpgaCard:
+      return "fpga-card";
+    case DeviceKind::kDramModule:
+      return "dram-module";
+    case DeviceKind::kNvmModule:
+      return "nvm-module";
+    case DeviceKind::kSsdDrive:
+      return "ssd-drive";
+    case DeviceKind::kHddDrive:
+      return "hdd-drive";
+    case DeviceKind::kSocUnit:
+      return "soc-unit";
+  }
+  return "unknown";
+}
+
+ResourceKind DeviceResourceKind(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kCpuBlade:
+      return ResourceKind::kCpu;
+    case DeviceKind::kGpuBoard:
+      return ResourceKind::kGpu;
+    case DeviceKind::kFpgaCard:
+      return ResourceKind::kFpga;
+    case DeviceKind::kDramModule:
+      return ResourceKind::kDram;
+    case DeviceKind::kNvmModule:
+      return ResourceKind::kNvm;
+    case DeviceKind::kSsdDrive:
+      return ResourceKind::kSsd;
+    case DeviceKind::kHddDrive:
+      return ResourceKind::kHdd;
+    case DeviceKind::kSocUnit:
+      return ResourceKind::kCpu;  // wimpy cores
+  }
+  return ResourceKind::kCpu;
+}
+
+DeviceProfile DeviceProfile::DefaultFor(DeviceKind kind) {
+  DeviceProfile p;
+  switch (kind) {
+    case DeviceKind::kCpuBlade:
+      p.compute_rate = 1.0;  // 1 work-unit/us per core: the reference rate
+      p.read_bw_mbps = 20000.0;
+      p.write_bw_mbps = 20000.0;
+      p.access_latency = SimTime::Micros(0);
+      break;
+    case DeviceKind::kGpuBoard:
+      p.compute_rate = 40.0;  // ~40x a core for dense inference kernels
+      p.read_bw_mbps = 900000.0 / 8.0;  // HBM2-class
+      p.write_bw_mbps = 900000.0 / 8.0;
+      p.access_latency = SimTime::Micros(5);  // kernel-launch cost
+      break;
+    case DeviceKind::kFpgaCard:
+      p.compute_rate = 12.0;
+      p.read_bw_mbps = 38000.0;
+      p.write_bw_mbps = 38000.0;
+      p.access_latency = SimTime::Micros(2);
+      break;
+    case DeviceKind::kDramModule:
+      p.read_bw_mbps = 25000.0;
+      p.write_bw_mbps = 25000.0;
+      p.access_latency = SimTime::Micros(1);
+      break;
+    case DeviceKind::kNvmModule:
+      p.read_bw_mbps = 6600.0;
+      p.write_bw_mbps = 2300.0;
+      p.access_latency = SimTime::Micros(1);
+      break;
+    case DeviceKind::kSsdDrive:
+      p.read_bw_mbps = 3200.0;
+      p.write_bw_mbps = 2000.0;
+      p.access_latency = SimTime::Micros(80);
+      break;
+    case DeviceKind::kHddDrive:
+      p.read_bw_mbps = 200.0;
+      p.write_bw_mbps = 180.0;
+      p.access_latency = SimTime::Millis(8);
+      break;
+    case DeviceKind::kSocUnit:
+      p.compute_rate = 0.25;  // wimpy core
+      p.read_bw_mbps = 6000.0;
+      p.write_bw_mbps = 6000.0;
+      p.access_latency = SimTime::Micros(2);
+      break;
+  }
+  return p;
+}
+
+Device::Device(DeviceId id, DeviceKind kind, int64_t capacity, NodeId node,
+               DeviceProfile profile)
+    : id_(id), kind_(kind), capacity_(capacity), node_(node), profile_(profile) {}
+
+std::vector<TenantId> Device::tenants() const {
+  std::vector<TenantId> out;
+  out.reserve(per_tenant_.size());
+  for (const auto& [tenant, amount] : per_tenant_) {
+    out.push_back(tenant);
+  }
+  return out;
+}
+
+bool Device::ExclusivelyAvailableFor(TenantId tenant) const {
+  if (exclusive_tenant_.valid() && exclusive_tenant_ != tenant) {
+    return false;
+  }
+  for (const auto& [t, amount] : per_tenant_) {
+    if (t != tenant && amount > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status Device::SetExclusiveTenant(TenantId tenant) {
+  if (!ExclusivelyAvailableFor(tenant)) {
+    return PermissionDeniedError(
+        StrFormat("device %llu occupied by another tenant",
+                  static_cast<unsigned long long>(id_.value())));
+  }
+  exclusive_tenant_ = tenant;
+  return OkStatus();
+}
+
+void Device::ClearExclusiveTenant() { exclusive_tenant_ = TenantId::Invalid(); }
+
+Status Device::Allocate(TenantId tenant, int64_t amount) {
+  if (amount <= 0) {
+    return InvalidArgumentError("allocation amount must be positive");
+  }
+  if (!healthy()) {
+    return UnavailableError(StrFormat(
+        "device %llu failed", static_cast<unsigned long long>(id_.value())));
+  }
+  if (exclusive_tenant_.valid() && exclusive_tenant_ != tenant) {
+    return PermissionDeniedError("device reserved for another tenant");
+  }
+  if (amount > free_capacity()) {
+    return ResourceExhaustedError(StrFormat(
+        "device %llu: requested %lld > free %lld",
+        static_cast<unsigned long long>(id_.value()),
+        static_cast<long long>(amount),
+        static_cast<long long>(free_capacity())));
+  }
+  allocated_ += amount;
+  per_tenant_[tenant] += amount;
+  return OkStatus();
+}
+
+Status Device::Release(TenantId tenant, int64_t amount) {
+  auto it = per_tenant_.find(tenant);
+  if (it == per_tenant_.end() || it->second < amount || amount <= 0) {
+    return FailedPreconditionError("release exceeds tenant allocation");
+  }
+  it->second -= amount;
+  if (it->second == 0) {
+    per_tenant_.erase(it);
+  }
+  allocated_ -= amount;
+  return OkStatus();
+}
+
+int64_t Device::AllocatedBy(TenantId tenant) const {
+  const auto it = per_tenant_.find(tenant);
+  return it == per_tenant_.end() ? 0 : it->second;
+}
+
+SimTime Device::ComputeTime(double work_units, int64_t milli_share) const {
+  if (profile_.compute_rate <= 0.0 || milli_share <= 0) {
+    return SimTime::Max();
+  }
+  const double units = static_cast<double>(milli_share) / 1000.0;
+  const double micros = work_units / (profile_.compute_rate * units);
+  return profile_.access_latency +
+         SimTime(static_cast<int64_t>(std::llround(micros)));
+}
+
+SimTime Device::ReadTime(Bytes size) const {
+  if (profile_.read_bw_mbps <= 0.0) {
+    return SimTime::Max();
+  }
+  const double micros =
+      size.mib() / profile_.read_bw_mbps * 1e6;
+  return profile_.access_latency +
+         SimTime(static_cast<int64_t>(std::llround(micros)));
+}
+
+SimTime Device::WriteTime(Bytes size) const {
+  if (profile_.write_bw_mbps <= 0.0) {
+    return SimTime::Max();
+  }
+  const double micros =
+      size.mib() / profile_.write_bw_mbps * 1e6;
+  return profile_.access_latency +
+         SimTime(static_cast<int64_t>(std::llround(micros)));
+}
+
+std::string Device::DebugString() const {
+  return StrFormat("%s#%llu cap=%lld alloc=%lld %s%s",
+                   std::string(DeviceKindName(kind_)).c_str(),
+                   static_cast<unsigned long long>(id_.value()),
+                   static_cast<long long>(capacity_),
+                   static_cast<long long>(allocated_),
+                   healthy() ? "healthy" : "FAILED",
+                   exclusive() ? " exclusive" : "");
+}
+
+}  // namespace udc

@@ -1,0 +1,137 @@
+// Disaggregated device model.
+//
+// Resource disaggregation "splits traditional servers into different types of
+// network-attached devices, often organized as resource pools" (paper
+// sec. 3.2). A Device is one such network-attached unit: it has a kind, a
+// capacity of exactly one resource kind, a performance profile, a fabric
+// node, a tenancy ledger (for single-tenant isolation), and a health state.
+
+#ifndef UDC_SRC_HW_DEVICE_H_
+#define UDC_SRC_HW_DEVICE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/hw/resource.h"
+
+namespace udc {
+
+// Hardware device categories from Figure 1's hardware layer.
+enum class DeviceKind : int {
+  kCpuBlade = 0,   // pooled CPU cores + small local DRAM cache
+  kGpuBoard = 1,
+  kFpgaCard = 2,
+  kDramModule = 3,
+  kNvmModule = 4,
+  kSsdDrive = 5,
+  kHddDrive = 6,
+  kSocUnit = 7,    // smart device: storage/net with wimpy cores
+};
+
+inline constexpr int kNumDeviceKinds = 8;
+
+std::string_view DeviceKindName(DeviceKind kind);
+
+// The resource kind a device of this kind contributes to its pool.
+ResourceKind DeviceResourceKind(DeviceKind kind);
+
+// Performance model used to turn abstract work into simulated time.
+struct DeviceProfile {
+  double compute_rate = 0.0;    // work-units per microsecond per whole unit
+  double read_bw_mbps = 0.0;    // data read bandwidth, MiB/s
+  double write_bw_mbps = 0.0;   // data write bandwidth, MiB/s
+  SimTime access_latency;       // fixed per-access latency
+
+  // Defaults per kind, loosely calibrated against 2021-era parts
+  // (Xeon core, V100, Stratix-10, DDR4, Optane DC, NVMe SSD, 7200rpm HDD).
+  static DeviceProfile DefaultFor(DeviceKind kind);
+};
+
+// Health state driven by the failure injector.
+enum class DeviceHealth {
+  kHealthy,
+  kFailed,
+};
+
+class Device {
+ public:
+  Device(DeviceId id, DeviceKind kind, int64_t capacity, NodeId node,
+         DeviceProfile profile);
+
+  DeviceId id() const { return id_; }
+  DeviceKind kind() const { return kind_; }
+  NodeId node() const { return node_; }
+  const DeviceProfile& profile() const { return profile_; }
+
+  int64_t capacity() const { return capacity_; }
+  int64_t allocated() const { return allocated_; }
+  int64_t free_capacity() const { return capacity_ - allocated_; }
+  double utilization() const {
+    return capacity_ == 0 ? 0.0
+                          : static_cast<double>(allocated_) /
+                                static_cast<double>(capacity_);
+  }
+
+  DeviceHealth health() const { return health_; }
+  void set_health(DeviceHealth h) { health_ = h; }
+  bool healthy() const { return health_ == DeviceHealth::kHealthy; }
+
+  // Tenancy ------------------------------------------------------------
+
+  // Tenants currently holding any allocation on this device.
+  std::vector<TenantId> tenants() const;
+  size_t tenant_count() const { return per_tenant_.size(); }
+
+  // True when the device is empty or occupied solely by `tenant` — i.e. an
+  // allocation for `tenant` can be exclusive.
+  bool ExclusivelyAvailableFor(TenantId tenant) const;
+
+  // Marks the device reserved for a single tenant (physically-isolated
+  // cluster mode, paper sec. 3.3). Exclusive devices reject other tenants
+  // even when they have spare capacity.
+  Status SetExclusiveTenant(TenantId tenant);
+  void ClearExclusiveTenant();
+  bool exclusive() const { return exclusive_tenant_.valid(); }
+  TenantId exclusive_tenant() const { return exclusive_tenant_; }
+
+  // Allocation ----------------------------------------------------------
+
+  // Reserves `amount` for `tenant`. Fails when unhealthy, when capacity is
+  // insufficient, or when the device is exclusive to another tenant.
+  Status Allocate(TenantId tenant, int64_t amount);
+
+  // Releases `amount` previously allocated by `tenant`.
+  Status Release(TenantId tenant, int64_t amount);
+
+  int64_t AllocatedBy(TenantId tenant) const;
+
+  // Simulated time for `work_units` of compute on a `share` (in milli-units)
+  // of this device. Infinite (SimTime::Max) when the device has no compute.
+  SimTime ComputeTime(double work_units, int64_t milli_share) const;
+
+  // Simulated time to read/write `size` from/to this device, excluding
+  // fabric transfer.
+  SimTime ReadTime(Bytes size) const;
+  SimTime WriteTime(Bytes size) const;
+
+  std::string DebugString() const;
+
+ private:
+  DeviceId id_;
+  DeviceKind kind_;
+  int64_t capacity_;
+  int64_t allocated_ = 0;
+  NodeId node_;
+  DeviceProfile profile_;
+  DeviceHealth health_ = DeviceHealth::kHealthy;
+  TenantId exclusive_tenant_;
+  std::unordered_map<TenantId, int64_t> per_tenant_;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_HW_DEVICE_H_

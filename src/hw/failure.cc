@@ -1,0 +1,57 @@
+#include "src/hw/failure.h"
+
+#include "src/hw/device.h"
+
+namespace udc {
+
+void FailureInjector::Subscribe(Listener listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void FailureInjector::Fire(Device* device, bool failed) {
+  device->set_health(failed ? DeviceHealth::kFailed : DeviceHealth::kHealthy);
+  const FailureEvent event{device->id(), sim_->now(), failed};
+  history_.push_back(event);
+  for (const auto& listener : listeners_) {
+    listener(event);
+  }
+}
+
+void FailureInjector::ScheduleFailure(Device* device, SimTime when,
+                                      SimTime repair_time) {
+  sim_->At(when, [this, device, repair_time] {
+    Fire(device, /*failed=*/true);
+    if (repair_time > SimTime(0)) {
+      sim_->After(repair_time, [this, device] { Fire(device, /*failed=*/false); });
+    }
+  });
+}
+
+void FailureInjector::ArmOne(Device* device, SimTime mtbf, SimTime repair_time,
+                             SimTime horizon) {
+  const double gap_s = sim_->rng().NextExponential(1.0 / mtbf.seconds());
+  const SimTime when =
+      sim_->now() + SimTime::Micros(static_cast<int64_t>(gap_s * 1e6));
+  if (when > horizon) {
+    return;
+  }
+  sim_->At(when, [this, device, mtbf, repair_time, horizon] {
+    Fire(device, /*failed=*/true);
+    if (repair_time > SimTime(0)) {
+      sim_->After(repair_time, [this, device, mtbf, repair_time, horizon] {
+        Fire(device, /*failed=*/false);
+        ArmOne(device, mtbf, repair_time, horizon);  // re-arm after repair
+      });
+    }
+  });
+}
+
+void FailureInjector::ArmPeriodicFailures(std::vector<Device*> devices,
+                                          SimTime mtbf, SimTime repair_time,
+                                          SimTime horizon) {
+  for (Device* d : devices) {
+    ArmOne(d, mtbf, repair_time, horizon);
+  }
+}
+
+}  // namespace udc

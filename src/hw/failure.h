@@ -1,0 +1,61 @@
+// Failure injection.
+//
+// Devices fail independently (one benefit the paper claims for fine-grained
+// failure domains: a device failure takes out only the modules on it, not a
+// whole server's worth). The injector drives Device health through the
+// simulation clock and notifies subscribers so the control plane can react
+// (re-execute / restore checkpoint per the module's distributed aspect).
+
+#ifndef UDC_SRC_HW_FAILURE_H_
+#define UDC_SRC_HW_FAILURE_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/units.h"
+#include "src/sim/simulation.h"
+
+namespace udc {
+
+class Device;
+
+struct FailureEvent {
+  DeviceId device;
+  SimTime at;
+  bool failed;  // true = failure, false = recovery
+};
+
+class FailureInjector {
+ public:
+  using Listener = std::function<void(const FailureEvent&)>;
+
+  explicit FailureInjector(Simulation* sim) : sim_(sim) {}
+
+  // Registers a callback invoked on every failure/recovery.
+  void Subscribe(Listener listener);
+
+  // Schedules a one-shot failure of `device` at `when`, recovering after
+  // `repair_time` (no recovery when repair_time is zero).
+  void ScheduleFailure(Device* device, SimTime when, SimTime repair_time);
+
+  // Draws failure times from an exponential MTBF for each device and keeps
+  // re-arming failures until `horizon`.
+  void ArmPeriodicFailures(std::vector<Device*> devices, SimTime mtbf,
+                           SimTime repair_time, SimTime horizon);
+
+  const std::vector<FailureEvent>& history() const { return history_; }
+
+ private:
+  void Fire(Device* device, bool failed);
+  void ArmOne(Device* device, SimTime mtbf, SimTime repair_time,
+              SimTime horizon);
+
+  Simulation* sim_;
+  std::vector<Listener> listeners_;
+  std::vector<FailureEvent> history_;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_HW_FAILURE_H_

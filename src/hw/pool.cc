@@ -1,0 +1,321 @@
+#include "src/hw/pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+int64_t PoolAllocation::total() const {
+  int64_t sum = 0;
+  for (const auto& s : slices) {
+    sum += s.amount;
+  }
+  return sum;
+}
+
+ResourcePool::ResourcePool(PoolId id, DeviceKind kind) : id_(id), kind_(kind) {}
+
+void ResourcePool::AddDevice(std::unique_ptr<Device> device) {
+  assert(device->kind() == kind_);
+  devices_.push_back(std::move(device));
+}
+
+Device* ResourcePool::FindDevice(DeviceId id) {
+  for (auto& d : devices_) {
+    if (d->id() == id) {
+      return d.get();
+    }
+  }
+  return nullptr;
+}
+
+const Device* ResourcePool::FindDevice(DeviceId id) const {
+  for (const auto& d : devices_) {
+    if (d->id() == id) {
+      return d.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const Device*> ResourcePool::devices() const {
+  std::vector<const Device*> out;
+  out.reserve(devices_.size());
+  for (const auto& d : devices_) {
+    out.push_back(d.get());
+  }
+  return out;
+}
+
+int64_t ResourcePool::TotalCapacity() const {
+  int64_t sum = 0;
+  for (const auto& d : devices_) {
+    sum += d->capacity();
+  }
+  return sum;
+}
+
+int64_t ResourcePool::TotalAllocated() const {
+  int64_t sum = 0;
+  for (const auto& d : devices_) {
+    sum += d->allocated();
+  }
+  return sum;
+}
+
+double ResourcePool::Utilization() const {
+  const int64_t cap = TotalCapacity();
+  return cap == 0 ? 0.0
+                  : static_cast<double>(TotalAllocated()) /
+                        static_cast<double>(cap);
+}
+
+double ResourcePool::HealthyUtilization() const {
+  int64_t cap = 0;
+  int64_t alloc = 0;
+  for (const auto& d : devices_) {
+    if (d->healthy()) {
+      cap += d->capacity();
+      alloc += d->allocated();
+    }
+  }
+  return cap == 0 ? 0.0
+                  : static_cast<double>(alloc) / static_cast<double>(cap);
+}
+
+std::vector<Device*> ResourcePool::RankCandidates(
+    TenantId tenant, const AllocationConstraints& constraints,
+    const Topology& topology) {
+  std::vector<Device*> candidates;
+  for (auto& d : devices_) {
+    if (!d->healthy()) {
+      continue;
+    }
+    if (std::find(constraints.avoid.begin(), constraints.avoid.end(),
+                  d->id()) != constraints.avoid.end()) {
+      continue;
+    }
+    if (constraints.require_exclusive && !d->ExclusivelyAvailableFor(tenant)) {
+      continue;
+    }
+    if (d->exclusive() && d->exclusive_tenant() != tenant) {
+      continue;
+    }
+    const int rack = topology.RackOf(d->node());
+    if (constraints.strict_rack && constraints.preferred_rack >= 0 &&
+        rack != constraints.preferred_rack) {
+      continue;
+    }
+    if (d->free_capacity() <= 0) {
+      continue;
+    }
+    candidates.push_back(d.get());
+  }
+  // Order: preferred rack first, then best-fit (least free capacity) so we
+  // fill partially-used devices before opening fresh ones (fragmentation
+  // control), then stable by id for determinism.
+  std::sort(candidates.begin(), candidates.end(),
+            [&](const Device* a, const Device* b) {
+              const bool a_local =
+                  constraints.preferred_rack >= 0 &&
+                  topology.RackOf(a->node()) == constraints.preferred_rack;
+              const bool b_local =
+                  constraints.preferred_rack >= 0 &&
+                  topology.RackOf(b->node()) == constraints.preferred_rack;
+              if (a_local != b_local) {
+                return a_local;
+              }
+              if (a->free_capacity() != b->free_capacity()) {
+                return a->free_capacity() < b->free_capacity();
+              }
+              return a->id() < b->id();
+            });
+  return candidates;
+}
+
+Result<PoolAllocation> ResourcePool::Allocate(
+    TenantId tenant, int64_t amount, const AllocationConstraints& constraints,
+    const Topology& topology) {
+  if (amount <= 0) {
+    return Status(InvalidArgumentError("pool allocation must be positive"));
+  }
+  std::vector<Device*> candidates =
+      RankCandidates(tenant, constraints, topology);
+
+  PoolAllocation result;
+  result.pool = id_;
+  result.kind = resource_kind();
+  result.tenant = tenant;
+
+  if (constraints.single_device) {
+    for (Device* d : candidates) {
+      if (d->free_capacity() >= amount) {
+        UDC_RETURN_IF_ERROR(d->Allocate(tenant, amount));
+        if (constraints.require_exclusive) {
+          UDC_RETURN_IF_ERROR(d->SetExclusiveTenant(tenant));
+        }
+        result.slices.push_back(AllocationSlice{d->id(), d->node(), amount});
+        return result;
+      }
+    }
+    return Status(ResourceExhaustedError(StrFormat(
+        "pool %s: no single device with %lld free",
+        std::string(DeviceKindName(kind_)).c_str(),
+        static_cast<long long>(amount))));
+  }
+
+  int64_t remaining = amount;
+  for (Device* d : candidates) {
+    if (remaining == 0) {
+      break;
+    }
+    const int64_t take = std::min(remaining, d->free_capacity());
+    if (take <= 0) {
+      continue;
+    }
+    const Status s = d->Allocate(tenant, take);
+    if (!s.ok()) {
+      continue;  // raced with exclusivity; skip this device
+    }
+    if (constraints.require_exclusive) {
+      const Status ex = d->SetExclusiveTenant(tenant);
+      if (!ex.ok()) {
+        (void)d->Release(tenant, take);
+        continue;
+      }
+    }
+    result.slices.push_back(AllocationSlice{d->id(), d->node(), take});
+    remaining -= take;
+  }
+  if (remaining > 0) {
+    // Roll back partial slices.
+    (void)Release(result);
+    return Status(ResourceExhaustedError(StrFormat(
+        "pool %s: short by %lld of %lld",
+        std::string(DeviceKindName(kind_)).c_str(),
+        static_cast<long long>(remaining), static_cast<long long>(amount))));
+  }
+  return result;
+}
+
+Status ResourcePool::Release(const PoolAllocation& allocation) {
+  Status first_error = OkStatus();
+  for (const auto& slice : allocation.slices) {
+    Device* d = FindDevice(slice.device);
+    if (d == nullptr) {
+      if (first_error.ok()) {
+        first_error = NotFoundError("device vanished from pool");
+      }
+      continue;
+    }
+    const Status s = d->Release(allocation.tenant, slice.amount);
+    if (!s.ok() && first_error.ok()) {
+      first_error = s;
+    }
+    if (d->exclusive() && d->exclusive_tenant() == allocation.tenant &&
+        d->AllocatedBy(allocation.tenant) == 0) {
+      d->ClearExclusiveTenant();
+    }
+  }
+  return first_error;
+}
+
+Status ResourcePool::Resize(PoolAllocation& allocation, int64_t delta,
+                            const Topology& topology) {
+  if (delta == 0) {
+    return OkStatus();
+  }
+  if (delta > 0) {
+    // Grow: first on devices already holding slices, then new ones. Track
+    // partial growth so a late failure rolls back cleanly.
+    int64_t remaining = delta;
+    std::vector<std::pair<AllocationSlice*, int64_t>> grown;
+    for (auto& slice : allocation.slices) {
+      Device* d = FindDevice(slice.device);
+      if (d == nullptr || !d->healthy()) {
+        continue;
+      }
+      const int64_t take = std::min(remaining, d->free_capacity());
+      if (take <= 0) {
+        continue;
+      }
+      const Status s = d->Allocate(allocation.tenant, take);
+      if (!s.ok()) {
+        continue;  // exclusivity race; try elsewhere
+      }
+      slice.amount += take;
+      grown.emplace_back(&slice, take);
+      remaining -= take;
+      if (remaining == 0) {
+        return OkStatus();
+      }
+    }
+    if (remaining > 0) {
+      AllocationConstraints constraints;
+      auto extra = Allocate(allocation.tenant, remaining, constraints, topology);
+      if (!extra.ok()) {
+        // Roll back the partial growth on existing slices.
+        for (auto& [slice, amount] : grown) {
+          Device* d = FindDevice(slice->device);
+          if (d != nullptr) {
+            (void)d->Release(allocation.tenant, amount);
+          }
+          slice->amount -= amount;
+        }
+        return extra.status();
+      }
+      for (const auto& s : extra->slices) {
+        allocation.slices.push_back(s);
+      }
+    }
+    return OkStatus();
+  }
+  // Shrink: trim from the last slice backwards.
+  int64_t to_free = -delta;
+  if (to_free >= allocation.total()) {
+    return InvalidArgumentError("shrink would empty the allocation");
+  }
+  for (auto it = allocation.slices.rbegin();
+       it != allocation.slices.rend() && to_free > 0; ++it) {
+    Device* d = FindDevice(it->device);
+    const int64_t give = std::min(to_free, it->amount);
+    if (d != nullptr) {
+      UDC_RETURN_IF_ERROR(d->Release(allocation.tenant, give));
+    }
+    it->amount -= give;
+    to_free -= give;
+  }
+  allocation.slices.erase(
+      std::remove_if(allocation.slices.begin(), allocation.slices.end(),
+                     [](const AllocationSlice& s) { return s.amount == 0; }),
+      allocation.slices.end());
+  return OkStatus();
+}
+
+std::vector<LedgerEntry> ResourcePool::LedgerSnapshot() const {
+  std::vector<LedgerEntry> out;
+  for (const auto& d : devices_) {
+    for (TenantId tenant : d->tenants()) {
+      out.push_back(LedgerEntry{d->id(), tenant, d->AllocatedBy(tenant)});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const LedgerEntry& a, const LedgerEntry& b) {
+    if (a.device != b.device) {
+      return a.device < b.device;
+    }
+    return a.tenant < b.tenant;
+  });
+  return out;
+}
+
+std::string ResourcePool::DebugString() const {
+  return StrFormat("pool %s: %zu devices cap=%lld alloc=%lld util=%.1f%%",
+                   std::string(DeviceKindName(kind_)).c_str(), devices_.size(),
+                   static_cast<long long>(TotalCapacity()),
+                   static_cast<long long>(TotalAllocated()),
+                   Utilization() * 100.0);
+}
+
+}  // namespace udc

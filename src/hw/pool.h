@@ -1,0 +1,126 @@
+// Disaggregated resource pools.
+//
+// "Fulfilling users' resource demands would then simply be allocating the
+// exact amount from the corresponding resource pools (instead of a
+// bin-packing problem with traditional servers)." — paper sec. 3.2.
+//
+// A ResourcePool owns all devices of one kind. Allocation requests carry
+// locality preferences and isolation constraints, and may be satisfied by
+// slices across several devices (except when `single_device` is required).
+// The pool keeps a signed-ledger-ready record of who holds what, which the
+// attestation layer snapshots to let users verify resource fulfillment
+// (paper sec. 4's open problem).
+
+#ifndef UDC_SRC_HW_POOL_H_
+#define UDC_SRC_HW_POOL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/hw/device.h"
+#include "src/hw/topology.h"
+
+namespace udc {
+
+// One contiguous reservation on one device.
+struct AllocationSlice {
+  DeviceId device;
+  NodeId node;
+  int64_t amount = 0;
+};
+
+// A satisfied pool request. Freed through ResourcePool::Release.
+struct PoolAllocation {
+  PoolId pool;
+  ResourceKind kind = ResourceKind::kCpu;
+  TenantId tenant;
+  std::vector<AllocationSlice> slices;
+
+  int64_t total() const;
+};
+
+// Constraints on a pool request.
+struct AllocationConstraints {
+  // Prefer devices in this rack (soft constraint unless `strict_rack`).
+  int preferred_rack = -1;
+  bool strict_rack = false;
+
+  // The allocation must land on exactly one device.
+  bool single_device = false;
+
+  // The device(s) must be single-tenant for this tenant: no co-resident
+  // tenants, and the device is marked exclusive for the allocation's
+  // lifetime (paper sec. 3.3, protection against hardware side channels).
+  bool require_exclusive = false;
+
+  // Devices to avoid (e.g. previously failed under this module).
+  std::vector<DeviceId> avoid;
+};
+
+// A (device, tenant, amount) row of the pool's allocation ledger, used by
+// the attestation layer to build resource quotes.
+struct LedgerEntry {
+  DeviceId device;
+  TenantId tenant;
+  int64_t amount;
+};
+
+class ResourcePool {
+ public:
+  ResourcePool(PoolId id, DeviceKind kind);
+
+  PoolId id() const { return id_; }
+  DeviceKind device_kind() const { return kind_; }
+  ResourceKind resource_kind() const { return DeviceResourceKind(kind_); }
+
+  // Transfers ownership of a device into the pool.
+  void AddDevice(std::unique_ptr<Device> device);
+
+  size_t device_count() const { return devices_.size(); }
+  Device* FindDevice(DeviceId id);
+  const Device* FindDevice(DeviceId id) const;
+  std::vector<const Device*> devices() const;
+
+  int64_t TotalCapacity() const;
+  int64_t TotalAllocated() const;
+  double Utilization() const;
+  // Utilization counting only healthy devices.
+  double HealthyUtilization() const;
+
+  // Attempts to reserve `amount` units for `tenant` under `constraints`.
+  Result<PoolAllocation> Allocate(TenantId tenant, int64_t amount,
+                                  const AllocationConstraints& constraints,
+                                  const Topology& topology);
+
+  // Releases every slice of `allocation`. Exclusive marks placed by this
+  // allocation are cleared when the tenant no longer holds the device.
+  Status Release(const PoolAllocation& allocation);
+
+  // Grows (positive delta) or shrinks (negative delta) an allocation in
+  // place, preferring the devices it already occupies. Used by the adaptive
+  // tuner (paper sec. 3.2: "enlarging or shrinking the amount of resources").
+  Status Resize(PoolAllocation& allocation, int64_t delta,
+                const Topology& topology);
+
+  // Snapshot of the ledger for attestation.
+  std::vector<LedgerEntry> LedgerSnapshot() const;
+
+  std::string DebugString() const;
+
+ private:
+  // Candidate ordering for an allocation attempt.
+  std::vector<Device*> RankCandidates(TenantId tenant,
+                                      const AllocationConstraints& constraints,
+                                      const Topology& topology);
+
+  PoolId id_;
+  DeviceKind kind_;
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_HW_POOL_H_

@@ -1,0 +1,235 @@
+#include "src/hw/resource.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+std::string_view ResourceKindName(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kCpu:
+      return "cpu";
+    case ResourceKind::kGpu:
+      return "gpu";
+    case ResourceKind::kFpga:
+      return "fpga";
+    case ResourceKind::kDram:
+      return "dram";
+    case ResourceKind::kNvm:
+      return "nvm";
+    case ResourceKind::kSsd:
+      return "ssd";
+    case ResourceKind::kHdd:
+      return "hdd";
+    case ResourceKind::kNetBw:
+      return "netbw";
+  }
+  return "unknown";
+}
+
+bool ParseResourceKind(std::string_view name, ResourceKind* out) {
+  for (int i = 0; i < kNumResourceKinds; ++i) {
+    const auto kind = static_cast<ResourceKind>(i);
+    if (ResourceKindName(kind) == name) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsComputeKind(ResourceKind kind) {
+  return kind == ResourceKind::kCpu || kind == ResourceKind::kGpu ||
+         kind == ResourceKind::kFpga;
+}
+
+ResourceVector ResourceVector::MilliCpu(int64_t v) {
+  ResourceVector r;
+  r.Set(ResourceKind::kCpu, v);
+  return r;
+}
+ResourceVector ResourceVector::MilliGpu(int64_t v) {
+  ResourceVector r;
+  r.Set(ResourceKind::kGpu, v);
+  return r;
+}
+ResourceVector ResourceVector::MilliFpga(int64_t v) {
+  ResourceVector r;
+  r.Set(ResourceKind::kFpga, v);
+  return r;
+}
+ResourceVector ResourceVector::Dram(Bytes b) {
+  ResourceVector r;
+  r.Set(ResourceKind::kDram, b.bytes());
+  return r;
+}
+ResourceVector ResourceVector::Nvm(Bytes b) {
+  ResourceVector r;
+  r.Set(ResourceKind::kNvm, b.bytes());
+  return r;
+}
+ResourceVector ResourceVector::Ssd(Bytes b) {
+  ResourceVector r;
+  r.Set(ResourceKind::kSsd, b.bytes());
+  return r;
+}
+ResourceVector ResourceVector::Hdd(Bytes b) {
+  ResourceVector r;
+  r.Set(ResourceKind::kHdd, b.bytes());
+  return r;
+}
+ResourceVector ResourceVector::NetMbps(int64_t v) {
+  ResourceVector r;
+  r.Set(ResourceKind::kNetBw, v);
+  return r;
+}
+
+bool ResourceVector::IsZero() const {
+  for (int64_t a : amounts_) {
+    if (a != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ResourceVector ResourceVector::operator+(const ResourceVector& o) const {
+  ResourceVector r = *this;
+  r += o;
+  return r;
+}
+
+ResourceVector ResourceVector::operator-(const ResourceVector& o) const {
+  ResourceVector r = *this;
+  r -= o;
+  return r;
+}
+
+ResourceVector& ResourceVector::operator+=(const ResourceVector& o) {
+  for (size_t i = 0; i < amounts_.size(); ++i) {
+    amounts_[i] += o.amounts_[i];
+  }
+  return *this;
+}
+
+ResourceVector& ResourceVector::operator-=(const ResourceVector& o) {
+  for (size_t i = 0; i < amounts_.size(); ++i) {
+    amounts_[i] -= o.amounts_[i];
+  }
+  return *this;
+}
+
+bool ResourceVector::FitsIn(const ResourceVector& o) const {
+  for (size_t i = 0; i < amounts_.size(); ++i) {
+    if (amounts_[i] > o.amounts_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ResourceVector ResourceVector::Max(const ResourceVector& a,
+                                   const ResourceVector& b) {
+  ResourceVector r;
+  for (size_t i = 0; i < r.amounts_.size(); ++i) {
+    r.amounts_[i] = std::max(a.amounts_[i], b.amounts_[i]);
+  }
+  return r;
+}
+
+ResourceVector ResourceVector::Min(const ResourceVector& a,
+                                   const ResourceVector& b) {
+  ResourceVector r;
+  for (size_t i = 0; i < r.amounts_.size(); ++i) {
+    r.amounts_[i] = std::min(a.amounts_[i], b.amounts_[i]);
+  }
+  return r;
+}
+
+ResourceVector ResourceVector::Scaled(double factor) const {
+  ResourceVector r;
+  for (size_t i = 0; i < amounts_.size(); ++i) {
+    r.amounts_[i] = static_cast<int64_t>(
+        std::llround(static_cast<double>(amounts_[i]) * factor));
+  }
+  return r;
+}
+
+std::string ResourceVector::ToString() const {
+  std::string out;
+  for (int i = 0; i < kNumResourceKinds; ++i) {
+    const auto kind = static_cast<ResourceKind>(i);
+    const int64_t amount = Get(kind);
+    if (amount == 0) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += ' ';
+    }
+    if (IsComputeKind(kind)) {
+      out += StrFormat("%s=%lldm", std::string(ResourceKindName(kind)).c_str(),
+                       static_cast<long long>(amount));
+    } else if (kind == ResourceKind::kNetBw) {
+      out += StrFormat("%s=%lldMbps",
+                       std::string(ResourceKindName(kind)).c_str(),
+                       static_cast<long long>(amount));
+    } else {
+      out += StrFormat("%s=%s", std::string(ResourceKindName(kind)).c_str(),
+                       Bytes(amount).ToString().c_str());
+    }
+  }
+  return out.empty() ? "<empty>" : out;
+}
+
+Money PriceList::CostFor(const ResourceVector& r, SimTime duration) const {
+  const double hours = duration.hours();
+  double total_micro_usd = 0.0;
+  for (int i = 0; i < kNumResourceKinds; ++i) {
+    const auto kind = static_cast<ResourceKind>(i);
+    const int64_t amount = r.Get(kind);
+    if (amount == 0) {
+      continue;
+    }
+    const double unit_price = static_cast<double>(hourly(kind).micro_usd());
+    double units;
+    if (IsComputeKind(kind)) {
+      units = static_cast<double>(amount) / 1000.0;  // milli -> whole units
+    } else if (kind == ResourceKind::kNetBw) {
+      units = static_cast<double>(amount) / 100.0;  // per 100 Mbit/s
+    } else {
+      units = static_cast<double>(amount) / (1024.0 * 1024.0 * 1024.0);  // GiB
+    }
+    total_micro_usd += unit_price * units * hours;
+  }
+  return Money(static_cast<int64_t>(std::llround(total_micro_usd)));
+}
+
+PriceList PriceList::ScaledBy(double factor) const {
+  PriceList scaled;
+  for (int i = 0; i < kNumResourceKinds; ++i) {
+    const auto kind = static_cast<ResourceKind>(i);
+    scaled.SetHourly(kind, Scale(hourly(kind), factor));
+  }
+  return scaled;
+}
+
+PriceList PriceList::DefaultOnDemand() {
+  // Calibrated by regressing the EC2-style catalog onto its parts:
+  // m5.large  ~ 2 cores + 8 GiB  = 2*0.024 + 8*0.0065  = $0.100 (list $0.096)
+  // p3.2xlarge ~ 1 V100 + 8c + 61 GiB = 2.45 + 0.192 + 0.397 = $3.04 ($3.06)
+  // p3.16xlarge ~ 8 V100 + 64c + 488 GiB = $24.3 ($24.48)
+  PriceList p;
+  p.SetHourly(ResourceKind::kCpu, Money::FromDollars(0.024));   // per core-hour
+  p.SetHourly(ResourceKind::kGpu, Money::FromDollars(2.45));    // per V100-hour
+  p.SetHourly(ResourceKind::kFpga, Money::FromDollars(1.65));   // per FPGA-hour
+  p.SetHourly(ResourceKind::kDram, Money::FromDollars(0.0065)); // per GiB-hour
+  p.SetHourly(ResourceKind::kNvm, Money::FromDollars(0.0032));  // per GiB-hour
+  p.SetHourly(ResourceKind::kSsd, Money::FromDollars(0.00014)); // per GiB-hour
+  p.SetHourly(ResourceKind::kHdd, Money::FromDollars(0.00006)); // per GiB-hour
+  p.SetHourly(ResourceKind::kNetBw, Money::FromDollars(0.009)); // per 100Mbps-hour
+  return p;
+}
+
+}  // namespace udc

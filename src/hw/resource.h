@@ -1,0 +1,127 @@
+// Resource kinds and resource vectors.
+//
+// UDC lets a user request "arbitrary combinations and amounts" of resources
+// (paper sec. 1). A ResourceVector is the common currency for requests,
+// device capacities, server shapes, instance catalogs, utilization ledgers
+// and bills. Compute resources are in milli-units (1000 = one core / one
+// whole GPU) so fine-grained fractional allocation is exact; memory/storage
+// are in bytes.
+
+#ifndef UDC_SRC_HW_RESOURCE_H_
+#define UDC_SRC_HW_RESOURCE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/units.h"
+
+namespace udc {
+
+enum class ResourceKind : int {
+  kCpu = 0,     // milli-cores
+  kGpu = 1,     // milli-GPUs
+  kFpga = 2,    // milli-FPGAs
+  kDram = 3,    // bytes
+  kNvm = 4,     // bytes (persistent memory)
+  kSsd = 5,     // bytes
+  kHdd = 6,     // bytes
+  kNetBw = 7,   // Mbit/s reserved fabric bandwidth
+};
+
+inline constexpr int kNumResourceKinds = 8;
+
+// "cpu", "gpu", ... stable names used by the spec language and reports.
+std::string_view ResourceKindName(ResourceKind kind);
+
+// Inverse of ResourceKindName; returns false for unknown names.
+bool ParseResourceKind(std::string_view name, ResourceKind* out);
+
+// True for cpu/gpu/fpga (allocated in milli-units).
+bool IsComputeKind(ResourceKind kind);
+
+// A non-negative amount of each resource kind.
+class ResourceVector {
+ public:
+  constexpr ResourceVector() : amounts_{} {}
+
+  static ResourceVector MilliCpu(int64_t v);
+  static ResourceVector MilliGpu(int64_t v);
+  static ResourceVector MilliFpga(int64_t v);
+  static ResourceVector Dram(Bytes b);
+  static ResourceVector Nvm(Bytes b);
+  static ResourceVector Ssd(Bytes b);
+  static ResourceVector Hdd(Bytes b);
+  static ResourceVector NetMbps(int64_t v);
+
+  int64_t Get(ResourceKind kind) const {
+    return amounts_[static_cast<size_t>(kind)];
+  }
+  void Set(ResourceKind kind, int64_t amount) {
+    amounts_[static_cast<size_t>(kind)] = amount;
+  }
+  void Add(ResourceKind kind, int64_t amount) {
+    amounts_[static_cast<size_t>(kind)] += amount;
+  }
+
+  bool IsZero() const;
+
+  // Element-wise arithmetic. Subtraction clamps at zero only if `clamp`.
+  ResourceVector operator+(const ResourceVector& o) const;
+  ResourceVector operator-(const ResourceVector& o) const;
+  ResourceVector& operator+=(const ResourceVector& o);
+  ResourceVector& operator-=(const ResourceVector& o);
+
+  bool operator==(const ResourceVector& o) const = default;
+
+  // True when every component of this is <= the corresponding one of `o`
+  // ("fits inside"). Partial order, not total.
+  bool FitsIn(const ResourceVector& o) const;
+
+  // Element-wise max / min.
+  static ResourceVector Max(const ResourceVector& a, const ResourceVector& b);
+  static ResourceVector Min(const ResourceVector& a, const ResourceVector& b);
+
+  // Scales every component by `factor` (>= 0), rounding to nearest.
+  ResourceVector Scaled(double factor) const;
+
+  // "cpu=4000m gpu=1000m dram=16GiB" — zero components omitted.
+  std::string ToString() const;
+
+ private:
+  std::array<int64_t, kNumResourceKinds> amounts_;
+};
+
+// Price list: provider's unit price per resource kind per hour.
+class PriceList {
+ public:
+  PriceList() : per_hour_{} {}
+
+  void SetHourly(ResourceKind kind, Money per_unit_hour) {
+    per_hour_[static_cast<size_t>(kind)] = per_unit_hour;
+  }
+  Money hourly(ResourceKind kind) const {
+    return per_hour_[static_cast<size_t>(kind)];
+  }
+
+  // Cost of holding `r` for `duration`. Compute kinds are priced per
+  // whole-unit-hour (so milli-units scale by 1/1000); byte kinds per GiB-hour;
+  // bandwidth per 100 Mbit/s-hour.
+  Money CostFor(const ResourceVector& r, SimTime duration) const;
+
+  // Returns the list with every price multiplied by `factor` (paper sec. 4:
+  // the provider "can increase the unit price").
+  PriceList ScaledBy(double factor) const;
+
+  // A realistic on-demand-style default price list (see baseline/catalog.cc
+  // for the instance prices it is calibrated against).
+  static PriceList DefaultOnDemand();
+
+ private:
+  std::array<Money, kNumResourceKinds> per_hour_;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_HW_RESOURCE_H_

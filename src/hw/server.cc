@@ -1,0 +1,124 @@
+#include "src/hw/server.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+ServerShape ServerShape::GpuBox() {
+  ServerShape s;
+  s.name = "gpu-box";
+  s.capacity = ResourceVector::MilliCpu(64000) + ResourceVector::MilliGpu(8000) +
+               ResourceVector::Dram(Bytes::GiB(512)) +
+               ResourceVector::Ssd(Bytes::GiB(4000)) +
+               ResourceVector::NetMbps(100000);
+  return s;
+}
+
+ServerShape ServerShape::ComputeBox() {
+  ServerShape s;
+  s.name = "compute-box";
+  s.capacity = ResourceVector::MilliCpu(48000) +
+               ResourceVector::Dram(Bytes::GiB(384)) +
+               ResourceVector::Ssd(Bytes::GiB(2000)) +
+               ResourceVector::NetMbps(50000);
+  return s;
+}
+
+ServerShape ServerShape::StorageBox() {
+  ServerShape s;
+  s.name = "storage-box";
+  s.capacity = ResourceVector::MilliCpu(16000) +
+               ResourceVector::Dram(Bytes::GiB(128)) +
+               ResourceVector::Ssd(Bytes::GiB(16000)) +
+               ResourceVector::Hdd(Bytes::GiB(64000)) +
+               ResourceVector::NetMbps(50000);
+  return s;
+}
+
+Server::Server(ServerId id, ServerShape shape, NodeId node)
+    : id_(id), shape_(std::move(shape)), node_(node) {}
+
+bool Server::CanHost(const ResourceVector& r) const {
+  return healthy_ && (allocated_ + r).FitsIn(shape_.capacity);
+}
+
+Status Server::Place(InstanceId instance, TenantId tenant,
+                     const ResourceVector& r) {
+  if (!healthy_) {
+    return UnavailableError("server failed");
+  }
+  if (instances_.count(instance) != 0) {
+    return AlreadyExistsError("instance already placed on this server");
+  }
+  if (!CanHost(r)) {
+    return ResourceExhaustedError(
+        StrFormat("server %llu cannot host %s",
+                  static_cast<unsigned long long>(id_.value()),
+                  r.ToString().c_str()));
+  }
+  allocated_ += r;
+  instances_[instance] = Hosted{tenant, r};
+  return OkStatus();
+}
+
+Status Server::Evict(InstanceId instance) {
+  const auto it = instances_.find(instance);
+  if (it == instances_.end()) {
+    return NotFoundError("instance not on this server");
+  }
+  allocated_ -= it->second.resources;
+  instances_.erase(it);
+  return OkStatus();
+}
+
+std::vector<InstanceId> Server::instances() const {
+  std::vector<InstanceId> out;
+  out.reserve(instances_.size());
+  for (const auto& [id, hosted] : instances_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<TenantId> Server::tenants() const {
+  std::vector<TenantId> out;
+  for (const auto& [id, hosted] : instances_) {
+    if (std::find(out.begin(), out.end(), hosted.tenant) == out.end()) {
+      out.push_back(hosted.tenant);
+    }
+  }
+  return out;
+}
+
+double Server::UtilizationOf(ResourceKind kind) const {
+  const int64_t cap = shape_.capacity.Get(kind);
+  if (cap == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(allocated_.Get(kind)) / static_cast<double>(cap);
+}
+
+double Server::MeanUtilization() const {
+  double sum = 0.0;
+  int kinds = 0;
+  for (int i = 0; i < kNumResourceKinds; ++i) {
+    const auto kind = static_cast<ResourceKind>(i);
+    if (shape_.capacity.Get(kind) == 0) {
+      continue;
+    }
+    sum += UtilizationOf(kind);
+    ++kinds;
+  }
+  return kinds == 0 ? 0.0 : sum / kinds;
+}
+
+std::string Server::DebugString() const {
+  return StrFormat("server %llu (%s): %zu instances, mean util %.1f%%",
+                   static_cast<unsigned long long>(id_.value()),
+                   shape_.name.c_str(), instances_.size(),
+                   MeanUtilization() * 100.0);
+}
+
+}  // namespace udc

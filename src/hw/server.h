@@ -1,0 +1,85 @@
+// Monolithic server model, used by the baseline clouds (IaaS/CaaS/FaaS) and
+// by UDC hybrid deployments (paper sec. 4: "a hybrid cluster that contains
+// both regular servers and disaggregated devices").
+//
+// A server has a fixed shape (its ResourceVector) and hosts allocations that
+// must fit entirely within one server — this is the bin-packing constraint
+// whose waste UDC removes.
+
+#ifndef UDC_SRC_HW_SERVER_H_
+#define UDC_SRC_HW_SERVER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/hw/resource.h"
+#include "src/hw/topology.h"
+
+namespace udc {
+
+// Standard shapes used when building baseline fleets.
+struct ServerShape {
+  std::string name;
+  ResourceVector capacity;
+
+  // A 2-socket, 64-core, 512 GiB, 8-GPU "big box" and a general compute box.
+  static ServerShape GpuBox();
+  static ServerShape ComputeBox();
+  static ServerShape StorageBox();
+};
+
+class Server {
+ public:
+  Server(ServerId id, ServerShape shape, NodeId node);
+
+  ServerId id() const { return id_; }
+  const ServerShape& shape() const { return shape_; }
+  NodeId node() const { return node_; }
+
+  const ResourceVector& capacity() const { return shape_.capacity; }
+  const ResourceVector& allocated() const { return allocated_; }
+  ResourceVector Free() const { return shape_.capacity - allocated_; }
+
+  bool healthy() const { return healthy_; }
+  void set_healthy(bool h) { healthy_ = h; }
+
+  // True when `r` fits in the remaining capacity.
+  bool CanHost(const ResourceVector& r) const;
+
+  // Reserves `r` for instance `instance` of `tenant`.
+  Status Place(InstanceId instance, TenantId tenant, const ResourceVector& r);
+
+  // Releases the reservation of `instance`.
+  Status Evict(InstanceId instance);
+
+  size_t instance_count() const { return instances_.size(); }
+  std::vector<InstanceId> instances() const;
+  std::vector<TenantId> tenants() const;
+
+  // Fraction of each resource in use, averaged over non-zero-capacity kinds.
+  double MeanUtilization() const;
+  // Utilization of one resource kind.
+  double UtilizationOf(ResourceKind kind) const;
+
+  std::string DebugString() const;
+
+ private:
+  struct Hosted {
+    TenantId tenant;
+    ResourceVector resources;
+  };
+
+  ServerId id_;
+  ServerShape shape_;
+  NodeId node_;
+  bool healthy_ = true;
+  ResourceVector allocated_;
+  std::unordered_map<InstanceId, Hosted> instances_;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_HW_SERVER_H_

@@ -1,0 +1,97 @@
+#include "src/hw/topology.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+Topology::Topology(TopologyParams params) : params_(params) {
+  agg_switch_ = node_ids_.Next();
+  nodes_[agg_switch_] = NodeInfo{-1, NodeRole::kAggSwitch};
+}
+
+int Topology::AddRack() {
+  const int rack = static_cast<int>(rack_tor_.size());
+  const NodeId tor = node_ids_.Next();
+  nodes_[tor] = NodeInfo{rack, NodeRole::kTorSwitch};
+  rack_tor_.push_back(tor);
+  return rack;
+}
+
+NodeId Topology::AddNode(int rack, NodeRole role) {
+  assert(rack >= 0 && rack < rack_count());
+  const NodeId id = node_ids_.Next();
+  nodes_[id] = NodeInfo{rack, role};
+  return id;
+}
+
+NodeId Topology::TorSwitch(int rack) const {
+  assert(rack >= 0 && rack < rack_count());
+  return rack_tor_[static_cast<size_t>(rack)];
+}
+
+bool Topology::Contains(NodeId node) const { return nodes_.count(node) > 0; }
+
+int Topology::RackOf(NodeId node) const {
+  const auto it = nodes_.find(node);
+  return it == nodes_.end() ? -1 : it->second.rack;
+}
+
+NodeRole Topology::RoleOf(NodeId node) const {
+  const auto it = nodes_.find(node);
+  assert(it != nodes_.end());
+  return it->second.role;
+}
+
+int Topology::Distance(NodeId a, NodeId b) const {
+  if (a == b) {
+    return 0;
+  }
+  const int rack_a = RackOf(a);
+  const int rack_b = RackOf(b);
+  if (rack_a >= 0 && rack_a == rack_b) {
+    return 1;
+  }
+  return 2;
+}
+
+SimTime Topology::BaseLatency(NodeId a, NodeId b) const {
+  const int dist = Distance(a, b);
+  if (dist == 0) {
+    return SimTime(0);
+  }
+  SimTime base =
+      dist == 1 ? params_.intra_rack_latency : params_.inter_rack_latency;
+  // Switches sit on the path: endpoint->switch traverses only half of the
+  // endpoint->endpoint route (this is what makes in-network programs pay
+  // less than an extra full hop, sec. 3.4).
+  const bool a_switch =
+      RoleOf(a) == NodeRole::kTorSwitch || RoleOf(a) == NodeRole::kAggSwitch;
+  const bool b_switch =
+      RoleOf(b) == NodeRole::kTorSwitch || RoleOf(b) == NodeRole::kAggSwitch;
+  if (a_switch != b_switch) {
+    base = base / 2;
+  }
+  return base;
+}
+
+SimTime Topology::TransferTime(NodeId a, NodeId b, Bytes size) const {
+  const int dist = Distance(a, b);
+  if (dist == 0) {
+    return SimTime(0);
+  }
+  const double bw =
+      dist == 1 ? params_.intra_rack_bw_mbps : params_.inter_rack_bw_mbps;
+  const double serialization_us = size.mib() / bw * 1e6;
+  return BaseLatency(a, b) +
+         SimTime(static_cast<int64_t>(std::llround(serialization_us)));
+}
+
+std::string Topology::DebugString() const {
+  return StrFormat("topology: %d racks, %zu nodes", rack_count(),
+                   nodes_.size());
+}
+
+}  // namespace udc

@@ -1,0 +1,85 @@
+// Datacenter fabric topology.
+//
+// Nodes (devices, servers, switches) live in racks. Each rack has a ToR
+// switch; racks connect through an aggregation switch. The topology answers
+// distance and transfer-time queries for the message fabric and gives the
+// scheduler its locality signal (paper sec. 3.1: locality relationships guide
+// compute/data placement).
+
+#ifndef UDC_SRC_HW_TOPOLOGY_H_
+#define UDC_SRC_HW_TOPOLOGY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace udc {
+
+enum class NodeRole {
+  kDevice,     // disaggregated device endpoint
+  kServer,     // monolithic server endpoint (baseline / hybrid)
+  kTorSwitch,  // top-of-rack switch (programmable)
+  kAggSwitch,  // aggregation switch (programmable)
+};
+
+struct TopologyParams {
+  SimTime intra_rack_latency = SimTime::Micros(2);   // endpoint->ToR->endpoint
+  SimTime inter_rack_latency = SimTime::Micros(6);   // via aggregation switch
+  double intra_rack_bw_mbps = 12500.0;               // 100 Gbit/s in MiB/s
+  double inter_rack_bw_mbps = 5000.0;                // 40 Gbit/s in MiB/s
+};
+
+class Topology {
+ public:
+  explicit Topology(TopologyParams params = TopologyParams());
+
+  // Creates a rack (with its ToR switch node) and returns its index.
+  int AddRack();
+  int rack_count() const { return static_cast<int>(rack_tor_.size()); }
+
+  // Adds an endpoint node to `rack`. Returns the new node id.
+  NodeId AddNode(int rack, NodeRole role);
+
+  // The ToR switch node of `rack`, and the single aggregation switch.
+  NodeId TorSwitch(int rack) const;
+  NodeId AggSwitch() const { return agg_switch_; }
+
+  bool Contains(NodeId node) const;
+  int RackOf(NodeId node) const;  // -1 for the aggregation switch / unknown
+  NodeRole RoleOf(NodeId node) const;
+  size_t node_count() const { return nodes_.size(); }
+
+  // Hop distance: 0 same node, 1 same rack, 2 across racks.
+  int Distance(NodeId a, NodeId b) const;
+
+  // One-way time to move `size` bytes from `a` to `b` (propagation +
+  // serialization at the bottleneck link). Zero when a == b.
+  SimTime TransferTime(NodeId a, NodeId b, Bytes size) const;
+
+  // Propagation-only latency between two nodes.
+  SimTime BaseLatency(NodeId a, NodeId b) const;
+
+  const TopologyParams& params() const { return params_; }
+
+  std::string DebugString() const;
+
+ private:
+  struct NodeInfo {
+    int rack;
+    NodeRole role;
+  };
+
+  TopologyParams params_;
+  IdGenerator<NodeId> node_ids_;
+  std::unordered_map<NodeId, NodeInfo> nodes_;
+  std::vector<NodeId> rack_tor_;
+  NodeId agg_switch_;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_HW_TOPOLOGY_H_

@@ -1,0 +1,269 @@
+#include "src/ir/module_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+ModuleGraph::ModuleGraph(std::string app_name) : app_name_(std::move(app_name)) {}
+
+Result<ModuleId> ModuleGraph::AddTask(const std::string& name,
+                                      double work_units, Bytes output_size) {
+  if (by_name_.count(name) != 0) {
+    return Status(AlreadyExistsError("duplicate module name: " + name));
+  }
+  if (work_units < 0) {
+    return Status(InvalidArgumentError("work_units must be >= 0"));
+  }
+  Module m;
+  m.id = ids_.Next();
+  m.name = name;
+  m.kind = ModuleKind::kTask;
+  m.work_units = work_units;
+  m.output_size = output_size;
+  by_name_[name] = m.id;
+  modules_.push_back(std::move(m));
+  return modules_.back().id;
+}
+
+Result<ModuleId> ModuleGraph::AddData(const std::string& name, Bytes size) {
+  if (by_name_.count(name) != 0) {
+    return Status(AlreadyExistsError("duplicate module name: " + name));
+  }
+  if (size < Bytes(0)) {
+    return Status(InvalidArgumentError("data size must be >= 0"));
+  }
+  Module m;
+  m.id = ids_.Next();
+  m.name = name;
+  m.kind = ModuleKind::kData;
+  m.data_size = size;
+  by_name_[name] = m.id;
+  modules_.push_back(std::move(m));
+  return modules_.back().id;
+}
+
+Status ModuleGraph::CheckExists(ModuleId id) const {
+  if (Find(id) == nullptr) {
+    return NotFoundError("unknown module id");
+  }
+  return OkStatus();
+}
+
+Status ModuleGraph::AddEdge(ModuleId from, ModuleId to) {
+  UDC_RETURN_IF_ERROR(CheckExists(from));
+  UDC_RETURN_IF_ERROR(CheckExists(to));
+  if (from == to) {
+    return InvalidArgumentError("self edge");
+  }
+  const Module* a = Find(from);
+  const Module* b = Find(to);
+  if (a->kind == ModuleKind::kData && b->kind == ModuleKind::kData) {
+    return InvalidArgumentError("data->data edges are not meaningful");
+  }
+  edges_.emplace_back(from, to);
+  return OkStatus();
+}
+
+Status ModuleGraph::AddColocation(ModuleId a, ModuleId b) {
+  UDC_RETURN_IF_ERROR(CheckExists(a));
+  UDC_RETURN_IF_ERROR(CheckExists(b));
+  if (Find(a)->kind != ModuleKind::kTask || Find(b)->kind != ModuleKind::kTask) {
+    return InvalidArgumentError("colocation hints connect two task modules");
+  }
+  hints_.push_back(LocalityHint{a, b, /*is_affinity=*/false});
+  return OkStatus();
+}
+
+Status ModuleGraph::AddAffinity(ModuleId task, ModuleId data) {
+  UDC_RETURN_IF_ERROR(CheckExists(task));
+  UDC_RETURN_IF_ERROR(CheckExists(data));
+  if (Find(task)->kind != ModuleKind::kTask ||
+      Find(data)->kind != ModuleKind::kData) {
+    return InvalidArgumentError("affinity hints connect a task to a data module");
+  }
+  hints_.push_back(LocalityHint{task, data, /*is_affinity=*/true});
+  return OkStatus();
+}
+
+const Module* ModuleGraph::Find(ModuleId id) const {
+  for (const auto& m : modules_) {
+    if (m.id == id) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+const Module* ModuleGraph::FindByName(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : Find(it->second);
+}
+
+ModuleId ModuleGraph::IdOf(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? ModuleId::Invalid() : it->second;
+}
+
+std::vector<ModuleId> ModuleGraph::ModuleIds() const {
+  std::vector<ModuleId> out;
+  out.reserve(modules_.size());
+  for (const auto& m : modules_) {
+    out.push_back(m.id);
+  }
+  return out;
+}
+
+std::vector<ModuleId> ModuleGraph::TaskIds() const {
+  std::vector<ModuleId> out;
+  for (const auto& m : modules_) {
+    if (m.kind == ModuleKind::kTask) {
+      out.push_back(m.id);
+    }
+  }
+  return out;
+}
+
+std::vector<ModuleId> ModuleGraph::DataIds() const {
+  std::vector<ModuleId> out;
+  for (const auto& m : modules_) {
+    if (m.kind == ModuleKind::kData) {
+      out.push_back(m.id);
+    }
+  }
+  return out;
+}
+
+std::vector<ModuleId> ModuleGraph::Predecessors(ModuleId id) const {
+  std::vector<ModuleId> out;
+  for (const auto& [from, to] : edges_) {
+    if (to == id) {
+      out.push_back(from);
+    }
+  }
+  return out;
+}
+
+std::vector<ModuleId> ModuleGraph::Successors(ModuleId id) const {
+  std::vector<ModuleId> out;
+  for (const auto& [from, to] : edges_) {
+    if (from == id) {
+      out.push_back(to);
+    }
+  }
+  return out;
+}
+
+std::vector<ModuleId> ModuleGraph::LocalityPartners(ModuleId id) const {
+  std::vector<ModuleId> out;
+  for (const auto& hint : hints_) {
+    if (hint.a == id) {
+      out.push_back(hint.b);
+    } else if (hint.b == id) {
+      out.push_back(hint.a);
+    }
+  }
+  return out;
+}
+
+std::vector<ModuleId> ModuleGraph::AccessorsOf(ModuleId data) const {
+  std::vector<ModuleId> out;
+  for (const auto& [from, to] : edges_) {
+    if (from == data && Find(to)->kind == ModuleKind::kTask) {
+      out.push_back(to);
+    }
+    if (to == data && Find(from)->kind == ModuleKind::kTask) {
+      out.push_back(from);
+    }
+  }
+  return out;
+}
+
+Status ModuleGraph::Validate() const {
+  for (const auto& [from, to] : edges_) {
+    if (Find(from) == nullptr || Find(to) == nullptr) {
+      return InternalError("edge references missing module");
+    }
+  }
+  const auto topo = TopoOrder();
+  if (!topo.ok()) {
+    return topo.status();
+  }
+  return OkStatus();
+}
+
+Result<std::vector<ModuleId>> ModuleGraph::TopoOrder() const {
+  // Kahn's algorithm over task-to-task edges; data modules impose ordering
+  // through task->data->task chains, which we collapse to task->task.
+  std::unordered_map<ModuleId, std::vector<ModuleId>> adj;
+  std::unordered_map<ModuleId, int> indegree;
+  for (const ModuleId t : TaskIds()) {
+    indegree[t] = 0;
+  }
+  auto add_task_edge = [&](ModuleId from, ModuleId to) {
+    adj[from].push_back(to);
+    ++indegree[to];
+  };
+  for (const auto& [from, to] : edges_) {
+    const Module* a = Find(from);
+    const Module* b = Find(to);
+    if (a->kind == ModuleKind::kTask && b->kind == ModuleKind::kTask) {
+      add_task_edge(from, to);
+    } else if (a->kind == ModuleKind::kTask && b->kind == ModuleKind::kData) {
+      // writer -> data: readers of that data depend on the writer.
+      for (const auto& [from2, to2] : edges_) {
+        if (from2 == to && Find(to2)->kind == ModuleKind::kTask) {
+          add_task_edge(from, to2);
+        }
+      }
+    }
+  }
+  std::deque<ModuleId> ready;
+  for (const auto& [id, deg] : indegree) {
+    if (deg == 0) {
+      ready.push_back(id);
+    }
+  }
+  // Deterministic order: smallest id first.
+  std::sort(ready.begin(), ready.end());
+  std::vector<ModuleId> order;
+  while (!ready.empty()) {
+    const ModuleId id = ready.front();
+    ready.pop_front();
+    order.push_back(id);
+    std::vector<ModuleId> unlocked;
+    for (const ModuleId next : adj[id]) {
+      if (--indegree[next] == 0) {
+        unlocked.push_back(next);
+      }
+    }
+    std::sort(unlocked.begin(), unlocked.end());
+    for (const ModuleId u : unlocked) {
+      ready.push_back(u);
+    }
+  }
+  if (order.size() != indegree.size()) {
+    return Status(InvalidArgumentError("module graph contains a cycle"));
+  }
+  return order;
+}
+
+std::string ModuleGraph::DebugString() const {
+  std::string out = StrFormat("app %s: %zu modules, %zu edges, %zu hints\n",
+                              app_name_.c_str(), modules_.size(), edges_.size(),
+                              hints_.size());
+  for (const auto& m : modules_) {
+    if (m.kind == ModuleKind::kTask) {
+      out += StrFormat("  task %-6s work=%.0f out=%s\n", m.name.c_str(),
+                       m.work_units, m.output_size.ToString().c_str());
+    } else {
+      out += StrFormat("  data %-6s size=%s\n", m.name.c_str(),
+                       m.data_size.ToString().c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace udc

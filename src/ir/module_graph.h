@@ -1,0 +1,110 @@
+// Application semantics: the module DAG (paper sec. 3.1).
+//
+// "A user program is expressed as a DAG of modules. A module could be a code
+// block representing a task ... or one or more data structures representing
+// a set of data, and edges across modules represent their dependencies."
+// The graph also carries the locality relationships (co-location of tasks,
+// task/data affinity) that guide the runtime scheduler.
+
+#ifndef UDC_SRC_IR_MODULE_GRAPH_H_
+#define UDC_SRC_IR_MODULE_GRAPH_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace udc {
+
+enum class ModuleKind {
+  kTask,
+  kData,
+};
+
+struct Module {
+  ModuleId id;
+  std::string name;
+  ModuleKind kind = ModuleKind::kTask;
+
+  // Task modules: abstract work units (1 unit = 1us on a reference core)
+  // and the wire size of their output.
+  double work_units = 0.0;
+  Bytes output_size;
+
+  // Data modules: stored size.
+  Bytes data_size;
+};
+
+struct LocalityHint {
+  ModuleId a;  // task
+  ModuleId b;  // task (co-locate) or data (affinity)
+  bool is_affinity = false;
+};
+
+class ModuleGraph {
+ public:
+  explicit ModuleGraph(std::string app_name = "app");
+
+  const std::string& app_name() const { return app_name_; }
+  void set_app_name(std::string name) { app_name_ = std::move(name); }
+
+  // Names must be unique within the graph.
+  Result<ModuleId> AddTask(const std::string& name, double work_units,
+                           Bytes output_size = Bytes::KiB(64));
+  Result<ModuleId> AddData(const std::string& name, Bytes size);
+
+  // Dependency edge `from` -> `to`. Task->task is control+data flow;
+  // data->task means the task reads the data module; task->data means the
+  // task writes it.
+  Status AddEdge(ModuleId from, ModuleId to);
+
+  // Locality: prefer scheduling `a` and `b` on the same hardware unit.
+  Status AddColocation(ModuleId a, ModuleId b);
+  // Locality: task `task` frequently accesses data module `data`.
+  Status AddAffinity(ModuleId task, ModuleId data);
+
+  const Module* Find(ModuleId id) const;
+  const Module* FindByName(const std::string& name) const;
+  ModuleId IdOf(const std::string& name) const;
+
+  std::vector<ModuleId> ModuleIds() const;
+  std::vector<ModuleId> TaskIds() const;
+  std::vector<ModuleId> DataIds() const;
+  size_t size() const { return modules_.size(); }
+
+  std::vector<ModuleId> Predecessors(ModuleId id) const;
+  std::vector<ModuleId> Successors(ModuleId id) const;
+  const std::vector<LocalityHint>& locality_hints() const { return hints_; }
+
+  // Locality partners of `id` (both colocation and affinity).
+  std::vector<ModuleId> LocalityPartners(ModuleId id) const;
+
+  // Task modules reading or writing data module `data`.
+  std::vector<ModuleId> AccessorsOf(ModuleId data) const;
+
+  // Fails on cycles among task modules, dangling edges, or duplicate names.
+  Status Validate() const;
+
+  // Topological order of task modules (data modules excluded). Fails on a
+  // cycle.
+  Result<std::vector<ModuleId>> TopoOrder() const;
+
+  std::string DebugString() const;
+
+ private:
+  Status CheckExists(ModuleId id) const;
+
+  std::string app_name_;
+  IdGenerator<ModuleId> ids_;
+  std::vector<Module> modules_;
+  std::unordered_map<std::string, ModuleId> by_name_;
+  std::vector<std::pair<ModuleId, ModuleId>> edges_;
+  std::vector<LocalityHint> hints_;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_IR_MODULE_GRAPH_H_

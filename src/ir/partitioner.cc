@@ -1,0 +1,220 @@
+#include "src/ir/partitioner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+Status LegacyProgram::Validate() const {
+  const size_t n = segments.size();
+  if (n == 0) {
+    return InvalidArgumentError("legacy program has no segments");
+  }
+  if (dep_bytes.size() != n) {
+    return InvalidArgumentError("dep_bytes must be n x n");
+  }
+  for (const auto& row : dep_bytes) {
+    if (row.size() != n) {
+      return InvalidArgumentError("dep_bytes must be n x n");
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i && j < n; ++j) {
+      if (dep_bytes[i][j] != 0.0) {
+        return InvalidArgumentError(
+            "dependencies must flow forward (upper triangular)");
+      }
+    }
+  }
+  return OkStatus();
+}
+
+namespace {
+
+// Bytes crossing the boundary between prefix [0, cut) and suffix [cut, n).
+double CrossBytesAt(const LegacyProgram& p, size_t cut) {
+  double sum = 0.0;
+  for (size_t i = 0; i < cut; ++i) {
+    for (size_t j = cut; j < p.segments.size(); ++j) {
+      sum += p.dep_bytes[i][j];
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+Result<Partitioning> PartitionChain(const LegacyProgram& program, size_t parts,
+                                    double hint_bonus_bytes) {
+  UDC_RETURN_IF_ERROR(program.Validate());
+  const size_t n = program.segments.size();
+  if (parts == 0 || parts > n) {
+    return Status(
+        InvalidArgumentError("parts must be in [1, segment count]"));
+  }
+  if (parts == 1) {
+    Partitioning p;
+    p.boundaries = {0};
+    return p;
+  }
+
+  // Candidate cut costs: cost[c] = bytes crossing a cut before segment c,
+  // minus the hint bonus when segment c is a usage-shift point. A set of
+  // cuts is scored by the sum of its members — cut costs are independent
+  // because each dependency (i, j) crosses cut c iff i < c <= j, and we sum
+  // over chosen cuts.
+  std::vector<double> cut_cost(n, 0.0);
+  for (size_t c = 1; c < n; ++c) {
+    cut_cost[c] = CrossBytesAt(program, c);
+    if (program.segments[c].usage_shift_hint) {
+      cut_cost[c] -= hint_bonus_bytes;
+    }
+  }
+
+  // Choose the parts-1 cheapest distinct cut positions.
+  std::vector<size_t> candidates;
+  for (size_t c = 1; c < n; ++c) {
+    candidates.push_back(c);
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](size_t a, size_t b) {
+    if (cut_cost[a] != cut_cost[b]) {
+      return cut_cost[a] < cut_cost[b];
+    }
+    return a < b;
+  });
+  candidates.resize(parts - 1);
+  std::sort(candidates.begin(), candidates.end());
+
+  Partitioning result;
+  result.boundaries.push_back(0);
+  for (size_t c : candidates) {
+    result.boundaries.push_back(c);
+  }
+  double total = 0.0;
+  for (size_t c : candidates) {
+    total += CrossBytesAt(program, c);
+  }
+  // Dependencies spanning multiple cuts are counted per crossed cut above;
+  // recompute exactly: a dep (i, j) contributes once iff i and j land in
+  // different parts.
+  auto part_of = [&](size_t seg) {
+    size_t part = 0;
+    for (size_t m = 0; m < result.boundaries.size(); ++m) {
+      if (seg >= result.boundaries[m]) {
+        part = m;
+      }
+    }
+    return part;
+  };
+  total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (program.dep_bytes[i][j] > 0 && part_of(i) != part_of(j)) {
+        total += program.dep_bytes[i][j];
+      }
+    }
+  }
+  result.cross_cut_bytes = total;
+  return result;
+}
+
+Result<ModuleGraph> ToModuleGraph(const LegacyProgram& program,
+                                  const Partitioning& partitioning) {
+  UDC_RETURN_IF_ERROR(program.Validate());
+  if (partitioning.boundaries.empty() || partitioning.boundaries[0] != 0) {
+    return Status(InvalidArgumentError("partitioning must start at 0"));
+  }
+  const size_t n = program.segments.size();
+  const size_t parts = partitioning.boundaries.size();
+
+  auto part_of = [&](size_t seg) {
+    size_t part = 0;
+    for (size_t m = 0; m < parts; ++m) {
+      if (seg >= partitioning.boundaries[m]) {
+        part = m;
+      }
+    }
+    return part;
+  };
+
+  ModuleGraph graph(program.name);
+  std::vector<ModuleId> part_module(parts);
+  for (size_t m = 0; m < parts; ++m) {
+    const size_t begin = partitioning.boundaries[m];
+    const size_t end = (m + 1 < parts) ? partitioning.boundaries[m + 1] : n;
+    double work = 0.0;
+    for (size_t s = begin; s < end; ++s) {
+      work += program.segments[s].work_units;
+    }
+    // Output size: bytes this part sends to later parts.
+    double out_bytes = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      for (size_t j = end; j < n; ++j) {
+        out_bytes += program.dep_bytes[i][j];
+      }
+    }
+    UDC_ASSIGN_OR_RETURN(
+        part_module[m],
+        graph.AddTask(StrFormat("%s_part%zu", program.name.c_str(), m), work,
+                      Bytes(static_cast<int64_t>(out_bytes))));
+  }
+  // Edges between parts with any dependency.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (program.dep_bytes[i][j] <= 0) {
+        continue;
+      }
+      const size_t pi = part_of(i);
+      const size_t pj = part_of(j);
+      if (pi != pj) {
+        // AddEdge dedup: ModuleGraph tolerates parallel edges, but keep one.
+        bool exists = false;
+        for (const ModuleId succ : graph.Successors(part_module[pi])) {
+          if (succ == part_module[pj]) {
+            exists = true;
+            break;
+          }
+        }
+        if (!exists) {
+          UDC_RETURN_IF_ERROR(graph.AddEdge(part_module[pi], part_module[pj]));
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+
+Result<std::vector<ResourceVector>> PartDemands(
+    const LegacyProgram& program, const Partitioning& partitioning) {
+  UDC_RETURN_IF_ERROR(program.Validate());
+  if (partitioning.boundaries.empty() || partitioning.boundaries[0] != 0) {
+    return Status(InvalidArgumentError("partitioning must start at 0"));
+  }
+  const size_t n = program.segments.size();
+  const size_t parts = partitioning.boundaries.size();
+  std::vector<ResourceVector> demands(parts);
+  for (size_t m = 0; m < parts; ++m) {
+    const size_t begin = partitioning.boundaries[m];
+    const size_t end = (m + 1 < parts) ? partitioning.boundaries[m + 1] : n;
+    ResourceVector peak;
+    for (size_t s = begin; s < end; ++s) {
+      peak = ResourceVector::Max(peak, program.segments[s].demand);
+    }
+    // Floor: every part needs some compute + memory to exist.
+    if (peak.Get(ResourceKind::kCpu) == 0 && peak.Get(ResourceKind::kGpu) == 0 &&
+        peak.Get(ResourceKind::kFpga) == 0) {
+      peak.Set(ResourceKind::kCpu, 1000);
+    }
+    if (peak.Get(ResourceKind::kDram) == 0) {
+      peak.Set(ResourceKind::kDram, Bytes::MiB(256).bytes());
+    }
+    demands[m] = peak;
+  }
+  return demands;
+}
+
+}  // namespace udc
+

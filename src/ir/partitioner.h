@@ -1,0 +1,69 @@
+// Legacy-program splitting (paper sec. 4, "Supporting legacy software").
+//
+// "Our static analysis can infer dependencies and cuts a program into
+// segments to minimize the number of cross-segment dependencies." A legacy
+// program is modeled as a chain of code segments (the order static analysis
+// recovers) with pairwise data-dependency weights; PartitionChain finds the
+// k-1 cut points minimizing the total weight of dependencies that cross a
+// cut, via dynamic programming. ToModuleGraph then materializes the chosen
+// partitioning as a UDC module DAG.
+
+#ifndef UDC_SRC_IR_PARTITIONER_H_
+#define UDC_SRC_IR_PARTITIONER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/hw/resource.h"
+#include "src/ir/module_graph.h"
+
+namespace udc {
+
+struct CodeSegment {
+  std::string label;
+  double work_units = 0.0;
+  // Developer / profiler hints: where resource usage changes.
+  bool usage_shift_hint = false;
+  // Profiler-measured resource footprint of this segment. An unsplit
+  // program must reserve the *peak* over all segments for its whole run —
+  // the waste that motivates splitting (paper sec. 4).
+  ResourceVector demand;
+};
+
+// dep[i][j] = bytes flowing from segment i to segment j (i < j).
+struct LegacyProgram {
+  std::string name;
+  std::vector<CodeSegment> segments;
+  std::vector<std::vector<double>> dep_bytes;
+
+  Status Validate() const;
+};
+
+struct Partitioning {
+  // boundaries[m] = first segment index of part m; boundaries[0] == 0.
+  std::vector<size_t> boundaries;
+  double cross_cut_bytes = 0.0;
+};
+
+// Optimal contiguous partitioning into exactly `parts` pieces, minimizing
+// bytes crossing part boundaries. Segments flagged usage_shift_hint get a
+// small bonus for starting a part (the profiler said behaviour changes
+// there). O(n^2 * parts).
+Result<Partitioning> PartitionChain(const LegacyProgram& program, size_t parts,
+                                    double hint_bonus_bytes = 0.0);
+
+// Builds the module DAG for a partitioning: one task per part, with edges
+// and transfer sizes from the summed cross-part dependencies.
+Result<ModuleGraph> ToModuleGraph(const LegacyProgram& program,
+                                  const Partitioning& partitioning);
+
+// Per-part resource demand: the element-wise peak over the part's segments
+// (a part must hold enough for its hungriest segment while it runs).
+Result<std::vector<ResourceVector>> PartDemands(
+    const LegacyProgram& program, const Partitioning& partitioning);
+
+}  // namespace udc
+
+#endif  // UDC_SRC_IR_PARTITIONER_H_

@@ -1,0 +1,60 @@
+#include "src/net/fabric.h"
+
+#include <utility>
+
+namespace udc {
+
+Fabric::Fabric(Simulation* sim, const Topology* topology)
+    : sim_(sim), topology_(topology) {}
+
+void Fabric::Bind(NodeId node, Handler handler) {
+  handlers_[node] = std::move(handler);
+}
+
+void Fabric::Unbind(NodeId node) { handlers_.erase(node); }
+
+void Fabric::SetNodeUp(NodeId node, bool up) { down_[node] = !up; }
+
+bool Fabric::IsNodeUp(NodeId node) const {
+  const auto it = down_.find(node);
+  return it == down_.end() || !it->second;
+}
+
+MessageId Fabric::Send(NodeId from, NodeId to, std::string type,
+                       std::string payload, Bytes size) {
+  const MessageId id = message_ids_.Next();
+  ++messages_sent_;
+  bytes_sent_ += size.bytes();
+  sim_->metrics().IncrementCounter("net.messages_sent");
+  sim_->metrics().IncrementCounter("net.bytes_sent", size.bytes());
+
+  Message msg;
+  msg.id = id;
+  msg.from = from;
+  msg.to = to;
+  msg.type = std::move(type);
+  msg.payload = std::move(payload);
+  msg.size = size;
+  msg.sent_at = sim_->now();
+
+  const SimTime delay = topology_->TransferTime(from, to, size);
+  sim_->After(delay, [this, msg = std::move(msg)]() mutable {
+    if (!IsNodeUp(msg.to)) {
+      ++messages_dropped_;
+      sim_->metrics().IncrementCounter("net.messages_dropped");
+      return;
+    }
+    const auto it = handlers_.find(msg.to);
+    if (it == handlers_.end()) {
+      ++messages_dropped_;
+      sim_->metrics().IncrementCounter("net.messages_dropped");
+      return;
+    }
+    msg.delivered_at = sim_->now();
+    ++messages_delivered_;
+    it->second(msg);
+  });
+  return id;
+}
+
+}  // namespace udc

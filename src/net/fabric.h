@@ -1,0 +1,76 @@
+// Message fabric over the datacenter topology.
+//
+// Disaggregated devices are "network-attached"; every interaction between
+// modules, devices and the control plane is a message on this fabric. The
+// fabric charges propagation + serialization time from the Topology model,
+// counts messages/bytes in the telemetry registry, and delivers to handlers
+// registered per node.
+
+#ifndef UDC_SRC_NET_FABRIC_H_
+#define UDC_SRC_NET_FABRIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/hw/topology.h"
+#include "src/sim/simulation.h"
+
+namespace udc {
+
+struct Message {
+  MessageId id;
+  NodeId from;
+  NodeId to;
+  std::string type;        // e.g. "rpc.req", "repl.prepare", "seq.mcast"
+  std::string payload;     // opaque; logical content
+  Bytes size;              // wire size used for timing (>= payload size)
+  SimTime sent_at;
+  SimTime delivered_at;
+};
+
+class Fabric {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  Fabric(Simulation* sim, const Topology* topology);
+
+  // Registers the message handler for `node`; replaces any previous one.
+  void Bind(NodeId node, Handler handler);
+  void Unbind(NodeId node);
+
+  // Marks a node unreachable (failed device); messages to it are dropped.
+  void SetNodeUp(NodeId node, bool up);
+  bool IsNodeUp(NodeId node) const;
+
+  // Sends one message; delivery is scheduled after the transfer time.
+  // Returns the assigned message id. Messages to down or unbound nodes are
+  // silently dropped (and counted), like a real lossy fabric.
+  MessageId Send(NodeId from, NodeId to, std::string type, std::string payload,
+                 Bytes size);
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_delivered() const { return messages_delivered_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  int64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  Simulation* sim_;
+  const Topology* topology_;
+  IdGenerator<MessageId> message_ids_;
+  std::unordered_map<NodeId, Handler> handlers_;
+  std::unordered_map<NodeId, bool> down_;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_delivered_ = 0;
+  uint64_t messages_dropped_ = 0;
+  int64_t bytes_sent_ = 0;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_NET_FABRIC_H_

@@ -1,0 +1,112 @@
+#include "src/net/rpc.h"
+
+#include <utility>
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+// Wire format of Message::type:
+//   "req:<method>:<call_id>:<resp_bytes>"  request expecting a response
+//   "resp:<call_id>"                       response
+//   "oneway:<method>"                      fire-and-forget
+
+RpcEndpoint::RpcEndpoint(Simulation* sim, Fabric* fabric, NodeId node)
+    : sim_(sim), fabric_(fabric), node_(node) {
+  fabric_->Bind(node_, [this](const Message& msg) { HandleMessage(msg); });
+}
+
+RpcEndpoint::~RpcEndpoint() { fabric_->Unbind(node_); }
+
+void RpcEndpoint::Serve(const std::string& method, ServerHandler handler) {
+  handlers_[method] = std::move(handler);
+}
+
+void RpcEndpoint::Call(NodeId to, const std::string& method,
+                       std::string request, Bytes size, Bytes response_size,
+                       SimTime timeout, ResponseCallback callback) {
+  const uint64_t call_id = next_call_id_++;
+  PendingCall pending;
+  pending.callback = std::move(callback);
+  pending.response_size = response_size;
+  pending.timeout_event = sim_->After(timeout, [this, call_id] {
+    const auto it = pending_.find(call_id);
+    if (it == pending_.end()) {
+      return;
+    }
+    ResponseCallback cb = std::move(it->second.callback);
+    pending_.erase(it);
+    cb(Status(UnavailableError("rpc timeout")));
+  });
+  pending_.emplace(call_id, std::move(pending));
+
+  fabric_->Send(node_, to,
+                StrFormat("req:%s:%llu:%lld", method.c_str(),
+                          static_cast<unsigned long long>(call_id),
+                          static_cast<long long>(response_size.bytes())),
+                std::move(request), size);
+}
+
+void RpcEndpoint::Notify(NodeId to, const std::string& method,
+                         std::string payload, Bytes size) {
+  fabric_->Send(node_, to, "oneway:" + method, std::move(payload), size);
+}
+
+void RpcEndpoint::HandleMessage(const Message& msg) {
+  const std::vector<std::string_view> parts = SplitString(msg.type, ':');
+  if (parts.empty()) {
+    return;
+  }
+  if (parts[0] == "req" && parts.size() == 4) {
+    const std::string method(parts[1]);
+    uint64_t call_id = 0;
+    uint64_t resp_bytes = 0;
+    if (!ParseUint64(parts[2], &call_id) || !ParseUint64(parts[3], &resp_bytes)) {
+      return;
+    }
+    const auto it = handlers_.find(method);
+    if (it == handlers_.end()) {
+      // Unknown method: reply with an empty error marker so the caller times
+      // out rather than hanging forever would be worse; send error response.
+      fabric_->Send(node_, msg.from,
+                    StrFormat("resp:%llu:err",
+                              static_cast<unsigned long long>(call_id)),
+                    "unknown method: " + method, Bytes::B(64));
+      return;
+    }
+    std::string response = it->second(msg);
+    fabric_->Send(node_, msg.from,
+                  StrFormat("resp:%llu:ok",
+                            static_cast<unsigned long long>(call_id)),
+                  std::move(response), Bytes(static_cast<int64_t>(resp_bytes)));
+    return;
+  }
+  if (parts[0] == "resp" && parts.size() == 3) {
+    uint64_t call_id = 0;
+    if (!ParseUint64(parts[1], &call_id)) {
+      return;
+    }
+    const auto it = pending_.find(call_id);
+    if (it == pending_.end()) {
+      return;  // late response after timeout
+    }
+    ResponseCallback cb = std::move(it->second.callback);
+    sim_->Cancel(it->second.timeout_event);
+    pending_.erase(it);
+    if (parts[2] == "ok") {
+      cb(msg.payload);
+    } else {
+      cb(Status(InternalError(msg.payload)));
+    }
+    return;
+  }
+  if (parts[0] == "oneway" && parts.size() == 2) {
+    const auto it = handlers_.find(std::string(parts[1]));
+    if (it != handlers_.end()) {
+      (void)it->second(msg);
+    }
+    return;
+  }
+}
+
+}  // namespace udc

@@ -1,0 +1,71 @@
+// Request/response layer over the fabric.
+//
+// Correlates a response message with its pending request via a call id
+// embedded in the message type, and fails the caller on timeout. Distributed
+// protocols (replication, checkpointing) and the control plane use this for
+// everything that expects an answer.
+
+#ifndef UDC_SRC_NET_RPC_H_
+#define UDC_SRC_NET_RPC_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/net/fabric.h"
+
+namespace udc {
+
+class RpcEndpoint {
+ public:
+  using ServerHandler =
+      std::function<std::string(const Message&)>;  // returns response payload
+  using ResponseCallback = std::function<void(Result<std::string>)>;
+
+  // Binds this endpoint to `node` on `fabric`. The endpoint takes over the
+  // node's fabric handler.
+  RpcEndpoint(Simulation* sim, Fabric* fabric, NodeId node);
+  ~RpcEndpoint();
+
+  RpcEndpoint(const RpcEndpoint&) = delete;
+  RpcEndpoint& operator=(const RpcEndpoint&) = delete;
+
+  NodeId node() const { return node_; }
+
+  // Registers the handler for request method `method`.
+  void Serve(const std::string& method, ServerHandler handler);
+
+  // Calls `method` on the endpoint at `to`. `size` is the request wire size;
+  // the response is charged `response_size`.
+  void Call(NodeId to, const std::string& method, std::string request,
+            Bytes size, Bytes response_size, SimTime timeout,
+            ResponseCallback callback);
+
+  // One-way message (no response expected).
+  void Notify(NodeId to, const std::string& method, std::string payload,
+              Bytes size);
+
+  uint64_t calls_made() const { return next_call_id_; }
+
+ private:
+  void HandleMessage(const Message& msg);
+
+  struct PendingCall {
+    ResponseCallback callback;
+    EventHandle timeout_event;
+    Bytes response_size;
+  };
+
+  Simulation* sim_;
+  Fabric* fabric_;
+  NodeId node_;
+  uint64_t next_call_id_ = 0;
+  std::unordered_map<std::string, ServerHandler> handlers_;
+  std::unordered_map<uint64_t, PendingCall> pending_;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_NET_RPC_H_

@@ -1,0 +1,188 @@
+#include "src/net/switch_programs.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+SwitchSequencer::SwitchSequencer(Simulation* sim, Fabric* fabric,
+                                 NodeId switch_node, SimTime dataplane_delay)
+    : sim_(sim), fabric_(fabric), node_(switch_node),
+      dataplane_delay_(dataplane_delay) {}
+
+SwitchSequencer::~SwitchSequencer() = default;
+
+void SwitchSequencer::SetGroup(const std::string& group,
+                               std::vector<NodeId> members) {
+  groups_[group] = std::move(members);
+  next_seq_.try_emplace(group, 1);
+}
+
+uint64_t SwitchSequencer::Multicast(NodeId from, const std::string& group,
+                                    std::string payload, Bytes size) {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    return 0;
+  }
+  const uint64_t seq = next_seq_[group]++;
+  // The member sends originate at the switch node after the dataplane delay;
+  // the sender->switch hop is part of each member's transfer charge since
+  // the switch sits on every path.
+  sim_->After(dataplane_delay_, [this, from, group, seq,
+                                 payload = std::move(payload), size] {
+    const auto git = groups_.find(group);
+    if (git == groups_.end()) {
+      return;
+    }
+    for (NodeId member : git->second) {
+      fabric_->Send(node_, member,
+                    StrFormat("seq.mcast:%s:%llu", group.c_str(),
+                              static_cast<unsigned long long>(seq)),
+                    payload, size);
+    }
+    sim_->metrics().IncrementCounter("net.sequencer_multicasts");
+    (void)from;
+  });
+  return seq;
+}
+
+uint64_t SwitchSequencer::LastSequence(const std::string& group) const {
+  const auto it = next_seq_.find(group);
+  return it == next_seq_.end() ? 0 : it->second - 1;
+}
+
+CoherenceDirectory::CoherenceDirectory(Simulation* sim, Fabric* fabric,
+                                       NodeId switch_node,
+                                       SimTime dataplane_delay)
+    : sim_(sim), fabric_(fabric), node_(switch_node),
+      dataplane_delay_(dataplane_delay) {}
+
+void CoherenceDirectory::Register(const std::string& object,
+                                  std::vector<NodeId> replicas) {
+  Entry entry;
+  entry.replicas = std::move(replicas);
+  for (NodeId r : entry.replicas) {
+    entry.outstanding[r] = 0;
+  }
+  objects_[object] = std::move(entry);
+}
+
+void CoherenceDirectory::Unregister(const std::string& object) {
+  objects_.erase(object);
+}
+
+NodeId CoherenceDirectory::RouteRead(NodeId from, const std::string& object,
+                                     std::string payload, Bytes size) {
+  const auto it = objects_.find(object);
+  if (it == objects_.end() || it->second.replicas.empty()) {
+    return NodeId::Invalid();
+  }
+  Entry& entry = it->second;
+  NodeId best = entry.replicas[0];
+  int64_t best_load = std::numeric_limits<int64_t>::max();
+  for (NodeId r : entry.replicas) {
+    if (!fabric_->IsNodeUp(r)) {
+      continue;
+    }
+    const int64_t load = entry.outstanding[r];
+    if (load < best_load) {
+      best_load = load;
+      best = r;
+    }
+  }
+  if (best_load == std::numeric_limits<int64_t>::max()) {
+    return NodeId::Invalid();  // all replicas down
+  }
+  ++entry.outstanding[best];
+  ++reads_routed_;
+  sim_->After(dataplane_delay_, [this, best, from, object,
+                                 payload = std::move(payload), size] {
+    fabric_->Send(node_, best, "dir.read:" + object, payload, size);
+    (void)from;
+  });
+  return best;
+}
+
+size_t CoherenceDirectory::RouteWrite(NodeId from, const std::string& object,
+                                      std::string payload, Bytes size) {
+  const auto it = objects_.find(object);
+  if (it == objects_.end()) {
+    return 0;
+  }
+  const std::vector<NodeId> replicas = it->second.replicas;
+  ++writes_routed_;
+  sim_->After(dataplane_delay_, [this, from, object, replicas,
+                                 payload = std::move(payload), size] {
+    for (NodeId r : replicas) {
+      fabric_->Send(node_, r, "dir.write:" + object, payload, size);
+    }
+    (void)from;
+  });
+  return replicas.size();
+}
+
+void CoherenceDirectory::ReadDone(const std::string& object, NodeId replica) {
+  const auto it = objects_.find(object);
+  if (it == objects_.end()) {
+    return;
+  }
+  auto lit = it->second.outstanding.find(replica);
+  if (lit != it->second.outstanding.end() && lit->second > 0) {
+    --lit->second;
+  }
+}
+
+
+SwitchCache::SwitchCache(Simulation* sim, Fabric* fabric, NodeId switch_node,
+                         size_t capacity, SimTime dataplane_delay)
+    : sim_(sim), fabric_(fabric), node_(switch_node), capacity_(capacity),
+      dataplane_delay_(dataplane_delay) {}
+
+void SwitchCache::Touch(const std::string& object) {
+  const auto it = std::find(lru_.begin(), lru_.end(), object);
+  if (it != lru_.end()) {
+    lru_.erase(it);
+  }
+  lru_.insert(lru_.begin(), object);
+  while (lru_.size() > capacity_) {
+    lru_.pop_back();
+  }
+}
+
+bool SwitchCache::Cached(const std::string& object) const {
+  return std::find(lru_.begin(), lru_.end(), object) != lru_.end();
+}
+
+SimTime SwitchCache::PlanRead(NodeId client, const std::string& object,
+                              NodeId home, Bytes size,
+                              const Topology& topology) {
+  (void)fabric_;
+  if (Cached(object)) {
+    ++hits_;
+    sim_->metrics().IncrementCounter("net.switch_cache_hits");
+    Touch(object);
+    // Request to the switch, served from the dataplane table.
+    return topology.TransferTime(client, node_, Bytes(128)) +
+           dataplane_delay_ + topology.TransferTime(node_, client, size);
+  }
+  ++misses_;
+  sim_->metrics().IncrementCounter("net.switch_cache_misses");
+  Touch(object);  // fill on the way back
+  // Request passes the switch to the home replica; the reply fills the
+  // cache as it traverses the switch.
+  return topology.TransferTime(client, home, Bytes(128)) + dataplane_delay_ +
+         topology.TransferTime(home, client, size);
+}
+
+void SwitchCache::Invalidate(const std::string& object) {
+  const auto it = std::find(lru_.begin(), lru_.end(), object);
+  if (it != lru_.end()) {
+    lru_.erase(it);
+    sim_->metrics().IncrementCounter("net.switch_cache_invalidations");
+  }
+}
+
+}  // namespace udc

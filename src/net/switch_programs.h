@@ -1,0 +1,140 @@
+// In-network programs.
+//
+// The paper (sec. 3.4) points to network programmability as the way to
+// enforce distributed specifications over devices that "may not have
+// computation power": a switch-resident sequencer in the style of NOPaxos
+// removes the coordination round trips of software consensus, and a
+// coherence directory in the style of Pegasus steers reads to replicas.
+// Both run at a switch node of the topology; their "dataplane" latency is a
+// fixed per-packet processing cost far below end-host software.
+
+#ifndef UDC_SRC_NET_SWITCH_PROGRAMS_H_
+#define UDC_SRC_NET_SWITCH_PROGRAMS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/units.h"
+#include "src/net/fabric.h"
+
+namespace udc {
+
+// Groups are named; members are fabric nodes.
+class SwitchSequencer {
+ public:
+  // `switch_node` must be a ToR or aggregation switch of the topology.
+  SwitchSequencer(Simulation* sim, Fabric* fabric, NodeId switch_node,
+                  SimTime dataplane_delay = SimTime::Micros(1));
+  ~SwitchSequencer();
+
+  // Defines/overwrites a multicast group.
+  void SetGroup(const std::string& group, std::vector<NodeId> members);
+
+  // Stamps the next sequence number for `group` and forwards `payload` to
+  // every member. Members receive type "seq.mcast:<group>:<seqno>". The
+  // sender gets ordering for one switch traversal — no coordination RTTs.
+  // Returns the assigned sequence number, or 0 for an unknown group.
+  uint64_t Multicast(NodeId from, const std::string& group,
+                     std::string payload, Bytes size);
+
+  uint64_t LastSequence(const std::string& group) const;
+
+ private:
+  Simulation* sim_;
+  Fabric* fabric_;
+  NodeId node_;
+  SimTime dataplane_delay_;
+  std::unordered_map<std::string, std::vector<NodeId>> groups_;
+  std::unordered_map<std::string, uint64_t> next_seq_;
+};
+
+// In-network coherence directory for replicated data (Pegasus-style):
+// tracks the replica set of each object and load-balances reads while
+// keeping writes coherent by forwarding them to all replicas.
+class CoherenceDirectory {
+ public:
+  CoherenceDirectory(Simulation* sim, Fabric* fabric, NodeId switch_node,
+                     SimTime dataplane_delay = SimTime::Micros(1));
+
+  void Register(const std::string& object, std::vector<NodeId> replicas);
+  void Unregister(const std::string& object);
+
+  // Steers one read: picks the replica with the fewest outstanding reads
+  // (power-of-one-choice with exact counters, as the switch has them) and
+  // forwards the request. Returns the chosen replica, or invalid when the
+  // object is unknown.
+  NodeId RouteRead(NodeId from, const std::string& object, std::string payload,
+                   Bytes size);
+
+  // Forwards one write to every replica (write-all coherence). Returns the
+  // replica count, 0 when unknown.
+  size_t RouteWrite(NodeId from, const std::string& object,
+                    std::string payload, Bytes size);
+
+  // Load feedback: a replica finished serving a read.
+  void ReadDone(const std::string& object, NodeId replica);
+
+  uint64_t reads_routed() const { return reads_routed_; }
+  uint64_t writes_routed() const { return writes_routed_; }
+
+ private:
+  struct Entry {
+    std::vector<NodeId> replicas;
+    std::unordered_map<NodeId, int64_t> outstanding;
+  };
+
+  Simulation* sim_;
+  Fabric* fabric_;
+  NodeId node_;
+  SimTime dataplane_delay_;
+  std::unordered_map<std::string, Entry> objects_;
+  uint64_t reads_routed_ = 0;
+  uint64_t writes_routed_ = 0;
+};
+
+
+// In-network object cache (DistCache-style [30]): hot objects are served
+// straight from the switch dataplane, invalidated on writes. The cache is
+// a small LRU keyed by object name; capacity models the switch's limited
+// match-action table space.
+class SwitchCache {
+ public:
+  SwitchCache(Simulation* sim, Fabric* fabric, NodeId switch_node,
+              size_t capacity = 64,
+              SimTime dataplane_delay = SimTime::Micros(1));
+
+  // Plans one read from `client`: a hit is served by the switch (one
+  // round trip to the switch); a miss forwards to `home` and fills the
+  // cache. Returns the planned latency.
+  SimTime PlanRead(NodeId client, const std::string& object, NodeId home,
+                   Bytes size, const Topology& topology);
+
+  // A write invalidates the cached entry (write-through to `home` is the
+  // caller's job).
+  void Invalidate(const std::string& object);
+
+  bool Cached(const std::string& object) const;
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t size() const { return lru_.size(); }
+
+ private:
+  void Touch(const std::string& object);
+
+  Simulation* sim_;
+  Fabric* fabric_;
+  NodeId node_;
+  size_t capacity_;
+  SimTime dataplane_delay_;
+  std::vector<std::string> lru_;  // front = most recent
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_NET_SWITCH_PROGRAMS_H_

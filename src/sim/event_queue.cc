@@ -1,0 +1,68 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace udc {
+
+EventHandle EventQueue::Schedule(SimTime when, Callback cb) {
+  assert(when >= last_popped_ && "scheduling into the past");
+  const uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq, std::move(cb)});
+  pending_.insert(seq);
+  ++live_count_;
+  return EventHandle{seq};
+}
+
+bool EventQueue::Cancel(EventHandle handle) {
+  if (!handle.valid()) {
+    return false;
+  }
+  const auto it = pending_.find(handle.seq);
+  if (it == pending_.end()) {
+    return false;  // already fired or already cancelled
+  }
+  pending_.erase(it);
+  // Lazily removed from the heap: marked cancelled, skipped at the top.
+  cancelled_.insert(handle.seq);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().seq);
+    if (it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::NextTime() const {
+  // Cancelled entries at the top must be skipped for an exact answer; the
+  // skip only discards dead entries, so it is logically const.
+  EventQueue* self = const_cast<EventQueue*>(this);
+  self->SkipCancelled();
+  if (heap_.empty()) {
+    return SimTime::Max();
+  }
+  return heap_.top().when;
+}
+
+SimTime EventQueue::PopAndRun() {
+  SkipCancelled();
+  assert(!heap_.empty());
+  // Copy the entry out before popping: the callback may schedule new events,
+  // which mutates the heap.
+  Entry top = heap_.top();
+  heap_.pop();
+  pending_.erase(top.seq);
+  --live_count_;
+  last_popped_ = top.when;
+  top.cb();
+  return top.when;
+}
+
+}  // namespace udc

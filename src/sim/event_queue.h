@@ -1,0 +1,80 @@
+// Discrete-event queue: the heart of the simulator.
+//
+// Events are (time, sequence, callback). Sequence numbers break ties so that
+// two events scheduled for the same instant fire in scheduling order, which
+// keeps the simulation deterministic. Events can be cancelled through the
+// handle returned at scheduling time.
+
+#ifndef UDC_SRC_SIM_EVENT_QUEUE_H_
+#define UDC_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace udc {
+
+// Token identifying a scheduled event; valid until the event fires.
+struct EventHandle {
+  uint64_t seq = ~uint64_t{0};
+  bool valid() const { return seq != ~uint64_t{0}; }
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `cb` at absolute time `when`. `when` must be >= the time of the
+  // last popped event (no scheduling into the past).
+  EventHandle Schedule(SimTime when, Callback cb);
+
+  // Cancels a pending event. Returns false when already fired or cancelled.
+  bool Cancel(EventHandle handle);
+
+  bool empty() const { return live_count_ == 0; }
+  size_t size() const { return live_count_; }
+
+  // Time of the earliest pending event; SimTime::Max() when empty.
+  SimTime NextTime() const;
+
+  // Pops and runs the earliest event; returns its time. Must not be empty.
+  SimTime PopAndRun();
+
+  uint64_t total_scheduled() const { return next_seq_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void SkipCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_;
+  std::unordered_set<uint64_t> pending_;    // seqs currently in the heap
+  std::unordered_set<uint64_t> cancelled_;  // pending seqs marked dead
+  uint64_t next_seq_ = 0;
+  size_t live_count_ = 0;
+  SimTime last_popped_;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_SIM_EVENT_QUEUE_H_

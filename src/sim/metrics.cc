@@ -1,0 +1,78 @@
+#include "src/sim/metrics.h"
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+void MetricsRegistry::IncrementCounter(std::string_view name, int64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+int64_t MetricsRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::AddToGauge(std::string_view name, double delta) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void MetricsRegistry::Observe(std::string_view name, double value) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram()).first;
+  }
+  it->second.Add(value);
+}
+
+const Histogram* MetricsRegistry::histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::string MetricsRegistry::Report() const {
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    out += StrFormat("counter %-48s %lld\n", name.c_str(),
+                     static_cast<long long>(value));
+  }
+  for (const auto& [name, value] : gauges_) {
+    out += StrFormat("gauge   %-48s %.6g\n", name.c_str(), value);
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out += StrFormat("hist    %-48s %s\n", name.c_str(), hist.Summary().c_str());
+  }
+  return out;
+}
+
+void MetricsRegistry::Clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace udc

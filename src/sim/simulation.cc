@@ -1,0 +1,52 @@
+#include "src/sim/simulation.h"
+
+#include <cassert>
+#include <utility>
+
+namespace udc {
+
+Simulation::Simulation(uint64_t seed) : now_(SimTime(0)), rng_(seed) {}
+
+EventHandle Simulation::At(SimTime when, EventQueue::Callback cb) {
+  assert(when >= now_);
+  return queue_.Schedule(when, std::move(cb));
+}
+
+EventHandle Simulation::After(SimTime delay, EventQueue::Callback cb) {
+  assert(delay >= SimTime(0));
+  return queue_.Schedule(now_ + delay, std::move(cb));
+}
+
+SimTime Simulation::RunToCompletion() {
+  while (!queue_.empty()) {
+    // Advance the clock before dispatch so callbacks observe their own time.
+    now_ = queue_.NextTime();
+    queue_.PopAndRun();
+    ++events_executed_;
+  }
+  return now_;
+}
+
+SimTime Simulation::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.NextTime() <= deadline) {
+    now_ = queue_.NextTime();
+    queue_.PopAndRun();
+    ++events_executed_;
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return now_;
+}
+
+bool Simulation::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  now_ = queue_.NextTime();
+  queue_.PopAndRun();
+  ++events_executed_;
+  return true;
+}
+
+}  // namespace udc

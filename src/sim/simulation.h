@@ -1,0 +1,70 @@
+// Simulation engine: clock + event queue + RNG + telemetry.
+//
+// Everything in the UDC substrate (fabric, devices, control plane, baselines)
+// runs on one Simulation instance, making an entire datacenter reproducible
+// from a single seed.
+
+#ifndef UDC_SRC_SIM_SIMULATION_H_
+#define UDC_SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/metrics.h"
+#include "src/sim/trace.h"
+
+namespace udc {
+
+class Simulation {
+ public:
+  explicit Simulation(uint64_t seed = 42);
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+  Rng& rng() { return rng_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  TraceRecorder& trace() { return trace_; }
+  const TraceRecorder& trace() const { return trace_; }
+
+  // Convenience: record a trace event at the current simulated time.
+  void Trace(std::string_view category, std::string_view detail) {
+    trace_.Record(now_, category, detail);
+  }
+
+  // Schedules `cb` at absolute simulated time `when` (>= now).
+  EventHandle At(SimTime when, EventQueue::Callback cb);
+
+  // Schedules `cb` after `delay` from now.
+  EventHandle After(SimTime delay, EventQueue::Callback cb);
+
+  bool Cancel(EventHandle handle) { return queue_.Cancel(handle); }
+
+  // Runs events until the queue is empty. Returns the final time.
+  SimTime RunToCompletion();
+
+  // Runs events with time <= deadline; leaves later events pending. The clock
+  // advances to min(deadline, last event time).
+  SimTime RunUntil(SimTime deadline);
+
+  // Runs a single event if one is pending. Returns false when idle.
+  bool Step();
+
+  uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  SimTime now_;
+  EventQueue queue_;
+  Rng rng_;
+  MetricsRegistry metrics_;
+  TraceRecorder trace_;
+  uint64_t events_executed_ = 0;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_SIM_SIMULATION_H_

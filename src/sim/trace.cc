@@ -1,0 +1,42 @@
+#include "src/sim/trace.h"
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+void TraceRecorder::Record(SimTime time, std::string_view category,
+                           std::string_view detail) {
+  events_.push_back(TraceEvent{time, std::string(category), std::string(detail)});
+}
+
+std::vector<TraceEvent> TraceRecorder::EventsInCategory(
+    std::string_view category) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.category == category) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+bool TraceRecorder::Contains(std::string_view category,
+                             std::string_view needle) const {
+  for (const auto& e : events_) {
+    if (e.category == category && e.detail.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string TraceRecorder::Dump() const {
+  std::string out;
+  for (const auto& e : events_) {
+    out += StrFormat("%-12s [%-8s] %s\n", e.time.ToString().c_str(),
+                     e.category.c_str(), e.detail.c_str());
+  }
+  return out;
+}
+
+}  // namespace udc

@@ -1,0 +1,48 @@
+// Trace recorder: an append-only log of typed simulation events.
+//
+// Used by tests to assert on causality (e.g. "checkpoint restored before
+// re-execution") and by tools to dump timelines.
+
+#ifndef UDC_SRC_SIM_TRACE_H_
+#define UDC_SRC_SIM_TRACE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace udc {
+
+struct TraceEvent {
+  SimTime time;
+  std::string category;  // e.g. "sched", "net", "exec"
+  std::string detail;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+
+  void Record(SimTime time, std::string_view category, std::string_view detail);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  // All events in a category, in time order.
+  std::vector<TraceEvent> EventsInCategory(std::string_view category) const;
+
+  // True when some event in `category` has detail containing `needle`.
+  bool Contains(std::string_view category, std::string_view needle) const;
+
+  // Multi-line "time [category] detail" dump.
+  std::string Dump() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_SIM_TRACE_H_

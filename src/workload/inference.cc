@@ -1,0 +1,39 @@
+#include "src/workload/inference.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace udc {
+
+std::vector<InferenceRequest> GenerateInferenceTrace(
+    Rng& rng, const InferenceTraceConfig& config) {
+  std::vector<InferenceRequest> out;
+  const double horizon_h = config.horizon.hours();
+  double t_h = 0.0;
+  // Alternate quiet and burst windows; window lengths ~30 min.
+  bool bursting = false;
+  double window_end_h = 0.0;
+  while (t_h < horizon_h) {
+    if (t_h >= window_end_h) {
+      bursting = rng.NextBool(config.burst_fraction);
+      window_end_h = t_h + 0.5;
+    }
+    const double rate =
+        config.mean_rate_per_hour * (bursting ? config.burst_multiplier : 1.0);
+    t_h += rng.NextExponential(rate);
+    if (t_h >= horizon_h) {
+      break;
+    }
+    InferenceRequest req;
+    req.arrival = SimTime::Micros(static_cast<int64_t>(t_h * 3600e6));
+    req.work_units = config.work_units * rng.NextDoubleInRange(0.8, 1.25);
+    out.push_back(req);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const InferenceRequest& a, const InferenceRequest& b) {
+              return a.arrival < b.arrival;
+            });
+  return out;
+}
+
+}  // namespace udc

@@ -1,0 +1,40 @@
+// Event-triggered ML inference workload (claim C4: GPU + serverless).
+//
+// "Many ML inference tasks are event-triggered and could benefit from
+// serverless computing and GPU acceleration. Despite the high demand ...
+// no cloud provider has yet supported GPU in their serverless offerings."
+// The generator produces a bursty Poisson arrival stream of CNN inference
+// requests; bench E7 runs it on FaaS (CPU), IaaS (dedicated GPU box) and
+// UDC (fine-grained GPU slice, pay-per-use).
+
+#ifndef UDC_SRC_WORKLOAD_INFERENCE_H_
+#define UDC_SRC_WORKLOAD_INFERENCE_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+
+namespace udc {
+
+struct InferenceRequest {
+  SimTime arrival;
+  double work_units = 30000;  // CNN forward pass, reference-core units
+  Bytes input = Bytes::MiB(2);
+};
+
+struct InferenceTraceConfig {
+  double mean_rate_per_hour = 120.0;
+  double burst_multiplier = 6.0;   // rate during bursts
+  double burst_fraction = 0.15;    // fraction of the horizon bursting
+  SimTime horizon = SimTime::Hours(24);
+  double work_units = 30000;
+};
+
+// Piecewise-Poisson arrivals with bursts.
+std::vector<InferenceRequest> GenerateInferenceTrace(
+    Rng& rng, const InferenceTraceConfig& config = {});
+
+}  // namespace udc
+
+#endif  // UDC_SRC_WORKLOAD_INFERENCE_H_

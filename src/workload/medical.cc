@@ -1,0 +1,83 @@
+#include "src/workload/medical.h"
+
+namespace udc {
+
+std::string MedicalAppUdcl() {
+  return R"(# Medical information processing — paper Figure 2 / Table 1.
+app medical
+
+# --- data modules -----------------------------------------------------
+data S1 size=64GiB    # patient medical records
+data S2 size=8GiB     # patient consent forms
+data S3 size=512MiB   # medical images, generated at real time
+data S4 size=32GiB    # anonymized records/images
+
+# --- diagnosis pipeline ------------------------------------------------
+task A1 work=2000 out=8MiB      # preprocessing: resize + greyscale
+task A2 work=30000 out=1MiB     # object detection: CNN inference
+task A3 work=60000 out=1MiB     # record NLP: BERT inference
+task A4 work=5000 out=256KiB    # automated diagnosis
+
+# --- analytics pipeline ------------------------------------------------
+task B1 work=20000 out=16MiB    # consent filter + anonymize
+task B2 work=80000 out=64MiB    # third-party analytics
+
+edge S3 -> A1
+edge A1 -> A2
+edge A2 -> A4
+edge S1 -> A3
+edge A3 -> A4
+edge S1 -> B1
+edge S2 -> B1
+edge B1 -> S4
+edge S4 -> B2
+
+colocate A1 A2    # sec 3.1: "executed together on the same hardware unit"
+affinity A3 S1    # sec 3.1: "S1 is frequently used by A3"
+
+# --- Table 1: per-module UDC aspect specification ----------------------
+aspect A1 resource objective=fastest
+aspect A1 exec isolation=strong tenancy=single tee_if_cpu
+aspect A1 dist replication=1
+
+aspect A2 resource gpu=1000m dram=4GiB
+aspect A2 exec isolation=strong tenancy=single
+aspect A2 dist replication=1 checkpoint
+
+aspect A3 resource gpu=1000m dram=8GiB
+aspect A3 exec isolation=strong tenancy=single
+aspect A3 dist replication=1 checkpoint
+
+aspect A4 resource cpu=2000m dram=2GiB
+aspect A4 exec isolation=strongest tenancy=single tee_if_cpu
+aspect A4 dist replication=2 checkpoint
+
+aspect B1 resource objective=cheapest
+aspect B1 exec isolation=strong tenancy=single tee_if_cpu
+aspect B1 dist replication=1
+
+aspect B2 resource objective=cheapest
+aspect B2 exec isolation=weak
+aspect B2 dist replication=1 checkpoint
+
+aspect S1 resource ssd=64GiB
+aspect S1 exec encrypt integrity
+aspect S1 dist replication=3 consistency=sequential
+
+aspect S2 resource objective=cheapest
+aspect S2 exec encrypt integrity
+aspect S2 dist replication=2 prefer=reader
+
+aspect S3 resource dram=512MiB
+aspect S3 exec encrypt integrity
+aspect S3 dist replication=2
+
+aspect S4 resource objective=cheapest
+aspect S4 exec integrity
+aspect S4 dist replication=1 consistency=release
+)";
+}
+
+Result<AppSpec> MedicalAppSpec() { return ParseAppSpec(MedicalAppUdcl()); }
+
+}  // namespace udc

@@ -1,0 +1,29 @@
+// The paper's motivating workload: medical information processing
+// (Figure 2) with the user definitions of Table 1.
+//
+// Three hospital pipelines share ten modules:
+//   storage:   S1 medical records, S2 consent forms, S3 live images,
+//              S4 anonymized records
+//   diagnosis: A1 preprocess -> A2 CNN inference -> A4 diagnose,
+//              S1 -> A3 BERT inference -> A4, A4 appends to S1
+//   analytics: S1,S2 -> B1 anonymize -> S4 -> B2 analytics
+
+#ifndef UDC_SRC_WORKLOAD_MEDICAL_H_
+#define UDC_SRC_WORKLOAD_MEDICAL_H_
+
+#include <string>
+
+#include "src/aspects/spec_parser.h"
+
+namespace udc {
+
+// The Figure 2 + Table 1 application in udcl text form.
+std::string MedicalAppUdcl();
+
+// Parsed and validated; crashes only if the embedded text is broken (a
+// build-time bug caught by tests).
+Result<AppSpec> MedicalAppSpec();
+
+}  // namespace udc
+
+#endif  // UDC_SRC_WORKLOAD_MEDICAL_H_

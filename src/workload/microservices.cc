@@ -1,0 +1,90 @@
+#include "src/workload/microservices.h"
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+Result<AppSpec> GenerateMicroserviceApp(Rng& rng,
+                                        const MicroserviceConfig& config) {
+  if (config.chain_length < 1) {
+    return Status(InvalidArgumentError("chain_length must be >= 1"));
+  }
+  AppSpec spec;
+  spec.graph.set_app_name("microservices");
+
+  auto service_aspects = [&](bool latency_critical) {
+    AspectSet aspects = ProviderDefaults();
+    aspects.resource.defined = true;
+    aspects.resource.objective = ResourceObjective::kExplicit;
+    const int64_t milli = 250 + static_cast<int64_t>(rng.NextUint64(1750));
+    aspects.resource.demand =
+        ResourceVector::MilliCpu(milli) +
+        ResourceVector::Dram(
+            Bytes::MiB(256 + static_cast<int64_t>(rng.NextUint64(1792))));
+    aspects.exec.defined = true;
+    aspects.exec.isolation =
+        latency_critical ? IsolationLevel::kWeak : IsolationLevel::kMedium;
+    return aspects;
+  };
+
+  // Request-path chain.
+  std::vector<ModuleId> chain;
+  for (int i = 0; i < config.chain_length; ++i) {
+    const double work =
+        config.work_scale * (200.0 + static_cast<double>(rng.NextUint64(1800)));
+    UDC_ASSIGN_OR_RETURN(
+        const ModuleId id,
+        spec.graph.AddTask(StrFormat("svc%d", i), work,
+                           Bytes::KiB(4 + static_cast<int64_t>(
+                                              rng.NextUint64(60)))));
+    spec.aspects[id] = service_aspects(/*latency_critical=*/i < 2);
+    if (!chain.empty()) {
+      UDC_RETURN_IF_ERROR(spec.graph.AddEdge(chain.back(), id));
+    }
+    chain.push_back(id);
+  }
+
+  // Fan-out after the chain head (e.g. recommendations + ads in parallel).
+  std::vector<ModuleId> fanout;
+  for (int i = 0; i < config.fanout_services; ++i) {
+    const double work =
+        config.work_scale * (400.0 + static_cast<double>(rng.NextUint64(2600)));
+    UDC_ASSIGN_OR_RETURN(
+        const ModuleId id,
+        spec.graph.AddTask(StrFormat("fan%d", i), work, Bytes::KiB(32)));
+    spec.aspects[id] = service_aspects(false);
+    UDC_RETURN_IF_ERROR(spec.graph.AddEdge(chain.front(), id));
+    if (chain.size() > 1) {
+      UDC_RETURN_IF_ERROR(spec.graph.AddEdge(id, chain.back()));
+    }
+    fanout.push_back(id);
+  }
+
+  // Stateful backend: a replicated, integrity-protected data module the
+  // chain tail reads and writes.
+  if (config.stateful_backend) {
+    UDC_ASSIGN_OR_RETURN(
+        const ModuleId db,
+        spec.graph.AddData("db", Bytes::GiB(2 + static_cast<int64_t>(
+                                                rng.NextUint64(30)))));
+    AspectSet aspects = ProviderDefaults();
+    aspects.resource.defined = true;
+    aspects.resource.objective = ResourceObjective::kExplicit;
+    aspects.resource.demand = ResourceVector::Ssd(Bytes::GiB(32));
+    aspects.exec.defined = true;
+    aspects.exec.protection.integrity = true;
+    aspects.dist.defined = true;
+    aspects.dist.replication_factor = 2 + static_cast<int>(rng.NextUint64(2));
+    aspects.dist.consistency_specified = true;
+    aspects.dist.consistency = ConsistencyLevel::kSequential;
+    spec.aspects[db] = aspects;
+    UDC_RETURN_IF_ERROR(spec.graph.AddEdge(db, chain.back()));
+    // Locality: the chain tail reads the db on every request.
+    UDC_RETURN_IF_ERROR(spec.graph.AddAffinity(chain.back(), db));
+  }
+
+  UDC_RETURN_IF_ERROR(spec.graph.Validate());
+  return spec;
+}
+
+}  // namespace udc

@@ -1,0 +1,32 @@
+// Microservice-chain workload generator.
+//
+// The paper's deployment story (sec. 4) leans on the observation that
+// "serverless computing and microservices are already making cloud users
+// write modularized code" — i.e. real applications already look like module
+// DAGs. This generator emits such applications: request-path chains with
+// fan-outs (auth -> api -> {svc_a, svc_b} -> db), sized from a seeded RNG,
+// with aspects assigned per role (stateless services cheap+weak, stateful
+// stores replicated+protected).
+
+#ifndef UDC_SRC_WORKLOAD_MICROSERVICES_H_
+#define UDC_SRC_WORKLOAD_MICROSERVICES_H_
+
+#include "src/aspects/spec_parser.h"
+#include "src/common/rng.h"
+
+namespace udc {
+
+struct MicroserviceConfig {
+  int chain_length = 4;        // services on the request path
+  int fanout_services = 2;     // parallel services after the chain head
+  bool stateful_backend = true;  // add a replicated data module
+  double work_scale = 1.0;     // multiplies per-service work
+};
+
+// Builds a validated AppSpec. Names are deterministic per (rng, config).
+Result<AppSpec> GenerateMicroserviceApp(Rng& rng,
+                                        const MicroserviceConfig& config = {});
+
+}  // namespace udc
+
+#endif  // UDC_SRC_WORKLOAD_MICROSERVICES_H_

@@ -1,0 +1,57 @@
+#include "src/workload/tenants.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace udc {
+
+std::vector<TenantDemand> SampleTenantMix(Rng& rng, int count,
+                                          const TenantMixConfig& config) {
+  std::vector<TenantDemand> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    TenantDemand d;
+    const double roll = rng.NextDouble();
+    if (roll < config.gpu_fraction) {
+      // GPU-heavy: 1..max_gpus GPUs, deliberately few cores (the paper's
+      // GPU-orchestration example).
+      d.gpu_heavy = true;
+      const int gpus = 1 << rng.NextUint64(4);  // 1,2,4,8
+      const int capped = std::min(gpus, config.max_gpus);
+      d.demand += ResourceVector::MilliGpu(capped * 1000);
+      const int cores = 1 + static_cast<int>(rng.NextUint64(4));  // 1..4
+      d.demand += ResourceVector::MilliCpu(cores * 1000);
+      d.demand += ResourceVector::Dram(
+          Bytes::GiB(8 * capped + static_cast<int64_t>(rng.NextUint64(16))));
+    } else if (roll < config.gpu_fraction + config.storage_fraction) {
+      // Storage-dominated: little compute, lots of bytes.
+      const int cores = 1 + static_cast<int>(rng.NextUint64(2));
+      d.demand += ResourceVector::MilliCpu(cores * 1000);
+      d.demand += ResourceVector::Dram(
+          Bytes::GiB(4 + static_cast<int64_t>(rng.NextUint64(28))));
+      d.demand += ResourceVector::Ssd(Bytes::GiB(
+          static_cast<int64_t>(rng.NextLognormal(6.0, 1.0))));  // ~400 GiB
+    } else {
+      // General CPU workload: lognormal cores, correlated memory.
+      double cores_f =
+          rng.NextLognormal(config.cpu_lognormal_mu, config.cpu_lognormal_sigma);
+      cores_f = std::clamp(cores_f, 0.25, static_cast<double>(config.max_cpu_cores));
+      const auto milli = static_cast<int64_t>(std::llround(cores_f * 1000.0));
+      d.demand += ResourceVector::MilliCpu(milli);
+      const double gib_per_core = rng.NextDoubleInRange(1.0, 8.0);
+      d.demand += ResourceVector::Dram(Bytes(static_cast<int64_t>(
+          cores_f * gib_per_core * 1024.0 * 1024.0 * 1024.0)));
+      if (rng.NextBool(0.5)) {
+        d.demand += ResourceVector::Ssd(
+            Bytes::GiB(8 + static_cast<int64_t>(rng.NextUint64(120))));
+      }
+    }
+    // Lifetimes: exponential around 6 hours, floored at 10 minutes.
+    const double hours = std::max(1.0 / 6.0, rng.NextExponential(1.0 / 6.0));
+    d.lifetime = SimTime::Micros(static_cast<int64_t>(hours * 3600e6));
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace udc

@@ -1,0 +1,41 @@
+// Synthetic tenant population for the waste / utilization / economics
+// experiments (claims C1, C2, C7).
+//
+// Demands are drawn from a heavy-tailed mix resembling public cluster
+// traces: most workloads are small (1-4 cores, few GiB), a long tail wants
+// dozens of cores, and a minority needs GPUs with only a little CPU — the
+// paper's "8 GPUs but few vCPUs" shape.
+
+#ifndef UDC_SRC_WORKLOAD_TENANTS_H_
+#define UDC_SRC_WORKLOAD_TENANTS_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/hw/resource.h"
+
+namespace udc {
+
+struct TenantDemand {
+  ResourceVector demand;
+  SimTime lifetime;     // how long the workload holds its resources
+  bool gpu_heavy = false;
+};
+
+struct TenantMixConfig {
+  double gpu_fraction = 0.12;      // workloads that need >= 1 GPU
+  double storage_fraction = 0.10;  // workloads dominated by storage
+  double cpu_lognormal_mu = 0.9;   // exp(mu) ~ 2.5 cores typical
+  double cpu_lognormal_sigma = 0.9;
+  int max_cpu_cores = 64;
+  int max_gpus = 8;
+};
+
+// Draws `count` independent tenant demands.
+std::vector<TenantDemand> SampleTenantMix(Rng& rng, int count,
+                                          const TenantMixConfig& config = {});
+
+}  // namespace udc
+
+#endif  // UDC_SRC_WORKLOAD_TENANTS_H_

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "src/aspects/aspects.h"
+#include "src/aspects/spec_parser.h"
+#include "src/workload/medical.h"
+
+namespace udc {
+namespace {
+
+TEST(ParseSizeTest, Suffixes) {
+  EXPECT_EQ(ParseSize("512")->bytes(), 512);
+  EXPECT_EQ(ParseSize("3B")->bytes(), 3);
+  EXPECT_EQ(ParseSize("2KiB")->bytes(), 2048);
+  EXPECT_EQ(ParseSize("4MiB")->bytes(), 4 * 1024 * 1024);
+  EXPECT_EQ(ParseSize("1GiB")->bytes(), 1024LL * 1024 * 1024);
+  EXPECT_EQ(ParseSize("2TiB")->bytes(), 2048LL * 1024 * 1024 * 1024);
+  EXPECT_FALSE(ParseSize("abc").ok());
+  EXPECT_FALSE(ParseSize("1.5GiB").ok());  // integral only
+}
+
+TEST(ParseMilliTest, WholeAndMilli) {
+  EXPECT_EQ(*ParseMilli("4"), 4000);
+  EXPECT_EQ(*ParseMilli("2500m"), 2500);
+  EXPECT_FALSE(ParseMilli("xm").ok());
+  EXPECT_FALSE(ParseMilli("").ok());
+}
+
+TEST(AspectDefaultsTest, ProviderDefaultsAreTodaysCloud) {
+  const AspectSet d = ProviderDefaults();
+  EXPECT_FALSE(d.resource.defined);
+  EXPECT_FALSE(d.exec.defined);
+  EXPECT_FALSE(d.dist.defined);
+  EXPECT_EQ(d.exec.isolation, IsolationLevel::kWeak);
+  EXPECT_EQ(d.dist.replication_factor, 1);
+  EXPECT_TRUE(ValidateAspects(d).ok());
+}
+
+TEST(ValidateAspectsTest, CatchesIncoherentSpecs) {
+  AspectSet a = ProviderDefaults();
+  a.dist.replication_factor = 0;
+  EXPECT_FALSE(ValidateAspects(a).ok());
+
+  AspectSet b = ProviderDefaults();
+  b.dist.checkpoint = true;
+  b.dist.failure_handling = FailureHandling::kReexecute;
+  EXPECT_FALSE(ValidateAspects(b).ok());
+
+  AspectSet c = ProviderDefaults();
+  c.exec.protection.replay_protection = true;
+  EXPECT_FALSE(ValidateAspects(c).ok());
+  c.exec.protection.integrity = true;
+  EXPECT_TRUE(ValidateAspects(c).ok());
+
+  AspectSet d = ProviderDefaults();
+  d.resource.defined = true;
+  d.resource.objective = ResourceObjective::kExplicit;
+  EXPECT_FALSE(ValidateAspects(d).ok());  // explicit but empty demand
+}
+
+TEST(SpecParserTest, ParsesMinimalApp) {
+  const auto spec = ParseAppSpec(R"(
+app tiny
+task T1 work=100 out=1MiB
+data D1 size=2GiB
+edge D1 -> T1
+aspect T1 resource cpu=2000m dram=1GiB
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->graph.app_name(), "tiny");
+  EXPECT_EQ(spec->graph.size(), 2u);
+  const ModuleId t1 = spec->graph.IdOf("T1");
+  const AspectSet aspects = spec->AspectsFor(t1);
+  EXPECT_TRUE(aspects.resource.defined);
+  EXPECT_EQ(aspects.resource.demand.Get(ResourceKind::kCpu), 2000);
+  EXPECT_EQ(aspects.resource.demand.Get(ResourceKind::kDram),
+            Bytes::GiB(1).bytes());
+  // Unspecified module falls back to provider defaults.
+  const AspectSet d1 = spec->AspectsFor(spec->graph.IdOf("D1"));
+  EXPECT_FALSE(d1.resource.defined);
+}
+
+TEST(SpecParserTest, ParsesExecAndDistAspects) {
+  const auto spec = ParseAppSpec(R"(
+app x
+task T work=1
+aspect T exec isolation=strongest tenancy=single tee_if_cpu encrypt integrity replay
+aspect T dist replication=3 consistency=causal prefer=writer failure=failover
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const AspectSet a = spec->AspectsFor(spec->graph.IdOf("T"));
+  EXPECT_EQ(a.exec.isolation, IsolationLevel::kStrongest);
+  EXPECT_EQ(a.exec.tenancy, TenancyMode::kSingleTenant);
+  EXPECT_TRUE(a.exec.tee_if_cpu);
+  EXPECT_TRUE(a.exec.protection.encryption);
+  EXPECT_TRUE(a.exec.protection.replay_protection);
+  EXPECT_EQ(a.dist.replication_factor, 3);
+  EXPECT_EQ(a.dist.consistency, ConsistencyLevel::kCausal);
+  EXPECT_TRUE(a.dist.consistency_specified);
+  EXPECT_EQ(a.dist.preference, AccessPreference::kWriter);
+  EXPECT_EQ(a.dist.failure_handling, FailureHandling::kFailover);
+}
+
+TEST(SpecParserTest, CheckpointFlagImpliesHandling) {
+  const auto spec = ParseAppSpec(R"(
+app x
+task T work=1
+aspect T dist checkpoint
+)");
+  ASSERT_TRUE(spec.ok());
+  const AspectSet a = spec->AspectsFor(spec->graph.IdOf("T"));
+  EXPECT_TRUE(a.dist.checkpoint);
+  EXPECT_EQ(a.dist.failure_handling, FailureHandling::kCheckpointRestore);
+  EXPECT_FALSE(a.dist.consistency_specified);
+}
+
+TEST(SpecParserTest, ReportsLineNumbers) {
+  const auto spec = ParseAppSpec("app x\ntask T work=1\nbogus directive\n");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(SpecParserTest, RejectsUnknownModuleInAspect) {
+  const auto spec = ParseAppSpec("app x\naspect NOPE resource cpu=1\n");
+  EXPECT_FALSE(spec.ok());
+}
+
+TEST(SpecParserTest, RejectsUnknownKeysAndValues) {
+  EXPECT_FALSE(ParseAppSpec("app x\ntask T work=1\naspect T resource quark=1\n").ok());
+  EXPECT_FALSE(
+      ParseAppSpec("app x\ntask T work=1\naspect T exec isolation=ultra\n").ok());
+  EXPECT_FALSE(
+      ParseAppSpec("app x\ntask T work=1\naspect T dist replication=0\n").ok());
+}
+
+TEST(SpecParserTest, RejectsCyclicGraph) {
+  const auto spec = ParseAppSpec(R"(
+app x
+task A work=1
+task B work=1
+edge A -> B
+edge B -> A
+)");
+  EXPECT_FALSE(spec.ok());
+}
+
+TEST(SpecParserTest, CommentsAndBlankLinesIgnored) {
+  const auto spec = ParseAppSpec(R"(
+# full-line comment
+
+app x   # trailing comment
+task T work=1  # another
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->graph.size(), 1u);
+}
+
+TEST(SpecParserTest, EdgeSyntaxEnforced) {
+  EXPECT_FALSE(ParseAppSpec("app x\ntask A work=1\nedge A ->\n").ok());
+  EXPECT_FALSE(ParseAppSpec("app x\ntask A work=1\nedge A => A\n").ok());
+}
+
+
+TEST(SpecParserTest, ParsesFailureDomains) {
+  const auto spec = ParseAppSpec(R"(
+app x
+task A work=1
+task B work=1
+task C work=1
+edge A -> B
+domain front members=A,B replication=2 failure=checkpoint
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->domains.size(), 1u);
+  EXPECT_EQ(spec->domains[0].name, "front");
+  EXPECT_EQ(spec->domains[0].members.size(), 2u);
+  EXPECT_EQ(spec->domains[0].replication_factor, 2);
+  EXPECT_EQ(spec->domains[0].handling, FailureHandling::kCheckpointRestore);
+
+  const ModuleId a = spec->graph.IdOf("A");
+  const ModuleId c = spec->graph.IdOf("C");
+  ASSERT_NE(spec->DomainOf(a), nullptr);
+  EXPECT_EQ(spec->DomainOf(c), nullptr);
+  EXPECT_EQ(spec->CoFailingWith(a).size(), 2u);
+  EXPECT_EQ(spec->CoFailingWith(c).size(), 1u);
+}
+
+TEST(SpecParserTest, DomainRejectsUnknownAndOverlappingMembers) {
+  EXPECT_FALSE(
+      ParseAppSpec("app x\ntask A work=1\ndomain d members=A,NOPE\n").ok());
+  EXPECT_FALSE(ParseAppSpec(
+                   "app x\ntask A work=1\ndomain d1 members=A\n"
+                   "domain d2 members=A\n")
+                   .ok());
+  EXPECT_FALSE(ParseAppSpec("app x\ntask A work=1\ndomain d\n").ok());
+  EXPECT_FALSE(
+      ParseAppSpec("app x\ntask A work=1\ndomain d members=A replication=0\n")
+          .ok());
+}
+
+TEST(MedicalSpecTest, ParsesAndMatchesTable1) {
+  const auto spec = MedicalAppSpec();
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->graph.app_name(), "medical");
+  EXPECT_EQ(spec->graph.TaskIds().size(), 6u);   // A1-A4, B1-B2
+  EXPECT_EQ(spec->graph.DataIds().size(), 4u);   // S1-S4
+
+  // Table 1 row checks.
+  const AspectSet a1 = spec->AspectsFor(spec->graph.IdOf("A1"));
+  EXPECT_EQ(a1.resource.objective, ResourceObjective::kFastest);
+  EXPECT_TRUE(a1.exec.tee_if_cpu);
+
+  const AspectSet a2 = spec->AspectsFor(spec->graph.IdOf("A2"));
+  EXPECT_EQ(a2.resource.demand.Get(ResourceKind::kGpu), 1000);
+  EXPECT_EQ(a2.exec.tenancy, TenancyMode::kSingleTenant);
+  EXPECT_TRUE(a2.dist.checkpoint);
+
+  const AspectSet a4 = spec->AspectsFor(spec->graph.IdOf("A4"));
+  EXPECT_EQ(a4.exec.isolation, IsolationLevel::kStrongest);
+  EXPECT_EQ(a4.dist.replication_factor, 2);
+
+  const AspectSet s1 = spec->AspectsFor(spec->graph.IdOf("S1"));
+  EXPECT_EQ(s1.resource.demand.Get(ResourceKind::kSsd), Bytes::GiB(64).bytes());
+  EXPECT_TRUE(s1.exec.protection.encryption);
+  EXPECT_TRUE(s1.exec.protection.integrity);
+  EXPECT_EQ(s1.dist.replication_factor, 3);
+  EXPECT_EQ(s1.dist.consistency, ConsistencyLevel::kSequential);
+
+  const AspectSet s2 = spec->AspectsFor(spec->graph.IdOf("S2"));
+  EXPECT_EQ(s2.dist.preference, AccessPreference::kReader);
+
+  const AspectSet s4 = spec->AspectsFor(spec->graph.IdOf("S4"));
+  EXPECT_FALSE(s4.exec.protection.encryption);
+  EXPECT_TRUE(s4.exec.protection.integrity);
+  EXPECT_EQ(s4.dist.consistency, ConsistencyLevel::kRelease);
+
+  // Locality hints from sec 3.1.
+  const auto partners =
+      spec->graph.LocalityPartners(spec->graph.IdOf("A1"));
+  ASSERT_EQ(partners.size(), 1u);
+  EXPECT_EQ(partners[0], spec->graph.IdOf("A2"));
+}
+
+TEST(AspectToStringTest, RendersReadably) {
+  const auto spec = MedicalAppSpec();
+  ASSERT_TRUE(spec.ok());
+  const AspectSet a2 = spec->AspectsFor(spec->graph.IdOf("A2"));
+  const std::string s = a2.ToString();
+  EXPECT_NE(s.find("gpu=1000m"), std::string::npos);
+  EXPECT_NE(s.find("single"), std::string::npos);
+  EXPECT_NE(s.find("checkpoint"), std::string::npos);
+  const std::string defaults = ProviderDefaults().ToString();
+  EXPECT_NE(defaults.find("provider default"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace udc

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "src/attest/attestation_service.h"
+#include "src/attest/quote.h"
+#include "src/hw/pool.h"
+
+namespace udc {
+namespace {
+
+TEST(MeasurementRegisterTest, ExtendIsOrderSensitive) {
+  MeasurementRegister a;
+  MeasurementRegister b;
+  a.Extend("first");
+  a.Extend("second");
+  b.Extend("second");
+  b.Extend("first");
+  EXPECT_FALSE(DigestEqual(a.value(), b.value()));
+  EXPECT_EQ(a.extensions(), 2u);
+}
+
+TEST(MeasurementRegisterTest, SameSequenceSameValue) {
+  MeasurementRegister a;
+  MeasurementRegister b;
+  for (const char* s : {"boot", "kernel", "app"}) {
+    a.Extend(s);
+    b.Extend(s);
+  }
+  EXPECT_TRUE(DigestEqual(a.value(), b.value()));
+}
+
+TEST(QuoteTest, SignAndVerify) {
+  const Key256 vendor = KeyFromString("vendor");
+  RootOfTrust rot(vendor, /*device_identity=*/7);
+  const Quote q = rot.Sign(QuoteId(1), QuoteSubject::kEnvironment,
+                           SimTime::Millis(5), "claim text");
+  QuoteVerifier verifier(vendor);
+  EXPECT_TRUE(verifier.Verify(q).ok());
+  EXPECT_TRUE(verifier.VerifyClaim(q, "claim text").ok());
+}
+
+TEST(QuoteTest, TamperedReportFailsVerification) {
+  const Key256 vendor = KeyFromString("vendor");
+  RootOfTrust rot(vendor, 7);
+  Quote q = rot.Sign(QuoteId(1), QuoteSubject::kResources, SimTime(0), "amount=8");
+  q.report = "amount=9";
+  QuoteVerifier verifier(vendor);
+  EXPECT_EQ(verifier.Verify(q).code(), StatusCode::kVerificationFailed);
+}
+
+TEST(QuoteTest, ForgedSignerFailsVerification) {
+  const Key256 vendor = KeyFromString("vendor");
+  RootOfTrust rot(vendor, 7);
+  Quote q = rot.Sign(QuoteId(1), QuoteSubject::kResources, SimTime(0), "x");
+  q.signer_device = 8;  // pretend another device signed it
+  QuoteVerifier verifier(vendor);
+  EXPECT_FALSE(verifier.Verify(q).ok());
+}
+
+TEST(QuoteTest, WrongVendorKeyFails) {
+  RootOfTrust rot(KeyFromString("real-vendor"), 7);
+  const Quote q = rot.Sign(QuoteId(1), QuoteSubject::kSoftware, SimTime(0), "x");
+  QuoteVerifier wrong(KeyFromString("fake-vendor"));
+  EXPECT_FALSE(wrong.Verify(q).ok());
+}
+
+TEST(QuoteTest, ClaimMismatchDetected) {
+  const Key256 vendor = KeyFromString("vendor");
+  RootOfTrust rot(vendor, 7);
+  const Quote q = rot.Sign(QuoteId(1), QuoteSubject::kReplication, SimTime(0),
+                           ReplicationReport("S1", 7, 1));
+  QuoteVerifier verifier(vendor);
+  EXPECT_TRUE(verifier.VerifyClaim(q, ReplicationReport("S1", 7, 1)).ok());
+  EXPECT_FALSE(verifier.VerifyClaim(q, ReplicationReport("S1", 8, 1)).ok());
+}
+
+class AttestationServiceTest : public ::testing::Test {
+ protected:
+  AttestationServiceTest()
+      : sim_(1), vendor_(KeyFromString("vendor")), service_(&sim_, vendor_),
+        verifier_(vendor_) {}
+  Simulation sim_;
+  Key256 vendor_;
+  AttestationService service_;
+  QuoteVerifier verifier_;
+};
+
+TEST_F(AttestationServiceTest, UnprovisionedDeviceCannotQuote) {
+  const auto q = service_.QuoteReplica(99, "obj", TenantId(1));
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(AttestationServiceTest, EnvironmentQuoteVerifies) {
+  service_.ProvisionDevice(5);
+  ExecEnvironment env(0, EnvKind::kTeeEnclave, TenancyMode::kSingleTenant,
+                      TenantId(3), NodeId(5));
+  const auto q = service_.QuoteEnvironment(env);
+  ASSERT_TRUE(q.ok());
+  const std::string expected = EnvironmentReport(
+      env.measurement(), "strongest", "single", 3);
+  EXPECT_TRUE(verifier_.VerifyClaim(*q, expected).ok());
+}
+
+TEST_F(AttestationServiceTest, NonAttestableSharedEnvRefused) {
+  service_.ProvisionDevice(5);
+  ExecEnvironment env(0, EnvKind::kContainer, TenancyMode::kShared,
+                      TenantId(3), NodeId(5));
+  EXPECT_FALSE(service_.QuoteEnvironment(env).ok());
+}
+
+TEST_F(AttestationServiceTest, ResourceQuotesCoverLedger) {
+  Topology topo;
+  const int rack = topo.AddRack();
+  ResourcePool pool(PoolId(0), DeviceKind::kGpuBoard);
+  pool.AddDevice(std::make_unique<Device>(
+      DeviceId(11), DeviceKind::kGpuBoard, 4000,
+      topo.AddNode(rack, NodeRole::kDevice),
+      DeviceProfile::DefaultFor(DeviceKind::kGpuBoard)));
+  AllocationConstraints constraints;
+  auto alloc = pool.Allocate(TenantId(2), 2000, constraints, topo);
+  ASSERT_TRUE(alloc.ok());
+  service_.ProvisionDevice(11);
+
+  const auto quotes = service_.QuoteResources(pool, TenantId(2));
+  ASSERT_TRUE(quotes.ok());
+  ASSERT_EQ(quotes->size(), 1u);
+  EXPECT_TRUE(verifier_.Verify((*quotes)[0]).ok());
+  EXPECT_TRUE(verifier_
+                  .VerifyClaim((*quotes)[0],
+                               ResourceReport(11, "gpu", 2, 2000))
+                  .ok());
+  // Another tenant's view is empty.
+  const auto other = service_.QuoteResources(pool, TenantId(9));
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(other->empty());
+}
+
+TEST_F(AttestationServiceTest, SoftwareQuoteBindsMeasurement) {
+  service_.ProvisionDevice(4);
+  const Sha256Digest code = Sha256::Hash("module binary");
+  const auto q = service_.QuoteSoftware(4, code, "A2");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(verifier_.VerifyClaim(*q, SoftwareReport(code, "A2")).ok());
+  const Sha256Digest other = Sha256::Hash("different binary");
+  EXPECT_FALSE(verifier_.VerifyClaim(*q, SoftwareReport(other, "A2")).ok());
+}
+
+}  // namespace
+}  // namespace udc

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "src/baseline/caas.h"
+#include "src/baseline/catalog.h"
+#include "src/baseline/faas.h"
+#include "src/baseline/iaas.h"
+
+namespace udc {
+namespace {
+
+TEST(CatalogTest, CheapestFittingPicksMinimalPrice) {
+  const InstanceCatalog catalog = InstanceCatalog::Ec2Style();
+  const ResourceVector demand =
+      ResourceVector::MilliCpu(3000) + ResourceVector::Dram(Bytes::GiB(10));
+  const auto pick = catalog.CheapestFitting(demand);
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(pick->name, "m5.xlarge");  // 4c/16GiB is the cheapest cover
+}
+
+TEST(CatalogTest, EightGpusForceThePaperExample) {
+  // The paper's motivating case: 8 GPUs + tiny CPU need still buys a
+  // p3.16xlarge-class box with 64 vCPUs.
+  const InstanceCatalog catalog = InstanceCatalog::Ec2Style();
+  const ResourceVector demand = ResourceVector::MilliGpu(8000) +
+                                ResourceVector::MilliCpu(4000) +
+                                ResourceVector::Dram(Bytes::GiB(64));
+  const auto pick = catalog.CheapestFitting(demand);
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(pick->name, "p3.16xlarge");
+  EXPECT_EQ(pick->shape.Get(ResourceKind::kCpu), 64000);
+  // >90% of the vCPUs are paid for but unused.
+  EXPECT_GT(WasteFraction(*pick, demand), 0.4);
+}
+
+TEST(CatalogTest, UnsatisfiableDemandFails) {
+  const InstanceCatalog catalog = InstanceCatalog::Ec2Style();
+  EXPECT_FALSE(catalog.CheapestFitting(ResourceVector::MilliGpu(64000)).ok());
+}
+
+TEST(CatalogTest, AllFittingSortedByPrice) {
+  const InstanceCatalog catalog = InstanceCatalog::Ec2Style();
+  const auto fitting =
+      catalog.AllFitting(ResourceVector::MilliCpu(1000));
+  ASSERT_GT(fitting.size(), 3u);
+  for (size_t i = 1; i < fitting.size(); ++i) {
+    EXPECT_LE(fitting[i - 1].hourly, fitting[i].hourly);
+  }
+}
+
+TEST(CatalogTest, WasteValuePricesUnusedShare) {
+  const InstanceCatalog catalog = InstanceCatalog::Ec2Style();
+  const auto exact = catalog.CheapestFitting(ResourceVector::MilliCpu(2000) +
+                                             ResourceVector::Dram(Bytes::GiB(8)));
+  ASSERT_TRUE(exact.ok());
+  const Money none = WasteValue(*exact, exact->shape,
+                                PriceList::DefaultOnDemand(), SimTime::Hours(1));
+  EXPECT_EQ(none.micro_usd(), 0);
+  const Money some = WasteValue(
+      *exact, ResourceVector::MilliCpu(1000), PriceList::DefaultOnDemand(),
+      SimTime::Hours(1));
+  EXPECT_GT(some.micro_usd(), 0);
+}
+
+class IaasTest : public ::testing::Test {
+ protected:
+  IaasTest() : sim_(1) {
+    for (int i = 0; i < 2; ++i) {
+      topo_.AddRack();
+    }
+    cloud_ = std::make_unique<IaasCloud>(&sim_, &topo_, /*servers_per_rack=*/4);
+  }
+  Simulation sim_;
+  Topology topo_;
+  std::unique_ptr<IaasCloud> cloud_;
+};
+
+TEST_F(IaasTest, LaunchPlacesOnServer) {
+  const ResourceVector demand =
+      ResourceVector::MilliCpu(2000) + ResourceVector::Dram(Bytes::GiB(4));
+  const auto instance = cloud_->LaunchForDemand(TenantId(1), demand);
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+  EXPECT_EQ(cloud_->live_instances(), 1u);
+  EXPECT_GE(cloud_->ServersInUse(), 1u);
+  EXPECT_GT(cloud_->MeanWasteFraction(), 0.0);
+  ASSERT_TRUE(cloud_->Terminate(instance->id).ok());
+  EXPECT_EQ(cloud_->live_instances(), 0u);
+}
+
+TEST_F(IaasTest, BestFitConsolidates) {
+  const ResourceVector small =
+      ResourceVector::MilliCpu(2000) + ResourceVector::Dram(Bytes::GiB(8));
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(cloud_->LaunchForDemand(TenantId(1), small).ok());
+  }
+  // Six m5.large-ish instances should share few servers.
+  EXPECT_LE(cloud_->ServersInUse(), 2u);
+}
+
+TEST_F(IaasTest, GpuDemandNeedsGpuBox) {
+  const ResourceVector gpu_demand = ResourceVector::MilliGpu(8000) +
+                                    ResourceVector::MilliCpu(2000) +
+                                    ResourceVector::Dram(Bytes::GiB(32));
+  const auto instance = cloud_->LaunchForDemand(TenantId(1), gpu_demand);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->type.name, "p3.16xlarge");
+  // Effective GPU utilization on occupied servers is 100% of what's asked,
+  // but CPU is mostly stranded.
+  EXPECT_LT(cloud_->EffectiveUtilization(ResourceKind::kCpu), 0.25);
+}
+
+TEST_F(IaasTest, WholeInstanceBilling) {
+  const auto instance = cloud_->LaunchForDemand(
+      TenantId(1), ResourceVector::MilliCpu(1000));
+  ASSERT_TRUE(instance.ok());
+  const Money bill = cloud_->BillFor(*instance, SimTime::Hours(10));
+  EXPECT_NEAR(bill.dollars(), instance->type.hourly.dollars() * 10, 0.01);
+}
+
+TEST_F(IaasTest, CapacityExhaustionFails) {
+  const ResourceVector big = ResourceVector::MilliGpu(8000) +
+                             ResourceVector::MilliCpu(4000) +
+                             ResourceVector::Dram(Bytes::GiB(64));
+  // Only 2 GPU boxes exist (one per 4 servers per rack, 2 racks).
+  ASSERT_TRUE(cloud_->LaunchForDemand(TenantId(1), big).ok());
+  ASSERT_TRUE(cloud_->LaunchForDemand(TenantId(1), big).ok());
+  EXPECT_FALSE(cloud_->LaunchForDemand(TenantId(1), big).ok());
+}
+
+class FaasTest : public ::testing::Test {
+ protected:
+  Simulation sim_{1};
+  FaasCloud faas_{&sim_};
+};
+
+TEST_F(FaasTest, FirstInvocationIsCold) {
+  FaasFunction fn{"infer", Bytes::MiB(1769), 10000};
+  const auto first = faas_.Invoke(fn);
+  EXPECT_TRUE(first.cold);
+  const auto second = faas_.Invoke(fn);
+  EXPECT_FALSE(second.cold);
+  EXPECT_LT(second.latency, first.latency);
+  EXPECT_EQ(faas_.cold_starts(), 1u);
+}
+
+TEST_F(FaasTest, WarmInstanceExpires) {
+  FaasFunction fn{"f", Bytes::MiB(512), 1000};
+  faas_.Invoke(fn, /*keep_warm=*/SimTime::Minutes(1));
+  sim_.RunUntil(SimTime::Minutes(5));  // idle past expiry
+  const auto later = faas_.Invoke(fn);
+  EXPECT_TRUE(later.cold);
+}
+
+TEST_F(FaasTest, CpuScalesWithMemory) {
+  FaasFunction small{"s", Bytes::MiB(512), 20000};
+  FaasFunction large{"l", Bytes::MiB(3538), 20000};
+  const auto slow = faas_.Invoke(small);
+  const auto fast = faas_.Invoke(large);
+  EXPECT_GT(slow.execution, fast.execution);
+}
+
+TEST_F(FaasTest, ChargesGbSecondsPlusRequest) {
+  FaasFunction fn{"f", Bytes::MiB(1024), 100000};  // 1 GB, ~173 s on 0.58 vCPU
+  const auto r = faas_.Invoke(fn);
+  EXPECT_GT(r.charge.micro_usd(), FaasPricing().per_request.micro_usd());
+}
+
+TEST_F(FaasTest, NoGpuOffering) {
+  FaasFunction fn{"cnn", Bytes::MiB(2048), 30000};
+  const auto r = faas_.InvokeGpu(fn);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+class CaasTest : public ::testing::Test {
+ protected:
+  CaasTest() : sim_(1) {
+    topo_.AddRack();
+    caas_ = std::make_unique<CaasCloud>(&sim_, &topo_, /*nodes_per_rack=*/3);
+  }
+  Simulation sim_;
+  Topology topo_;
+  std::unique_ptr<CaasCloud> caas_;
+};
+
+TEST_F(CaasTest, PacksContainersTightly) {
+  const ResourceVector request =
+      ResourceVector::MilliCpu(4000) + ResourceVector::Dram(Bytes::GiB(16));
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(caas_->Schedule(TenantId(1), request).ok());
+  }
+  // 8 x 4 cores on 48-core nodes: all fit on one node.
+  EXPECT_EQ(caas_->NodesInUse(), 1u);
+  EXPECT_GT(caas_->NodeUtilization(ResourceKind::kCpu), 0.6);
+}
+
+TEST_F(CaasTest, RemoveFreesCapacity) {
+  const auto c = caas_->Schedule(TenantId(1), ResourceVector::MilliCpu(1000));
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(caas_->Remove(c->id).ok());
+  EXPECT_EQ(caas_->live_containers(), 0u);
+  EXPECT_FALSE(caas_->Remove(c->id).ok());
+}
+
+TEST_F(CaasTest, BillsDominantShareOfNode) {
+  // Half the node's cores -> half the node price.
+  const auto c = caas_->Schedule(
+      TenantId(1), ResourceVector::MilliCpu(24000));
+  ASSERT_TRUE(c.ok());
+  const Money bill = caas_->BillFor(*c, SimTime::Hours(1));
+  EXPECT_NEAR(bill.dollars(), 2.304 * 0.5, 0.01);
+}
+
+TEST_F(CaasTest, ClusterExhaustionFails) {
+  const ResourceVector huge = ResourceVector::MilliCpu(48000);
+  ASSERT_TRUE(caas_->Schedule(TenantId(1), huge).ok());
+  ASSERT_TRUE(caas_->Schedule(TenantId(1), huge).ok());
+  ASSERT_TRUE(caas_->Schedule(TenantId(1), huge).ok());
+  EXPECT_FALSE(caas_->Schedule(TenantId(1), huge).ok());
+}
+
+}  // namespace
+}  // namespace udc

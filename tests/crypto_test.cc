@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/crypto/cipher.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/merkle.h"
+#include "src/crypto/sha256.h"
+
+namespace udc {
+namespace {
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(std::string_view())),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      DigestToHex(Sha256::Hash(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk);
+  }
+  EXPECT_EQ(DigestToHex(h.Finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Sha256 h;
+  h.Update("hello ");
+  h.Update("world");
+  EXPECT_EQ(DigestToHex(h.Finalize()), DigestToHex(Sha256::Hash("hello world")));
+}
+
+TEST(Sha256Test, BoundaryLengths) {
+  // 55/56/63/64/65 bytes cross the padding boundaries.
+  for (size_t len : {55u, 56u, 63u, 64u, 65u}) {
+    const std::string msg(len, 'x');
+    Sha256 incremental;
+    for (char c : msg) {
+      incremental.Update(std::string_view(&c, 1));
+    }
+    EXPECT_EQ(DigestToHex(incremental.Finalize()),
+              DigestToHex(Sha256::Hash(msg)))
+        << "len=" << len;
+  }
+}
+
+TEST(Sha256Test, DigestEqualConstantScan) {
+  const Sha256Digest a = Sha256::Hash("a");
+  Sha256Digest b = a;
+  EXPECT_TRUE(DigestEqual(a, b));
+  b[31] ^= 1;
+  EXPECT_FALSE(DigestEqual(a, b));
+}
+
+// RFC 4231 test case 2 (key "Jefe" is shorter than block; our API uses
+// fixed 32-byte keys, so we verify against a locally-computed reference of
+// the same construction instead: determinism + key separation).
+TEST(HmacTest, DeterministicAndKeySeparated) {
+  const Key256 k1 = KeyFromString("key-one");
+  const Key256 k2 = KeyFromString("key-two");
+  const Sha256Digest m1 = HmacSha256(k1, "message");
+  const Sha256Digest m1_again = HmacSha256(k1, "message");
+  const Sha256Digest m2 = HmacSha256(k2, "message");
+  EXPECT_TRUE(DigestEqual(m1, m1_again));
+  EXPECT_FALSE(DigestEqual(m1, m2));
+  EXPECT_FALSE(DigestEqual(m1, HmacSha256(k1, "messagf")));
+}
+
+TEST(HmacTest, DeriveKeyBindsLabel) {
+  const Key256 parent = KeyFromString("parent");
+  const Key256 a = DeriveKey(parent, "child-a");
+  const Key256 b = DeriveKey(parent, "child-b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, DeriveKey(parent, "child-a"));
+}
+
+TEST(AeadTest, RoundTrips) {
+  const AeadCipher cipher(KeyFromString("k"));
+  const std::vector<uint8_t> plain{'s', 'e', 'c', 'r', 'e', 't'};
+  const SealedBox box = cipher.Seal(plain, /*nonce=*/1);
+  EXPECT_NE(box.ciphertext, plain);  // actually encrypted
+  const auto out = cipher.Open(box);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, plain);
+}
+
+TEST(AeadTest, DetectsTamper) {
+  const AeadCipher cipher(KeyFromString("k"));
+  const std::vector<uint8_t> plain{1, 2, 3, 4};
+  SealedBox box = cipher.Seal(plain, 1);
+  box.ciphertext[0] ^= 0xFF;
+  const auto out = cipher.Open(box);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kVerificationFailed);
+}
+
+TEST(AeadTest, DetectsNonceTamper) {
+  const AeadCipher cipher(KeyFromString("k"));
+  SealedBox box = cipher.Seal(std::vector<uint8_t>{9}, 1);
+  box.nonce = 2;  // replay under a different sequence number
+  EXPECT_FALSE(cipher.Open(box).ok());
+}
+
+TEST(AeadTest, WrongKeyFails) {
+  const AeadCipher alice(KeyFromString("alice"));
+  const AeadCipher mallory(KeyFromString("mallory"));
+  const SealedBox box = alice.Seal(std::vector<uint8_t>{7}, 1);
+  EXPECT_FALSE(mallory.Open(box).ok());
+}
+
+TEST(AeadTest, EmptyPlaintext) {
+  const AeadCipher cipher(KeyFromString("k"));
+  const SealedBox box = cipher.Seal({}, 5);
+  const auto out = cipher.Open(box);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(ReplayGuardTest, RejectsReplayAndReorder) {
+  ReplayGuard guard;
+  EXPECT_TRUE(guard.Accept(1));
+  EXPECT_TRUE(guard.Accept(2));
+  EXPECT_FALSE(guard.Accept(2));  // replay
+  EXPECT_FALSE(guard.Accept(1));  // reorder
+  EXPECT_TRUE(guard.Accept(10));
+}
+
+TEST(MerkleTest, SingleLeaf) {
+  const Sha256Digest leaf = Sha256::Hash("only");
+  MerkleTree tree({leaf});
+  EXPECT_TRUE(DigestEqual(tree.root(), leaf));
+  const auto proof = tree.ProveLeaf(0);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(MerkleTree::VerifyProof(tree.root(), leaf, *proof));
+}
+
+TEST(MerkleTest, RejectsOutOfRange) {
+  MerkleTree tree({Sha256::Hash("x")});
+  EXPECT_FALSE(tree.ProveLeaf(1).ok());
+}
+
+TEST(MerkleTest, EmptyTreeHasConventionalRoot) {
+  MerkleTree tree(std::vector<Sha256Digest>{});
+  EXPECT_EQ(tree.leaf_count(), 1u);
+}
+
+class MerkleSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MerkleSizeTest, AllProofsVerifyAndTamperFails) {
+  const int n = GetParam();
+  std::vector<std::vector<uint8_t>> chunks;
+  for (int i = 0; i < n; ++i) {
+    chunks.push_back({static_cast<uint8_t>(i), static_cast<uint8_t>(i * 7)});
+  }
+  const MerkleTree tree = MerkleTree::FromChunks(chunks);
+  for (int i = 0; i < n; ++i) {
+    const Sha256Digest leaf = Sha256::Hash(
+        std::span<const uint8_t>(chunks[static_cast<size_t>(i)].data(),
+                                 chunks[static_cast<size_t>(i)].size()));
+    const auto proof = tree.ProveLeaf(static_cast<uint64_t>(i));
+    ASSERT_TRUE(proof.ok());
+    EXPECT_TRUE(MerkleTree::VerifyProof(tree.root(), leaf, *proof))
+        << "leaf " << i << " of " << n;
+    // A tampered leaf must not verify.
+    Sha256Digest bad = leaf;
+    bad[0] ^= 1;
+    EXPECT_FALSE(MerkleTree::VerifyProof(tree.root(), bad, *proof));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleSizeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 16, 31, 33));
+
+}  // namespace
+}  // namespace udc

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "src/ir/module_graph.h"
+#include "src/ir/partitioner.h"
+
+namespace udc {
+namespace {
+
+TEST(ModuleGraphTest, BuildsTasksAndData) {
+  ModuleGraph g("app");
+  const auto t = g.AddTask("T", 100.0, Bytes::MiB(1));
+  const auto d = g.AddData("D", Bytes::GiB(1));
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.Find(*t)->kind, ModuleKind::kTask);
+  EXPECT_EQ(g.Find(*d)->data_size, Bytes::GiB(1));
+  EXPECT_EQ(g.FindByName("T")->id, *t);
+  EXPECT_EQ(g.IdOf("missing"), ModuleId::Invalid());
+}
+
+TEST(ModuleGraphTest, RejectsDuplicateNames) {
+  ModuleGraph g;
+  ASSERT_TRUE(g.AddTask("X", 1).ok());
+  EXPECT_EQ(g.AddTask("X", 2).status().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(g.AddData("X", Bytes::KiB(1)).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(ModuleGraphTest, RejectsBadEdges) {
+  ModuleGraph g;
+  const auto a = g.AddTask("A", 1);
+  const auto d1 = g.AddData("D1", Bytes::KiB(1));
+  const auto d2 = g.AddData("D2", Bytes::KiB(1));
+  EXPECT_FALSE(g.AddEdge(*a, *a).ok());                  // self edge
+  EXPECT_FALSE(g.AddEdge(*d1, *d2).ok());                // data->data
+  EXPECT_FALSE(g.AddEdge(*a, ModuleId(99)).ok());        // dangling
+  EXPECT_TRUE(g.AddEdge(*d1, *a).ok());
+  EXPECT_TRUE(g.AddEdge(*a, *d2).ok());
+}
+
+TEST(ModuleGraphTest, TopoOrderRespectsEdges) {
+  ModuleGraph g;
+  const auto a = g.AddTask("A", 1);
+  const auto b = g.AddTask("B", 1);
+  const auto c = g.AddTask("C", 1);
+  ASSERT_TRUE(g.AddEdge(*b, *c).ok());
+  ASSERT_TRUE(g.AddEdge(*a, *b).ok());
+  const auto topo = g.TopoOrder();
+  ASSERT_TRUE(topo.ok());
+  ASSERT_EQ(topo->size(), 3u);
+  EXPECT_EQ((*topo)[0], *a);
+  EXPECT_EQ((*topo)[1], *b);
+  EXPECT_EQ((*topo)[2], *c);
+}
+
+TEST(ModuleGraphTest, DetectsCycles) {
+  ModuleGraph g;
+  const auto a = g.AddTask("A", 1);
+  const auto b = g.AddTask("B", 1);
+  ASSERT_TRUE(g.AddEdge(*a, *b).ok());
+  ASSERT_TRUE(g.AddEdge(*b, *a).ok());
+  EXPECT_FALSE(g.TopoOrder().ok());
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(ModuleGraphTest, DataMediatedOrdering) {
+  // writer -> data -> reader must order writer before reader.
+  ModuleGraph g;
+  const auto w = g.AddTask("W", 1);
+  const auto d = g.AddData("D", Bytes::KiB(1));
+  const auto r = g.AddTask("R", 1);
+  ASSERT_TRUE(g.AddEdge(*w, *d).ok());
+  ASSERT_TRUE(g.AddEdge(*d, *r).ok());
+  const auto topo = g.TopoOrder();
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ((*topo)[0], *w);
+  EXPECT_EQ((*topo)[1], *r);
+}
+
+TEST(ModuleGraphTest, LocalityHintsValidated) {
+  ModuleGraph g;
+  const auto a = g.AddTask("A", 1);
+  const auto b = g.AddTask("B", 1);
+  const auto d = g.AddData("D", Bytes::KiB(1));
+  EXPECT_TRUE(g.AddColocation(*a, *b).ok());
+  EXPECT_FALSE(g.AddColocation(*a, *d).ok());   // colocate needs two tasks
+  EXPECT_TRUE(g.AddAffinity(*a, *d).ok());
+  EXPECT_FALSE(g.AddAffinity(*d, *a).ok());     // affinity is task->data
+  const auto partners = g.LocalityPartners(*a);
+  EXPECT_EQ(partners.size(), 2u);
+}
+
+TEST(ModuleGraphTest, AccessorsOfDataModule) {
+  ModuleGraph g;
+  const auto w = g.AddTask("W", 1);
+  const auto r = g.AddTask("R", 1);
+  const auto d = g.AddData("D", Bytes::KiB(1));
+  ASSERT_TRUE(g.AddEdge(*w, *d).ok());
+  ASSERT_TRUE(g.AddEdge(*d, *r).ok());
+  const auto accessors = g.AccessorsOf(*d);
+  EXPECT_EQ(accessors.size(), 2u);
+}
+
+LegacyProgram MakeChain(std::vector<double> work,
+                        std::vector<std::tuple<int, int, double>> deps) {
+  LegacyProgram p;
+  p.name = "legacy";
+  const size_t n = work.size();
+  for (size_t i = 0; i < n; ++i) {
+    p.segments.push_back(CodeSegment{"s" + std::to_string(i), work[i], false});
+  }
+  p.dep_bytes.assign(n, std::vector<double>(n, 0.0));
+  for (const auto& [i, j, bytes] : deps) {
+    p.dep_bytes[static_cast<size_t>(i)][static_cast<size_t>(j)] = bytes;
+  }
+  return p;
+}
+
+TEST(PartitionerTest, ValidatesShape) {
+  LegacyProgram p = MakeChain({1, 2}, {{0, 1, 10}});
+  EXPECT_TRUE(p.Validate().ok());
+  p.dep_bytes[1][0] = 5;  // backward dependency
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(PartitionerTest, SinglePartHasNoCuts) {
+  const LegacyProgram p = MakeChain({1, 2, 3}, {{0, 1, 10}, {1, 2, 10}});
+  const auto part = PartitionChain(p, 1);
+  ASSERT_TRUE(part.ok());
+  EXPECT_EQ(part->boundaries, (std::vector<size_t>{0}));
+  EXPECT_DOUBLE_EQ(part->cross_cut_bytes, 0.0);
+}
+
+TEST(PartitionerTest, CutsAtCheapestBoundary) {
+  // Heavy deps 0->1 and 2->3; light dep 1->2. The 2-part cut must be at 2.
+  const LegacyProgram p =
+      MakeChain({1, 1, 1, 1}, {{0, 1, 100}, {1, 2, 5}, {2, 3, 100}});
+  const auto part = PartitionChain(p, 2);
+  ASSERT_TRUE(part.ok());
+  EXPECT_EQ(part->boundaries, (std::vector<size_t>{0, 2}));
+  EXPECT_DOUBLE_EQ(part->cross_cut_bytes, 5.0);
+}
+
+TEST(PartitionerTest, HintBiasesCutPlacement) {
+  // Without hints the cheapest cut is at 1 (cost 10 vs 12); with a strong
+  // usage-shift hint at 2, the cut moves there.
+  LegacyProgram p = MakeChain({1, 1, 1}, {{0, 1, 10}, {1, 2, 12}});
+  const auto no_hint = PartitionChain(p, 2);
+  ASSERT_TRUE(no_hint.ok());
+  EXPECT_EQ(no_hint->boundaries[1], 1u);
+  p.segments[2].usage_shift_hint = true;
+  const auto hinted = PartitionChain(p, 2, /*hint_bonus_bytes=*/5.0);
+  ASSERT_TRUE(hinted.ok());
+  EXPECT_EQ(hinted->boundaries[1], 2u);
+}
+
+TEST(PartitionerTest, RejectsBadPartCounts) {
+  const LegacyProgram p = MakeChain({1, 2}, {});
+  EXPECT_FALSE(PartitionChain(p, 0).ok());
+  EXPECT_FALSE(PartitionChain(p, 3).ok());
+}
+
+TEST(PartitionerTest, ToModuleGraphSumsWorkAndEdges) {
+  const LegacyProgram p =
+      MakeChain({10, 20, 30, 40}, {{0, 1, 100}, {1, 2, 7}, {2, 3, 100}});
+  const auto part = PartitionChain(p, 2);
+  ASSERT_TRUE(part.ok());
+  const auto graph = ToModuleGraph(p, *part);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->TaskIds().size(), 2u);
+  const Module* first = graph->FindByName("legacy_part0");
+  const Module* second = graph->FindByName("legacy_part1");
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_DOUBLE_EQ(first->work_units, 30.0);   // segments 0+1
+  EXPECT_DOUBLE_EQ(second->work_units, 70.0);  // segments 2+3
+  EXPECT_EQ(first->output_size.bytes(), 7);
+  EXPECT_EQ(graph->Successors(first->id).size(), 1u);
+  EXPECT_TRUE(graph->Validate().ok());
+}
+
+class PartitionSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PartitionSweepTest, MoreCutsNeverReduceToNegativeAndGrowCost) {
+  // Monotonicity property: cross-cut bytes is non-decreasing in the number
+  // of parts for a fixed chain (cuts only add crossings).
+  const LegacyProgram p = MakeChain(
+      {1, 1, 1, 1, 1, 1},
+      {{0, 1, 10}, {1, 2, 20}, {2, 3, 5}, {3, 4, 40}, {4, 5, 15}, {0, 5, 3}});
+  const size_t parts = GetParam();
+  const auto fewer = PartitionChain(p, parts);
+  const auto more = PartitionChain(p, parts + 1);
+  ASSERT_TRUE(fewer.ok());
+  ASSERT_TRUE(more.ok());
+  EXPECT_GE(fewer->cross_cut_bytes, 0.0);
+  EXPECT_GE(more->cross_cut_bytes, fewer->cross_cut_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, PartitionSweepTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace udc

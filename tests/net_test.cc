@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "src/net/fabric.h"
+#include "src/net/rpc.h"
+#include "src/net/switch_programs.h"
+
+namespace udc {
+namespace {
+
+class NetTest : public ::testing::Test {
+ protected:
+  NetTest() : sim_(1), topo_() {
+    r0_ = topo_.AddRack();
+    r1_ = topo_.AddRack();
+    a_ = topo_.AddNode(r0_, NodeRole::kDevice);
+    b_ = topo_.AddNode(r0_, NodeRole::kDevice);
+    c_ = topo_.AddNode(r1_, NodeRole::kDevice);
+    fabric_ = std::make_unique<Fabric>(&sim_, &topo_);
+  }
+  Simulation sim_;
+  Topology topo_;
+  int r0_, r1_;
+  NodeId a_, b_, c_;
+  std::unique_ptr<Fabric> fabric_;
+};
+
+TEST_F(NetTest, DeliversWithTransferLatency) {
+  SimTime delivered_at;
+  fabric_->Bind(b_, [&](const Message& m) { delivered_at = m.delivered_at; });
+  fabric_->Send(a_, b_, "ping", "x", Bytes::KiB(1));
+  sim_.RunToCompletion();
+  EXPECT_EQ(delivered_at, topo_.TransferTime(a_, b_, Bytes::KiB(1)));
+  EXPECT_EQ(fabric_->messages_delivered(), 1u);
+}
+
+TEST_F(NetTest, CrossRackIsSlower) {
+  SimTime local, remote;
+  fabric_->Bind(b_, [&](const Message& m) { local = m.delivered_at; });
+  fabric_->Bind(c_, [&](const Message& m) { remote = m.delivered_at; });
+  fabric_->Send(a_, b_, "t", "", Bytes::MiB(1));
+  fabric_->Send(a_, c_, "t", "", Bytes::MiB(1));
+  sim_.RunToCompletion();
+  EXPECT_LT(local, remote);
+}
+
+TEST_F(NetTest, DropsToUnboundNode) {
+  fabric_->Send(a_, b_, "t", "", Bytes::B(1));
+  sim_.RunToCompletion();
+  EXPECT_EQ(fabric_->messages_dropped(), 1u);
+}
+
+TEST_F(NetTest, DropsToDownNode) {
+  int received = 0;
+  fabric_->Bind(b_, [&](const Message&) { ++received; });
+  fabric_->SetNodeUp(b_, false);
+  fabric_->Send(a_, b_, "t", "", Bytes::B(1));
+  sim_.RunToCompletion();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(fabric_->messages_dropped(), 1u);
+  fabric_->SetNodeUp(b_, true);
+  fabric_->Send(a_, b_, "t", "", Bytes::B(1));
+  sim_.RunToCompletion();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(NetTest, MetricsCountTraffic) {
+  fabric_->Bind(b_, [](const Message&) {});
+  fabric_->Send(a_, b_, "t", "", Bytes::KiB(4));
+  sim_.RunToCompletion();
+  EXPECT_EQ(sim_.metrics().counter("net.messages_sent"), 1);
+  EXPECT_EQ(sim_.metrics().counter("net.bytes_sent"), 4096);
+}
+
+TEST_F(NetTest, RpcRoundTrip) {
+  RpcEndpoint server(&sim_, fabric_.get(), b_);
+  RpcEndpoint client(&sim_, fabric_.get(), a_);
+  server.Serve("echo", [](const Message& m) { return "echo:" + m.payload; });
+  std::string response;
+  client.Call(b_, "echo", "hi", Bytes::B(100), Bytes::B(100),
+              SimTime::Seconds(1),
+              [&](Result<std::string> r) { response = r.value_or("FAIL"); });
+  sim_.RunToCompletion();
+  EXPECT_EQ(response, "echo:hi");
+}
+
+TEST_F(NetTest, RpcTimesOutWhenServerDown) {
+  RpcEndpoint client(&sim_, fabric_.get(), a_);
+  Status status = OkStatus();
+  client.Call(b_, "echo", "hi", Bytes::B(100), Bytes::B(100),
+              SimTime::Millis(50), [&](Result<std::string> r) {
+                status = r.ok() ? OkStatus() : r.status();
+              });
+  sim_.RunToCompletion();
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(NetTest, RpcUnknownMethodReturnsError) {
+  RpcEndpoint server(&sim_, fabric_.get(), b_);
+  RpcEndpoint client(&sim_, fabric_.get(), a_);
+  Status status = OkStatus();
+  client.Call(b_, "nosuch", "", Bytes::B(10), Bytes::B(10),
+              SimTime::Seconds(1), [&](Result<std::string> r) {
+                status = r.ok() ? OkStatus() : r.status();
+              });
+  sim_.RunToCompletion();
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST_F(NetTest, RpcNotifyIsOneWay) {
+  RpcEndpoint server(&sim_, fabric_.get(), b_);
+  RpcEndpoint client(&sim_, fabric_.get(), a_);
+  int notified = 0;
+  server.Serve("tick", [&](const Message&) {
+    ++notified;
+    return "";
+  });
+  client.Notify(b_, "tick", "", Bytes::B(10));
+  client.Notify(b_, "tick", "", Bytes::B(10));
+  sim_.RunToCompletion();
+  EXPECT_EQ(notified, 2);
+}
+
+TEST_F(NetTest, SequencerStampsMonotonically) {
+  SwitchSequencer seq(&sim_, fabric_.get(), topo_.TorSwitch(r0_));
+  seq.SetGroup("g", {a_, b_});
+  std::vector<std::string> types_at_b;
+  fabric_->Bind(b_, [&](const Message& m) { types_at_b.push_back(m.type); });
+  fabric_->Bind(a_, [](const Message&) {});
+  EXPECT_EQ(seq.Multicast(c_, "g", "w1", Bytes::B(64)), 1u);
+  EXPECT_EQ(seq.Multicast(c_, "g", "w2", Bytes::B(64)), 2u);
+  sim_.RunToCompletion();
+  ASSERT_EQ(types_at_b.size(), 2u);
+  EXPECT_EQ(types_at_b[0], "seq.mcast:g:1");
+  EXPECT_EQ(types_at_b[1], "seq.mcast:g:2");
+  EXPECT_EQ(seq.LastSequence("g"), 2u);
+}
+
+TEST_F(NetTest, SequencerUnknownGroupReturnsZero) {
+  SwitchSequencer seq(&sim_, fabric_.get(), topo_.TorSwitch(r0_));
+  EXPECT_EQ(seq.Multicast(a_, "nope", "", Bytes::B(1)), 0u);
+}
+
+
+TEST_F(NetTest, SwitchCacheHitFasterThanMiss) {
+  SwitchCache cache(&sim_, fabric_.get(), topo_.TorSwitch(r0_), 8);
+  // Home replica is cross-rack: a miss pays the full path.
+  const SimTime miss = cache.PlanRead(a_, "hot", c_, Bytes::KiB(64), topo_);
+  ASSERT_TRUE(cache.Cached("hot"));
+  const SimTime hit = cache.PlanRead(a_, "hot", c_, Bytes::KiB(64), topo_);
+  EXPECT_LT(hit, miss);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST_F(NetTest, SwitchCacheInvalidationOnWrite) {
+  SwitchCache cache(&sim_, fabric_.get(), topo_.TorSwitch(r0_), 8);
+  (void)cache.PlanRead(a_, "obj", c_, Bytes::KiB(4), topo_);
+  ASSERT_TRUE(cache.Cached("obj"));
+  cache.Invalidate("obj");
+  EXPECT_FALSE(cache.Cached("obj"));
+  // The next read misses again (fresh data fetched after the write).
+  (void)cache.PlanRead(a_, "obj", c_, Bytes::KiB(4), topo_);
+  EXPECT_EQ(cache.misses(), 2u);
+  // Invalidating an uncached object is a no-op.
+  cache.Invalidate("never-seen");
+}
+
+TEST_F(NetTest, SwitchCacheLruEviction) {
+  SwitchCache cache(&sim_, fabric_.get(), topo_.TorSwitch(r0_), 2);
+  (void)cache.PlanRead(a_, "x", c_, Bytes::KiB(1), topo_);
+  (void)cache.PlanRead(a_, "y", c_, Bytes::KiB(1), topo_);
+  (void)cache.PlanRead(a_, "x", c_, Bytes::KiB(1), topo_);  // refresh x
+  (void)cache.PlanRead(a_, "z", c_, Bytes::KiB(1), topo_);  // evicts y
+  EXPECT_TRUE(cache.Cached("x"));
+  EXPECT_FALSE(cache.Cached("y"));
+  EXPECT_TRUE(cache.Cached("z"));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST_F(NetTest, RpcLateResponseAfterTimeoutIsDropped) {
+  // The server answers, but only after the caller's deadline: the caller
+  // sees a timeout and the late response must not invoke the callback again.
+  RpcEndpoint server(&sim_, fabric_.get(), c_);  // cross-rack: slow path
+  RpcEndpoint client(&sim_, fabric_.get(), a_);
+  server.Serve("slow", [](const Message& m) { return m.payload; });
+  int callbacks = 0;
+  Status last = OkStatus();
+  // Timeout below the cross-rack round trip for an 8 MiB response.
+  client.Call(c_, "slow", "x", Bytes::MiB(8), Bytes::MiB(8),
+              SimTime::Micros(50), [&](Result<std::string> r) {
+                ++callbacks;
+                last = r.ok() ? OkStatus() : r.status();
+              });
+  sim_.RunToCompletion();
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(last.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(NetTest, DirectoryBalancesReads) {
+  CoherenceDirectory dir(&sim_, fabric_.get(), topo_.TorSwitch(r0_));
+  dir.Register("obj", {a_, b_});
+  fabric_->Bind(a_, [](const Message&) {});
+  fabric_->Bind(b_, [](const Message&) {});
+  const NodeId first = dir.RouteRead(c_, "obj", "", Bytes::B(64));
+  const NodeId second = dir.RouteRead(c_, "obj", "", Bytes::B(64));
+  EXPECT_NE(first, second);  // least-outstanding alternates
+  dir.ReadDone("obj", first);
+  const NodeId third = dir.RouteRead(c_, "obj", "", Bytes::B(64));
+  EXPECT_EQ(third, first);
+  sim_.RunToCompletion();
+  EXPECT_EQ(dir.reads_routed(), 3u);
+}
+
+TEST_F(NetTest, DirectoryWritesFanOutToAllReplicas) {
+  CoherenceDirectory dir(&sim_, fabric_.get(), topo_.TorSwitch(r0_));
+  dir.Register("obj", {a_, b_});
+  int a_writes = 0, b_writes = 0;
+  fabric_->Bind(a_, [&](const Message&) { ++a_writes; });
+  fabric_->Bind(b_, [&](const Message&) { ++b_writes; });
+  EXPECT_EQ(dir.RouteWrite(c_, "obj", "", Bytes::B(64)), 2u);
+  sim_.RunToCompletion();
+  EXPECT_EQ(a_writes, 1);
+  EXPECT_EQ(b_writes, 1);
+}
+
+TEST_F(NetTest, DirectoryAvoidsDownReplica) {
+  CoherenceDirectory dir(&sim_, fabric_.get(), topo_.TorSwitch(r0_));
+  dir.Register("obj", {a_, b_});
+  fabric_->SetNodeUp(a_, false);
+  fabric_->Bind(b_, [](const Message&) {});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(dir.RouteRead(c_, "obj", "", Bytes::B(64)), b_);
+  }
+  fabric_->SetNodeUp(b_, false);
+  EXPECT_FALSE(dir.RouteRead(c_, "obj", "", Bytes::B(64)).valid());
+}
+
+}  // namespace
+}  // namespace udc

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "src/dist/secure_store.h"
+
+namespace udc {
+namespace {
+
+DataProtection FullProtection() {
+  DataProtection p;
+  p.encryption = true;
+  p.integrity = true;
+  p.replay_protection = true;
+  return p;
+}
+
+std::vector<uint8_t> Blob(std::string_view s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+TEST(SecureStoreTest, PutGetRoundTripsAllProtectionModes) {
+  for (int enc = 0; enc <= 1; ++enc) {
+    for (int integ = 0; integ <= 1; ++integ) {
+      for (int replay = 0; replay <= 1; ++replay) {
+        DataProtection p;
+        p.encryption = enc != 0;
+        p.integrity = integ != 0;
+        p.replay_protection = replay != 0;
+        SecureDataStore store("S", KeyFromString("tenant-key"), p);
+        ASSERT_TRUE(store.Put(0, Blob("record-zero")).ok());
+        ASSERT_TRUE(store.Put(7, Blob("record-seven")).ok());
+        const auto r0 = store.Get(0);
+        const auto r7 = store.Get(7);
+        ASSERT_TRUE(r0.ok()) << "enc=" << enc << " integ=" << integ;
+        ASSERT_TRUE(r7.ok());
+        EXPECT_EQ(*r0, Blob("record-zero"));
+        EXPECT_EQ(*r7, Blob("record-seven"));
+      }
+    }
+  }
+}
+
+TEST(SecureStoreTest, EncryptionHidesPlaintext) {
+  DataProtection p;
+  p.encryption = true;
+  SecureDataStore store("S1", KeyFromString("k"), p);
+  ASSERT_TRUE(store.Put(0, Blob("highly confidential diagnosis")).ok());
+  // Nothing to directly inspect here except via tamper hook semantics: the
+  // stored bytes differ from the plaintext (Seal's ciphertext).
+  const auto out = store.Get(0);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, Blob("highly confidential diagnosis"));
+}
+
+TEST(SecureStoreTest, TamperDetectedWithEncryption) {
+  DataProtection p;
+  p.encryption = true;
+  SecureDataStore store("S1", KeyFromString("k"), p);
+  ASSERT_TRUE(store.Put(0, Blob("data")).ok());
+  ASSERT_TRUE(store.TamperChunkForTest(0));
+  const auto out = store.Get(0);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kVerificationFailed);
+}
+
+TEST(SecureStoreTest, TamperDetectedWithIntegrityOnly) {
+  // Table 1's S4: integrity protection without encryption.
+  DataProtection p;
+  p.integrity = true;
+  SecureDataStore store("S4", KeyFromString("k"), p);
+  ASSERT_TRUE(store.Put(0, Blob("anonymized")).ok());
+  ASSERT_TRUE(store.Put(1, Blob("records")).ok());
+  ASSERT_TRUE(store.TamperChunkForTest(1));
+  EXPECT_TRUE(store.Get(0).ok());
+  const auto out = store.Get(1);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kVerificationFailed);
+}
+
+TEST(SecureStoreTest, NoProtectionMeansNoDetection) {
+  // Without any protection the store is a plain KV: tampering goes through
+  // (this is the fallback-to-today's-cloud behaviour, and why Table 1
+  // specifies protection for the medical data).
+  SecureDataStore store("plain", KeyFromString("k"), DataProtection());
+  ASSERT_TRUE(store.Put(0, Blob("data")).ok());
+  ASSERT_TRUE(store.TamperChunkForTest(0));
+  const auto out = store.Get(0);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(*out, Blob("data"));
+}
+
+TEST(SecureStoreTest, RollbackDetectedWithReplayProtection) {
+  SecureDataStore store("S1", KeyFromString("k"), FullProtection());
+  ASSERT_TRUE(store.Put(0, Blob("version-1")).ok());
+  ASSERT_TRUE(store.Get(0).ok());  // reader pins nonce of v1
+  ASSERT_TRUE(store.Put(0, Blob("version-2")).ok());
+  ASSERT_TRUE(store.Get(0).ok());  // reader advances to v2
+  // A malicious storage host restores the stale but correctly-sealed v1.
+  ASSERT_TRUE(store.RollbackChunkForTest(0));
+  const auto out = store.Get(0);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kVerificationFailed);
+  EXPECT_NE(out.status().message().find("rolled back"), std::string::npos);
+}
+
+TEST(SecureStoreTest, RollbackUndetectedWithoutReplayProtection) {
+  // Encryption + integrity alone cannot catch a rollback: the stale chunk
+  // is authentically sealed. This is exactly why replay protection is a
+  // separate option in sec. 3.3.
+  DataProtection p;
+  p.encryption = true;
+  p.integrity = true;
+  SecureDataStore store("S3", KeyFromString("k"), p);
+  ASSERT_TRUE(store.Put(0, Blob("new-image")).ok());
+  ASSERT_TRUE(store.Put(0, Blob("newer-image")).ok());
+  ASSERT_TRUE(store.RollbackChunkForTest(0));
+  const auto out = store.Get(0);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, Blob("new-image"));  // silently served stale data
+}
+
+TEST(SecureStoreTest, IntegrityRootChangesWithContent) {
+  DataProtection p;
+  p.integrity = true;
+  SecureDataStore store("S", KeyFromString("k"), p);
+  ASSERT_TRUE(store.Put(0, Blob("a")).ok());
+  const auto root1 = store.IntegrityRoot();
+  ASSERT_TRUE(root1.ok());
+  ASSERT_TRUE(store.Put(1, Blob("b")).ok());
+  const auto root2 = store.IntegrityRoot();
+  ASSERT_TRUE(root2.ok());
+  EXPECT_FALSE(DigestEqual(*root1, *root2));
+}
+
+TEST(SecureStoreTest, IntegrityRootRequiresIntegrity) {
+  SecureDataStore store("S", KeyFromString("k"), DataProtection());
+  EXPECT_FALSE(store.IntegrityRoot().ok());
+}
+
+TEST(SecureStoreTest, MissingChunkIsNotFound) {
+  SecureDataStore store("S", KeyFromString("k"), FullProtection());
+  EXPECT_EQ(store.Get(42).status().code(), StatusCode::kNotFound);
+}
+
+TEST(SecureStoreTest, DifferentKeysCannotRead) {
+  DataProtection p;
+  p.encryption = true;
+  SecureDataStore alice("S", KeyFromString("alice"), p);
+  ASSERT_TRUE(alice.Put(0, Blob("secret")).ok());
+  // A store with another key but the same module name simulates a provider
+  // trying to read tenant data: the seal cannot be opened.
+  // (We model this by constructing a reader over tampered state: re-keying
+  // an existing store is not part of the API, so we verify key separation
+  // at the cipher level instead.)
+  const AeadCipher k1(DeriveKey(KeyFromString("alice"), "udc-data-S"));
+  const AeadCipher k2(DeriveKey(KeyFromString("provider"), "udc-data-S"));
+  const SealedBox box = k1.Seal(Blob("secret"), 1);
+  EXPECT_TRUE(k1.Open(box).ok());
+  EXPECT_FALSE(k2.Open(box).ok());
+}
+
+class SecureStoreSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SecureStoreSweep, ManyChunksAllVerify) {
+  const int n = GetParam();
+  SecureDataStore store("S", KeyFromString("k"), FullProtection());
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(store
+                    .Put(static_cast<uint64_t>(i),
+                         Blob("chunk-" + std::to_string(i)))
+                    .ok());
+  }
+  for (int i = 0; i < n; ++i) {
+    const auto out = store.Get(static_cast<uint64_t>(i));
+    ASSERT_TRUE(out.ok()) << i;
+    EXPECT_EQ(*out, Blob("chunk-" + std::to_string(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SecureStoreSweep,
+                         ::testing::Values(1, 2, 5, 16, 33));
+
+}  // namespace
+}  // namespace udc

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulation.h"
+#include "src/sim/trace.h"
+
+namespace udc {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(SimTime::Millis(3), [&] { order.push_back(3); });
+  q.Schedule(SimTime::Millis(1), [&] { order.push_back(1); });
+  q.Schedule(SimTime::Millis(2), [&] { order.push_back(2); });
+  while (!q.empty()) {
+    q.PopAndRun();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(SimTime::Millis(1), [&] { order.push_back(1); });
+  q.Schedule(SimTime::Millis(1), [&] { order.push_back(2); });
+  q.Schedule(SimTime::Millis(1), [&] { order.push_back(3); });
+  while (!q.empty()) {
+    q.PopAndRun();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const EventHandle h = q.Schedule(SimTime::Millis(1), [&] { fired = true; });
+  EXPECT_TRUE(q.Cancel(h));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.Cancel(h));  // double-cancel is a no-op
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelAfterFireFails) {
+  EventQueue q;
+  const EventHandle h = q.Schedule(SimTime::Millis(1), [] {});
+  q.PopAndRun();
+  EXPECT_FALSE(q.Cancel(h));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventHandle h = q.Schedule(SimTime::Millis(1), [] {});
+  q.Schedule(SimTime::Millis(5), [] {});
+  EXPECT_TRUE(q.Cancel(h));
+  EXPECT_EQ(q.NextTime(), SimTime::Millis(5));
+}
+
+TEST(EventQueueTest, CallbackMaySchedule) {
+  EventQueue q;
+  int count = 0;
+  q.Schedule(SimTime::Millis(1), [&] {
+    ++count;
+    q.Schedule(SimTime::Millis(2), [&] { ++count; });
+  });
+  while (!q.empty()) {
+    q.PopAndRun();
+  }
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulationTest, ClockAdvancesWithEvents) {
+  Simulation sim;
+  SimTime seen;
+  sim.After(SimTime::Millis(10), [&] { seen = sim.now(); });
+  sim.RunToCompletion();
+  EXPECT_EQ(seen, SimTime::Millis(10));
+  EXPECT_EQ(sim.now(), SimTime::Millis(10));
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.After(SimTime::Millis(5), [&] { ++fired; });
+  sim.After(SimTime::Millis(15), [&] { ++fired; });
+  sim.RunUntil(SimTime::Millis(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), SimTime::Millis(10));
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, StepExecutesOne) {
+  Simulation sim;
+  int fired = 0;
+  sim.After(SimTime::Millis(1), [&] { ++fired; });
+  sim.After(SimTime::Millis(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulationTest, DeterministicWithSeed) {
+  Simulation a(99);
+  Simulation b(99);
+  EXPECT_EQ(a.rng().NextUint64(), b.rng().NextUint64());
+}
+
+TEST(MetricsTest, CountersAccumulate) {
+  MetricsRegistry m;
+  m.IncrementCounter("x");
+  m.IncrementCounter("x", 4);
+  EXPECT_EQ(m.counter("x"), 5);
+  EXPECT_EQ(m.counter("missing"), 0);
+}
+
+TEST(MetricsTest, Gauges) {
+  MetricsRegistry m;
+  m.SetGauge("g", 2.5);
+  m.AddToGauge("g", 0.5);
+  EXPECT_DOUBLE_EQ(m.gauge("g"), 3.0);
+}
+
+TEST(MetricsTest, HistogramsObserve) {
+  MetricsRegistry m;
+  m.Observe("h", 1.0);
+  m.Observe("h", 3.0);
+  ASSERT_NE(m.histogram("h"), nullptr);
+  EXPECT_DOUBLE_EQ(m.histogram("h")->Mean(), 2.0);
+  EXPECT_EQ(m.histogram("missing"), nullptr);
+}
+
+TEST(MetricsTest, ReportListsEverything) {
+  MetricsRegistry m;
+  m.IncrementCounter("a.count");
+  m.SetGauge("b.gauge", 1.0);
+  m.Observe("c.hist", 2.0);
+  const std::string report = m.Report();
+  EXPECT_NE(report.find("a.count"), std::string::npos);
+  EXPECT_NE(report.find("b.gauge"), std::string::npos);
+  EXPECT_NE(report.find("c.hist"), std::string::npos);
+}
+
+TEST(TraceTest, RecordsAndFilters) {
+  TraceRecorder t;
+  t.Record(SimTime::Millis(1), "sched", "placed A1");
+  t.Record(SimTime::Millis(2), "net", "sent msg");
+  t.Record(SimTime::Millis(3), "sched", "placed A2");
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.EventsInCategory("sched").size(), 2u);
+  EXPECT_TRUE(t.Contains("sched", "A1"));
+  EXPECT_FALSE(t.Contains("net", "A1"));
+  EXPECT_NE(t.Dump().find("placed A2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace udc

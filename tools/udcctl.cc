@@ -1,0 +1,118 @@
+// udcctl — command-line driver for the UDC simulator.
+//
+//   udcctl validate <spec.udcl>          parse + validate a spec
+//   udcctl deploy   <spec.udcl>          deploy, run once, verify, bill
+//   udcctl demo                          the built-in medical app (Figure 2)
+//
+// Reads udcl from a file (or the embedded medical app), runs the full
+// deploy/run/verify/bill cycle on a fresh simulated cloud, and prints the
+// reports. Exit code 0 on success, 1 on any error.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/core/runtime.h"
+#include "src/core/udc_cloud.h"
+#include "src/workload/medical.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: udcctl validate <spec.udcl>\n"
+               "       udcctl deploy   <spec.udcl>\n"
+               "       udcctl demo\n");
+  return 1;
+}
+
+udc::Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return udc::Status(udc::NotFoundError("cannot open " + path));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int Validate(const std::string& text) {
+  const auto spec = udc::ParseAppSpec(text);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "INVALID: %s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("OK: %s\n%s", spec->graph.app_name().c_str(),
+              spec->graph.DebugString().c_str());
+  for (const udc::ModuleId id : spec->graph.ModuleIds()) {
+    const udc::AspectSet aspects = spec->AspectsFor(id);
+    std::printf("  %-8s %s\n", spec->graph.Find(id)->name.c_str(),
+                aspects.ToString().c_str());
+  }
+  return 0;
+}
+
+int Deploy(const std::string& text) {
+  const auto spec = udc::ParseAppSpec(text);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "spec: %s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  udc::UdcCloud cloud;
+  const udc::TenantId tenant = cloud.RegisterTenant("udcctl");
+  auto deployment = cloud.Deploy(tenant, *spec);
+  if (!deployment.ok()) {
+    std::fprintf(stderr, "deploy: %s\n",
+                 deployment.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", (*deployment)->DebugString().c_str());
+
+  udc::DagRuntime runtime(cloud.sim(), deployment->get());
+  const auto report = runtime.RunOnce();
+  if (!report.ok()) {
+    std::fprintf(stderr, "run: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", report->Table().c_str());
+
+  const auto verification = cloud.Verify(deployment->get());
+  if (!verification.ok()) {
+    std::fprintf(stderr, "verify: %s\n",
+                 verification.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", verification->Table().c_str());
+
+  cloud.sim()->RunUntil(udc::SimTime::Hours(1));
+  std::printf("%s", cloud.billing().BillToNow(**deployment).Table().c_str());
+  return verification->all_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  if (command == "demo") {
+    return Deploy(udc::MedicalAppUdcl());
+  }
+  if (argc < 3) {
+    return Usage();
+  }
+  const auto text = ReadFile(argv[2]);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  if (command == "validate") {
+    return Validate(*text);
+  }
+  if (command == "deploy") {
+    return Deploy(*text);
+  }
+  return Usage();
+}
