@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_loop.dir/adaptive_loop.cc.o"
+  "CMakeFiles/adaptive_loop.dir/adaptive_loop.cc.o.d"
+  "adaptive_loop"
+  "adaptive_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

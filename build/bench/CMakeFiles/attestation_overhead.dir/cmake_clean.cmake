@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attestation_overhead.dir/attestation_overhead.cc.o"
+  "CMakeFiles/attestation_overhead.dir/attestation_overhead.cc.o.d"
+  "attestation_overhead"
+  "attestation_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attestation_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

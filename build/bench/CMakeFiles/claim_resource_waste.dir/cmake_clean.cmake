@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_resource_waste.dir/claim_resource_waste.cc.o"
+  "CMakeFiles/claim_resource_waste.dir/claim_resource_waste.cc.o.d"
+  "claim_resource_waste"
+  "claim_resource_waste.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_resource_waste.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for claim_resource_waste.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_utilization_2x.dir/claim_utilization_2x.cc.o"
+  "CMakeFiles/claim_utilization_2x.dir/claim_utilization_2x.cc.o.d"
+  "claim_utilization_2x"
+  "claim_utilization_2x.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_utilization_2x.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

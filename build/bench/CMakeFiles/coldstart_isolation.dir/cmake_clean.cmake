@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coldstart_isolation.dir/coldstart_isolation.cc.o"
+  "CMakeFiles/coldstart_isolation.dir/coldstart_isolation.cc.o.d"
+  "coldstart_isolation"
+  "coldstart_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coldstart_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_conflicts.dir/consistency_conflicts.cc.o"
+  "CMakeFiles/consistency_conflicts.dir/consistency_conflicts.cc.o.d"
+  "consistency_conflicts"
+  "consistency_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_cost.dir/consistency_cost.cc.o"
+  "CMakeFiles/consistency_cost.dir/consistency_cost.cc.o.d"
+  "consistency_cost"
+  "consistency_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

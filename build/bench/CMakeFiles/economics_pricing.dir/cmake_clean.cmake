@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/economics_pricing.dir/economics_pricing.cc.o"
+  "CMakeFiles/economics_pricing.dir/economics_pricing.cc.o.d"
+  "economics_pricing"
+  "economics_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/economics_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

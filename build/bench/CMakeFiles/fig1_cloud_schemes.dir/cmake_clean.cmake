@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_cloud_schemes.dir/fig1_cloud_schemes.cc.o"
+  "CMakeFiles/fig1_cloud_schemes.dir/fig1_cloud_schemes.cc.o.d"
+  "fig1_cloud_schemes"
+  "fig1_cloud_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_cloud_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_medical_pipeline.dir/fig2_medical_pipeline.cc.o"
+  "CMakeFiles/fig2_medical_pipeline.dir/fig2_medical_pipeline.cc.o.d"
+  "fig2_medical_pipeline"
+  "fig2_medical_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_medical_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

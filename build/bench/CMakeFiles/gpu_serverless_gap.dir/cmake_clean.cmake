@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_serverless_gap.dir/gpu_serverless_gap.cc.o"
+  "CMakeFiles/gpu_serverless_gap.dir/gpu_serverless_gap.cc.o.d"
+  "gpu_serverless_gap"
+  "gpu_serverless_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_serverless_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

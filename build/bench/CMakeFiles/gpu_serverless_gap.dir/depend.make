@@ -1,0 +1,2 @@
+# Empty dependencies file for gpu_serverless_gap.
+# This may be replaced when dependencies are built.

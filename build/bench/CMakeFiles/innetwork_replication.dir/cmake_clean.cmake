@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innetwork_replication.dir/innetwork_replication.cc.o"
+  "CMakeFiles/innetwork_replication.dir/innetwork_replication.cc.o.d"
+  "innetwork_replication"
+  "innetwork_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innetwork_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_splitting.dir/legacy_splitting.cc.o"
+  "CMakeFiles/legacy_splitting.dir/legacy_splitting.cc.o.d"
+  "legacy_splitting"
+  "legacy_splitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_splitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_ablation.dir/scheduler_ablation.cc.o"
+  "CMakeFiles/scheduler_ablation.dir/scheduler_ablation.cc.o.d"
+  "scheduler_ablation"
+  "scheduler_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_user_definitions.dir/table1_user_definitions.cc.o"
+  "CMakeFiles/table1_user_definitions.dir/table1_user_definitions.cc.o.d"
+  "table1_user_definitions"
+  "table1_user_definitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_user_definitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/legacy_migration.cpp" "examples/CMakeFiles/legacy_migration.dir/legacy_migration.cpp.o" "gcc" "examples/CMakeFiles/legacy_migration.dir/legacy_migration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/udc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/udc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/udc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/attest/CMakeFiles/udc_attest.dir/DependInfo.cmake"
+  "/root/repo/build/src/actor/CMakeFiles/udc_actor.dir/DependInfo.cmake"
+  "/root/repo/build/src/aspects/CMakeFiles/udc_aspects.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/udc_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/udc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/udc_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/udc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/udc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/udc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/udc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/udc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

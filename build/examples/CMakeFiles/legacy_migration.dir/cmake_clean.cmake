@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_migration.dir/legacy_migration.cpp.o"
+  "CMakeFiles/legacy_migration.dir/legacy_migration.cpp.o.d"
+  "legacy_migration"
+  "legacy_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

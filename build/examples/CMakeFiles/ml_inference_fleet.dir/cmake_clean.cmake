@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_inference_fleet.dir/ml_inference_fleet.cpp.o"
+  "CMakeFiles/ml_inference_fleet.dir/ml_inference_fleet.cpp.o.d"
+  "ml_inference_fleet"
+  "ml_inference_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_inference_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

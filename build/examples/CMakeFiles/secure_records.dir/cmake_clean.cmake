@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_records.dir/secure_records.cpp.o"
+  "CMakeFiles/secure_records.dir/secure_records.cpp.o.d"
+  "secure_records"
+  "secure_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

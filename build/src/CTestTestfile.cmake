@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("hw")
+subdirs("net")
+subdirs("crypto")
+subdirs("exec")
+subdirs("attest")
+subdirs("dist")
+subdirs("actor")
+subdirs("ir")
+subdirs("aspects")
+subdirs("core")
+subdirs("baseline")
+subdirs("workload")

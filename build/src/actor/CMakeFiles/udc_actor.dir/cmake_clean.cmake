@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udc_actor.dir/actor_system.cc.o"
+  "CMakeFiles/udc_actor.dir/actor_system.cc.o.d"
+  "libudc_actor.a"
+  "libudc_actor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udc_actor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

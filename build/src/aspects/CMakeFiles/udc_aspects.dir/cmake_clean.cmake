@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udc_aspects.dir/aspects.cc.o"
+  "CMakeFiles/udc_aspects.dir/aspects.cc.o.d"
+  "CMakeFiles/udc_aspects.dir/spec_parser.cc.o"
+  "CMakeFiles/udc_aspects.dir/spec_parser.cc.o.d"
+  "libudc_aspects.a"
+  "libudc_aspects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udc_aspects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libudc_aspects.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udc_attest.dir/attestation_service.cc.o"
+  "CMakeFiles/udc_attest.dir/attestation_service.cc.o.d"
+  "CMakeFiles/udc_attest.dir/quote.cc.o"
+  "CMakeFiles/udc_attest.dir/quote.cc.o.d"
+  "libudc_attest.a"
+  "libudc_attest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udc_attest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

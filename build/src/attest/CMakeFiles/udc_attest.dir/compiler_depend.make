@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for udc_attest.
+# This may be replaced when dependencies are built.

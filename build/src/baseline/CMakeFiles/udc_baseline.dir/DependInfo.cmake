@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/caas.cc" "src/baseline/CMakeFiles/udc_baseline.dir/caas.cc.o" "gcc" "src/baseline/CMakeFiles/udc_baseline.dir/caas.cc.o.d"
+  "/root/repo/src/baseline/catalog.cc" "src/baseline/CMakeFiles/udc_baseline.dir/catalog.cc.o" "gcc" "src/baseline/CMakeFiles/udc_baseline.dir/catalog.cc.o.d"
+  "/root/repo/src/baseline/faas.cc" "src/baseline/CMakeFiles/udc_baseline.dir/faas.cc.o" "gcc" "src/baseline/CMakeFiles/udc_baseline.dir/faas.cc.o.d"
+  "/root/repo/src/baseline/iaas.cc" "src/baseline/CMakeFiles/udc_baseline.dir/iaas.cc.o" "gcc" "src/baseline/CMakeFiles/udc_baseline.dir/iaas.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/udc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/udc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/udc_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

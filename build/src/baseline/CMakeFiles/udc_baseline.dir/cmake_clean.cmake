@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udc_baseline.dir/caas.cc.o"
+  "CMakeFiles/udc_baseline.dir/caas.cc.o.d"
+  "CMakeFiles/udc_baseline.dir/catalog.cc.o"
+  "CMakeFiles/udc_baseline.dir/catalog.cc.o.d"
+  "CMakeFiles/udc_baseline.dir/faas.cc.o"
+  "CMakeFiles/udc_baseline.dir/faas.cc.o.d"
+  "CMakeFiles/udc_baseline.dir/iaas.cc.o"
+  "CMakeFiles/udc_baseline.dir/iaas.cc.o.d"
+  "libudc_baseline.a"
+  "libudc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

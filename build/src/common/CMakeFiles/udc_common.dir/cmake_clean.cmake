@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udc_common.dir/histogram.cc.o"
+  "CMakeFiles/udc_common.dir/histogram.cc.o.d"
+  "CMakeFiles/udc_common.dir/logging.cc.o"
+  "CMakeFiles/udc_common.dir/logging.cc.o.d"
+  "CMakeFiles/udc_common.dir/rng.cc.o"
+  "CMakeFiles/udc_common.dir/rng.cc.o.d"
+  "CMakeFiles/udc_common.dir/status.cc.o"
+  "CMakeFiles/udc_common.dir/status.cc.o.d"
+  "CMakeFiles/udc_common.dir/strings.cc.o"
+  "CMakeFiles/udc_common.dir/strings.cc.o.d"
+  "CMakeFiles/udc_common.dir/units.cc.o"
+  "CMakeFiles/udc_common.dir/units.cc.o.d"
+  "libudc_common.a"
+  "libudc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/actor_executor.cc" "src/core/CMakeFiles/udc_core.dir/actor_executor.cc.o" "gcc" "src/core/CMakeFiles/udc_core.dir/actor_executor.cc.o.d"
+  "/root/repo/src/core/auditor.cc" "src/core/CMakeFiles/udc_core.dir/auditor.cc.o" "gcc" "src/core/CMakeFiles/udc_core.dir/auditor.cc.o.d"
+  "/root/repo/src/core/billing.cc" "src/core/CMakeFiles/udc_core.dir/billing.cc.o" "gcc" "src/core/CMakeFiles/udc_core.dir/billing.cc.o.d"
+  "/root/repo/src/core/defrag.cc" "src/core/CMakeFiles/udc_core.dir/defrag.cc.o" "gcc" "src/core/CMakeFiles/udc_core.dir/defrag.cc.o.d"
+  "/root/repo/src/core/deployment.cc" "src/core/CMakeFiles/udc_core.dir/deployment.cc.o" "gcc" "src/core/CMakeFiles/udc_core.dir/deployment.cc.o.d"
+  "/root/repo/src/core/frontend.cc" "src/core/CMakeFiles/udc_core.dir/frontend.cc.o" "gcc" "src/core/CMakeFiles/udc_core.dir/frontend.cc.o.d"
+  "/root/repo/src/core/hybrid.cc" "src/core/CMakeFiles/udc_core.dir/hybrid.cc.o" "gcc" "src/core/CMakeFiles/udc_core.dir/hybrid.cc.o.d"
+  "/root/repo/src/core/monitor.cc" "src/core/CMakeFiles/udc_core.dir/monitor.cc.o" "gcc" "src/core/CMakeFiles/udc_core.dir/monitor.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/core/CMakeFiles/udc_core.dir/planner.cc.o" "gcc" "src/core/CMakeFiles/udc_core.dir/planner.cc.o.d"
+  "/root/repo/src/core/repair.cc" "src/core/CMakeFiles/udc_core.dir/repair.cc.o" "gcc" "src/core/CMakeFiles/udc_core.dir/repair.cc.o.d"
+  "/root/repo/src/core/resource_unit.cc" "src/core/CMakeFiles/udc_core.dir/resource_unit.cc.o" "gcc" "src/core/CMakeFiles/udc_core.dir/resource_unit.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/udc_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/udc_core.dir/runtime.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/udc_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/udc_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/tuner.cc" "src/core/CMakeFiles/udc_core.dir/tuner.cc.o" "gcc" "src/core/CMakeFiles/udc_core.dir/tuner.cc.o.d"
+  "/root/repo/src/core/udc_cloud.cc" "src/core/CMakeFiles/udc_core.dir/udc_cloud.cc.o" "gcc" "src/core/CMakeFiles/udc_core.dir/udc_cloud.cc.o.d"
+  "/root/repo/src/core/verifier.cc" "src/core/CMakeFiles/udc_core.dir/verifier.cc.o" "gcc" "src/core/CMakeFiles/udc_core.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/udc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/udc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/udc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/udc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/udc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/udc_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/attest/CMakeFiles/udc_attest.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/udc_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/actor/CMakeFiles/udc_actor.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/udc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/aspects/CMakeFiles/udc_aspects.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/udc_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

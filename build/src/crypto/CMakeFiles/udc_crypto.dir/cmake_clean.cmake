@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udc_crypto.dir/cipher.cc.o"
+  "CMakeFiles/udc_crypto.dir/cipher.cc.o.d"
+  "CMakeFiles/udc_crypto.dir/hmac.cc.o"
+  "CMakeFiles/udc_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/udc_crypto.dir/merkle.cc.o"
+  "CMakeFiles/udc_crypto.dir/merkle.cc.o.d"
+  "CMakeFiles/udc_crypto.dir/sha256.cc.o"
+  "CMakeFiles/udc_crypto.dir/sha256.cc.o.d"
+  "libudc_crypto.a"
+  "libudc_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udc_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/checkpoint.cc" "src/dist/CMakeFiles/udc_dist.dir/checkpoint.cc.o" "gcc" "src/dist/CMakeFiles/udc_dist.dir/checkpoint.cc.o.d"
+  "/root/repo/src/dist/consistency.cc" "src/dist/CMakeFiles/udc_dist.dir/consistency.cc.o" "gcc" "src/dist/CMakeFiles/udc_dist.dir/consistency.cc.o.d"
+  "/root/repo/src/dist/failure_domain.cc" "src/dist/CMakeFiles/udc_dist.dir/failure_domain.cc.o" "gcc" "src/dist/CMakeFiles/udc_dist.dir/failure_domain.cc.o.d"
+  "/root/repo/src/dist/replication.cc" "src/dist/CMakeFiles/udc_dist.dir/replication.cc.o" "gcc" "src/dist/CMakeFiles/udc_dist.dir/replication.cc.o.d"
+  "/root/repo/src/dist/secure_store.cc" "src/dist/CMakeFiles/udc_dist.dir/secure_store.cc.o" "gcc" "src/dist/CMakeFiles/udc_dist.dir/secure_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/udc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/udc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/udc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/udc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/udc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/udc_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udc_dist.dir/checkpoint.cc.o"
+  "CMakeFiles/udc_dist.dir/checkpoint.cc.o.d"
+  "CMakeFiles/udc_dist.dir/consistency.cc.o"
+  "CMakeFiles/udc_dist.dir/consistency.cc.o.d"
+  "CMakeFiles/udc_dist.dir/failure_domain.cc.o"
+  "CMakeFiles/udc_dist.dir/failure_domain.cc.o.d"
+  "CMakeFiles/udc_dist.dir/replication.cc.o"
+  "CMakeFiles/udc_dist.dir/replication.cc.o.d"
+  "CMakeFiles/udc_dist.dir/secure_store.cc.o"
+  "CMakeFiles/udc_dist.dir/secure_store.cc.o.d"
+  "libudc_dist.a"
+  "libudc_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udc_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udc_exec.dir/env_manager.cc.o"
+  "CMakeFiles/udc_exec.dir/env_manager.cc.o.d"
+  "CMakeFiles/udc_exec.dir/environment.cc.o"
+  "CMakeFiles/udc_exec.dir/environment.cc.o.d"
+  "libudc_exec.a"
+  "libudc_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udc_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

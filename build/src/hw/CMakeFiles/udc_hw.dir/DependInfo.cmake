@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/datacenter.cc" "src/hw/CMakeFiles/udc_hw.dir/datacenter.cc.o" "gcc" "src/hw/CMakeFiles/udc_hw.dir/datacenter.cc.o.d"
+  "/root/repo/src/hw/device.cc" "src/hw/CMakeFiles/udc_hw.dir/device.cc.o" "gcc" "src/hw/CMakeFiles/udc_hw.dir/device.cc.o.d"
+  "/root/repo/src/hw/failure.cc" "src/hw/CMakeFiles/udc_hw.dir/failure.cc.o" "gcc" "src/hw/CMakeFiles/udc_hw.dir/failure.cc.o.d"
+  "/root/repo/src/hw/pool.cc" "src/hw/CMakeFiles/udc_hw.dir/pool.cc.o" "gcc" "src/hw/CMakeFiles/udc_hw.dir/pool.cc.o.d"
+  "/root/repo/src/hw/resource.cc" "src/hw/CMakeFiles/udc_hw.dir/resource.cc.o" "gcc" "src/hw/CMakeFiles/udc_hw.dir/resource.cc.o.d"
+  "/root/repo/src/hw/server.cc" "src/hw/CMakeFiles/udc_hw.dir/server.cc.o" "gcc" "src/hw/CMakeFiles/udc_hw.dir/server.cc.o.d"
+  "/root/repo/src/hw/topology.cc" "src/hw/CMakeFiles/udc_hw.dir/topology.cc.o" "gcc" "src/hw/CMakeFiles/udc_hw.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/udc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/udc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udc_hw.dir/datacenter.cc.o"
+  "CMakeFiles/udc_hw.dir/datacenter.cc.o.d"
+  "CMakeFiles/udc_hw.dir/device.cc.o"
+  "CMakeFiles/udc_hw.dir/device.cc.o.d"
+  "CMakeFiles/udc_hw.dir/failure.cc.o"
+  "CMakeFiles/udc_hw.dir/failure.cc.o.d"
+  "CMakeFiles/udc_hw.dir/pool.cc.o"
+  "CMakeFiles/udc_hw.dir/pool.cc.o.d"
+  "CMakeFiles/udc_hw.dir/resource.cc.o"
+  "CMakeFiles/udc_hw.dir/resource.cc.o.d"
+  "CMakeFiles/udc_hw.dir/server.cc.o"
+  "CMakeFiles/udc_hw.dir/server.cc.o.d"
+  "CMakeFiles/udc_hw.dir/topology.cc.o"
+  "CMakeFiles/udc_hw.dir/topology.cc.o.d"
+  "libudc_hw.a"
+  "libudc_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udc_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/module_graph.cc" "src/ir/CMakeFiles/udc_ir.dir/module_graph.cc.o" "gcc" "src/ir/CMakeFiles/udc_ir.dir/module_graph.cc.o.d"
+  "/root/repo/src/ir/partitioner.cc" "src/ir/CMakeFiles/udc_ir.dir/partitioner.cc.o" "gcc" "src/ir/CMakeFiles/udc_ir.dir/partitioner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/udc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/udc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/udc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

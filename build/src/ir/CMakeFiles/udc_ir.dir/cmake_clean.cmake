@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udc_ir.dir/module_graph.cc.o"
+  "CMakeFiles/udc_ir.dir/module_graph.cc.o.d"
+  "CMakeFiles/udc_ir.dir/partitioner.cc.o"
+  "CMakeFiles/udc_ir.dir/partitioner.cc.o.d"
+  "libudc_ir.a"
+  "libudc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udc_net.dir/fabric.cc.o"
+  "CMakeFiles/udc_net.dir/fabric.cc.o.d"
+  "CMakeFiles/udc_net.dir/rpc.cc.o"
+  "CMakeFiles/udc_net.dir/rpc.cc.o.d"
+  "CMakeFiles/udc_net.dir/switch_programs.cc.o"
+  "CMakeFiles/udc_net.dir/switch_programs.cc.o.d"
+  "libudc_net.a"
+  "libudc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

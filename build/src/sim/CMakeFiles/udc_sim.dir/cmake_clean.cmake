@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udc_sim.dir/event_queue.cc.o"
+  "CMakeFiles/udc_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/udc_sim.dir/metrics.cc.o"
+  "CMakeFiles/udc_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/udc_sim.dir/simulation.cc.o"
+  "CMakeFiles/udc_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/udc_sim.dir/trace.cc.o"
+  "CMakeFiles/udc_sim.dir/trace.cc.o.d"
+  "libudc_sim.a"
+  "libudc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

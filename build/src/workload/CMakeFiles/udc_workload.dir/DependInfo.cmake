@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/inference.cc" "src/workload/CMakeFiles/udc_workload.dir/inference.cc.o" "gcc" "src/workload/CMakeFiles/udc_workload.dir/inference.cc.o.d"
+  "/root/repo/src/workload/medical.cc" "src/workload/CMakeFiles/udc_workload.dir/medical.cc.o" "gcc" "src/workload/CMakeFiles/udc_workload.dir/medical.cc.o.d"
+  "/root/repo/src/workload/microservices.cc" "src/workload/CMakeFiles/udc_workload.dir/microservices.cc.o" "gcc" "src/workload/CMakeFiles/udc_workload.dir/microservices.cc.o.d"
+  "/root/repo/src/workload/tenants.cc" "src/workload/CMakeFiles/udc_workload.dir/tenants.cc.o" "gcc" "src/workload/CMakeFiles/udc_workload.dir/tenants.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/udc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/udc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/aspects/CMakeFiles/udc_aspects.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/udc_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/udc_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/udc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/udc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/udc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/udc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udc_workload.dir/inference.cc.o"
+  "CMakeFiles/udc_workload.dir/inference.cc.o.d"
+  "CMakeFiles/udc_workload.dir/medical.cc.o"
+  "CMakeFiles/udc_workload.dir/medical.cc.o.d"
+  "CMakeFiles/udc_workload.dir/microservices.cc.o"
+  "CMakeFiles/udc_workload.dir/microservices.cc.o.d"
+  "CMakeFiles/udc_workload.dir/tenants.cc.o"
+  "CMakeFiles/udc_workload.dir/tenants.cc.o.d"
+  "libudc_workload.a"
+  "libudc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

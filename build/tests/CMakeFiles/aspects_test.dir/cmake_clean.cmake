@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspects_test.dir/aspects_test.cc.o"
+  "CMakeFiles/aspects_test.dir/aspects_test.cc.o.d"
+  "aspects_test"
+  "aspects_test.pdb"
+  "aspects_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspects_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

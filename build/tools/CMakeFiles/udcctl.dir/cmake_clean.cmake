@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udcctl.dir/udcctl.cc.o"
+  "CMakeFiles/udcctl.dir/udcctl.cc.o.d"
+  "udcctl"
+  "udcctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udcctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
