@@ -9,6 +9,7 @@
 #include "src/crypto/merkle.h"
 #include "src/crypto/sha256.h"
 #include "src/hw/pool.h"
+#include "src/obs/span.h"
 #include "src/sim/simulation.h"
 #include "src/workload/medical.h"
 
@@ -92,6 +93,27 @@ void BM_ParseMedicalSpec(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ParseMedicalSpec);
+
+void BM_SpanBeginEnd(benchmark::State& state) {
+  // Cost of one labeled span open/close — the per-boundary overhead the
+  // tracing layer adds to every instrumented event.
+  SimTime now;
+  SpanTracer tracer([&now] { return now; });
+  tracer.set_max_spans(1 << 26);
+  for (auto _ : state) {
+    now += SimTime::Micros(1);
+    const uint64_t id =
+        tracer.Begin("exec", "exec.task_run", {{"module", "A1"}});
+    tracer.End(id);
+    if (tracer.size() > (1 << 20)) {
+      state.PauseTiming();
+      tracer.Clear();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanBeginEnd);
 
 }  // namespace
 }  // namespace udc

@@ -94,11 +94,12 @@ void ActorExecutor::WireModule(ModuleId module) {
   }
   const bool is_sink =
       std::find(sinks_.begin(), sinks_.end(), module) != sinks_.end();
+  const std::string module_name = deployment_->spec().graph.Find(module)->name;
 
   const ActorId actor = actors_.Spawn(
       node,
-      [this, module, downstream, is_sink](ActorContext& ctx,
-                                          const ActorMessage& msg) {
+      [this, module, module_name, downstream, is_sink](ActorContext& ctx,
+                                                       const ActorMessage& msg) {
         uint64_t invocation = 0;
         if (!ParseUint64(msg.payload, &invocation)) {
           return;
@@ -114,9 +115,26 @@ void ActorExecutor::WireModule(ModuleId module) {
         if (--remaining > 0) {
           return;  // waiting for the join (e.g. A4 needs A2 and A3)
         }
+        // Time spent in the mailbox behind earlier invocations.
+        const SimTime queue_wait = ctx.now() - msg.delivered_at;
+        const SpanLabels labels = {
+            {"module", module_name},
+            {"invocation",
+             StrFormat("%llu", static_cast<unsigned long long>(invocation))}};
+        if (queue_wait > SimTime(0)) {
+          const uint64_t wait_span = sim_->spans().BeginAt(
+              msg.delivered_at, "exec", "exec.queue_wait", labels);
+          sim_->spans().EndAt(wait_span, ctx.now());
+          sim_->metrics().Observe("actor_exec.queue_wait_ms",
+                                  queue_wait.millis());
+        }
         const SimTime service = service_time_[module];
+        const uint64_t run_span =
+            sim_->spans().Begin("exec", "exec.task_run", labels);
         ctx.Work(service);  // later messages queue behind this invocation
-        sim_->After(service, [this, module, downstream, is_sink, invocation] {
+        sim_->After(service, [this, module, downstream, is_sink, invocation,
+                              run_span] {
+          sim_->spans().End(run_span);
           for (const ModuleId next : downstream) {
             const auto next_actor = actor_of_.find(next);
             if (next_actor != actor_of_.end()) {

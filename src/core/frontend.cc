@@ -54,12 +54,18 @@ std::string CloudFrontend::HandleDeploy(const Message& msg) {
   if (!ParseHeader(msg.payload, &tenant, &udcl)) {
     return "err:malformed request";
   }
+  ScopedSpan span = cloud_->sim()->Scope(
+      "frontend", "frontend.deploy",
+      {{"tenant", StrFormat("%llu", static_cast<unsigned long long>(tenant))}});
   auto spec = ParseAppSpec(udcl);
   if (!spec.ok()) {
+    span.AddLabel("error", "parse");
     return "err:" + spec.status().ToString();
   }
+  span.AddLabel("app", spec->graph.app_name());
   auto deployment = cloud_->Deploy(TenantId(tenant), *spec);
   if (!deployment.ok()) {
+    span.AddLabel("error", "deploy");
     return "err:" + deployment.status().ToString();
   }
   const uint64_t id = next_id_++;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/strings.h"
+
 namespace udc {
 
 UtilizationMonitor::UtilizationMonitor(Simulation* sim, AdaptiveTuner* tuner,
@@ -20,7 +22,14 @@ void UtilizationMonitor::FlushModule(ModuleId module, ModuleWindow& w,
   w.window_start = window_end;
   w.busy = SimTime(0);
   ++windows_flushed_;
-  sim_->metrics().Observe("monitor.utilization", utilization);
+  // Per-module gauge: one series per module so modules don't blur together
+  // in a shared histogram.
+  sim_->metrics().SetGauge(
+      "monitor.utilization",
+      {{"module",
+        StrFormat("%llu", static_cast<unsigned long long>(module.value()))}},
+      utilization);
+  sim_->metrics().IncrementCounter("monitor.windows_flushed");
   if (tuner_ != nullptr) {
     (void)tuner_->Observe(module, utilization);
   }

@@ -166,6 +166,14 @@ Result<RunReport> DagRuntime::RunOnce() {
   std::map<ModuleId, SimTime> finish_at;
   SimTime makespan_end = run_start;
 
+  // One trace per invocation: a root span with the whole DAG under it. The
+  // runtime is analytic — stage times are computed in closed form — so the
+  // spans are dated explicitly rather than following the live clock.
+  SpanTracer& spans = sim_->spans();
+  const uint64_t run_span =
+      spans.BeginAt(run_start, "run", "run.invoke",
+                    {{"app", deployment_->spec().graph.app_name()}});
+
   for (const ModuleId module : topo) {
     UDC_ASSIGN_OR_RETURN(StageStats stats, ComputeStage(module));
     const Placement* placement = deployment_->PlacementOf(module);
@@ -193,10 +201,34 @@ Result<RunReport> DagRuntime::RunOnce() {
         start + stats.input_time + stats.compute_time + stats.output_time;
     finish_at[module] = stats.finish;
     makespan_end = std::max(makespan_end, stats.finish);
-    sim_->Trace("run", StrFormat("stage %s start=%s finish=%s",
-                                 stats.name.c_str(),
-                                 stats.start.ToString().c_str(),
-                                 stats.finish.ToString().c_str()));
+
+    // Stage span with its phases as children: env wait, input transfer,
+    // compute, and the output commit through the replicated store.
+    const uint64_t stage_span =
+        spans.BeginAt(deps_ready, "exec", "exec.stage",
+                      {{"module", stats.name}}, run_span);
+    if (stats.env_wait > SimTime(0)) {
+      spans.EndAt(spans.BeginAt(deps_ready, "exec", "exec.env_wait",
+                                {{"module", stats.name}}, stage_span),
+                  start);
+    }
+    SimTime phase = start;
+    if (stats.input_time > SimTime(0)) {
+      spans.EndAt(spans.BeginAt(phase, "net", "net.input_transfer",
+                                {{"module", stats.name}}, stage_span),
+                  phase + stats.input_time);
+    }
+    phase += stats.input_time;
+    spans.EndAt(spans.BeginAt(phase, "exec", "exec.compute",
+                              {{"module", stats.name}}, stage_span),
+                phase + stats.compute_time);
+    phase += stats.compute_time;
+    if (stats.output_time > SimTime(0)) {
+      spans.EndAt(spans.BeginAt(phase, "dist", "dist.output_commit",
+                                {{"module", stats.name}}, stage_span),
+                  stats.finish);
+    }
+    spans.EndAt(stage_span, stats.finish);
     report.stages.push_back(std::move(stats));
   }
 
@@ -212,7 +244,15 @@ Result<RunReport> DagRuntime::RunOnce() {
   report.resource_cost = PriceList::DefaultOnDemand().CostFor(
       deployment_->TotalResources(), report.end_to_end);
 
+  spans.EndAt(run_span, makespan_end);
+  const Span* root = spans.SpanById(run_span);
+  report.trace_id = root != nullptr ? root->trace_id : 0;
+  report.breakdown = BreakdownFromSpans(spans, report.trace_id);
+  report.breakdown.total = report.end_to_end;
+
   sim_->metrics().Observe("core.run_end_to_end_ms", report.end_to_end.millis());
+  sim_->metrics().Observe("core.run_coldstart_wait_ms",
+                          report.breakdown.cold_start.millis());
   sim_->metrics().IncrementCounter("core.runs");
   return report;
 }

@@ -20,6 +20,7 @@
 
 #include "src/core/deployment.h"
 #include "src/dist/checkpoint.h"
+#include "src/obs/breakdown.h"
 #include "src/sim/simulation.h"
 
 namespace udc {
@@ -43,6 +44,8 @@ struct RunReport {
   std::vector<StageStats> stages;
   Money resource_cost;              // deployment resources priced for makespan
   int64_t cross_rack_transfers = 0; // input edges that crossed racks
+  uint64_t trace_id = 0;            // span trace covering this invocation
+  LatencyBreakdown breakdown;       // where the makespan went, from spans
 
   const StageStats* StageOf(std::string_view name) const;
   std::string Table() const;

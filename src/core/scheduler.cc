@@ -93,6 +93,8 @@ Status UdcScheduler::PlaceTask(TenantId tenant, const AppSpec& spec,
                                ModuleId module, Deployment* deployment) {
   const Module* m = spec.graph.Find(module);
   const AspectSet aspects = spec.AspectsFor(module);
+  ScopedSpan span =
+      sim_->Scope("sched", "sched.place_task", {{"module", m->name}});
 
   UDC_ASSIGN_OR_RETURN(ResolvedDemand resolved,
                        ResolveDemand(*m, aspects.resource, profiler_));
@@ -208,10 +210,11 @@ Status UdcScheduler::PlaceTask(TenantId tenant, const AppSpec& spec,
   deployment->SetPlacement(std::move(placement));
 
   sim_->metrics().IncrementCounter("core.tasks_placed");
-  sim_->Trace("sched", StrFormat("placed task %s rack=%d env=%s compute=%s",
-                                 m->name.c_str(), rack,
-                                 std::string(EnvKindName(env_kind)).c_str(),
-                                 std::string(ResourceKindName(compute)).c_str()));
+  sim_->metrics().IncrementCounter("sched.modules_placed",
+                                   {{"kind", "task"}});
+  span.AddLabel("rack", StrFormat("%d", rack));
+  span.AddLabel("env", std::string(EnvKindName(env_kind)));
+  span.AddLabel("compute", std::string(ResourceKindName(compute)));
   return OkStatus();
 }
 
@@ -219,6 +222,8 @@ Status UdcScheduler::PlaceData(TenantId tenant, const AppSpec& spec,
                                ModuleId module, Deployment* deployment) {
   const Module* m = spec.graph.Find(module);
   const AspectSet aspects = spec.AspectsFor(module);
+  ScopedSpan span =
+      sim_->Scope("sched", "sched.place_data", {{"module", m->name}});
 
   UDC_ASSIGN_OR_RETURN(ResolvedDemand resolved,
                        ResolveDemand(*m, aspects.resource, profiler_));
@@ -319,9 +324,11 @@ Status UdcScheduler::PlaceData(TenantId tenant, const AppSpec& spec,
   deployment->SetPlacement(std::move(placement));
 
   sim_->metrics().IncrementCounter("core.data_placed");
-  sim_->Trace("sched", StrFormat("placed data %s rack=%d replicas=%d medium=%s",
-                                 m->name.c_str(), rack, replicas,
-                                 std::string(ResourceKindName(medium)).c_str()));
+  sim_->metrics().IncrementCounter("sched.modules_placed",
+                                   {{"kind", "data"}});
+  span.AddLabel("rack", StrFormat("%d", rack));
+  span.AddLabel("replicas", StrFormat("%d", replicas));
+  span.AddLabel("medium", std::string(ResourceKindName(medium)));
   return OkStatus();
 }
 
@@ -332,6 +339,11 @@ Result<std::unique_ptr<Deployment>> UdcScheduler::Deploy(TenantId tenant,
     UDC_RETURN_IF_ERROR(ValidateAspects(aspects));
   }
 
+  ScopedSpan span = sim_->Scope(
+      "sched", "sched.deploy",
+      {{"app", spec.graph.app_name()},
+       {"tenant", StrFormat("%llu",
+                            static_cast<unsigned long long>(tenant.value()))}});
   auto deployment =
       std::make_unique<Deployment>(tenant, spec, datacenter_, sim_->now());
 

@@ -255,11 +255,21 @@ void ReplicatedStore::Write(NodeId client, Bytes size,
   }
   const OpResult result = PlanWrite(client, size);
   sim_->metrics().IncrementCounter("dist.messages", result.messages);
+  const uint64_t span = sim_->spans().Begin(
+      "dist", "dist.write_commit",
+      {{"store", name_},
+       {"protocol", std::string(ReplicationProtocolName(config_.protocol))}});
   if (result.latency == SimTime::Max()) {
+    sim_->spans().AddLabel(span, "unavailable", "true");
+    sim_->spans().End(span);
     done(result);
     return;
   }
-  sim_->After(result.latency, [result, done = std::move(done)] { done(result); });
+  sim_->metrics().Observe("dist.write_commit_ms", result.latency.millis());
+  sim_->After(result.latency, [this, span, result, done = std::move(done)] {
+    sim_->spans().End(span);
+    done(result);
+  });
 }
 
 void ReplicatedStore::Read(NodeId client, Bytes size,
@@ -268,11 +278,18 @@ void ReplicatedStore::Read(NodeId client, Bytes size,
   sim_->metrics().IncrementCounter("dist.reads");
   const OpResult result = PlanRead(client, size);
   sim_->metrics().IncrementCounter("dist.messages", result.messages);
+  const uint64_t span =
+      sim_->spans().Begin("dist", "dist.read", {{"store", name_}});
   if (result.latency == SimTime::Max()) {
+    sim_->spans().AddLabel(span, "unavailable", "true");
+    sim_->spans().End(span);
     done(result);
     return;
   }
-  sim_->After(result.latency, [result, done = std::move(done)] { done(result); });
+  sim_->After(result.latency, [this, span, result, done = std::move(done)] {
+    sim_->spans().End(span);
+    done(result);
+  });
 }
 
 }  // namespace udc

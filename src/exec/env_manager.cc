@@ -24,21 +24,34 @@ ExecEnvironment* EnvManager::Launch(
   envs_.push_back(std::move(env));
 
   SimTime start_latency = raw->profile().cold_start;
+  bool warm = false;
   const auto key = WarmKey(options.kind, tenant);
   auto warm_it = warm_slots_.find(key);
   if (options.allow_warm && warm_it != warm_slots_.end() &&
       warm_it->second > 0) {
     --warm_it->second;
     start_latency = raw->profile().warm_start;
+    warm = true;
     sim_->metrics().IncrementCounter("exec.warm_starts");
+    sim_->metrics().Observe("exec.warm_start_latency_ms",
+                            start_latency.millis());
   } else {
     sim_->metrics().IncrementCounter("exec.cold_starts");
+    sim_->metrics().Observe("exec.cold_start_latency_ms",
+                            start_latency.millis());
   }
   sim_->metrics().Observe("exec.start_latency_ms", start_latency.millis());
 
+  const uint64_t span = sim_->spans().Begin(
+      "exec", "exec.env_start",
+      {{"kind", std::string(EnvKindName(options.kind))},
+       {"mode", warm ? "warm" : "cold"},
+       {"image", options.image}});
   raw->set_state(EnvState::kStarting);
   raw->set_ready_at(sim_->now() + start_latency);
-  sim_->After(start_latency, [raw, on_ready = std::move(on_ready)] {
+  sim_->After(start_latency, [this, raw, span,
+                              on_ready = std::move(on_ready)] {
+    sim_->spans().End(span);
     raw->set_state(EnvState::kReady);
     if (on_ready) {
       on_ready(raw);

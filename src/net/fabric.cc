@@ -37,21 +37,24 @@ MessageId Fabric::Send(NodeId from, NodeId to, std::string type,
   msg.size = size;
   msg.sent_at = sim_->now();
 
+  // One span per message, send -> deliver (or drop); parents under whatever
+  // control-plane scope issued the send.
+  const uint64_t span =
+      sim_->spans().Begin("net", "net.message", {{"type", msg.type}});
+
   const SimTime delay = topology_->TransferTime(from, to, size);
-  sim_->After(delay, [this, msg = std::move(msg)]() mutable {
-    if (!IsNodeUp(msg.to)) {
-      ++messages_dropped_;
-      sim_->metrics().IncrementCounter("net.messages_dropped");
-      return;
-    }
+  sim_->After(delay, [this, span, msg = std::move(msg)]() mutable {
     const auto it = handlers_.find(msg.to);
-    if (it == handlers_.end()) {
+    if (!IsNodeUp(msg.to) || it == handlers_.end()) {
       ++messages_dropped_;
       sim_->metrics().IncrementCounter("net.messages_dropped");
+      sim_->spans().AddLabel(span, "dropped", "true");
+      sim_->spans().End(span);
       return;
     }
     msg.delivered_at = sim_->now();
     ++messages_delivered_;
+    sim_->spans().End(span);
     it->second(msg);
   });
   return id;

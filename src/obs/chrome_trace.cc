@@ -1,0 +1,70 @@
+#include "src/obs/chrome_trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+#include "src/common/strings.h"
+#include "src/obs/exposition.h"
+
+namespace udc {
+
+std::string ChromeTraceJson(const SpanTracer& tracer, SimTime now) {
+  // Stable track per category, in order of first appearance.
+  std::map<std::string, int> tid_of;
+  std::string events;
+  bool first = true;
+  for (const Span& span : tracer.spans()) {
+    const auto [it, inserted] =
+        tid_of.try_emplace(span.category, static_cast<int>(tid_of.size()) + 1);
+    const int tid = it->second;
+    const SimTime end = span.open ? std::max(now, span.start) : span.end;
+
+    std::string args = StrFormat(
+        "\"trace_id\": %llu, \"span_id\": %llu, \"parent_span_id\": %llu",
+        static_cast<unsigned long long>(span.trace_id),
+        static_cast<unsigned long long>(span.span_id),
+        static_cast<unsigned long long>(span.parent_span_id));
+    for (const auto& [k, v] : span.labels) {
+      args += StrFormat(", \"%s\": \"%s\"", JsonEscape(k).c_str(),
+                        JsonEscape(v).c_str());
+    }
+    if (span.open) {
+      args += ", \"open\": \"true\"";
+    }
+    events += StrFormat(
+        "%s\n    {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+        "\"ts\": %lld, \"dur\": %lld, \"pid\": 1, \"tid\": %d, "
+        "\"args\": {%s}}",
+        first ? "" : ",", JsonEscape(span.name).c_str(),
+        JsonEscape(span.category).c_str(),
+        static_cast<long long>(span.start.micros()),
+        static_cast<long long>((end - span.start).micros()), tid,
+        args.c_str());
+    first = false;
+  }
+
+  std::string metadata;
+  for (const auto& [category, tid] : tid_of) {
+    metadata += StrFormat(
+        ",\n    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+        "\"tid\": %d, \"args\": {\"name\": \"%s\"}}",
+        tid, JsonEscape(category).c_str());
+  }
+
+  return "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [" + events +
+         metadata + "\n  ]\n}\n";
+}
+
+Status WriteChromeTrace(const SpanTracer& tracer, SimTime now,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return InvalidArgumentError("cannot open trace output file: " + path);
+  }
+  out << ChromeTraceJson(tracer, now);
+  return out.good() ? OkStatus()
+                    : InternalError("short write to trace file: " + path);
+}
+
+}  // namespace udc

@@ -1,0 +1,28 @@
+// Chrome trace_event export.
+//
+// Serializes a SpanTracer's spans as the JSON object format understood by
+// chrome://tracing and Perfetto (https://ui.perfetto.dev): each span becomes
+// a complete ("ph":"X") event with microsecond timestamps, one track (tid)
+// per category, and the span's labels plus causal ids in "args". Spans still
+// open when the export runs are emitted with their duration up to `now` and
+// an "open":"true" arg.
+
+#ifndef UDC_SRC_OBS_CHROME_TRACE_H_
+#define UDC_SRC_OBS_CHROME_TRACE_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/obs/span.h"
+
+namespace udc {
+
+std::string ChromeTraceJson(const SpanTracer& tracer, SimTime now);
+
+// Writes ChromeTraceJson to `path`.
+Status WriteChromeTrace(const SpanTracer& tracer, SimTime now,
+                        const std::string& path);
+
+}  // namespace udc
+
+#endif  // UDC_SRC_OBS_CHROME_TRACE_H_

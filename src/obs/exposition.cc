@@ -1,0 +1,157 @@
+#include "src/obs/exposition.h"
+
+#include <string>
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+namespace {
+
+// Splits a stored series key into the base metric name and the label body
+// (without braces): `a.b{k="v"}` -> {"a.b", `k="v"`}.
+struct SeriesParts {
+  std::string base;
+  std::string labels;
+};
+
+SeriesParts SplitSeries(const std::string& key) {
+  const size_t brace = key.find('{');
+  if (brace == std::string::npos) {
+    return {key, ""};
+  }
+  std::string labels = key.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') {
+    labels.pop_back();
+  }
+  return {key.substr(0, brace), labels};
+}
+
+std::string RenderSeries(const std::string& prom_name,
+                         const std::string& labels) {
+  if (labels.empty()) {
+    return prom_name;
+  }
+  return prom_name + "{" + labels + "}";
+}
+
+std::string WithExtraLabel(const std::string& labels,
+                           const std::string& extra) {
+  return labels.empty() ? extra : labels + "," + extra;
+}
+
+void AppendTypeLine(std::string* out, const std::string& prom_name,
+                    const char* type, std::string* last_typed) {
+  if (*last_typed == prom_name) {
+    return;  // label variants of one metric share the TYPE line
+  }
+  *out += "# TYPE " + prom_name + " " + type + "\n";
+  *last_typed = prom_name;
+}
+
+constexpr double kQuantiles[] = {0.5, 0.9, 0.95, 0.99};
+
+}  // namespace
+
+std::string PrometheusMetricName(std::string_view name) {
+  std::string out = "udc_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusExposition(const MetricsRegistry& metrics) {
+  std::string out;
+  std::string last_typed;
+  for (const auto& [key, value] : metrics.counters()) {
+    const SeriesParts parts = SplitSeries(key);
+    const std::string prom = PrometheusMetricName(parts.base);
+    AppendTypeLine(&out, prom, "counter", &last_typed);
+    out += StrFormat("%s %lld\n", RenderSeries(prom, parts.labels).c_str(),
+                     static_cast<long long>(value));
+  }
+  for (const auto& [key, value] : metrics.gauges()) {
+    const SeriesParts parts = SplitSeries(key);
+    const std::string prom = PrometheusMetricName(parts.base);
+    AppendTypeLine(&out, prom, "gauge", &last_typed);
+    out += StrFormat("%s %.9g\n", RenderSeries(prom, parts.labels).c_str(),
+                     value);
+  }
+  for (const auto& [key, hist] : metrics.histograms()) {
+    const SeriesParts parts = SplitSeries(key);
+    const std::string prom = PrometheusMetricName(parts.base);
+    AppendTypeLine(&out, prom, "summary", &last_typed);
+    for (const double q : kQuantiles) {
+      const std::string labels =
+          WithExtraLabel(parts.labels, StrFormat("quantile=\"%g\"", q));
+      out += StrFormat("%s %.9g\n", RenderSeries(prom, labels).c_str(),
+                       hist.Quantile(q));
+    }
+    out += StrFormat("%s %.9g\n",
+                     RenderSeries(prom + "_sum", parts.labels).c_str(),
+                     hist.Sum());
+    out += StrFormat("%s %lld\n",
+                     RenderSeries(prom + "_count", parts.labels).c_str(),
+                     static_cast<long long>(hist.count()));
+  }
+  return out;
+}
+
+std::string JsonSnapshot(const MetricsRegistry& metrics) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [key, value] : metrics.counters()) {
+    out += StrFormat("%s\n    \"%s\": %lld", first ? "" : ",",
+                     JsonEscape(key).c_str(), static_cast<long long>(value));
+    first = false;
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [key, value] : metrics.gauges()) {
+    out += StrFormat("%s\n    \"%s\": %.9g", first ? "" : ",",
+                     JsonEscape(key).c_str(), value);
+    first = false;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [key, hist] : metrics.histograms()) {
+    out += StrFormat(
+        "%s\n    \"%s\": {\"count\": %lld, \"mean\": %.9g, \"p50\": %.9g, "
+        "\"p95\": %.9g, \"p99\": %.9g, \"min\": %.9g, \"max\": %.9g}",
+        first ? "" : ",", JsonEscape(key).c_str(),
+        static_cast<long long>(hist.count()), hist.Mean(), hist.Quantile(0.5),
+        hist.Quantile(0.95), hist.Quantile(0.99), hist.Min(), hist.Max());
+    first = false;
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace udc

@@ -1,0 +1,36 @@
+// Metric exposition writers.
+//
+// Renders a MetricsRegistry as Prometheus text exposition (counters and
+// gauges as-is; histograms as summaries with p50/p90/p95/p99 quantile
+// series) and as a JSON snapshot for programmatic consumers. Internal
+// `layer.noun_verb` names become `udc_layer_noun_verb` on the way out, since
+// Prometheus metric names cannot contain dots.
+
+#ifndef UDC_SRC_OBS_EXPOSITION_H_
+#define UDC_SRC_OBS_EXPOSITION_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/obs/metrics.h"
+
+namespace udc {
+
+// `"core.runs"` -> `"udc_core_runs"`.
+std::string PrometheusMetricName(std::string_view name);
+
+// Escapes `\`, `"`, and newlines for embedding in a JSON or label string.
+std::string JsonEscape(std::string_view s);
+
+// The full registry in Prometheus text exposition format.
+std::string PrometheusExposition(const MetricsRegistry& metrics);
+
+// The full registry as a pretty-printed JSON object:
+//   {"counters": {...}, "gauges": {...},
+//    "histograms": {"name": {"count":..,"mean":..,"p50":..,"p95":..,
+//                            "p99":..,"min":..,"max":..}, ...}}
+std::string JsonSnapshot(const MetricsRegistry& metrics);
+
+}  // namespace udc
+
+#endif  // UDC_SRC_OBS_EXPOSITION_H_

@@ -1,0 +1,134 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+std::string MetricSeriesKey(std::string_view name, const MetricLabels& labels) {
+  if (labels.empty()) {
+    return std::string(name);
+  }
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key(name);
+  key += '{';
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) {
+      key += ',';
+    }
+    key += sorted[i].first + "=\"" + sorted[i].second + "\"";
+  }
+  key += '}';
+  return key;
+}
+
+void MetricsRegistry::IncrementCounter(std::string_view name, int64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::IncrementCounter(std::string_view name,
+                                       const MetricLabels& labels,
+                                       int64_t delta) {
+  IncrementCounter(MetricSeriesKey(name, labels), delta);
+}
+
+int64_t MetricsRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+int64_t MetricsRegistry::counter(std::string_view name,
+                                 const MetricLabels& labels) const {
+  return counter(MetricSeriesKey(name, labels));
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::SetGauge(std::string_view name,
+                               const MetricLabels& labels, double value) {
+  SetGauge(MetricSeriesKey(name, labels), value);
+}
+
+void MetricsRegistry::AddToGauge(std::string_view name, double delta) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::AddToGauge(std::string_view name,
+                                 const MetricLabels& labels, double delta) {
+  AddToGauge(MetricSeriesKey(name, labels), delta);
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+double MetricsRegistry::gauge(std::string_view name,
+                              const MetricLabels& labels) const {
+  return gauge(MetricSeriesKey(name, labels));
+}
+
+void MetricsRegistry::Observe(std::string_view name, double value) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram()).first;
+  }
+  it->second.Add(value);
+}
+
+void MetricsRegistry::Observe(std::string_view name, const MetricLabels& labels,
+                              double value) {
+  Observe(MetricSeriesKey(name, labels), value);
+}
+
+const Histogram* MetricsRegistry::histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::histogram(std::string_view name,
+                                            const MetricLabels& labels) const {
+  return histogram(MetricSeriesKey(name, labels));
+}
+
+std::string MetricsRegistry::Report() const {
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    out += StrFormat("counter %-48s %lld\n", name.c_str(),
+                     static_cast<long long>(value));
+  }
+  for (const auto& [name, value] : gauges_) {
+    out += StrFormat("gauge   %-48s %.6g\n", name.c_str(), value);
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out += StrFormat("hist    %-48s %s\n", name.c_str(), hist.Summary().c_str());
+  }
+  return out;
+}
+
+void MetricsRegistry::Clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace udc

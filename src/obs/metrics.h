@@ -1,0 +1,86 @@
+// Telemetry registry.
+//
+// The paper's runtime "collects the feedback and performs adaptive
+// optimizations" (sec. 3, Design Principle 1); this registry is that feedback
+// channel. Counters, gauges and histograms are created on first use and
+// addressed by name, so any layer can publish without plumbing.
+//
+// Metric names follow `layer.noun_verb` (e.g. "exec.cold_starts",
+// "core.run_end_to_end_ms"); tools/check_metric_names.sh enforces the
+// convention. A series may carry labels — `IncrementCounter("sched.placed",
+// {{"module", "A1"}})` — which are folded into the stored key as
+// `name{k="v",...}` with keys sorted, Prometheus-style. The exposition and
+// JSON writers in src/obs/exposition.h split the key back apart.
+
+#ifndef UDC_SRC_OBS_METRICS_H_
+#define UDC_SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/histogram.h"
+
+namespace udc {
+
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+// "name" or `name{k="v",k2="v2"}` with keys sorted — the canonical series
+// key labeled metrics are stored under.
+std::string MetricSeriesKey(std::string_view name, const MetricLabels& labels);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void IncrementCounter(std::string_view name, int64_t delta = 1);
+  void IncrementCounter(std::string_view name, const MetricLabels& labels,
+                        int64_t delta = 1);
+  int64_t counter(std::string_view name) const;
+  int64_t counter(std::string_view name, const MetricLabels& labels) const;
+
+  void SetGauge(std::string_view name, double value);
+  void SetGauge(std::string_view name, const MetricLabels& labels,
+                double value);
+  void AddToGauge(std::string_view name, double delta);
+  void AddToGauge(std::string_view name, const MetricLabels& labels,
+                  double delta);
+  double gauge(std::string_view name) const;
+  double gauge(std::string_view name, const MetricLabels& labels) const;
+
+  void Observe(std::string_view name, double value);
+  void Observe(std::string_view name, const MetricLabels& labels, double value);
+  const Histogram* histogram(std::string_view name) const;
+  const Histogram* histogram(std::string_view name,
+                             const MetricLabels& labels) const;
+
+  // Full series maps (keyed by MetricSeriesKey), for the exposition writers.
+  const std::map<std::string, int64_t, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+  // Multi-line dump of every metric, sorted by name; used by tools.
+  std::string Report() const;
+
+  void Clear();
+
+ private:
+  std::map<std::string, int64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_OBS_METRICS_H_

@@ -1,49 +1,9 @@
-// Telemetry registry.
-//
-// The paper's runtime "collects the feedback and performs adaptive
-// optimizations" (sec. 3, Design Principle 1); this registry is that feedback
-// channel. Counters, gauges and histograms are created on first use and
-// addressed by name, so any layer can publish without plumbing.
+// Forwarding header: the telemetry registry moved to src/obs/metrics.h when
+// the observability layer grew labeled series and exposition writers.
 
 #ifndef UDC_SRC_SIM_METRICS_H_
 #define UDC_SRC_SIM_METRICS_H_
 
-#include <cstdint>
-#include <map>
-#include <string>
-#include <string_view>
-
-#include "src/common/histogram.h"
-
-namespace udc {
-
-class MetricsRegistry {
- public:
-  MetricsRegistry() = default;
-  MetricsRegistry(const MetricsRegistry&) = delete;
-  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
-
-  void IncrementCounter(std::string_view name, int64_t delta = 1);
-  int64_t counter(std::string_view name) const;
-
-  void SetGauge(std::string_view name, double value);
-  void AddToGauge(std::string_view name, double delta);
-  double gauge(std::string_view name) const;
-
-  void Observe(std::string_view name, double value);
-  const Histogram* histogram(std::string_view name) const;
-
-  // Multi-line dump of every metric, sorted by name; used by tools.
-  std::string Report() const;
-
-  void Clear();
-
- private:
-  std::map<std::string, int64_t, std::less<>> counters_;
-  std::map<std::string, double, std::less<>> gauges_;
-  std::map<std::string, Histogram, std::less<>> histograms_;
-};
-
-}  // namespace udc
+#include "src/obs/metrics.h"
 
 #endif  // UDC_SRC_SIM_METRICS_H_

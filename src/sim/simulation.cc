@@ -5,7 +5,14 @@
 
 namespace udc {
 
-Simulation::Simulation(uint64_t seed) : now_(SimTime(0)), rng_(seed) {}
+Simulation::Simulation(uint64_t seed)
+    : now_(SimTime(0)), rng_(seed), spans_([this] { return now_; }) {
+  // Closed spans double as legacy trace events so string-based assertions
+  // and timeline dumps keep working on top of the structured layer.
+  spans_.set_on_end([this](const Span& span) {
+    trace_.Record(span.start, span.category, span.Detail());
+  });
+}
 
 EventHandle Simulation::At(SimTime when, EventQueue::Callback cb) {
   assert(when >= now_);

@@ -12,8 +12,9 @@
 
 #include "src/common/rng.h"
 #include "src/common/units.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/sim/event_queue.h"
-#include "src/sim/metrics.h"
 #include "src/sim/trace.h"
 
 namespace udc {
@@ -30,10 +31,21 @@ class Simulation {
   const MetricsRegistry& metrics() const { return metrics_; }
   TraceRecorder& trace() { return trace_; }
   const TraceRecorder& trace() const { return trace_; }
+  SpanTracer& spans() { return spans_; }
+  const SpanTracer& spans() const { return spans_; }
 
   // Convenience: record a trace event at the current simulated time.
   void Trace(std::string_view category, std::string_view detail) {
     trace_.Record(now_, category, detail);
+  }
+
+  // Opens an RAII span at the current simulated time; nested scopes parent
+  // automatically. When the span closes it is mirrored into the legacy
+  // TraceRecorder as "category: name k=v ... dur=..".
+  ScopedSpan Scope(std::string category, std::string name,
+                   SpanLabels labels = {}) {
+    return ScopedSpan(&spans_, std::move(category), std::move(name),
+                      std::move(labels));
   }
 
   // Schedules `cb` at absolute simulated time `when` (>= now).
@@ -62,6 +74,7 @@ class Simulation {
   Rng rng_;
   MetricsRegistry metrics_;
   TraceRecorder trace_;
+  SpanTracer spans_;
   uint64_t events_executed_ = 0;
 };
 

@@ -203,6 +203,57 @@ TEST_F(EndToEndTest, MetricsAccumulateAcrossTheStack) {
   EXPECT_EQ(m.counter("core.runs"), 1);
 }
 
+TEST_F(EndToEndTest, TraceCausalityColdStartPrecedesExec) {
+  auto deployment = cloud_->Deploy(hospital_, *spec_);
+  ASSERT_TRUE(deployment.ok());
+  DagRuntime runtime(cloud_->sim(), deployment->get());
+  const auto report = runtime.RunOnce();
+  ASSERT_TRUE(report.ok());
+  // Let the environment launches complete so their spans close.
+  cloud_->sim()->RunUntil(SimTime::Minutes(1));
+
+  const SpanTracer& spans = cloud_->sim()->spans();
+  // A4 is the secure aggregator (strongest isolation -> TEE enclave). Its
+  // enclave must be fully up before its first task executes.
+  const Span* env = spans.Find("exec.env_start", "image", "A4");
+  ASSERT_NE(env, nullptr);
+  EXPECT_FALSE(env->open);
+  ASSERT_NE(env->Label("mode"), nullptr);
+  EXPECT_EQ(*env->Label("mode"), "cold");
+  EXPECT_LT(env->start, env->end);
+  const Span* compute = spans.Find("exec.compute", "module", "A4");
+  ASSERT_NE(compute, nullptr);
+  EXPECT_FALSE(compute->open);
+  EXPECT_LE(env->end, compute->start);
+
+  // Net spans nest under their stage, which nests under the run root.
+  ASSERT_NE(report->trace_id, 0u);
+  int net_spans = 0;
+  for (const Span* net : spans.SpansInCategory("net")) {
+    if (net->trace_id != report->trace_id) {
+      continue;
+    }
+    ++net_spans;
+    const Span* stage = spans.SpanById(net->parent_span_id);
+    ASSERT_NE(stage, nullptr);
+    EXPECT_EQ(stage->name, "exec.stage");
+    EXPECT_EQ(stage->trace_id, net->trace_id);
+    EXPECT_LE(stage->start, net->start);
+    EXPECT_LE(net->end, stage->end);
+    const Span* root = spans.SpanById(stage->parent_span_id);
+    ASSERT_NE(root, nullptr);
+    EXPECT_EQ(root->name, "run.invoke");
+    EXPECT_EQ(root->parent_span_id, 0u);
+  }
+  EXPECT_GT(net_spans, 0);
+
+  // The report's breakdown was computed from this same trace.
+  EXPECT_EQ(report->breakdown.total, report->end_to_end);
+  EXPECT_GT(report->breakdown.exec, SimTime(0));
+  EXPECT_GT(report->breakdown.net, SimTime(0));
+  EXPECT_GT(report->breakdown.cold_start, SimTime(0));
+}
+
 TEST_F(EndToEndTest, SyntheticTenantMixDeploysAtScale) {
   Rng rng(7);
   const auto demands = SampleTenantMix(rng, 40);

@@ -438,13 +438,24 @@ TEST(DefragTest, ConsolidateIsIdempotent) {
 // --- Trace integration ---------------------------------------------------
 
 TEST_F(ServiceTest, TraceRecordsControlPlaneEvents) {
-  // Deployment placed every module: the scheduler traced it.
-  EXPECT_TRUE(cloud_->sim()->trace().Contains("sched", "placed task A2"));
-  EXPECT_TRUE(cloud_->sim()->trace().Contains("sched", "placed data S1"));
+  // Deployment placed every module: the scheduler emitted placement spans
+  // (mirrored into the legacy trace as "name k=v" lines).
+  const SpanTracer& spans = cloud_->sim()->spans();
+  ASSERT_NE(spans.Find("sched.place_task", "module", "A2"), nullptr);
+  ASSERT_NE(spans.Find("sched.place_data", "module", "S1"), nullptr);
+  EXPECT_TRUE(cloud_->sim()->trace().Contains("sched", "module=A2"));
+  EXPECT_TRUE(cloud_->sim()->trace().Contains("sched", "module=S1"));
+  // Placement spans parent under the deploy span.
+  const Span* place = spans.Find("sched.place_task", "module", "A2");
+  const Span* deploy = spans.SpanById(place->parent_span_id);
+  ASSERT_NE(deploy, nullptr);
+  EXPECT_EQ(deploy->name, "sched.deploy");
+  EXPECT_EQ(deploy->trace_id, place->trace_id);
 
   DagRuntime runtime(cloud_->sim(), deployment_.get());
   ASSERT_TRUE(runtime.RunOnce().ok());
-  EXPECT_TRUE(cloud_->sim()->trace().Contains("run", "stage A4"));
+  EXPECT_NE(spans.Find("exec.stage", "module", "A4"), nullptr);
+  EXPECT_TRUE(cloud_->sim()->trace().Contains("exec", "module=A4"));
 
   CheckpointStore checkpoints;
   RepairService repair(cloud_->sim(), deployment_.get(), &cloud_->envs(),
@@ -489,8 +500,13 @@ TEST_F(ServiceTest, MonitorObserveOnlyModeNeedsNoTuner) {
   cloud_->sim()->RunUntil(SimTime::Minutes(12));
   monitor.Flush();
   EXPECT_GT(monitor.windows_flushed(), 0);
-  EXPECT_GT(
-      cloud_->sim()->metrics().histogram("monitor.utilization")->count(), 0);
+  // Utilization lands in a per-module labeled gauge, not a shared series.
+  const MetricLabels b2_labels = {
+      {"module",
+       StrFormat("%llu", static_cast<unsigned long long>(b2.value()))}};
+  EXPECT_GT(cloud_->sim()->metrics().gauge("monitor.utilization", b2_labels),
+            0.0);
+  EXPECT_GT(cloud_->sim()->metrics().counter("monitor.windows_flushed"), 0);
 }
 
 // --- CloudFrontend -------------------------------------------------------

@@ -112,25 +112,25 @@ TEST(SimulationTest, DeterministicWithSeed) {
 
 TEST(MetricsTest, CountersAccumulate) {
   MetricsRegistry m;
-  m.IncrementCounter("x");
-  m.IncrementCounter("x", 4);
-  EXPECT_EQ(m.counter("x"), 5);
+  m.IncrementCounter("test.x");
+  m.IncrementCounter("test.x", 4);
+  EXPECT_EQ(m.counter("test.x"), 5);
   EXPECT_EQ(m.counter("missing"), 0);
 }
 
 TEST(MetricsTest, Gauges) {
   MetricsRegistry m;
-  m.SetGauge("g", 2.5);
-  m.AddToGauge("g", 0.5);
-  EXPECT_DOUBLE_EQ(m.gauge("g"), 3.0);
+  m.SetGauge("test.g", 2.5);
+  m.AddToGauge("test.g", 0.5);
+  EXPECT_DOUBLE_EQ(m.gauge("test.g"), 3.0);
 }
 
 TEST(MetricsTest, HistogramsObserve) {
   MetricsRegistry m;
-  m.Observe("h", 1.0);
-  m.Observe("h", 3.0);
-  ASSERT_NE(m.histogram("h"), nullptr);
-  EXPECT_DOUBLE_EQ(m.histogram("h")->Mean(), 2.0);
+  m.Observe("test.h", 1.0);
+  m.Observe("test.h", 3.0);
+  ASSERT_NE(m.histogram("test.h"), nullptr);
+  EXPECT_DOUBLE_EQ(m.histogram("test.h")->Mean(), 2.0);
   EXPECT_EQ(m.histogram("missing"), nullptr);
 }
 

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Enforces the `layer.noun_verb` metric naming convention (see
+# src/obs/metrics.h): every string literal passed to IncrementCounter /
+# SetGauge / AddToGauge / Observe must match ^[a-z_]+\.[a-z0-9_.]+$ —
+# a lowercase layer prefix, a dot, then lowercase/digit/underscore words.
+#
+# Runs as a ctest (see tests/CMakeLists.txt) and in CI. Exit 0 when every
+# call site conforms, 1 otherwise (offenders listed on stderr).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern='^[a-z_]+\.[a-z0-9_.]+$'
+bad=0
+found=0
+
+# `file:line:Call("name"` -> `file:line:name` for every metric call site
+# with a literal first argument.
+while IFS=: read -r file line name; do
+  found=$((found + 1))
+  if ! [[ "$name" =~ $pattern ]]; then
+    echo "bad metric name: $file:$line: \"$name\"" >&2
+    bad=1
+  fi
+done < <(grep -rnoE '(IncrementCounter|SetGauge|AddToGauge|Observe)\("[^"]*"' \
+           src tools bench tests \
+         | sed -E 's/:(IncrementCounter|SetGauge|AddToGauge|Observe)\("/:/' \
+         | sed -E 's/"$//')
+
+if [[ "$found" -eq 0 ]]; then
+  echo "check_metric_names.sh: no metric call sites found — grep broken?" >&2
+  exit 1
+fi
+
+if [[ "$bad" -ne 0 ]]; then
+  echo "metric names must match layer.noun_verb ($pattern)" >&2
+  exit 1
+fi
+echo "check_metric_names.sh: $found call sites OK"

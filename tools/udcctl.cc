@@ -1,20 +1,31 @@
 // udcctl — command-line driver for the UDC simulator.
 //
-//   udcctl validate <spec.udcl>          parse + validate a spec
-//   udcctl deploy   <spec.udcl>          deploy, run once, verify, bill
-//   udcctl demo                          the built-in medical app (Figure 2)
+//   udcctl validate <spec.udcl>             parse + validate a spec
+//   udcctl deploy   <spec.udcl>             deploy, run once, verify, bill
+//   udcctl demo                             the built-in medical app (Figure 2)
+//   udcctl metrics  [spec.udcl]             run the cycle, print Prometheus
+//                                           text exposition on stdout
+//   udcctl trace --chrome <out.json> [spec.udcl]
+//                                           run the cycle, write the span
+//                                           trace as Chrome trace_event JSON
+//                                           (open in chrome://tracing or
+//                                           https://ui.perfetto.dev)
 //
-// Reads udcl from a file (or the embedded medical app), runs the full
-// deploy/run/verify/bill cycle on a fresh simulated cloud, and prints the
-// reports. Exit code 0 on success, 1 on any error.
+// Reads udcl from a file (or the embedded medical app when the spec argument
+// is omitted), runs the full deploy/run/verify/bill cycle on a fresh
+// simulated cloud, and prints the reports. Exit code 0 on success, 1 on any
+// error.
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "src/core/runtime.h"
 #include "src/core/udc_cloud.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/exposition.h"
 #include "src/workload/medical.h"
 
 namespace {
@@ -23,7 +34,9 @@ int Usage() {
   std::fprintf(stderr,
                "usage: udcctl validate <spec.udcl>\n"
                "       udcctl deploy   <spec.udcl>\n"
-               "       udcctl demo\n");
+               "       udcctl demo\n"
+               "       udcctl metrics  [spec.udcl]\n"
+               "       udcctl trace --chrome <out.json> [spec.udcl]\n");
   return 1;
 }
 
@@ -53,41 +66,85 @@ int Validate(const std::string& text) {
   return 0;
 }
 
-int Deploy(const std::string& text) {
+// Runs the full deploy/run/verify/bill cycle against `cloud`. When `verbose`,
+// prints every report; otherwise stays quiet so the caller can emit a single
+// machine-readable artifact (metrics, trace) on stdout.
+int RunCycle(const std::string& text, udc::UdcCloud* cloud, bool verbose) {
   const auto spec = udc::ParseAppSpec(text);
   if (!spec.ok()) {
     std::fprintf(stderr, "spec: %s\n", spec.status().ToString().c_str());
     return 1;
   }
-  udc::UdcCloud cloud;
-  const udc::TenantId tenant = cloud.RegisterTenant("udcctl");
-  auto deployment = cloud.Deploy(tenant, *spec);
+  const udc::TenantId tenant = cloud->RegisterTenant("udcctl");
+  auto deployment = cloud->Deploy(tenant, *spec);
   if (!deployment.ok()) {
     std::fprintf(stderr, "deploy: %s\n",
                  deployment.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s\n", (*deployment)->DebugString().c_str());
+  if (verbose) {
+    std::printf("%s\n", (*deployment)->DebugString().c_str());
+  }
 
-  udc::DagRuntime runtime(cloud.sim(), deployment->get());
+  udc::DagRuntime runtime(cloud->sim(), deployment->get());
   const auto report = runtime.RunOnce();
   if (!report.ok()) {
     std::fprintf(stderr, "run: %s\n", report.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s\n", report->Table().c_str());
+  if (verbose) {
+    std::printf("%s\n", report->Table().c_str());
+    std::printf("%s\n", report->breakdown.Table().c_str());
+  }
 
-  const auto verification = cloud.Verify(deployment->get());
+  const auto verification = cloud->Verify(deployment->get());
   if (!verification.ok()) {
     std::fprintf(stderr, "verify: %s\n",
                  verification.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s\n", verification->Table().c_str());
+  if (verbose) {
+    std::printf("%s\n", verification->Table().c_str());
+  }
 
-  cloud.sim()->RunUntil(udc::SimTime::Hours(1));
-  std::printf("%s", cloud.billing().BillToNow(**deployment).Table().c_str());
+  cloud->sim()->RunUntil(udc::SimTime::Hours(1));
+  if (verbose) {
+    std::printf("%s",
+                cloud->billing().BillToNow(**deployment).Table().c_str());
+  }
   return verification->all_ok ? 0 : 1;
+}
+
+int Deploy(const std::string& text) {
+  udc::UdcCloud cloud;
+  return RunCycle(text, &cloud, /*verbose=*/true);
+}
+
+int Metrics(const std::string& text) {
+  udc::UdcCloud cloud;
+  const int rc = RunCycle(text, &cloud, /*verbose=*/false);
+  if (rc != 0) {
+    return rc;
+  }
+  std::printf("%s", udc::PrometheusExposition(cloud.sim()->metrics()).c_str());
+  return 0;
+}
+
+int Trace(const std::string& text, const std::string& out_path) {
+  udc::UdcCloud cloud;
+  const int rc = RunCycle(text, &cloud, /*verbose=*/false);
+  if (rc != 0) {
+    return rc;
+  }
+  const udc::Status status = udc::WriteChromeTrace(
+      cloud.sim()->spans(), cloud.sim()->now(), out_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "trace: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu spans to %s (open in chrome://tracing)\n",
+              cloud.sim()->spans().spans().size(), out_path.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -99,6 +156,32 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "demo") {
     return Deploy(udc::MedicalAppUdcl());
+  }
+  if (command == "metrics") {
+    if (argc < 3) {
+      return Metrics(udc::MedicalAppUdcl());
+    }
+    const auto text = ReadFile(argv[2]);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    return Metrics(*text);
+  }
+  if (command == "trace") {
+    if (argc < 4 || std::string(argv[2]) != "--chrome") {
+      return Usage();
+    }
+    std::string text = udc::MedicalAppUdcl();
+    if (argc >= 5) {
+      const auto file = ReadFile(argv[4]);
+      if (!file.ok()) {
+        std::fprintf(stderr, "%s\n", file.status().ToString().c_str());
+        return 1;
+      }
+      text = *file;
+    }
+    return Trace(text, argv[3]);
   }
   if (argc < 3) {
     return Usage();
