@@ -1,0 +1,232 @@
+// Deploy-churn macro-benchmark: the control-plane hot path under load.
+//
+// Deploys and tears down ~1k microservice tenants against a ~10k-device
+// datacenter, once with the legacy linear placement scan and once with the
+// incremental free-capacity indexes, and reports deploys/sec, simulator
+// events/sec, and per-deploy placement-time percentiles. A sliding window
+// of live deployments keeps the pools fragmented the way long-running
+// churn does, so the allocator sees realistic free lists rather than a
+// pristine datacenter.
+//
+// Writes BENCH_hotpath.json into the working directory. `--smoke` runs a
+// small configuration in a few hundred milliseconds; the CI wires it up as
+// a ctest so the benchmark itself cannot rot.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/core/udc_cloud.h"
+#include "src/workload/microservices.h"
+
+namespace {
+
+struct ChurnConfig {
+  int racks = 480;        // 21 devices/rack -> 10,080 devices
+  int deploys = 1000;     // tenants churned through the cloud
+  int live_window = 64;   // deployments kept alive at any instant
+  bool indexed = true;    // placement via the free-capacity indexes
+};
+
+struct ChurnResult {
+  double wall_seconds = 0;
+  double deploys_per_sec = 0;
+  double events_per_sec = 0;
+  long long deploys = 0;
+  long long failures = 0;
+  long long devices = 0;
+  udc::Histogram placement_us;
+};
+
+// One full churn run. The spec list is pre-generated so both modes place an
+// identical workload and spec generation stays out of the timed region.
+ChurnResult RunChurn(const ChurnConfig& config,
+                     const std::vector<udc::AppSpec>& specs) {
+  udc::UdcCloudConfig cloud_config;
+  cloud_config.datacenter.racks = config.racks;
+  cloud_config.scheduler.use_placement_index = config.indexed;
+  udc::UdcCloud cloud(cloud_config);
+  if (!config.indexed) {
+    for (int k = 0; k < udc::kNumDeviceKinds; ++k) {
+      cloud.datacenter()
+          .pool(static_cast<udc::DeviceKind>(k))
+          .set_use_index(false);
+    }
+  }
+
+  ChurnResult result;
+  result.devices =
+      static_cast<long long>(cloud.datacenter().AllDevices().size());
+
+  std::deque<std::unique_ptr<udc::Deployment>> live;
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < config.deploys; ++i) {
+    const udc::TenantId tenant =
+        cloud.RegisterTenant("tenant-" + std::to_string(i));
+    const udc::AppSpec& spec = specs[i % specs.size()];
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto deployment = cloud.Deploy(tenant, spec);
+    const auto t1 = std::chrono::steady_clock::now();
+    result.placement_us.Add(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    if (!deployment.ok()) {
+      ++result.failures;
+      continue;
+    }
+    ++result.deploys;
+    live.push_back(std::move(*deployment));
+
+    // Let env starts and replication wiring fire before the next deploy.
+    cloud.sim()->RunToCompletion();
+
+    while (static_cast<int>(live.size()) > config.live_window) {
+      std::unique_ptr<udc::Deployment>& oldest = live.front();
+      for (udc::ResourceUnit* unit : oldest->units()) {
+        if (unit->env != nullptr) {
+          (void)cloud.envs().Stop(unit->env, /*keep_warm=*/false);
+          unit->env = nullptr;
+        }
+      }
+      live.pop_front();  // destructor releases the pool allocations
+    }
+  }
+  // Drain: stop every environment still running, release every slice.
+  for (auto& deployment : live) {
+    for (udc::ResourceUnit* unit : deployment->units()) {
+      if (unit->env != nullptr) {
+        (void)cloud.envs().Stop(unit->env, /*keep_warm=*/false);
+        unit->env = nullptr;
+      }
+    }
+  }
+  live.clear();
+  cloud.sim()->RunToCompletion();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  result.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  if (result.wall_seconds > 0) {
+    result.deploys_per_sec =
+        static_cast<double>(result.deploys) / result.wall_seconds;
+    result.events_per_sec =
+        static_cast<double>(cloud.sim()->events_executed()) /
+        result.wall_seconds;
+  }
+  return result;
+}
+
+void PrintResult(const char* label, const ChurnResult& r) {
+  std::printf("%-8s %8.1f deploys/s %12.0f events/s  placement p50=%.1fus "
+              "p95=%.1fus p99=%.1fus  (%lld deploys, %lld failed, %.2fs)\n",
+              label, r.deploys_per_sec, r.events_per_sec,
+              r.placement_us.Quantile(0.5), r.placement_us.Quantile(0.95),
+              r.placement_us.Quantile(0.99), r.deploys, r.failures,
+              r.wall_seconds);
+}
+
+void WriteJson(const ChurnConfig& config, bool smoke,
+               const ChurnResult& linear, const ChurnResult& indexed) {
+  FILE* f = std::fopen("BENCH_hotpath.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_hotpath.json for writing\n");
+    return;
+  }
+  auto emit_mode = [f](const char* name, const ChurnResult& r) {
+    std::fprintf(f,
+                 "  \"%s\": {\n"
+                 "    \"deploys\": %lld,\n"
+                 "    \"failures\": %lld,\n"
+                 "    \"wall_seconds\": %.4f,\n"
+                 "    \"deploys_per_sec\": %.2f,\n"
+                 "    \"events_per_sec\": %.0f,\n"
+                 "    \"placement_us\": {\"p50\": %.2f, \"p95\": %.2f, "
+                 "\"p99\": %.2f, \"mean\": %.2f}\n"
+                 "  }",
+                 name, r.deploys, r.failures, r.wall_seconds,
+                 r.deploys_per_sec, r.events_per_sec,
+                 r.placement_us.Quantile(0.5), r.placement_us.Quantile(0.95),
+                 r.placement_us.Quantile(0.99), r.placement_us.Mean());
+  };
+  std::fprintf(f, "{\n  \"benchmark\": \"deploy_churn\",\n");
+  std::fprintf(f,
+               "  \"config\": {\"racks\": %d, \"devices\": %lld, "
+               "\"deploys\": %d, \"live_window\": %d, \"smoke\": %s},\n",
+               config.racks, indexed.devices, config.deploys,
+               config.live_window, smoke ? "true" : "false");
+  emit_mode("linear", linear);
+  std::fprintf(f, ",\n");
+  emit_mode("indexed", indexed);
+  const double speedup = linear.deploys_per_sec > 0
+                             ? indexed.deploys_per_sec / linear.deploys_per_sec
+                             : 0;
+  std::fprintf(f, ",\n  \"speedup_deploys_per_sec\": %.2f\n}\n", speedup);
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+
+  ChurnConfig config;
+  if (smoke) {
+    config.racks = 24;
+    config.deploys = 40;
+    config.live_window = 8;
+  }
+
+  // Both modes place byte-identical workloads: same specs, same order.
+  udc::Rng spec_rng(0xC10DDu);
+  std::vector<udc::AppSpec> specs;
+  for (int i = 0; i < 16; ++i) {
+    udc::MicroserviceConfig ms;
+    ms.chain_length = 3 + static_cast<int>(spec_rng.NextUint64(3));
+    ms.fanout_services = 1 + static_cast<int>(spec_rng.NextUint64(2));
+    auto spec = udc::GenerateMicroserviceApp(spec_rng, ms);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "spec generation failed: %s\n",
+                   spec.status().message().c_str());
+      return 1;
+    }
+    specs.push_back(std::move(*spec));
+  }
+
+  std::printf("deploy_churn: %d racks, %d deploys, window %d%s\n",
+              config.racks, config.deploys, config.live_window,
+              smoke ? " (smoke)" : "");
+
+  ChurnConfig linear_config = config;
+  linear_config.indexed = false;
+  const ChurnResult linear = RunChurn(linear_config, specs);
+  PrintResult("linear", linear);
+
+  const ChurnResult indexed = RunChurn(config, specs);
+  PrintResult("indexed", indexed);
+
+  if (linear.deploys != indexed.deploys || linear.failures != indexed.failures) {
+    std::fprintf(stderr,
+                 "FAIL: modes diverged (linear %lld/%lld, indexed %lld/%lld)\n",
+                 linear.deploys, linear.failures, indexed.deploys,
+                 indexed.failures);
+    return 1;
+  }
+
+  WriteJson(config, smoke, linear, indexed);
+  if (linear.deploys_per_sec > 0) {
+    std::printf("speedup: %.2fx deploys/sec\n",
+                indexed.deploys_per_sec / linear.deploys_per_sec);
+  }
+  return 0;
+}

@@ -85,6 +85,81 @@ void BM_PoolAllocateRelease(benchmark::State& state) {
 }
 BENCHMARK(BM_PoolAllocateRelease);
 
+void BM_PoolAllocateReleaseAtScale(benchmark::State& state) {
+  // range(0) devices across 16 racks; range(1) selects the linear scan (0)
+  // or the free-capacity indexes (1). The gap between the two is the whole
+  // point of the indexed allocator: per-allocation cost must not grow with
+  // the device count.
+  const int devices = static_cast<int>(state.range(0));
+  const bool indexed = state.range(1) != 0;
+  Topology topo;
+  ResourcePool pool(PoolId(0), DeviceKind::kCpuBlade);
+  const int racks = 16;
+  std::vector<int> rack_ids;
+  for (int r = 0; r < racks; ++r) {
+    rack_ids.push_back(topo.AddRack());
+  }
+  for (int i = 0; i < devices; ++i) {
+    pool.AddDevice(std::make_unique<Device>(
+        DeviceId(static_cast<uint64_t>(i)), DeviceKind::kCpuBlade, 32000,
+        topo.AddNode(rack_ids[i % racks], NodeRole::kDevice),
+        DeviceProfile::DefaultFor(DeviceKind::kCpuBlade)));
+  }
+  pool.set_use_index(indexed);
+  AllocationConstraints constraints;
+  constraints.preferred_rack = 3;
+  for (auto _ : state) {
+    auto alloc = pool.Allocate(TenantId(1), 2500, constraints, topo);
+    benchmark::DoNotOptimize(alloc);
+    (void)pool.Release(*alloc);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolAllocateReleaseAtScale)
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({4096, 0})
+    ->Args({4096, 1});
+
+void BM_CounterIncrementString(benchmark::State& state) {
+  // The string-addressed path: one transparent hash lookup per event.
+  MetricsRegistry metrics;
+  metrics.IncrementCounter("net.messages_sent");
+  for (auto _ : state) {
+    metrics.IncrementCounter("net.messages_sent");
+  }
+  benchmark::DoNotOptimize(metrics.counter("net.messages_sent"));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterIncrementString);
+
+void BM_CounterIncrementHandle(benchmark::State& state) {
+  // The interned fast path: a single indexed add, no hashing, no
+  // allocation — this is what every steady-state call site pays.
+  MetricsRegistry metrics;
+  const CounterHandle handle = metrics.CounterSeries("net.messages_sent");
+  for (auto _ : state) {
+    metrics.Increment(handle);
+  }
+  benchmark::DoNotOptimize(metrics.value(handle));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterIncrementHandle);
+
+void BM_HistogramObserveHandle(benchmark::State& state) {
+  MetricsRegistry metrics;
+  const HistogramHandle handle =
+      metrics.HistogramSeries("exec.queue_wait_ms");
+  double v = 0;
+  for (auto _ : state) {
+    metrics.Observe(handle, v);
+    v += 0.125;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+// Histograms keep exact samples; cap iterations so memory stays bounded.
+BENCHMARK(BM_HistogramObserveHandle)->Iterations(1 << 20);
+
 void BM_ParseMedicalSpec(benchmark::State& state) {
   const std::string text = MedicalAppUdcl();
   for (auto _ : state) {

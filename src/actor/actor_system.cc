@@ -11,7 +11,12 @@ void ActorContext::Send(ActorId to, std::string name, std::string payload,
 }
 
 ActorSystem::ActorSystem(Simulation* sim, const Topology* topology)
-    : sim_(sim), topology_(topology) {}
+    : sim_(sim), topology_(topology),
+      messages_processed_metric_(
+          sim->metrics().CounterSeries("actor.messages_processed")),
+      messages_dropped_metric_(
+          sim->metrics().CounterSeries("actor.messages_dropped")),
+      recoveries_metric_(sim->metrics().CounterSeries("actor.recoveries")) {}
 
 ActorId ActorSystem::Spawn(NodeId node, Behavior behavior, bool log_messages) {
   const ActorId id = actor_ids_.Next();
@@ -61,7 +66,7 @@ void ActorSystem::Send(ActorId from, ActorId to, std::string name,
 void ActorSystem::Deliver(ActorId to, ActorMessage msg, bool replay) {
   const auto it = actors_.find(to);
   if (it == actors_.end() || it->second.state == ActorState::kDead) {
-    sim_->metrics().IncrementCounter("actor.messages_dropped");
+    sim_->metrics().Increment(messages_dropped_metric_);
     return;
   }
   msg.delivered_at = sim_->now();
@@ -90,7 +95,7 @@ void ActorSystem::DrainMailbox(ActorId actor) {
   ActorContext ctx(this, actor, sim_->now());
   record.behavior(ctx, msg);
   ++messages_processed_;
-  sim_->metrics().IncrementCounter("actor.messages_processed");
+  sim_->metrics().Increment(messages_processed_metric_);
   record.draining = false;
 
   const SimTime busy = ctx.work();
@@ -134,7 +139,7 @@ Result<size_t> ActorSystem::Recover(ActorId actor, NodeId node) {
     ActorMessage copy = logged;
     Deliver(actor, std::move(copy), /*replay=*/true);
   }
-  sim_->metrics().IncrementCounter("actor.recoveries");
+  sim_->metrics().Increment(recoveries_metric_);
   return replayed;
 }
 

@@ -124,6 +124,10 @@ class ActorSystem {
   IdGenerator<MessageId> message_ids_;
   std::unordered_map<ActorId, ActorRecord> actors_;
   uint64_t messages_processed_ = 0;
+  // Interned metric series for the per-message hot path.
+  CounterHandle messages_processed_metric_;
+  CounterHandle messages_dropped_metric_;
+  CounterHandle recoveries_metric_;
 };
 
 }  // namespace udc

@@ -20,7 +20,11 @@ ActorExecutor::ActorExecutor(Simulation* sim, Deployment* deployment,
                              RuntimeConfig config)
     : sim_(sim), deployment_(deployment),
       analytic_(sim, deployment, config),
-      actors_(sim, &deployment->datacenter()->topology()) {
+      actors_(sim, &deployment->datacenter()->topology()),
+      queue_wait_ms_(
+          sim->metrics().HistogramSeries("actor_exec.queue_wait_ms")),
+      completed_metric_(
+          sim->metrics().CounterSeries("actor_exec.completed")) {
   const ModuleGraph& graph = deployment_->spec().graph;
   for (const ModuleId task : graph.TaskIds()) {
     // Service time: everything the analytic model charges a stage.
@@ -125,8 +129,7 @@ void ActorExecutor::WireModule(ModuleId module) {
           const uint64_t wait_span = sim_->spans().BeginAt(
               msg.delivered_at, "exec", "exec.queue_wait", labels);
           sim_->spans().EndAt(wait_span, ctx.now());
-          sim_->metrics().Observe("actor_exec.queue_wait_ms",
-                                  queue_wait.millis());
+          sim_->metrics().Observe(queue_wait_ms_, queue_wait.millis());
         }
         const SimTime service = service_time_[module];
         const uint64_t run_span =
@@ -183,7 +186,7 @@ void ActorExecutor::OnSinkComplete(InvocationId invocation) {
   auto done = std::move(it->second.done);
   pending_.erase(it);
   ++completed_;
-  sim_->metrics().IncrementCounter("actor_exec.completed");
+  sim_->metrics().Increment(completed_metric_);
   if (done) {
     done(result);
   }

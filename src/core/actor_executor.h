@@ -76,6 +76,9 @@ class ActorExecutor {
   std::vector<ModuleId> sinks_;                  // tasks with no task succs
   std::map<uint64_t, PendingInvocation> pending_;
   uint64_t completed_ = 0;
+  // Interned metric series for the per-invocation hot path.
+  HistogramHandle queue_wait_ms_;
+  CounterHandle completed_metric_;
 };
 
 }  // namespace udc

@@ -50,7 +50,17 @@ UdcScheduler::UdcScheduler(Simulation* sim, DisaggregatedDatacenter* datacenter,
                            const PriceList* prices, SchedulerConfig config)
     : sim_(sim), datacenter_(datacenter), fabric_(fabric),
       env_manager_(env_manager), attestation_(attestation), prices_(prices),
-      config_(config), profiler_(datacenter, prices) {}
+      config_(config), profiler_(datacenter, prices),
+      tasks_placed_(sim->metrics().CounterSeries("core.tasks_placed")),
+      data_placed_(sim->metrics().CounterSeries("core.data_placed")),
+      modules_placed_task_(
+          sim->metrics().CounterSeries("sched.modules_placed",
+                                       {{"kind", "task"}})),
+      modules_placed_data_(
+          sim->metrics().CounterSeries("sched.modules_placed",
+                                       {{"kind", "data"}})),
+      conflicts_resolved_(sim->metrics().CounterSeries(
+          "core.consistency_conflicts_resolved")) {}
 
 int UdcScheduler::PickRack(const AppSpec& spec, ModuleId module,
                            const Deployment& deployment,
@@ -72,12 +82,19 @@ int UdcScheduler::PickRack(const AppSpec& spec, ModuleId module,
   }
   // Most free capacity of the dominant resource.
   const ResourcePool& pool = datacenter_->pool(DeviceKindFor(dominant));
-  std::vector<int64_t> free_per_rack(
-      static_cast<size_t>(datacenter_->topology().rack_count()), 0);
-  for (const Device* d : pool.devices()) {
-    const int rack = datacenter_->topology().RackOf(d->node());
-    if (rack >= 0 && d->healthy()) {
-      free_per_rack[static_cast<size_t>(rack)] += d->free_capacity();
+  std::vector<int64_t> free_per_rack;
+  if (config_.use_placement_index) {
+    // Incremental per-rack totals, O(racks).
+    free_per_rack = pool.HealthyFreeByRack(datacenter_->topology());
+  } else {
+    // Legacy full-pool scan, kept as the benchmark baseline.
+    free_per_rack.assign(
+        static_cast<size_t>(datacenter_->topology().rack_count()), 0);
+    for (const Device* d : pool.devices()) {
+      const int rack = datacenter_->topology().RackOf(d->node());
+      if (rack >= 0 && d->healthy()) {
+        free_per_rack[static_cast<size_t>(rack)] += d->free_capacity();
+      }
     }
   }
   int best = 0;
@@ -209,9 +226,8 @@ Status UdcScheduler::PlaceTask(TenantId tenant, const AppSpec& spec,
   placement.compute_kind = compute;
   deployment->SetPlacement(std::move(placement));
 
-  sim_->metrics().IncrementCounter("core.tasks_placed");
-  sim_->metrics().IncrementCounter("sched.modules_placed",
-                                   {{"kind", "task"}});
+  sim_->metrics().Increment(tasks_placed_);
+  sim_->metrics().Increment(modules_placed_task_);
   span.AddLabel("rack", StrFormat("%d", rack));
   span.AddLabel("env", std::string(EnvKindName(env_kind)));
   span.AddLabel("compute", std::string(ResourceKindName(compute)));
@@ -247,7 +263,7 @@ Status UdcScheduler::PlaceData(TenantId tenant, const AppSpec& spec,
   UDC_ASSIGN_OR_RETURN(ConsistencyResolution resolution,
                        ResolveConsistency(levels, config_.conflict_policy));
   if (resolution.had_conflict) {
-    sim_->metrics().IncrementCounter("core.consistency_conflicts_resolved");
+    sim_->metrics().Increment(conflicts_resolved_);
   }
 
   const int rack = PickRack(spec, module, *deployment, medium);
@@ -323,9 +339,8 @@ Status UdcScheduler::PlaceData(TenantId tenant, const AppSpec& spec,
   placement.effective_consistency = resolution.level;
   deployment->SetPlacement(std::move(placement));
 
-  sim_->metrics().IncrementCounter("core.data_placed");
-  sim_->metrics().IncrementCounter("sched.modules_placed",
-                                   {{"kind", "data"}});
+  sim_->metrics().Increment(data_placed_);
+  sim_->metrics().Increment(modules_placed_data_);
   span.AddLabel("rack", StrFormat("%d", rack));
   span.AddLabel("replicas", StrFormat("%d", replicas));
   span.AddLabel("medium", std::string(ResourceKindName(medium)));

@@ -22,12 +22,17 @@
 #include "src/exec/env_manager.h"
 #include "src/net/fabric.h"
 #include "src/net/switch_programs.h"
+#include "src/obs/metrics.h"
 
 namespace udc {
 
 struct SchedulerConfig {
   // Ablation knob (bench E11): honour colocation/affinity hints.
   bool use_locality_hints = true;
+  // Rack pick backed by the pools' incremental free-capacity totals
+  // (O(racks)) instead of a full device scan per module (O(devices)).
+  // Off = the legacy scan, kept as the deploy-churn benchmark baseline.
+  bool use_placement_index = true;
   // Whether this deployment supports TEEs spanning GPUs/FPGAs (sec. 3.3
   // names Graviton-style hardware support as one option).
   bool tee_gpu_supported = false;
@@ -77,6 +82,15 @@ class UdcScheduler {
   SchedulerConfig config_;
   DryRunProfiler profiler_;
   SwitchSequencer* sequencer_ = nullptr;
+
+  // Interned metric series: placement happens per module per deploy, so the
+  // counters are bumped through pre-resolved handles instead of re-hashing
+  // name+labels each time.
+  CounterHandle tasks_placed_;
+  CounterHandle data_placed_;
+  CounterHandle modules_placed_task_;
+  CounterHandle modules_placed_data_;
+  CounterHandle conflicts_resolved_;
 };
 
 }  // namespace udc

@@ -31,7 +31,12 @@ ReplicatedStore::ReplicatedStore(Simulation* sim, Fabric* fabric,
                                  ReplicationConfig config,
                                  SwitchSequencer* sequencer)
     : sim_(sim), fabric_(fabric), topology_(topology), name_(std::move(name)),
-      replicas_(std::move(replicas)), config_(config), sequencer_(sequencer) {
+      replicas_(std::move(replicas)), config_(config), sequencer_(sequencer),
+      writes_metric_(sim->metrics().CounterSeries("dist.writes")),
+      reads_metric_(sim->metrics().CounterSeries("dist.reads")),
+      messages_metric_(sim->metrics().CounterSeries("dist.messages")),
+      write_commit_ms_(
+          sim->metrics().HistogramSeries("dist.write_commit_ms")) {
   assert(!replicas_.empty());
   assert(static_cast<size_t>(config_.replication_factor) <= replicas_.size());
 }
@@ -248,13 +253,13 @@ OpResult ReplicatedStore::PlanRead(NodeId client, Bytes size) const {
 void ReplicatedStore::Write(NodeId client, Bytes size,
                             std::function<void(OpResult)> done) {
   ++writes_;
-  sim_->metrics().IncrementCounter("dist.writes");
+  sim_->metrics().Increment(writes_metric_);
   if (config_.protocol == ReplicationProtocol::kInNetwork &&
       sequencer_ != nullptr) {
     sequencer_->Multicast(client, name_, "", size);
   }
   const OpResult result = PlanWrite(client, size);
-  sim_->metrics().IncrementCounter("dist.messages", result.messages);
+  sim_->metrics().Increment(messages_metric_, result.messages);
   const uint64_t span = sim_->spans().Begin(
       "dist", "dist.write_commit",
       {{"store", name_},
@@ -265,7 +270,7 @@ void ReplicatedStore::Write(NodeId client, Bytes size,
     done(result);
     return;
   }
-  sim_->metrics().Observe("dist.write_commit_ms", result.latency.millis());
+  sim_->metrics().Observe(write_commit_ms_, result.latency.millis());
   sim_->After(result.latency, [this, span, result, done = std::move(done)] {
     sim_->spans().End(span);
     done(result);
@@ -275,9 +280,9 @@ void ReplicatedStore::Write(NodeId client, Bytes size,
 void ReplicatedStore::Read(NodeId client, Bytes size,
                            std::function<void(OpResult)> done) {
   ++reads_;
-  sim_->metrics().IncrementCounter("dist.reads");
+  sim_->metrics().Increment(reads_metric_);
   const OpResult result = PlanRead(client, size);
-  sim_->metrics().IncrementCounter("dist.messages", result.messages);
+  sim_->metrics().Increment(messages_metric_, result.messages);
   const uint64_t span =
       sim_->spans().Begin("dist", "dist.read", {{"store", name_}});
   if (result.latency == SimTime::Max()) {

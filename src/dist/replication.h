@@ -117,6 +117,11 @@ class ReplicatedStore {
   SwitchSequencer* sequencer_;
   uint64_t writes_ = 0;
   uint64_t reads_ = 0;
+  // Interned metric series for the per-operation hot path.
+  CounterHandle writes_metric_;
+  CounterHandle reads_metric_;
+  CounterHandle messages_metric_;
+  HistogramHandle write_commit_ms_;
 };
 
 }  // namespace udc

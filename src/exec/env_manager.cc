@@ -1,6 +1,6 @@
 #include "src/exec/env_manager.h"
 
-#include <algorithm>
+#include <utility>
 
 namespace udc {
 
@@ -12,35 +12,51 @@ std::pair<int, uint64_t> WarmKey(EnvKind kind, TenantId tenant) {
 
 }  // namespace
 
-EnvManager::EnvManager(Simulation* sim) : sim_(sim) {}
+EnvManager::EnvManager(Simulation* sim)
+    : sim_(sim),
+      warm_starts_(sim->metrics().CounterSeries("exec.warm_starts")),
+      cold_starts_(sim->metrics().CounterSeries("exec.cold_starts")),
+      warm_start_latency_ms_(
+          sim->metrics().HistogramSeries("exec.warm_start_latency_ms")),
+      cold_start_latency_ms_(
+          sim->metrics().HistogramSeries("exec.cold_start_latency_ms")),
+      start_latency_ms_(
+          sim->metrics().HistogramSeries("exec.start_latency_ms")) {}
+
+EnvProfile EnvManager::LaunchProfile(EnvKind kind,
+                                     const LaunchOptions& options) {
+  return options.profile_override.has_value() ? *options.profile_override
+                                              : EnvProfile::DefaultFor(kind);
+}
 
 ExecEnvironment* EnvManager::Launch(
     TenantId tenant, NodeId node, const LaunchOptions& options,
     std::function<void(ExecEnvironment*)> on_ready) {
-  auto env = std::make_unique<ExecEnvironment>(next_id_++, options.kind,
+  const uint64_t id = next_id_++;
+  auto env = std::make_unique<ExecEnvironment>(id, options.kind,
                                                options.tenancy, tenant, node);
   env->SetImage(options.image);
+  const EnvProfile profile = LaunchProfile(options.kind, options);
+  env->set_profile(profile);
   ExecEnvironment* raw = env.get();
-  envs_.push_back(std::move(env));
+  envs_.emplace(id, std::move(env));
 
-  SimTime start_latency = raw->profile().cold_start;
+  SimTime start_latency = profile.cold_start;
   bool warm = false;
   const auto key = WarmKey(options.kind, tenant);
   auto warm_it = warm_slots_.find(key);
   if (options.allow_warm && warm_it != warm_slots_.end() &&
       warm_it->second > 0) {
     --warm_it->second;
-    start_latency = raw->profile().warm_start;
+    start_latency = profile.warm_start;
     warm = true;
-    sim_->metrics().IncrementCounter("exec.warm_starts");
-    sim_->metrics().Observe("exec.warm_start_latency_ms",
-                            start_latency.millis());
+    sim_->metrics().Increment(warm_starts_);
+    sim_->metrics().Observe(warm_start_latency_ms_, start_latency.millis());
   } else {
-    sim_->metrics().IncrementCounter("exec.cold_starts");
-    sim_->metrics().Observe("exec.cold_start_latency_ms",
-                            start_latency.millis());
+    sim_->metrics().Increment(cold_starts_);
+    sim_->metrics().Observe(cold_start_latency_ms_, start_latency.millis());
   }
-  sim_->metrics().Observe("exec.start_latency_ms", start_latency.millis());
+  sim_->metrics().Observe(start_latency_ms_, start_latency.millis());
 
   const uint64_t span = sim_->spans().Begin(
       "exec", "exec.env_start",
@@ -49,39 +65,32 @@ ExecEnvironment* EnvManager::Launch(
        {"image", options.image}});
   raw->set_state(EnvState::kStarting);
   raw->set_ready_at(sim_->now() + start_latency);
-  sim_->After(start_latency, [this, raw, span,
+  // Capture the id, not the pointer: the environment may be stopped (and
+  // destroyed) before the ready event fires.
+  sim_->After(start_latency, [this, id, span,
                               on_ready = std::move(on_ready)] {
     sim_->spans().End(span);
-    raw->set_state(EnvState::kReady);
+    const auto it = envs_.find(id);
+    if (it == envs_.end()) {
+      return;  // stopped before it became ready
+    }
+    it->second->set_state(EnvState::kReady);
     if (on_ready) {
-      on_ready(raw);
+      on_ready(it->second.get());
     }
   });
   return raw;
 }
 
 Status EnvManager::Stop(ExecEnvironment* env, bool keep_warm) {
-  if (env->state() == EnvState::kStopped) {
-    return FailedPreconditionError("environment already stopped");
+  const auto it = envs_.find(env->id());
+  if (it == envs_.end() || it->second.get() != env) {
+    return NotFoundError("environment not owned by this manager");
   }
-  env->set_state(EnvState::kStopped);
   if (keep_warm) {
     ++warm_slots_[WarmKey(env->kind(), env->tenant())];
   }
-  return OkStatus();
-}
-
-Status EnvManager::Destroy(ExecEnvironment* env) {
-  if (env->state() != EnvState::kStopped) {
-    return FailedPreconditionError("destroy requires a stopped environment");
-  }
-  const auto it =
-      std::find_if(envs_.begin(), envs_.end(),
-                   [env](const auto& e) { return e.get() == env; });
-  if (it == envs_.end()) {
-    return NotFoundError("environment not owned by this manager");
-  }
-  envs_.erase(it);
+  envs_.erase(it);  // reap: stopped environments are not retained
   return OkStatus();
 }
 
@@ -96,7 +105,7 @@ int EnvManager::WarmSlots(EnvKind kind, TenantId tenant) const {
 
 SimTime EnvManager::NextStartLatency(EnvKind kind, TenantId tenant,
                                      const LaunchOptions& options) const {
-  const EnvProfile profile = EnvProfile::DefaultFor(kind);
+  const EnvProfile profile = LaunchProfile(kind, options);
   if (options.allow_warm && WarmSlots(kind, tenant) > 0) {
     return profile.warm_start;
   }

@@ -11,7 +11,8 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <vector>
+#include <optional>
+#include <unordered_map>
 
 #include "src/common/ids.h"
 #include "src/common/status.h"
@@ -26,6 +27,11 @@ struct LaunchOptions {
   std::string image = "default";
   // When true and a warm slot exists, start warm; otherwise cold.
   bool allow_warm = true;
+  // Replaces the kind's default cost profile (e.g. a tenant-tuned image
+  // with a faster cold start). Launch and NextStartLatency both read the
+  // profile through this option, so planner estimates always match the
+  // latency the launched environment actually pays.
+  std::optional<EnvProfile> profile_override;
 };
 
 class EnvManager {
@@ -36,18 +42,18 @@ class EnvManager {
   EnvManager& operator=(const EnvManager&) = delete;
 
   // Launches an environment for `tenant` on `node`. `on_ready` fires on the
-  // simulation clock when the environment reaches kReady. The returned
-  // pointer stays valid until Destroy is called.
+  // simulation clock when the environment reaches kReady (and is skipped if
+  // the environment was stopped first). The returned pointer stays valid
+  // until Stop is called.
   ExecEnvironment* Launch(TenantId tenant, NodeId node,
                           const LaunchOptions& options,
                           std::function<void(ExecEnvironment*)> on_ready);
 
-  // Stops the environment; when `keep_warm`, a warm slot for its (kind,
-  // tenant) is credited so a future launch starts warm.
+  // Stops and reaps the environment; when `keep_warm`, a warm slot for its
+  // (kind, tenant) is credited so a future launch starts warm. The
+  // environment is destroyed — churn workloads (launch/stop per request)
+  // hold no dead environments. `env` is invalid after a successful Stop.
   Status Stop(ExecEnvironment* env, bool keep_warm);
-
-  // Destroys a stopped environment.
-  Status Destroy(ExecEnvironment* env);
 
   // Pre-provisions `count` warm slots of `kind` for `tenant` (no time charge
   // at call site; real systems fill pools in the background).
@@ -56,15 +62,28 @@ class EnvManager {
   size_t live_count() const { return envs_.size(); }
   int WarmSlots(EnvKind kind, TenantId tenant) const;
 
-  // Start latency the next Launch of (kind, tenant) would pay.
+  // Start latency the next Launch of (kind, tenant) would pay. Uses the
+  // same profile resolution as Launch (see LaunchOptions::profile_override).
   SimTime NextStartLatency(EnvKind kind, TenantId tenant,
                            const LaunchOptions& options) const;
 
  private:
+  // The cost profile a launch with `options` runs under.
+  static EnvProfile LaunchProfile(EnvKind kind, const LaunchOptions& options);
+
   Simulation* sim_;
   uint64_t next_id_ = 0;
-  std::vector<std::unique_ptr<ExecEnvironment>> envs_;
+  // Keyed by environment id: O(1) reap on Stop, and the on_ready callback
+  // can check liveness by id instead of risking a dangling pointer.
+  std::unordered_map<uint64_t, std::unique_ptr<ExecEnvironment>> envs_;
   std::map<std::pair<int, uint64_t>, int> warm_slots_;  // (kind, tenant) -> n
+
+  // Interned metric series for the per-launch hot path.
+  CounterHandle warm_starts_;
+  CounterHandle cold_starts_;
+  HistogramHandle warm_start_latency_ms_;
+  HistogramHandle cold_start_latency_ms_;
+  HistogramHandle start_latency_ms_;
 };
 
 }  // namespace udc

@@ -114,6 +114,7 @@ class ExecEnvironment {
   TenantId tenant() const { return tenant_; }
   NodeId node() const { return node_; }
   const EnvProfile& profile() const { return profile_; }
+  void set_profile(const EnvProfile& profile) { profile_ = profile; }
   IsolationLevel isolation() const { return IsolationOf(kind_, tenancy_); }
 
   EnvState state() const { return state_; }

@@ -1,0 +1,152 @@
+#include "src/hw/capacity_index.h"
+
+#include <algorithm>
+
+namespace udc {
+
+void FreeCapacityIndex::Attach(Device* device) {
+  DeviceState& state = states_[device];
+  state.rack = -1;
+  state.healthy = device->healthy();
+  ++unassigned_;
+  total_capacity_ += device->capacity();
+  total_allocated_ += device->allocated();
+  if (state.healthy) {
+    healthy_capacity_ += device->capacity();
+    healthy_allocated_ += device->allocated();
+  }
+  List(device, state);
+  device->set_capacity_index(this);
+}
+
+void FreeCapacityIndex::AssignRacks(const Topology& topology) {
+  if (unassigned_ == 0) {
+    return;
+  }
+  if (static_cast<int>(rack_free_.size()) < topology.rack_count()) {
+    rack_free_.resize(topology.rack_count(), 0);
+  }
+  for (auto& [device, state] : states_) {
+    if (state.rack != -1) {
+      continue;
+    }
+    const int rack = topology.RackOf(device->node());
+    --unassigned_;
+    if (rack < 0) {
+      // Not in this topology: leave it in the rack -1 bucket; it can never
+      // match a preferred rack, exactly like the linear path's RackOf == -1.
+      state.rack = -2;  // assigned, but rackless
+      continue;
+    }
+    Unlist(device, state);
+    state.rack = rack;
+    if (rack >= static_cast<int>(rack_free_.size())) {
+      rack_free_.resize(rack + 1, 0);
+    }
+    if (state.healthy) {
+      rack_free_[rack] += device->free_capacity();
+    }
+    List(device, state);
+  }
+}
+
+void FreeCapacityIndex::OnFreeChanged(Device* device, int64_t old_free) {
+  auto it = states_.find(device);
+  if (it == states_.end()) {
+    return;
+  }
+  DeviceState& state = it->second;
+  const int64_t free = device->free_capacity();
+  if (free == old_free) {
+    return;
+  }
+  const int64_t delta = free - old_free;  // +release, -allocate
+  total_allocated_ -= delta;
+  if (state.healthy) {
+    healthy_allocated_ -= delta;
+    if (state.rack >= 0) {
+      rack_free_[state.rack] += delta;
+    }
+  }
+  Unlist(device, state);
+  List(device, state);
+}
+
+void FreeCapacityIndex::OnHealthChanged(Device* device) {
+  auto it = states_.find(device);
+  if (it == states_.end()) {
+    return;
+  }
+  DeviceState& state = it->second;
+  const bool healthy = device->healthy();
+  if (healthy == state.healthy) {
+    return;
+  }
+  state.healthy = healthy;
+  const int64_t sign = healthy ? 1 : -1;
+  healthy_capacity_ += sign * device->capacity();
+  healthy_allocated_ += sign * device->allocated();
+  if (state.rack >= 0) {
+    rack_free_[state.rack] += sign * device->free_capacity();
+  }
+  if (healthy) {
+    List(device, state);
+  } else {
+    Unlist(device, state);
+  }
+}
+
+const FreeCapacityIndex::OrderedFreeList* FreeCapacityIndex::RackFreeList(
+    int rack) const {
+  const auto it = per_rack_.find(rack);
+  return it == per_rack_.end() ? nullptr : &it->second;
+}
+
+int FreeCapacityIndex::RackOf(const Device* device) const {
+  const auto it = states_.find(const_cast<Device*>(device));
+  if (it == states_.end() || it->second.rack < 0) {
+    return -1;
+  }
+  return it->second.rack;
+}
+
+std::vector<int64_t> FreeCapacityIndex::HealthyFreeByRack(
+    int rack_count) const {
+  std::vector<int64_t> out(rack_count, 0);
+  const size_t n =
+      std::min(static_cast<size_t>(rack_count), rack_free_.size());
+  for (size_t r = 0; r < n; ++r) {
+    out[r] = rack_free_[r];
+  }
+  return out;
+}
+
+void FreeCapacityIndex::List(Device* device, DeviceState& state) {
+  const int64_t free = device->free_capacity();
+  if (!state.healthy || free <= 0) {
+    return;
+  }
+  const Entry entry{free, device->id().value(), device};
+  per_rack_[state.rack >= 0 ? state.rack : -1].insert(entry);
+  global_.insert(entry);
+  state.listed = true;
+  state.listed_free = free;
+}
+
+void FreeCapacityIndex::Unlist(Device* device, DeviceState& state) {
+  if (!state.listed) {
+    return;
+  }
+  const Entry entry{state.listed_free, device->id().value(), device};
+  const int bucket = state.rack >= 0 ? state.rack : -1;
+  auto it = per_rack_.find(bucket);
+  if (it != per_rack_.end()) {
+    // Emptied lists are kept (not erased) so RackFreeList pointers held
+    // across allocation mutations stay valid.
+    it->second.erase(entry);
+  }
+  global_.erase(entry);
+  state.listed = false;
+}
+
+}  // namespace udc

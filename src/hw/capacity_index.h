@@ -1,0 +1,117 @@
+// Incrementally-maintained free-capacity index for a resource pool.
+//
+// The pool's placement policy orders candidates by (preferred rack first,
+// least free capacity, id). Computing that order with a sort is O(D log D)
+// per allocation — per *module*, at deploy time — which dominates the
+// control plane at datacenter scale. This index keeps the same order
+// materialized at all times:
+//
+//   * one ordered free-list per rack, and one global list, each keyed by
+//     (free_capacity, device id) and holding only healthy devices with
+//     free capacity > 0;
+//   * per-rack healthy free-capacity totals for the scheduler's rack pick.
+//
+// Devices notify the index from Allocate/Release/set_health, so every
+// update is O(log D) and placement queries never scan the pool. The pool's
+// linear-scan path (ResourcePool::RankCandidates) is kept as the reference
+// implementation; tests/hw_test.cc proves the two paths place identically.
+//
+// Rack membership needs a Topology, which the pool only sees at Allocate
+// time, so devices start in an "unassigned" bucket and AssignRacks moves
+// them to their rack lists on the first placement query.
+
+#ifndef UDC_SRC_HW_CAPACITY_INDEX_H_
+#define UDC_SRC_HW_CAPACITY_INDEX_H_
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/hw/device.h"
+#include "src/hw/topology.h"
+
+namespace udc {
+
+class FreeCapacityIndex {
+ public:
+  // One free-list entry. `id` duplicates device->id().value() so ordered-set
+  // lookups can use sentinel keys without touching a Device.
+  struct Entry {
+    int64_t free;
+    uint64_t id;
+    Device* device;
+  };
+  struct EntryLess {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.free != b.free) {
+        return a.free < b.free;
+      }
+      return a.id < b.id;
+    }
+  };
+  using OrderedFreeList = std::set<Entry, EntryLess>;
+
+  FreeCapacityIndex() = default;
+  FreeCapacityIndex(const FreeCapacityIndex&) = delete;
+  FreeCapacityIndex& operator=(const FreeCapacityIndex&) = delete;
+
+  // Starts tracking `device` (rack unknown until AssignRacks). The device
+  // will notify this index on every capacity/health change.
+  void Attach(Device* device);
+
+  // Resolves rack membership for any devices still unassigned.
+  bool racks_assigned() const { return unassigned_ == 0; }
+  void AssignRacks(const Topology& topology);
+
+  // Device mutation hooks (called by Device; see Device::Allocate/Release
+  // and Device::set_health).
+  void OnFreeChanged(Device* device, int64_t old_free);
+  void OnHealthChanged(Device* device);
+
+  // --- Placement queries -----------------------------------------------
+
+  // Healthy devices with free capacity in `rack`, ordered by (free, id).
+  // nullptr when the rack has none.
+  const OrderedFreeList* RackFreeList(int rack) const;
+  // All healthy devices with free capacity, ordered by (free, id).
+  const OrderedFreeList& GlobalFreeList() const { return global_; }
+  // The rack a tracked device was assigned to (-1 when unassigned).
+  int RackOf(const Device* device) const;
+
+  // Healthy free capacity per rack, sized to `rack_count`.
+  std::vector<int64_t> HealthyFreeByRack(int rack_count) const;
+
+  // --- Aggregates (maintained incrementally) ---------------------------
+  int64_t total_capacity() const { return total_capacity_; }
+  int64_t total_allocated() const { return total_allocated_; }
+  int64_t healthy_capacity() const { return healthy_capacity_; }
+  int64_t healthy_allocated() const { return healthy_allocated_; }
+
+  size_t tracked_devices() const { return states_.size(); }
+
+ private:
+  struct DeviceState {
+    int rack = -1;       // -1 = not yet assigned
+    bool listed = false; // present in the free-lists (healthy && free > 0)
+    int64_t listed_free = 0;  // the free value the listing was keyed with
+    bool healthy = true;
+  };
+
+  void List(Device* device, DeviceState& state);
+  void Unlist(Device* device, DeviceState& state);
+
+  std::unordered_map<Device*, DeviceState> states_;
+  std::unordered_map<int, OrderedFreeList> per_rack_;
+  OrderedFreeList global_;
+  std::vector<int64_t> rack_free_;  // healthy free per assigned rack
+  size_t unassigned_ = 0;
+  int64_t total_capacity_ = 0;
+  int64_t total_allocated_ = 0;
+  int64_t healthy_capacity_ = 0;
+  int64_t healthy_allocated_ = 0;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_HW_CAPACITY_INDEX_H_

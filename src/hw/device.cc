@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/strings.h"
+#include "src/hw/capacity_index.h"
 
 namespace udc {
 
@@ -138,6 +139,16 @@ Status Device::SetExclusiveTenant(TenantId tenant) {
 
 void Device::ClearExclusiveTenant() { exclusive_tenant_ = TenantId::Invalid(); }
 
+void Device::set_health(DeviceHealth h) {
+  if (h == health_) {
+    return;
+  }
+  health_ = h;
+  if (capacity_index_ != nullptr) {
+    capacity_index_->OnHealthChanged(this);
+  }
+}
+
 Status Device::Allocate(TenantId tenant, int64_t amount) {
   if (amount <= 0) {
     return InvalidArgumentError("allocation amount must be positive");
@@ -156,8 +167,12 @@ Status Device::Allocate(TenantId tenant, int64_t amount) {
         static_cast<long long>(amount),
         static_cast<long long>(free_capacity())));
   }
+  const int64_t old_free = free_capacity();
   allocated_ += amount;
   per_tenant_[tenant] += amount;
+  if (capacity_index_ != nullptr) {
+    capacity_index_->OnFreeChanged(this, old_free);
+  }
   return OkStatus();
 }
 
@@ -166,11 +181,15 @@ Status Device::Release(TenantId tenant, int64_t amount) {
   if (it == per_tenant_.end() || it->second < amount || amount <= 0) {
     return FailedPreconditionError("release exceeds tenant allocation");
   }
+  const int64_t old_free = free_capacity();
   it->second -= amount;
   if (it->second == 0) {
     per_tenant_.erase(it);
   }
   allocated_ -= amount;
+  if (capacity_index_ != nullptr) {
+    capacity_index_->OnFreeChanged(this, old_free);
+  }
   return OkStatus();
 }
 

@@ -20,6 +20,8 @@
 
 namespace udc {
 
+class FreeCapacityIndex;
+
 // Hardware device categories from Figure 1's hardware layer.
 enum class DeviceKind : int {
   kCpuBlade = 0,   // pooled CPU cores + small local DRAM cache
@@ -77,8 +79,14 @@ class Device {
   }
 
   DeviceHealth health() const { return health_; }
-  void set_health(DeviceHealth h) { health_ = h; }
+  void set_health(DeviceHealth h);
   bool healthy() const { return health_ == DeviceHealth::kHealthy; }
+
+  // Wires the pool's free-capacity index into this device; every subsequent
+  // capacity or health change is reported to it. Set by ResourcePool.
+  void set_capacity_index(FreeCapacityIndex* index) {
+    capacity_index_ = index;
+  }
 
   // Tenancy ------------------------------------------------------------
 
@@ -130,6 +138,7 @@ class Device {
   DeviceHealth health_ = DeviceHealth::kHealthy;
   TenantId exclusive_tenant_;
   std::unordered_map<TenantId, int64_t> per_tenant_;
+  FreeCapacityIndex* capacity_index_ = nullptr;
 };
 
 }  // namespace udc

@@ -19,6 +19,7 @@ ResourcePool::ResourcePool(PoolId id, DeviceKind kind) : id_(id), kind_(kind) {}
 
 void ResourcePool::AddDevice(std::unique_ptr<Device> device) {
   assert(device->kind() == kind_);
+  index_.Attach(device.get());
   devices_.push_back(std::move(device));
 }
 
@@ -49,20 +50,12 @@ std::vector<const Device*> ResourcePool::devices() const {
   return out;
 }
 
-int64_t ResourcePool::TotalCapacity() const {
-  int64_t sum = 0;
-  for (const auto& d : devices_) {
-    sum += d->capacity();
-  }
-  return sum;
-}
+// The pool-level aggregates are maintained incrementally by the index, so
+// the monitor's per-window queries don't scan the device vector.
+int64_t ResourcePool::TotalCapacity() const { return index_.total_capacity(); }
 
 int64_t ResourcePool::TotalAllocated() const {
-  int64_t sum = 0;
-  for (const auto& d : devices_) {
-    sum += d->allocated();
-  }
-  return sum;
+  return index_.total_allocated();
 }
 
 double ResourcePool::Utilization() const {
@@ -73,16 +66,16 @@ double ResourcePool::Utilization() const {
 }
 
 double ResourcePool::HealthyUtilization() const {
-  int64_t cap = 0;
-  int64_t alloc = 0;
-  for (const auto& d : devices_) {
-    if (d->healthy()) {
-      cap += d->capacity();
-      alloc += d->allocated();
-    }
-  }
+  const int64_t cap = index_.healthy_capacity();
   return cap == 0 ? 0.0
-                  : static_cast<double>(alloc) / static_cast<double>(cap);
+                  : static_cast<double>(index_.healthy_allocated()) /
+                        static_cast<double>(cap);
+}
+
+std::vector<int64_t> ResourcePool::HealthyFreeByRack(
+    const Topology& topology) const {
+  index_.AssignRacks(topology);
+  return index_.HealthyFreeByRack(topology.rack_count());
 }
 
 std::vector<Device*> ResourcePool::RankCandidates(
@@ -141,6 +134,15 @@ Result<PoolAllocation> ResourcePool::Allocate(
   if (amount <= 0) {
     return Status(InvalidArgumentError("pool allocation must be positive"));
   }
+  if (use_index_) {
+    return AllocateIndexed(tenant, amount, constraints, topology);
+  }
+  return AllocateLinear(tenant, amount, constraints, topology);
+}
+
+Result<PoolAllocation> ResourcePool::AllocateLinear(
+    TenantId tenant, int64_t amount, const AllocationConstraints& constraints,
+    const Topology& topology) {
   std::vector<Device*> candidates =
       RankCandidates(tenant, constraints, topology);
 
@@ -188,6 +190,135 @@ Result<PoolAllocation> ResourcePool::Allocate(
     }
     result.slices.push_back(AllocationSlice{d->id(), d->node(), take});
     remaining -= take;
+  }
+  if (remaining > 0) {
+    // Roll back partial slices.
+    (void)Release(result);
+    return Status(ResourceExhaustedError(StrFormat(
+        "pool %s: short by %lld of %lld",
+        std::string(DeviceKindName(kind_)).c_str(),
+        static_cast<long long>(remaining), static_cast<long long>(amount))));
+  }
+  return result;
+}
+
+Result<PoolAllocation> ResourcePool::AllocateIndexed(
+    TenantId tenant, int64_t amount, const AllocationConstraints& constraints,
+    const Topology& topology) {
+  index_.AssignRacks(topology);
+
+  PoolAllocation result;
+  result.pool = id_;
+  result.kind = resource_kind();
+  result.tenant = tenant;
+
+  const int preferred = constraints.preferred_rack;
+  const bool rack_only = constraints.strict_rack && preferred >= 0;
+
+  // Health and free capacity > 0 are implied by free-list membership; only
+  // the per-request filters remain.
+  auto admissible = [&](const Device* d) {
+    if (std::find(constraints.avoid.begin(), constraints.avoid.end(),
+                  d->id()) != constraints.avoid.end()) {
+      return false;
+    }
+    if (constraints.require_exclusive && !d->ExclusivelyAvailableFor(tenant)) {
+      return false;
+    }
+    if (d->exclusive() && d->exclusive_tenant() != tenant) {
+      return false;
+    }
+    return true;
+  };
+
+  // The canonical candidate order — preferred rack by (free, id), then the
+  // remaining devices by (free, id) — falls out of walking the preferred
+  // rack's free-list and then the global free-list minus that rack.
+  struct Phase {
+    const FreeCapacityIndex::OrderedFreeList* list;
+    bool skip_preferred;
+  };
+  Phase phases[2];
+  int num_phases = 0;
+  if (preferred >= 0) {
+    const auto* rack_list = index_.RackFreeList(preferred);
+    if (rack_list != nullptr) {
+      phases[num_phases++] = Phase{rack_list, false};
+    }
+  }
+  if (!rack_only) {
+    phases[num_phases++] = Phase{&index_.GlobalFreeList(), preferred >= 0};
+  }
+
+  if (constraints.single_device) {
+    for (int p = 0; p < num_phases; ++p) {
+      // First fit in (free, id) order == first entry at or above `amount`
+      // that passes the filters.
+      const FreeCapacityIndex::Entry seek{amount, 0, nullptr};
+      const auto& list = *phases[p].list;
+      for (auto it = list.lower_bound(seek); it != list.end(); ++it) {
+        Device* d = it->device;
+        if (phases[p].skip_preferred && index_.RackOf(d) == preferred) {
+          continue;
+        }
+        if (!admissible(d)) {
+          continue;
+        }
+        UDC_RETURN_IF_ERROR(d->Allocate(tenant, amount));
+        if (constraints.require_exclusive) {
+          UDC_RETURN_IF_ERROR(d->SetExclusiveTenant(tenant));
+        }
+        result.slices.push_back(AllocationSlice{d->id(), d->node(), amount});
+        return result;
+      }
+    }
+    return Status(ResourceExhaustedError(StrFormat(
+        "pool %s: no single device with %lld free",
+        std::string(DeviceKindName(kind_)).c_str(),
+        static_cast<long long>(amount))));
+  }
+
+  int64_t remaining = amount;
+  for (int p = 0; p < num_phases && remaining > 0; ++p) {
+    const auto& list = *phases[p].list;
+    // Each taken device mutates the free-list, so iterate by resume key:
+    // re-seek strictly past the last visited (free, id). A drained device
+    // leaves the list; a rolled-back one reinserts at its old key, which the
+    // resume key skips — both match the linear path's snapshot semantics.
+    FreeCapacityIndex::Entry resume{0, 0, nullptr};  // below all live entries
+    while (remaining > 0) {
+      Device* chosen = nullptr;
+      for (auto it = list.upper_bound(resume); it != list.end(); ++it) {
+        resume = *it;
+        Device* d = it->device;
+        if (phases[p].skip_preferred && index_.RackOf(d) == preferred) {
+          continue;
+        }
+        if (!admissible(d)) {
+          continue;
+        }
+        chosen = d;
+        break;
+      }
+      if (chosen == nullptr) {
+        break;
+      }
+      const int64_t take = std::min(remaining, chosen->free_capacity());
+      const Status s = chosen->Allocate(tenant, take);
+      if (!s.ok()) {
+        continue;  // raced with exclusivity; skip this device
+      }
+      if (constraints.require_exclusive) {
+        const Status ex = chosen->SetExclusiveTenant(tenant);
+        if (!ex.ok()) {
+          (void)chosen->Release(tenant, take);
+          continue;
+        }
+      }
+      result.slices.push_back(
+          AllocationSlice{chosen->id(), chosen->node(), take});
+      remaining -= take;
+    }
   }
   if (remaining > 0) {
     // Roll back partial slices.

@@ -20,6 +20,7 @@
 
 #include "src/common/ids.h"
 #include "src/common/status.h"
+#include "src/hw/capacity_index.h"
 #include "src/hw/device.h"
 #include "src/hw/topology.h"
 
@@ -105,20 +106,44 @@ class ResourcePool {
   Status Resize(PoolAllocation& allocation, int64_t delta,
                 const Topology& topology);
 
+  // Healthy free capacity per rack, O(racks). Feeds the scheduler's rack
+  // pick without a device scan.
+  std::vector<int64_t> HealthyFreeByRack(const Topology& topology) const;
+
+  // Placement path selection. The indexed path (default) walks the
+  // incrementally-maintained free-capacity index in O(log D); the linear
+  // path re-ranks every device per request and is kept as the reference
+  // implementation (differential-tested in tests/hw_test.cc) and as the
+  // benchmark baseline.
+  void set_use_index(bool use_index) { use_index_ = use_index; }
+  bool use_index() const { return use_index_; }
+  const FreeCapacityIndex& index() const { return index_; }
+
   // Snapshot of the ledger for attestation.
   std::vector<LedgerEntry> LedgerSnapshot() const;
 
   std::string DebugString() const;
 
  private:
-  // Candidate ordering for an allocation attempt.
+  // Candidate ordering for an allocation attempt (linear reference path).
   std::vector<Device*> RankCandidates(TenantId tenant,
                                       const AllocationConstraints& constraints,
                                       const Topology& topology);
 
+  Result<PoolAllocation> AllocateLinear(
+      TenantId tenant, int64_t amount,
+      const AllocationConstraints& constraints, const Topology& topology);
+  Result<PoolAllocation> AllocateIndexed(
+      TenantId tenant, int64_t amount,
+      const AllocationConstraints& constraints, const Topology& topology);
+
   PoolId id_;
   DeviceKind kind_;
   std::vector<std::unique_ptr<Device>> devices_;
+  // Mutable: rack assignment is resolved lazily on the first placement
+  // query, which is logically const (cached derived state).
+  mutable FreeCapacityIndex index_;
+  bool use_index_ = true;
 };
 
 }  // namespace udc

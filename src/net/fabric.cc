@@ -5,7 +5,11 @@
 namespace udc {
 
 Fabric::Fabric(Simulation* sim, const Topology* topology)
-    : sim_(sim), topology_(topology) {}
+    : sim_(sim), topology_(topology),
+      messages_sent_metric_(sim->metrics().CounterSeries("net.messages_sent")),
+      bytes_sent_metric_(sim->metrics().CounterSeries("net.bytes_sent")),
+      messages_dropped_metric_(
+          sim->metrics().CounterSeries("net.messages_dropped")) {}
 
 void Fabric::Bind(NodeId node, Handler handler) {
   handlers_[node] = std::move(handler);
@@ -25,8 +29,8 @@ MessageId Fabric::Send(NodeId from, NodeId to, std::string type,
   const MessageId id = message_ids_.Next();
   ++messages_sent_;
   bytes_sent_ += size.bytes();
-  sim_->metrics().IncrementCounter("net.messages_sent");
-  sim_->metrics().IncrementCounter("net.bytes_sent", size.bytes());
+  sim_->metrics().Increment(messages_sent_metric_);
+  sim_->metrics().Increment(bytes_sent_metric_, size.bytes());
 
   Message msg;
   msg.id = id;
@@ -47,7 +51,7 @@ MessageId Fabric::Send(NodeId from, NodeId to, std::string type,
     const auto it = handlers_.find(msg.to);
     if (!IsNodeUp(msg.to) || it == handlers_.end()) {
       ++messages_dropped_;
-      sim_->metrics().IncrementCounter("net.messages_dropped");
+      sim_->metrics().Increment(messages_dropped_metric_);
       sim_->spans().AddLabel(span, "dropped", "true");
       sim_->spans().End(span);
       return;

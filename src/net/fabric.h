@@ -65,6 +65,11 @@ class Fabric {
   IdGenerator<MessageId> message_ids_;
   std::unordered_map<NodeId, Handler> handlers_;
   std::unordered_map<NodeId, bool> down_;
+  // Interned metric series: the fabric counts every message, so the hot
+  // path bumps pre-resolved handles.
+  CounterHandle messages_sent_metric_;
+  CounterHandle bytes_sent_metric_;
+  CounterHandle messages_dropped_metric_;
   uint64_t messages_sent_ = 0;
   uint64_t messages_delivered_ = 0;
   uint64_t messages_dropped_ = 0;

@@ -90,21 +90,21 @@ std::string JsonEscape(std::string_view s) {
 std::string PrometheusExposition(const MetricsRegistry& metrics) {
   std::string out;
   std::string last_typed;
-  for (const auto& [key, value] : metrics.counters()) {
+  for (const auto& [key, value] : metrics.CountersSorted()) {
     const SeriesParts parts = SplitSeries(key);
     const std::string prom = PrometheusMetricName(parts.base);
     AppendTypeLine(&out, prom, "counter", &last_typed);
     out += StrFormat("%s %lld\n", RenderSeries(prom, parts.labels).c_str(),
                      static_cast<long long>(value));
   }
-  for (const auto& [key, value] : metrics.gauges()) {
+  for (const auto& [key, value] : metrics.GaugesSorted()) {
     const SeriesParts parts = SplitSeries(key);
     const std::string prom = PrometheusMetricName(parts.base);
     AppendTypeLine(&out, prom, "gauge", &last_typed);
     out += StrFormat("%s %.9g\n", RenderSeries(prom, parts.labels).c_str(),
                      value);
   }
-  for (const auto& [key, hist] : metrics.histograms()) {
+  for (const auto& [key, hist] : metrics.HistogramsSorted()) {
     const SeriesParts parts = SplitSeries(key);
     const std::string prom = PrometheusMetricName(parts.base);
     AppendTypeLine(&out, prom, "summary", &last_typed);
@@ -112,14 +112,14 @@ std::string PrometheusExposition(const MetricsRegistry& metrics) {
       const std::string labels =
           WithExtraLabel(parts.labels, StrFormat("quantile=\"%g\"", q));
       out += StrFormat("%s %.9g\n", RenderSeries(prom, labels).c_str(),
-                       hist.Quantile(q));
+                       hist->Quantile(q));
     }
     out += StrFormat("%s %.9g\n",
                      RenderSeries(prom + "_sum", parts.labels).c_str(),
-                     hist.Sum());
+                     hist->Sum());
     out += StrFormat("%s %lld\n",
                      RenderSeries(prom + "_count", parts.labels).c_str(),
-                     static_cast<long long>(hist.count()));
+                     static_cast<long long>(hist->count()));
   }
   return out;
 }
@@ -127,27 +127,28 @@ std::string PrometheusExposition(const MetricsRegistry& metrics) {
 std::string JsonSnapshot(const MetricsRegistry& metrics) {
   std::string out = "{\n  \"counters\": {";
   bool first = true;
-  for (const auto& [key, value] : metrics.counters()) {
+  for (const auto& [key, value] : metrics.CountersSorted()) {
     out += StrFormat("%s\n    \"%s\": %lld", first ? "" : ",",
                      JsonEscape(key).c_str(), static_cast<long long>(value));
     first = false;
   }
   out += "\n  },\n  \"gauges\": {";
   first = true;
-  for (const auto& [key, value] : metrics.gauges()) {
+  for (const auto& [key, value] : metrics.GaugesSorted()) {
     out += StrFormat("%s\n    \"%s\": %.9g", first ? "" : ",",
                      JsonEscape(key).c_str(), value);
     first = false;
   }
   out += "\n  },\n  \"histograms\": {";
   first = true;
-  for (const auto& [key, hist] : metrics.histograms()) {
+  for (const auto& [key, hist] : metrics.HistogramsSorted()) {
     out += StrFormat(
         "%s\n    \"%s\": {\"count\": %lld, \"mean\": %.9g, \"p50\": %.9g, "
         "\"p95\": %.9g, \"p99\": %.9g, \"min\": %.9g, \"max\": %.9g}",
         first ? "" : ",", JsonEscape(key).c_str(),
-        static_cast<long long>(hist.count()), hist.Mean(), hist.Quantile(0.5),
-        hist.Quantile(0.95), hist.Quantile(0.99), hist.Min(), hist.Max());
+        static_cast<long long>(hist->count()), hist->Mean(),
+        hist->Quantile(0.5), hist->Quantile(0.95), hist->Quantile(0.99),
+        hist->Min(), hist->Max());
     first = false;
   }
   out += "\n  }\n}\n";

@@ -24,103 +24,160 @@ std::string MetricSeriesKey(std::string_view name, const MetricLabels& labels) {
   return key;
 }
 
-void MetricsRegistry::IncrementCounter(std::string_view name, int64_t delta) {
-  auto it = counters_.find(name);
-  if (it == counters_.end()) {
-    counters_.emplace(std::string(name), delta);
-  } else {
-    it->second += delta;
+template <typename T>
+uint32_t MetricsRegistry::Intern(std::deque<Series<T>>* store,
+                                 SeriesIndex* index, std::string_view key) {
+  const auto it = index->find(key);
+  if (it != index->end()) {
+    return it->second;
   }
+  const auto idx = static_cast<uint32_t>(store->size());
+  store->push_back(Series<T>{std::string(key), T{}});
+  index->emplace(store->back().key, idx);
+  return idx;
+}
+
+template <typename T>
+uint32_t MetricsRegistry::Intern(std::deque<Series<T>>* store,
+                                 SeriesIndex* index, std::string_view name,
+                                 const MetricLabels& labels) {
+  if (labels.empty()) {
+    return Intern(store, index, name);
+  }
+  return Intern(store, index, MetricSeriesKey(name, labels));
+}
+
+MetricsRegistry::CounterHandle MetricsRegistry::CounterSeries(
+    std::string_view name, const MetricLabels& labels) {
+  CounterHandle h;
+  h.idx_ = Intern(&counters_, &counter_index_, name, labels);
+  return h;
+}
+
+MetricsRegistry::GaugeHandle MetricsRegistry::GaugeSeries(
+    std::string_view name, const MetricLabels& labels) {
+  GaugeHandle h;
+  h.idx_ = Intern(&gauges_, &gauge_index_, name, labels);
+  return h;
+}
+
+MetricsRegistry::HistogramHandle MetricsRegistry::HistogramSeries(
+    std::string_view name, const MetricLabels& labels) {
+  HistogramHandle h;
+  h.idx_ = Intern(&histograms_, &histogram_index_, name, labels);
+  return h;
+}
+
+void MetricsRegistry::IncrementCounter(std::string_view name, int64_t delta) {
+  counters_[Intern(&counters_, &counter_index_, name)].value += delta;
 }
 
 void MetricsRegistry::IncrementCounter(std::string_view name,
                                        const MetricLabels& labels,
                                        int64_t delta) {
-  IncrementCounter(MetricSeriesKey(name, labels), delta);
+  counters_[Intern(&counters_, &counter_index_, name, labels)].value += delta;
 }
 
 int64_t MetricsRegistry::counter(std::string_view name) const {
-  const auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+  const auto it = counter_index_.find(name);
+  return it == counter_index_.end() ? 0 : counters_[it->second].value;
 }
 
 int64_t MetricsRegistry::counter(std::string_view name,
                                  const MetricLabels& labels) const {
-  return counter(MetricSeriesKey(name, labels));
+  return labels.empty() ? counter(name)
+                        : counter(MetricSeriesKey(name, labels));
 }
 
 void MetricsRegistry::SetGauge(std::string_view name, double value) {
-  auto it = gauges_.find(name);
-  if (it == gauges_.end()) {
-    gauges_.emplace(std::string(name), value);
-  } else {
-    it->second = value;
-  }
+  gauges_[Intern(&gauges_, &gauge_index_, name)].value = value;
 }
 
 void MetricsRegistry::SetGauge(std::string_view name,
                                const MetricLabels& labels, double value) {
-  SetGauge(MetricSeriesKey(name, labels), value);
+  gauges_[Intern(&gauges_, &gauge_index_, name, labels)].value = value;
 }
 
 void MetricsRegistry::AddToGauge(std::string_view name, double delta) {
-  auto it = gauges_.find(name);
-  if (it == gauges_.end()) {
-    gauges_.emplace(std::string(name), delta);
-  } else {
-    it->second += delta;
-  }
+  gauges_[Intern(&gauges_, &gauge_index_, name)].value += delta;
 }
 
 void MetricsRegistry::AddToGauge(std::string_view name,
                                  const MetricLabels& labels, double delta) {
-  AddToGauge(MetricSeriesKey(name, labels), delta);
+  gauges_[Intern(&gauges_, &gauge_index_, name, labels)].value += delta;
 }
 
 double MetricsRegistry::gauge(std::string_view name) const {
-  const auto it = gauges_.find(name);
-  return it == gauges_.end() ? 0.0 : it->second;
+  const auto it = gauge_index_.find(name);
+  return it == gauge_index_.end() ? 0.0 : gauges_[it->second].value;
 }
 
 double MetricsRegistry::gauge(std::string_view name,
                               const MetricLabels& labels) const {
-  return gauge(MetricSeriesKey(name, labels));
+  return labels.empty() ? gauge(name) : gauge(MetricSeriesKey(name, labels));
 }
 
 void MetricsRegistry::Observe(std::string_view name, double value) {
-  auto it = histograms_.find(name);
-  if (it == histograms_.end()) {
-    it = histograms_.emplace(std::string(name), Histogram()).first;
-  }
-  it->second.Add(value);
+  histograms_[Intern(&histograms_, &histogram_index_, name)].value.Add(value);
 }
 
 void MetricsRegistry::Observe(std::string_view name, const MetricLabels& labels,
                               double value) {
-  Observe(MetricSeriesKey(name, labels), value);
+  histograms_[Intern(&histograms_, &histogram_index_, name, labels)].value.Add(
+      value);
 }
 
 const Histogram* MetricsRegistry::histogram(std::string_view name) const {
-  const auto it = histograms_.find(name);
-  return it == histograms_.end() ? nullptr : &it->second;
+  const auto it = histogram_index_.find(name);
+  return it == histogram_index_.end() ? nullptr
+                                      : &histograms_[it->second].value;
 }
 
 const Histogram* MetricsRegistry::histogram(std::string_view name,
                                             const MetricLabels& labels) const {
-  return histogram(MetricSeriesKey(name, labels));
+  return labels.empty() ? histogram(name)
+                        : histogram(MetricSeriesKey(name, labels));
+}
+
+std::map<std::string, int64_t, std::less<>> MetricsRegistry::CountersSorted()
+    const {
+  std::map<std::string, int64_t, std::less<>> out;
+  for (const auto& s : counters_) {
+    out.emplace(s.key, s.value);
+  }
+  return out;
+}
+
+std::map<std::string, double, std::less<>> MetricsRegistry::GaugesSorted()
+    const {
+  std::map<std::string, double, std::less<>> out;
+  for (const auto& s : gauges_) {
+    out.emplace(s.key, s.value);
+  }
+  return out;
+}
+
+std::map<std::string, const Histogram*, std::less<>>
+MetricsRegistry::HistogramsSorted() const {
+  std::map<std::string, const Histogram*, std::less<>> out;
+  for (const auto& s : histograms_) {
+    out.emplace(s.key, &s.value);
+  }
+  return out;
 }
 
 std::string MetricsRegistry::Report() const {
   std::string out;
-  for (const auto& [name, value] : counters_) {
+  for (const auto& [name, value] : CountersSorted()) {
     out += StrFormat("counter %-48s %lld\n", name.c_str(),
                      static_cast<long long>(value));
   }
-  for (const auto& [name, value] : gauges_) {
+  for (const auto& [name, value] : GaugesSorted()) {
     out += StrFormat("gauge   %-48s %.6g\n", name.c_str(), value);
   }
-  for (const auto& [name, hist] : histograms_) {
-    out += StrFormat("hist    %-48s %s\n", name.c_str(), hist.Summary().c_str());
+  for (const auto& [name, hist] : HistogramsSorted()) {
+    out += StrFormat("hist    %-48s %s\n", name.c_str(),
+                     hist->Summary().c_str());
   }
   return out;
 }
@@ -129,6 +186,9 @@ void MetricsRegistry::Clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  counter_index_.clear();
+  gauge_index_.clear();
+  histogram_index_.clear();
 }
 
 }  // namespace udc

@@ -11,14 +11,29 @@
 // {{"module", "A1"}})` — which are folded into the stored key as
 // `name{k="v",...}` with keys sorted, Prometheus-style. The exposition and
 // JSON writers in src/obs/exposition.h split the key back apart.
+//
+// Hot paths should not pay for name hashing or label formatting on every
+// event. A call site that fires often interns its series once —
+//
+//   handle_ = metrics.CounterSeries("net.messages_sent");
+//   ...
+//   metrics.Increment(handle_);   // one indexed add, no hashing, no alloc
+//
+// — and the registry stores all series in insertion-ordered deques with an
+// unordered index, so even the string-addressed calls are a single hash
+// lookup. Sorted, Prometheus-style views are built only at export time
+// (CountersSorted() & co).
 
 #ifndef UDC_SRC_OBS_METRICS_H_
 #define UDC_SRC_OBS_METRICS_H_
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -34,10 +49,65 @@ std::string MetricSeriesKey(std::string_view name, const MetricLabels& labels);
 
 class MetricsRegistry {
  public:
+  // Interned series handles. Obtained once (CounterSeries & co), then used
+  // for every subsequent event. Handles stay valid for the life of the
+  // registry; Clear() invalidates them.
+  class CounterHandle {
+   public:
+    bool valid() const { return idx_ != kUnset; }
+
+   private:
+    friend class MetricsRegistry;
+    static constexpr uint32_t kUnset = ~uint32_t{0};
+    uint32_t idx_ = kUnset;
+  };
+  class GaugeHandle {
+   public:
+    bool valid() const { return idx_ != kUnset; }
+
+   private:
+    friend class MetricsRegistry;
+    static constexpr uint32_t kUnset = ~uint32_t{0};
+    uint32_t idx_ = kUnset;
+  };
+  class HistogramHandle {
+   public:
+    bool valid() const { return idx_ != kUnset; }
+
+   private:
+    friend class MetricsRegistry;
+    static constexpr uint32_t kUnset = ~uint32_t{0};
+    uint32_t idx_ = kUnset;
+  };
+
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
+  // --- Interning. Pays the label sort + key format once per series.
+  CounterHandle CounterSeries(std::string_view name,
+                              const MetricLabels& labels = {});
+  GaugeHandle GaugeSeries(std::string_view name,
+                          const MetricLabels& labels = {});
+  HistogramHandle HistogramSeries(std::string_view name,
+                                  const MetricLabels& labels = {});
+
+  // --- Handle fast path: indexed access, zero hashing, zero allocation.
+  void Increment(CounterHandle h, int64_t delta = 1) {
+    counters_[h.idx_].value += delta;
+  }
+  void Set(GaugeHandle h, double value) { gauges_[h.idx_].value = value; }
+  void Add(GaugeHandle h, double delta) { gauges_[h.idx_].value += delta; }
+  void Observe(HistogramHandle h, double value) {
+    histograms_[h.idx_].value.Add(value);
+  }
+  int64_t value(CounterHandle h) const { return counters_[h.idx_].value; }
+  double value(GaugeHandle h) const { return gauges_[h.idx_].value; }
+  const Histogram& value(HistogramHandle h) const {
+    return histograms_[h.idx_].value;
+  }
+
+  // --- String-addressed API (one hash lookup when the series exists).
   void IncrementCounter(std::string_view name, int64_t delta = 1);
   void IncrementCounter(std::string_view name, const MetricLabels& labels,
                         int64_t delta = 1);
@@ -59,27 +129,59 @@ class MetricsRegistry {
   const Histogram* histogram(std::string_view name,
                              const MetricLabels& labels) const;
 
-  // Full series maps (keyed by MetricSeriesKey), for the exposition writers.
-  const std::map<std::string, int64_t, std::less<>>& counters() const {
-    return counters_;
-  }
-  const std::map<std::string, double, std::less<>>& gauges() const {
-    return gauges_;
-  }
-  const std::map<std::string, Histogram, std::less<>>& histograms() const {
-    return histograms_;
-  }
+  size_t counter_series_count() const { return counters_.size(); }
+  size_t gauge_series_count() const { return gauges_.size(); }
+  size_t histogram_series_count() const { return histograms_.size(); }
+
+  // Sorted-by-key views (keys are MetricSeriesKey strings), built on demand
+  // for the exposition writers. Histogram pointers stay valid until Clear().
+  std::map<std::string, int64_t, std::less<>> CountersSorted() const;
+  std::map<std::string, double, std::less<>> GaugesSorted() const;
+  std::map<std::string, const Histogram*, std::less<>> HistogramsSorted() const;
 
   // Multi-line dump of every metric, sorted by name; used by tools.
   std::string Report() const;
 
+  // Drops every series. Outstanding handles become invalid.
   void Clear();
 
  private:
-  std::map<std::string, int64_t, std::less<>> counters_;
-  std::map<std::string, double, std::less<>> gauges_;
-  std::map<std::string, Histogram, std::less<>> histograms_;
+  struct TransparentHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  template <typename T>
+  struct Series {
+    std::string key;
+    T value;
+  };
+  using SeriesIndex =
+      std::unordered_map<std::string, uint32_t, TransparentHash,
+                         std::equal_to<>>;
+
+  template <typename T>
+  uint32_t Intern(std::deque<Series<T>>* store, SeriesIndex* index,
+                  std::string_view name, const MetricLabels& labels);
+  template <typename T>
+  uint32_t Intern(std::deque<Series<T>>* store, SeriesIndex* index,
+                  std::string_view key);
+
+  // Deques keep element addresses stable across interning, so histogram(...)
+  // pointers handed to callers survive later series creation.
+  std::deque<Series<int64_t>> counters_;
+  std::deque<Series<double>> gauges_;
+  std::deque<Series<Histogram>> histograms_;
+  SeriesIndex counter_index_;
+  SeriesIndex gauge_index_;
+  SeriesIndex histogram_index_;
 };
+
+// Handle types are spelled without the class qualifier at call sites.
+using CounterHandle = MetricsRegistry::CounterHandle;
+using GaugeHandle = MetricsRegistry::GaugeHandle;
+using HistogramHandle = MetricsRegistry::HistogramHandle;
 
 }  // namespace udc
 

@@ -90,6 +90,7 @@ void SpanTracer::EndAt(uint64_t span_id, SimTime end) {
   }
   span->end = std::max(end, span->start);
   span->open = false;
+  closed_order_.push_back(span_id);
   if (on_end_) {
     on_end_(*span);
   }
@@ -113,6 +114,7 @@ uint64_t SpanTracer::CurrentScope() const {
 
 void SpanTracer::Clear() {
   spans_.clear();
+  closed_order_.clear();
   scope_stack_.clear();
   next_trace_id_ = 1;
   dropped_ = 0;

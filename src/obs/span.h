@@ -82,8 +82,13 @@ class SpanTracer {
   uint64_t dropped() const { return dropped_; }
   void Clear();
 
-  // Invoked whenever a span closes (e.g. to mirror into the legacy
-  // TraceRecorder).
+  // Span ids in the order they closed. The per-close cost is one integer
+  // append; consumers that want a rendered view (e.g. the legacy-trace
+  // mirror) walk this list lazily instead of formatting on every End().
+  const std::vector<uint64_t>& closed_order() const { return closed_order_; }
+
+  // Invoked whenever a span closes. Prefer closed_order() + lazy rendering;
+  // an eager sink puts its cost on the tracing hot path.
   void set_on_end(EndSink sink) { on_end_ = std::move(sink); }
   // Cap on retained spans; Begin drops (returns 0) past it.
   void set_max_spans(size_t n) { max_spans_ = n; }
@@ -100,6 +105,7 @@ class SpanTracer {
   Clock clock_;
   EndSink on_end_;
   std::vector<Span> spans_;  // span_id == index + 1
+  std::vector<uint64_t> closed_order_;
   std::vector<uint64_t> scope_stack_;
   uint64_t next_trace_id_ = 1;
   size_t max_spans_ = 1 << 20;

@@ -6,12 +6,19 @@
 namespace udc {
 
 Simulation::Simulation(uint64_t seed)
-    : now_(SimTime(0)), rng_(seed), spans_([this] { return now_; }) {
-  // Closed spans double as legacy trace events so string-based assertions
-  // and timeline dumps keep working on top of the structured layer.
-  spans_.set_on_end([this](const Span& span) {
-    trace_.Record(span.start, span.category, span.Detail());
-  });
+    : now_(SimTime(0)), rng_(seed), spans_([this] { return now_; }) {}
+
+void Simulation::MirrorSpans() const {
+  const std::vector<uint64_t>& closed = spans_.closed_order();
+  if (mirrored_closed_ > closed.size()) {
+    mirrored_closed_ = closed.size();  // spans were cleared externally
+  }
+  for (; mirrored_closed_ < closed.size(); ++mirrored_closed_) {
+    const Span* span = spans_.SpanById(closed[mirrored_closed_]);
+    if (span != nullptr) {
+      trace_.Record(span->start, span->category, span->Detail());
+    }
+  }
 }
 
 EventHandle Simulation::At(SimTime when, EventQueue::Callback cb) {

@@ -29,13 +29,22 @@ class Simulation {
   Rng& rng() { return rng_; }
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
-  TraceRecorder& trace() { return trace_; }
-  const TraceRecorder& trace() const { return trace_; }
+  // Closed spans are mirrored into the legacy trace lazily, on access, so
+  // the span hot path never pays for string rendering (see MirrorSpans).
+  TraceRecorder& trace() {
+    MirrorSpans();
+    return trace_;
+  }
+  const TraceRecorder& trace() const {
+    MirrorSpans();
+    return trace_;
+  }
   SpanTracer& spans() { return spans_; }
   const SpanTracer& spans() const { return spans_; }
 
   // Convenience: record a trace event at the current simulated time.
   void Trace(std::string_view category, std::string_view detail) {
+    MirrorSpans();
     trace_.Record(now_, category, detail);
   }
 
@@ -69,11 +78,19 @@ class Simulation {
   uint64_t events_executed() const { return events_executed_; }
 
  private:
+  // Renders every span closed since the last mirror into the legacy trace
+  // (as "category: name k=v ... dur=..." at the span's start time). Closed
+  // spans double as legacy trace events so string-based assertions and
+  // timeline dumps keep working on top of the structured layer, but the
+  // rendering cost is paid here — at read time — not per event.
+  void MirrorSpans() const;
+
   SimTime now_;
   EventQueue queue_;
   Rng rng_;
   MetricsRegistry metrics_;
-  TraceRecorder trace_;
+  mutable TraceRecorder trace_;
+  mutable size_t mirrored_closed_ = 0;
   SpanTracer spans_;
   uint64_t events_executed_ = 0;
 };

@@ -133,26 +133,44 @@ TEST_F(EnvManagerTest, WarmSlotsAreTenantScoped) {
   EXPECT_EQ(manager_.WarmSlots(EnvKind::kContainer, TenantId(1)), 1);
 }
 
-TEST_F(EnvManagerTest, StopKeepWarmCreditsPool) {
+TEST_F(EnvManagerTest, StopKeepWarmCreditsPoolAndReaps) {
   LaunchOptions options;
   options.kind = EnvKind::kLightweightVm;
   ExecEnvironment* env = manager_.Launch(TenantId(1), NodeId(1), options,
                                          nullptr);
   sim_.RunToCompletion();
+  EXPECT_EQ(manager_.live_count(), 1u);
   ASSERT_TRUE(manager_.Stop(env, /*keep_warm=*/true).ok());
   EXPECT_EQ(manager_.WarmSlots(EnvKind::kLightweightVm, TenantId(1)), 1);
-  EXPECT_FALSE(manager_.Stop(env, true).ok());  // double-stop
-  ASSERT_TRUE(manager_.Destroy(env).ok());
+  EXPECT_EQ(manager_.live_count(), 0u);  // stopped envs are reaped
 }
 
-TEST_F(EnvManagerTest, DestroyRequiresStopped) {
+TEST_F(EnvManagerTest, ChurnDoesNotAccumulateStoppedEnvs) {
   LaunchOptions options;
-  ExecEnvironment* env = manager_.Launch(TenantId(1), NodeId(1), options,
-                                         nullptr);
-  sim_.RunToCompletion();
-  EXPECT_FALSE(manager_.Destroy(env).ok());
-  ASSERT_TRUE(manager_.Stop(env, false).ok());
-  EXPECT_TRUE(manager_.Destroy(env).ok());
+  options.kind = EnvKind::kContainer;
+  for (int i = 0; i < 100; ++i) {
+    ExecEnvironment* env = manager_.Launch(TenantId(1), NodeId(1), options,
+                                           nullptr);
+    sim_.RunToCompletion();
+    ASSERT_TRUE(manager_.Stop(env, /*keep_warm=*/true).ok());
+  }
+  EXPECT_EQ(manager_.live_count(), 0u);
+  // One warm slot banked per stop; every launch after the first was warm.
+  EXPECT_EQ(manager_.WarmSlots(EnvKind::kContainer, TenantId(1)), 1);
+  EXPECT_EQ(sim_.metrics().counter("exec.cold_starts"), 1);
+  EXPECT_EQ(sim_.metrics().counter("exec.warm_starts"), 99);
+}
+
+TEST_F(EnvManagerTest, StopBeforeReadySkipsOnReadyCallback) {
+  LaunchOptions options;
+  options.kind = EnvKind::kFullVm;
+  bool ready_fired = false;
+  ExecEnvironment* env = manager_.Launch(
+      TenantId(1), NodeId(1), options,
+      [&](ExecEnvironment*) { ready_fired = true; });
+  ASSERT_TRUE(manager_.Stop(env, /*keep_warm=*/false).ok());
+  sim_.RunToCompletion();  // the scheduled ready event still fires
+  EXPECT_FALSE(ready_fired);
   EXPECT_EQ(manager_.live_count(), 0u);
 }
 
@@ -164,6 +182,33 @@ TEST_F(EnvManagerTest, NextStartLatencyPredicts) {
   manager_.Prewarm(EnvKind::kContainer, TenantId(1), 1);
   EXPECT_EQ(manager_.NextStartLatency(EnvKind::kContainer, TenantId(1), options),
             EnvProfile::DefaultFor(EnvKind::kContainer).warm_start);
+}
+
+TEST_F(EnvManagerTest, NextStartLatencyMatchesLaunchUnderProfileOverride) {
+  EnvProfile custom = EnvProfile::DefaultFor(EnvKind::kContainer);
+  custom.cold_start = SimTime::Millis(1234);
+  custom.warm_start = SimTime::Millis(7);
+  LaunchOptions options;
+  options.kind = EnvKind::kContainer;
+  options.profile_override = custom;
+
+  // Cold path: the estimate must equal the latency the launch then pays.
+  const SimTime predicted_cold =
+      manager_.NextStartLatency(EnvKind::kContainer, TenantId(1), options);
+  ExecEnvironment* env =
+      manager_.Launch(TenantId(1), NodeId(1), options, nullptr);
+  EXPECT_EQ(env->ready_at(), sim_.now() + predicted_cold);
+  EXPECT_EQ(predicted_cold, custom.cold_start);
+  sim_.RunToCompletion();
+  ASSERT_TRUE(manager_.Stop(env, /*keep_warm=*/true).ok());
+
+  // Warm path: same agreement once a slot is banked.
+  const SimTime predicted_warm =
+      manager_.NextStartLatency(EnvKind::kContainer, TenantId(1), options);
+  const SimTime before = sim_.now();
+  env = manager_.Launch(TenantId(1), NodeId(1), options, nullptr);
+  EXPECT_EQ(env->ready_at(), before + predicted_warm);
+  EXPECT_EQ(predicted_warm, custom.warm_start);
 }
 
 }  // namespace

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
 #include "src/hw/datacenter.h"
 #include "src/hw/device.h"
 #include "src/hw/failure.h"
@@ -414,6 +418,152 @@ TEST(FailureInjectorTest, PeriodicFailuresRespectHorizon) {
   sim.RunToCompletion();
   EXPECT_LE(sim.now(), SimTime::Hours(2) + SimTime::Minutes(2));
   EXPECT_GE(injector.history().size(), 2u);  // several cycles expected
+}
+
+// ---------------------------------------------------------------------------
+// Differential test: the indexed placement path must produce byte-identical
+// results to the linear-scan reference path under a long randomized
+// allocate / release / fail / recover schedule with every constraint kind.
+
+class PoolPair {
+ public:
+  PoolPair(int racks, int devices_per_rack, int64_t capacity)
+      : indexed_(PoolId(0), DeviceKind::kCpuBlade),
+        linear_(PoolId(0), DeviceKind::kCpuBlade) {
+    linear_.set_use_index(false);
+    for (int r = 0; r < racks; ++r) {
+      topo_.AddRack();
+    }
+    uint64_t id = 0;
+    for (int r = 0; r < racks; ++r) {
+      for (int d = 0; d < devices_per_rack; ++d) {
+        const NodeId node = topo_.AddNode(r, NodeRole::kDevice);
+        indexed_.AddDevice(std::make_unique<Device>(
+            DeviceId(id), DeviceKind::kCpuBlade, capacity, node,
+            DeviceProfile::DefaultFor(DeviceKind::kCpuBlade)));
+        linear_.AddDevice(std::make_unique<Device>(
+            DeviceId(id), DeviceKind::kCpuBlade, capacity, node,
+            DeviceProfile::DefaultFor(DeviceKind::kCpuBlade)));
+        ++id;
+      }
+    }
+    device_count_ = id;
+  }
+
+  // Runs the same allocation on both pools and checks identical outcomes.
+  // Returns the allocation pair on success for later release.
+  bool Allocate(TenantId tenant, int64_t amount,
+                const AllocationConstraints& c) {
+    auto a = indexed_.Allocate(tenant, amount, c, topo_);
+    auto b = linear_.Allocate(tenant, amount, c, topo_);
+    EXPECT_EQ(a.ok(), b.ok()) << "status divergence";
+    if (!a.ok() || !b.ok()) {
+      return false;
+    }
+    EXPECT_EQ(a->slices.size(), b->slices.size());
+    for (size_t i = 0; i < a->slices.size() && i < b->slices.size(); ++i) {
+      EXPECT_EQ(a->slices[i].device, b->slices[i].device)
+          << "slice " << i << " device divergence";
+      EXPECT_EQ(a->slices[i].amount, b->slices[i].amount)
+          << "slice " << i << " amount divergence";
+    }
+    live_.push_back({*std::move(a), *std::move(b)});
+    return true;
+  }
+
+  void ReleaseAt(size_t i) {
+    ASSERT_TRUE(indexed_.Release(live_[i].first).ok());
+    ASSERT_TRUE(linear_.Release(live_[i].second).ok());
+    live_.erase(live_.begin() + static_cast<long>(i));
+  }
+
+  void SetHealth(uint64_t device, bool healthy) {
+    const DeviceHealth h =
+        healthy ? DeviceHealth::kHealthy : DeviceHealth::kFailed;
+    indexed_.FindDevice(DeviceId(device))->set_health(h);
+    linear_.FindDevice(DeviceId(device))->set_health(h);
+  }
+
+  void CheckAggregates() {
+    EXPECT_EQ(indexed_.TotalAllocated(), linear_.TotalAllocated());
+    EXPECT_EQ(indexed_.TotalCapacity(), linear_.TotalCapacity());
+    EXPECT_DOUBLE_EQ(indexed_.HealthyUtilization(),
+                     linear_.HealthyUtilization());
+    // Per-rack totals from the index must equal a fresh device scan.
+    const std::vector<int64_t> from_index = indexed_.HealthyFreeByRack(topo_);
+    std::vector<int64_t> scanned(
+        static_cast<size_t>(topo_.rack_count()), 0);
+    for (const Device* d : indexed_.devices()) {
+      const int rack = topo_.RackOf(d->node());
+      if (rack >= 0 && d->healthy()) {
+        scanned[static_cast<size_t>(rack)] += d->free_capacity();
+      }
+    }
+    EXPECT_EQ(from_index, scanned);
+  }
+
+  size_t live_count() const { return live_.size(); }
+  uint64_t device_count() const { return device_count_; }
+  const Topology& topology() const { return topo_; }
+
+ private:
+  Topology topo_;
+  ResourcePool indexed_;
+  ResourcePool linear_;
+  uint64_t device_count_ = 0;
+  std::vector<std::pair<PoolAllocation, PoolAllocation>> live_;
+};
+
+TEST(PoolDifferentialTest, IndexedMatchesLinearUnderRandomizedChurn) {
+  PoolPair pair(/*racks=*/6, /*devices_per_rack=*/8, /*capacity=*/32000);
+  Rng rng(0xD1FFu);
+  for (int step = 0; step < 2000; ++step) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.55) {
+      AllocationConstraints c;
+      if (rng.NextBool(0.5)) {
+        c.preferred_rack = static_cast<int>(rng.NextUint64(6));
+        c.strict_rack = rng.NextBool(0.2);
+      }
+      c.single_device = rng.NextBool(0.4);
+      c.require_exclusive = rng.NextBool(0.15);
+      if (rng.NextBool(0.2)) {
+        c.avoid.push_back(DeviceId(rng.NextUint64(pair.device_count())));
+      }
+      const int64_t amount =
+          c.single_device ? rng.NextInt64InRange(1, 24000)
+                          : rng.NextInt64InRange(1, 70000);
+      const TenantId tenant(rng.NextUint64(5) + 1);
+      pair.Allocate(tenant, amount, c);
+    } else if (roll < 0.85) {
+      if (pair.live_count() > 0) {
+        pair.ReleaseAt(rng.NextUint64(pair.live_count()));
+      }
+    } else {
+      pair.SetHealth(rng.NextUint64(pair.device_count()), rng.NextBool(0.6));
+    }
+    if (step % 100 == 0) {
+      pair.CheckAggregates();
+    }
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "divergence at step " << step;
+    }
+  }
+  pair.CheckAggregates();
+}
+
+TEST(PoolDifferentialTest, IndexTracksFailureAndRecovery) {
+  PoolPair pair(2, 4, 32000);
+  AllocationConstraints c;
+  ASSERT_TRUE(pair.Allocate(TenantId(1), 48000, c));
+  pair.SetHealth(0, false);
+  pair.SetHealth(1, false);
+  pair.CheckAggregates();
+  ASSERT_TRUE(pair.Allocate(TenantId(2), 20000, c));
+  pair.SetHealth(0, true);
+  pair.CheckAggregates();
+  ASSERT_TRUE(pair.Allocate(TenantId(3), 10000, c));
+  pair.CheckAggregates();
 }
 
 }  // namespace

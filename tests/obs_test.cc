@@ -197,6 +197,66 @@ TEST(MetricsTest, LabeledSeriesAreDistinct) {
             1);
 }
 
+TEST(MetricsTest, HandlesShareSeriesWithStringApi) {
+  // An interned handle and the string-addressed calls hit the same series,
+  // so hot paths can migrate to handles without splitting their metrics.
+  MetricsRegistry metrics;
+  const CounterHandle sent = metrics.CounterSeries("net.messages_sent");
+  EXPECT_TRUE(sent.valid());
+  metrics.Increment(sent);
+  metrics.IncrementCounter("net.messages_sent", 2);
+  metrics.Increment(sent, 3);
+  EXPECT_EQ(metrics.counter("net.messages_sent"), 6);
+  EXPECT_EQ(metrics.value(sent), 6);
+
+  const GaugeHandle util = metrics.GaugeSeries("monitor.utilization");
+  metrics.Set(util, 0.5);
+  metrics.AddToGauge("monitor.utilization", 0.25);
+  EXPECT_DOUBLE_EQ(metrics.value(util), 0.75);
+
+  const HistogramHandle lat = metrics.HistogramSeries("exec.latency_ms");
+  metrics.Observe(lat, 10.0);
+  metrics.Observe("exec.latency_ms", 30.0);
+  ASSERT_NE(metrics.histogram("exec.latency_ms"), nullptr);
+  EXPECT_EQ(metrics.histogram("exec.latency_ms")->count(), 2);
+  EXPECT_EQ(metrics.value(lat).count(), 2);
+}
+
+TEST(MetricsTest, LabeledHandlesFoldLabelsOnce) {
+  MetricsRegistry metrics;
+  // Label order at the interning call must not matter: both spellings
+  // resolve to the same canonical series.
+  const CounterHandle ab =
+      metrics.CounterSeries("sched.modules_placed", {{"b", "2"}, {"a", "1"}});
+  const CounterHandle ba =
+      metrics.CounterSeries("sched.modules_placed", {{"a", "1"}, {"b", "2"}});
+  metrics.Increment(ab);
+  metrics.Increment(ba);
+  EXPECT_EQ(
+      metrics.counter("sched.modules_placed", {{"a", "1"}, {"b", "2"}}), 2);
+  EXPECT_EQ(metrics.counter_series_count(), 1u);
+}
+
+TEST(MetricsTest, HandlesStayValidAcrossLaterInterning) {
+  // Interning more series (growing the store) must not invalidate handles
+  // or histogram pointers handed out earlier.
+  MetricsRegistry metrics;
+  const CounterHandle first = metrics.CounterSeries("a.first");
+  const HistogramHandle hist = metrics.HistogramSeries("a.first_ms");
+  metrics.Observe(hist, 1.0);
+  const Histogram* raw = metrics.histogram("a.first_ms");
+  for (int i = 0; i < 200; ++i) {
+    metrics.IncrementCounter(MetricSeriesKey("bulk.series", {}) +
+                             std::to_string(i));
+    metrics.Observe("bulk.hist_ms" + std::to_string(i), 1.0);
+  }
+  metrics.Increment(first);
+  metrics.Observe(hist, 2.0);
+  EXPECT_EQ(metrics.value(first), 1);
+  EXPECT_EQ(metrics.histogram("a.first_ms"), raw);  // address stability
+  EXPECT_EQ(raw->count(), 2);
+}
+
 TEST(MetricsTest, ReportIsDeterministicAcrossInsertionOrder) {
   MetricsRegistry a;
   a.IncrementCounter("z.last");

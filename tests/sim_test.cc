@@ -72,6 +72,70 @@ TEST(EventQueueTest, CallbackMaySchedule) {
   EXPECT_EQ(count, 2);
 }
 
+TEST(EventQueueTest, SameTimestampFifoUnderInterleavedScheduling) {
+  // A batch of same-time events must fire in scheduling order even when
+  // events at other times are scheduled around and between them.
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(SimTime::Millis(9), [&] { order.push_back(90); });
+  for (int i = 0; i < 8; ++i) {
+    q.Schedule(SimTime::Millis(5), [&order, i] { order.push_back(i); });
+  }
+  q.Schedule(SimTime::Millis(1), [&] { order.push_back(-1); });
+  while (!q.empty()) {
+    q.PopAndRun();
+  }
+  EXPECT_EQ(order, (std::vector<int>{-1, 0, 1, 2, 3, 4, 5, 6, 7, 90}));
+}
+
+TEST(EventQueueTest, SameTimestampFifoSurvivesCancellations) {
+  // Cancelling events inside a same-time batch must not disturb the
+  // relative order of the survivors.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(
+        q.Schedule(SimTime::Millis(2), [&order, i] { order.push_back(i); }));
+  }
+  EXPECT_TRUE(q.Cancel(handles[0]));
+  EXPECT_TRUE(q.Cancel(handles[5]));
+  EXPECT_TRUE(q.Cancel(handles[9]));
+  while (!q.empty()) {
+    q.PopAndRun();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 6, 7, 8}));
+}
+
+TEST(EventQueueTest, CancelOfFiredHandleLeavesQueueIntact) {
+  EventQueue q;
+  int fired = 0;
+  const EventHandle first = q.Schedule(SimTime::Millis(1), [&] { ++fired; });
+  q.Schedule(SimTime::Millis(2), [&] { ++fired; });
+  q.PopAndRun();
+  EXPECT_FALSE(q.Cancel(first));  // already fired
+  EXPECT_FALSE(q.Cancel(first));  // and stays dead
+  EXPECT_EQ(q.size(), 1u);        // the pending event is untouched
+  q.PopAndRun();
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(q.Cancel(EventHandle{}));  // never-scheduled handle
+}
+
+TEST(EventQueueTest, TotalScheduledCountsEveryScheduleCall) {
+  EventQueue q;
+  EXPECT_EQ(q.total_scheduled(), 0u);
+  const EventHandle a = q.Schedule(SimTime::Millis(1), [] {});
+  q.Schedule(SimTime::Millis(2), [] {});
+  EXPECT_EQ(q.total_scheduled(), 2u);
+  EXPECT_TRUE(q.Cancel(a));  // cancelling does not un-count
+  EXPECT_EQ(q.total_scheduled(), 2u);
+  q.PopAndRun();  // firing does not change it either
+  EXPECT_EQ(q.total_scheduled(), 2u);
+  q.Schedule(SimTime::Millis(3), [] {});
+  EXPECT_EQ(q.total_scheduled(), 3u);
+  EXPECT_EQ(q.size(), 1u);  // size tracks live events, not scheduled
+}
+
 TEST(SimulationTest, ClockAdvancesWithEvents) {
   Simulation sim;
   SimTime seen;

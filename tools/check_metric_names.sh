@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Enforces the `layer.noun_verb` metric naming convention (see
 # src/obs/metrics.h): every string literal passed to IncrementCounter /
-# SetGauge / AddToGauge / Observe must match ^[a-z_]+\.[a-z0-9_.]+$ —
+# SetGauge / AddToGauge / Observe — or interned via CounterSeries /
+# GaugeSeries / HistogramSeries — must match ^[a-z_]+\.[a-z0-9_.]+$ —
 # a lowercase layer prefix, a dot, then lowercase/digit/underscore words.
 #
 # Runs as a ctest (see tests/CMakeLists.txt) and in CI. Exit 0 when every
@@ -22,9 +23,9 @@ while IFS=: read -r file line name; do
     echo "bad metric name: $file:$line: \"$name\"" >&2
     bad=1
   fi
-done < <(grep -rnoE '(IncrementCounter|SetGauge|AddToGauge|Observe)\("[^"]*"' \
+done < <(grep -rnoE '(IncrementCounter|SetGauge|AddToGauge|Observe|CounterSeries|GaugeSeries|HistogramSeries)\("[^"]*"' \
            src tools bench tests \
-         | sed -E 's/:(IncrementCounter|SetGauge|AddToGauge|Observe)\("/:/' \
+         | sed -E 's/:(IncrementCounter|SetGauge|AddToGauge|Observe|CounterSeries|GaugeSeries|HistogramSeries)\("/:/' \
          | sed -E 's/"$//')
 
 if [[ "$found" -eq 0 ]]; then
