@@ -9,7 +9,10 @@
 #include "src/crypto/merkle.h"
 #include "src/crypto/sha256.h"
 #include "src/hw/pool.h"
+#include "src/net/fabric.h"
 #include "src/obs/span.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/legacy_event_queue.h"
 #include "src/sim/simulation.h"
 #include "src/workload/medical.h"
 
@@ -64,6 +67,71 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+// The kernel fast path head-to-head: schedule+fire through the legacy
+// std::function queue (range 0) vs the slot-slab InlineCallback queue
+// (range 1), with the capture shape of a fabric delivery (24 bytes — heap
+// allocated by std::function, inline for InlineCallback).
+void BM_EventScheduleFire(benchmark::State& state) {
+  const bool fast = state.range(0) != 0;
+  EventQueue fast_q;
+  LegacyEventQueue legacy_q;
+  uint64_t sink = 0;
+  constexpr int kBatch = 1024;
+  int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      const uint64_t a = sink + static_cast<uint64_t>(i);
+      const void* b = &state;
+      const auto cb = [&sink, a, b] {
+        sink += a + (b != nullptr ? 1 : 0);
+      };
+      const SimTime when = SimTime(t + i % 97);
+      if (fast) {
+        fast_q.Schedule(when, cb);
+      } else {
+        legacy_q.Schedule(when, cb);
+      }
+    }
+    if (fast) {
+      while (!fast_q.empty()) {
+        t = fast_q.PopAndRun().micros();
+      }
+    } else {
+      while (!legacy_q.empty()) {
+        t = legacy_q.PopAndRun().micros();
+      }
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_EventScheduleFire)->Arg(0)->Arg(1);
+
+// Fabric message throughput: interned type, pooled Message, inline delivery
+// closure. The span tracer is capped so the steady state measured here is
+// the long-run one (span budget exhausted, Begin returns the no-op id).
+void BM_FabricMessageThroughput(benchmark::State& state) {
+  Simulation sim;
+  sim.spans().set_max_spans(1 << 12);
+  Topology topo;
+  const int rack = topo.AddRack();
+  const NodeId a = topo.AddNode(rack, NodeRole::kDevice);
+  const NodeId b = topo.AddNode(rack, NodeRole::kDevice);
+  Fabric fabric(&sim, &topo);
+  uint64_t received = 0;
+  fabric.Bind(b, [&received](const Message&) { ++received; });
+  constexpr int kBatch = 256;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      fabric.Send(a, b, "bench.msg", "", Bytes::B(256));
+    }
+    sim.RunToCompletion();
+  }
+  benchmark::DoNotOptimize(received);
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_FabricMessageThroughput);
 
 void BM_PoolAllocateRelease(benchmark::State& state) {
   Topology topo;

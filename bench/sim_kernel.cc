@@ -1,0 +1,315 @@
+// Simulation-kernel macro-benchmark: the event loop itself under a
+// kernel-bound workload, once on the legacy std::function queue and once on
+// the slot-slab InlineCallback fast path.
+//
+// The workload is shaped like the simulator's real steady state — fabric
+// message chains (pooled Message objects, interned types, 24-byte delivery
+// captures), timer churn with ~half the timers cancelled before they fire
+// (slab cancellation via generation bumps), and self-rescheduling ticks —
+// with nothing else on the hot path, so events/sec measures the kernel
+// rather than placement or crypto.
+//
+// A counting global operator new/delete reports allocations per executed
+// event. After a warm-up phase (pools filled, span budget exhausted, vector
+// capacities settled) the fast path must execute the measured phase with
+// ZERO heap allocations; the benchmark exits non-zero if it does not.
+//
+// Writes BENCH_simkernel.json into the working directory. `--smoke` runs a
+// small configuration in well under a second; CI wires it up as a ctest so
+// the benchmark and the zero-alloc invariant cannot rot.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/net/fabric.h"
+#include "src/hw/topology.h"
+#include "src/sim/simulation.h"
+
+// ---------------------------------------------------------------------------
+// Counting allocator. Every global new/delete in the process goes through
+// here; the measured phases read the counter before and after. malloc-based
+// so it composes with sanitizers if this file is ever built under them.
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                               size == 0 ? static_cast<std::size_t>(align)
+                                         : size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+struct KernelConfig {
+  int warmup_rounds = 5000;
+  int rounds = 100000;
+  int hops = 32;    // fabric chain length per round
+  int timers = 16;  // churn timers per round (every other one cancelled)
+  int ticks = 8;    // self-rescheduling tick events per round
+};
+
+struct KernelResult {
+  long long events = 0;
+  double wall_seconds = 0;
+  double events_per_sec = 0;
+  long long allocs = 0;
+  double allocs_per_event = 0;
+  long long messages_delivered = 0;
+  long long timer_fires = 0;
+};
+
+// A tick that re-arms itself until its budget runs out: the classic
+// heartbeat shape (actor wakeups, replication timers). The 8-byte [this]
+// capture stays inline in both kernels.
+struct Ticker {
+  udc::Simulation* sim = nullptr;
+  int remaining = 0;
+  void Fire() {
+    if (remaining <= 0) {
+      return;
+    }
+    --remaining;
+    sim->After(udc::SimTime::Micros(3), [this] { Fire(); });
+  }
+};
+
+KernelResult RunKernel(udc::SimKernel kernel, const KernelConfig& config) {
+  udc::Simulation sim(/*seed=*/42, kernel);
+  // Small span budget: the warm-up exhausts it, so the measured phase runs
+  // in the long-lived regime where Begin() drops instead of recording.
+  sim.spans().set_max_spans(1 << 10);
+
+  udc::Topology topo;
+  const int rack = topo.AddRack();
+  const udc::NodeId node_a = topo.AddNode(rack, udc::NodeRole::kDevice);
+  const udc::NodeId node_b = topo.AddNode(rack, udc::NodeRole::kDevice);
+  udc::Fabric fabric(&sim, &topo);
+
+  // Message chain: a->b->a->... with the hop budget riding in the tag
+  // scratch word, so no per-hop payload formatting or parsing.
+  long long delivered = 0;
+  fabric.Bind(node_b, [&](const udc::Message& m) {
+    ++delivered;
+    if (m.tag > 0) {
+      fabric.Send(node_b, node_a, "bench.hop", "", udc::Bytes::B(64),
+                  m.tag - 1);
+    }
+  });
+  fabric.Bind(node_a, [&](const udc::Message& m) {
+    ++delivered;
+    if (m.tag > 0) {
+      fabric.Send(node_a, node_b, "bench.hop", "", udc::Bytes::B(64),
+                  m.tag - 1);
+    }
+  });
+
+  Ticker ticker;
+  ticker.sim = &sim;
+
+  long long timer_fires = 0;
+  std::vector<udc::EventHandle> handles;
+  handles.reserve(static_cast<size_t>(config.timers));
+
+  const auto run_round = [&] {
+    fabric.Send(node_a, node_b, "bench.hop", "", udc::Bytes::B(64),
+                static_cast<uint64_t>(config.hops));
+    handles.clear();
+    for (int t = 0; t < config.timers; ++t) {
+      handles.push_back(sim.After(udc::SimTime::Micros(2 + t % 11),
+                                  [&timer_fires] { ++timer_fires; }));
+    }
+    for (size_t t = 0; t < handles.size(); t += 2) {
+      sim.Cancel(handles[t]);
+    }
+    ticker.remaining = config.ticks;
+    ticker.Fire();
+    sim.RunToCompletion();
+  };
+
+  for (int i = 0; i < config.warmup_rounds; ++i) {
+    run_round();
+  }
+
+  const uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const uint64_t events_before = sim.events_executed();
+  const long long delivered_before = delivered;
+  const long long fires_before = timer_fires;
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < config.rounds; ++i) {
+    run_round();
+  }
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  KernelResult result;
+  result.events =
+      static_cast<long long>(sim.events_executed() - events_before);
+  result.allocs = static_cast<long long>(
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before);
+  result.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  result.messages_delivered = delivered - delivered_before;
+  result.timer_fires = timer_fires - fires_before;
+  if (result.wall_seconds > 0) {
+    result.events_per_sec =
+        static_cast<double>(result.events) / result.wall_seconds;
+  }
+  if (result.events > 0) {
+    result.allocs_per_event =
+        static_cast<double>(result.allocs) / static_cast<double>(result.events);
+  }
+  return result;
+}
+
+void PrintResult(const char* label, const KernelResult& r) {
+  std::printf(
+      "%-8s %12.0f events/s  %lld events in %.3fs  allocs/event=%.4f "
+      "(%lld allocs, %lld delivered, %lld timer fires)\n",
+      label, r.events_per_sec, r.events, r.wall_seconds, r.allocs_per_event,
+      r.allocs, r.messages_delivered, r.timer_fires);
+}
+
+// Same-machine deploy_churn events/sec from the PR that introduced the
+// indexed placement path: the reference point the kernel speedup is quoted
+// against in BENCH_simkernel.json.
+constexpr double kDeployChurnBaselineEventsPerSec = 105073.0;
+
+void WriteJson(const KernelConfig& config, bool smoke,
+               const KernelResult& legacy, const KernelResult& fast) {
+  FILE* f = std::fopen("BENCH_simkernel.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_simkernel.json for writing\n");
+    return;
+  }
+  auto emit_mode = [f](const char* name, const KernelResult& r) {
+    std::fprintf(f,
+                 "  \"%s\": {\n"
+                 "    \"events\": %lld,\n"
+                 "    \"wall_seconds\": %.4f,\n"
+                 "    \"events_per_sec\": %.0f,\n"
+                 "    \"allocs\": %lld,\n"
+                 "    \"allocs_per_event\": %.4f,\n"
+                 "    \"messages_delivered\": %lld,\n"
+                 "    \"timer_fires\": %lld\n"
+                 "  }",
+                 name, r.events, r.wall_seconds, r.events_per_sec, r.allocs,
+                 r.allocs_per_event, r.messages_delivered, r.timer_fires);
+  };
+  std::fprintf(f, "{\n  \"benchmark\": \"sim_kernel\",\n");
+  std::fprintf(f,
+               "  \"config\": {\"rounds\": %d, \"warmup_rounds\": %d, "
+               "\"hops\": %d, \"timers\": %d, \"ticks\": %d, \"smoke\": %s},\n",
+               config.rounds, config.warmup_rounds, config.hops, config.timers,
+               config.ticks, smoke ? "true" : "false");
+  emit_mode("legacy", legacy);
+  std::fprintf(f, ",\n");
+  emit_mode("fast", fast);
+  const double speedup = legacy.events_per_sec > 0
+                             ? fast.events_per_sec / legacy.events_per_sec
+                             : 0;
+  std::fprintf(f, ",\n  \"speedup_events_per_sec\": %.2f,\n", speedup);
+  std::fprintf(f, "  \"deploy_churn_baseline_events_per_sec\": %.0f,\n",
+               kDeployChurnBaselineEventsPerSec);
+  std::fprintf(f, "  \"vs_deploy_churn_baseline\": %.2f\n}\n",
+               fast.events_per_sec / kDeployChurnBaselineEventsPerSec);
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+
+  KernelConfig config;
+  if (smoke) {
+    config.warmup_rounds = 500;
+    config.rounds = 2000;
+  }
+
+  std::printf("sim_kernel: %d rounds (%d warmup), %d hops + %d timers + "
+              "%d ticks per round%s\n",
+              config.rounds, config.warmup_rounds, config.hops, config.timers,
+              config.ticks, smoke ? " (smoke)" : "");
+
+  const KernelResult legacy = RunKernel(udc::SimKernel::kLegacy, config);
+  PrintResult("legacy", legacy);
+  const KernelResult fast = RunKernel(udc::SimKernel::kFast, config);
+  PrintResult("fast", fast);
+
+  // Both kernels must execute the identical workload — same event count,
+  // same deliveries, same timer fires — or the comparison is meaningless.
+  if (legacy.events != fast.events ||
+      legacy.messages_delivered != fast.messages_delivered ||
+      legacy.timer_fires != fast.timer_fires) {
+    std::fprintf(stderr,
+                 "FAIL: kernels diverged (legacy %lld/%lld/%lld, "
+                 "fast %lld/%lld/%lld)\n",
+                 legacy.events, legacy.messages_delivered, legacy.timer_fires,
+                 fast.events, fast.messages_delivered, fast.timer_fires);
+    return 1;
+  }
+  // The headline invariant: after warm-up the fast path allocates nothing.
+  if (fast.allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: fast kernel allocated %lld times in the measured "
+                 "phase (expected 0)\n",
+                 fast.allocs);
+    return 1;
+  }
+
+  WriteJson(config, smoke, legacy, fast);
+  if (legacy.events_per_sec > 0) {
+    std::printf("speedup: %.2fx events/sec over legacy kernel, %.2fx over "
+                "deploy_churn baseline (%.0f events/s)\n",
+                fast.events_per_sec / legacy.events_per_sec,
+                fast.events_per_sec / kDeployChurnBaselineEventsPerSec,
+                kDeployChurnBaselineEventsPerSec);
+  }
+  return 0;
+}

@@ -58,6 +58,8 @@ void ActorSystem::Send(ActorId from, ActorId to, std::string name,
     delay = topology_->TransferTime(from_it->second.node, to_it->second.node,
                                     size);
   }
+  // The capture holds the ActorMessage (two strings, ~104 bytes), past the
+  // event queue's inline buffer — it rides the pooled callback slab.
   sim_->After(delay, [this, to, msg = std::move(msg)]() mutable {
     Deliver(to, std::move(msg), /*replay=*/false);
   });
@@ -69,20 +71,16 @@ void ActorSystem::Deliver(ActorId to, ActorMessage msg, bool replay) {
     sim_->metrics().Increment(messages_dropped_metric_);
     return;
   }
+  ActorRecord& record = it->second;
   msg.delivered_at = sim_->now();
-  if (it->second.log_messages && !replay) {
-    it->second.log.push_back(msg);
+  if (record.log_messages && !replay) {
+    record.log.push_back(msg);
   }
-  it->second.mailbox.push_back(std::move(msg));
-  DrainMailbox(to);
+  record.mailbox.push_back(std::move(msg));
+  DrainMailbox(to, record);
 }
 
-void ActorSystem::DrainMailbox(ActorId actor) {
-  auto it = actors_.find(actor);
-  if (it == actors_.end()) {
-    return;
-  }
-  ActorRecord& record = it->second;
+void ActorSystem::DrainMailbox(ActorId actor, ActorRecord& record) {
   if (record.draining || record.state != ActorState::kIdle ||
       record.mailbox.empty()) {
     return;
@@ -99,13 +97,14 @@ void ActorSystem::DrainMailbox(ActorId actor) {
   record.draining = false;
 
   const SimTime busy = ctx.work();
+  // 16-byte capture: wakeups stay in the inline callback buffer.
   sim_->After(busy, [this, actor] {
     auto it2 = actors_.find(actor);
     if (it2 == actors_.end() || it2->second.state == ActorState::kDead) {
       return;
     }
     it2->second.state = ActorState::kIdle;
-    DrainMailbox(actor);
+    DrainMailbox(actor, it2->second);
   });
 }
 

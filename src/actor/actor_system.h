@@ -116,7 +116,9 @@ class ActorSystem {
   };
 
   void Deliver(ActorId to, ActorMessage msg, bool replay);
-  void DrainMailbox(ActorId actor);
+  // `record` must be the live record for `actor` (single lookup at the
+  // call site; unordered_map references are stable across inserts).
+  void DrainMailbox(ActorId actor, ActorRecord& record);
 
   Simulation* sim_;
   const Topology* topology_;

@@ -35,6 +35,16 @@ bool ParseDouble(std::string_view s, double* out);
 // printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+// Heterogeneous hash for unordered containers keyed by std::string: lets
+// find(std::string_view) avoid materializing a temporary key (pair with
+// std::equal_to<> as the key-equal).
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
 }  // namespace udc
 
 #endif  // UDC_SRC_COMMON_STRINGS_H_

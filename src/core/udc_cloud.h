@@ -32,6 +32,9 @@ namespace udc {
 
 struct UdcCloudConfig {
   uint64_t seed = 42;
+  // Event-queue implementation; kLegacy exists for the determinism
+  // differential tests (see SimKernel).
+  SimKernel kernel = SimKernel::kFast;
   DatacenterConfig datacenter;
   SchedulerConfig scheduler;
   BillingConfig billing;

@@ -37,8 +37,10 @@ SealedBox AeadCipher::Seal(std::span<const uint8_t> plaintext,
   }
   std::vector<uint8_t> mac_input(8 + box.ciphertext.size());
   std::memcpy(mac_input.data(), &nonce, 8);
-  std::memcpy(mac_input.data() + 8, box.ciphertext.data(),
-              box.ciphertext.size());
+  if (!box.ciphertext.empty()) {  // empty vector data() may be null: UB
+    std::memcpy(mac_input.data() + 8, box.ciphertext.data(),
+                box.ciphertext.size());
+  }
   box.mac = HmacSha256(mac_key_, mac_input);
   return box;
 }
@@ -46,8 +48,10 @@ SealedBox AeadCipher::Seal(std::span<const uint8_t> plaintext,
 Result<std::vector<uint8_t>> AeadCipher::Open(const SealedBox& box) const {
   std::vector<uint8_t> mac_input(8 + box.ciphertext.size());
   std::memcpy(mac_input.data(), &box.nonce, 8);
-  std::memcpy(mac_input.data() + 8, box.ciphertext.data(),
-              box.ciphertext.size());
+  if (!box.ciphertext.empty()) {  // empty vector data() may be null: UB
+    std::memcpy(mac_input.data() + 8, box.ciphertext.data(),
+                box.ciphertext.size());
+  }
   const Sha256Digest expected = HmacSha256(mac_key_, mac_input);
   if (!DigestEqual(expected, box.mac)) {
     return Status(

@@ -271,6 +271,8 @@ void ReplicatedStore::Write(NodeId client, Bytes size,
     return;
   }
   sim_->metrics().Observe(write_commit_ms_, result.latency.millis());
+  // ~72-byte capture (std::function `done` dominates): rides the pooled
+  // callback slab, recycled across ops.
   sim_->After(result.latency, [this, span, result, done = std::move(done)] {
     sim_->spans().End(span);
     done(result);

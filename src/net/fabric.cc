@@ -8,6 +8,8 @@ Fabric::Fabric(Simulation* sim, const Topology* topology)
     : sim_(sim), topology_(topology),
       messages_sent_metric_(sim->metrics().CounterSeries("net.messages_sent")),
       bytes_sent_metric_(sim->metrics().CounterSeries("net.bytes_sent")),
+      messages_delivered_metric_(
+          sim->metrics().CounterSeries("net.messages_delivered")),
       messages_dropped_metric_(
           sim->metrics().CounterSeries("net.messages_dropped")) {}
 
@@ -17,51 +19,112 @@ void Fabric::Bind(NodeId node, Handler handler) {
 
 void Fabric::Unbind(NodeId node) { handlers_.erase(node); }
 
-void Fabric::SetNodeUp(NodeId node, bool up) { down_[node] = !up; }
+void Fabric::SetNodeUp(NodeId node, bool up) {
+  if (up) {
+    // Erase rather than store `false`: long-running churn (devices failing
+    // and recovering) must not grow the map with entries for healthy nodes.
+    down_.erase(node);
+  } else {
+    down_[node] = true;
+  }
+}
 
 bool Fabric::IsNodeUp(NodeId node) const {
   const auto it = down_.find(node);
   return it == down_.end() || !it->second;
 }
 
-MessageId Fabric::Send(NodeId from, NodeId to, std::string type,
-                       std::string payload, Bytes size) {
+uint32_t Fabric::InternType(std::string_view type) {
+  const auto it = type_index_.find(type);
+  if (it != type_index_.end()) {
+    return it->second;
+  }
+  if (types_.size() >= kMaxInternedTypes) {
+    return 0;
+  }
+  TypeInfo info;
+  info.name.assign(type);
+  info.span_label_set = sim_->spans().InternLabelSet({{"type", info.name}});
+  types_.push_back(std::move(info));
+  const uint32_t id = static_cast<uint32_t>(types_.size());
+  type_index_.emplace(types_.back().name, id);
+  return id;
+}
+
+Message* Fabric::AcquireMessage() {
+  if (!free_messages_.empty()) {
+    Message* msg = free_messages_.back();
+    free_messages_.pop_back();
+    return msg;
+  }
+  arena_.emplace_back();
+  return &arena_.back();
+}
+
+void Fabric::ReleaseMessage(Message* msg) {
+  // Strings keep their capacity for the next sender; clearing here keeps
+  // peak memory at (in-flight messages) x (largest payload seen).
+  msg->payload.clear();
+  free_messages_.push_back(msg);
+}
+
+MessageId Fabric::Send(NodeId from, NodeId to, std::string_view type,
+                       std::string payload, Bytes size, uint64_t tag,
+                       int64_t tag2) {
   const MessageId id = message_ids_.Next();
   ++messages_sent_;
   bytes_sent_ += size.bytes();
   sim_->metrics().Increment(messages_sent_metric_);
   sim_->metrics().Increment(bytes_sent_metric_, size.bytes());
 
-  Message msg;
-  msg.id = id;
-  msg.from = from;
-  msg.to = to;
-  msg.type = std::move(type);
-  msg.payload = std::move(payload);
-  msg.size = size;
-  msg.sent_at = sim_->now();
+  Message* msg = AcquireMessage();
+  msg->id = id;
+  msg->from = from;
+  msg->to = to;
+  msg->type_id = InternType(type);
+  msg->type.assign(type);  // reuses pooled capacity
+  if (payload.empty()) {
+    msg->payload.clear();
+  } else {
+    msg->payload = std::move(payload);
+  }
+  msg->size = size;
+  msg->sent_at = sim_->now();
+  msg->delivered_at = SimTime();
+  msg->tag = tag;
+  msg->tag2 = tag2;
 
   // One span per message, send -> deliver (or drop); parents under whatever
-  // control-plane scope issued the send.
+  // control-plane scope issued the send. Interned types reuse the interned
+  // label set; unknown types fall back to a per-span label vector.
   const uint64_t span =
-      sim_->spans().Begin("net", "net.message", {{"type", msg.type}});
+      msg->type_id != 0
+          ? sim_->spans().BeginWithSet("net", "net.message",
+                                       types_[msg->type_id - 1].span_label_set)
+          : sim_->spans().Begin("net", "net.message", {{"type", msg->type}});
 
   const SimTime delay = topology_->TransferTime(from, to, size);
-  sim_->After(delay, [this, span, msg = std::move(msg)]() mutable {
-    const auto it = handlers_.find(msg.to);
-    if (!IsNodeUp(msg.to) || it == handlers_.end()) {
-      ++messages_dropped_;
-      sim_->metrics().Increment(messages_dropped_metric_);
-      sim_->spans().AddLabel(span, "dropped", "true");
-      sim_->spans().End(span);
-      return;
-    }
-    msg.delivered_at = sim_->now();
-    ++messages_delivered_;
-    sim_->spans().End(span);
-    it->second(msg);
-  });
+  // 24-byte capture: stays in InlineCallback's inline buffer.
+  sim_->After(delay, [this, msg, span] { Deliver(msg, span); });
   return id;
+}
+
+void Fabric::Deliver(Message* msg, uint64_t span) {
+  const auto it = handlers_.find(msg->to);
+  if (!IsNodeUp(msg->to) || it == handlers_.end()) {
+    ++messages_dropped_;
+    sim_->metrics().Increment(messages_dropped_metric_);
+    sim_->spans().AddLabel(span, "dropped", "true");
+    sim_->spans().End(span);
+    ReleaseMessage(msg);
+    return;
+  }
+  msg->delivered_at = sim_->now();
+  ++messages_delivered_;
+  sim_->metrics().Increment(messages_delivered_metric_);
+  sim_->spans().End(span);
+  it->second(*msg);
+  ReleaseMessage(msg);
 }
 
 }  // namespace udc

@@ -2,14 +2,24 @@
 
 #include <utility>
 
-#include "src/common/strings.h"
-
 namespace udc {
 
-// Wire format of Message::type:
-//   "req:<method>:<call_id>:<resp_bytes>"  request expecting a response
-//   "resp:<call_id>"                       response
-//   "oneway:<method>"                      fire-and-forget
+// Wire format v2. The method rides in the message type; the numeric fields
+// (call id, response size) ride in the fabric's tag words instead of being
+// rendered into — and parsed back out of — the type string per message:
+//   type "rpc.req:<method>"    tag = call_id, tag2 = resp_bytes
+//   type "rpc.resp.ok"         tag = call_id, payload = response
+//   type "rpc.resp.err"        tag = call_id, payload = error detail
+//   type "rpc.oneway:<method>" fire-and-forget
+// The per-method request/oneway types are stable strings, so the fabric
+// interns them; responses share two constant types.
+
+namespace {
+constexpr std::string_view kReqPrefix = "rpc.req:";
+constexpr std::string_view kOnewayPrefix = "rpc.oneway:";
+constexpr std::string_view kRespOk = "rpc.resp.ok";
+constexpr std::string_view kRespErr = "rpc.resp.err";
+}  // namespace
 
 RpcEndpoint::RpcEndpoint(Simulation* sim, Fabric* fabric, NodeId node)
     : sim_(sim), fabric_(fabric), node_(node) {
@@ -40,68 +50,55 @@ void RpcEndpoint::Call(NodeId to, const std::string& method,
   });
   pending_.emplace(call_id, std::move(pending));
 
-  fabric_->Send(node_, to,
-                StrFormat("req:%s:%llu:%lld", method.c_str(),
-                          static_cast<unsigned long long>(call_id),
-                          static_cast<long long>(response_size.bytes())),
-                std::move(request), size);
+  type_scratch_.assign(kReqPrefix);
+  type_scratch_.append(method);
+  fabric_->Send(node_, to, type_scratch_, std::move(request), size, call_id,
+                response_size.bytes());
 }
 
 void RpcEndpoint::Notify(NodeId to, const std::string& method,
                          std::string payload, Bytes size) {
-  fabric_->Send(node_, to, "oneway:" + method, std::move(payload), size);
+  type_scratch_.assign(kOnewayPrefix);
+  type_scratch_.append(method);
+  fabric_->Send(node_, to, type_scratch_, std::move(payload), size);
 }
 
 void RpcEndpoint::HandleMessage(const Message& msg) {
-  const std::vector<std::string_view> parts = SplitString(msg.type, ':');
-  if (parts.empty()) {
-    return;
-  }
-  if (parts[0] == "req" && parts.size() == 4) {
-    const std::string method(parts[1]);
-    uint64_t call_id = 0;
-    uint64_t resp_bytes = 0;
-    if (!ParseUint64(parts[2], &call_id) || !ParseUint64(parts[3], &resp_bytes)) {
-      return;
-    }
+  const std::string_view type = msg.type;
+  if (StartsWith(type, kReqPrefix)) {
+    const std::string_view method = type.substr(kReqPrefix.size());
+    const uint64_t call_id = msg.tag;
     const auto it = handlers_.find(method);
     if (it == handlers_.end()) {
-      // Unknown method: reply with an empty error marker so the caller times
-      // out rather than hanging forever would be worse; send error response.
-      fabric_->Send(node_, msg.from,
-                    StrFormat("resp:%llu:err",
-                              static_cast<unsigned long long>(call_id)),
-                    "unknown method: " + method, Bytes::B(64));
+      // Unknown method: an explicit error response beats letting the caller
+      // hang until its timeout.
+      fabric_->Send(node_, msg.from, kRespErr,
+                    "unknown method: " + std::string(method), Bytes::B(64),
+                    call_id);
       return;
     }
     std::string response = it->second(msg);
-    fabric_->Send(node_, msg.from,
-                  StrFormat("resp:%llu:ok",
-                            static_cast<unsigned long long>(call_id)),
-                  std::move(response), Bytes(static_cast<int64_t>(resp_bytes)));
+    fabric_->Send(node_, msg.from, kRespOk, std::move(response),
+                  Bytes(msg.tag2), call_id);
     return;
   }
-  if (parts[0] == "resp" && parts.size() == 3) {
-    uint64_t call_id = 0;
-    if (!ParseUint64(parts[1], &call_id)) {
-      return;
-    }
-    const auto it = pending_.find(call_id);
+  if (type == kRespOk || type == kRespErr) {
+    const auto it = pending_.find(msg.tag);
     if (it == pending_.end()) {
       return;  // late response after timeout
     }
     ResponseCallback cb = std::move(it->second.callback);
     sim_->Cancel(it->second.timeout_event);
     pending_.erase(it);
-    if (parts[2] == "ok") {
+    if (type == kRespOk) {
       cb(msg.payload);
     } else {
       cb(Status(InternalError(msg.payload)));
     }
     return;
   }
-  if (parts[0] == "oneway" && parts.size() == 2) {
-    const auto it = handlers_.find(std::string(parts[1]));
+  if (StartsWith(type, kOnewayPrefix)) {
+    const auto it = handlers_.find(type.substr(kOnewayPrefix.size()));
     if (it != handlers_.end()) {
       (void)it->second(msg);
     }

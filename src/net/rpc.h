@@ -11,9 +11,11 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "src/common/status.h"
+#include "src/common/strings.h"
 #include "src/net/fabric.h"
 
 namespace udc {
@@ -62,8 +64,15 @@ class RpcEndpoint {
   Fabric* fabric_;
   NodeId node_;
   uint64_t next_call_id_ = 0;
-  std::unordered_map<std::string, ServerHandler> handlers_;
+  // Transparent hash: HandleMessage looks methods up by the string_view
+  // sliced out of the message type, without building a temporary key.
+  std::unordered_map<std::string, ServerHandler, TransparentStringHash,
+                     std::equal_to<>>
+      handlers_;
   std::unordered_map<uint64_t, PendingCall> pending_;
+  // Scratch for composing "rpc.req:<method>" / "rpc.oneway:<method>"; keeps
+  // its capacity across calls so the hot path does not allocate.
+  std::string type_scratch_;
 };
 
 }  // namespace udc

@@ -25,6 +25,12 @@ std::string ChromeTraceJson(const SpanTracer& tracer, SimTime now) {
         static_cast<unsigned long long>(span.trace_id),
         static_cast<unsigned long long>(span.span_id),
         static_cast<unsigned long long>(span.parent_span_id));
+    if (span.shared_labels != nullptr) {
+      for (const auto& [k, v] : *span.shared_labels) {
+        args += StrFormat(", \"%s\": \"%s\"", JsonEscape(k).c_str(),
+                          JsonEscape(v).c_str());
+      }
+    }
     for (const auto& [k, v] : span.labels) {
       args += StrFormat(", \"%s\": \"%s\"", JsonEscape(k).c_str(),
                         JsonEscape(v).c_str());

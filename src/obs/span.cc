@@ -7,6 +7,13 @@
 namespace udc {
 
 const std::string* Span::Label(std::string_view key) const {
+  if (shared_labels != nullptr) {
+    for (const auto& [k, v] : *shared_labels) {
+      if (k == key) {
+        return &v;
+      }
+    }
+  }
   for (const auto& [k, v] : labels) {
     if (k == key) {
       return &v;
@@ -17,6 +24,11 @@ const std::string* Span::Label(std::string_view key) const {
 
 std::string Span::Detail() const {
   std::string out = name;
+  if (shared_labels != nullptr) {
+    for (const auto& [k, v] : *shared_labels) {
+      out += " " + k + "=" + v;
+    }
+  }
   for (const auto& [k, v] : labels) {
     out += " " + k + "=" + v;
   }
@@ -67,6 +79,39 @@ uint64_t SpanTracer::BeginAt(SimTime start, std::string category,
   span.category = std::move(category);
   span.name = std::move(name);
   span.labels = std::move(labels);
+  span.start = start;
+  span.end = start;
+  spans_.push_back(std::move(span));
+  return spans_.back().span_id;
+}
+
+uint32_t SpanTracer::InternLabelSet(SpanLabels labels) {
+  label_sets_.push_back(std::move(labels));
+  return static_cast<uint32_t>(label_sets_.size());
+}
+
+uint64_t SpanTracer::BeginWithSet(std::string_view category,
+                                  std::string_view name, uint32_t label_set,
+                                  uint64_t parent) {
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return 0;
+  }
+  if (parent == 0) {
+    parent = CurrentScope();
+  }
+  const SimTime start = clock_();
+  Span span;
+  span.span_id = spans_.size() + 1;
+  span.parent_span_id = parent;
+  const Span* parent_span = SpanById(parent);
+  span.trace_id =
+      parent_span != nullptr ? parent_span->trace_id : next_trace_id_++;
+  span.category.assign(category);
+  span.name.assign(name);
+  if (label_set != 0 && label_set <= label_sets_.size()) {
+    span.shared_labels = &label_sets_[label_set - 1];
+  }
   span.start = start;
   span.end = start;
   spans_.push_back(std::move(span));

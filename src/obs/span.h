@@ -20,6 +20,7 @@
 #define UDC_SRC_OBS_SPAN_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <string_view>
@@ -39,12 +40,16 @@ struct Span {
   std::string category;         // layer: "sched", "exec", "net", "dist", ...
   std::string name;             // e.g. "sched.place_task"
   SpanLabels labels;
+  // Pre-interned labels shared across spans (SpanTracer::InternLabelSet);
+  // rendered before `labels`, attached with zero per-span allocation. Owned
+  // by the tracer; the pointer survives Clear().
+  const SpanLabels* shared_labels = nullptr;
   SimTime start;
   SimTime end;
   bool open = true;
 
   SimTime duration() const { return end - start; }
-  // The label value for `key`, or nullptr.
+  // The label value for `key` (shared labels first), or nullptr.
   const std::string* Label(std::string_view key) const;
   // "name k=v k2=v2 dur=1.2ms" — the legacy-trace-compatible rendering.
   std::string Detail() const;
@@ -67,6 +72,16 @@ class SpanTracer {
                  SpanLabels labels = {}, uint64_t parent = 0);
   uint64_t BeginAt(SimTime start, std::string category, std::string name,
                    SpanLabels labels = {}, uint64_t parent = 0);
+
+  // Interns a label set once and returns a handle for BeginWithSet; call
+  // sites that open the same-shaped span per event (fabric's net.message)
+  // pay the label construction once, not per span. Handles are never
+  // invalidated — not even by Clear(). 0 is "no label set".
+  uint32_t InternLabelSet(SpanLabels labels);
+  // Begin() without per-span label construction: attaches the interned set
+  // by pointer. `category`/`name` should be literals (SSO; no allocation).
+  uint64_t BeginWithSet(std::string_view category, std::string_view name,
+                        uint32_t label_set, uint64_t parent = 0);
 
   void AddLabel(uint64_t span_id, std::string key, std::string value);
   void End(uint64_t span_id);
@@ -104,6 +119,9 @@ class SpanTracer {
 
   Clock clock_;
   EndSink on_end_;
+  // Interned label sets; deque keeps element addresses stable so spans can
+  // point straight at them. Deliberately not cleared by Clear().
+  std::deque<SpanLabels> label_sets_;
   std::vector<Span> spans_;  // span_id == index + 1
   std::vector<uint64_t> closed_order_;
   std::vector<uint64_t> scope_stack_;

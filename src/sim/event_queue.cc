@@ -5,63 +5,130 @@
 
 namespace udc {
 
-EventHandle EventQueue::Schedule(SimTime when, Callback cb) {
+uint32_t EventQueue::AcquireSlot() {
+  if (!free_slots_.empty()) {
+    const uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  assert(slots_.size() < kMaxSlots && "too many simultaneously pending events");
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::RetireSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.armed = false;
+  s.cb.Reset();
+  // Skip generation 0 on wrap so stale handles can never look valid again.
+  if (++s.gen == 0) {
+    s.gen = 1;
+  }
+  free_slots_.push_back(slot);
+}
+
+void EventQueue::HeapPush(HeapEntry entry) {
+  heap_.push_back(entry);
+  // Sift up: two-word moves, no callback traffic.
+  size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!heap_[i].Before(heap_[parent])) {
+      break;
+    }
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::HeapPopTop() const {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  // Sift down.
+  size_t i = 0;
+  const size_t n = heap_.size();
+  while (true) {
+    const size_t left = 2 * i + 1;
+    if (left >= n) {
+      break;
+    }
+    const size_t right = left + 1;
+    size_t best = left;
+    if (right < n && heap_[right].Before(heap_[left])) {
+      best = right;
+    }
+    if (!heap_[best].Before(heap_[i])) {
+      break;
+    }
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+bool EventQueue::EntryLive(const HeapEntry& entry) const {
+  const uint32_t slot = static_cast<uint32_t>(entry.seq_slot & kSlotMask);
+  const Slot& s = slots_[slot];
+  // The slot must still be armed for the same event. Comparing the low 40
+  // bits of seq is exact within the packed domain.
+  return s.armed && ((s.seq << kSlotBits) | slot) == entry.seq_slot;
+}
+
+void EventQueue::SkipStale() const {
+  while (!heap_.empty() && !EntryLive(heap_.front())) {
+    HeapPopTop();
+  }
+}
+
+EventHandle EventQueue::Schedule(SimTime when, InlineCallback cb) {
   assert(when >= last_popped_ && "scheduling into the past");
   const uint64_t seq = next_seq_++;
-  heap_.push(Entry{when, seq, std::move(cb)});
-  pending_.insert(seq);
+  const uint32_t slot = AcquireSlot();
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  s.seq = seq;
+  s.armed = true;
+  HeapPush(HeapEntry{when, (seq << kSlotBits) | slot});
   ++live_count_;
-  return EventHandle{seq};
+  return EventHandle{slot, s.gen};
 }
 
 bool EventQueue::Cancel(EventHandle handle) {
-  if (!handle.valid()) {
+  if (!handle.valid() || handle.slot >= slots_.size()) {
     return false;
   }
-  const auto it = pending_.find(handle.seq);
-  if (it == pending_.end()) {
+  Slot& s = slots_[handle.slot];
+  if (!s.armed || s.gen != handle.gen) {
     return false;  // already fired or already cancelled
   }
-  pending_.erase(it);
-  // Lazily removed from the heap: marked cancelled, skipped at the top.
-  cancelled_.insert(handle.seq);
+  // The heap entry stays behind; EntryLive sees the retired slot and drops
+  // it when it reaches the top. Destroying the callback now releases its
+  // captures (and any slab block) immediately.
+  RetireSlot(handle.slot);
   --live_count_;
   return true;
 }
 
-void EventQueue::SkipCancelled() {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().seq);
-    if (it == cancelled_.end()) {
-      return;
-    }
-    cancelled_.erase(it);
-    heap_.pop();
-  }
-}
-
 SimTime EventQueue::NextTime() const {
-  // Cancelled entries at the top must be skipped for an exact answer; the
-  // skip only discards dead entries, so it is logically const.
-  EventQueue* self = const_cast<EventQueue*>(this);
-  self->SkipCancelled();
+  SkipStale();
   if (heap_.empty()) {
     return SimTime::Max();
   }
-  return heap_.top().when;
+  return heap_.front().when;
 }
 
 SimTime EventQueue::PopAndRun() {
-  SkipCancelled();
+  SkipStale();
   assert(!heap_.empty());
-  // Copy the entry out before popping: the callback may schedule new events,
-  // which mutates the heap.
-  Entry top = heap_.top();
-  heap_.pop();
-  pending_.erase(top.seq);
+  const HeapEntry top = heap_.front();
+  HeapPopTop();
+  const uint32_t slot = static_cast<uint32_t>(top.seq_slot & kSlotMask);
+  // Move the callback out and retire the slot *before* invoking: the
+  // callback may schedule new events that reuse this very slot.
+  InlineCallback cb = std::move(slots_[slot].cb);
+  RetireSlot(slot);
   --live_count_;
   last_popped_ = top.when;
-  top.cb();
+  cb();
   return top.when;
 }
 

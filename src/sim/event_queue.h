@@ -4,28 +4,52 @@
 // two events scheduled for the same instant fire in scheduling order, which
 // keeps the simulation deterministic. Events can be cancelled through the
 // handle returned at scheduling time.
+//
+// Hot-path layout (DESIGN.md §6 "Simulation kernel"):
+//   * Callbacks are InlineCallbacks — captures up to 64 bytes live inside
+//     the event record, larger ones in a pooled thread-local slab. No
+//     per-event std::function heap allocation.
+//   * Event records live in a slot slab recycled through a free list; an
+//     EventHandle is (slot, generation), and cancellation is a generation
+//     compare on the slot — the pending_/cancelled_ hash sets are gone.
+//   * The binary heap sifts 16-byte (time, seq|slot) keys, not whole
+//     entries. A cancelled event leaves a stale heap entry behind that is
+//     discarded when it surfaces (its slot is disarmed or carries a newer
+//     sequence number by then).
+//
+// Steady state (slots and heap vectors at capacity, overflow slab warm)
+// schedules, cancels and fires events with zero heap allocation and zero
+// hashing.
 
 #ifndef UDC_SRC_SIM_EVENT_QUEUE_H_
 #define UDC_SRC_SIM_EVENT_QUEUE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "src/common/units.h"
+#include "src/sim/inline_callback.h"
 
 namespace udc {
 
-// Token identifying a scheduled event; valid until the event fires.
+// Token identifying a scheduled event; valid until the event fires. The
+// generation disambiguates reuses of the same slot: a handle whose
+// generation no longer matches the slot's is stale (its event fired or was
+// cancelled) and Cancel on it returns false. Generation 0 is never issued,
+// so a default-constructed handle is always invalid.
 struct EventHandle {
-  uint64_t seq = ~uint64_t{0};
-  bool valid() const { return seq != ~uint64_t{0}; }
+  uint32_t slot = 0;
+  uint32_t gen = 0;
+  bool valid() const { return gen != 0; }
 };
 
 class EventQueue {
  public:
+  // Legacy alias: std::function call sites convert through InlineCallback's
+  // implicit constructor (one move; the function's own state rides the
+  // overflow slab when it exceeds the inline buffer).
   using Callback = std::function<void()>;
 
   EventQueue() = default;
@@ -34,7 +58,7 @@ class EventQueue {
 
   // Schedules `cb` at absolute time `when`. `when` must be >= the time of the
   // last popped event (no scheduling into the past).
-  EventHandle Schedule(SimTime when, Callback cb);
+  EventHandle Schedule(SimTime when, InlineCallback cb);
 
   // Cancels a pending event. Returns false when already fired or cancelled.
   bool Cancel(EventHandle handle);
@@ -50,26 +74,52 @@ class EventQueue {
 
   uint64_t total_scheduled() const { return next_seq_; }
 
+  // High-water mark of simultaneously pending events (slot-slab size).
+  size_t slot_capacity() const { return slots_.size(); }
+
  private:
-  struct Entry {
-    SimTime when;
-    uint64_t seq;
-    Callback cb;
+  // Heap entries pack the sequence number and slot index into one word:
+  // low kSlotBits bits = slot, upper 40 bits = low 40 bits of seq — enough
+  // for ~10^12 events, and same-time events are scheduled close enough
+  // together that the truncated comparison is exact. The slot stores the
+  // full seq; liveness checks compare against it, so a surfacing entry
+  // whose slot was recycled is recognized as stale.
+  static constexpr uint32_t kSlotBits = 24;
+  static constexpr uint32_t kMaxSlots = (1u << kSlotBits) - 1;
+  static constexpr uint64_t kSlotMask = (uint64_t{1} << kSlotBits) - 1;
+
+  struct Slot {
+    InlineCallback cb;
+    uint64_t seq = 0;
+    uint32_t gen = 1;    // matches issued handles; bumped when retired
+    bool armed = false;  // true while the event is pending
   };
-  struct EntryLater {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
+
+  struct HeapEntry {
+    SimTime when;
+    uint64_t seq_slot;  // (seq << kSlotBits) | slot
+
+    bool Before(const HeapEntry& other) const {
+      if (when != other.when) {
+        return when < other.when;
       }
-      return a.seq > b.seq;
+      return seq_slot < other.seq_slot;  // equal time: seq (high bits) wins
     }
   };
 
-  void SkipCancelled();
+  uint32_t AcquireSlot();
+  void RetireSlot(uint32_t slot);
+  void HeapPush(HeapEntry entry);
+  void HeapPopTop() const;
+  // True when the heap entry still refers to a pending event.
+  bool EntryLive(const HeapEntry& entry) const;
+  // Drops stale heap entries (cancelled/retired slots) off the top. Only
+  // discards dead entries, so it is logically const (NextTime needs it).
+  void SkipStale() const;
 
-  std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_;
-  std::unordered_set<uint64_t> pending_;    // seqs currently in the heap
-  std::unordered_set<uint64_t> cancelled_;  // pending seqs marked dead
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
+  mutable std::vector<HeapEntry> heap_;
   uint64_t next_seq_ = 0;
   size_t live_count_ = 0;
   SimTime last_popped_;

@@ -1,0 +1,78 @@
+#include "src/sim/inline_callback.h"
+
+#include <vector>
+
+namespace udc {
+namespace {
+
+// Mirrors InlineCallback::kBlockClasses; the vtable encodes the class size,
+// so the free path only needs to map size -> list index.
+constexpr uint32_t kClasses[] = {128, 256, 512, 1024, 4096};
+constexpr int kClassCount = 5;
+
+int ClassIndexFor(uint32_t block_size) {
+  for (int i = 0; i < kClassCount; ++i) {
+    if (block_size == kClasses[i]) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+// One slab per thread: the simulator is single-threaded per Simulation, and
+// thread-local free lists keep the fast path lock-free.
+struct Slab {
+  std::vector<void*> free_lists[kClassCount];
+  CallbackSlabStats stats;
+
+  ~Slab() {
+    for (auto& list : free_lists) {
+      for (void* block : list) {
+        ::operator delete(block);
+      }
+    }
+  }
+};
+
+Slab& TheSlab() {
+  static thread_local Slab slab;
+  return slab;
+}
+
+}  // namespace
+
+void* InlineCallback::SlabAllocate(uint32_t block_size) {
+  Slab& slab = TheSlab();
+  ++slab.stats.spills;
+  ++slab.stats.outstanding;
+  const int cls = ClassIndexFor(block_size);
+  if (cls >= 0 && !slab.free_lists[cls].empty()) {
+    void* block = slab.free_lists[cls].back();
+    slab.free_lists[cls].pop_back();
+    ++slab.stats.reused_blocks;
+    return block;
+  }
+  ++slab.stats.fresh_blocks;
+  return ::operator new(block_size);
+}
+
+void InlineCallback::SlabFree(void* block, uint32_t block_size) noexcept {
+  Slab& slab = TheSlab();
+  --slab.stats.outstanding;
+  const int cls = ClassIndexFor(block_size);
+  if (cls < 0) {
+    ::operator delete(block);  // oversized, never pooled
+    return;
+  }
+  slab.free_lists[cls].push_back(block);
+}
+
+const CallbackSlabStats& InlineCallback::slab_stats() {
+  return TheSlab().stats;
+}
+
+void InlineCallback::ResetSlabStatsForTest() {
+  TheSlab().stats = CallbackSlabStats{};
+}
+
+}  // namespace udc

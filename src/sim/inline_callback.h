@@ -1,0 +1,181 @@
+// InlineCallback: a move-only `void()` callable built for the event hot path.
+//
+// `std::function` heap-allocates any capture larger than its tiny internal
+// buffer (16 bytes on libstdc++), which makes every fabric delivery and every
+// actor wakeup pay an allocator round trip. InlineCallback instead stores
+// captures up to kInlineCapacity (64 bytes — sized to hold the fabric
+// delivery and env-manager completion closures) directly inside the object,
+// and spills rare larger captures into a thread-local pooled slab whose
+// blocks are recycled across events, so steady-state scheduling performs
+// zero heap allocations either way.
+//
+// The dispatch table is a per-type static (invoke / relocate / destroy), the
+// same technique std::function uses, minus the copyability requirement that
+// forces it to heap-allocate move-only or fat captures.
+
+#ifndef UDC_SRC_SIM_INLINE_CALLBACK_H_
+#define UDC_SRC_SIM_INLINE_CALLBACK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace udc {
+
+// Counters for the overflow slab (thread-local, shared by every queue on the
+// thread). `fresh_blocks` is the number of blocks that actually reached
+// operator new; in steady state it stops growing and every spill is a reuse.
+struct CallbackSlabStats {
+  uint64_t spills = 0;        // callbacks too big for the inline buffer
+  uint64_t reused_blocks = 0; // spills served from a free list
+  uint64_t fresh_blocks = 0;  // spills that hit operator new
+  uint64_t outstanding = 0;   // slab blocks currently alive
+};
+
+class InlineCallback {
+ public:
+  static constexpr size_t kInlineCapacity = 64;
+
+  InlineCallback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned callables are not supported");
+    if constexpr (sizeof(Fn) <= kInlineCapacity &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = &kInlineVTable<Fn>;
+    } else {
+      constexpr uint32_t kBlock = BlockSizeFor(sizeof(Fn));
+      void* block = SlabAllocate(kBlock);
+      ::new (block) Fn(std::forward<F>(f));
+      heap_ = block;
+      vt_ = &kHeapVTable<Fn, kBlock>;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { MoveFrom(other); }
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { Reset(); }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  void operator()() {
+    void* obj = vt_->block_size == 0 ? static_cast<void*>(buf_) : heap_;
+    vt_->invoke(obj);
+  }
+
+  // Destroys the held callable (returning any slab block) and empties.
+  void Reset() noexcept {
+    if (vt_ == nullptr) {
+      return;
+    }
+    if (vt_->block_size == 0) {
+      vt_->destroy(buf_);
+    } else {
+      vt_->destroy(heap_);
+      SlabFree(heap_, vt_->block_size);
+    }
+    vt_ = nullptr;
+  }
+
+  // True when the capture lives in the inline buffer (test hook).
+  bool is_inline() const noexcept {
+    return vt_ != nullptr && vt_->block_size == 0;
+  }
+
+  // Thread-local slab counters (test/bench hook).
+  static const CallbackSlabStats& slab_stats();
+  static void ResetSlabStatsForTest();
+
+ private:
+  struct VTable {
+    void (*invoke)(void* obj);
+    // Move-constructs into dst and destroys src. Inline storage only; slab
+    // blocks move by pointer swap.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* obj) noexcept;
+    uint32_t block_size;  // 0 = inline, else the slab block size in bytes
+  };
+
+  // Size classes for spilled captures. Anything above the largest class is
+  // served by plain operator new/delete (block_size still records the class
+  // so Reset knows which path to free on).
+  static constexpr uint32_t kBlockClasses[] = {128, 256, 512, 1024, 4096};
+  static constexpr uint32_t kMaxPooledBlock = 4096;
+
+  static constexpr uint32_t BlockSizeFor(size_t n) {
+    for (uint32_t c : kBlockClasses) {
+      if (n <= c) {
+        return c;
+      }
+    }
+    // Oversized: freed directly, so the exact size is fine.
+    return static_cast<uint32_t>(n);
+  }
+
+  static void* SlabAllocate(uint32_t block_size);
+  static void SlabFree(void* block, uint32_t block_size) noexcept;
+
+  template <typename Fn>
+  static void Invoke(void* obj) {
+    (*static_cast<Fn*>(obj))();
+  }
+  template <typename Fn>
+  static void Relocate(void* dst, void* src) noexcept {
+    Fn* from = static_cast<Fn*>(src);
+    ::new (dst) Fn(std::move(*from));
+    from->~Fn();
+  }
+  template <typename Fn>
+  static void Destroy(void* obj) noexcept {
+    static_cast<Fn*>(obj)->~Fn();
+  }
+
+  template <typename Fn>
+  static constexpr VTable kInlineVTable = {&Invoke<Fn>, &Relocate<Fn>,
+                                           &Destroy<Fn>, 0};
+  template <typename Fn, uint32_t kBlock>
+  static constexpr VTable kHeapVTable = {&Invoke<Fn>, nullptr, &Destroy<Fn>,
+                                         kBlock};
+
+  void MoveFrom(InlineCallback& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ == nullptr) {
+      return;
+    }
+    if (vt_->block_size == 0) {
+      vt_->relocate(buf_, other.buf_);
+    } else {
+      heap_ = other.heap_;
+    }
+    other.vt_ = nullptr;
+  }
+
+  const VTable* vt_ = nullptr;
+  union {
+    alignas(std::max_align_t) unsigned char buf_[kInlineCapacity];
+    void* heap_;
+  };
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_SIM_INLINE_CALLBACK_H_

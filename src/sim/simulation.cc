@@ -1,12 +1,16 @@
 #include "src/sim/simulation.h"
 
-#include <cassert>
 #include <utility>
 
 namespace udc {
 
-Simulation::Simulation(uint64_t seed)
-    : now_(SimTime(0)), rng_(seed), spans_([this] { return now_; }) {}
+Simulation::Simulation(uint64_t seed, SimKernel kernel)
+    : now_(SimTime(0)),
+      legacy_queue_(kernel == SimKernel::kLegacy
+                        ? std::make_unique<LegacyEventQueue>()
+                        : nullptr),
+      rng_(seed),
+      spans_([this] { return now_; }) {}
 
 void Simulation::MirrorSpans() const {
   const std::vector<uint64_t>& closed = spans_.closed_order();
@@ -21,17 +25,15 @@ void Simulation::MirrorSpans() const {
   }
 }
 
-EventHandle Simulation::At(SimTime when, EventQueue::Callback cb) {
-  assert(when >= now_);
-  return queue_.Schedule(when, std::move(cb));
-}
-
-EventHandle Simulation::After(SimTime delay, EventQueue::Callback cb) {
-  assert(delay >= SimTime(0));
-  return queue_.Schedule(now_ + delay, std::move(cb));
-}
-
 SimTime Simulation::RunToCompletion() {
+  if (legacy_queue_ != nullptr) {
+    while (!legacy_queue_->empty()) {
+      now_ = legacy_queue_->NextTime();
+      legacy_queue_->PopAndRun();
+      ++events_executed_;
+    }
+    return now_;
+  }
   while (!queue_.empty()) {
     // Advance the clock before dispatch so callbacks observe their own time.
     now_ = queue_.NextTime();
@@ -42,10 +44,18 @@ SimTime Simulation::RunToCompletion() {
 }
 
 SimTime Simulation::RunUntil(SimTime deadline) {
-  while (!queue_.empty() && queue_.NextTime() <= deadline) {
-    now_ = queue_.NextTime();
-    queue_.PopAndRun();
-    ++events_executed_;
+  if (legacy_queue_ != nullptr) {
+    while (!legacy_queue_->empty() && legacy_queue_->NextTime() <= deadline) {
+      now_ = legacy_queue_->NextTime();
+      legacy_queue_->PopAndRun();
+      ++events_executed_;
+    }
+  } else {
+    while (!queue_.empty() && queue_.NextTime() <= deadline) {
+      now_ = queue_.NextTime();
+      queue_.PopAndRun();
+      ++events_executed_;
+    }
   }
   if (now_ < deadline) {
     now_ = deadline;
@@ -54,6 +64,15 @@ SimTime Simulation::RunUntil(SimTime deadline) {
 }
 
 bool Simulation::Step() {
+  if (legacy_queue_ != nullptr) {
+    if (legacy_queue_->empty()) {
+      return false;
+    }
+    now_ = legacy_queue_->NextTime();
+    legacy_queue_->PopAndRun();
+    ++events_executed_;
+    return true;
+  }
   if (queue_.empty()) {
     return false;
   }

@@ -7,25 +7,42 @@
 #ifndef UDC_SRC_SIM_SIMULATION_H_
 #define UDC_SRC_SIM_SIMULATION_H_
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <utility>
 
 #include "src/common/rng.h"
 #include "src/common/units.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/legacy_event_queue.h"
 #include "src/sim/trace.h"
 
 namespace udc {
 
+// Which event-queue implementation drives the run. kFast is the slot-slab
+// zero-allocation kernel and the default everywhere; kLegacy is the
+// pre-fast-path queue (std::function + hash-set cancellation) kept as a
+// differential-test oracle — semantics are identical, so a run's trace must
+// match byte for byte across kernels for the same seed.
+enum class SimKernel {
+  kFast,
+  kLegacy,
+};
+
 class Simulation {
  public:
-  explicit Simulation(uint64_t seed = 42);
+  explicit Simulation(uint64_t seed = 42, SimKernel kernel = SimKernel::kFast);
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
   SimTime now() const { return now_; }
+  SimKernel kernel() const {
+    return legacy_queue_ ? SimKernel::kLegacy : SimKernel::kFast;
+  }
   Rng& rng() { return rng_; }
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
@@ -57,13 +74,32 @@ class Simulation {
                       std::move(labels));
   }
 
-  // Schedules `cb` at absolute simulated time `when` (>= now).
-  EventHandle At(SimTime when, EventQueue::Callback cb);
+  // Schedules `cb` at absolute simulated time `when` (>= now). Templated so
+  // the caller's closure is constructed directly into the active kernel's
+  // callback type — InlineCallback on the fast path (zero heap allocation
+  // for captures up to 64 bytes, pooled slab beyond), std::function on the
+  // legacy oracle.
+  template <typename F>
+  EventHandle At(SimTime when, F&& cb) {
+    assert(when >= now_);
+    if (legacy_queue_ != nullptr) {
+      return legacy_queue_->Schedule(
+          when, LegacyEventQueue::Callback(std::forward<F>(cb)));
+    }
+    return queue_.Schedule(when, InlineCallback(std::forward<F>(cb)));
+  }
 
   // Schedules `cb` after `delay` from now.
-  EventHandle After(SimTime delay, EventQueue::Callback cb);
+  template <typename F>
+  EventHandle After(SimTime delay, F&& cb) {
+    assert(delay >= SimTime(0));
+    return At(now_ + delay, std::forward<F>(cb));
+  }
 
-  bool Cancel(EventHandle handle) { return queue_.Cancel(handle); }
+  bool Cancel(EventHandle handle) {
+    return legacy_queue_ ? legacy_queue_->Cancel(handle)
+                         : queue_.Cancel(handle);
+  }
 
   // Runs events until the queue is empty. Returns the final time.
   SimTime RunToCompletion();
@@ -87,6 +123,9 @@ class Simulation {
 
   SimTime now_;
   EventQueue queue_;
+  // Non-null only under SimKernel::kLegacy (differential tests/benches);
+  // the fast queue above then stays empty and unused.
+  std::unique_ptr<LegacyEventQueue> legacy_queue_;
   Rng rng_;
   MetricsRegistry metrics_;
   mutable TraceRecorder trace_;
