@@ -1,0 +1,154 @@
+// Shared macro-benchmark harness: the counting global allocator, the
+// warmup/measure loop, the --smoke flag, and JSON report helpers that
+// deploy_churn.cc and sim_kernel.cc previously each carried a private copy
+// of.
+//
+// Including this header replaces the global operator new/delete for the
+// whole binary (replacement functions must not be inline, so include it
+// from exactly one translation unit per benchmark — which is what a
+// single-file benchmark does). The counting is malloc-based and composes
+// with sanitizers if a bench is ever built under them.
+
+#ifndef UDC_BENCH_BENCH_COMMON_H_
+#define UDC_BENCH_BENCH_COMMON_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <thread>
+#include <utility>
+
+namespace udc {
+namespace bench {
+
+inline std::atomic<uint64_t> g_alloc_count{0};
+
+// Allocations observed so far, process-wide.
+inline uint64_t AllocCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+inline bool ParseSmokeFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Physical cores visible to this process; 0 when unknown. Recorded in the
+// bench reports so scaling numbers carry their context with them.
+inline int HostCores() {
+  return static_cast<int>(std::thread::hardware_concurrency());
+}
+
+struct MeasureResult {
+  double wall_seconds = 0;
+  long long allocs = 0;
+};
+
+// Runs `fn` `warmup_rounds` times unmeasured (pools fill, capacities
+// settle), invokes `on_measure_start` (the caller snapshots its workload
+// counters — events, deliveries — there), then runs `fn` `rounds` times
+// inside the wall clock and the allocation counter. This is the harness
+// every steady-state bench phase shares.
+template <typename Fn, typename OnMeasureStart>
+MeasureResult Measure(int warmup_rounds, int rounds, Fn&& fn,
+                      OnMeasureStart&& on_measure_start) {
+  for (int i = 0; i < warmup_rounds; ++i) {
+    fn();
+  }
+  on_measure_start();
+  MeasureResult result;
+  const uint64_t allocs_before = AllocCount();
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < rounds; ++i) {
+    fn();
+  }
+  const auto wall_end = std::chrono::steady_clock::now();
+  result.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  result.allocs = static_cast<long long>(AllocCount() - allocs_before);
+  return result;
+}
+
+template <typename Fn>
+MeasureResult Measure(int warmup_rounds, int rounds, Fn&& fn) {
+  return Measure(warmup_rounds, rounds, std::forward<Fn>(fn), [] {});
+}
+
+// RAII wrapper around the report file every bench writes into the working
+// directory; prints the standard error message when the open fails.
+class JsonFile {
+ public:
+  explicit JsonFile(const char* path) : f_(std::fopen(path, "w")) {
+    if (f_ == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path);
+    }
+  }
+  JsonFile(const JsonFile&) = delete;
+  JsonFile& operator=(const JsonFile&) = delete;
+  ~JsonFile() {
+    if (f_ != nullptr) {
+      std::fclose(f_);
+    }
+  }
+  explicit operator bool() const { return f_ != nullptr; }
+  FILE* get() { return f_; }
+
+ private:
+  FILE* f_;
+};
+
+}  // namespace bench
+}  // namespace udc
+
+// ---------------------------------------------------------------------------
+// Counting global allocator. Every new/delete in the process goes through
+// here; measured phases read udc::bench::AllocCount() before and after.
+
+void* operator new(std::size_t size) {
+  udc::bench::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  udc::bench::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::aligned_alloc(
+      static_cast<std::size_t>(align),
+      size == 0 ? static_cast<std::size_t>(align) : size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // UDC_BENCH_BENCH_COMMON_H_

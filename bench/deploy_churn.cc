@@ -14,12 +14,12 @@
 
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <deque>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/common/histogram.h"
 #include "src/common/rng.h"
 #include "src/core/udc_cloud.h"
@@ -65,53 +65,56 @@ ChurnResult RunChurn(const ChurnConfig& config,
       static_cast<long long>(cloud.datacenter().AllDevices().size());
 
   std::deque<std::unique_ptr<udc::Deployment>> live;
-  const auto wall_start = std::chrono::steady_clock::now();
-  for (int i = 0; i < config.deploys; ++i) {
-    const udc::TenantId tenant =
-        cloud.RegisterTenant("tenant-" + std::to_string(i));
-    const udc::AppSpec& spec = specs[i % specs.size()];
+  const auto churn = [&] {
+    for (int i = 0; i < config.deploys; ++i) {
+      const udc::TenantId tenant =
+          cloud.RegisterTenant("tenant-" + std::to_string(i));
+      const udc::AppSpec& spec = specs[i % specs.size()];
 
-    const auto t0 = std::chrono::steady_clock::now();
-    auto deployment = cloud.Deploy(tenant, spec);
-    const auto t1 = std::chrono::steady_clock::now();
-    result.placement_us.Add(
-        std::chrono::duration<double, std::micro>(t1 - t0).count());
-    if (!deployment.ok()) {
-      ++result.failures;
-      continue;
+      const auto t0 = std::chrono::steady_clock::now();
+      auto deployment = cloud.Deploy(tenant, spec);
+      const auto t1 = std::chrono::steady_clock::now();
+      result.placement_us.Add(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+      if (!deployment.ok()) {
+        ++result.failures;
+        continue;
+      }
+      ++result.deploys;
+      live.push_back(std::move(*deployment));
+
+      // Let env starts and replication wiring fire before the next deploy.
+      cloud.sim()->RunToCompletion();
+
+      while (static_cast<int>(live.size()) > config.live_window) {
+        std::unique_ptr<udc::Deployment>& oldest = live.front();
+        for (udc::ResourceUnit* unit : oldest->units()) {
+          if (unit->env != nullptr) {
+            (void)cloud.envs().Stop(unit->env, /*keep_warm=*/false);
+            unit->env = nullptr;
+          }
+        }
+        live.pop_front();  // destructor releases the pool allocations
+      }
     }
-    ++result.deploys;
-    live.push_back(std::move(*deployment));
-
-    // Let env starts and replication wiring fire before the next deploy.
-    cloud.sim()->RunToCompletion();
-
-    while (static_cast<int>(live.size()) > config.live_window) {
-      std::unique_ptr<udc::Deployment>& oldest = live.front();
-      for (udc::ResourceUnit* unit : oldest->units()) {
+    // Drain: stop every environment still running, release every slice.
+    for (auto& deployment : live) {
+      for (udc::ResourceUnit* unit : deployment->units()) {
         if (unit->env != nullptr) {
           (void)cloud.envs().Stop(unit->env, /*keep_warm=*/false);
           unit->env = nullptr;
         }
       }
-      live.pop_front();  // destructor releases the pool allocations
     }
-  }
-  // Drain: stop every environment still running, release every slice.
-  for (auto& deployment : live) {
-    for (udc::ResourceUnit* unit : deployment->units()) {
-      if (unit->env != nullptr) {
-        (void)cloud.envs().Stop(unit->env, /*keep_warm=*/false);
-        unit->env = nullptr;
-      }
-    }
-  }
-  live.clear();
-  cloud.sim()->RunToCompletion();
-  const auto wall_end = std::chrono::steady_clock::now();
+    live.clear();
+    cloud.sim()->RunToCompletion();
+  };
+  // The shared harness wraps the single churn pass: churn has no warm/steady
+  // split — fragmentation building up IS the workload.
+  const udc::bench::MeasureResult timed =
+      udc::bench::Measure(/*warmup_rounds=*/0, /*rounds=*/1, churn);
 
-  result.wall_seconds =
-      std::chrono::duration<double>(wall_end - wall_start).count();
+  result.wall_seconds = timed.wall_seconds;
   if (result.wall_seconds > 0) {
     result.deploys_per_sec =
         static_cast<double>(result.deploys) / result.wall_seconds;
@@ -133,11 +136,11 @@ void PrintResult(const char* label, const ChurnResult& r) {
 
 void WriteJson(const ChurnConfig& config, bool smoke,
                const ChurnResult& linear, const ChurnResult& indexed) {
-  FILE* f = std::fopen("BENCH_hotpath.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open BENCH_hotpath.json for writing\n");
+  udc::bench::JsonFile json("BENCH_hotpath.json");
+  if (!json) {
     return;
   }
+  FILE* f = json.get();
   auto emit_mode = [f](const char* name, const ChurnResult& r) {
     std::fprintf(f,
                  "  \"%s\": {\n"
@@ -167,18 +170,12 @@ void WriteJson(const ChurnConfig& config, bool smoke,
                              ? indexed.deploys_per_sec / linear.deploys_per_sec
                              : 0;
   std::fprintf(f, ",\n  \"speedup_deploys_per_sec\": %.2f\n}\n", speedup);
-  std::fclose(f);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    }
-  }
+  const bool smoke = udc::bench::ParseSmokeFlag(argc, argv);
 
   ChurnConfig config;
   if (smoke) {

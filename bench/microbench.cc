@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "src/aspects/spec_parser.h"
 #include "src/crypto/cipher.h"
 #include "src/crypto/merkle.h"
@@ -14,6 +16,7 @@
 #include "src/sim/event_queue.h"
 #include "src/sim/legacy_event_queue.h"
 #include "src/sim/simulation.h"
+#include "src/sim/spsc_channel.h"
 #include "src/workload/medical.h"
 
 namespace udc {
@@ -236,6 +239,38 @@ void BM_ParseMedicalSpec(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ParseMedicalSpec);
+
+// Cross-shard channel round-trip: two threads ping-pong a token through a
+// pair of SPSC rings using the strict TryPush/TryPop protocol. One
+// iteration is one full round trip (two hops), so items/s is twice the
+// per-hop rate. This bounds the per-event cost the parallel kernel pays
+// whenever an event crosses a shard boundary.
+void BM_SpscChannelPingPong(benchmark::State& state) {
+  SpscChannel<uint64_t> there(64);
+  SpscChannel<uint64_t> back(64);
+  std::atomic<bool> stop{false};
+  std::thread echo([&] {
+    uint64_t token;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (there.TryPop(&token)) {
+        while (!back.TryPush(std::move(token))) {
+        }
+      }
+    }
+  });
+  uint64_t token = 1;
+  for (auto _ : state) {
+    while (!there.TryPush(std::move(token))) {
+    }
+    while (!back.TryPop(&token)) {
+    }
+    benchmark::DoNotOptimize(token);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  echo.join();
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_SpscChannelPingPong);
 
 void BM_SpanBeginEnd(benchmark::State& state) {
   // Cost of one labeled span open/close — the per-boundary overhead the

@@ -16,7 +16,72 @@ ActorSystem::ActorSystem(Simulation* sim, const Topology* topology)
           sim->metrics().CounterSeries("actor.messages_processed")),
       messages_dropped_metric_(
           sim->metrics().CounterSeries("actor.messages_dropped")),
-      recoveries_metric_(sim->metrics().CounterSeries("actor.recoveries")) {}
+      recoveries_metric_(sim->metrics().CounterSeries("actor.recoveries")) {
+  ParallelKernel* kernel = sim->parallel();
+  if (kernel != nullptr) {
+    // The actor system must outlive the last Run* call — the hook holds
+    // `this`.
+    shard_states_.resize(kernel->shards() + 1);
+    kernel->AddBarrierHook([this] { FoldShardCounters(); });
+  }
+}
+
+uint32_t ActorSystem::ShardOfActor(ActorId to) const {
+  const ParallelKernel* kernel = sim_->parallel();
+  if (kernel == nullptr) {
+    return 0;
+  }
+  const auto it = actors_.find(to);
+  if (it == actors_.end()) {
+    return 0;  // unknown actors drop on the unsharded path
+  }
+  return kernel->ShardOfRack(topology_->RackOf(it->second.node));
+}
+
+MessageId ActorSystem::NextMessageId(uint32_t src_shard) {
+  if (src_shard == 0) {
+    return message_ids_.Next();
+  }
+  // Striped namespace: deterministic without the shared generator, and
+  // disjoint from it (shard 0 counts from 1, far below 2^48).
+  ShardState& state = shard_states_[src_shard];
+  return MessageId((uint64_t{src_shard} << 48) | ++state.next_message_seq);
+}
+
+void ActorSystem::CountProcessed() {
+  const uint32_t shard = ParallelKernel::CurrentShard();
+  if (shard == 0) {
+    ++messages_processed_;
+    sim_->metrics().Increment(messages_processed_metric_);
+  } else {
+    ++shard_states_[shard].processed;
+  }
+}
+
+void ActorSystem::CountDropped() {
+  const uint32_t shard = ParallelKernel::CurrentShard();
+  if (shard == 0) {
+    sim_->metrics().Increment(messages_dropped_metric_);
+  } else {
+    ++shard_states_[shard].dropped;
+  }
+}
+
+void ActorSystem::FoldShardCounters() {
+  for (ShardState& state : shard_states_) {
+    if (state.processed != 0) {
+      messages_processed_ += state.processed;
+      sim_->metrics().Increment(messages_processed_metric_,
+                                static_cast<int64_t>(state.processed));
+      state.processed = 0;
+    }
+    if (state.dropped != 0) {
+      sim_->metrics().Increment(messages_dropped_metric_,
+                                static_cast<int64_t>(state.dropped));
+      state.dropped = 0;
+    }
+  }
+}
 
 ActorId ActorSystem::Spawn(NodeId node, Behavior behavior, bool log_messages) {
   const ActorId id = actor_ids_.Next();
@@ -30,20 +95,38 @@ ActorId ActorSystem::Spawn(NodeId node, Behavior behavior, bool log_messages) {
 
 void ActorSystem::Inject(ActorId to, std::string name, std::string payload,
                          Bytes size) {
+  const uint32_t src_shard = ParallelKernel::CurrentShard();
+  const uint32_t dest_shard = ShardOfActor(to);
   ActorMessage msg;
-  msg.id = message_ids_.Next();
+  msg.id = NextMessageId(src_shard);
   msg.from = ActorId::Invalid();
   msg.to = to;
   msg.name = std::move(name);
   msg.payload = std::move(payload);
   msg.size = size;
+  if (dest_shard != src_shard) {
+    // The actor lives on another shard: deliver there at the current time.
+    // Cross-shard injection is a serial-phase (workload seeding) operation;
+    // inside a window it would land before the window's end.
+    sim_->parallel()->ScheduleOnShard(
+        dest_shard, sim_->now(),
+        InlineCallback([this, to, msg = std::move(msg)]() mutable {
+          Deliver(to, std::move(msg), /*replay=*/false);
+        }));
+    return;
+  }
   Deliver(to, std::move(msg), /*replay=*/false);
 }
 
 void ActorSystem::Send(ActorId from, ActorId to, std::string name,
                        std::string payload, Bytes size) {
+  ParallelKernel* kernel = sim_->parallel();
+  const uint32_t src_shard =
+      kernel != nullptr ? ParallelKernel::CurrentShard() : 0;
+  const uint32_t dest_shard = kernel != nullptr ? ShardOfActor(to) : 0;
+
   ActorMessage msg;
-  msg.id = message_ids_.Next();
+  msg.id = NextMessageId(src_shard);
   msg.from = from;
   msg.to = to;
   msg.name = std::move(name);
@@ -58,6 +141,17 @@ void ActorSystem::Send(ActorId from, ActorId to, std::string name,
     delay = topology_->TransferTime(from_it->second.node, to_it->second.node,
                                     size);
   }
+  if (kernel != nullptr && (src_shard != 0 || dest_shard != 0)) {
+    // Deliver on the destination actor's shard. A cross-shard hop spans
+    // racks, so `delay` >= the kernel lookahead and the event lands beyond
+    // the current window, as ScheduleOnShard requires.
+    kernel->ScheduleOnShard(
+        dest_shard, sim_->now() + delay,
+        InlineCallback([this, to, msg = std::move(msg)]() mutable {
+          Deliver(to, std::move(msg), /*replay=*/false);
+        }));
+    return;
+  }
   // The capture holds the ActorMessage (two strings, ~104 bytes), past the
   // event queue's inline buffer — it rides the pooled callback slab.
   sim_->After(delay, [this, to, msg = std::move(msg)]() mutable {
@@ -68,7 +162,7 @@ void ActorSystem::Send(ActorId from, ActorId to, std::string name,
 void ActorSystem::Deliver(ActorId to, ActorMessage msg, bool replay) {
   const auto it = actors_.find(to);
   if (it == actors_.end() || it->second.state == ActorState::kDead) {
-    sim_->metrics().Increment(messages_dropped_metric_);
+    CountDropped();
     return;
   }
   ActorRecord& record = it->second;
@@ -92,8 +186,7 @@ void ActorSystem::DrainMailbox(ActorId actor, ActorRecord& record) {
 
   ActorContext ctx(this, actor, sim_->now());
   record.behavior(ctx, msg);
-  ++messages_processed_;
-  sim_->metrics().Increment(messages_processed_metric_);
+  CountProcessed();
   record.draining = false;
 
   const SimTime busy = ctx.work();
@@ -134,9 +227,20 @@ Result<size_t> ActorSystem::Recover(ActorId actor, NodeId node) {
   record.node = node;
   record.state = ActorState::kIdle;
   const size_t replayed = record.log.size();
+  const uint32_t dest_shard = ShardOfActor(actor);
   for (const ActorMessage& logged : record.log) {
     ActorMessage copy = logged;
-    Deliver(actor, std::move(copy), /*replay=*/true);
+    if (dest_shard != ParallelKernel::CurrentShard()) {
+      // Recovery onto a worker shard replays on that shard; same-time
+      // events keep log order (queue insertion order breaks the tie).
+      sim_->parallel()->ScheduleOnShard(
+          dest_shard, sim_->now(),
+          InlineCallback([this, actor, copy = std::move(copy)]() mutable {
+            Deliver(actor, std::move(copy), /*replay=*/true);
+          }));
+    } else {
+      Deliver(actor, std::move(copy), /*replay=*/true);
+    }
   }
   sim_->metrics().Increment(recoveries_metric_);
   return replayed;

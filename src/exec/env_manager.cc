@@ -47,7 +47,11 @@ ExecEnvironment* EnvManager::Launch(
   auto warm_it = warm_slots_.find(key);
   if (options.allow_warm && warm_it != warm_slots_.end() &&
       warm_it->second > 0) {
-    --warm_it->second;
+    // Erase exhausted entries: long-running churn across many (kind,
+    // tenant) pairs must not grow the map with permanent zero slots.
+    if (--warm_it->second == 0) {
+      warm_slots_.erase(warm_it);
+    }
     start_latency = profile.warm_start;
     warm = true;
     sim_->metrics().Increment(warm_starts_);

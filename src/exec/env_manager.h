@@ -61,6 +61,10 @@ class EnvManager {
 
   size_t live_count() const { return envs_.size(); }
   int WarmSlots(EnvKind kind, TenantId tenant) const;
+  // Distinct (kind, tenant) warm-pool entries currently held. Exhausted
+  // entries are erased on the last warm launch, so churn across many pairs
+  // keeps this bounded by the live warm credit, not the history.
+  size_t warm_slot_entries() const { return warm_slots_.size(); }
 
   // Start latency the next Launch of (kind, tenant) would pay. Uses the
   // same profile resolution as Launch (see LaunchOptions::profile_override).

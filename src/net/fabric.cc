@@ -11,7 +11,14 @@ Fabric::Fabric(Simulation* sim, const Topology* topology)
       messages_delivered_metric_(
           sim->metrics().CounterSeries("net.messages_delivered")),
       messages_dropped_metric_(
-          sim->metrics().CounterSeries("net.messages_dropped")) {}
+          sim->metrics().CounterSeries("net.messages_dropped")) {
+  ParallelKernel* kernel = sim->parallel();
+  if (kernel != nullptr) {
+    // The fabric must outlive the last Run* call — the hook holds `this`.
+    shard_states_.resize(kernel->shards() + 1);
+    kernel->AddBarrierHook([this] { FoldShardCounters(); });
+  }
+}
 
 void Fabric::Bind(NodeId node, Handler handler) {
   handlers_[node] = std::move(handler);
@@ -40,6 +47,13 @@ uint32_t Fabric::InternType(std::string_view type) {
     return it->second;
   }
   if (types_.size() >= kMaxInternedTypes) {
+    return 0;
+  }
+  ParallelKernel* kernel = sim_->parallel();
+  if (kernel != nullptr && kernel->InWindow()) {
+    // Worker shards read the table concurrently; first-seen types inside a
+    // window stay uninterned for this send. PreinternType during setup (or
+    // any serial-phase send) avoids this cold path.
     return 0;
   }
   TypeInfo info;
@@ -71,6 +85,17 @@ void Fabric::ReleaseMessage(Message* msg) {
 MessageId Fabric::Send(NodeId from, NodeId to, std::string_view type,
                        std::string payload, Bytes size, uint64_t tag,
                        int64_t tag2) {
+  ParallelKernel* kernel = sim_->parallel();
+  if (kernel != nullptr) {
+    const uint32_t src_shard = ParallelKernel::CurrentShard();
+    const uint32_t dest_shard = kernel->ShardOfRack(topology_->RackOf(to));
+    if (src_shard != 0 || dest_shard != 0) {
+      return SendSharded(kernel, src_shard, dest_shard, from, to, type,
+                         std::move(payload), size, tag, tag2);
+    }
+    // Both ends in the unsharded domain: fall through to the exact
+    // single-threaded path, byte-compatible with kFast.
+  }
   const MessageId id = message_ids_.Next();
   ++messages_sent_;
   bytes_sent_ += size.bytes();
@@ -107,6 +132,159 @@ MessageId Fabric::Send(NodeId from, NodeId to, std::string_view type,
   // 24-byte capture: stays in InlineCallback's inline buffer.
   sim_->After(delay, [this, msg, span] { Deliver(msg, span); });
   return id;
+}
+
+MessageId Fabric::SendSharded(ParallelKernel* kernel, uint32_t src_shard,
+                              uint32_t dest_shard, NodeId from, NodeId to,
+                              std::string_view type, std::string payload,
+                              Bytes size, uint64_t tag, int64_t tag2) {
+  MessageId id;
+  if (src_shard == 0) {
+    // Coordinator thread: shared counters and the shared id space are safe.
+    id = message_ids_.Next();
+    ++messages_sent_;
+    bytes_sent_ += size.bytes();
+    sim_->metrics().Increment(messages_sent_metric_);
+    sim_->metrics().Increment(bytes_sent_metric_, size.bytes());
+  } else {
+    ShardState& state = shard_states_[src_shard];
+    // Striped id namespace: unique and deterministic without touching the
+    // shared generator. Shard 0's generator counts from 1, far below 2^48.
+    id = MessageId((uint64_t{src_shard} << 48) | ++state.next_message_seq);
+    ++state.sent;
+    state.bytes += size.bytes();
+  }
+
+  Message* msg = AcquireMessageFor(src_shard);
+  msg->id = id;
+  msg->from = from;
+  msg->to = to;
+  msg->type_id = InternType(type);
+  msg->type.assign(type);
+  if (payload.empty()) {
+    msg->payload.clear();
+  } else {
+    msg->payload = std::move(payload);
+  }
+  msg->size = size;
+  msg->sent_at = sim_->now();
+  msg->delivered_at = SimTime();
+  msg->tag = tag;
+  msg->tag2 = tag2;
+
+  // No span opens here: the interval is recorded whole at delivery and
+  // merged at the window barrier in canonical order. A cross-shard hop's
+  // transfer time is >= the kernel lookahead by construction (sharding is
+  // rack-granular), satisfying ScheduleOnShard's window constraint.
+  const SimTime delay = topology_->TransferTime(from, to, size);
+  kernel->ScheduleOnShard(dest_shard, msg->sent_at + delay,
+                          InlineCallback([this, msg] { DeliverSharded(msg); }));
+  return id;
+}
+
+void Fabric::DeliverSharded(Message* msg) {
+  const uint32_t shard = ParallelKernel::CurrentShard();
+  const SimTime now = sim_->now();
+  const auto it = handlers_.find(msg->to);
+  const bool dropped = !IsNodeUp(msg->to) || it == handlers_.end();
+
+  ShardObsBuffer* buffer = ParallelKernel::CurrentObsBuffer();
+  if (buffer != nullptr) {
+    if (msg->type_id != 0) {
+      buffer->CompletedSpan(msg->sent_at, now, "net", "net.message",
+                            types_[msg->type_id - 1].span_label_set, dropped);
+    } else {
+      buffer->CompletedSpanDynamic(msg->sent_at, now, "net", "net.message",
+                                   msg->type, dropped);
+    }
+  } else {
+    // Delivery landed on shard 0: write the shared tracer directly.
+    const uint64_t span =
+        msg->type_id != 0
+            ? sim_->spans().BeginWithSetAt(
+                  msg->sent_at, "net", "net.message",
+                  types_[msg->type_id - 1].span_label_set)
+            : sim_->spans().BeginAt(msg->sent_at, "net", "net.message",
+                                    {{"type", msg->type}});
+    if (dropped) {
+      sim_->spans().AddLabel(span, "dropped", "true");
+    }
+    sim_->spans().EndAt(span, now);
+  }
+
+  if (shard == 0) {
+    if (dropped) {
+      ++messages_dropped_;
+      sim_->metrics().Increment(messages_dropped_metric_);
+    } else {
+      ++messages_delivered_;
+      sim_->metrics().Increment(messages_delivered_metric_);
+    }
+  } else {
+    ShardState& state = shard_states_[shard];
+    if (dropped) {
+      ++state.dropped;
+    } else {
+      ++state.delivered;
+    }
+  }
+
+  if (!dropped) {
+    msg->delivered_at = now;
+    it->second(*msg);
+  }
+  ReleaseMessageFor(shard, msg);
+}
+
+Message* Fabric::AcquireMessageFor(uint32_t shard) {
+  if (shard == 0) {
+    return AcquireMessage();
+  }
+  ShardState& state = shard_states_[shard];
+  if (!state.free_messages.empty()) {
+    Message* msg = state.free_messages.back();
+    state.free_messages.pop_back();
+    return msg;
+  }
+  state.arena.emplace_back();
+  return &state.arena.back();
+}
+
+void Fabric::ReleaseMessageFor(uint32_t shard, Message* msg) {
+  if (shard == 0) {
+    ReleaseMessage(msg);
+    return;
+  }
+  msg->payload.clear();
+  shard_states_[shard].free_messages.push_back(msg);
+}
+
+void Fabric::FoldShardCounters() {
+  for (ShardState& state : shard_states_) {
+    if (state.sent != 0) {
+      messages_sent_ += state.sent;
+      sim_->metrics().Increment(messages_sent_metric_,
+                                static_cast<int64_t>(state.sent));
+      state.sent = 0;
+    }
+    if (state.bytes != 0) {
+      bytes_sent_ += state.bytes;
+      sim_->metrics().Increment(bytes_sent_metric_, state.bytes);
+      state.bytes = 0;
+    }
+    if (state.delivered != 0) {
+      messages_delivered_ += state.delivered;
+      sim_->metrics().Increment(messages_delivered_metric_,
+                                static_cast<int64_t>(state.delivered));
+      state.delivered = 0;
+    }
+    if (state.dropped != 0) {
+      messages_dropped_ += state.dropped;
+      sim_->metrics().Increment(messages_dropped_metric_,
+                                static_cast<int64_t>(state.dropped));
+      state.dropped = 0;
+    }
+  }
 }
 
 void Fabric::Deliver(Message* msg, uint64_t span) {

@@ -18,6 +18,27 @@
 //     take the uninterned path.
 //   * The delivery closure captures 24 bytes, well inside InlineCallback's
 //     inline buffer — no std::function, no heap.
+//
+// Under SimKernel::kParallel the fabric is shard-aware. Sends whose source
+// and destination both live in shard 0 (the unsharded domain) take the
+// exact single-threaded path above, so unsharded runs stay byte-identical
+// to kFast. Any send touching a worker shard takes the sharded path:
+//   * delivery is scheduled on the destination node's shard
+//     (ParallelKernel::ScheduleOnShard), riding an SPSC channel when it
+//     crosses shards inside a window;
+//   * each worker shard owns a private message pool and a striped message
+//     id namespace (shard << 48 | seq), so the hot path never touches
+//     another shard's state — messages released on the delivering shard
+//     simply migrate between free lists;
+//   * counters accumulate in per-shard deltas folded into the shared
+//     registry at the window barrier; the net.message span is recorded as a
+//     completed interval (sent_at -> delivered_at) in the delivering
+//     shard's ShardObsBuffer and replayed canonically at the barrier.
+// The type intern table is read-only while a window is executing: unknown
+// types seen inside a window stay uninterned for that send (cold path).
+// Bind/Unbind/SetNodeUp are control-plane operations — they must not run
+// concurrently with worker-shard message traffic, so place failure-injected
+// nodes in shard 0.
 
 #ifndef UDC_SRC_NET_FABRIC_H_
 #define UDC_SRC_NET_FABRIC_H_
@@ -86,11 +107,20 @@ class Fabric {
   uint64_t messages_dropped() const { return messages_dropped_; }
   int64_t bytes_sent() const { return bytes_sent_; }
 
+  // Interns `type` ahead of time (serial phase only). Sharded workloads
+  // call this during setup so their steady-state sends hit the interned
+  // path — the table is read-only while a window executes.
+  void PreinternType(std::string_view type) { InternType(type); }
+
   // Introspection for tests/benches.
   size_t down_node_count() const { return down_.size(); }
   size_t interned_type_count() const { return types_.size(); }
   size_t message_arena_size() const { return arena_.size(); }
   size_t message_pool_size() const { return free_messages_.size(); }
+  size_t shard_arena_size(uint32_t shard) const {
+    return shard < shard_states_.size() ? shard_states_[shard].arena.size()
+                                        : 0;
+  }
 
  private:
   struct TypeInfo {
@@ -98,12 +128,43 @@ class Fabric {
     uint32_t span_label_set = 0;  // SpanTracer::InternLabelSet handle
   };
 
+  // Per-worker-shard fabric state; index = shard id (entry 0 unused — the
+  // unsharded domain uses the Fabric's own members). Each entry is touched
+  // only by the thread executing its shard; the window barrier provides the
+  // cross-window happens-before edges.
+  struct ShardState {
+    std::deque<Message> arena;
+    std::vector<Message*> free_messages;
+    uint64_t next_message_seq = 0;
+    // Counter deltas, folded into the shared registry at the barrier.
+    uint64_t sent = 0;
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;
+    int64_t bytes = 0;
+  };
+
   // Returns the interned id for `type` (creating one if the table is not
-  // full), or 0 when the type must stay uninterned.
+  // full), or 0 when the type must stay uninterned. Inside a window the
+  // table is read-only and unknown types return 0.
   uint32_t InternType(std::string_view type);
   Message* AcquireMessage();
   void ReleaseMessage(Message* msg);
   void Deliver(Message* msg, uint64_t span);
+
+  // Sharded path (kParallel with a worker shard on either end).
+  MessageId SendSharded(ParallelKernel* kernel, uint32_t src_shard,
+                        uint32_t dest_shard, NodeId from, NodeId to,
+                        std::string_view type, std::string payload, Bytes size,
+                        uint64_t tag, int64_t tag2);
+  void DeliverSharded(Message* msg);
+  // Pool access for shard `shard`; 0 routes to the member pool. Released
+  // messages join the releasing shard's free list even when their storage
+  // lives in another shard's arena (deque addresses are stable).
+  Message* AcquireMessageFor(uint32_t shard);
+  void ReleaseMessageFor(uint32_t shard, Message* msg);
+  // Barrier hook: folds every worker shard's counter deltas into the
+  // member totals and the metrics registry. Coordinator-only.
+  void FoldShardCounters();
 
   // Distinct interned types are expected to be protocol constants (a few
   // dozen); the cap keeps adversarial/unbounded type families (per-seqno
@@ -135,6 +196,8 @@ class Fabric {
   uint64_t messages_delivered_ = 0;
   uint64_t messages_dropped_ = 0;
   int64_t bytes_sent_ = 0;
+  // kParallel only; empty otherwise. Sized shards+1 at construction.
+  std::vector<ShardState> shard_states_;
 };
 
 }  // namespace udc

@@ -1,0 +1,135 @@
+#include "src/obs/shard_buffer.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace udc {
+
+ShardObsBuffer::Record& ShardObsBuffer::Append(Record::Kind kind, SimTime at) {
+  records_.emplace_back();
+  Record& rec = records_.back();
+  rec.kind = kind;
+  rec.time = at;
+  rec.seq = next_seq_++;
+  return rec;
+}
+
+void ShardObsBuffer::CounterAdd(CounterHandle h, int64_t delta, SimTime at) {
+  Record& rec = Append(Record::kCounterAdd, at);
+  rec.handle = h.idx_;
+  rec.i64 = delta;
+}
+
+void ShardObsBuffer::GaugeSet(GaugeHandle h, double value, SimTime at) {
+  Record& rec = Append(Record::kGaugeSet, at);
+  rec.handle = h.idx_;
+  rec.f64 = value;
+}
+
+void ShardObsBuffer::GaugeAdd(GaugeHandle h, double delta, SimTime at) {
+  Record& rec = Append(Record::kGaugeAdd, at);
+  rec.handle = h.idx_;
+  rec.f64 = delta;
+}
+
+void ShardObsBuffer::CompletedSpan(SimTime start, SimTime end,
+                                   std::string_view category,
+                                   std::string_view name, uint32_t label_set,
+                                   bool dropped) {
+  Record& rec = Append(Record::kSpan, end);
+  rec.start = start;
+  rec.category = category;
+  rec.name = name;
+  rec.handle = label_set;
+  rec.dropped = dropped;
+}
+
+void ShardObsBuffer::CompletedSpanDynamic(SimTime start, SimTime end,
+                                          std::string_view category,
+                                          std::string_view name,
+                                          std::string type_label,
+                                          bool dropped) {
+  Record& rec = Append(Record::kSpan, end);
+  rec.start = start;
+  rec.category = category;
+  rec.name = name;
+  rec.handle = 0;
+  rec.dropped = dropped;
+  rec.s1 = std::move(type_label);
+}
+
+void ShardObsBuffer::TraceLine(SimTime at, std::string category,
+                               std::string detail) {
+  Record& rec = Append(Record::kTrace, at);
+  rec.s1 = std::move(category);
+  rec.s2 = std::move(detail);
+}
+
+void ObsFlusher::Flush(const std::vector<ShardObsBuffer*>& buffers,
+                       const ObsFlushTargets& targets) {
+  scratch_.clear();
+  for (uint32_t shard = 0; shard < buffers.size(); ++shard) {
+    ShardObsBuffer* buffer = buffers[shard];
+    if (buffer == nullptr) {
+      continue;
+    }
+    for (const ShardObsBuffer::Record& rec : buffer->records_) {
+      scratch_.push_back(Key{rec.time, shard, rec.seq, &rec});
+    }
+  }
+  // Keys are unique per record ((shard, seq) never repeats), so plain sort
+  // yields one deterministic total order without stable_sort's allocation.
+  std::sort(scratch_.begin(), scratch_.end(), [](const Key& a, const Key& b) {
+    if (a.time != b.time) {
+      return a.time < b.time;
+    }
+    if (a.shard != b.shard) {
+      return a.shard < b.shard;
+    }
+    return a.seq < b.seq;
+  });
+
+  for (const Key& key : scratch_) {
+    const ShardObsBuffer::Record& rec = *key.rec;
+    switch (rec.kind) {
+      case ShardObsBuffer::Record::kCounterAdd:
+        targets.metrics->counters_[rec.handle].value += rec.i64;
+        break;
+      case ShardObsBuffer::Record::kGaugeSet:
+        targets.metrics->gauges_[rec.handle].value = rec.f64;
+        break;
+      case ShardObsBuffer::Record::kGaugeAdd:
+        targets.metrics->gauges_[rec.handle].value += rec.f64;
+        break;
+      case ShardObsBuffer::Record::kSpan: {
+        uint64_t id = 0;
+        if (rec.handle != 0 || rec.s1.empty()) {
+          id = targets.spans->BeginWithSetAt(rec.start, rec.category, rec.name,
+                                             rec.handle);
+        } else {
+          id = targets.spans->BeginAt(rec.start, std::string(rec.category),
+                                      std::string(rec.name),
+                                      {{"type", rec.s1}});
+        }
+        if (rec.dropped) {
+          targets.spans->AddLabel(id, "dropped", "true");
+        }
+        targets.spans->EndAt(id, rec.time);
+        break;
+      }
+      case ShardObsBuffer::Record::kTrace:
+        if (targets.trace) {
+          targets.trace(rec.time, rec.s1, rec.s2);
+        }
+        break;
+    }
+  }
+
+  for (ShardObsBuffer* buffer : buffers) {
+    if (buffer != nullptr) {
+      buffer->records_.clear();
+    }
+  }
+}
+
+}  // namespace udc

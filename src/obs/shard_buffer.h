@@ -1,0 +1,128 @@
+// Per-shard observability buffers for the parallel simulation kernel.
+//
+// Worker shards must not touch the shared MetricsRegistry / SpanTracer /
+// TraceRecorder while other shards are executing — those structures are
+// plain single-writer containers and the obs hot path (~0.4ns handle
+// increments) must stay free of atomics. Instead, every worker shard owns a
+// ShardObsBuffer: an append-only vector of POD-ish records (counter deltas,
+// gauge writes, completed span intervals, trace lines) stamped with the
+// simulated time and a per-shard emission sequence.
+//
+// At each window barrier the coordinator — and only the coordinator — merges
+// every shard's records in canonical (time, shard, seq) order and applies
+// them to the shared sinks (ObsFlusher::Flush). The canonical order makes
+// the merged telemetry a pure function of the seed and the shard map: the
+// same run at 1, 2, 4 or 8 worker threads produces byte-identical traces and
+// metric snapshots.
+//
+// Steady state appends reuse vector capacity and carry no strings, so a warm
+// buffer records with zero heap allocation; the string fields exist only for
+// cold paths (uninterned message types, ad-hoc trace lines).
+
+#ifndef UDC_SRC_OBS_SHARD_BUFFER_H_
+#define UDC_SRC_OBS_SHARD_BUFFER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
+
+namespace udc {
+
+class ShardObsBuffer {
+ public:
+  ShardObsBuffer() = default;
+  ShardObsBuffer(const ShardObsBuffer&) = delete;
+  ShardObsBuffer& operator=(const ShardObsBuffer&) = delete;
+
+  // --- Producer side (owning shard thread only).
+
+  void CounterAdd(CounterHandle h, int64_t delta, SimTime at);
+  void GaugeSet(GaugeHandle h, double value, SimTime at);
+  void GaugeAdd(GaugeHandle h, double delta, SimTime at);
+
+  // A span interval that already ran to completion on this shard (e.g. a
+  // fabric message: start = sent, end = delivered). `category` and `name`
+  // must outlive the flush — string literals in practice. `label_set` is a
+  // SpanTracer::InternLabelSet handle (0 = none).
+  void CompletedSpan(SimTime start, SimTime end, std::string_view category,
+                     std::string_view name, uint32_t label_set,
+                     bool dropped = false);
+  // Cold-path variant carrying a per-span "type" label value (uninterned
+  // fabric message types). Allocates; not for the steady-state path.
+  void CompletedSpanDynamic(SimTime start, SimTime end,
+                            std::string_view category, std::string_view name,
+                            std::string type_label, bool dropped = false);
+
+  // A legacy trace line (Simulation::Trace equivalent). Allocates.
+  void TraceLine(SimTime at, std::string category, std::string detail);
+
+  bool empty() const { return records_.empty(); }
+  size_t pending() const { return records_.size(); }
+
+ private:
+  friend class ObsFlusher;
+
+  struct Record {
+    enum Kind : uint8_t {
+      kCounterAdd,
+      kGaugeSet,
+      kGaugeAdd,
+      kSpan,
+      kTrace,
+    };
+    Kind kind;
+    bool dropped = false;
+    uint32_t handle = 0;     // counter/gauge index, or span label-set handle
+    uint64_t seq = 0;        // per-shard emission order
+    SimTime time;            // sort key: span end, counter/gauge/trace time
+    SimTime start;           // span start
+    std::string_view category;  // span literals (caller-owned)
+    std::string_view name;
+    int64_t i64 = 0;
+    double f64 = 0;
+    std::string s1, s2;  // cold: dynamic type label / trace category+detail
+  };
+
+  Record& Append(Record::Kind kind, SimTime at);
+
+  std::vector<Record> records_;
+  uint64_t next_seq_ = 0;
+};
+
+// Destination sinks for a flush. `trace` is Simulation::Trace (or
+// equivalent); may be empty when no legacy trace mirroring is wanted.
+struct ObsFlushTargets {
+  MetricsRegistry* metrics = nullptr;
+  SpanTracer* spans = nullptr;
+  std::function<void(SimTime, std::string_view, std::string_view)> trace;
+};
+
+// Coordinator-side merge-and-apply. Owns its scratch so repeated flushes on
+// a warm steady state allocate nothing.
+class ObsFlusher {
+ public:
+  // Applies every pending record from `buffers` (indexed by shard id; null
+  // entries are skipped) to `targets` in canonical (time, shard, seq) order,
+  // then resets the buffers. Must be called with all producers quiesced.
+  void Flush(const std::vector<ShardObsBuffer*>& buffers,
+             const ObsFlushTargets& targets);
+
+ private:
+  struct Key {
+    SimTime time;
+    uint32_t shard;
+    uint64_t seq;
+    const ShardObsBuffer::Record* rec;
+  };
+  std::vector<Key> scratch_;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_OBS_SHARD_BUFFER_H_

@@ -93,6 +93,12 @@ uint32_t SpanTracer::InternLabelSet(SpanLabels labels) {
 uint64_t SpanTracer::BeginWithSet(std::string_view category,
                                   std::string_view name, uint32_t label_set,
                                   uint64_t parent) {
+  return BeginWithSetAt(clock_(), category, name, label_set, parent);
+}
+
+uint64_t SpanTracer::BeginWithSetAt(SimTime start, std::string_view category,
+                                    std::string_view name, uint32_t label_set,
+                                    uint64_t parent) {
   if (spans_.size() >= max_spans_) {
     ++dropped_;
     return 0;
@@ -100,7 +106,6 @@ uint64_t SpanTracer::BeginWithSet(std::string_view category,
   if (parent == 0) {
     parent = CurrentScope();
   }
-  const SimTime start = clock_();
   Span span;
   span.span_id = spans_.size() + 1;
   span.parent_span_id = parent;

@@ -82,6 +82,12 @@ class SpanTracer {
   // by pointer. `category`/`name` should be literals (SSO; no allocation).
   uint64_t BeginWithSet(std::string_view category, std::string_view name,
                         uint32_t label_set, uint64_t parent = 0);
+  // BeginWithSet with an explicit start time instead of the tracer clock;
+  // used by the parallel kernel's barrier flush, which replays spans whose
+  // interval was recorded on a worker shard earlier in the window.
+  uint64_t BeginWithSetAt(SimTime start, std::string_view category,
+                          std::string_view name, uint32_t label_set,
+                          uint64_t parent = 0);
 
   void AddLabel(uint64_t span_id, std::string key, std::string value);
   void End(uint64_t span_id);

@@ -1,0 +1,392 @@
+#include "src/sim/parallel_kernel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace udc {
+
+thread_local ParallelKernel::ShardRuntime* ParallelKernel::tls_shard_ =
+    nullptr;
+
+namespace {
+// Spin budget before falling back to the condvar, for both sides of the
+// window barrier. Windows are typically a few microseconds of work, so a
+// short spin absorbs most handoffs without burning a syscall.
+constexpr int kBarrierSpins = 4096;
+}  // namespace
+
+ParallelKernel::ParallelKernel(EventQueue* root_queue, SimTime* now,
+                               ParallelConfig config)
+    : root_queue_(root_queue),
+      now_(now),
+      lookahead_(config.lookahead),
+      shard_total_(static_cast<uint32_t>(std::max(0, config.shards)) + 1) {
+  int threads = config.threads;
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 1 ? static_cast<int>(hw - 1) : 1;
+  }
+  const int worker_shards = static_cast<int>(shard_total_) - 1;
+  thread_count_ = worker_shards > 0 ? std::min(threads, worker_shards) : 0;
+
+  runtimes_.resize(shard_total_);
+  obs_buffers_.resize(shard_total_, nullptr);
+  for (uint32_t s = 0; s < shard_total_; ++s) {
+    auto rt = std::make_unique<ShardRuntime>();
+    rt->id = s;
+    if (s == 0) {
+      rt->queue = root_queue_;
+    } else {
+      rt->owned_queue = std::make_unique<EventQueue>();
+      rt->queue = rt->owned_queue.get();
+      obs_buffers_[s] = &rt->obs;
+    }
+    runtimes_[s] = std::move(rt);
+  }
+
+  channels_.resize(static_cast<size_t>(shard_total_) * shard_total_);
+  for (uint32_t src = 0; src < shard_total_; ++src) {
+    for (uint32_t dest = 0; dest < shard_total_; ++dest) {
+      if (src != dest) {
+        channels_[src * shard_total_ + dest] =
+            std::make_unique<SpscChannel<CrossShardEvent>>(
+                config.channel_capacity);
+      }
+    }
+  }
+}
+
+ParallelKernel::~ParallelKernel() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_.store(true, std::memory_order_release);
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void ParallelKernel::AssignRack(int rack, uint32_t shard) {
+  assert(shard < shard_total_);
+  assert(!in_window_ && "shard map is fixed while a window is executing");
+  if (rack < 0) {
+    return;
+  }
+  if (static_cast<size_t>(rack) >= rack_to_shard_.size()) {
+    rack_to_shard_.resize(static_cast<size_t>(rack) + 1, 0);
+  }
+  rack_to_shard_[rack] = shard;
+}
+
+uint32_t ParallelKernel::CurrentShard() {
+  ShardRuntime* rt = tls_shard_;
+  return rt != nullptr ? rt->id : 0;
+}
+
+ShardObsBuffer* ParallelKernel::CurrentObsBuffer() {
+  ShardRuntime* rt = tls_shard_;
+  return rt != nullptr ? &rt->obs : nullptr;
+}
+
+SimTime ParallelKernel::CurrentNow(SimTime fallback) const {
+  ShardRuntime* rt = tls_shard_;
+  return rt != nullptr ? rt->now : fallback;
+}
+
+void ParallelKernel::ScheduleOnShard(uint32_t shard, SimTime when,
+                                     InlineCallback cb) {
+  assert(shard < shard_total_);
+  ShardRuntime* src = tls_shard_;
+  const uint32_t src_id = src != nullptr ? src->id : 0;
+  if (shard == src_id) {
+    (src != nullptr ? src->queue : root_queue_)->Schedule(when, std::move(cb));
+    return;
+  }
+  if (!in_window_) {
+    // Serial phase: the coordinator owns every queue; insert directly.
+    runtimes_[shard]->queue->Schedule(when, std::move(cb));
+    if (shard != 0) {
+      sharded_work_ = true;
+    }
+    return;
+  }
+  assert(when >= window_end_ &&
+         "cross-shard schedule lands inside the lookahead window");
+  ShardRuntime* owner = src != nullptr ? src : runtimes_[0].get();
+  Channel(src_id, shard).Push(
+      CrossShardEvent{when, owner->emit_seq++, std::move(cb)});
+}
+
+bool ParallelKernel::HasShardedWork() const {
+  for (uint32_t s = 1; s < shard_total_; ++s) {
+    if (!runtimes_[s]->queue->empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t ParallelKernel::channel_spills() const {
+  uint64_t total = 0;
+  for (const auto& ch : channels_) {
+    if (ch != nullptr) {
+      total += ch->spill_count();
+    }
+  }
+  return total;
+}
+
+void ParallelKernel::RunShardWindow(ShardRuntime* rt, SimTime window_end,
+                                    SimTime deadline) {
+  EventQueue* q = rt->queue;
+  if (rt->id == 0) {
+    // The unsharded domain writes the published clock and the shared obs
+    // sinks directly; no thread-local context (CurrentObsBuffer stays null).
+    for (;;) {
+      const SimTime next = q->NextTime();
+      if (next >= window_end || next > deadline) {
+        break;
+      }
+      *now_ = next;
+      q->PopAndRun();
+      ++rt->events;
+    }
+    return;
+  }
+  tls_shard_ = rt;
+  for (;;) {
+    const SimTime next = q->NextTime();
+    if (next >= window_end || next > deadline) {
+      break;
+    }
+    rt->now = next;
+    q->PopAndRun();
+    ++rt->events;
+  }
+  tls_shard_ = nullptr;
+}
+
+void ParallelKernel::StartWorkers() {
+  workers_.reserve(thread_count_);
+  for (int i = 0; i < thread_count_; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+void ParallelKernel::WorkerLoop(int worker_index) {
+  uint64_t seen = 0;
+  for (;;) {
+    const uint64_t target = seen + 1;
+    bool ready = false;
+    for (int spin = 0; spin < kBarrierSpins; ++spin) {
+      if (shutdown_.load(std::memory_order_acquire)) {
+        return;
+      }
+      if (epoch_.load(std::memory_order_acquire) >= target) {
+        ready = true;
+        break;
+      }
+    }
+    if (!ready) {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] {
+        return shutdown_.load(std::memory_order_acquire) ||
+               epoch_.load(std::memory_order_acquire) >= target;
+      });
+      if (shutdown_.load(std::memory_order_acquire)) {
+        return;
+      }
+    }
+    seen = target;
+    // The epoch acquire pairs with the coordinator's release: window bounds
+    // written before the bump are visible here.
+    const SimTime window_end = window_end_;
+    const SimTime deadline = window_deadline_;
+    for (uint32_t s = static_cast<uint32_t>(1 + worker_index);
+         s < shard_total_; s += static_cast<uint32_t>(thread_count_)) {
+      RunShardWindow(runtimes_[s].get(), window_end, deadline);
+    }
+    const int active = static_cast<int>(workers_.size());
+    if (done_count_.fetch_add(1, std::memory_order_acq_rel) + 1 == active) {
+      // Lock pairs with the coordinator's predicate check so the final
+      // notify can never be missed.
+      std::lock_guard<std::mutex> lk(mu_);
+      cv_done_.notify_one();
+    }
+  }
+}
+
+bool ParallelKernel::RunWindowBatch(SimTime deadline) {
+  SimTime t_min = SimTime::Max();
+  SimTime t_second = SimTime::Max();
+  uint32_t argmin = 0;
+  for (uint32_t s = 0; s < shard_total_; ++s) {
+    const SimTime t = runtimes_[s]->queue->NextTime();
+    if (t < t_min) {
+      t_second = t_min;
+      t_min = t;
+      argmin = s;
+    } else if (t < t_second) {
+      t_second = t;
+    }
+  }
+  if (t_min == SimTime::Max() || t_min > deadline) {
+    return false;
+  }
+  const SimTime window_end = t_min + lookahead_;
+  window_end_ = window_end;
+  window_deadline_ = deadline;
+  in_window_ = true;
+  if (t_second >= window_end) {
+    // Solo window: every event before window_end lives on one shard. Run it
+    // inline (with the worker-shard context if it is a worker shard) and
+    // skip the pool wakeup. The outcome is identical either way — solo
+    // detection reads only queue state, which is deterministic.
+    RunShardWindow(runtimes_[argmin].get(), window_end, deadline);
+  } else {
+    if (workers_.empty()) {
+      StartWorkers();
+    }
+    done_count_.store(0, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      epoch_.fetch_add(1, std::memory_order_release);
+    }
+    cv_work_.notify_all();
+    RunShardWindow(runtimes_[0].get(), window_end, deadline);
+    const int active = static_cast<int>(workers_.size());
+    bool done = false;
+    for (int spin = 0; spin < kBarrierSpins; ++spin) {
+      if (done_count_.load(std::memory_order_acquire) == active) {
+        done = true;
+        break;
+      }
+    }
+    if (!done) {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_done_.wait(lk, [&] {
+        return done_count_.load(std::memory_order_acquire) == active;
+      });
+    }
+  }
+  in_window_ = false;
+  FinishWindow();
+  return true;
+}
+
+void ParallelKernel::MergeChannels() {
+  for (uint32_t dest = 0; dest < shard_total_; ++dest) {
+    merge_scratch_.clear();
+    for (uint32_t src = 0; src < shard_total_; ++src) {
+      if (src == dest) {
+        continue;
+      }
+      SpscChannel<CrossShardEvent>& ch = Channel(src, dest);
+      if (ch.empty()) {
+        continue;
+      }
+      drain_scratch_.clear();
+      ch.DrainAll(&drain_scratch_);
+      for (CrossShardEvent& ev : drain_scratch_) {
+        merge_scratch_.push_back(
+            MergeItem{ev.when, src, ev.seq, std::move(ev.cb)});
+      }
+    }
+    if (merge_scratch_.empty()) {
+      continue;
+    }
+    // Canonical cross-shard arrival order: independent of which thread ran
+    // which source shard, hence independent of the thread count.
+    std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+              [](const MergeItem& a, const MergeItem& b) {
+                if (a.when != b.when) {
+                  return a.when < b.when;
+                }
+                if (a.src != b.src) {
+                  return a.src < b.src;
+                }
+                return a.seq < b.seq;
+              });
+    EventQueue* q = runtimes_[dest]->queue;
+    for (MergeItem& item : merge_scratch_) {
+      q->Schedule(item.when, std::move(item.cb));
+    }
+  }
+}
+
+void ParallelKernel::FinishWindow() {
+  MergeChannels();
+  for (const auto& hook : barrier_hooks_) {
+    hook();
+  }
+  flusher_.Flush(obs_buffers_, targets_);
+  for (const auto& rt : runtimes_) {
+    events_executed_ += rt->events;
+    rt->events = 0;
+  }
+  ++windows_;
+}
+
+SimTime ParallelKernel::FoldFinalTime(SimTime deadline) {
+  SimTime final = *now_;
+  for (const auto& rt : runtimes_) {
+    if (rt->id != 0 && rt->now > final) {
+      final = rt->now;
+    }
+  }
+  if (final > deadline) {
+    final = deadline;
+  }
+  *now_ = final;
+  return final;
+}
+
+SimTime ParallelKernel::RunLoop(SimTime deadline) {
+  sharded_work_ = HasShardedWork();
+  for (;;) {
+    if (!sharded_work_) {
+      // Serial fast path: the kFast inner loop, verbatim. ScheduleOnShard
+      // flips sharded_work_ the moment an event lands on a worker shard.
+      const SimTime next = root_queue_->NextTime();
+      if (next == SimTime::Max() || next > deadline) {
+        break;
+      }
+      *now_ = next;
+      root_queue_->PopAndRun();
+      ++events_executed_;
+      continue;
+    }
+    if (!RunWindowBatch(deadline)) {
+      break;
+    }
+    sharded_work_ = HasShardedWork();
+  }
+  return FoldFinalTime(deadline);
+}
+
+SimTime ParallelKernel::RunToCompletion() { return RunLoop(SimTime::Max()); }
+
+SimTime ParallelKernel::RunUntil(SimTime deadline) {
+  RunLoop(deadline);
+  if (*now_ < deadline) {
+    *now_ = deadline;
+  }
+  return *now_;
+}
+
+bool ParallelKernel::Step() {
+  if (!HasShardedWork()) {
+    if (root_queue_->empty()) {
+      return false;
+    }
+    *now_ = root_queue_->NextTime();
+    root_queue_->PopAndRun();
+    ++events_executed_;
+    return true;
+  }
+  return RunWindowBatch(SimTime::Max());
+}
+
+}  // namespace udc

@@ -1,0 +1,245 @@
+// Conservative parallel simulation kernel (SimKernel::kParallel).
+//
+// The simulated topology is partitioned into shard domains at rack
+// granularity. Shard 0 is the *unsharded domain*: it is always executed by
+// the coordinator thread (the thread that called Run*), writes the shared
+// clock / trace / metrics / spans directly, and is where everything lives by
+// default — a run that never calls AssignRack() behaves exactly like
+// SimKernel::kFast, event for event and byte for byte. Shards 1..S are
+// *worker shards*: each owns a private slot-slab EventQueue and a
+// ShardObsBuffer, and is executed by a worker thread (static assignment,
+// shard (s-1) % threads).
+//
+// Time advances in conservative lookahead windows. Each window spans
+// [W, W + lookahead) where W is the earliest pending event across all shards
+// and `lookahead` is the minimum cross-shard fabric latency: no event
+// executed inside the window can schedule a cross-shard effect earlier than
+// the window's end, so every shard may drain its own queue through the
+// window without synchronizing. Cross-shard schedules issued inside a window
+// ride per-(source, destination) lock-free SPSC channels and are merged at
+// the window barrier in canonical (when, source shard, emission seq) order;
+// buffered observability records flush in canonical (time, shard, seq)
+// order (src/obs/shard_buffer.h). Both orders are pure functions of the
+// seed and the shard map, so the same run at 1, 2, 4 or 8 worker threads
+// produces byte-identical traces and metric snapshots.
+//
+// Two fast paths keep the serial case honest:
+//   * while no worker shard has pending events, the coordinator drains
+//     shard 0 directly — no windows, no barriers, no buffering; this is the
+//     kFast inner loop verbatim.
+//   * when exactly one shard has events inside the coming window, the
+//     coordinator executes that shard's window inline instead of waking the
+//     worker pool (a "solo window").
+//
+// Contract for code running on worker shards: interact with the simulation
+// only through At/After/now/Cancel (which this kernel routes to the current
+// shard via a thread-local context), the shard-aware Fabric/ActorSystem
+// paths, and ShardObsBuffer. The shared MetricsRegistry, SpanTracer and
+// TraceRecorder are coordinator-only.
+//
+// Determinism contract: output is always byte-identical across thread
+// counts. It is additionally byte-identical to kFast when same-timestamp
+// events never straddle a shard boundary (kFast breaks global-time ties by
+// global scheduling order, which a partitioned run cannot observe); the
+// differential tests construct their workloads accordingly.
+
+#ifndef UDC_SRC_SIM_PARALLEL_KERNEL_H_
+#define UDC_SRC_SIM_PARALLEL_KERNEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/obs/shard_buffer.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/inline_callback.h"
+#include "src/sim/spsc_channel.h"
+
+namespace udc {
+
+struct ParallelConfig {
+  // Worker shard domains (ids 1..shards). Shard 0 — the unsharded
+  // coordinator domain — always exists on top of these.
+  int shards = 8;
+  // Worker threads; 0 = min(shards, hardware_concurrency - 1), at least 1.
+  int threads = 0;
+  // Conservative window width. Must be <= the minimum cross-shard fabric
+  // latency; the default matches TopologyParams::inter_rack_latency.
+  SimTime lookahead = SimTime::Micros(6);
+  // Ring capacity of each cross-shard SPSC channel (bursts spill).
+  size_t channel_capacity = 256;
+};
+
+class ParallelKernel {
+ public:
+  // `root_queue` is the Simulation's own (shard 0) queue and `now` its
+  // clock; both stay owned by the Simulation so unsharded execution is
+  // indistinguishable from kFast. This header is included by simulation.h,
+  // hence the pointer seam instead of a Simulation reference.
+  ParallelKernel(EventQueue* root_queue, SimTime* now, ParallelConfig config);
+  ParallelKernel(const ParallelKernel&) = delete;
+  ParallelKernel& operator=(const ParallelKernel&) = delete;
+  ~ParallelKernel();
+
+  // --- Setup (serial phase only).
+
+  // Maps a topology rack to a shard domain. Unassigned racks belong to
+  // shard 0. `shard` may be 0..shards().
+  void AssignRack(int rack, uint32_t shard);
+  uint32_t ShardOfRack(int rack) const {
+    return rack >= 0 && static_cast<size_t>(rack) < rack_to_shard_.size()
+               ? rack_to_shard_[rack]
+               : 0;
+  }
+  // Widens/narrows the window. Callers that raise cross-shard latency above
+  // the default (e.g. a bench topology) should raise lookahead to match.
+  void set_lookahead(SimTime lookahead) { lookahead_ = lookahead; }
+  SimTime lookahead() const { return lookahead_; }
+
+  // Worker shard count S (domains are 0..S, 0 = coordinator).
+  uint32_t shards() const { return shard_total_ - 1; }
+  int threads() const { return thread_count_; }
+
+  // Destination sinks for the barrier flush of buffered observability.
+  void SetObsTargets(ObsFlushTargets targets) { targets_ = std::move(targets); }
+  // Runs at every window barrier, on the coordinator, with all workers
+  // quiesced — after cross-shard merge, before the obs flush. Used by the
+  // fabric and actor layers to fold per-shard counter deltas.
+  void AddBarrierHook(std::function<void()> hook) {
+    barrier_hooks_.push_back(std::move(hook));
+  }
+
+  // --- Execution context (any thread).
+
+  // Shard executing on this thread; 0 on the coordinator and outside Run*.
+  static uint32_t CurrentShard();
+  // This thread's obs buffer, or nullptr on shard 0 (which writes the
+  // shared sinks directly).
+  static ShardObsBuffer* CurrentObsBuffer();
+  // The simulated time as seen by the current thread: the executing worker
+  // shard's clock, else `fallback` (the Simulation's shard-0 clock).
+  SimTime CurrentNow(SimTime fallback) const;
+
+  // Schedules onto the current thread's shard (Simulation::At routes here).
+  EventHandle ScheduleCurrent(SimTime when, InlineCallback cb) {
+    ShardRuntime* rt = tls_shard_;
+    return (rt != nullptr ? rt->queue : root_queue_)
+        ->Schedule(when, std::move(cb));
+  }
+
+  // Schedules onto an explicit shard. In the serial phase the coordinator
+  // owns every queue and inserts directly; inside a window, cross-shard
+  // schedules ride the SPSC channel and merge at the barrier (which is why
+  // no cancellable handle is returned — handles are queue-local).
+  // In-window cross-shard `when` must be >= the window end; any path whose
+  // delay is >= the configured lookahead satisfies this by construction.
+  void ScheduleOnShard(uint32_t shard, SimTime when, InlineCallback cb);
+
+  // Cancels a handle scheduled from this thread's shard. Handles do not
+  // travel across shards.
+  bool Cancel(EventHandle handle) {
+    ShardRuntime* rt = tls_shard_;
+    return (rt != nullptr ? rt->queue : root_queue_)->Cancel(handle);
+  }
+
+  bool InWindow() const { return in_window_; }
+
+  // --- Run loop (coordinator thread only).
+
+  SimTime RunToCompletion();
+  SimTime RunUntil(SimTime deadline);
+  // Serial phase: runs one shard-0 event. Sharded phase: runs one whole
+  // window. Returns false when idle.
+  bool Step();
+
+  bool HasShardedWork() const;
+  uint64_t events_executed() const { return events_executed_; }
+  uint64_t windows_run() const { return windows_; }
+  // Total cross-shard events that overflowed a channel ring (diagnostic).
+  uint64_t channel_spills() const;
+
+ private:
+  struct ShardRuntime {
+    uint32_t id = 0;
+    EventQueue* queue = nullptr;  // shard 0 aliases the Simulation queue
+    std::unique_ptr<EventQueue> owned_queue;
+    ShardObsBuffer obs;
+    SimTime now;        // local clock while executing a window
+    uint64_t events = 0;    // window-local; folded at the barrier
+    uint64_t emit_seq = 0;  // cross-shard emission order (merge key)
+  };
+  struct CrossShardEvent {
+    SimTime when;
+    uint64_t seq = 0;
+    InlineCallback cb;
+  };
+  struct MergeItem {
+    SimTime when;
+    uint32_t src = 0;
+    uint64_t seq = 0;
+    InlineCallback cb;
+  };
+
+  SpscChannel<CrossShardEvent>& Channel(uint32_t src, uint32_t dest) {
+    return *channels_[src * shard_total_ + dest];
+  }
+
+  SimTime RunLoop(SimTime deadline);
+  // Opens and retires one window; false when the earliest event (across all
+  // shards) is absent or past the deadline.
+  bool RunWindowBatch(SimTime deadline);
+  void RunShardWindow(ShardRuntime* rt, SimTime window_end, SimTime deadline);
+  void MergeChannels();
+  void FinishWindow();
+  SimTime FoldFinalTime(SimTime deadline);
+
+  void StartWorkers();
+  void WorkerLoop(int worker_index);
+
+  static thread_local ShardRuntime* tls_shard_;
+
+  EventQueue* root_queue_;
+  SimTime* now_;
+  SimTime lookahead_;
+  uint32_t shard_total_;  // worker shards + 1
+  int thread_count_;
+  std::vector<uint32_t> rack_to_shard_;
+  std::vector<std::unique_ptr<ShardRuntime>> runtimes_;
+  std::vector<std::unique_ptr<SpscChannel<CrossShardEvent>>> channels_;
+  std::vector<ShardObsBuffer*> obs_buffers_;  // by shard id; [0] is null
+  ObsFlushTargets targets_;
+  std::vector<std::function<void()>> barrier_hooks_;
+  ObsFlusher flusher_;
+  std::vector<CrossShardEvent> drain_scratch_;
+  std::vector<MergeItem> merge_scratch_;
+
+  // Run-loop state (coordinator-written; workers read window bounds after
+  // the epoch release-store below).
+  bool in_window_ = false;
+  bool sharded_work_ = false;  // serial-loop hint; ScheduleOnShard sets it
+  SimTime window_end_;
+  SimTime window_deadline_;
+  uint64_t events_executed_ = 0;
+  uint64_t windows_ = 0;
+
+  // Worker pool: hybrid spin + condvar barrier. The coordinator publishes
+  // window bounds, then bumps `epoch_` (release); workers observe it
+  // (acquire), run their shards, and bump `done_count_`.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<int> done_count_{0};
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_SIM_PARALLEL_KERNEL_H_

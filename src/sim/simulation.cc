@@ -4,13 +4,29 @@
 
 namespace udc {
 
-Simulation::Simulation(uint64_t seed, SimKernel kernel)
-    : now_(SimTime(0)),
+Simulation::Simulation(uint64_t seed, SimKernel kernel, ParallelConfig parallel)
+    : kernel_(kernel),
+      now_(SimTime(0)),
       legacy_queue_(kernel == SimKernel::kLegacy
                         ? std::make_unique<LegacyEventQueue>()
                         : nullptr),
+      parallel_(kernel == SimKernel::kParallel
+                    ? std::make_unique<ParallelKernel>(&queue_, &now_, parallel)
+                    : nullptr),
       rng_(seed),
-      spans_([this] { return now_; }) {}
+      spans_([this] { return now_; }) {
+  if (parallel_ != nullptr) {
+    // Buffered worker-shard observability lands in the shared sinks at every
+    // window barrier. The trace target mirrors Trace(): render any spans
+    // closed earlier in the flush first, so line order matches kFast.
+    parallel_->SetObsTargets(ObsFlushTargets{
+        &metrics_, &spans_,
+        [this](SimTime t, std::string_view category, std::string_view detail) {
+          MirrorSpans();
+          trace_.Record(t, category, detail);
+        }});
+  }
+}
 
 void Simulation::MirrorSpans() const {
   const std::vector<uint64_t>& closed = spans_.closed_order();
@@ -26,6 +42,9 @@ void Simulation::MirrorSpans() const {
 }
 
 SimTime Simulation::RunToCompletion() {
+  if (parallel_ != nullptr) {
+    return parallel_->RunToCompletion();
+  }
   if (legacy_queue_ != nullptr) {
     while (!legacy_queue_->empty()) {
       now_ = legacy_queue_->NextTime();
@@ -44,6 +63,9 @@ SimTime Simulation::RunToCompletion() {
 }
 
 SimTime Simulation::RunUntil(SimTime deadline) {
+  if (parallel_ != nullptr) {
+    return parallel_->RunUntil(deadline);
+  }
   if (legacy_queue_ != nullptr) {
     while (!legacy_queue_->empty() && legacy_queue_->NextTime() <= deadline) {
       now_ = legacy_queue_->NextTime();
@@ -64,6 +86,9 @@ SimTime Simulation::RunUntil(SimTime deadline) {
 }
 
 bool Simulation::Step() {
+  if (parallel_ != nullptr) {
+    return parallel_->Step();
+  }
   if (legacy_queue_ != nullptr) {
     if (legacy_queue_->empty()) {
       return false;

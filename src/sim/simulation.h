@@ -19,6 +19,7 @@
 #include "src/obs/span.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/legacy_event_queue.h"
+#include "src/sim/parallel_kernel.h"
 #include "src/sim/trace.h"
 
 namespace udc {
@@ -27,22 +28,34 @@ namespace udc {
 // zero-allocation kernel and the default everywhere; kLegacy is the
 // pre-fast-path queue (std::function + hash-set cancellation) kept as a
 // differential-test oracle — semantics are identical, so a run's trace must
-// match byte for byte across kernels for the same seed.
+// match byte for byte across kernels for the same seed. kParallel partitions
+// the topology into shard domains executed by worker threads in conservative
+// lookahead windows (src/sim/parallel_kernel.h); kFast doubles as its
+// differential oracle.
 enum class SimKernel {
   kFast,
   kLegacy,
+  kParallel,
 };
 
 class Simulation {
  public:
-  explicit Simulation(uint64_t seed = 42, SimKernel kernel = SimKernel::kFast);
+  // `parallel` only applies under SimKernel::kParallel.
+  explicit Simulation(uint64_t seed = 42, SimKernel kernel = SimKernel::kFast,
+                      ParallelConfig parallel = {});
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
-  SimTime now() const { return now_; }
-  SimKernel kernel() const {
-    return legacy_queue_ ? SimKernel::kLegacy : SimKernel::kFast;
+  // Under kParallel, the executing worker shard's local clock when called
+  // from one, else the shard-0 (coordinator) clock.
+  SimTime now() const {
+    return parallel_ != nullptr ? parallel_->CurrentNow(now_) : now_;
   }
+  SimKernel kernel() const { return kernel_; }
+  // The parallel kernel, or nullptr unless kernel() == kParallel. Shard
+  // setup (AssignRack, lookahead) and shard-aware layers go through this.
+  ParallelKernel* parallel() { return parallel_.get(); }
+  const ParallelKernel* parallel() const { return parallel_.get(); }
   Rng& rng() { return rng_; }
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
@@ -59,8 +72,18 @@ class Simulation {
   SpanTracer& spans() { return spans_; }
   const SpanTracer& spans() const { return spans_; }
 
-  // Convenience: record a trace event at the current simulated time.
+  // Convenience: record a trace event at the current simulated time. On a
+  // parallel worker shard the line is buffered and merged into the shared
+  // recorder at the window barrier, in canonical order.
   void Trace(std::string_view category, std::string_view detail) {
+    if (parallel_ != nullptr) {
+      ShardObsBuffer* buffer = ParallelKernel::CurrentObsBuffer();
+      if (buffer != nullptr) {
+        buffer->TraceLine(parallel_->CurrentNow(now_), std::string(category),
+                          std::string(detail));
+        return;
+      }
+    }
     MirrorSpans();
     trace_.Record(now_, category, detail);
   }
@@ -81,11 +104,18 @@ class Simulation {
   // legacy oracle.
   template <typename F>
   EventHandle At(SimTime when, F&& cb) {
-    assert(when >= now_);
     if (legacy_queue_ != nullptr) {
+      assert(when >= now_);
       return legacy_queue_->Schedule(
           when, LegacyEventQueue::Callback(std::forward<F>(cb)));
     }
+    if (parallel_ != nullptr) {
+      // Routes to the shard executing on this thread; the shard queue's own
+      // monotonicity assert covers the when >= now check.
+      return parallel_->ScheduleCurrent(when,
+                                        InlineCallback(std::forward<F>(cb)));
+    }
+    assert(when >= now_);
     return queue_.Schedule(when, InlineCallback(std::forward<F>(cb)));
   }
 
@@ -93,12 +123,17 @@ class Simulation {
   template <typename F>
   EventHandle After(SimTime delay, F&& cb) {
     assert(delay >= SimTime(0));
-    return At(now_ + delay, std::forward<F>(cb));
+    return At(now() + delay, std::forward<F>(cb));
   }
 
   bool Cancel(EventHandle handle) {
-    return legacy_queue_ ? legacy_queue_->Cancel(handle)
-                         : queue_.Cancel(handle);
+    if (legacy_queue_ != nullptr) {
+      return legacy_queue_->Cancel(handle);
+    }
+    if (parallel_ != nullptr) {
+      return parallel_->Cancel(handle);
+    }
+    return queue_.Cancel(handle);
   }
 
   // Runs events until the queue is empty. Returns the final time.
@@ -111,7 +146,10 @@ class Simulation {
   // Runs a single event if one is pending. Returns false when idle.
   bool Step();
 
-  uint64_t events_executed() const { return events_executed_; }
+  uint64_t events_executed() const {
+    return parallel_ != nullptr ? parallel_->events_executed()
+                                : events_executed_;
+  }
 
  private:
   // Renders every span closed since the last mirror into the legacy trace
@@ -121,11 +159,15 @@ class Simulation {
   // rendering cost is paid here — at read time — not per event.
   void MirrorSpans() const;
 
+  SimKernel kernel_;
   SimTime now_;
   EventQueue queue_;
   // Non-null only under SimKernel::kLegacy (differential tests/benches);
   // the fast queue above then stays empty and unused.
   std::unique_ptr<LegacyEventQueue> legacy_queue_;
+  // Non-null only under SimKernel::kParallel. Shard 0 runs on `queue_`
+  // above, so unsharded execution matches kFast exactly.
+  std::unique_ptr<ParallelKernel> parallel_;
   Rng rng_;
   MetricsRegistry metrics_;
   mutable TraceRecorder trace_;

@@ -1,0 +1,117 @@
+// Single-producer / single-consumer channel for cross-shard event traffic.
+//
+// The parallel kernel gives every (source shard, destination shard) pair its
+// own channel, so during a lookahead window each worker pushes cross-shard
+// events without taking a lock and without contending with any other
+// producer. The hot path is a classic Lamport ring: one atomic load + one
+// atomic store per push/pop, cache-line-separated head and tail so the two
+// sides never false-share.
+//
+// Two usage modes:
+//   * TryPush/TryPop — the strict lock-free SPSC protocol. Safe with one
+//     producer thread and one consumer thread running concurrently
+//     (BM_SpscChannelPingPong measures this path).
+//   * Push/DrainAll — the kernel's window protocol. Push falls back to a
+//     producer-private spill vector when the ring is full (a burst larger
+//     than the ring inside one window); DrainAll empties ring + spill but is
+//     only legal once the producer has quiesced (the kernel's window barrier
+//     provides that happens-before edge).
+
+#ifndef UDC_SRC_SIM_SPSC_CHANNEL_H_
+#define UDC_SRC_SIM_SPSC_CHANNEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace udc {
+
+template <typename T>
+class SpscChannel {
+ public:
+  // `capacity` is rounded up to a power of two (minimum 2).
+  explicit SpscChannel(size_t capacity = 512) {
+    size_t cap = 2;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    ring_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscChannel(const SpscChannel&) = delete;
+  SpscChannel& operator=(const SpscChannel&) = delete;
+
+  size_t capacity() const { return ring_.size(); }
+
+  // Producer side. Returns false when the ring is full.
+  bool TryPush(T&& value) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head >= ring_.size()) {
+      return false;
+    }
+    ring_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Producer side, never fails: spills to the producer-private overflow
+  // vector when the ring is full. The spill is only read by DrainAll under
+  // external synchronization, so this stays single-writer.
+  void Push(T&& value) {
+    if (!TryPush(std::move(value))) {
+      spill_.push_back(std::move(value));
+      ++spill_total_;
+    }
+  }
+
+  // Consumer side. Returns false when the ring is empty. Does not see the
+  // spill — concurrent consumers use the strict ring protocol only.
+  bool TryPop(T* out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) {
+      return false;
+    }
+    *out = std::move(ring_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Barrier-phase drain: appends everything (ring order first, then spill
+  // order — which is push order, since the spill only fills after the ring)
+  // to `out`. Caller must guarantee the producer has quiesced.
+  void DrainAll(std::vector<T>* out) {
+    T item;
+    while (TryPop(&item)) {
+      out->push_back(std::move(item));
+    }
+    for (T& spilled : spill_) {
+      out->push_back(std::move(spilled));
+    }
+    spill_.clear();
+  }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire) &&
+           spill_.empty();
+  }
+
+  uint64_t spill_count() const { return spill_total_; }
+
+ private:
+  std::vector<T> ring_;
+  size_t mask_ = 0;
+  std::vector<T> spill_;
+  uint64_t spill_total_ = 0;
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_SIM_SPSC_CHANNEL_H_

@@ -161,6 +161,27 @@ TEST_F(EnvManagerTest, ChurnDoesNotAccumulateStoppedEnvs) {
   EXPECT_EQ(sim_.metrics().counter("exec.warm_starts"), 99);
 }
 
+TEST_F(EnvManagerTest, ExhaustedWarmPoolEntriesAreErased) {
+  LaunchOptions options;
+  options.kind = EnvKind::kContainer;
+  // Churn across many distinct tenants, banking one warm slot each and then
+  // consuming it: the warm-pool map must not retain a zero-credit entry per
+  // tenant ever seen.
+  for (uint64_t t = 1; t <= 50; ++t) {
+    ExecEnvironment* env =
+        manager_.Launch(TenantId(t), NodeId(1), options, nullptr);
+    sim_.RunToCompletion();
+    ASSERT_TRUE(manager_.Stop(env, /*keep_warm=*/true).ok());
+    EXPECT_EQ(manager_.warm_slot_entries(), 1u);
+    env = manager_.Launch(TenantId(t), NodeId(1), options, nullptr);
+    sim_.RunToCompletion();
+    ASSERT_TRUE(manager_.Stop(env, /*keep_warm=*/false).ok());
+    EXPECT_EQ(manager_.warm_slot_entries(), 0u);
+    EXPECT_EQ(manager_.WarmSlots(EnvKind::kContainer, TenantId(t)), 0);
+  }
+  EXPECT_EQ(sim_.metrics().counter("exec.warm_starts"), 50);
+}
+
 TEST_F(EnvManagerTest, StopBeforeReadySkipsOnReadyCallback) {
   LaunchOptions options;
   options.kind = EnvKind::kFullVm;

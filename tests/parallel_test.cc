@@ -1,0 +1,382 @@
+// Parallel simulation kernel unit tests: the SPSC channel protocol, the
+// per-shard observability buffers and their canonical flush order, the
+// kernel's serial/solo/window execution modes, and sharded actor traffic —
+// everything below the full-scenario differentials in sim_kernel_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/actor/actor_system.h"
+#include "src/common/strings.h"
+#include "src/hw/topology.h"
+#include "src/obs/exposition.h"
+#include "src/obs/metrics.h"
+#include "src/obs/shard_buffer.h"
+#include "src/obs/span.h"
+#include "src/sim/parallel_kernel.h"
+#include "src/sim/simulation.h"
+#include "src/sim/spsc_channel.h"
+
+namespace udc {
+namespace {
+
+TEST(SpscChannelTest, CapacityRoundsUpToPowerOfTwo) {
+  SpscChannel<int> tiny(1);
+  EXPECT_EQ(tiny.capacity(), 2u);
+  SpscChannel<int> odd(5);
+  EXPECT_EQ(odd.capacity(), 8u);
+  SpscChannel<int> exact(64);
+  EXPECT_EQ(exact.capacity(), 64u);
+}
+
+TEST(SpscChannelTest, RingIsFifoAndBounded) {
+  SpscChannel<int> ch(4);
+  int out = 0;
+  EXPECT_FALSE(ch.TryPop(&out));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ch.TryPush(int(i)));
+  }
+  EXPECT_FALSE(ch.TryPush(99));  // full
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ch.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ch.TryPop(&out));
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(SpscChannelTest, PushSpillsBeyondRingAndDrainKeepsPushOrder) {
+  SpscChannel<int> ch(4);
+  for (int i = 0; i < 10; ++i) {
+    ch.Push(int(i));
+  }
+  EXPECT_EQ(ch.spill_count(), 6u);  // ring holds 4, the rest spilled
+  std::vector<int> drained;
+  ch.DrainAll(&drained);
+  EXPECT_EQ(drained, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  EXPECT_TRUE(ch.empty());
+  // The spill total is a lifetime diagnostic; a drain does not reset it.
+  EXPECT_EQ(ch.spill_count(), 6u);
+}
+
+TEST(SpscChannelTest, ConcurrentProducerConsumerDeliversEverythingInOrder) {
+  constexpr int kItems = 20000;
+  SpscChannel<int> ch(128);
+  std::vector<int> received;
+  received.reserve(kItems);
+  std::thread consumer([&] {
+    int out = 0;
+    while (static_cast<int>(received.size()) < kItems) {
+      if (ch.TryPop(&out)) {
+        received.push_back(out);
+      }
+    }
+  });
+  for (int i = 0; i < kItems; ++i) {
+    while (!ch.TryPush(int(i))) {
+    }
+  }
+  consumer.join();
+  ASSERT_EQ(received.size(), static_cast<size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(received[i], i);
+  }
+}
+
+TEST(ShardObsBufferTest, FlushAppliesRecordsInTimeShardSeqOrder) {
+  MetricsRegistry metrics;
+  SpanTracer spans([] { return SimTime(0); });
+  std::vector<std::string> lines;
+  ObsFlushTargets targets;
+  targets.metrics = &metrics;
+  targets.spans = &spans;
+  targets.trace = [&](SimTime t, std::string_view category,
+                      std::string_view detail) {
+    lines.push_back(StrFormat("%lld %s %s", static_cast<long long>(t.micros()),
+                              std::string(category).c_str(),
+                              std::string(detail).c_str()));
+  };
+
+  // Shard ids start at 1; entry 0 (the coordinator) writes sinks directly.
+  ShardObsBuffer shard1;
+  ShardObsBuffer shard2;
+  shard1.TraceLine(SimTime::Micros(5), "s1", "late");
+  shard1.TraceLine(SimTime::Micros(1), "s1", "early");
+  shard1.TraceLine(SimTime::Micros(2), "s1", "tie");
+  shard2.TraceLine(SimTime::Micros(3), "s2", "mid");
+  shard2.TraceLine(SimTime::Micros(2), "s2", "tie");
+
+  ObsFlusher flusher;
+  std::vector<ShardObsBuffer*> buffers = {nullptr, &shard1, &shard2};
+  flusher.Flush(buffers, targets);
+
+  // Time first; the same-time tie goes to the lower shard id.
+  EXPECT_EQ(lines, (std::vector<std::string>{"1 s1 early", "2 s1 tie",
+                                             "2 s2 tie", "3 s2 mid",
+                                             "5 s1 late"}));
+  EXPECT_TRUE(shard1.empty());
+  EXPECT_TRUE(shard2.empty());
+  lines.clear();
+  flusher.Flush(buffers, targets);  // drained buffers flush to nothing
+  EXPECT_TRUE(lines.empty());
+}
+
+TEST(ShardObsBufferTest, SameShardSameTimeKeepsEmissionOrder) {
+  std::vector<std::string> lines;
+  ObsFlushTargets targets;
+  targets.trace = [&](SimTime, std::string_view, std::string_view detail) {
+    lines.push_back(std::string(detail));
+  };
+  ShardObsBuffer shard1;
+  shard1.TraceLine(SimTime::Micros(4), "t", "first");
+  shard1.TraceLine(SimTime::Micros(4), "t", "second");
+  shard1.TraceLine(SimTime::Micros(4), "t", "third");
+  ObsFlusher flusher;
+  std::vector<ShardObsBuffer*> buffers = {nullptr, &shard1};
+  flusher.Flush(buffers, targets);
+  EXPECT_EQ(lines, (std::vector<std::string>{"first", "second", "third"}));
+}
+
+TEST(ShardObsBufferTest, CountersAndGaugesLandInTheRegistry) {
+  MetricsRegistry metrics;
+  ObsFlushTargets targets;
+  targets.metrics = &metrics;
+  const CounterHandle hits = metrics.CounterSeries("test.hits");
+  const GaugeHandle depth = metrics.GaugeSeries("test.depth");
+
+  ShardObsBuffer shard1;
+  shard1.CounterAdd(hits, 3, SimTime::Micros(1));
+  shard1.CounterAdd(hits, 4, SimTime::Micros(2));
+  shard1.GaugeSet(depth, 10.0, SimTime::Micros(1));
+  shard1.GaugeAdd(depth, 2.5, SimTime::Micros(3));
+  ObsFlusher flusher;
+  std::vector<ShardObsBuffer*> buffers = {nullptr, &shard1};
+  flusher.Flush(buffers, targets);
+
+  EXPECT_EQ(metrics.counter("test.hits"), 7);
+  EXPECT_DOUBLE_EQ(metrics.gauge("test.depth"), 12.5);
+}
+
+TEST(ShardObsBufferTest, CompletedSpanFlushesAsClosedInterval) {
+  MetricsRegistry metrics;
+  SpanTracer spans([] { return SimTime(0); });
+  ObsFlushTargets targets;
+  targets.metrics = &metrics;
+  targets.spans = &spans;
+
+  const uint32_t label_set = spans.InternLabelSet({{"type", "test.msg"}});
+  ShardObsBuffer shard1;
+  shard1.CompletedSpan(SimTime::Micros(10), SimTime::Micros(16), "net",
+                       "net.message", label_set);
+  shard1.CompletedSpanDynamic(SimTime::Micros(20), SimTime::Micros(21), "net",
+                              "net.message", "odd.type", /*dropped=*/true);
+  ObsFlusher flusher;
+  std::vector<ShardObsBuffer*> buffers = {nullptr, &shard1};
+  flusher.Flush(buffers, targets);
+
+  ASSERT_EQ(spans.closed_order().size(), 2u);
+  const Span* interned = spans.SpanById(spans.closed_order()[0]);
+  ASSERT_NE(interned, nullptr);
+  EXPECT_EQ(interned->start, SimTime::Micros(10));
+  EXPECT_EQ(interned->end, SimTime::Micros(16));
+  EXPECT_NE(interned->Detail().find("type=test.msg"), std::string::npos);
+  const Span* dynamic = spans.SpanById(spans.closed_order()[1]);
+  ASSERT_NE(dynamic, nullptr);
+  EXPECT_NE(dynamic->Detail().find("type=odd.type"), std::string::npos);
+  EXPECT_NE(dynamic->Detail().find("dropped=true"), std::string::npos);
+}
+
+// An unsharded kParallel run must never open a window: the serial fast path
+// is the kFast inner loop, and windows_run() proves it stayed that way.
+TEST(ParallelKernelTest, UnshardedRunStaysOnSerialFastPath) {
+  Simulation sim(1, SimKernel::kParallel);
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    sim.At(SimTime::Micros(i * 3), [&] { ++fired; });
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 100);
+  EXPECT_EQ(sim.events_executed(), 100u);
+  EXPECT_EQ(sim.parallel()->windows_run(), 0u);
+  EXPECT_FALSE(sim.parallel()->HasShardedWork());
+}
+
+TEST(ParallelKernelTest, ShardedEventsRunInWindowsWithLocalClocks) {
+  ParallelConfig config;
+  config.shards = 2;
+  config.threads = 2;
+  Simulation sim(1, SimKernel::kParallel, config);
+  ParallelKernel* kernel = sim.parallel();
+  // Per-shard logs: each vector is only written by its own shard's thread.
+  std::vector<SimTime> shard1_times, shard2_times;
+  for (int i = 0; i < 5; ++i) {
+    kernel->ScheduleOnShard(
+        1, SimTime::Micros(10 + 20 * i),
+        InlineCallback([&shard1_times, &sim] { shard1_times.push_back(sim.now()); }));
+    kernel->ScheduleOnShard(
+        2, SimTime::Micros(11 + 20 * i),
+        InlineCallback([&shard2_times, &sim] { shard2_times.push_back(sim.now()); }));
+  }
+  sim.RunToCompletion();
+  ASSERT_EQ(shard1_times.size(), 5u);
+  ASSERT_EQ(shard2_times.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    // sim.now() on a worker shard reads that shard's local clock.
+    EXPECT_EQ(shard1_times[i], SimTime::Micros(10 + 20 * i));
+    EXPECT_EQ(shard2_times[i], SimTime::Micros(11 + 20 * i));
+  }
+  EXPECT_EQ(sim.events_executed(), 10u);
+  EXPECT_GT(kernel->windows_run(), 0u);
+  EXPECT_EQ(sim.now(), SimTime::Micros(11 + 20 * 4));
+}
+
+// Events scheduled from inside a window onto another shard cross on the
+// SPSC channels and must still execute, in time order, on the destination.
+TEST(ParallelKernelTest, CrossShardSchedulingFromInsideWindows) {
+  ParallelConfig config;
+  config.shards = 2;
+  config.threads = 2;
+  Simulation sim(1, SimKernel::kParallel, config);
+  ParallelKernel* kernel = sim.parallel();
+  const SimTime hop = kernel->lookahead();
+  // Bounce an event shard 1 -> 2 -> 1 -> ... eight times; only one shard is
+  // ever active, so the counter needs no synchronization beyond the barrier.
+  int bounces = 0;
+  std::function<void()> bounce = [&] {
+    if (++bounces >= 8) {
+      return;
+    }
+    const uint32_t dest = (bounces % 2 == 0) ? 1u : 2u;
+    kernel->ScheduleOnShard(dest, sim.now() + hop, InlineCallback([&] { bounce(); }));
+  };
+  kernel->ScheduleOnShard(1, SimTime::Micros(1), InlineCallback([&] { bounce(); }));
+  sim.RunToCompletion();
+  EXPECT_EQ(bounces, 8);
+  EXPECT_EQ(sim.events_executed(), 8u);
+}
+
+TEST(ParallelKernelTest, RunUntilStopsAtDeadlineAndKeepsLaterEvents) {
+  ParallelConfig config;
+  config.shards = 2;
+  config.threads = 1;
+  Simulation sim(1, SimKernel::kParallel, config);
+  ParallelKernel* kernel = sim.parallel();
+  std::vector<int> ran;  // single worker thread: no concurrent writers
+  kernel->ScheduleOnShard(1, SimTime::Millis(1),
+                          InlineCallback([&] { ran.push_back(1); }));
+  kernel->ScheduleOnShard(1, SimTime::Millis(30),
+                          InlineCallback([&] { ran.push_back(30); }));
+  sim.RunUntil(SimTime::Millis(10));
+  EXPECT_EQ(ran, (std::vector<int>{1}));
+  EXPECT_EQ(sim.now(), SimTime::Millis(10));
+  EXPECT_TRUE(kernel->HasShardedWork());  // the 30 ms event is still pending
+  sim.RunToCompletion();
+  EXPECT_EQ(ran, (std::vector<int>{1, 30}));
+  EXPECT_EQ(sim.now(), SimTime::Millis(30));
+}
+
+TEST(ParallelKernelTest, StepRunsOneEventSeriallyOrOneWindowSharded) {
+  ParallelConfig config;
+  config.shards = 2;
+  config.threads = 1;
+  Simulation sim(1, SimKernel::kParallel, config);
+  int serial_fired = 0;
+  sim.At(SimTime::Micros(1), [&] { ++serial_fired; });
+  sim.At(SimTime::Micros(2), [&] { ++serial_fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(serial_fired, 1);  // serial phase: exactly one event per step
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(serial_fired, 2);
+  EXPECT_FALSE(sim.Step());  // idle
+
+  sim.parallel()->ScheduleOnShard(1, SimTime::Micros(10),
+                                  InlineCallback([&] { ++serial_fired; }));
+  EXPECT_TRUE(sim.Step());  // sharded phase: one whole window
+  EXPECT_EQ(serial_fired, 3);
+  EXPECT_FALSE(sim.Step());
+}
+
+// Trace lines emitted from worker shards are buffered and merged at the
+// barrier in canonical order — the dump must not depend on the thread count.
+TEST(ParallelKernelTest, WorkerShardTraceIsThreadCountInvariant) {
+  auto run = [](int threads) {
+    ParallelConfig config;
+    config.shards = 4;
+    config.threads = threads;
+    Simulation sim(1, SimKernel::kParallel, config);
+    for (uint32_t shard = 1; shard <= 4; ++shard) {
+      for (int i = 0; i < 20; ++i) {
+        // Distinct times per (shard, i): shards offset by 1 us, steps by 40.
+        const SimTime when = SimTime::Micros(shard + 40 * i);
+        sim.parallel()->ScheduleOnShard(
+            shard, when, InlineCallback([&sim, shard, i] {
+              sim.Trace("shard", StrFormat("s=%u i=%d", shard, i));
+            }));
+      }
+    }
+    sim.RunToCompletion();
+    return sim.trace().Dump();
+  };
+  const std::string one = run(1);
+  EXPECT_NE(one.find("s=1 i=0"), std::string::npos);
+  EXPECT_NE(one.find("s=4 i=19"), std::string::npos);
+  EXPECT_EQ(run(2), one);
+  EXPECT_EQ(run(4), one);
+  EXPECT_EQ(run(8), one);  // more threads than shards clamps cleanly
+}
+
+// Sharded actor traffic: a ping-pong pair split across two racks/shards
+// must report the same processed counts and metrics as the kFast run.
+std::pair<uint64_t, std::string> RunActorPingPong(SimKernel kernel,
+                                                  int threads) {
+  ParallelConfig config;
+  config.shards = 2;
+  config.threads = threads;
+  Simulation sim(3, kernel, config);
+  Topology topo;
+  const int r0 = topo.AddRack();
+  const int r1 = topo.AddRack();
+  const NodeId n0 = topo.AddNode(r0, NodeRole::kDevice);
+  const NodeId n1 = topo.AddNode(r1, NodeRole::kDevice);
+  if (sim.parallel() != nullptr) {
+    sim.parallel()->AssignRack(r0, 1);
+    sim.parallel()->AssignRack(r1, 2);
+  }
+  ActorSystem actors(&sim, &topo);
+  constexpr int kRounds = 40;
+  int volleys = 0;
+  ActorId ping, pong;
+  ping = actors.Spawn(n0, [&](ActorContext& ctx, const ActorMessage&) {
+    if (++volleys < kRounds) {
+      ctx.Send(pong, "ball", "", Bytes::B(0));
+    }
+  });
+  pong = actors.Spawn(n1, [&](ActorContext& ctx, const ActorMessage&) {
+    if (++volleys < kRounds) {
+      ctx.Send(ping, "ball", "", Bytes::B(0));
+    }
+  });
+  actors.Inject(ping, "ball", "", Bytes::B(0));
+  sim.RunToCompletion();
+  EXPECT_EQ(volleys, kRounds);
+  EXPECT_EQ(actors.messages_processed(), static_cast<uint64_t>(kRounds));
+  return {sim.events_executed(), PrometheusExposition(sim.metrics())};
+}
+
+TEST(ParallelActorTest, CrossShardPingPongMatchesFastAtEveryThreadCount) {
+  const auto fast = RunActorPingPong(SimKernel::kFast, 1);
+  EXPECT_GT(fast.first, 0u);
+  for (int threads : {1, 2}) {
+    const auto parallel = RunActorPingPong(SimKernel::kParallel, threads);
+    // events_executed differs by exactly the seeding Inject: kFast delivers
+    // it synchronously, the sharded path schedules it onto the actor's shard.
+    EXPECT_EQ(parallel.first, fast.first + 1) << "threads=" << threads;
+    EXPECT_EQ(parallel.second, fast.second) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace udc

@@ -250,9 +250,10 @@ struct ScenarioResult {
   uint64_t events_executed = 0;
 };
 
-ScenarioResult RunMedicalScenario(SimKernel kernel) {
+ScenarioResult RunMedicalScenario(SimKernel kernel, int threads = 1) {
   UdcCloudConfig config;
   config.kernel = kernel;
+  config.parallel.threads = threads;  // ignored unless kernel == kParallel
   config.datacenter.racks = 4;
   UdcCloud cloud(config);
   const TenantId tenant = cloud.RegisterTenant("hospital");
@@ -278,8 +279,10 @@ TEST(KernelDifferentialTest, MedicalPipelineIsKernelInvariant) {
   EXPECT_EQ(fast.metrics, legacy.metrics);
 }
 
-ScenarioResult RunReplicationScenario(SimKernel kernel) {
-  Simulation sim(7, kernel);
+ScenarioResult RunReplicationScenario(SimKernel kernel, int threads = 1) {
+  ParallelConfig parallel;
+  parallel.threads = threads;  // ignored unless kernel == kParallel
+  Simulation sim(7, kernel, parallel);
   Topology topo;
   const int r0 = topo.AddRack();
   const int r1 = topo.AddRack();
@@ -325,6 +328,109 @@ TEST(KernelDifferentialTest, ReplicationUnderFailuresIsKernelInvariant) {
   EXPECT_EQ(fast.events_executed, legacy.events_executed);
   EXPECT_EQ(fast.trace, legacy.trace);
   EXPECT_EQ(fast.metrics, legacy.metrics);
+}
+
+// A run that never assigns a rack to a worker shard stays in the parallel
+// kernel's serial fast path — the kFast inner loop verbatim — so the full
+// medical scenario must match kFast byte for byte at every thread count.
+TEST(ParallelDifferentialTest, MedicalPipelineMatchesFastAtEveryThreadCount) {
+  const ScenarioResult fast = RunMedicalScenario(SimKernel::kFast);
+  EXPECT_GT(fast.events_executed, 0u);
+  for (int threads : {1, 2, 4, 8}) {
+    const ScenarioResult parallel =
+        RunMedicalScenario(SimKernel::kParallel, threads);
+    EXPECT_EQ(parallel.events_executed, fast.events_executed)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.trace, fast.trace) << "threads=" << threads;
+    EXPECT_EQ(parallel.metrics, fast.metrics) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDifferentialTest, ReplicationMatchesFastAtEveryThreadCount) {
+  const ScenarioResult fast = RunReplicationScenario(SimKernel::kFast);
+  EXPECT_GT(fast.events_executed, 0u);
+  for (int threads : {1, 2, 4, 8}) {
+    const ScenarioResult parallel =
+        RunReplicationScenario(SimKernel::kParallel, threads);
+    EXPECT_EQ(parallel.events_executed, fast.events_executed)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.trace, fast.trace) << "threads=" << threads;
+    EXPECT_EQ(parallel.metrics, fast.metrics) << "threads=" << threads;
+  }
+}
+
+// Genuinely sharded traffic: five message chains hopping rack-to-rack
+// around four racks, each rack its own worker shard. Chain c starts at
+// (1 + c) us and every hop costs the 6 us inter-rack latency, so no two
+// events anywhere in the run share a timestamp across shards (offsets
+// differ by 1..4 us, never a multiple of the hop) — the condition under
+// which kParallel is byte-identical to kFast, not merely to itself.
+ScenarioResult RunShardedFanoutScenario(SimKernel kernel, int threads) {
+  constexpr int kRacks = 4;
+  constexpr int kChains = 5;
+  constexpr int kHops = 60;
+  ParallelConfig parallel;
+  parallel.shards = kRacks;
+  parallel.threads = threads;
+  Simulation sim(11, kernel, parallel);
+  Topology topo;
+  std::vector<NodeId> nodes;
+  for (int r = 0; r < kRacks; ++r) {
+    const int rack = topo.AddRack();
+    nodes.push_back(topo.AddNode(rack, NodeRole::kDevice));
+    if (sim.parallel() != nullptr) {
+      sim.parallel()->AssignRack(rack, static_cast<uint32_t>(r + 1));
+    }
+  }
+  Fabric fabric(&sim, &topo);
+  fabric.PreinternType("fanout.hop");
+  // hops_left[c] is only ever touched by the shard holding chain c's
+  // in-flight message (one per chain; the window barrier publishes the
+  // update before the next hop runs on the neighbouring shard).
+  std::vector<int> hops_left(kChains, kHops);
+  for (int r = 0; r < kRacks; ++r) {
+    const NodeId self = nodes[r];
+    const NodeId next = nodes[(r + 1) % kRacks];
+    fabric.Bind(self, [&fabric, &hops_left, self, next](const Message& msg) {
+      const int chain = static_cast<int>(msg.tag);
+      if (--hops_left[chain] > 0) {
+        fabric.Send(self, next, "fanout.hop", "", Bytes::B(0), msg.tag);
+      }
+    });
+  }
+  for (int c = 0; c < kChains; ++c) {
+    sim.At(SimTime::Micros(1 + c), [&fabric, &nodes, c] {
+      const NodeId from = nodes[c % kRacks];
+      const NodeId to = nodes[(c + 1) % kRacks];
+      fabric.Send(from, to, "fanout.hop", "", Bytes::B(0),
+                  static_cast<uint64_t>(c));
+    });
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(fabric.messages_delivered(),
+            static_cast<uint64_t>(kChains) * kHops);
+  for (int c = 0; c < kChains; ++c) {
+    EXPECT_EQ(hops_left[c], 0) << "chain " << c;
+  }
+  ScenarioResult result;
+  result.trace = sim.trace().Dump();
+  result.metrics = PrometheusExposition(sim.metrics());
+  result.events_executed = sim.events_executed();
+  return result;
+}
+
+TEST(ParallelDifferentialTest, ShardedFanoutMatchesFastAtEveryThreadCount) {
+  const ScenarioResult fast = RunShardedFanoutScenario(SimKernel::kFast, 1);
+  EXPECT_GT(fast.events_executed, 0u);
+  EXPECT_NE(fast.trace.find("fanout.hop"), std::string::npos);
+  for (int threads : {1, 2, 4, 8}) {
+    const ScenarioResult parallel =
+        RunShardedFanoutScenario(SimKernel::kParallel, threads);
+    EXPECT_EQ(parallel.events_executed, fast.events_executed)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.trace, fast.trace) << "threads=" << threads;
+    EXPECT_EQ(parallel.metrics, fast.metrics) << "threads=" << threads;
+  }
 }
 
 TEST(FabricFastPathTest, SetNodeUpDoesNotGrowDownMap) {
