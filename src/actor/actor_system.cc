@@ -19,11 +19,19 @@ ActorSystem::ActorSystem(Simulation* sim, const Topology* topology)
       recoveries_metric_(sim->metrics().CounterSeries("actor.recoveries")) {
   ParallelKernel* kernel = sim->parallel();
   if (kernel != nullptr) {
-    // The actor system must outlive the last Run* call — the hook holds
-    // `this`.
     shard_states_.resize(kernel->shards() + 1);
-    kernel->AddBarrierHook([this] { FoldShardCounters(); });
+    barrier_hook_ = kernel->AddBarrierHook([this] { FoldShardCounters(); });
   }
+}
+
+void ActorSystem::AssertSerialPhase() const {
+  // Worker shards read actors_ concurrently while a window is executing;
+  // an insert (or a Kill/Recover touching a record another shard owns) is
+  // only safe between windows.
+#ifndef NDEBUG
+  const ParallelKernel* kernel = sim_->parallel();
+  assert(kernel == nullptr || !kernel->InWindow());
+#endif
 }
 
 uint32_t ActorSystem::ShardOfActor(ActorId to) const {
@@ -84,6 +92,7 @@ void ActorSystem::FoldShardCounters() {
 }
 
 ActorId ActorSystem::Spawn(NodeId node, Behavior behavior, bool log_messages) {
+  AssertSerialPhase();
   const ActorId id = actor_ids_.Next();
   ActorRecord record;
   record.node = node;
@@ -140,6 +149,15 @@ void ActorSystem::Send(ActorId from, ActorId to, std::string name,
   if (from_it != actors_.end() && to_it != actors_.end()) {
     delay = topology_->TransferTime(from_it->second.node, to_it->second.node,
                                     size);
+  }
+  if (kernel != nullptr && to_it == actors_.end()) {
+    // Unknown destination: no shard owns it, so routing the delivery to
+    // dest_shard (0) with zero delay from a worker shard would land inside
+    // the current window. Count the drop on the sending shard instead, via
+    // a local zero-delay event so the event count matches the unsharded
+    // schedule-then-drop shape.
+    sim_->After(delay, [this] { CountDropped(); });
+    return;
   }
   if (kernel != nullptr && (src_shard != 0 || dest_shard != 0)) {
     // Deliver on the destination actor's shard. A cross-shard hop spans
@@ -202,6 +220,7 @@ void ActorSystem::DrainMailbox(ActorId actor, ActorRecord& record) {
 }
 
 Status ActorSystem::Kill(ActorId actor) {
+  AssertSerialPhase();
   auto it = actors_.find(actor);
   if (it == actors_.end()) {
     return NotFoundError("unknown actor");
@@ -212,6 +231,7 @@ Status ActorSystem::Kill(ActorId actor) {
 }
 
 Result<size_t> ActorSystem::Recover(ActorId actor, NodeId node) {
+  AssertSerialPhase();
   auto it = actors_.find(actor);
   if (it == actors_.end()) {
     return Status(NotFoundError("unknown actor"));

@@ -17,7 +17,11 @@
 // (byte-identical to kFast); anything touching a worker shard routes
 // through ParallelKernel::ScheduleOnShard with a striped message id and
 // per-shard counter deltas folded at the window barrier. Spawn / Kill /
-// Recover are control-plane operations: serial phase (or shard 0) only.
+// Recover are control-plane operations that mutate the actor map the
+// worker shards read concurrently, so they are legal only in the serial
+// phase — never from an event inside a lookahead window, not even a
+// shard-0 one (an insert can rehash under a concurrent reader). Debug
+// builds assert this.
 
 #ifndef UDC_SRC_ACTOR_ACTOR_SYSTEM_H_
 #define UDC_SRC_ACTOR_ACTOR_SYSTEM_H_
@@ -141,6 +145,8 @@ class ActorSystem {
   MessageId NextMessageId(uint32_t src_shard);
   void CountProcessed();
   void CountDropped();
+  // Control-plane mutations are serial-phase only (see header comment).
+  void AssertSerialPhase() const;
   // Barrier hook: folds worker-shard deltas into the shared totals.
   void FoldShardCounters();
 
@@ -150,6 +156,8 @@ class ActorSystem {
   IdGenerator<MessageId> message_ids_;
   std::unordered_map<ActorId, ActorRecord> actors_;
   std::vector<ShardState> shard_states_;  // kParallel only; empty otherwise
+  // Deregisters the FoldShardCounters barrier hook when this system dies.
+  BarrierHookRegistration barrier_hook_;
   uint64_t messages_processed_ = 0;
   // Interned metric series for the per-message hot path.
   CounterHandle messages_processed_metric_;

@@ -1,5 +1,6 @@
 #include "src/net/fabric.h"
 
+#include <cassert>
 #include <utility>
 
 namespace udc {
@@ -14,19 +15,33 @@ Fabric::Fabric(Simulation* sim, const Topology* topology)
           sim->metrics().CounterSeries("net.messages_dropped")) {
   ParallelKernel* kernel = sim->parallel();
   if (kernel != nullptr) {
-    // The fabric must outlive the last Run* call — the hook holds `this`.
     shard_states_.resize(kernel->shards() + 1);
-    kernel->AddBarrierHook([this] { FoldShardCounters(); });
+    barrier_hook_ = kernel->AddBarrierHook([this] { FoldShardCounters(); });
   }
 }
 
+void Fabric::AssertSerialPhase() const {
+  // Worker shards read handlers_ and down_ concurrently while a window is
+  // executing; an insert/erase can rehash under those readers, so
+  // control-plane mutation is legal only between windows.
+#ifndef NDEBUG
+  const ParallelKernel* kernel = sim_->parallel();
+  assert(kernel == nullptr || !kernel->InWindow());
+#endif
+}
+
 void Fabric::Bind(NodeId node, Handler handler) {
+  AssertSerialPhase();
   handlers_[node] = std::move(handler);
 }
 
-void Fabric::Unbind(NodeId node) { handlers_.erase(node); }
+void Fabric::Unbind(NodeId node) {
+  AssertSerialPhase();
+  handlers_.erase(node);
+}
 
 void Fabric::SetNodeUp(NodeId node, bool up) {
+  AssertSerialPhase();
   if (up) {
     // Erase rather than store `false`: long-running churn (devices failing
     // and recovering) must not grow the map with entries for healthy nodes.

@@ -36,9 +36,13 @@
 //     shard's ShardObsBuffer and replayed canonically at the barrier.
 // The type intern table is read-only while a window is executing: unknown
 // types seen inside a window stay uninterned for that send (cold path).
-// Bind/Unbind/SetNodeUp are control-plane operations — they must not run
-// concurrently with worker-shard message traffic, so place failure-injected
-// nodes in shard 0.
+// Bind/Unbind/SetNodeUp are control-plane operations that mutate maps the
+// worker shards read concurrently (handlers_, down_), so they are legal
+// only in the serial phase — between Run* calls or from serial-fast-path
+// events, never from an event executing inside a lookahead window (not
+// even a shard-0 event: an insert can rehash under a concurrent reader).
+// Debug builds assert this; schedule failure injection and rebinds on an
+// unsharded simulation phase or widen them to window boundaries.
 
 #ifndef UDC_SRC_NET_FABRIC_H_
 #define UDC_SRC_NET_FABRIC_H_
@@ -147,6 +151,8 @@ class Fabric {
   // full), or 0 when the type must stay uninterned. Inside a window the
   // table is read-only and unknown types return 0.
   uint32_t InternType(std::string_view type);
+  // Control-plane mutations are serial-phase only (see header comment).
+  void AssertSerialPhase() const;
   Message* AcquireMessage();
   void ReleaseMessage(Message* msg);
   void Deliver(Message* msg, uint64_t span);
@@ -198,6 +204,8 @@ class Fabric {
   int64_t bytes_sent_ = 0;
   // kParallel only; empty otherwise. Sized shards+1 at construction.
   std::vector<ShardState> shard_states_;
+  // Deregisters the FoldShardCounters barrier hook when this fabric dies.
+  BarrierHookRegistration barrier_hook_;
 };
 
 }  // namespace udc

@@ -90,9 +90,27 @@ ShardObsBuffer* ParallelKernel::CurrentObsBuffer() {
   return rt != nullptr ? &rt->obs : nullptr;
 }
 
-SimTime ParallelKernel::CurrentNow(SimTime fallback) const {
+SimTime ParallelKernel::CurrentNow(const SimTime* coordinator_now) const {
   ShardRuntime* rt = tls_shard_;
-  return rt != nullptr ? rt->now : fallback;
+  return rt != nullptr ? rt->now : *coordinator_now;
+}
+
+BarrierHookRegistration ParallelKernel::AddBarrierHook(
+    std::function<void()> hook) {
+  assert(!in_window_ && "barrier hooks are registered in the serial phase");
+  const uint64_t id = ++next_hook_id_;
+  barrier_hooks_.push_back(BarrierHook{id, std::move(hook)});
+  return BarrierHookRegistration(this, id);
+}
+
+void ParallelKernel::RemoveBarrierHook(uint64_t id) {
+  assert(!in_window_ && "barrier hooks are removed in the serial phase");
+  for (auto it = barrier_hooks_.begin(); it != barrier_hooks_.end(); ++it) {
+    if (it->id == id) {
+      barrier_hooks_.erase(it);
+      return;
+    }
+  }
 }
 
 void ParallelKernel::ScheduleOnShard(uint32_t shard, SimTime when,
@@ -319,7 +337,7 @@ void ParallelKernel::MergeChannels() {
 void ParallelKernel::FinishWindow() {
   MergeChannels();
   for (const auto& hook : barrier_hooks_) {
-    hook();
+    hook.fn();
   }
   flusher_.Flush(obs_buffers_, targets_);
   for (const auto& rt : runtimes_) {

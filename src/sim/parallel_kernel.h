@@ -63,6 +63,45 @@
 
 namespace udc {
 
+class ParallelKernel;
+
+// RAII registration for a window-barrier hook
+// (ParallelKernel::AddBarrierHook). Deregisters the hook on destruction, so
+// a Fabric/ActorSystem destroyed before the simulation's next Run* cannot
+// leave a dangling callback behind, and repeated construction against one
+// kernel cannot accumulate hooks. Movable, not copyable. The kernel must
+// outlive the registration — it does in practice, because the Simulation
+// owns the kernel and every shard-aware layer holds a Simulation*.
+class BarrierHookRegistration {
+ public:
+  BarrierHookRegistration() = default;
+  BarrierHookRegistration(ParallelKernel* kernel, uint64_t id)
+      : kernel_(kernel), id_(id) {}
+  BarrierHookRegistration(BarrierHookRegistration&& other) noexcept
+      : kernel_(other.kernel_), id_(other.id_) {
+    other.kernel_ = nullptr;
+  }
+  BarrierHookRegistration& operator=(BarrierHookRegistration&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      kernel_ = other.kernel_;
+      id_ = other.id_;
+      other.kernel_ = nullptr;
+    }
+    return *this;
+  }
+  BarrierHookRegistration(const BarrierHookRegistration&) = delete;
+  BarrierHookRegistration& operator=(const BarrierHookRegistration&) = delete;
+  ~BarrierHookRegistration() { Reset(); }
+
+  // Deregisters now (idempotent); defined below ParallelKernel.
+  void Reset();
+
+ private:
+  ParallelKernel* kernel_ = nullptr;
+  uint64_t id_ = 0;
+};
+
 struct ParallelConfig {
   // Worker shard domains (ids 1..shards). Shard 0 — the unsharded
   // coordinator domain — always exists on top of these.
@@ -108,12 +147,15 @@ class ParallelKernel {
 
   // Destination sinks for the barrier flush of buffered observability.
   void SetObsTargets(ObsFlushTargets targets) { targets_ = std::move(targets); }
-  // Runs at every window barrier, on the coordinator, with all workers
-  // quiesced — after cross-shard merge, before the obs flush. Used by the
-  // fabric and actor layers to fold per-shard counter deltas.
-  void AddBarrierHook(std::function<void()> hook) {
-    barrier_hooks_.push_back(std::move(hook));
-  }
+  // Registers a hook that runs at every window barrier, on the coordinator,
+  // with all workers quiesced — after cross-shard merge, before the obs
+  // flush. Used by the fabric and actor layers to fold per-shard counter
+  // deltas. The returned registration deregisters the hook when destroyed;
+  // the caller must keep it alive for as long as the hook should fire.
+  // Serial phase only.
+  [[nodiscard]] BarrierHookRegistration AddBarrierHook(
+      std::function<void()> hook);
+  void RemoveBarrierHook(uint64_t id);
 
   // --- Execution context (any thread).
 
@@ -123,8 +165,12 @@ class ParallelKernel {
   // shared sinks directly).
   static ShardObsBuffer* CurrentObsBuffer();
   // The simulated time as seen by the current thread: the executing worker
-  // shard's clock, else `fallback` (the Simulation's shard-0 clock).
-  SimTime CurrentNow(SimTime fallback) const;
+  // shard's clock, else `*coordinator_now` (the Simulation's shard-0
+  // clock). Takes a pointer so the shard-0 clock is dereferenced only when
+  // this thread has no shard context — a worker thread must never load it,
+  // since the coordinator writes it concurrently while running shard 0's
+  // half of the window.
+  SimTime CurrentNow(const SimTime* coordinator_now) const;
 
   // Schedules onto the current thread's shard (Simulation::At routes here).
   EventHandle ScheduleCurrent(SimTime when, InlineCallback cb) {
@@ -185,6 +231,10 @@ class ParallelKernel {
     uint64_t seq = 0;
     InlineCallback cb;
   };
+  struct BarrierHook {
+    uint64_t id = 0;
+    std::function<void()> fn;
+  };
 
   SpscChannel<CrossShardEvent>& Channel(uint32_t src, uint32_t dest) {
     return *channels_[src * shard_total_ + dest];
@@ -214,7 +264,8 @@ class ParallelKernel {
   std::vector<std::unique_ptr<SpscChannel<CrossShardEvent>>> channels_;
   std::vector<ShardObsBuffer*> obs_buffers_;  // by shard id; [0] is null
   ObsFlushTargets targets_;
-  std::vector<std::function<void()>> barrier_hooks_;
+  std::vector<BarrierHook> barrier_hooks_;
+  uint64_t next_hook_id_ = 0;
   ObsFlusher flusher_;
   std::vector<CrossShardEvent> drain_scratch_;
   std::vector<MergeItem> merge_scratch_;
@@ -239,6 +290,13 @@ class ParallelKernel {
   std::atomic<int> done_count_{0};
   std::atomic<bool> shutdown_{false};
 };
+
+inline void BarrierHookRegistration::Reset() {
+  if (kernel_ != nullptr) {
+    kernel_->RemoveBarrierHook(id_);
+    kernel_ = nullptr;
+  }
+}
 
 }  // namespace udc
 

@@ -49,7 +49,10 @@ class Simulation {
   // Under kParallel, the executing worker shard's local clock when called
   // from one, else the shard-0 (coordinator) clock.
   SimTime now() const {
-    return parallel_ != nullptr ? parallel_->CurrentNow(now_) : now_;
+    // &now_ (not now_): on a worker shard CurrentNow returns the shard
+    // clock without touching the shard-0 clock, which the coordinator may
+    // be writing concurrently.
+    return parallel_ != nullptr ? parallel_->CurrentNow(&now_) : now_;
   }
   SimKernel kernel() const { return kernel_; }
   // The parallel kernel, or nullptr unless kernel() == kParallel. Shard
@@ -79,7 +82,7 @@ class Simulation {
     if (parallel_ != nullptr) {
       ShardObsBuffer* buffer = ParallelKernel::CurrentObsBuffer();
       if (buffer != nullptr) {
-        buffer->TraceLine(parallel_->CurrentNow(now_), std::string(category),
+        buffer->TraceLine(parallel_->CurrentNow(&now_), std::string(category),
                           std::string(detail));
         return;
       }

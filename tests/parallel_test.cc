@@ -12,6 +12,7 @@
 #include "src/actor/actor_system.h"
 #include "src/common/strings.h"
 #include "src/hw/topology.h"
+#include "src/net/fabric.h"
 #include "src/obs/exposition.h"
 #include "src/obs/metrics.h"
 #include "src/obs/shard_buffer.h"
@@ -376,6 +377,57 @@ TEST(ParallelActorTest, CrossShardPingPongMatchesFastAtEveryThreadCount) {
     EXPECT_EQ(parallel.first, fast.first + 1) << "threads=" << threads;
     EXPECT_EQ(parallel.second, fast.second) << "threads=" << threads;
   }
+}
+
+// A send to an actor id that was never spawned has no owning shard, so it
+// must drop on the *sending* shard: routing it to shard 0 at zero delay
+// from inside a window would violate the lookahead constraint.
+TEST(ParallelActorTest, SendToUnknownActorFromWorkerShardDropsLocally) {
+  ParallelConfig config;
+  config.shards = 2;
+  config.threads = 2;
+  Simulation sim(5, SimKernel::kParallel, config);
+  Topology topo;
+  const int r0 = topo.AddRack();
+  const NodeId n0 = topo.AddNode(r0, NodeRole::kDevice);
+  sim.parallel()->AssignRack(r0, 1);
+  ActorSystem actors(&sim, &topo);
+  const ActorId ghost = ActorId(999999);
+  const ActorId talker =
+      actors.Spawn(n0, [&](ActorContext& ctx, const ActorMessage&) {
+        ctx.Send(ghost, "into.the.void", "", Bytes::B(0));
+      });
+  actors.Inject(talker, "go", "", Bytes::B(0));
+  sim.RunToCompletion();
+  EXPECT_EQ(actors.messages_processed(), 1u);
+  EXPECT_EQ(sim.metrics().counter("actor.messages_dropped"), 1);
+}
+
+// A Fabric destroyed before the simulation's next run must take its window-
+// barrier hook with it; subsequent sharded windows touch nothing dangling
+// (the sanitizer jobs catch a regression here as a use-after-free).
+TEST(ParallelKernelTest, BarrierHookDeregistersWhenFabricDies) {
+  ParallelConfig config;
+  config.shards = 2;
+  config.threads = 1;
+  Simulation sim(1, SimKernel::kParallel, config);
+  Topology topo;
+  const int r0 = topo.AddRack();
+  const NodeId a = topo.AddNode(r0, NodeRole::kDevice);
+  const NodeId b = topo.AddNode(r0, NodeRole::kDevice);
+  sim.parallel()->AssignRack(r0, 1);
+  {
+    Fabric scoped(&sim, &topo);
+    scoped.Bind(b, [](const Message&) {});
+    scoped.Send(a, b, "probe", "", Bytes::B(16));
+    sim.RunToCompletion();
+    EXPECT_EQ(scoped.messages_delivered(), 1u);
+  }
+  int fired = 0;
+  sim.parallel()->ScheduleOnShard(1, sim.now() + SimTime::Millis(1),
+                                  InlineCallback([&] { ++fired; }));
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 1);
 }
 
 }  // namespace
