@@ -8,14 +8,30 @@ AttestationService::AttestationService(Simulation* sim, Key256 vendor_root)
     : sim_(sim), vendor_root_(vendor_root) {}
 
 void AttestationService::ProvisionDevice(uint64_t device_identity) {
-  if (roots_.count(device_identity) == 0) {
-    roots_[device_identity] =
-        std::make_unique<RootOfTrust>(vendor_root_, device_identity);
+  ProvisionedRoot& entry = roots_[device_identity];
+  if (entry.rot == nullptr) {
+    entry.rot = std::make_unique<RootOfTrust>(vendor_root_, device_identity);
+  }
+  ++entry.refs;
+}
+
+void AttestationService::RetireDevice(uint64_t device_identity) {
+  const auto it = roots_.find(device_identity);
+  if (it == roots_.end()) {
+    return;  // already retired (or never provisioned): idempotent
+  }
+  if (--it->second.refs <= 0) {
+    roots_.erase(it);
   }
 }
 
 bool AttestationService::IsProvisioned(uint64_t device_identity) const {
   return roots_.count(device_identity) > 0;
+}
+
+int64_t AttestationService::ProvisionRefs(uint64_t device_identity) const {
+  const auto it = roots_.find(device_identity);
+  return it == roots_.end() ? 0 : it->second.refs;
 }
 
 Result<const RootOfTrust*> AttestationService::RotFor(
@@ -26,7 +42,7 @@ Result<const RootOfTrust*> AttestationService::RotFor(
         "device %llu has no provisioned root of trust",
         static_cast<unsigned long long>(device_identity))));
   }
-  return it->second.get();
+  return it->second.rot.get();
 }
 
 Result<Quote> AttestationService::QuoteEnvironment(const ExecEnvironment& env) {

@@ -25,9 +25,21 @@ class AttestationService {
   AttestationService(Simulation* sim, Key256 vendor_root);
 
   // Registers a device identity; its RoT key is derived from the vendor
-  // root, as if fused at manufacturing.
+  // root, as if fused at manufacturing. Provisioning is ref-counted:
+  // devices are shared across deployments, so each holder provisions on
+  // acquire and retires on teardown, and the root survives until the last
+  // holder lets go.
   void ProvisionDevice(uint64_t device_identity);
+  // Drops one provisioning reference; the root of trust is destroyed when
+  // the count reaches zero. Idempotent: retiring an unknown identity is a
+  // no-op.
+  void RetireDevice(uint64_t device_identity);
   bool IsProvisioned(uint64_t device_identity) const;
+  // Provisioning references currently held on `device_identity` (0 when
+  // not provisioned).
+  int64_t ProvisionRefs(uint64_t device_identity) const;
+  // Number of distinct identities with a live root of trust.
+  size_t provisioned_count() const { return roots_.size(); }
 
   // Quote over a launched environment's measurement and isolation claim.
   Result<Quote> QuoteEnvironment(const ExecEnvironment& env);
@@ -50,12 +62,17 @@ class AttestationService {
   uint64_t quotes_issued() const { return quote_ids_.issued(); }
 
  private:
+  struct ProvisionedRoot {
+    std::unique_ptr<RootOfTrust> rot;
+    int64_t refs = 0;
+  };
+
   Result<const RootOfTrust*> RotFor(uint64_t device_identity) const;
 
   Simulation* sim_;
   Key256 vendor_root_;
   IdGenerator<QuoteId> quote_ids_;
-  std::unordered_map<uint64_t, std::unique_ptr<RootOfTrust>> roots_;
+  std::unordered_map<uint64_t, ProvisionedRoot> roots_;
 };
 
 }  // namespace udc

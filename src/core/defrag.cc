@@ -5,18 +5,8 @@
 namespace udc {
 
 Defragmenter::Defragmenter(Simulation* sim, Deployment* deployment)
-    : sim_(sim), deployment_(deployment) {}
-
-ResourcePool* Defragmenter::PoolOf(PoolId id) {
-  for (int i = 0; i < kNumDeviceKinds; ++i) {
-    ResourcePool& pool =
-        deployment_->datacenter()->pool(static_cast<DeviceKind>(i));
-    if (pool.id() == id) {
-      return &pool;
-    }
-  }
-  return nullptr;
-}
+    : sim_(sim), deployment_(deployment),
+      engine_(sim, deployment->datacenter()) {}
 
 FragmentationReport Defragmenter::Measure() const {
   FragmentationReport report;
@@ -40,11 +30,15 @@ Result<ConsolidationResult> Defragmenter::Consolidate() {
       if (alloc.slices.size() <= 1) {
         continue;
       }
-      ResourcePool* pool = PoolOf(alloc.pool);
+      ResourcePool* pool = deployment_->datacenter()->PoolById(alloc.pool);
       if (pool == nullptr) {
         continue;
       }
       const int64_t amount = alloc.total();
+      // One transaction per consolidation: the new home is acquired first
+      // and the old slices are only released at commit, so a failed
+      // acquisition leaves the allocation exactly where it was.
+      PlacementTxn txn = engine_.Begin("defrag");
       // Try a single-device home, avoiding the devices the allocation
       // already occupies so the new slice does not race its own release.
       AllocationConstraints constraints;
@@ -53,9 +47,10 @@ Result<ConsolidationResult> Defragmenter::Consolidate() {
       for (const AllocationSlice& slice : alloc.slices) {
         constraints.avoid.push_back(slice.device);
       }
-      auto replacement = pool->Allocate(alloc.tenant, amount, constraints,
-                                        deployment_->datacenter()->topology());
+      auto replacement =
+          txn.AllocateFrom(pool, alloc.tenant, amount, constraints);
       if (!replacement.ok()) {
+        txn.Abort();
         continue;  // no room; try again after churn
       }
       // Migration cost: move each old slice's bytes to the new home. For
@@ -69,9 +64,9 @@ Result<ConsolidationResult> Defragmenter::Consolidate() {
             deployment_->datacenter()->topology().TransferTime(slice.node,
                                                                target, moved);
       }
-      PoolAllocation old = alloc;
+      txn.StageRelease(alloc);  // old slices, freed at commit
       alloc = *std::move(replacement);
-      (void)pool->Release(old);
+      (void)txn.Commit();
       ++result.moves;
       sim_->metrics().IncrementCounter("defrag.moves");
       sim_->Trace("defrag",

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/core/deployment.h"
+#include "src/core/placement_engine.h"
 #include "src/sim/simulation.h"
 
 namespace udc {
@@ -55,10 +56,9 @@ class Defragmenter {
   Result<ConsolidationResult> Consolidate();
 
  private:
-  ResourcePool* PoolOf(PoolId id);
-
   Simulation* sim_;
   Deployment* deployment_;
+  PlacementEngine engine_;
 };
 
 }  // namespace udc

@@ -1,13 +1,18 @@
 #include "src/core/deployment.h"
 
+#include "src/attest/attestation_service.h"
 #include "src/common/strings.h"
+#include "src/core/placement_engine.h"
+#include "src/exec/env_manager.h"
 
 namespace udc {
 
 Deployment::Deployment(TenantId tenant, AppSpec spec,
-                       DisaggregatedDatacenter* datacenter, SimTime deployed_at)
+                       DisaggregatedDatacenter* datacenter, SimTime deployed_at,
+                       EnvManager* env_manager, AttestationService* attestation)
     : tenant_(tenant), spec_(std::move(spec)), datacenter_(datacenter),
-      deployed_at_(deployed_at) {}
+      deployed_at_(deployed_at), env_manager_(env_manager),
+      attestation_(attestation) {}
 
 Deployment::~Deployment() { Teardown(); }
 
@@ -30,6 +35,14 @@ void Deployment::SetPlacement(Placement placement) {
 void Deployment::AddStore(ModuleId data_module,
                           std::unique_ptr<ReplicatedStore> store) {
   stores_[data_module] = std::move(store);
+}
+
+void Deployment::RemoveStore(ModuleId data_module) {
+  stores_.erase(data_module);
+}
+
+void Deployment::RecordProvisionedIdentity(uint64_t device_identity) {
+  provisioned_identities_.push_back(device_identity);
 }
 
 const Placement* Deployment::PlacementOf(ModuleId module) const {
@@ -97,17 +110,30 @@ void Deployment::Teardown() {
   }
   torn_down_ = true;
   for (auto& unit : units_) {
+    if (env_manager_ != nullptr && unit->env != nullptr) {
+      (void)env_manager_->Stop(unit->env, /*keep_warm=*/false);
+      unit->env = nullptr;
+    }
     for (PoolAllocation& alloc : unit->allocations) {
-      for (int i = 0; i < kNumDeviceKinds; ++i) {
-        ResourcePool& pool = datacenter_->pool(static_cast<DeviceKind>(i));
-        if (pool.id() == alloc.pool) {
-          (void)pool.Release(alloc);
-          break;
-        }
-      }
+      (void)ReleasePoolAllocation(datacenter_, alloc);
     }
     unit->allocations.clear();
   }
+  if (attestation_ != nullptr) {
+    for (uint64_t identity : provisioned_identities_) {
+      attestation_->RetireDevice(identity);
+    }
+  }
+  provisioned_identities_.clear();
+}
+
+void Deployment::Abandon() {
+  torn_down_ = true;
+  for (auto& unit : units_) {
+    unit->allocations.clear();
+    unit->env = nullptr;
+  }
+  provisioned_identities_.clear();
 }
 
 std::string Deployment::DebugString() const {

@@ -40,10 +40,18 @@ struct Placement {
   ConsistencyLevel effective_consistency = ConsistencyLevel::kEventual;
 };
 
+class AttestationService;
+class EnvManager;
+
 class Deployment {
  public:
+  // `env_manager` / `attestation` are optional lifecycle hooks: when set,
+  // Teardown also stops the units' environments and retires the attestation
+  // identities recorded via RecordProvisionedIdentity. The scheduler always
+  // passes both.
   Deployment(TenantId tenant, AppSpec spec, DisaggregatedDatacenter* datacenter,
-             SimTime deployed_at);
+             SimTime deployed_at, EnvManager* env_manager = nullptr,
+             AttestationService* attestation = nullptr);
   ~Deployment();
 
   Deployment(const Deployment&) = delete;
@@ -59,6 +67,10 @@ class Deployment {
   HighLevelObject& AddObject(HighLevelObject object);
   void SetPlacement(Placement placement);
   void AddStore(ModuleId data_module, std::unique_ptr<ReplicatedStore> store);
+  void RemoveStore(ModuleId data_module);
+  // Records an attestation identity provisioned for this deployment so
+  // Teardown can retire it (ref-counted in the attestation service).
+  void RecordProvisionedIdentity(uint64_t device_identity);
 
   const Placement* PlacementOf(ModuleId module) const;
   Placement* MutablePlacementOf(ModuleId module);
@@ -75,8 +87,15 @@ class Deployment {
   // Resources held for one module.
   ResourceVector ResourcesOf(ModuleId module) const;
 
-  // Releases every pool allocation. Idempotent. Called by the destructor.
+  // Releases every pool allocation, stops the units' environments (when an
+  // EnvManager was supplied) and retires recorded attestation identities
+  // (when an AttestationService was supplied). Idempotent. Called by the
+  // destructor.
   void Teardown();
+  // Marks the deployment torn down WITHOUT releasing anything: used after a
+  // placement transaction aborted, when the txn has already restored every
+  // external side effect and the partial deployment must not double-release.
+  void Abandon();
   bool torn_down() const { return torn_down_; }
 
   std::string DebugString() const;
@@ -86,6 +105,9 @@ class Deployment {
   AppSpec spec_;
   DisaggregatedDatacenter* datacenter_;
   SimTime deployed_at_;
+  EnvManager* env_manager_;
+  AttestationService* attestation_;
+  std::vector<uint64_t> provisioned_identities_;
   IdGenerator<ResourceUnitId> unit_ids_;
   IdGenerator<ObjectId> object_ids_;
   std::vector<std::unique_ptr<ResourceUnit>> units_;

@@ -1,5 +1,7 @@
 #include "src/core/frontend.h"
 
+#include <map>
+
 #include "src/common/strings.h"
 
 namespace udc {
@@ -37,6 +39,8 @@ bool ParseDeploymentId(std::string_view rest, uint64_t* id) {
 CloudFrontend::CloudFrontend(UdcCloud* cloud, NodeId node)
     : cloud_(cloud), endpoint_(cloud->sim(), &cloud->fabric(), node) {
   endpoint_.Serve("deploy", [this](const Message& m) { return HandleDeploy(m); });
+  endpoint_.Serve("deploy_batch",
+                  [this](const Message& m) { return HandleDeployBatch(m); });
   endpoint_.Serve("verify", [this](const Message& m) { return HandleVerify(m); });
   endpoint_.Serve("bill", [this](const Message& m) { return HandleBill(m); });
   endpoint_.Serve("teardown",
@@ -73,6 +77,80 @@ std::string CloudFrontend::HandleDeploy(const Message& msg) {
   owners_[id] = TenantId(tenant);
   cloud_->sim()->metrics().IncrementCounter("frontend.deploys");
   return StrFormat("ok:%llu", static_cast<unsigned long long>(id));
+}
+
+std::string CloudFrontend::HandleDeployBatch(const Message& msg) {
+  uint64_t tenant = 0;
+  std::string_view body;
+  if (!ParseHeader(msg.payload, &tenant, &body)) {
+    return "err:malformed request";
+  }
+  ScopedSpan span = cloud_->sim()->Scope(
+      "frontend", "frontend.deploy_batch",
+      {{"tenant", StrFormat("%llu", static_cast<unsigned long long>(tenant))}});
+
+  // The body is udcl texts separated by lines containing exactly "---".
+  std::vector<std::string_view> texts;
+  size_t start = 0;
+  while (start <= body.size()) {
+    size_t end = body.find("\n---\n", start);
+    if (end == std::string_view::npos) {
+      texts.push_back(body.substr(start));
+      break;
+    }
+    texts.push_back(body.substr(start, end - start));
+    start = end + 5;
+  }
+
+  // Parse each text, but only once per distinct text: replica batches repeat
+  // one spec N times, so dedup amortizes the parse across the batch. A spec
+  // that fails to parse keeps its slot ("x") so the response stays positional
+  // with the request.
+  std::vector<std::unique_ptr<AppSpec>> parsed_storage;
+  std::vector<const AppSpec*> parsed(texts.size(), nullptr);
+  std::vector<const AppSpec*> to_deploy;
+  std::map<std::string_view, const AppSpec*> by_text;
+  for (size_t i = 0; i < texts.size(); ++i) {
+    auto it = by_text.find(texts[i]);
+    if (it == by_text.end()) {
+      auto spec = ParseAppSpec(texts[i]);
+      const AppSpec* fresh = nullptr;
+      if (spec.ok()) {
+        parsed_storage.push_back(std::make_unique<AppSpec>(*std::move(spec)));
+        fresh = parsed_storage.back().get();
+      }
+      it = by_text.emplace(texts[i], fresh).first;
+    }
+    parsed[i] = it->second;
+    if (parsed[i] != nullptr) {
+      to_deploy.push_back(parsed[i]);
+    }
+  }
+  auto deployed = cloud_->DeployAll(TenantId(tenant), to_deploy);
+
+  std::string response = "ok:";
+  size_t deploy_index = 0;
+  for (size_t i = 0; i < texts.size(); ++i) {
+    if (i > 0) {
+      response += ",";
+    }
+    if (parsed[i] == nullptr) {
+      response += "x";
+      continue;
+    }
+    auto& result = deployed[deploy_index++];
+    if (!result.ok()) {
+      response += "x";
+      continue;
+    }
+    const uint64_t id = next_id_++;
+    deployments_[id] = std::move(*result);
+    owners_[id] = TenantId(tenant);
+    response += StrFormat("%llu", static_cast<unsigned long long>(id));
+  }
+  cloud_->sim()->metrics().IncrementCounter("frontend.batch_deploys");
+  span.AddLabel("specs", StrFormat("%zu", texts.size()));
+  return response;
 }
 
 std::string CloudFrontend::HandleVerify(const Message& msg) {
@@ -139,6 +217,22 @@ void TenantClient::Deploy(const std::string& udcl_text,
       udcl_text;
   endpoint_.Call(frontend_, "deploy", payload,
                  Bytes(static_cast<int64_t>(payload.size())), Bytes::KiB(1),
+                 SimTime::Seconds(5), std::move(done));
+}
+
+void TenantClient::DeployBatch(
+    const std::vector<std::string>& udcl_texts,
+    std::function<void(Result<std::string>)> done) {
+  std::string payload = StrFormat(
+      "tenant=%llu\n", static_cast<unsigned long long>(tenant_.value()));
+  for (size_t i = 0; i < udcl_texts.size(); ++i) {
+    if (i > 0) {
+      payload += "\n---\n";
+    }
+    payload += udcl_texts[i];
+  }
+  endpoint_.Call(frontend_, "deploy_batch", payload,
+                 Bytes(static_cast<int64_t>(payload.size())), Bytes::KiB(4),
                  SimTime::Seconds(5), std::move(done));
 }
 

@@ -5,10 +5,12 @@
 // by id. This closes the loop on Figure 1's "cloud-managed" side: the same
 // RPC plane the paper's users would see.
 //
-//   methods: deploy (udcl text) -> deployment id
-//            verify:<id>        -> verification table
-//            bill:<id>          -> current bill table
-//            teardown:<id>      -> releases everything
+//   methods: deploy (udcl text)        -> deployment id
+//            deploy_batch (udcl texts) -> deployment ids (one RPC, batched
+//                                         scheduling via DeployAll)
+//            verify:<id>               -> verification table
+//            bill:<id>                 -> current bill table
+//            teardown:<id>             -> releases everything
 
 #ifndef UDC_SRC_CORE_FRONTEND_H_
 #define UDC_SRC_CORE_FRONTEND_H_
@@ -34,6 +36,7 @@ class CloudFrontend {
 
  private:
   std::string HandleDeploy(const Message& msg);
+  std::string HandleDeployBatch(const Message& msg);
   std::string HandleVerify(const Message& msg);
   std::string HandleBill(const Message& msg);
   std::string HandleTeardown(const Message& msg);
@@ -54,6 +57,11 @@ class TenantClient {
   // Submits a spec; `done` receives "ok:<deployment-id>" or "err:<message>".
   void Deploy(const std::string& udcl_text,
               std::function<void(Result<std::string>)> done);
+  // Submits several specs in one RPC; `done` receives "ok:" followed by a
+  // comma-separated token per spec, positionally: a deployment id, or "x"
+  // for a spec that failed to parse or deploy.
+  void DeployBatch(const std::vector<std::string>& udcl_texts,
+                   std::function<void(Result<std::string>)> done);
   void Verify(uint64_t deployment_id,
               std::function<void(Result<std::string>)> done);
   void Bill(uint64_t deployment_id,

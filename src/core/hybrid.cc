@@ -33,9 +33,12 @@ Result<HybridDeployment> HybridDeployer::Deploy(TenantId tenant,
 
   // Fallback: one cheapest-fitting instance per module, from the resolved
   // demands (the user's aspects still decide *what* is needed; only the
-  // packaging becomes coarse).
+  // packaging becomes coarse). IaaS instances are outside the engine's
+  // managed resources, so each launch stages a custom terminate-undo: a
+  // partial fallback aborts as one unit.
   DryRunProfiler profiler(&cloud_->datacenter(), &cloud_->prices());
   result.path = HybridPath::kIaas;
+  PlacementTxn txn = cloud_->scheduler().engine().Begin("hybrid_iaas");
   for (const ModuleId module : spec.graph.ModuleIds()) {
     const Module* m = spec.graph.Find(module);
     const AspectSet aspects = spec.AspectsFor(module);
@@ -53,14 +56,15 @@ Result<HybridDeployment> HybridDeployer::Deploy(TenantId tenant,
     demand.Set(ResourceKind::kFpga, 0);
     auto instance = iaas_->LaunchForDemand(tenant, demand);
     if (!instance.ok()) {
-      // Roll back the instances launched so far.
-      for (const IaasInstance& launched : result.instances) {
-        (void)iaas_->Terminate(launched.id);
-      }
+      txn.Abort();  // terminates the instances launched so far
       return instance.status();
     }
+    txn.StageUndo([iaas = iaas_, id = instance->id] {
+      (void)iaas->Terminate(id);
+    });
     result.instances.push_back(*std::move(instance));
   }
+  (void)txn.Commit();
   ++iaas_fallbacks_;
   return result;
 }

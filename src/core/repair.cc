@@ -8,9 +8,11 @@ namespace udc {
 
 RepairService::RepairService(Simulation* sim, Deployment* deployment,
                              EnvManager* env_manager,
-                             CheckpointStore* checkpoints)
+                             CheckpointStore* checkpoints,
+                             AttestationService* attestation)
     : sim_(sim), deployment_(deployment), env_manager_(env_manager),
-      checkpoints_(checkpoints) {}
+      checkpoints_(checkpoints),
+      engine_(sim, deployment->datacenter(), env_manager, attestation) {}
 
 void RepairService::Attach(FailureInjector* injector) {
   injector->Subscribe([this](const FailureEvent& event) {
@@ -61,23 +63,26 @@ RepairAction RepairService::RepairTask(const Placement& placement,
         continue;
       }
       const int64_t amount = slice.amount;
-      // Release the dead slice. The device is failed, so just drop our
-      // bookkeeping; Device::Release still works (health is orthogonal to
-      // the ledger) and keeps the ledger truthful.
+      // Release the dead slice unconditionally (no transaction: the device
+      // is failed, the slice is gone either way). Device::Release still
+      // works — health is orthogonal to the ledger — and keeps the ledger
+      // truthful.
       PoolAllocation dead;
       dead.pool = alloc.pool;
       dead.kind = alloc.kind;
       dead.tenant = alloc.tenant;
       dead.slices.push_back(slice);
-      (void)pool->Release(dead);
+      (void)engine_.Release(dead);
 
+      PlacementTxn txn = engine_.Begin("repair_task");
       AllocationConstraints constraints;
       constraints.preferred_rack = placement.rack;
       constraints.single_device = IsComputeKind(alloc.kind);
       constraints.avoid.push_back(failed);
-      auto replacement = pool->Allocate(alloc.tenant, amount, constraints,
-                                        deployment_->datacenter()->topology());
+      auto replacement =
+          txn.AllocateFrom(pool, alloc.tenant, amount, constraints);
       if (!replacement.ok()) {
+        txn.Abort();
         slice.amount = 0;
         action.detail = "no healthy replacement: " +
                         std::string(replacement.status().message());
@@ -85,6 +90,10 @@ RepairAction RepairService::RepairTask(const Placement& placement,
       }
       slice = replacement->slices.front();
       action.replacement_device = slice.device;
+      if (engine_.attestation() != nullptr) {
+        txn.Provision(slice.device.value());
+        deployment_->RecordProvisionedIdentity(slice.device.value());
+      }
 
       // Restart the environment on the new home (cold start) and charge
       // recovery for the lost work per the module's failure handling.
@@ -107,10 +116,13 @@ RepairAction RepairService::RepairTask(const Placement& placement,
         options.kind = unit->env->kind();
         options.tenancy = unit->env->tenancy();
         options.allow_warm = false;  // the warm pool died with the device
-        unit->env = env_manager_->Launch(alloc.tenant, slice.node, options,
-                                         nullptr);
+        // Stop the dead environment at commit (the old path leaked it) and
+        // launch the replacement through the transaction.
+        txn.StageStop(unit->env);
+        unit->env = txn.Launch(alloc.tenant, slice.node, options, nullptr);
         mutable_placement->env_ready_at = unit->env->ready_at();
       }
+      (void)txn.Commit();
       action.success = true;
       action.detail =
           StrFormat("re-placed %lld %s", static_cast<long long>(amount),
@@ -161,15 +173,17 @@ RepairAction RepairService::RepairData(Placement& placement, DeviceId failed) {
       dead.kind = alloc.kind;
       dead.tenant = alloc.tenant;
       dead.slices.push_back(slice);
-      (void)pool->Release(dead);
+      (void)engine_.Release(dead);
 
+      PlacementTxn txn = engine_.Begin("repair_data");
       AllocationConstraints constraints;
       constraints.preferred_rack = placement.rack;
       constraints.single_device = true;
       constraints.avoid = placement.replica_devices;
-      auto replacement = pool->Allocate(alloc.tenant, amount, constraints,
-                                        deployment_->datacenter()->topology());
+      auto replacement =
+          txn.AllocateFrom(pool, alloc.tenant, amount, constraints);
       if (!replacement.ok()) {
+        txn.Abort();
         slice.amount = 0;
         action.detail = "replication degraded: " +
                         std::string(replacement.status().message());
@@ -179,6 +193,11 @@ RepairAction RepairService::RepairData(Placement& placement, DeviceId failed) {
       action.replacement_device = slice.device;
       placement.replica_devices[replica_index] = slice.device;
       placement.replica_nodes[replica_index] = slice.node;
+      if (engine_.attestation() != nullptr) {
+        txn.Provision(slice.device.value());
+        deployment_->RecordProvisionedIdentity(slice.device.value());
+      }
+      (void)txn.Commit();
 
       // Re-silvering: copy the data from a healthy replica over the fabric.
       const Module* m = deployment_->spec().graph.Find(placement.module);

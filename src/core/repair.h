@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/core/deployment.h"
+#include "src/core/placement_engine.h"
 #include "src/core/runtime.h"
 #include "src/dist/checkpoint.h"
 #include "src/exec/env_manager.h"
@@ -39,8 +40,11 @@ struct RepairAction {
 
 class RepairService {
  public:
+  // `attestation` is optional: when set, replacement devices get attestation
+  // identities provisioned (and recorded on the deployment for teardown).
   RepairService(Simulation* sim, Deployment* deployment,
-                EnvManager* env_manager, CheckpointStore* checkpoints);
+                EnvManager* env_manager, CheckpointStore* checkpoints,
+                AttestationService* attestation = nullptr);
 
   // Subscribes to the injector; failures are handled as they fire.
   void Attach(FailureInjector* injector);
@@ -63,6 +67,7 @@ class RepairService {
   Deployment* deployment_;
   EnvManager* env_manager_;
   CheckpointStore* checkpoints_;
+  PlacementEngine engine_;
   std::vector<RepairAction> history_;
 };
 

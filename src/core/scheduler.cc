@@ -1,6 +1,7 @@
 #include "src/core/scheduler.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
@@ -51,6 +52,7 @@ UdcScheduler::UdcScheduler(Simulation* sim, DisaggregatedDatacenter* datacenter,
     : sim_(sim), datacenter_(datacenter), fabric_(fabric),
       env_manager_(env_manager), attestation_(attestation), prices_(prices),
       config_(config), profiler_(datacenter, prices),
+      engine_(sim, datacenter, env_manager, attestation),
       tasks_placed_(sim->metrics().CounterSeries("core.tasks_placed")),
       data_placed_(sim->metrics().CounterSeries("core.data_placed")),
       modules_placed_task_(
@@ -63,8 +65,8 @@ UdcScheduler::UdcScheduler(Simulation* sim, DisaggregatedDatacenter* datacenter,
           "core.consistency_conflicts_resolved")) {}
 
 int UdcScheduler::PickRack(const AppSpec& spec, ModuleId module,
-                           const Deployment& deployment,
-                           ResourceKind dominant) const {
+                           const Deployment& deployment, ResourceKind dominant,
+                           BatchContext* batch) {
   if (config_.use_locality_hints) {
     for (const ModuleId partner : spec.graph.LocalityPartners(module)) {
       const Placement* p = deployment.PlacementOf(partner);
@@ -81,43 +83,93 @@ int UdcScheduler::PickRack(const AppSpec& spec, ModuleId module,
     }
   }
   // Most free capacity of the dominant resource.
-  const ResourcePool& pool = datacenter_->pool(DeviceKindFor(dominant));
-  std::vector<int64_t> free_per_rack;
-  if (config_.use_placement_index) {
+  const DeviceKind device_kind = DeviceKindFor(dominant);
+  const ResourcePool& pool = datacenter_->pool(device_kind);
+  const std::vector<int64_t>* free_per_rack = nullptr;
+  std::vector<int64_t> scratch;
+  if (batch != nullptr && config_.use_placement_index) {
+    // Batched deploys score racks against a per-batch cache, kept current
+    // by NoteBatchAllocation as slices land.
+    const auto index = static_cast<size_t>(device_kind);
+    if (!batch->free_by_rack_valid[index]) {
+      batch->free_by_rack[index] =
+          pool.HealthyFreeByRack(datacenter_->topology());
+      batch->free_by_rack_valid[index] = true;
+    }
+    free_per_rack = &batch->free_by_rack[index];
+  } else if (config_.use_placement_index) {
     // Incremental per-rack totals, O(racks).
-    free_per_rack = pool.HealthyFreeByRack(datacenter_->topology());
+    scratch = pool.HealthyFreeByRack(datacenter_->topology());
+    free_per_rack = &scratch;
   } else {
     // Legacy full-pool scan, kept as the benchmark baseline.
-    free_per_rack.assign(
-        static_cast<size_t>(datacenter_->topology().rack_count()), 0);
+    scratch.assign(static_cast<size_t>(datacenter_->topology().rack_count()),
+                   0);
     for (const Device* d : pool.devices()) {
       const int rack = datacenter_->topology().RackOf(d->node());
       if (rack >= 0 && d->healthy()) {
-        free_per_rack[static_cast<size_t>(rack)] += d->free_capacity();
+        scratch[static_cast<size_t>(rack)] += d->free_capacity();
       }
     }
+    free_per_rack = &scratch;
   }
   int best = 0;
-  for (size_t r = 1; r < free_per_rack.size(); ++r) {
-    if (free_per_rack[r] > free_per_rack[static_cast<size_t>(best)]) {
+  for (size_t r = 1; r < free_per_rack->size(); ++r) {
+    if ((*free_per_rack)[r] > (*free_per_rack)[static_cast<size_t>(best)]) {
       best = static_cast<int>(r);
     }
   }
   return best;
 }
 
+void UdcScheduler::NoteBatchAllocation(BatchContext* batch, DeviceKind kind,
+                                       const PoolAllocation& allocation) {
+  if (batch == nullptr) {
+    return;
+  }
+  const auto index = static_cast<size_t>(kind);
+  if (!batch->free_by_rack_valid[index]) {
+    return;
+  }
+  std::vector<int64_t>& free_per_rack = batch->free_by_rack[index];
+  for (const AllocationSlice& slice : allocation.slices) {
+    const int rack = datacenter_->topology().RackOf(slice.node);
+    if (rack >= 0 && static_cast<size_t>(rack) < free_per_rack.size()) {
+      free_per_rack[static_cast<size_t>(rack)] -= slice.amount;
+    }
+  }
+}
+
+Result<ResolvedDemand> UdcScheduler::DemandFor(const Module& module,
+                                               const ResourceAspect& aspect,
+                                               BatchContext* batch) {
+  if (batch != nullptr) {
+    const auto it = batch->demands.find(&module);
+    if (it != batch->demands.end()) {
+      return it->second;
+    }
+  }
+  UDC_ASSIGN_OR_RETURN(ResolvedDemand resolved,
+                       ResolveDemand(module, aspect, profiler_));
+  if (batch != nullptr) {
+    batch->demands.emplace(&module, resolved);
+  }
+  return resolved;
+}
+
 Status UdcScheduler::PlaceTask(TenantId tenant, const AppSpec& spec,
-                               ModuleId module, Deployment* deployment) {
+                               ModuleId module, Deployment* deployment,
+                               PlacementTxn& txn, BatchContext* batch) {
   const Module* m = spec.graph.Find(module);
   const AspectSet aspects = spec.AspectsFor(module);
   ScopedSpan span =
       sim_->Scope("sched", "sched.place_task", {{"module", m->name}});
 
   UDC_ASSIGN_OR_RETURN(ResolvedDemand resolved,
-                       ResolveDemand(*m, aspects.resource, profiler_));
+                       DemandFor(*m, aspects.resource, batch));
 
   const ResourceKind compute = DominantCompute(resolved.demand);
-  const int rack = PickRack(spec, module, *deployment, compute);
+  const int rack = PickRack(spec, module, *deployment, compute, batch);
   const bool single_tenant =
       aspects.exec.tenancy == TenancyMode::kSingleTenant ||
       aspects.exec.isolation >= IsolationLevel::kStrong;
@@ -129,9 +181,10 @@ Status UdcScheduler::PlaceTask(TenantId tenant, const AppSpec& spec,
   unit.shim.consistency = aspects.dist.consistency;
   unit.shim.checkpoint_enabled = aspects.dist.checkpoint;
 
-  // Acquire each demand component from its pool; roll back on failure.
-  Status failure = OkStatus();
-  for (int i = 0; i < kNumResourceKinds && failure.ok(); ++i) {
+  // Stage each demand component through the transaction: a failure aborts
+  // the whole deploy's transaction in the caller, releasing every slice
+  // staged so far (this module's and every prior module's).
+  for (int i = 0; i < kNumResourceKinds; ++i) {
     const auto kind = static_cast<ResourceKind>(i);
     const int64_t amount = resolved.demand.Get(kind);
     if (amount == 0 || kind == ResourceKind::kNetBw) {
@@ -141,25 +194,13 @@ Status UdcScheduler::PlaceTask(TenantId tenant, const AppSpec& spec,
     constraints.preferred_rack = rack;
     constraints.single_device = IsComputeKind(kind);
     constraints.require_exclusive = single_tenant && IsComputeKind(kind);
-    ResourcePool& pool = datacenter_->pool(DeviceKindFor(kind));
-    auto alloc = pool.Allocate(tenant, amount, constraints,
-                               datacenter_->topology());
+    const DeviceKind device_kind = DeviceKindFor(kind);
+    auto alloc = txn.Allocate(device_kind, tenant, amount, constraints);
     if (!alloc.ok()) {
-      failure = alloc.status();
-      break;
+      return alloc.status();
     }
+    NoteBatchAllocation(batch, device_kind, *alloc);
     unit.allocations.push_back(*std::move(alloc));
-  }
-  if (!failure.ok()) {
-    for (PoolAllocation& alloc : unit.allocations) {
-      for (int i = 0; i < kNumDeviceKinds; ++i) {
-        ResourcePool& pool = datacenter_->pool(static_cast<DeviceKind>(i));
-        if (pool.id() == alloc.pool) {
-          (void)pool.Release(alloc);
-        }
-      }
-    }
-    return failure;
   }
 
   // Home node = the compute slice's device node.
@@ -191,16 +232,19 @@ Status UdcScheduler::PlaceTask(TenantId tenant, const AppSpec& spec,
                                   : aspects.exec.tenancy;
   options.image = m->name;
   ExecEnvironment* env =
-      env_manager_->Launch(tenant, home, options, /*on_ready=*/nullptr);
+      txn.Launch(tenant, home, options, /*on_ready=*/nullptr);
 
   // Provision attestation identities for every device backing the unit and
-  // the environment's host node.
+  // the environment's host node; the deployment records them so teardown
+  // retires exactly what this deploy provisioned.
   for (const PoolAllocation& alloc : unit.allocations) {
     for (const AllocationSlice& slice : alloc.slices) {
-      attestation_->ProvisionDevice(slice.device.value());
+      txn.Provision(slice.device.value());
+      deployment->RecordProvisionedIdentity(slice.device.value());
     }
   }
-  attestation_->ProvisionDevice(home.value());
+  txn.Provision(home.value());
+  deployment->RecordProvisionedIdentity(home.value());
 
   unit.env = env;
   unit.home = home;
@@ -235,14 +279,15 @@ Status UdcScheduler::PlaceTask(TenantId tenant, const AppSpec& spec,
 }
 
 Status UdcScheduler::PlaceData(TenantId tenant, const AppSpec& spec,
-                               ModuleId module, Deployment* deployment) {
+                               ModuleId module, Deployment* deployment,
+                               PlacementTxn& txn, BatchContext* batch) {
   const Module* m = spec.graph.Find(module);
   const AspectSet aspects = spec.AspectsFor(module);
   ScopedSpan span =
       sim_->Scope("sched", "sched.place_data", {{"module", m->name}});
 
   UDC_ASSIGN_OR_RETURN(ResolvedDemand resolved,
-                       ResolveDemand(*m, aspects.resource, profiler_));
+                       DemandFor(*m, aspects.resource, batch));
   const ResourceKind medium = resolved.storage_medium;
   const int64_t size = resolved.demand.Get(medium);
   const int replicas = std::max(1, aspects.dist.replication_factor);
@@ -266,7 +311,7 @@ Status UdcScheduler::PlaceData(TenantId tenant, const AppSpec& spec,
     sim_->metrics().Increment(conflicts_resolved_);
   }
 
-  const int rack = PickRack(spec, module, *deployment, medium);
+  const int rack = PickRack(spec, module, *deployment, medium, batch);
 
   ResourceUnit unit;
   unit.tenant = tenant;
@@ -274,35 +319,30 @@ Status UdcScheduler::PlaceData(TenantId tenant, const AppSpec& spec,
   unit.shim.replication_factor = replicas;
   unit.shim.consistency = resolution.level;
 
-  // One single-device allocation per replica, on distinct devices.
+  // One single-device allocation per replica, on distinct devices. A
+  // failure aborts the deploy's transaction in the caller, releasing every
+  // replica staged so far.
   std::vector<NodeId> replica_nodes;
   std::vector<DeviceId> replica_devices;
   AllocationConstraints constraints;
   constraints.preferred_rack = rack;
   constraints.single_device = true;
-  ResourcePool& pool = datacenter_->pool(DeviceKindFor(medium));
-  Status failure = OkStatus();
+  const DeviceKind device_kind = DeviceKindFor(medium);
   for (int r = 0; r < replicas; ++r) {
-    auto alloc = pool.Allocate(tenant, size, constraints,
-                               datacenter_->topology());
+    auto alloc = txn.Allocate(device_kind, tenant, size, constraints);
     if (!alloc.ok()) {
-      failure = alloc.status();
-      break;
+      return alloc.status();
     }
     replica_nodes.push_back(alloc->slices.front().node);
     replica_devices.push_back(alloc->slices.front().device);
     constraints.avoid.push_back(alloc->slices.front().device);
+    NoteBatchAllocation(batch, device_kind, *alloc);
     unit.allocations.push_back(*std::move(alloc));
-  }
-  if (!failure.ok()) {
-    for (PoolAllocation& alloc : unit.allocations) {
-      (void)pool.Release(alloc);
-    }
-    return failure;
   }
 
   for (DeviceId device : replica_devices) {
-    attestation_->ProvisionDevice(device.value());
+    txn.Provision(device.value());
+    deployment->RecordProvisionedIdentity(device.value());
   }
 
   unit.home = replica_nodes.front();
@@ -317,6 +357,7 @@ Status UdcScheduler::PlaceData(TenantId tenant, const AppSpec& spec,
       module, std::make_unique<ReplicatedStore>(
                   sim_, fabric_, &datacenter_->topology(), m->name,
                   replica_nodes, repl_config, sequencer_));
+  txn.StageUndo([deployment, module] { deployment->RemoveStore(module); });
 
   HighLevelObject object;
   object.module = module;
@@ -349,28 +390,83 @@ Status UdcScheduler::PlaceData(TenantId tenant, const AppSpec& spec,
 
 Result<std::unique_ptr<Deployment>> UdcScheduler::Deploy(TenantId tenant,
                                                          const AppSpec& spec) {
+  return DeployOne(tenant, spec, /*batch=*/nullptr);
+}
+
+std::vector<Result<std::unique_ptr<Deployment>>> UdcScheduler::DeployAll(
+    TenantId tenant, const std::vector<const AppSpec*>& specs) {
+  ScopedSpan span = sim_->Scope(
+      "sched", "sched.deploy_batch",
+      {{"specs", StrFormat("%zu", specs.size())},
+       {"tenant", StrFormat("%llu",
+                            static_cast<unsigned long long>(tenant.value()))}});
+  BatchContext batch;
+  std::vector<Result<std::unique_ptr<Deployment>>> results;
+  results.reserve(specs.size());
+  for (const AppSpec* spec : specs) {
+    results.push_back(DeployOne(tenant, *spec, &batch));
+  }
+  return results;
+}
+
+Result<std::unique_ptr<Deployment>> UdcScheduler::DeployOne(
+    TenantId tenant, const AppSpec& spec, BatchContext* batch) {
   UDC_RETURN_IF_ERROR(spec.graph.Validate());
   for (const auto& [module, aspects] : spec.aspects) {
     UDC_RETURN_IF_ERROR(ValidateAspects(aspects));
   }
 
-  ScopedSpan span = sim_->Scope(
-      "sched", "sched.deploy",
-      {{"app", spec.graph.app_name()},
-       {"tenant", StrFormat("%llu",
-                            static_cast<unsigned long long>(tenant.value()))}});
-  auto deployment =
-      std::make_unique<Deployment>(tenant, spec, datacenter_, sim_->now());
+  // A batched deploy is already covered by the enclosing sched.deploy_batch
+  // span (and each transaction still gets its interned sched.txn span), so
+  // the per-deploy span — whose string labels are formatted per call — is
+  // only opened for single deploys.
+  std::optional<ScopedSpan> span;
+  if (batch == nullptr) {
+    span.emplace(sim_->Scope(
+        "sched", "sched.deploy",
+        {{"app", spec.graph.app_name()},
+         {"tenant",
+          StrFormat("%llu", static_cast<unsigned long long>(tenant.value()))}}));
+  }
+  auto deployment = std::make_unique<Deployment>(
+      tenant, spec, datacenter_, sim_->now(), env_manager_, attestation_);
+  PlacementTxn txn = engine_.Begin("deploy");
+
+  // On any failure: abort the transaction (undoing every staged allocation,
+  // launch and provision across all modules), then abandon the partial
+  // deployment so its teardown does not double-release what the abort
+  // already returned. A batch's cached rack capacities are stale after an
+  // abort (the cached debits were undone), so drop them.
+  const auto fail = [&](Status status) -> Status {
+    txn.Abort();
+    deployment->Abandon();
+    if (batch != nullptr) {
+      batch->free_by_rack_valid.fill(false);
+    }
+    return status;
+  };
 
   // Data modules first (tasks want to land near their data), then tasks in
   // topological order so DAG-neighbour locality can chain.
   for (const ModuleId data : spec.graph.DataIds()) {
-    UDC_RETURN_IF_ERROR(PlaceData(tenant, spec, data, deployment.get()));
+    Status status =
+        PlaceData(tenant, spec, data, deployment.get(), txn, batch);
+    if (!status.ok()) {
+      return fail(std::move(status));
+    }
   }
-  UDC_ASSIGN_OR_RETURN(const std::vector<ModuleId> topo, spec.graph.TopoOrder());
-  for (const ModuleId task : topo) {
-    UDC_RETURN_IF_ERROR(PlaceTask(tenant, spec, task, deployment.get()));
+  const auto topo = spec.graph.TopoOrder();
+  if (!topo.ok()) {
+    return fail(topo.status());
   }
+  for (const ModuleId task : *topo) {
+    Status status =
+        PlaceTask(tenant, spec, task, deployment.get(), txn, batch);
+    if (!status.ok()) {
+      return fail(std::move(status));
+    }
+  }
+  UDC_RETURN_IF_ERROR(txn.Commit());
 
   UDC_LOG(Info) << "deployed " << spec.graph.app_name() << " for tenant "
                 << tenant.value() << ": " << deployment->objects().size()

@@ -14,10 +14,14 @@
 #ifndef UDC_SRC_CORE_SCHEDULER_H_
 #define UDC_SRC_CORE_SCHEDULER_H_
 
+#include <array>
+#include <map>
 #include <memory>
+#include <vector>
 
 #include "src/attest/attestation_service.h"
 #include "src/core/deployment.h"
+#include "src/core/placement_engine.h"
 #include "src/core/planner.h"
 #include "src/exec/env_manager.h"
 #include "src/net/fabric.h"
@@ -50,28 +54,62 @@ class UdcScheduler {
                AttestationService* attestation, const PriceList* prices,
                SchedulerConfig config = SchedulerConfig());
 
-  // Realizes `spec` for `tenant`. On success the deployment holds all
-  // resources; on failure everything partially acquired is rolled back.
+  // Realizes `spec` for `tenant`. Every module placement runs inside one
+  // placement transaction: on success the deployment holds all resources;
+  // on failure the transaction aborts and every partially-acquired slice,
+  // launched environment and provisioned attestation identity is rolled
+  // back.
   Result<std::unique_ptr<Deployment>> Deploy(TenantId tenant,
                                              const AppSpec& spec);
 
+  // Batched deploy: realizes each spec for `tenant`, resolving module
+  // demands and scoring racks once per batch instead of once per deploy.
+  // Each spec commits or aborts its own transaction — the batch as a whole
+  // is not atomic; results are positional.
+  std::vector<Result<std::unique_ptr<Deployment>>> DeployAll(
+      TenantId tenant, const std::vector<const AppSpec*>& specs);
+
   const SchedulerConfig& config() const { return config_; }
   DryRunProfiler& profiler() { return profiler_; }
+  PlacementEngine& engine() { return engine_; }
 
   // Optional: attach a switch sequencer for in-network replication.
   void SetSequencer(SwitchSequencer* sequencer) { sequencer_ = sequencer; }
 
  private:
+  // Per-batch caches for DeployAll: rack free-capacity vectors per device
+  // kind (maintained incrementally as allocations land) and resolved module
+  // demands keyed by module identity (batches redeploy the same specs).
+  struct BatchContext {
+    std::array<std::vector<int64_t>, kNumDeviceKinds> free_by_rack;
+    std::array<bool, kNumDeviceKinds> free_by_rack_valid{};
+    std::map<const Module*, ResolvedDemand> demands;
+  };
+
   // Picks the rack for `module`: the rack of an already-placed locality
   // partner when hints are on, else the rack with the most free capacity of
-  // the module's dominant resource.
+  // the module's dominant resource (served from `batch`'s cache when set).
   int PickRack(const AppSpec& spec, ModuleId module,
-               const Deployment& deployment, ResourceKind dominant) const;
+               const Deployment& deployment, ResourceKind dominant,
+               BatchContext* batch);
+  // Debits `allocation`'s slices from the batch's cached rack capacities so
+  // later deploys in the batch score racks against up-to-date numbers.
+  void NoteBatchAllocation(BatchContext* batch, DeviceKind kind,
+                           const PoolAllocation& allocation);
+  // ResolveDemand, cached per batch.
+  Result<ResolvedDemand> DemandFor(const Module& module,
+                                   const ResourceAspect& aspect,
+                                   BatchContext* batch);
 
+  Result<std::unique_ptr<Deployment>> DeployOne(TenantId tenant,
+                                                const AppSpec& spec,
+                                                BatchContext* batch);
   Status PlaceTask(TenantId tenant, const AppSpec& spec, ModuleId module,
-                   Deployment* deployment);
+                   Deployment* deployment, PlacementTxn& txn,
+                   BatchContext* batch);
   Status PlaceData(TenantId tenant, const AppSpec& spec, ModuleId module,
-                   Deployment* deployment);
+                   Deployment* deployment, PlacementTxn& txn,
+                   BatchContext* batch);
 
   Simulation* sim_;
   DisaggregatedDatacenter* datacenter_;
@@ -81,6 +119,7 @@ class UdcScheduler {
   const PriceList* prices_;
   SchedulerConfig config_;
   DryRunProfiler profiler_;
+  PlacementEngine engine_;
   SwitchSequencer* sequencer_ = nullptr;
 
   // Interned metric series: placement happens per module per deploy, so the

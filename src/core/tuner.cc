@@ -7,7 +7,8 @@ namespace udc {
 
 AdaptiveTuner::AdaptiveTuner(Simulation* sim, Deployment* deployment,
                              TunerConfig config)
-    : sim_(sim), deployment_(deployment), config_(config) {}
+    : sim_(sim), deployment_(deployment),
+      engine_(sim, deployment->datacenter()), config_(config) {}
 
 double AdaptiveTuner::EwmaOf(ModuleId module) const {
   const auto it = state_.find(module);
@@ -38,32 +39,34 @@ Result<TunerAction> AdaptiveTuner::Resize(ModuleId module, double factor) {
     if (delta == 0) {
       return action;
     }
-    for (int i = 0; i < kNumDeviceKinds; ++i) {
-      ResourcePool& pool =
-          deployment_->datacenter()->pool(static_cast<DeviceKind>(i));
-      if (pool.id() != alloc.pool) {
-        continue;
-      }
-      UDC_RETURN_IF_ERROR(
-          pool.Resize(alloc, delta, deployment_->datacenter()->topology()));
-      action.compute_delta_milli = delta;
-      ++resizes_;
-      sim_->metrics().IncrementCounter(delta > 0 ? "tuner.grows"
-                                                 : "tuner.shrinks");
-      // Resizing may have added slices on other devices: migration in the
-      // paper's sense when the primary device changed rack.
-      const NodeId new_home = alloc.slices.front().node;
-      if (new_home != placement->home) {
-        placement->home = new_home;
-        placement->rack =
-            deployment_->datacenter()->topology().RackOf(new_home);
-        action.migrated = true;
-        ++migrations_;
-        sim_->metrics().IncrementCounter("tuner.migrations");
-      }
-      return action;
+    ResourcePool* resize_pool =
+        deployment_->datacenter()->PoolById(alloc.pool);
+    if (resize_pool == nullptr) {
+      return Status(InternalError("allocation's pool not found"));
     }
-    return Status(InternalError("allocation's pool not found"));
+    PlacementTxn txn = engine_.Begin("tune");
+    const Status resized = txn.Resize(resize_pool, alloc, delta);
+    if (!resized.ok()) {
+      txn.Abort();
+      return resized;
+    }
+    action.compute_delta_milli = delta;
+    ++resizes_;
+    sim_->metrics().IncrementCounter(delta > 0 ? "tuner.grows"
+                                               : "tuner.shrinks");
+    // Resizing may have added slices on other devices: migration in the
+    // paper's sense when the primary device changed rack.
+    const NodeId new_home = alloc.slices.front().node;
+    if (new_home != placement->home) {
+      placement->home = new_home;
+      placement->rack =
+          deployment_->datacenter()->topology().RackOf(new_home);
+      action.migrated = true;
+      ++migrations_;
+      sim_->metrics().IncrementCounter("tuner.migrations");
+    }
+    (void)txn.Commit();
+    return action;
   }
   return Status(FailedPreconditionError("module has no compute allocation"));
 }

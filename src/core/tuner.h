@@ -16,6 +16,7 @@
 #include <map>
 
 #include "src/core/deployment.h"
+#include "src/core/placement_engine.h"
 #include "src/sim/simulation.h"
 
 namespace udc {
@@ -59,6 +60,7 @@ class AdaptiveTuner {
 
   Simulation* sim_;
   Deployment* deployment_;
+  PlacementEngine engine_;
   TunerConfig config_;
   std::map<ModuleId, ModuleState> state_;
   int64_t resizes_ = 0;

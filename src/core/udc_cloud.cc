@@ -37,6 +37,11 @@ Result<std::unique_ptr<Deployment>> UdcCloud::Deploy(TenantId tenant,
   return scheduler_.Deploy(tenant, spec);
 }
 
+std::vector<Result<std::unique_ptr<Deployment>>> UdcCloud::DeployAll(
+    TenantId tenant, const std::vector<const AppSpec*>& specs) {
+  return scheduler_.DeployAll(tenant, specs);
+}
+
 Result<VerificationReport> UdcCloud::Verify(Deployment* deployment) {
   return verifier_.VerifyDeployment(deployment);
 }

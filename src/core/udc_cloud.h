@@ -58,6 +58,11 @@ class UdcCloud {
   // --- Deployment.
   Result<std::unique_ptr<Deployment>> Deploy(TenantId tenant,
                                              const AppSpec& spec);
+  // Batched deploy: demands resolved and racks scored once per batch.
+  // Each spec commits/aborts its own placement transaction; results are
+  // positional.
+  std::vector<Result<std::unique_ptr<Deployment>>> DeployAll(
+      TenantId tenant, const std::vector<const AppSpec*>& specs);
 
   // --- Verification (user side: trusts only the vendor key).
   Result<VerificationReport> Verify(Deployment* deployment);

@@ -16,6 +16,8 @@ EnvManager::EnvManager(Simulation* sim)
     : sim_(sim),
       warm_starts_(sim->metrics().CounterSeries("exec.warm_starts")),
       cold_starts_(sim->metrics().CounterSeries("exec.cold_starts")),
+      launches_cancelled_(
+          sim->metrics().CounterSeries("exec.launches_cancelled")),
       warm_start_latency_ms_(
           sim->metrics().HistogramSeries("exec.warm_start_latency_ms")),
       cold_start_latency_ms_(
@@ -61,6 +63,7 @@ ExecEnvironment* EnvManager::Launch(
     sim_->metrics().Observe(cold_start_latency_ms_, start_latency.millis());
   }
   sim_->metrics().Observe(start_latency_ms_, start_latency.millis());
+  raw->set_started_warm(warm);
 
   const uint64_t span = sim_->spans().Begin(
       "exec", "exec.env_start",
@@ -96,6 +99,21 @@ Status EnvManager::Stop(ExecEnvironment* env, bool keep_warm) {
     ++warm_slots_[WarmKey(env->kind(), env->tenant())];
   }
   envs_.erase(it);  // reap: stopped environments are not retained
+  return OkStatus();
+}
+
+Status EnvManager::CancelLaunch(ExecEnvironment* env) {
+  const auto it = envs_.find(env->id());
+  if (it == envs_.end() || it->second.get() != env) {
+    return NotFoundError("environment not owned by this manager");
+  }
+  if (env->started_warm()) {
+    // The launch consumed a warm slot; cancelling returns it, so a rolled
+    // back deploy leaves the warm pool exactly as it found it.
+    ++warm_slots_[WarmKey(env->kind(), env->tenant())];
+  }
+  sim_->metrics().Increment(launches_cancelled_);
+  envs_.erase(it);  // the pending ready event no-ops on the missing id
   return OkStatus();
 }
 

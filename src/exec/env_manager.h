@@ -55,6 +55,12 @@ class EnvManager {
   // hold no dead environments. `env` is invalid after a successful Stop.
   Status Stop(ExecEnvironment* env, bool keep_warm);
 
+  // Undoes a Launch: reaps the environment and refunds the warm slot the
+  // launch consumed (if it started warm), so cancelling restores the warm
+  // pool exactly. Used by placement transactions rolling back a deploy.
+  // `env` is invalid after a successful CancelLaunch.
+  Status CancelLaunch(ExecEnvironment* env);
+
   // Pre-provisions `count` warm slots of `kind` for `tenant` (no time charge
   // at call site; real systems fill pools in the background).
   void Prewarm(EnvKind kind, TenantId tenant, int count);
@@ -85,6 +91,7 @@ class EnvManager {
   // Interned metric series for the per-launch hot path.
   CounterHandle warm_starts_;
   CounterHandle cold_starts_;
+  CounterHandle launches_cancelled_;
   HistogramHandle warm_start_latency_ms_;
   HistogramHandle cold_start_latency_ms_;
   HistogramHandle start_latency_ms_;

@@ -121,6 +121,9 @@ class ExecEnvironment {
   void set_state(EnvState s) { state_ = s; }
   SimTime ready_at() const { return ready_at_; }
   void set_ready_at(SimTime t) { ready_at_ = t; }
+  // Whether this launch consumed a warm slot; a cancelled launch refunds it.
+  bool started_warm() const { return started_warm_; }
+  void set_started_warm(bool warm) { started_warm_ = warm; }
 
   // Measurement of the launched image+config, extended into attestation
   // quotes. Deterministic over (kind, tenancy, tenant, image).
@@ -143,6 +146,7 @@ class ExecEnvironment {
   EnvProfile profile_;
   EnvState state_ = EnvState::kStarting;
   SimTime ready_at_;
+  bool started_warm_ = false;
   std::string image_ = "default";
   Sha256Digest measurement_{};
 };

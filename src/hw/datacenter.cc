@@ -52,6 +52,22 @@ const ResourcePool& DisaggregatedDatacenter::pool(DeviceKind kind) const {
   return *pools_[static_cast<size_t>(kind)];
 }
 
+ResourcePool* DisaggregatedDatacenter::PoolById(PoolId id) {
+  if (!id.valid()) {
+    return nullptr;
+  }
+  const uint64_t index = id.value();
+  if (index < static_cast<uint64_t>(kNumDeviceKinds) &&
+      pools_[index]->id() == id) {
+    return pools_[index].get();
+  }
+  return nullptr;
+}
+
+const ResourcePool* DisaggregatedDatacenter::PoolById(PoolId id) const {
+  return const_cast<DisaggregatedDatacenter*>(this)->PoolById(id);
+}
+
 std::vector<Device*> DisaggregatedDatacenter::AllDevices() {
   std::vector<Device*> out;
   for (auto& p : pools_) {

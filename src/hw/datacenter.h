@@ -49,6 +49,12 @@ class DisaggregatedDatacenter {
   ResourcePool& pool(DeviceKind kind);
   const ResourcePool& pool(DeviceKind kind) const;
 
+  // The pool owning `id`, or nullptr. O(1): pool ids are assigned
+  // sequentially in device-kind order at construction. Lets release paths
+  // resolve an allocation's pool without scanning every kind.
+  ResourcePool* PoolById(PoolId id);
+  const ResourcePool* PoolById(PoolId id) const;
+
   // All devices across all pools (for failure injection and reports).
   std::vector<Device*> AllDevices();
 
