@@ -37,6 +37,7 @@
 #include "src/common/units.h"
 #include "src/net/fabric.h"
 #include "src/hw/topology.h"
+#include "src/obs/slo.h"
 #include "src/sim/inline_callback.h"
 #include "src/sim/parallel_kernel.h"
 #include "src/sim/simulation.h"
@@ -227,6 +228,11 @@ struct FanoutResult {
   long long windows = 0;
   long long channel_spills = 0;
   uint64_t work_acc = 0;  // keeps the LCG work observable
+  // Parallel only: verdict of the kernel-health probe objective (flush
+  // records per window p99), evaluated after the measured rounds.
+  bool slo_evaluated = false;
+  bool slo_ok = true;
+  double slo_measured = 0;
 };
 
 FanoutResult RunFanout(udc::SimKernel sim_kernel, int threads,
@@ -305,6 +311,32 @@ FanoutResult RunFanout(udc::SimKernel sim_kernel, int threads,
   }
   for (const auto& chain : chains) {
     result.work_acc ^= chain->acc;
+  }
+  if (kernel != nullptr) {
+    // Kernel-health objective, consumed as a machine-checked gate by main:
+    // the per-window obs flush must stay bounded (a runaway p99 means
+    // worker buffers are ballooning inside windows — the always-on story
+    // breaks down). kProbe is the sanctioned reader for kernel-internal
+    // stats: flush_records_per_window is deliberately not a registry series,
+    // so single-thread and multi-thread expositions stay byte-identical.
+    // Registered after the measured rounds, so the zero-alloc phase never
+    // sees the engine.
+    udc::SloSpec spec;
+    spec.name = "slo.kernel.flush_records_per_window_p99";
+    spec.kind = udc::SloSpec::SourceKind::kProbe;
+    spec.probe = [kernel] {
+      return kernel->flush_records_per_window().Quantile(0.99);
+    };
+    spec.threshold = 100'000.0;  // records per window; generous
+    sim.slos().AddObjective(std::move(spec));
+    sim.slos().EvaluateNow(sim.now());
+    const udc::SloVerdict* verdict =
+        sim.slos().Find("slo.kernel.flush_records_per_window_p99");
+    result.slo_evaluated = verdict != nullptr;
+    if (verdict != nullptr) {
+      result.slo_ok = verdict->state != udc::SloState::kBreach;
+      result.slo_measured = verdict->measured;
+    }
   }
   return result;
 }
@@ -491,6 +523,14 @@ int main(int argc, char** argv) {
                    "FAIL: parallel/%d allocated %lld times in the measured "
                    "phase (expected 0)\n",
                    threads, r.allocs);
+      return 1;
+    }
+    if (!r.slo_evaluated || !r.slo_ok) {
+      std::fprintf(stderr,
+                   "FAIL: parallel/%d kernel-health SLO %s (flush records "
+                   "per window p99 = %.0f)\n",
+                   threads, r.slo_evaluated ? "breached" : "did not evaluate",
+                   r.slo_measured);
       return 1;
     }
     sweep.push_back(r);

@@ -37,6 +37,13 @@ class Histogram {
   // "n=100 mean=1.2 p50=1.1 p99=3.4 max=5.0"
   std::string Summary() const;
 
+  // Every recorded value, sorted ascending. Used to replay a series into a
+  // bounded-memory SketchHistogram when a registry switches modes.
+  const std::vector<double>& sorted_samples() const {
+    SortIfNeeded();
+    return samples_;
+  }
+
  private:
   void SortIfNeeded() const;
 

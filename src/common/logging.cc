@@ -1,7 +1,11 @@
 #include "src/common/logging.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <utility>
+#include <vector>
 
 namespace udc {
 
@@ -41,6 +45,64 @@ void EmitLogLine(LogSeverity severity, std::string_view file, int line,
   std::fprintf(stderr, "[%s %.*s:%d] %.*s\n", SeverityTag(severity),
                static_cast<int>(base.size()), base.data(), line,
                static_cast<int>(message.size()), message.data());
+}
+
+namespace {
+
+struct HookEntry {
+  uint64_t id;
+  CrashDumpHook fn;
+};
+
+// Guarded registry; hooks themselves run outside the lock so a hook that
+// logs (or registers) cannot deadlock the dying process.
+std::mutex g_hooks_mu;
+std::vector<HookEntry> g_hooks;
+uint64_t g_next_hook_id = 1;
+
+}  // namespace
+
+uint64_t RegisterCrashDumpHook(CrashDumpHook hook) {
+  std::lock_guard<std::mutex> lock(g_hooks_mu);
+  const uint64_t id = g_next_hook_id++;
+  g_hooks.push_back(HookEntry{id, std::move(hook)});
+  return id;
+}
+
+void UnregisterCrashDumpHook(uint64_t id) {
+  std::lock_guard<std::mutex> lock(g_hooks_mu);
+  for (auto it = g_hooks.begin(); it != g_hooks.end(); ++it) {
+    if (it->id == id) {
+      g_hooks.erase(it);
+      return;
+    }
+  }
+}
+
+void RunCrashDumpHooks(std::string_view reason) {
+  std::vector<CrashDumpHook> hooks;
+  {
+    std::lock_guard<std::mutex> lock(g_hooks_mu);
+    hooks.reserve(g_hooks.size());
+    for (const HookEntry& entry : g_hooks) {
+      hooks.push_back(entry.fn);
+    }
+  }
+  for (const CrashDumpHook& hook : hooks) {
+    hook(reason);
+  }
+}
+
+CheckFailure::CheckFailure(const char* file, int line, const char* condition)
+    : file_(file), line_(line) {
+  stream_ << "CHECK failed: " << condition;
+}
+
+CheckFailure::~CheckFailure() {
+  const std::string message = stream_.str();
+  EmitLogLine(LogSeverity::kError, file_, line_, message);
+  RunCrashDumpHooks(message);
+  std::abort();
 }
 
 }  // namespace udc

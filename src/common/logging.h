@@ -7,6 +7,8 @@
 #ifndef UDC_SRC_COMMON_LOGGING_H_
 #define UDC_SRC_COMMON_LOGGING_H_
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string_view>
 
@@ -59,11 +61,57 @@ class NullLogMessage {
   }
 };
 
+// --- Invariant checks with a post-mortem path.
+//
+// UDC_CHECK(cond) aborts when `cond` is false — but first runs every
+// registered crash-dump hook, so always-on observability (the flight
+// recorder) can leave a black box behind. Unlike assert() it survives NDEBUG
+// builds; use it for contract violations worth a core, on cold paths only.
+//
+//   UDC_CHECK(shard < shard_count) << "rack " << rack << " unmapped";
+
+// Hooks run (registration order) right before a failed UDC_CHECK aborts.
+// They must not allocate recklessly or re-enter UDC_CHECK. Returns an id for
+// UnregisterCrashDumpHook; owners deregister before their state dies.
+using CrashDumpHook = std::function<void(std::string_view reason)>;
+uint64_t RegisterCrashDumpHook(CrashDumpHook hook);
+void UnregisterCrashDumpHook(uint64_t id);
+// Runs every hook now. Called by the UDC_CHECK failure path; exposed so
+// tests and tools can force a dump without dying.
+void RunCrashDumpHooks(std::string_view reason);
+
+// Failure-message builder for UDC_CHECK; flushes, runs crash-dump hooks,
+// then aborts in the destructor.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition);
+  ~CheckFailure();  // aborts; never returns
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
 }  // namespace udc
 
 #define UDC_LOG(severity_suffix)                                          \
   if (::udc::LogSeverity::k##severity_suffix < ::udc::GetLogThreshold()) { \
   } else                                                                  \
     ::udc::LogMessage(::udc::LogSeverity::k##severity_suffix, __FILE__, __LINE__)
+
+#define UDC_CHECK(condition)      \
+  if (condition) {                \
+  } else                          \
+    ::udc::CheckFailure(__FILE__, __LINE__, #condition)
 
 #endif  // UDC_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,166 @@
+#include "src/common/sketch_histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+SketchHistogram::SketchHistogram(double relative_error)
+    : alpha_(relative_error) {
+  assert(alpha_ > 0.0 && alpha_ < 1.0);
+  gamma_ = (1.0 + alpha_) / (1.0 - alpha_);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+  min_index_ = static_cast<int>(std::ceil(std::log(kMinValue) * inv_log_gamma_));
+  const int max_index =
+      static_cast<int>(std::ceil(std::log(kMaxValue) * inv_log_gamma_));
+  // ~3.1k buckets (25KB) at the default 1% error; fixed for the sketch's
+  // lifetime regardless of how many samples land.
+  counts_.assign(static_cast<size_t>(max_index - min_index_ + 1), 0);
+}
+
+int SketchHistogram::BucketIndex(double value) const {
+  // Bucket i covers (gamma^(i-1), gamma^i]; midpoint estimate keeps the
+  // relative error within alpha on both edges.
+  const int raw = static_cast<int>(std::ceil(std::log(value) * inv_log_gamma_));
+  const int hi = min_index_ + static_cast<int>(counts_.size()) - 1;
+  return std::clamp(raw, min_index_, hi);
+}
+
+double SketchHistogram::BucketEstimate(int index) const {
+  return 2.0 * std::pow(gamma_, index) / (gamma_ + 1.0);
+}
+
+void SketchHistogram::Add(double value) {
+  if (std::isnan(value)) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  sum_sq_ += value * value;
+  if (value < kMinValue) {
+    // Zero, negative and denormal-tiny values share one exact-zero bucket;
+    // a latency/size series never produces them in anger.
+    ++zero_count_;
+    return;
+  }
+  ++counts_[static_cast<size_t>(BucketIndex(value) - min_index_)];
+}
+
+void SketchHistogram::Merge(const SketchHistogram& other) {
+  assert(alpha_ == other.alpha_ && counts_.size() == other.counts_.size());
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+  zero_count_ += other.zero_count_;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+}
+
+SketchHistogram SketchHistogram::DiffSince(const SketchHistogram& earlier) const {
+  assert(alpha_ == earlier.alpha_ && counts_.size() == earlier.counts_.size());
+  SketchHistogram diff(alpha_);
+  diff.count_ = std::max<int64_t>(0, count_ - earlier.count_);
+  diff.sum_ = sum_ - earlier.sum_;
+  diff.sum_sq_ = sum_sq_ - earlier.sum_sq_;
+  diff.zero_count_ =
+      zero_count_ >= earlier.zero_count_ ? zero_count_ - earlier.zero_count_ : 0;
+  int lo = -1;
+  int hi = -1;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    diff.counts_[i] =
+        counts_[i] >= earlier.counts_[i] ? counts_[i] - earlier.counts_[i] : 0;
+    if (diff.counts_[i] > 0) {
+      if (lo < 0) {
+        lo = static_cast<int>(i);
+      }
+      hi = static_cast<int>(i);
+    }
+  }
+  // Interval extrema are unknown exactly; bucket-derived bounds carry the
+  // same relative-error guarantee as the quantiles.
+  if (diff.count_ > 0) {
+    diff.min_ = diff.zero_count_ > 0 || lo < 0
+                    ? 0.0
+                    : BucketEstimate(lo + min_index_);
+    diff.max_ = hi < 0 ? diff.min_ : BucketEstimate(hi + min_index_);
+  }
+  return diff;
+}
+
+void SketchHistogram::Clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  zero_count_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+double SketchHistogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double SketchHistogram::Stddev() const {
+  const auto n = static_cast<double>(count_);
+  if (n < 2) {
+    return 0.0;
+  }
+  const double mean = sum_ / n;
+  const double var = std::max(0.0, sum_sq_ / n - mean * mean);
+  return std::sqrt(var);
+}
+
+double SketchHistogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Same rank convention as Histogram::Quantile (rank q*(n-1)); the nearest
+  // integer rank is always one of the two samples the oracle interpolates
+  // between, so for dense series the two selections agree to within the
+  // bucket error.
+  const double pos = q * static_cast<double>(count_ - 1);
+  const int64_t rank = std::clamp<int64_t>(
+      static_cast<int64_t>(std::llround(pos)), 0, count_ - 1);
+  int64_t cumulative = static_cast<int64_t>(zero_count_);
+  if (rank < cumulative) {
+    return std::clamp(0.0, min_, max_);
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += static_cast<int64_t>(counts_[i]);
+    if (rank < cumulative) {
+      return std::clamp(BucketEstimate(static_cast<int>(i) + min_index_), min_,
+                        max_);
+    }
+  }
+  return max_;
+}
+
+std::string SketchHistogram::Summary() const {
+  return StrFormat("n=%lld mean=%.4g p50=%.4g p99=%.4g max=%.4g",
+                   static_cast<long long>(count()), Mean(), Quantile(0.5),
+                   Quantile(0.99), Max());
+}
+
+}  // namespace udc

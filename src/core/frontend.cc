@@ -1,5 +1,6 @@
 #include "src/core/frontend.h"
 
+#include <algorithm>
 #include <map>
 
 #include "src/common/strings.h"
@@ -73,6 +74,16 @@ std::string CloudFrontend::HandleDeploy(const Message& msg) {
     return "err:" + deployment.status().ToString();
   }
   const uint64_t id = next_id_++;
+  // Tenant-visible deploy latency in simulated time: accepted now, usable
+  // once the slowest module environment is up. Deterministic (no host
+  // clock), so always on; slo.frontend.deploy_latency_p99 windows it.
+  SimTime ready = cloud_->sim()->now();
+  for (const auto& [module, placement] : (*deployment)->placements()) {
+    ready = std::max(ready, placement.env_ready_at);
+  }
+  cloud_->sim()->metrics().Observe(
+      "frontend.deploy_latency_ms",
+      static_cast<double>((ready - cloud_->sim()->now()).millis()));
   deployments_[id] = std::move(*deployment);
   owners_[id] = TenantId(tenant);
   cloud_->sim()->metrics().IncrementCounter("frontend.deploys");

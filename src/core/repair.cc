@@ -299,6 +299,18 @@ std::vector<RepairAction> RepairService::HandleDeviceFailure(DeviceId device) {
     history_.push_back(action);
     actions.push_back(std::move(action));
   }
+  // Convergence for this failure event: the slowest recovery among every
+  // triggered action (direct and co-failing). Sim-time, so deterministic —
+  // safe to record unconditionally, and the SLO layer windows it
+  // (slo.repair.convergence_p99).
+  if (!actions.empty()) {
+    SimTime worst = SimTime(0);
+    for (const RepairAction& action : actions) {
+      worst = std::max(worst, action.recovery_time);
+    }
+    sim_->metrics().Observe("repair.convergence_ms",
+                            static_cast<double>(worst.millis()));
+  }
   return actions;
 }
 

@@ -1,6 +1,7 @@
 #include "src/core/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 
 #include "src/common/logging.h"
@@ -62,7 +63,14 @@ UdcScheduler::UdcScheduler(Simulation* sim, DisaggregatedDatacenter* datacenter,
           sim->metrics().CounterSeries("sched.modules_placed",
                                        {{"kind", "data"}})),
       conflicts_resolved_(sim->metrics().CounterSeries(
-          "core.consistency_conflicts_resolved")) {}
+          "core.consistency_conflicts_resolved")) {
+  if (config_.record_place_latency) {
+    // Sketch mode: the obs-overhead bench and SLO engine window this series,
+    // and a bounded bucket array keeps million-deploy runs at fixed memory.
+    place_latency_us_ =
+        sim->metrics().EnableSketchHistogram("sched.place_latency_us");
+  }
+}
 
 int UdcScheduler::PickRack(const AppSpec& spec, ModuleId module,
                            const Deployment& deployment, ResourceKind dominant,
@@ -411,6 +419,25 @@ std::vector<Result<std::unique_ptr<Deployment>>> UdcScheduler::DeployAll(
 
 Result<std::unique_ptr<Deployment>> UdcScheduler::DeployOne(
     TenantId tenant, const AppSpec& spec, BatchContext* batch) {
+  // Wall-clock (not sim-time) placement cost, observed on every exit path.
+  // Guarded so runs without the flag never touch the host clock.
+  struct LatencyScope {
+    UdcScheduler* sched;
+    std::chrono::steady_clock::time_point start;
+    explicit LatencyScope(UdcScheduler* s) : sched(s) {
+      if (sched->config_.record_place_latency) {
+        start = std::chrono::steady_clock::now();
+      }
+    }
+    ~LatencyScope() {
+      if (sched->config_.record_place_latency) {
+        const auto elapsed = std::chrono::steady_clock::now() - start;
+        sched->sim_->metrics().Observe(
+            sched->place_latency_us_,
+            std::chrono::duration<double, std::micro>(elapsed).count());
+      }
+    }
+  } latency_scope(this);
   UDC_RETURN_IF_ERROR(spec.graph.Validate());
   for (const auto& [module, aspects] : spec.aspects) {
     UDC_RETURN_IF_ERROR(ValidateAspects(aspects));

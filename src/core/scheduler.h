@@ -45,6 +45,13 @@ struct SchedulerConfig {
   // Replication protocol for data modules; kInNetwork uses the switch
   // sequencer when available.
   ReplicationProtocol replication_protocol = ReplicationProtocol::kPrimaryBackup;
+  // Record wall-clock (host) placement latency per deploy into the
+  // `sched.place_latency_us` histogram. Off by default: wall-clock values
+  // differ run to run, so the series would break the byte-identical
+  // exposition guarantee differential tests rely on. The series is only
+  // interned when this is set — even an empty histogram changes the
+  // exposition text.
+  bool record_place_latency = false;
 };
 
 class UdcScheduler {
@@ -130,6 +137,8 @@ class UdcScheduler {
   CounterHandle modules_placed_task_;
   CounterHandle modules_placed_data_;
   CounterHandle conflicts_resolved_;
+  // Only valid when config_.record_place_latency (see SchedulerConfig).
+  HistogramHandle place_latency_us_;
 };
 
 }  // namespace udc

@@ -142,13 +142,16 @@ std::string JsonSnapshot(const MetricsRegistry& metrics) {
   out += "\n  },\n  \"histograms\": {";
   first = true;
   for (const auto& [key, hist] : metrics.HistogramsSorted()) {
+    // Same quantile set as the Prometheus summary (kQuantiles above); the
+    // two expositions must never disagree on which ranks they publish.
     out += StrFormat(
         "%s\n    \"%s\": {\"count\": %lld, \"mean\": %.9g, \"p50\": %.9g, "
-        "\"p95\": %.9g, \"p99\": %.9g, \"min\": %.9g, \"max\": %.9g}",
+        "\"p90\": %.9g, \"p95\": %.9g, \"p99\": %.9g, \"min\": %.9g, "
+        "\"max\": %.9g}",
         first ? "" : ",", JsonEscape(key).c_str(),
         static_cast<long long>(hist->count()), hist->Mean(),
-        hist->Quantile(0.5), hist->Quantile(0.95), hist->Quantile(0.99),
-        hist->Min(), hist->Max());
+        hist->Quantile(0.5), hist->Quantile(0.9), hist->Quantile(0.95),
+        hist->Quantile(0.99), hist->Min(), hist->Max());
     first = false;
   }
   out += "\n  }\n}\n";

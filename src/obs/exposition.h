@@ -27,8 +27,10 @@ std::string PrometheusExposition(const MetricsRegistry& metrics);
 
 // The full registry as a pretty-printed JSON object:
 //   {"counters": {...}, "gauges": {...},
-//    "histograms": {"name": {"count":..,"mean":..,"p50":..,"p95":..,
-//                            "p99":..,"min":..,"max":..}, ...}}
+//    "histograms": {"name": {"count":..,"mean":..,"p50":..,"p90":..,
+//                            "p95":..,"p99":..,"min":..,"max":..}, ...}}
+// Histogram summaries publish the same quantile set as the Prometheus
+// writer above.
 std::string JsonSnapshot(const MetricsRegistry& metrics);
 
 }  // namespace udc

@@ -1,0 +1,203 @@
+#include "src/obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/strings.h"
+#include "src/obs/exposition.h"
+
+namespace udc {
+
+namespace {
+
+void CopyTruncated(char* dst, size_t dst_size, std::string_view src) {
+  const size_t n = std::min(src.size(), dst_size - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+Status WriteFile(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return InternalError("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) {
+    return InternalError("short write to " + path);
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void FlightRecorder::EnsureRings(uint32_t shard_count) {
+  if (rings_.size() >= shard_count) {
+    return;
+  }
+  rings_.resize(shard_count);
+  for (Ring& ring : rings_) {
+    // Eager: the ring exists before the first append, so the record hot
+    // path (including zero-allocation bench phases) never allocates.
+    if (ring.slots.size() != capacity_) {
+      ring.slots.resize(capacity_);
+    }
+  }
+}
+
+FlightRecorder::Record* FlightRecorder::Append(uint32_t shard,
+                                               Record::Kind kind, SimTime at) {
+  if (!enabled_ || shard >= rings_.size()) {
+    return nullptr;
+  }
+  Ring& ring = rings_[shard];
+  Record& rec = ring.slots[ring.next];
+  ring.next = (ring.next + 1) % capacity_;
+  rec.kind = kind;
+  rec.shard = shard;
+  rec.seq = ring.written++;
+  rec.time = at;
+  rec.start = at;
+  return &rec;
+}
+
+void FlightRecorder::RecordSpan(uint32_t shard, SimTime start, SimTime end,
+                                std::string_view category,
+                                std::string_view name) {
+  Record* rec = Append(shard, Record::kSpan, end);
+  if (rec == nullptr) {
+    return;
+  }
+  rec->start = start;
+  CopyTruncated(rec->category, sizeof(rec->category), category);
+  CopyTruncated(rec->name, sizeof(rec->name), name);
+}
+
+void FlightRecorder::RecordTrace(uint32_t shard, SimTime at,
+                                 std::string_view category,
+                                 std::string_view detail) {
+  Record* rec = Append(shard, Record::kTrace, at);
+  if (rec == nullptr) {
+    return;
+  }
+  CopyTruncated(rec->category, sizeof(rec->category), category);
+  CopyTruncated(rec->name, sizeof(rec->name), detail);
+}
+
+void FlightRecorder::RecordEvent(uint32_t shard, SimTime at,
+                                 std::string_view category,
+                                 std::string_view detail) {
+  Record* rec = Append(shard, Record::kEvent, at);
+  if (rec == nullptr) {
+    return;
+  }
+  CopyTruncated(rec->category, sizeof(rec->category), category);
+  CopyTruncated(rec->name, sizeof(rec->name), detail);
+}
+
+std::vector<FlightRecorder::Record> FlightRecorder::MergedRecords() const {
+  std::vector<Record> out;
+  out.reserve(retained());
+  for (const Ring& ring : rings_) {
+    const size_t kept = std::min<uint64_t>(ring.written, capacity_);
+    // Oldest retained record sits at `next` once the ring has wrapped.
+    const size_t oldest = ring.written > capacity_ ? ring.next : 0;
+    for (size_t i = 0; i < kept; ++i) {
+      out.push_back(ring.slots[(oldest + i) % capacity_]);
+    }
+  }
+  // Canonical (time, shard, seq) order — identical to the parallel kernel's
+  // ObsFlusher merge, so a dump reads like the live trace would have.
+  std::sort(out.begin(), out.end(), [](const Record& a, const Record& b) {
+    if (a.time != b.time) {
+      return a.time < b.time;
+    }
+    if (a.shard != b.shard) {
+      return a.shard < b.shard;
+    }
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+size_t FlightRecorder::retained() const {
+  size_t n = 0;
+  for (const Ring& ring : rings_) {
+    n += static_cast<size_t>(std::min<uint64_t>(ring.written, capacity_));
+  }
+  return n;
+}
+
+uint64_t FlightRecorder::total_recorded() const {
+  uint64_t n = 0;
+  for (const Ring& ring : rings_) {
+    n += ring.written;
+  }
+  return n;
+}
+
+uint64_t FlightRecorder::overwritten() const {
+  uint64_t n = 0;
+  for (const Ring& ring : rings_) {
+    n += ring.written > capacity_ ? ring.written - capacity_ : 0;
+  }
+  return n;
+}
+
+std::string FlightRecorder::ChromeTraceJson() const {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Record& rec : MergedRecords()) {
+    const double ts = static_cast<double>(rec.start.micros());
+    const double dur =
+        static_cast<double>(rec.time.micros()) - static_cast<double>(rec.start.micros());
+    out += first ? "\n" : ",\n";
+    first = false;
+    if (rec.kind == Record::kSpan) {
+      out += StrFormat(
+          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+          "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"seq\":%llu}}",
+          JsonEscape(rec.name).c_str(), JsonEscape(rec.category).c_str(), ts,
+          dur, rec.shard, static_cast<unsigned long long>(rec.seq));
+    } else {
+      out += StrFormat(
+          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,"
+          "\"pid\":1,\"tid\":%u,\"s\":\"t\",\"args\":{\"seq\":%llu}}",
+          JsonEscape(rec.name).c_str(), JsonEscape(rec.category).c_str(), ts,
+          rec.shard, static_cast<unsigned long long>(rec.seq));
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status FlightRecorder::Dump(const std::string& path,
+                            const MetricsRegistry* metrics,
+                            std::string_view reason) const {
+  std::string trace = ChromeTraceJson();
+  // Stitch the reason into the top-level object so the dump is
+  // self-describing; the writer above always opens with `{`.
+  trace.insert(1, "\"otherData\":{\"reason\":\"" +
+                      JsonEscape(reason) + "\"},");
+  const Status status = WriteFile(path, trace);
+  if (!status.ok()) {
+    return status;
+  }
+  if (metrics != nullptr) {
+    return WriteFile(path + ".metrics.json", JsonSnapshot(*metrics));
+  }
+  return OkStatus();
+}
+
+void FlightRecorder::Clear() {
+  for (Ring& ring : rings_) {
+    ring.next = 0;
+    ring.written = 0;
+  }
+}
+
+}  // namespace udc

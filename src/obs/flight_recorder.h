@@ -1,0 +1,123 @@
+// Always-on flight recorder: a fixed-size per-shard ring of recent
+// observability records.
+//
+// The simulator's full telemetry (SpanTracer, TraceRecorder) is unbounded
+// and export-at-the-end; a run that dies mid-flight leaves nothing behind.
+// The flight recorder is the post-mortem black box: every closed span and
+// trace line also lands in a small ring (one per shard domain, so parallel
+// worker threads never contend), overwriting the oldest record when full.
+// Records are fixed-width PODs — appending is a couple of stores, no
+// allocation after the ring exists — so it stays on at near-zero cost.
+//
+// On a UDC_CHECK failure (via the crash-dump hooks in src/common/logging.h),
+// an SLO breach, or an explicit trigger, Dump() merges the rings in the
+// kernel's canonical (time, shard, seq) order and writes a Chrome
+// trace_event JSON (chrome://tracing, https://ui.perfetto.dev) plus a
+// metrics snapshot alongside.
+//
+// Threading contract mirrors ShardObsBuffer: ring `s` is written only by the
+// thread executing shard `s` (ring 0 by the coordinator); merges and dumps
+// run with all producers quiesced.
+
+#ifndef UDC_SRC_OBS_FLIGHT_RECORDER_H_
+#define UDC_SRC_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace udc {
+
+class MetricsRegistry;
+
+class FlightRecorder {
+ public:
+  struct Record {
+    enum Kind : uint8_t {
+      kSpan,   // closed span interval [start, time]
+      kTrace,  // legacy trace line at `time`
+      kEvent,  // ad-hoc marker at `time` (SLO breach, explicit annotations)
+    };
+    Kind kind = kTrace;
+    uint32_t shard = 0;
+    uint64_t seq = 0;  // per-ring emission order; merge tiebreaker
+    SimTime time;      // span end / event time — primary merge key
+    SimTime start;     // span start (== time for non-spans)
+    // Truncated copies: a ring record must not point into caller memory
+    // that may be gone by dump time.
+    char category[24] = {0};
+    char name[96] = {0};
+  };
+
+  // `capacity` is per ring. Rings are created by EnsureRings and sized
+  // eagerly so steady-state appends never allocate.
+  explicit FlightRecorder(size_t capacity = 1024);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Creates rings for shard ids [0, shard_count). Existing rings (and their
+  // contents) are kept. Serial phase only.
+  void EnsureRings(uint32_t shard_count);
+  uint32_t ring_count() const { return static_cast<uint32_t>(rings_.size()); }
+  size_t capacity() const { return capacity_; }
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  // --- Producer side (the thread owning `shard`'s ring).
+  void RecordSpan(uint32_t shard, SimTime start, SimTime end,
+                  std::string_view category, std::string_view name);
+  void RecordTrace(uint32_t shard, SimTime at, std::string_view category,
+                   std::string_view detail);
+  void RecordEvent(uint32_t shard, SimTime at, std::string_view category,
+                   std::string_view detail);
+
+  // While the parallel kernel's barrier flush replays worker-shard spans
+  // into the shared SpanTracer, the tracer's end-sink must not re-record
+  // them (the owning shard already did, with the right shard id). The
+  // flusher brackets the replay with this flag.
+  void set_in_flush_replay(bool v) { in_flush_replay_ = v; }
+  bool in_flush_replay() const { return in_flush_replay_; }
+
+  // --- Consumer side (producers quiesced).
+
+  // All retained records, merged in canonical (time, shard, seq) order —
+  // the same total order the parallel kernel's ObsFlusher applies.
+  std::vector<Record> MergedRecords() const;
+  // Records currently retained / ever recorded / overwritten by wraparound.
+  size_t retained() const;
+  uint64_t total_recorded() const;
+  uint64_t overwritten() const;
+
+  // The merged rings as Chrome trace_event JSON (one track per shard).
+  std::string ChromeTraceJson() const;
+  // Writes ChromeTraceJson() to `path`; when `metrics` is non-null, also
+  // writes its JsonSnapshot to `path + ".metrics.json"`. `reason` lands in
+  // the trace metadata so the dump says why it exists.
+  Status Dump(const std::string& path, const MetricsRegistry* metrics,
+              std::string_view reason) const;
+
+  void Clear();
+
+ private:
+  struct Ring {
+    std::vector<Record> slots;  // capacity_-sized once first used
+    size_t next = 0;            // next write position
+    uint64_t written = 0;       // total appends (>= slots when wrapped)
+  };
+
+  Record* Append(uint32_t shard, Record::Kind kind, SimTime at);
+
+  size_t capacity_;
+  bool enabled_ = true;
+  bool in_flush_replay_ = false;
+  std::vector<Ring> rings_;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_OBS_FLIGHT_RECORDER_H_

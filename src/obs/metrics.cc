@@ -37,6 +37,18 @@ uint32_t MetricsRegistry::Intern(std::deque<Series<T>>* store,
   return idx;
 }
 
+void MetricHistogram::EnableSketch(double relative_error) {
+  if (sketch_ != nullptr) {
+    return;
+  }
+  auto sketch = std::make_unique<SketchHistogram>(relative_error);
+  for (const double v : exact_.sorted_samples()) {
+    sketch->Add(v);
+  }
+  exact_.Clear();
+  sketch_ = std::move(sketch);
+}
+
 template <typename T>
 uint32_t MetricsRegistry::Intern(std::deque<Series<T>>* store,
                                  SeriesIndex* index, std::string_view name,
@@ -44,7 +56,25 @@ uint32_t MetricsRegistry::Intern(std::deque<Series<T>>* store,
   if (labels.empty()) {
     return Intern(store, index, name);
   }
-  return Intern(store, index, MetricSeriesKey(name, labels));
+  const std::string key = MetricSeriesKey(name, labels);
+  const auto it = index->find(key);
+  if (it != index->end()) {
+    return it->second;
+  }
+  // New labeled series: charge it against the per-name cardinality budget.
+  // Past the limit the event folds into the `name{overflow="true"}`
+  // aggregate — the first K label sets keep their own series (top-K by
+  // first touch), everything else stays bounded.
+  const auto counter =
+      labeled_series_per_name_.try_emplace(std::string(name), 0).first;
+  if (label_cardinality_limit_ > 0 &&
+      counter->second >= label_cardinality_limit_) {
+    ++overflowed_series_events_;
+    return Intern(store, index,
+                  MetricSeriesKey(name, {{"overflow", "true"}}));
+  }
+  ++counter->second;
+  return Intern(store, index, key);
 }
 
 MetricsRegistry::CounterHandle MetricsRegistry::CounterSeries(
@@ -127,16 +157,23 @@ void MetricsRegistry::Observe(std::string_view name, const MetricLabels& labels,
       value);
 }
 
-const Histogram* MetricsRegistry::histogram(std::string_view name) const {
+const MetricHistogram* MetricsRegistry::histogram(std::string_view name) const {
   const auto it = histogram_index_.find(name);
   return it == histogram_index_.end() ? nullptr
                                       : &histograms_[it->second].value;
 }
 
-const Histogram* MetricsRegistry::histogram(std::string_view name,
-                                            const MetricLabels& labels) const {
+const MetricHistogram* MetricsRegistry::histogram(
+    std::string_view name, const MetricLabels& labels) const {
   return labels.empty() ? histogram(name)
                         : histogram(MetricSeriesKey(name, labels));
+}
+
+HistogramHandle MetricsRegistry::EnableSketchHistogram(
+    std::string_view name, const MetricLabels& labels, double relative_error) {
+  const HistogramHandle h = HistogramSeries(name, labels);
+  histograms_[h.idx_].value.EnableSketch(relative_error);
+  return h;
 }
 
 std::map<std::string, int64_t, std::less<>> MetricsRegistry::CountersSorted()
@@ -157,9 +194,9 @@ std::map<std::string, double, std::less<>> MetricsRegistry::GaugesSorted()
   return out;
 }
 
-std::map<std::string, const Histogram*, std::less<>>
+std::map<std::string, const MetricHistogram*, std::less<>>
 MetricsRegistry::HistogramsSorted() const {
-  std::map<std::string, const Histogram*, std::less<>> out;
+  std::map<std::string, const MetricHistogram*, std::less<>> out;
   for (const auto& s : histograms_) {
     out.emplace(s.key, &s.value);
   }
@@ -189,6 +226,8 @@ void MetricsRegistry::Clear() {
   counter_index_.clear();
   gauge_index_.clear();
   histogram_index_.clear();
+  labeled_series_per_name_.clear();
+  overflowed_series_events_ = 0;
 }
 
 }  // namespace udc

@@ -31,6 +31,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -38,6 +39,7 @@
 #include <vector>
 
 #include "src/common/histogram.h"
+#include "src/common/sketch_histogram.h"
 
 namespace udc {
 
@@ -46,6 +48,64 @@ using MetricLabels = std::vector<std::pair<std::string, std::string>>;
 // "name" or `name{k="v",k2="v2"}` with keys sorted — the canonical series
 // key labeled metrics are stored under.
 std::string MetricSeriesKey(std::string_view name, const MetricLabels& labels);
+
+// A histogram series: exact by default (every sample kept — the differential
+// oracle), switchable per-series to a bounded-memory SketchHistogram for
+// always-on telemetry (SLO windows, million-tenant scale-out). The accessor
+// surface matches Histogram, so exposition and assertions are mode-blind.
+class MetricHistogram {
+ public:
+  void Add(double value) {
+    if (sketch_ != nullptr) {
+      sketch_->Add(value);
+    } else {
+      exact_.Add(value);
+    }
+  }
+
+  // Switches this series to sketch mode, replaying any samples recorded so
+  // far. Idempotent; a series never switches back (the exact samples are
+  // gone by design).
+  void EnableSketch(double relative_error = 0.01);
+  bool sketch_mode() const { return sketch_ != nullptr; }
+  // The underlying sketch, or nullptr in exact mode. The SLO engine snapshots
+  // these for sliding-window diffs.
+  const SketchHistogram* sketch() const { return sketch_.get(); }
+  const Histogram* exact() const {
+    return sketch_ != nullptr ? nullptr : &exact_;
+  }
+
+  int64_t count() const {
+    return sketch_ != nullptr ? sketch_->count() : exact_.count();
+  }
+  bool empty() const { return count() == 0; }
+  double Min() const { return sketch_ ? sketch_->Min() : exact_.Min(); }
+  double Max() const { return sketch_ ? sketch_->Max() : exact_.Max(); }
+  double Mean() const { return sketch_ ? sketch_->Mean() : exact_.Mean(); }
+  double Sum() const { return sketch_ ? sketch_->Sum() : exact_.Sum(); }
+  double Stddev() const {
+    return sketch_ ? sketch_->Stddev() : exact_.Stddev();
+  }
+  double Quantile(double q) const {
+    return sketch_ ? sketch_->Quantile(q) : exact_.Quantile(q);
+  }
+  double Median() const { return Quantile(0.5); }
+  double P99() const { return Quantile(0.99); }
+  std::string Summary() const {
+    return sketch_ ? sketch_->Summary() : exact_.Summary();
+  }
+
+  void Clear() {
+    exact_.Clear();
+    if (sketch_ != nullptr) {
+      sketch_->Clear();
+    }
+  }
+
+ private:
+  Histogram exact_;
+  std::unique_ptr<SketchHistogram> sketch_;
+};
 
 class MetricsRegistry {
  public:
@@ -105,7 +165,7 @@ class MetricsRegistry {
   }
   int64_t value(CounterHandle h) const { return counters_[h.idx_].value; }
   double value(GaugeHandle h) const { return gauges_[h.idx_].value; }
-  const Histogram& value(HistogramHandle h) const {
+  const MetricHistogram& value(HistogramHandle h) const {
     return histograms_[h.idx_].value;
   }
 
@@ -127,9 +187,32 @@ class MetricsRegistry {
 
   void Observe(std::string_view name, double value);
   void Observe(std::string_view name, const MetricLabels& labels, double value);
-  const Histogram* histogram(std::string_view name) const;
-  const Histogram* histogram(std::string_view name,
-                             const MetricLabels& labels) const;
+  const MetricHistogram* histogram(std::string_view name) const;
+  const MetricHistogram* histogram(std::string_view name,
+                                   const MetricLabels& labels) const;
+
+  // Switches a histogram series (created if absent) to bounded-memory sketch
+  // mode; existing samples are replayed. The SLO engine calls this for its
+  // sources so sliding windows never retain raw samples.
+  HistogramHandle EnableSketchHistogram(std::string_view name,
+                                        const MetricLabels& labels = {},
+                                        double relative_error = 0.01);
+
+  // --- Label-cardinality budget.
+  //
+  // At million-tenant scale an unbounded tenant label would mint a series
+  // per tenant. With a limit K > 0, only the first K distinct label sets of
+  // each base name get their own series; later label sets fold into a single
+  // `name{overflow="true"}` aggregate (top-K by first touch). 0 = unlimited
+  // (the default — differential tests rely on exact series layouts).
+  void SetLabelCardinalityLimit(size_t limit) {
+    label_cardinality_limit_ = limit;
+  }
+  size_t label_cardinality_limit() const { return label_cardinality_limit_; }
+  // Events that were folded into an overflow aggregate so far.
+  uint64_t overflowed_series_events() const {
+    return overflowed_series_events_;
+  }
 
   size_t counter_series_count() const { return counters_.size(); }
   size_t gauge_series_count() const { return gauges_.size(); }
@@ -139,7 +222,8 @@ class MetricsRegistry {
   // for the exposition writers. Histogram pointers stay valid until Clear().
   std::map<std::string, int64_t, std::less<>> CountersSorted() const;
   std::map<std::string, double, std::less<>> GaugesSorted() const;
-  std::map<std::string, const Histogram*, std::less<>> HistogramsSorted() const;
+  std::map<std::string, const MetricHistogram*, std::less<>> HistogramsSorted()
+      const;
 
   // Multi-line dump of every metric, sorted by name; used by tools.
   std::string Report() const;
@@ -180,10 +264,17 @@ class MetricsRegistry {
   // pointers handed to callers survive later series creation.
   std::deque<Series<int64_t>> counters_;
   std::deque<Series<double>> gauges_;
-  std::deque<Series<Histogram>> histograms_;
+  std::deque<Series<MetricHistogram>> histograms_;
   SeriesIndex counter_index_;
   SeriesIndex gauge_index_;
   SeriesIndex histogram_index_;
+
+  // Labeled-series count per base name (all stores share the budget; a name
+  // is one logical metric regardless of type).
+  std::unordered_map<std::string, size_t, TransparentHash, std::equal_to<>>
+      labeled_series_per_name_;
+  size_t label_cardinality_limit_ = 0;
+  uint64_t overflowed_series_events_ = 0;
 };
 
 // Handle types are spelled without the class qualifier at call sites.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/flight_recorder.h"
+
 namespace udc {
 
 ShardObsBuffer::Record& ShardObsBuffer::Append(Record::Kind kind, SimTime at) {
@@ -42,6 +44,9 @@ void ShardObsBuffer::CompletedSpan(SimTime start, SimTime end,
   rec.name = name;
   rec.handle = label_set;
   rec.dropped = dropped;
+  if (flight_ != nullptr) {
+    flight_->RecordSpan(flight_shard_, start, end, category, name);
+  }
 }
 
 void ShardObsBuffer::CompletedSpanDynamic(SimTime start, SimTime end,
@@ -56,11 +61,17 @@ void ShardObsBuffer::CompletedSpanDynamic(SimTime start, SimTime end,
   rec.handle = 0;
   rec.dropped = dropped;
   rec.s1 = std::move(type_label);
+  if (flight_ != nullptr) {
+    flight_->RecordSpan(flight_shard_, start, end, category, name);
+  }
 }
 
 void ShardObsBuffer::TraceLine(SimTime at, std::string category,
                                std::string detail) {
   Record& rec = Append(Record::kTrace, at);
+  if (flight_ != nullptr) {
+    flight_->RecordTrace(flight_shard_, at, category, detail);
+  }
   rec.s1 = std::move(category);
   rec.s2 = std::move(detail);
 }
@@ -89,6 +100,11 @@ void ObsFlusher::Flush(const std::vector<ShardObsBuffer*>& buffers,
     return a.seq < b.seq;
   });
 
+  if (targets.recorder != nullptr) {
+    // Spans replayed below already sit in their shard's flight ring; keep
+    // the coordinator's tracer end-sink from taping them a second time.
+    targets.recorder->set_in_flush_replay(true);
+  }
   for (const Key& key : scratch_) {
     const ShardObsBuffer::Record& rec = *key.rec;
     switch (rec.kind) {
@@ -123,6 +139,10 @@ void ObsFlusher::Flush(const std::vector<ShardObsBuffer*>& buffers,
         }
         break;
     }
+  }
+
+  if (targets.recorder != nullptr) {
+    targets.recorder->set_in_flush_replay(false);
   }
 
   for (ShardObsBuffer* buffer : buffers) {

@@ -34,11 +34,23 @@
 
 namespace udc {
 
+class FlightRecorder;
+
 class ShardObsBuffer {
  public:
   ShardObsBuffer() = default;
   ShardObsBuffer(const ShardObsBuffer&) = delete;
   ShardObsBuffer& operator=(const ShardObsBuffer&) = delete;
+
+  // Tees completed spans and trace lines into `recorder`'s ring for `shard`
+  // as they are produced — the flight recorder's worker-side tap. The ring
+  // append happens at emission time on the owning shard thread (each ring is
+  // single-writer), so the black box has the records even if the run dies
+  // before the next barrier flush.
+  void SetFlightRing(FlightRecorder* recorder, uint32_t shard) {
+    flight_ = recorder;
+    flight_shard_ = shard;
+  }
 
   // --- Producer side (owning shard thread only).
 
@@ -93,14 +105,20 @@ class ShardObsBuffer {
 
   std::vector<Record> records_;
   uint64_t next_seq_ = 0;
+  FlightRecorder* flight_ = nullptr;
+  uint32_t flight_shard_ = 0;
 };
 
 // Destination sinks for a flush. `trace` is Simulation::Trace (or
 // equivalent); may be empty when no legacy trace mirroring is wanted.
+// `recorder` (optional) is bracketed with set_in_flush_replay while spans
+// replay into the tracer, so a tracer end-sink that feeds the flight
+// recorder doesn't double-record worker spans already taped by their shard.
 struct ObsFlushTargets {
   MetricsRegistry* metrics = nullptr;
   SpanTracer* spans = nullptr;
   std::function<void(SimTime, std::string_view, std::string_view)> trace;
+  FlightRecorder* recorder = nullptr;
 };
 
 // Coordinator-side merge-and-apply. Owns its scratch so repeated flushes on

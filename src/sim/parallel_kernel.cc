@@ -4,6 +4,9 @@
 #include <cassert>
 #include <utility>
 
+#include "src/common/logging.h"
+#include "src/obs/flight_recorder.h"
+
 namespace udc {
 
 thread_local ParallelKernel::ShardRuntime* ParallelKernel::tls_shard_ =
@@ -69,8 +72,10 @@ ParallelKernel::~ParallelKernel() {
 }
 
 void ParallelKernel::AssignRack(int rack, uint32_t shard) {
-  assert(shard < shard_total_);
-  assert(!in_window_ && "shard map is fixed while a window is executing");
+  // Cold serial-phase contract points use UDC_CHECK so a violation in a
+  // release build dies loudly — after the flight recorder dumps its rings.
+  UDC_CHECK(shard < shard_total_) << " rack " << rack << " -> shard " << shard;
+  UDC_CHECK(!in_window_) << " shard map is fixed while a window is executing";
   if (rack < 0) {
     return;
   }
@@ -93,6 +98,16 @@ ShardObsBuffer* ParallelKernel::CurrentObsBuffer() {
 SimTime ParallelKernel::CurrentNow(const SimTime* coordinator_now) const {
   ShardRuntime* rt = tls_shard_;
   return rt != nullptr ? rt->now : *coordinator_now;
+}
+
+void ParallelKernel::SetFlightRecorder(FlightRecorder* recorder) {
+  UDC_CHECK(!in_window_) << " flight recorder wiring is serial-phase only";
+  if (recorder != nullptr) {
+    recorder->EnsureRings(shard_total_);
+  }
+  for (uint32_t s = 1; s < shard_total_; ++s) {
+    runtimes_[s]->obs.SetFlightRing(recorder, s);
+  }
 }
 
 BarrierHookRegistration ParallelKernel::AddBarrierHook(
@@ -339,6 +354,13 @@ void ParallelKernel::FinishWindow() {
   for (const auto& hook : barrier_hooks_) {
     hook.fn();
   }
+  size_t flush_records = 0;
+  for (const ShardObsBuffer* buffer : obs_buffers_) {
+    if (buffer != nullptr) {
+      flush_records += buffer->pending();
+    }
+  }
+  flush_records_.Add(static_cast<double>(flush_records));
   flusher_.Flush(obs_buffers_, targets_);
   for (const auto& rt : runtimes_) {
     events_executed_ += rt->events;

@@ -55,6 +55,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/sketch_histogram.h"
 #include "src/common/units.h"
 #include "src/obs/shard_buffer.h"
 #include "src/sim/event_queue.h"
@@ -147,6 +148,10 @@ class ParallelKernel {
 
   // Destination sinks for the barrier flush of buffered observability.
   void SetObsTargets(ObsFlushTargets targets) { targets_ = std::move(targets); }
+  // Tees every worker shard's completed spans / trace lines into
+  // `recorder`'s per-shard rings at emission time (the black box sees them
+  // even if the run dies before the next barrier). Serial phase only.
+  void SetFlightRecorder(FlightRecorder* recorder);
   // Registers a hook that runs at every window barrier, on the coordinator,
   // with all workers quiesced — after cross-shard merge, before the obs
   // flush. Used by the fabric and actor layers to fold per-shard counter
@@ -209,6 +214,13 @@ class ParallelKernel {
   uint64_t windows_run() const { return windows_; }
   // Total cross-shard events that overflowed a channel ring (diagnostic).
   uint64_t channel_spills() const;
+  // Distribution of buffered obs records applied per window-barrier flush.
+  // Deliberately kernel-internal, never a registry series: the registry's
+  // exposition must stay byte-identical to kFast, which runs no windows.
+  // SLO probes (SloSpec::SourceKind::kProbe) are the sanctioned reader.
+  const SketchHistogram& flush_records_per_window() const {
+    return flush_records_;
+  }
 
  private:
   struct ShardRuntime {
@@ -267,6 +279,7 @@ class ParallelKernel {
   std::vector<BarrierHook> barrier_hooks_;
   uint64_t next_hook_id_ = 0;
   ObsFlusher flusher_;
+  SketchHistogram flush_records_{0.01};
   std::vector<CrossShardEvent> drain_scratch_;
   std::vector<MergeItem> merge_scratch_;
 

@@ -1,6 +1,10 @@
 #include "src/sim/simulation.h"
 
+#include <algorithm>
+#include <cassert>
 #include <utility>
+
+#include "src/common/logging.h"
 
 namespace udc {
 
@@ -15,16 +19,95 @@ Simulation::Simulation(uint64_t seed, SimKernel kernel, ParallelConfig parallel)
                     : nullptr),
       rng_(seed),
       spans_([this] { return now_; }) {
+  // The flight recorder is always on: ring 0 for the coordinator plus one
+  // ring per worker shard, sized eagerly so recording never allocates.
+  flight_recorder_.EnsureRings(1);
   if (parallel_ != nullptr) {
     // Buffered worker-shard observability lands in the shared sinks at every
     // window barrier. The trace target mirrors Trace(): render any spans
     // closed earlier in the flush first, so line order matches kFast.
+    // `recorder` lets the flush suppress the span end-sink below while it
+    // replays worker spans their own shard already taped.
     parallel_->SetObsTargets(ObsFlushTargets{
         &metrics_, &spans_,
         [this](SimTime t, std::string_view category, std::string_view detail) {
           MirrorSpans();
           trace_.Record(t, category, detail);
-        }});
+        },
+        &flight_recorder_});
+    parallel_->SetFlightRecorder(&flight_recorder_);
+    breach_barrier_hook_ = parallel_->AddBarrierHook([this] {
+      if (pending_breach_dump_reason_.empty()) {
+        return;
+      }
+      const Status status = flight_recorder_.Dump(
+          breach_dump_path_, &metrics_, pending_breach_dump_reason_);
+      if (!status.ok()) {
+        UDC_LOG(Error) << "breach dump failed: " << status.ToString();
+      }
+      pending_breach_dump_reason_.clear();
+    });
+  }
+  spans_.set_on_end([this](const Span& span) {
+    if (!flight_recorder_.in_flush_replay()) {
+      flight_recorder_.RecordSpan(0, span.start, span.end, span.category,
+                                  span.name);
+    }
+  });
+  slos_.set_on_breach([this](const SloVerdict& v) { OnSloBreach(v); });
+}
+
+Simulation::~Simulation() {
+  if (crash_hook_id_ != 0) {
+    UnregisterCrashDumpHook(crash_hook_id_);
+  }
+}
+
+void Simulation::set_crash_dump_path(std::string path) {
+  crash_dump_path_ = std::move(path);
+  if (crash_hook_id_ == 0 && !crash_dump_path_.empty()) {
+    crash_hook_id_ = RegisterCrashDumpHook([this](std::string_view reason) {
+      const Status status =
+          flight_recorder_.Dump(crash_dump_path_, &metrics_, reason);
+      if (!status.ok()) {
+        UDC_LOG(Error) << "crash dump failed: " << status.ToString();
+      }
+    });
+  }
+}
+
+void Simulation::ArmSloTicks(SimTime period, SimTime until) {
+  assert(period > SimTime(0));
+  const SimTime start = now();
+  if (start >= until) {
+    return;
+  }
+  const SimTime when = std::min(start + period, until);
+  At(when, [this, period, until] {
+    slos_.Tick(now());
+    ArmSloTicks(period, until);  // no-op once now() >= until
+  });
+}
+
+void Simulation::OnSloBreach(const SloVerdict& verdict) {
+  flight_recorder_.RecordEvent(0, verdict.evaluated_at, "slo",
+                               verdict.name + " BREACH");
+  if (breach_dump_path_.empty()) {
+    return;
+  }
+  const std::string reason = "slo breach: " + verdict.name;
+  if (parallel_ != nullptr && parallel_->InWindow()) {
+    // An SLO tick can fire while shard 0 executes its half of a window;
+    // worker rings are being written concurrently, so reading them here
+    // would race. Defer to the next window barrier (workers quiesced) via
+    // the hook registered in the constructor.
+    pending_breach_dump_reason_ = reason;
+    return;
+  }
+  const Status status =
+      flight_recorder_.Dump(breach_dump_path_, &metrics_, reason);
+  if (!status.ok()) {
+    UDC_LOG(Error) << "breach dump failed: " << status.ToString();
   }
 }
 

@@ -13,9 +13,14 @@
 #include <memory>
 #include <utility>
 
+#include <string>
+#include <string_view>
+
 #include "src/common/rng.h"
 #include "src/common/units.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/slo.h"
 #include "src/obs/span.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/legacy_event_queue.h"
@@ -45,6 +50,7 @@ class Simulation {
                       ParallelConfig parallel = {});
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
+  ~Simulation();
 
   // Under kParallel, the executing worker shard's local clock when called
   // from one, else the shard-0 (coordinator) clock.
@@ -74,6 +80,30 @@ class Simulation {
   }
   SpanTracer& spans() { return spans_; }
   const SpanTracer& spans() const { return spans_; }
+  // Always-on black box: every closed span and trace line also lands in a
+  // per-shard ring (see src/obs/flight_recorder.h). Dumped on SLO breach
+  // (set_breach_dump_path), UDC_CHECK failure (set_crash_dump_path), or
+  // explicitly via flight_recorder().Dump(...).
+  FlightRecorder& flight_recorder() { return flight_recorder_; }
+  const FlightRecorder& flight_recorder() const { return flight_recorder_; }
+  // Declarative objectives over this simulation's registry. Drive with
+  // ArmSloTicks (kernel timers) or slos().EvaluateNow(now()).
+  SloEngine& slos() { return slos_; }
+  const SloEngine& slos() const { return slos_; }
+
+  // Evaluates the SLO engine every `period` of simulated time until `until`
+  // (the last tick lands exactly at `until`). Bounded on purpose: an
+  // unconditional recurring timer would keep RunToCompletion alive forever.
+  void ArmSloTicks(SimTime period, SimTime until);
+
+  // When set, the first transition of any objective into BREACH dumps the
+  // flight recorder (Chrome trace + metrics snapshot) to this path.
+  void set_breach_dump_path(std::string path) {
+    breach_dump_path_ = std::move(path);
+  }
+  // When set, a UDC_CHECK failure anywhere in the process dumps this
+  // simulation's flight recorder to the path before aborting.
+  void set_crash_dump_path(std::string path);
 
   // Convenience: record a trace event at the current simulated time. On a
   // parallel worker shard the line is buffered and merged into the shared
@@ -82,11 +112,13 @@ class Simulation {
     if (parallel_ != nullptr) {
       ShardObsBuffer* buffer = ParallelKernel::CurrentObsBuffer();
       if (buffer != nullptr) {
+        // The buffer tees into the flight ring for its own shard.
         buffer->TraceLine(parallel_->CurrentNow(&now_), std::string(category),
                           std::string(detail));
         return;
       }
     }
+    flight_recorder_.RecordTrace(0, now_, category, detail);
     MirrorSpans();
     trace_.Record(now_, category, detail);
   }
@@ -162,6 +194,11 @@ class Simulation {
   // rendering cost is paid here — at read time — not per event.
   void MirrorSpans() const;
 
+  // Fired on an objective's OK/WARN -> BREACH transition (SloEngine wiring
+  // set up in the constructor): annotates the flight ring and, when a dump
+  // path is set, writes the black box out.
+  void OnSloBreach(const SloVerdict& verdict);
+
   SimKernel kernel_;
   SimTime now_;
   EventQueue queue_;
@@ -176,6 +213,15 @@ class Simulation {
   mutable TraceRecorder trace_;
   mutable size_t mirrored_closed_ = 0;
   SpanTracer spans_;
+  FlightRecorder flight_recorder_;
+  SloEngine slos_{&metrics_};
+  std::string breach_dump_path_;
+  std::string crash_dump_path_;
+  // A breach noticed mid-window defers its dump to the next barrier (the
+  // hook below), when every worker ring is quiescent.
+  std::string pending_breach_dump_reason_;
+  BarrierHookRegistration breach_barrier_hook_;
+  uint64_t crash_hook_id_ = 0;
   uint64_t events_executed_ = 0;
 };
 

@@ -3,7 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "src/obs/breakdown.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/chrome_trace.h"
 #include "src/obs/exposition.h"
 #include "src/obs/metrics.h"
@@ -244,7 +248,7 @@ TEST(MetricsTest, HandlesStayValidAcrossLaterInterning) {
   const CounterHandle first = metrics.CounterSeries("a.first");
   const HistogramHandle hist = metrics.HistogramSeries("a.first_ms");
   metrics.Observe(hist, 1.0);
-  const Histogram* raw = metrics.histogram("a.first_ms");
+  const MetricHistogram* raw = metrics.histogram("a.first_ms");
   for (int i = 0; i < 200; ++i) {
     metrics.IncrementCounter(MetricSeriesKey("bulk.series", {}) +
                              std::to_string(i));
@@ -312,7 +316,35 @@ TEST(ExpositionTest, JsonSnapshotEscapesAndReportsQuantiles) {
   EXPECT_NE(json.find("\"core.runs\": 1"), std::string::npos);
   // The embedded quote in the label value must be escaped.
   EXPECT_NE(json.find("A\\\"1"), std::string::npos);
+  // The JSON summary carries the same quantile set as the Prometheus
+  // writer — p90 included, so BENCH_*.json consumers get p90 parity.
+  EXPECT_NE(json.find("\"p50\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\": 5"), std::string::npos);
   EXPECT_NE(json.find("\"p99\": 5"), std::string::npos);
+}
+
+TEST(ExpositionTest, SketchModeSeriesExportLikeExactOnes) {
+  MetricsRegistry metrics;
+  metrics.EnableSketchHistogram("exec.cold_start_latency_ms");
+  for (int i = 1; i <= 4; ++i) {
+    metrics.Observe("exec.cold_start_latency_ms", 100.0 * i);
+  }
+  // Both writers are mode-blind: a sketch-backed series renders as the
+  // same summary/quantile shape, within the sketch's 1% error.
+  const std::string text = PrometheusExposition(metrics);
+  EXPECT_NE(text.find("# TYPE udc_exec_cold_start_latency_ms summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("udc_exec_cold_start_latency_ms_count 4"),
+            std::string::npos);
+  const std::string json = JsonSnapshot(metrics);
+  const std::string needle = "\"p50\": ";
+  const size_t pos = json.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  const double p50 = std::stod(json.substr(pos + needle.size()));
+  // Sketch rank convention is nearest-rank: round(0.5 * 3) = rank 2 -> 300
+  // (the exact histogram would lerp to 250), within the 1% bucket error.
+  EXPECT_NEAR(p50, 300.0, 0.012 * 300.0);
 }
 
 TEST(ChromeTraceTest, EmitsCompleteEventsWithCausalArgs) {
@@ -376,6 +408,98 @@ TEST(BreakdownTest, SumsComponentsFromOneTrace) {
   const std::string table = b.Table();
   EXPECT_NE(table.find("cold-start"), std::string::npos);
   EXPECT_NE(table.find("consensus"), std::string::npos);
+}
+
+TEST(MetricsTest, LabelCardinalityBudgetFoldsIntoOverflowSeries) {
+  MetricsRegistry metrics;
+  metrics.SetLabelCardinalityLimit(2);
+  for (int tenant = 0; tenant < 5; ++tenant) {
+    metrics.IncrementCounter("core.tenant_runs",
+                             {{"tenant", std::to_string(tenant)}});
+  }
+  // First two distinct label sets keep their own series; tenants 2..4 fold
+  // into the single overflow aggregate instead of minting series.
+  EXPECT_EQ(metrics.counter("core.tenant_runs", {{"tenant", "0"}}), 1);
+  EXPECT_EQ(metrics.counter("core.tenant_runs", {{"tenant", "1"}}), 1);
+  EXPECT_EQ(metrics.counter("core.tenant_runs", {{"overflow", "true"}}), 3);
+  EXPECT_EQ(metrics.overflowed_series_events(), 3u);
+
+  // Histograms share the same budget machinery, per base name.
+  for (int tenant = 0; tenant < 4; ++tenant) {
+    metrics.Observe("core.tenant_latency_ms",
+                    {{"tenant", std::to_string(tenant)}}, 10.0 * tenant);
+  }
+  const MetricHistogram* overflow =
+      metrics.histogram("core.tenant_latency_ms", {{"overflow", "true"}});
+  ASSERT_NE(overflow, nullptr);
+  EXPECT_EQ(overflow->count(), 2);
+  EXPECT_EQ(metrics.overflowed_series_events(), 5u);
+
+  // Unlabeled series and already-interned label sets are never folded.
+  metrics.IncrementCounter("core.tenant_runs");
+  metrics.IncrementCounter("core.tenant_runs", {{"tenant", "1"}});
+  EXPECT_EQ(metrics.counter("core.tenant_runs"), 1);
+  EXPECT_EQ(metrics.counter("core.tenant_runs", {{"tenant", "1"}}), 2);
+  EXPECT_EQ(metrics.overflowed_series_events(), 5u);
+}
+
+TEST(FlightRecorderTest, RingWraparoundKeepsNewestRecords) {
+  FlightRecorder rec(4);  // 4 slots per ring
+  rec.EnsureRings(1);
+  for (int i = 0; i < 6; ++i) {
+    rec.RecordTrace(0, SimTime::Millis(i), "test",
+                    "line " + std::to_string(i));
+  }
+  EXPECT_EQ(rec.total_recorded(), 6u);
+  EXPECT_EQ(rec.retained(), 4u);
+  EXPECT_EQ(rec.overwritten(), 2u);
+
+  const std::vector<FlightRecorder::Record> merged = rec.MergedRecords();
+  ASSERT_EQ(merged.size(), 4u);
+  // The two oldest records were overwritten; the survivors come out in
+  // emission order even though the ring's storage wrapped mid-way.
+  for (size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].time, SimTime::Millis(2 + i));
+    EXPECT_EQ(std::string(merged[i].name),
+              "line " + std::to_string(2 + i));
+  }
+}
+
+TEST(FlightRecorderTest, MergeOrdersByTimeShardSeq) {
+  FlightRecorder rec(8);
+  rec.EnsureRings(3);
+  // Emit out of time order across shards, with collisions on both time
+  // (shards 1 and 2 at t=5ms) and (time, shard) (two shard-0 records at
+  // t=7ms, disambiguated by per-ring seq).
+  rec.RecordTrace(2, SimTime::Millis(5), "test", "shard2 t5");
+  rec.RecordTrace(0, SimTime::Millis(7), "test", "shard0 t7 first");
+  rec.RecordTrace(1, SimTime::Millis(5), "test", "shard1 t5");
+  rec.RecordTrace(0, SimTime::Millis(3), "test", "shard0 t3");
+  rec.RecordTrace(0, SimTime::Millis(7), "test", "shard0 t7 second");
+
+  const std::vector<FlightRecorder::Record> merged = rec.MergedRecords();
+  ASSERT_EQ(merged.size(), 5u);
+  EXPECT_EQ(std::string(merged[0].name), "shard0 t3");
+  EXPECT_EQ(std::string(merged[1].name), "shard1 t5");
+  EXPECT_EQ(std::string(merged[2].name), "shard2 t5");
+  EXPECT_EQ(std::string(merged[3].name), "shard0 t7 first");
+  EXPECT_EQ(std::string(merged[4].name), "shard0 t7 second");
+}
+
+TEST(FlightRecorderTest, DisabledRecorderDropsAppends) {
+  FlightRecorder rec(4);
+  rec.EnsureRings(1);
+  rec.set_enabled(false);
+  rec.RecordTrace(0, SimTime::Millis(1), "test", "dropped");
+  EXPECT_EQ(rec.total_recorded(), 0u);
+  EXPECT_EQ(rec.retained(), 0u);
+  rec.set_enabled(true);
+  rec.RecordSpan(0, SimTime::Millis(1), SimTime::Millis(2), "test", "kept");
+  EXPECT_EQ(rec.retained(), 1u);
+  const std::string json = rec.ChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("kept"), std::string::npos);
+  EXPECT_EQ(json.find("dropped"), std::string::npos);
 }
 
 }  // namespace

@@ -5,6 +5,15 @@
 # GaugeSeries / HistogramSeries — must match ^[a-z_]+\.[a-z0-9_.]+$ —
 # a lowercase layer prefix, a dot, then lowercase/digit/underscore words.
 #
+# Also enforces the two namespaces the SLO/flight-recorder layer added:
+#   - SLO objective names: any "slo.<...>" string literal must be
+#     slo.<layer>.<objective> (three dot-separated lowercase segments,
+#     e.g. "slo.sched.place_latency_p99").
+#   - Span categories: the literal first argument of Scope( / Begin( /
+#     BeginWithSetAt( must be a bare lowercase word (^[a-z_][a-z0-9_.]*$) —
+#     categories become Chrome-trace pids and flight-recorder fields, so
+#     they stay short and greppable.
+#
 # Runs as a ctest (see tests/CMakeLists.txt) and in CI. Exit 0 when every
 # call site conforms, 1 otherwise (offenders listed on stderr).
 
@@ -12,6 +21,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 pattern='^[a-z_]+\.[a-z0-9_.]+$'
+slo_pattern='^slo\.[a-z_]+\.[a-z0-9_.]+$'
+category_pattern='^[a-z_][a-z0-9_.]*$'
 bad=0
 found=0
 
@@ -33,8 +44,46 @@ if [[ "$found" -eq 0 ]]; then
   exit 1
 fi
 
-if [[ "$bad" -ne 0 ]]; then
-  echo "metric names must match layer.noun_verb ($pattern)" >&2
+# SLO objective names: every "slo.<...>" literal anywhere in the tree
+# (specs are built field by field, so lint the strings rather than a call
+# shape). This script's own grep patterns are excluded.
+slo_found=0
+while IFS=: read -r file line name; do
+  slo_found=$((slo_found + 1))
+  if ! [[ "$name" =~ $slo_pattern ]]; then
+    echo "bad SLO name: $file:$line: \"$name\" (want slo.<layer>.<objective>)" >&2
+    bad=1
+  fi
+done < <(grep -rnoE '"slo\.[^"]*"' \
+           --exclude=check_metric_names.sh src tools bench tests \
+         | sed -E 's/:"/:/; s/"$//')
+
+# Span categories: literal first argument of Scope(/Begin(/BeginWithSetAt(.
+cat_found=0
+while IFS=: read -r file line name; do
+  cat_found=$((cat_found + 1))
+  if ! [[ "$name" =~ $category_pattern ]]; then
+    echo "bad span category: $file:$line: \"$name\"" >&2
+    bad=1
+  fi
+done < <(grep -rnoE '(->|\.)(Scope|Begin|BeginWithSetAt)\("[^"]*"' \
+           src tools bench tests \
+         | sed -E 's/:(->|\.)(Scope|Begin|BeginWithSetAt)\("/:/' \
+         | sed -E 's/"$//')
+
+if [[ "$slo_found" -eq 0 ]]; then
+  echo "check_metric_names.sh: no SLO name literals found — grep broken?" >&2
   exit 1
 fi
-echo "check_metric_names.sh: $found call sites OK"
+if [[ "$cat_found" -eq 0 ]]; then
+  echo "check_metric_names.sh: no span category literals found — grep broken?" >&2
+  exit 1
+fi
+
+if [[ "$bad" -ne 0 ]]; then
+  echo "names must match: metrics $pattern, SLOs $slo_pattern," \
+       "span categories $category_pattern" >&2
+  exit 1
+fi
+echo "check_metric_names.sh: $found metric + $slo_found slo +" \
+     "$cat_found span-category call sites OK"

@@ -8,13 +8,19 @@
 //   udcctl trace --chrome <out.json> [spec.udcl]
 //                                           run the cycle, write the span
 //                                           trace as Chrome trace_event JSON
-//                                           (open in chrome://tracing or
-//                                           https://ui.perfetto.dev)
+//   udcctl slo      [spec.udcl]             run the cycle under the default
+//                                           SLO set, print the verdict table
+//   udcctl record dump --out <path> [spec.udcl]
+//                                           run the cycle, dump the flight
+//                                           recorder (Chrome trace + metrics
+//                                           snapshot)
 //
 // Reads udcl from a file (or the embedded medical app when the spec argument
 // is omitted), runs the full deploy/run/verify/bill cycle on a fresh
-// simulated cloud, and prints the reports. Exit code 0 on success, 1 on any
-// error.
+// simulated cloud, and prints the reports.
+//
+// Exit codes: 0 success, 1 runtime failure (parse/deploy/verify/IO errors,
+// SLO breach), 2 usage error (unknown subcommand or bad arguments).
 
 #include <cstdio>
 #include <fstream>
@@ -26,18 +32,48 @@
 #include "src/core/udc_cloud.h"
 #include "src/obs/chrome_trace.h"
 #include "src/obs/exposition.h"
+#include "src/obs/slo.h"
 #include "src/workload/medical.h"
 
 namespace {
 
+// Exit-code contract: bad invocations are distinguishable from runtime
+// failures so scripts can tell "I called it wrong" (2) from "the cloud is
+// unhealthy" (1).
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+
 int Usage() {
-  std::fprintf(stderr,
-               "usage: udcctl validate <spec.udcl>\n"
-               "       udcctl deploy   <spec.udcl>\n"
-               "       udcctl demo\n"
-               "       udcctl metrics  [spec.udcl]\n"
-               "       udcctl trace --chrome <out.json> [spec.udcl]\n");
-  return 1;
+  std::fprintf(
+      stderr,
+      "usage: udcctl <command> [args]\n"
+      "\n"
+      "commands:\n"
+      "  validate <spec.udcl>      parse + validate a spec; prints the module\n"
+      "                            graph and per-module aspect sets\n"
+      "  deploy <spec.udcl>        deploy, run once, verify, bill; prints\n"
+      "                            every report\n"
+      "  demo                      `deploy` of the built-in medical app\n"
+      "                            (paper Figure 2)\n"
+      "  metrics [spec.udcl]       run the cycle, print the Prometheus text\n"
+      "                            exposition on stdout\n"
+      "  trace --chrome <out.json> [spec.udcl]\n"
+      "                            run the cycle, write the span trace as\n"
+      "                            Chrome trace_event JSON (open in\n"
+      "                            chrome://tracing or ui.perfetto.dev)\n"
+      "  slo [spec.udcl]           run the cycle under the default SLO set\n"
+      "                            (deploy latency, repair convergence,\n"
+      "                            run-report health), print the verdict\n"
+      "                            table; exits 1 if any objective breached\n"
+      "  record dump --out <path> [spec.udcl]\n"
+      "                            run the cycle, dump the always-on flight\n"
+      "                            recorder: <path> gets the Chrome trace,\n"
+      "                            <path>.metrics.json the metrics snapshot\n"
+      "\n"
+      "omitting [spec.udcl] uses the embedded medical app\n"
+      "\n"
+      "exit codes: 0 success, 1 runtime failure, 2 usage error\n");
+  return kExitUsage;
 }
 
 udc::Result<std::string> ReadFile(const std::string& path) {
@@ -54,7 +90,7 @@ int Validate(const std::string& text) {
   const auto spec = udc::ParseAppSpec(text);
   if (!spec.ok()) {
     std::fprintf(stderr, "INVALID: %s\n", spec.status().ToString().c_str());
-    return 1;
+    return kExitRuntime;
   }
   std::printf("OK: %s\n%s", spec->graph.app_name().c_str(),
               spec->graph.DebugString().c_str());
@@ -73,14 +109,14 @@ int RunCycle(const std::string& text, udc::UdcCloud* cloud, bool verbose) {
   const auto spec = udc::ParseAppSpec(text);
   if (!spec.ok()) {
     std::fprintf(stderr, "spec: %s\n", spec.status().ToString().c_str());
-    return 1;
+    return kExitRuntime;
   }
   const udc::TenantId tenant = cloud->RegisterTenant("udcctl");
   auto deployment = cloud->Deploy(tenant, *spec);
   if (!deployment.ok()) {
     std::fprintf(stderr, "deploy: %s\n",
                  deployment.status().ToString().c_str());
-    return 1;
+    return kExitRuntime;
   }
   if (verbose) {
     std::printf("%s\n", (*deployment)->DebugString().c_str());
@@ -90,7 +126,7 @@ int RunCycle(const std::string& text, udc::UdcCloud* cloud, bool verbose) {
   const auto report = runtime.RunOnce();
   if (!report.ok()) {
     std::fprintf(stderr, "run: %s\n", report.status().ToString().c_str());
-    return 1;
+    return kExitRuntime;
   }
   if (verbose) {
     std::printf("%s\n", report->Table().c_str());
@@ -101,7 +137,7 @@ int RunCycle(const std::string& text, udc::UdcCloud* cloud, bool verbose) {
   if (!verification.ok()) {
     std::fprintf(stderr, "verify: %s\n",
                  verification.status().ToString().c_str());
-    return 1;
+    return kExitRuntime;
   }
   if (verbose) {
     std::printf("%s\n", verification->Table().c_str());
@@ -112,7 +148,7 @@ int RunCycle(const std::string& text, udc::UdcCloud* cloud, bool verbose) {
     std::printf("%s",
                 cloud->billing().BillToNow(**deployment).Table().c_str());
   }
-  return verification->all_ok ? 0 : 1;
+  return verification->all_ok ? 0 : kExitRuntime;
 }
 
 int Deploy(const std::string& text) {
@@ -140,10 +176,81 @@ int Trace(const std::string& text, const std::string& out_path) {
       cloud.sim()->spans(), cloud.sim()->now(), out_path);
   if (!status.ok()) {
     std::fprintf(stderr, "trace: %s\n", status.ToString().c_str());
-    return 1;
+    return kExitRuntime;
   }
   std::printf("wrote %zu spans to %s (open in chrome://tracing)\n",
               cloud.sim()->spans().spans().size(), out_path.c_str());
+  return 0;
+}
+
+// The built-in objective set `udcctl slo` judges a run against. Windows span
+// the whole run (EvaluateNow at the end); thresholds are generous — the
+// point of the CLI gate is "did anything go badly wrong", the tight
+// per-layer budgets live in the benches.
+void RegisterDefaultObjectives(udc::SloEngine* slos) {
+  {
+    udc::SloSpec spec;
+    spec.name = "slo.frontend.deploy_latency_p99";
+    spec.kind = udc::SloSpec::SourceKind::kHistogramQuantile;
+    spec.source = "frontend.deploy_latency_ms";
+    spec.quantile = 0.99;
+    spec.threshold = 60'000.0;  // a deploy should be live within a minute
+    spec.window = udc::SimTime::Hours(2);
+    slos->AddObjective(std::move(spec));
+  }
+  {
+    udc::SloSpec spec;
+    spec.name = "slo.repair.convergence_p99";
+    spec.kind = udc::SloSpec::SourceKind::kHistogramQuantile;
+    spec.source = "repair.convergence_ms";
+    spec.quantile = 0.99;
+    spec.threshold = 300'000.0;  // repairs converge within five minutes
+    spec.window = udc::SimTime::Hours(2);
+    slos->AddObjective(std::move(spec));
+  }
+  {
+    udc::SloSpec spec;
+    spec.name = "slo.core.run_end_to_end_ms";
+    spec.kind = udc::SloSpec::SourceKind::kHistogramQuantile;
+    spec.source = "core.run_end_to_end_ms";
+    spec.quantile = 0.99;
+    spec.threshold = 3'600'000.0;  // a DAG run finishes within an hour
+    spec.window = udc::SimTime::Hours(2);
+    slos->AddObjective(std::move(spec));
+  }
+}
+
+int Slo(const std::string& text) {
+  udc::UdcCloud cloud;
+  // Register before the cycle so histogram sources are in sketch mode from
+  // the first Observe (AddObjective flips them).
+  RegisterDefaultObjectives(&cloud.sim()->slos());
+  const int rc = RunCycle(text, &cloud, /*verbose=*/false);
+  if (rc != 0) {
+    return rc;
+  }
+  cloud.sim()->slos().EvaluateNow(cloud.sim()->now());
+  std::printf("%s", cloud.sim()->slos().Report().c_str());
+  return cloud.sim()->slos().AllOk() ? 0 : kExitRuntime;
+}
+
+int RecordDump(const std::string& text, const std::string& out_path) {
+  udc::UdcCloud cloud;
+  const int rc = RunCycle(text, &cloud, /*verbose=*/false);
+  if (rc != 0) {
+    return rc;
+  }
+  const udc::Status status = cloud.sim()->flight_recorder().Dump(
+      out_path, &cloud.sim()->metrics(), "explicit trigger: udcctl record dump");
+  if (!status.ok()) {
+    std::fprintf(stderr, "record dump: %s\n", status.ToString().c_str());
+    return kExitRuntime;
+  }
+  std::printf(
+      "wrote %zu flight-recorder records to %s (open in chrome://tracing)\n"
+      "wrote metrics snapshot to %s.metrics.json\n",
+      cloud.sim()->flight_recorder().retained(), out_path.c_str(),
+      out_path.c_str());
   return 0;
 }
 
@@ -157,16 +264,17 @@ int main(int argc, char** argv) {
   if (command == "demo") {
     return Deploy(udc::MedicalAppUdcl());
   }
-  if (command == "metrics") {
-    if (argc < 3) {
-      return Metrics(udc::MedicalAppUdcl());
+  if (command == "metrics" || command == "slo") {
+    std::string text = udc::MedicalAppUdcl();
+    if (argc >= 3) {
+      const auto file = ReadFile(argv[2]);
+      if (!file.ok()) {
+        std::fprintf(stderr, "%s\n", file.status().ToString().c_str());
+        return kExitRuntime;
+      }
+      text = *file;
     }
-    const auto text = ReadFile(argv[2]);
-    if (!text.ok()) {
-      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
-      return 1;
-    }
-    return Metrics(*text);
+    return command == "metrics" ? Metrics(text) : Slo(text);
   }
   if (command == "trace") {
     if (argc < 4 || std::string(argv[2]) != "--chrome") {
@@ -177,11 +285,27 @@ int main(int argc, char** argv) {
       const auto file = ReadFile(argv[4]);
       if (!file.ok()) {
         std::fprintf(stderr, "%s\n", file.status().ToString().c_str());
-        return 1;
+        return kExitRuntime;
       }
       text = *file;
     }
     return Trace(text, argv[3]);
+  }
+  if (command == "record") {
+    if (argc < 5 || std::string(argv[2]) != "dump" ||
+        std::string(argv[3]) != "--out") {
+      return Usage();
+    }
+    std::string text = udc::MedicalAppUdcl();
+    if (argc >= 6) {
+      const auto file = ReadFile(argv[5]);
+      if (!file.ok()) {
+        std::fprintf(stderr, "%s\n", file.status().ToString().c_str());
+        return kExitRuntime;
+      }
+      text = *file;
+    }
+    return RecordDump(text, argv[4]);
   }
   if (argc < 3) {
     return Usage();
@@ -189,7 +313,7 @@ int main(int argc, char** argv) {
   const auto text = ReadFile(argv[2]);
   if (!text.ok()) {
     std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
-    return 1;
+    return kExitRuntime;
   }
   if (command == "validate") {
     return Validate(*text);
