@@ -162,12 +162,14 @@ void ActorSystem::Send(ActorId from, ActorId to, std::string name,
   if (kernel != nullptr && (src_shard != 0 || dest_shard != 0)) {
     // Deliver on the destination actor's shard. A cross-shard hop spans
     // racks, so `delay` >= the kernel lookahead and the event lands beyond
-    // the current window, as ScheduleOnShard requires.
+    // the current window, as ScheduleOnShard requires. The destination
+    // rack rides along for the rebalancer's per-rack load attribution.
     kernel->ScheduleOnShard(
         dest_shard, sim_->now() + delay,
         InlineCallback([this, to, msg = std::move(msg)]() mutable {
           Deliver(to, std::move(msg), /*replay=*/false);
-        }));
+        }),
+        topology_->RackOf(to_it->second.node));
     return;
   }
   // The capture holds the ActorMessage (two strings, ~104 bytes), past the

@@ -103,10 +103,11 @@ MessageId Fabric::Send(NodeId from, NodeId to, std::string_view type,
   ParallelKernel* kernel = sim_->parallel();
   if (kernel != nullptr) {
     const uint32_t src_shard = ParallelKernel::CurrentShard();
-    const uint32_t dest_shard = kernel->ShardOfRack(topology_->RackOf(to));
+    const int dest_rack = topology_->RackOf(to);
+    const uint32_t dest_shard = kernel->ShardOfRack(dest_rack);
     if (src_shard != 0 || dest_shard != 0) {
-      return SendSharded(kernel, src_shard, dest_shard, from, to, type,
-                         std::move(payload), size, tag, tag2);
+      return SendSharded(kernel, src_shard, dest_shard, dest_rack, from, to,
+                         type, std::move(payload), size, tag, tag2);
     }
     // Both ends in the unsharded domain: fall through to the exact
     // single-threaded path, byte-compatible with kFast.
@@ -150,9 +151,10 @@ MessageId Fabric::Send(NodeId from, NodeId to, std::string_view type,
 }
 
 MessageId Fabric::SendSharded(ParallelKernel* kernel, uint32_t src_shard,
-                              uint32_t dest_shard, NodeId from, NodeId to,
-                              std::string_view type, std::string payload,
-                              Bytes size, uint64_t tag, int64_t tag2) {
+                              uint32_t dest_shard, int dest_rack, NodeId from,
+                              NodeId to, std::string_view type,
+                              std::string payload, Bytes size, uint64_t tag,
+                              int64_t tag2) {
   MessageId id;
   if (src_shard == 0) {
     // Coordinator thread: shared counters and the shared id space are safe.
@@ -191,9 +193,12 @@ MessageId Fabric::SendSharded(ParallelKernel* kernel, uint32_t src_shard,
   // merged at the window barrier in canonical order. A cross-shard hop's
   // transfer time is >= the kernel lookahead by construction (sharding is
   // rack-granular), satisfying ScheduleOnShard's window constraint.
+  // The destination rack rides along so the kernel's rebalancer can
+  // attribute per-rack load and pick migration candidates.
   const SimTime delay = topology_->TransferTime(from, to, size);
   kernel->ScheduleOnShard(dest_shard, msg->sent_at + delay,
-                          InlineCallback([this, msg] { DeliverSharded(msg); }));
+                          InlineCallback([this, msg] { DeliverSharded(msg); }),
+                          dest_rack);
   return id;
 }
 

@@ -157,11 +157,12 @@ class Fabric {
   void ReleaseMessage(Message* msg);
   void Deliver(Message* msg, uint64_t span);
 
-  // Sharded path (kParallel with a worker shard on either end).
+  // Sharded path (kParallel with a worker shard on either end). `dest_rack`
+  // attributes the delivery to a topology rack for the kernel's rebalancer.
   MessageId SendSharded(ParallelKernel* kernel, uint32_t src_shard,
-                        uint32_t dest_shard, NodeId from, NodeId to,
-                        std::string_view type, std::string payload, Bytes size,
-                        uint64_t tag, int64_t tag2);
+                        uint32_t dest_shard, int dest_rack, NodeId from,
+                        NodeId to, std::string_view type, std::string payload,
+                        Bytes size, uint64_t tag, int64_t tag2);
   void DeliverSharded(Message* msg);
   // Pool access for shard `shard`; 0 routes to the member pool. Released
   // messages join the releasing shard's free list even when their storage

@@ -76,8 +76,8 @@ void ShardObsBuffer::TraceLine(SimTime at, std::string category,
   rec.s2 = std::move(detail);
 }
 
-void ObsFlusher::Flush(const std::vector<ShardObsBuffer*>& buffers,
-                       const ObsFlushTargets& targets) {
+size_t ObsFlusher::Flush(const std::vector<ShardObsBuffer*>& buffers,
+                         const ObsFlushTargets& targets) {
   scratch_.clear();
   for (uint32_t shard = 0; shard < buffers.size(); ++shard) {
     ShardObsBuffer* buffer = buffers[shard];
@@ -150,6 +150,7 @@ void ObsFlusher::Flush(const std::vector<ShardObsBuffer*>& buffers,
       buffer->records_.clear();
     }
   }
+  return scratch_.size();
 }
 
 }  // namespace udc

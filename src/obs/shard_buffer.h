@@ -128,8 +128,10 @@ class ObsFlusher {
   // Applies every pending record from `buffers` (indexed by shard id; null
   // entries are skipped) to `targets` in canonical (time, shard, seq) order,
   // then resets the buffers. Must be called with all producers quiesced.
-  void Flush(const std::vector<ShardObsBuffer*>& buffers,
-             const ObsFlushTargets& targets);
+  // Returns the number of records applied — the kernel's flush-batching
+  // stats count real work, not flush invocations.
+  size_t Flush(const std::vector<ShardObsBuffer*>& buffers,
+               const ObsFlushTargets& targets);
 
  private:
   struct Key {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -17,6 +18,32 @@ namespace {
 // window barrier. Windows are typically a few microseconds of work, so a
 // short spin absorbs most handoffs without burning a syscall.
 constexpr int kBarrierSpins = 4096;
+
+// Adaptive-window thresholds, as fractions of the period's event total:
+// shrink when more than 1/8 of events crossed shards (windows are too wide
+// to keep traffic local), widen when fewer than 1/64 did. Hysteresis gap so
+// the controller cannot flap between consecutive decisions.
+constexpr uint64_t kShrinkCrossDen = 8;
+constexpr uint64_t kGrowCrossDen = 64;
+
+// A rack migrated once stays put for this many rebalance checks, so two hot
+// shards cannot trade the same rack back and forth.
+constexpr uint32_t kRackMoveCooldownPeriods = 4;
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 }  // namespace
 
 ParallelKernel::ParallelKernel(EventQueue* root_queue, SimTime* now,
@@ -24,7 +51,10 @@ ParallelKernel::ParallelKernel(EventQueue* root_queue, SimTime* now,
     : root_queue_(root_queue),
       now_(now),
       lookahead_(config.lookahead),
-      shard_total_(static_cast<uint32_t>(std::max(0, config.shards)) + 1) {
+      lookahead_bound_(config.lookahead_bound),
+      eff_lookahead_(config.lookahead),
+      shard_total_(static_cast<uint32_t>(std::max(0, config.shards)) + 1),
+      config_(config) {
   int threads = config.threads;
   if (threads <= 0) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -58,6 +88,16 @@ ParallelKernel::ParallelKernel(EventQueue* root_queue, SimTime* now,
       }
     }
   }
+
+  group_of_.resize(shard_total_);
+  for (uint32_t s = 0; s < shard_total_; ++s) {
+    group_of_[s] = s;
+  }
+  group_cost_.resize(shard_total_, 0);
+  // Steady-state capacity so a mid-run migration never allocates inside the
+  // measured phase of a zero-alloc bench.
+  work_list_.reserve(shard_total_);
+  links_.reserve(shard_total_);
 }
 
 ParallelKernel::~ParallelKernel() {
@@ -81,6 +121,8 @@ void ParallelKernel::AssignRack(int rack, uint32_t shard) {
   }
   if (static_cast<size_t>(rack) >= rack_to_shard_.size()) {
     rack_to_shard_.resize(static_cast<size_t>(rack) + 1, 0);
+    rack_period_events_.resize(static_cast<size_t>(rack) + 1, 0);
+    rack_move_cooldown_.resize(static_cast<size_t>(rack) + 1, 0);
   }
   rack_to_shard_[rack] = shard;
 }
@@ -129,7 +171,7 @@ void ParallelKernel::RemoveBarrierHook(uint64_t id) {
 }
 
 void ParallelKernel::ScheduleOnShard(uint32_t shard, SimTime when,
-                                     InlineCallback cb) {
+                                     InlineCallback cb, int rack) {
   assert(shard < shard_total_);
   ShardRuntime* src = tls_shard_;
   const uint32_t src_id = src != nullptr ? src->id : 0;
@@ -142,14 +184,27 @@ void ParallelKernel::ScheduleOnShard(uint32_t shard, SimTime when,
     runtimes_[shard]->queue->Schedule(when, std::move(cb));
     if (shard != 0) {
       sharded_work_ = true;
+      if (rack >= 0 &&
+          static_cast<size_t>(rack) < rack_period_events_.size()) {
+        ++rack_period_events_[rack];
+      }
     }
+    return;
+  }
+  if (group_of_[shard] == group_of_[src_id]) {
+    // Linked shards (a live migration) form one claim unit: this thread
+    // owns both queues and the unit interleaves its members by event time,
+    // so a direct insert is exactly the kFast path for this subset. This is
+    // what makes sub-lookahead traffic between a migration's source and
+    // destination legal — intra-rack sends to the migrated rack included.
+    runtimes_[shard]->queue->Schedule(when, std::move(cb));
     return;
   }
   assert(when >= window_end_ &&
          "cross-shard schedule lands inside the lookahead window");
   ShardRuntime* owner = src != nullptr ? src : runtimes_[0].get();
   Channel(src_id, shard).Push(
-      CrossShardEvent{when, owner->emit_seq++, std::move(cb)});
+      CrossShardEvent{when, owner->emit_seq++, rack, std::move(cb)});
 }
 
 bool ParallelKernel::HasShardedWork() const {
@@ -169,6 +224,42 @@ uint64_t ParallelKernel::channel_spills() const {
     }
   }
   return total;
+}
+
+ParallelKernelStats ParallelKernel::Stats() const {
+  ParallelKernelStats stats;
+  stats.windows = windows_;
+  stats.flushes = flushes_;
+  stats.rebalances = rebalances_;
+  stats.cross_shard_events = cross_shard_events_;
+  stats.steal_claims = steal_claims_total_;
+  stats.effective_lookahead = eff_lookahead_;
+  uint64_t max_events = 0;
+  uint64_t sum_events = 0;
+  for (uint32_t s = 1; s < shard_total_; ++s) {
+    const uint64_t e = runtimes_[s]->total_events;
+    max_events = std::max(max_events, e);
+    sum_events += e;
+  }
+  const uint32_t workers = shard_total_ - 1;
+  if (workers > 0 && sum_events > 0) {
+    stats.imbalance_ratio = static_cast<double>(max_events) * workers /
+                            static_cast<double>(sum_events);
+  }
+  if (pooled_wall_ns_ > 0) {
+    stats.barrier_stall_pct = 100.0 * static_cast<double>(stall_ns_) /
+                              static_cast<double>(pooled_wall_ns_);
+  }
+  return stats;
+}
+
+std::vector<uint64_t> ParallelKernel::PerShardEvents() const {
+  std::vector<uint64_t> events;
+  events.reserve(shard_total_ > 0 ? shard_total_ - 1 : 0);
+  for (uint32_t s = 1; s < shard_total_; ++s) {
+    events.push_back(runtimes_[s]->total_events);
+  }
+  return events;
 }
 
 void ParallelKernel::RunShardWindow(ShardRuntime* rt, SimTime window_end,
@@ -201,6 +292,69 @@ void ParallelKernel::RunShardWindow(ShardRuntime* rt, SimTime window_end,
   tls_shard_ = nullptr;
 }
 
+void ParallelKernel::RunClaimUnit(uint32_t leader, SimTime window_end,
+                                  SimTime deadline) {
+  bool linked = false;
+  for (const ShardLink& link : links_) {
+    if (group_of_[link.src] == leader) {
+      linked = true;
+      break;
+    }
+  }
+  if (!linked) {
+    // Fast path: the group is a single shard.
+    RunShardWindow(runtimes_[leader].get(), window_end, deadline);
+    return;
+  }
+  // A linked group runs as one kFast-style sub-simulation: pop the
+  // earliest event across the member queues (ties to the lower shard id,
+  // deterministically), one event at a time. Interleaving by time — not
+  // draining members one after another — is what keeps a migration
+  // source's leftover events causally ordered against the destination's
+  // arrivals when they exchange sub-lookahead traffic via the direct-insert
+  // path in ScheduleOnShard. O(members) scan per event, only while a link
+  // is live.
+  for (;;) {
+    SimTime best = SimTime::Max();
+    uint32_t best_shard = 0;
+    for (uint32_t s = 1; s < shard_total_; ++s) {
+      if (group_of_[s] != leader) {
+        continue;
+      }
+      const SimTime t = runtimes_[s]->queue->NextTime();
+      if (t < best) {
+        best = t;
+        best_shard = s;
+      }
+    }
+    if (best >= window_end || best > deadline) {
+      break;
+    }
+    ShardRuntime* rt = runtimes_[best_shard].get();
+    tls_shard_ = rt;
+    rt->now = best;
+    rt->queue->PopAndRun();
+    ++rt->events;
+    tls_shard_ = nullptr;
+  }
+}
+
+void ParallelKernel::ClaimLoop() {
+  // The epoch acquire (worker) or program order (coordinator) makes the
+  // bounds and worklist written before the epoch bump visible here; the
+  // list is read-only until the next barrier.
+  const SimTime window_end = window_end_;
+  const SimTime deadline = window_deadline_;
+  const uint32_t total = static_cast<uint32_t>(work_list_.size());
+  for (;;) {
+    const uint32_t i = next_claim_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= total) {
+      return;
+    }
+    RunClaimUnit(work_list_[i], window_end, deadline);
+  }
+}
+
 void ParallelKernel::StartWorkers() {
   workers_.reserve(thread_count_);
   for (int i = 0; i < thread_count_; ++i) {
@@ -208,7 +362,7 @@ void ParallelKernel::StartWorkers() {
   }
 }
 
-void ParallelKernel::WorkerLoop(int worker_index) {
+void ParallelKernel::WorkerLoop(int /*worker_index*/) {
   uint64_t seen = 0;
   for (;;) {
     const uint64_t target = seen + 1;
@@ -221,88 +375,136 @@ void ParallelKernel::WorkerLoop(int worker_index) {
         ready = true;
         break;
       }
+      CpuRelax();
     }
     if (!ready) {
       std::unique_lock<std::mutex> lk(mu_);
+      // seq_cst against the coordinator's parked_workers_ read: either the
+      // coordinator sees us parked and takes the wake lock, or we see its
+      // epoch bump in the predicate before sleeping.
+      parked_workers_.fetch_add(1, std::memory_order_seq_cst);
       cv_work_.wait(lk, [&] {
-        return shutdown_.load(std::memory_order_acquire) ||
-               epoch_.load(std::memory_order_acquire) >= target;
+        return shutdown_.load(std::memory_order_seq_cst) ||
+               epoch_.load(std::memory_order_seq_cst) >= target;
       });
+      parked_workers_.fetch_sub(1, std::memory_order_relaxed);
       if (shutdown_.load(std::memory_order_acquire)) {
         return;
       }
     }
     seen = target;
-    // The epoch acquire pairs with the coordinator's release: window bounds
-    // written before the bump are visible here.
-    const SimTime window_end = window_end_;
-    const SimTime deadline = window_deadline_;
-    for (uint32_t s = static_cast<uint32_t>(1 + worker_index);
-         s < shard_total_; s += static_cast<uint32_t>(thread_count_)) {
-      RunShardWindow(runtimes_[s].get(), window_end, deadline);
-    }
+    ClaimLoop();
     const int active = static_cast<int>(workers_.size());
-    if (done_count_.fetch_add(1, std::memory_order_acq_rel) + 1 == active) {
-      // Lock pairs with the coordinator's predicate check so the final
-      // notify can never be missed.
-      std::lock_guard<std::mutex> lk(mu_);
-      cv_done_.notify_one();
+    if (done_count_.fetch_add(1, std::memory_order_seq_cst) + 1 == active) {
+      // Dekker pair with the coordinator's coord_parked_ store: if we read
+      // false here, the coordinator has not yet checked done_count_ under
+      // the lock and will see the completed count in its wait predicate.
+      if (coord_parked_.load(std::memory_order_seq_cst)) {
+        std::lock_guard<std::mutex> lk(mu_);
+        cv_done_.notify_one();
+      }
     }
   }
 }
 
 bool ParallelKernel::RunWindowBatch(SimTime deadline) {
   SimTime t_min = SimTime::Max();
-  SimTime t_second = SimTime::Max();
-  uint32_t argmin = 0;
   for (uint32_t s = 0; s < shard_total_; ++s) {
     const SimTime t = runtimes_[s]->queue->NextTime();
     if (t < t_min) {
-      t_second = t_min;
       t_min = t;
-      argmin = s;
-    } else if (t < t_second) {
-      t_second = t;
     }
   }
   if (t_min == SimTime::Max() || t_min > deadline) {
     return false;
   }
-  const SimTime window_end = t_min + lookahead_;
+  const SimTime window_end = t_min + eff_lookahead_;
   window_end_ = window_end;
   window_deadline_ = deadline;
+
+  // Build the claimable worklist: every group with an event inside the
+  // window, heaviest predicted cost first (LPT), leader id breaking ties.
+  // The ordering is a pure function of queue state and barrier-time
+  // bookkeeping, so it is identical at every thread count; which *thread*
+  // takes which entry is not, and does not need to be.
+  work_list_.clear();
+  for (uint32_t s = 1; s < shard_total_; ++s) {
+    group_cost_[s] = 0;
+  }
+  for (uint32_t s = 1; s < shard_total_; ++s) {
+    const SimTime t = runtimes_[s]->queue->NextTime();
+    if (t < window_end && t <= deadline) {
+      const uint32_t leader = group_of_[s];
+      if (group_cost_[leader] == 0) {
+        work_list_.push_back(leader);
+      }
+      group_cost_[leader] += runtimes_[s]->cost_pred + 1;
+    }
+  }
+  std::sort(work_list_.begin(), work_list_.end(),
+            [this](uint32_t a, uint32_t b) {
+              if (group_cost_[a] != group_cost_[b]) {
+                return group_cost_[a] > group_cost_[b];
+              }
+              return a < b;
+            });
+
   in_window_ = true;
-  if (t_second >= window_end) {
-    // Solo window: every event before window_end lives on one shard. Run it
-    // inline (with the worker-shard context if it is a worker shard) and
-    // skip the pool wakeup. The outcome is identical either way — solo
-    // detection reads only queue state, which is deterministic.
-    RunShardWindow(runtimes_[argmin].get(), window_end, deadline);
+  if (work_list_.size() <= 1 || thread_count_ == 0) {
+    // Inline window: shard 0 plus at most one worker group — waking the
+    // pool would add a barrier handoff to win at most one overlapped
+    // executor, and the solo case (a single active shard) stays exactly as
+    // cheap as it was under the static design. The outcome is identical
+    // either way — the claim ticket only changes which thread runs a group.
+    RunShardWindow(runtimes_[0].get(), window_end, deadline);
+    if (!work_list_.empty()) {
+      RunClaimUnit(work_list_[0], window_end, deadline);
+      ++steal_claims_total_;
+    }
   } else {
     if (workers_.empty()) {
       StartWorkers();
     }
+    const uint64_t t_open = MonotonicNanos();
+    steal_claims_total_ += work_list_.size();
     done_count_.store(0, std::memory_order_relaxed);
-    {
+    next_claim_.store(0, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    // Conditional wake: a spinning worker sees the epoch bump without a
+    // syscall; only parked workers need the lock + notify. The seq_cst
+    // fetch_add above pairs with the parked_workers_ increment (see
+    // WorkerLoop) so a worker that missed the bump is guaranteed visible
+    // here — this is where the old unconditional lock+notify_all per
+    // window goes away.
+    if (parked_workers_.load(std::memory_order_seq_cst) > 0) {
       std::lock_guard<std::mutex> lk(mu_);
-      epoch_.fetch_add(1, std::memory_order_release);
+      cv_work_.notify_all();
     }
-    cv_work_.notify_all();
+    // The coordinator drains its own domain, then becomes one more
+    // executor on the shared ticket instead of idling at the barrier.
     RunShardWindow(runtimes_[0].get(), window_end, deadline);
+    ClaimLoop();
     const int active = static_cast<int>(workers_.size());
+    const uint64_t t_wait = MonotonicNanos();
     bool done = false;
     for (int spin = 0; spin < kBarrierSpins; ++spin) {
       if (done_count_.load(std::memory_order_acquire) == active) {
         done = true;
         break;
       }
+      CpuRelax();
     }
     if (!done) {
       std::unique_lock<std::mutex> lk(mu_);
+      coord_parked_.store(true, std::memory_order_seq_cst);
       cv_done_.wait(lk, [&] {
-        return done_count_.load(std::memory_order_acquire) == active;
+        return done_count_.load(std::memory_order_seq_cst) == active;
       });
+      coord_parked_.store(false, std::memory_order_relaxed);
     }
+    const uint64_t t_close = MonotonicNanos();
+    stall_ns_ += t_close - t_wait;
+    pooled_wall_ns_ += t_close - t_open;
   }
   in_window_ = false;
   FinishWindow();
@@ -323,6 +525,13 @@ void ParallelKernel::MergeChannels() {
       drain_scratch_.clear();
       ch.DrainAll(&drain_scratch_);
       for (CrossShardEvent& ev : drain_scratch_) {
+        if (ev.rack >= 0 &&
+            static_cast<size_t>(ev.rack) < rack_period_events_.size()) {
+          // Rack attribution happens here, on the coordinator: counting at
+          // Push would race across producer threads, and the merged count
+          // is the same deterministic number.
+          ++rack_period_events_[ev.rack];
+        }
         merge_scratch_.push_back(
             MergeItem{ev.when, src, ev.seq, std::move(ev.cb)});
       }
@@ -330,6 +539,8 @@ void ParallelKernel::MergeChannels() {
     if (merge_scratch_.empty()) {
       continue;
     }
+    cross_shard_events_ += merge_scratch_.size();
+    adapt_cross_ += merge_scratch_.size();
     // Canonical cross-shard arrival order: independent of which thread ran
     // which source shard, hence independent of the thread count.
     std::sort(merge_scratch_.begin(), merge_scratch_.end(),
@@ -354,19 +565,206 @@ void ParallelKernel::FinishWindow() {
   for (const auto& hook : barrier_hooks_) {
     hook.fn();
   }
-  size_t flush_records = 0;
-  for (const ShardObsBuffer* buffer : obs_buffers_) {
-    if (buffer != nullptr) {
-      flush_records += buffer->pending();
-    }
-  }
-  flush_records_.Add(static_cast<double>(flush_records));
-  flusher_.Flush(obs_buffers_, targets_);
+  uint64_t window_events = 0;
   for (const auto& rt : runtimes_) {
+    window_events += rt->events;
+    if (rt->id != 0 && rt->events > 0) {
+      rt->cost_pred = rt->events;
+    }
+    rt->total_events += rt->events;
+    rt->period_events += rt->events;
     events_executed_ += rt->events;
     rt->events = 0;
   }
+  adapt_events_ += window_events;
+
+  // Obs flush batching: defer while traffic is light, bounded by
+  // flush_max_defer windows so registry staleness stays small. Consecutive
+  // windows never overlap in time (all events left pending after window k
+  // are >= its end), so batched records still sort into the exact sequence
+  // per-window flushes would have produced.
+  pending_obs_records_ = 0;
+  for (const ShardObsBuffer* buffer : obs_buffers_) {
+    if (buffer != nullptr) {
+      pending_obs_records_ += buffer->pending();
+    }
+  }
+  ++windows_since_flush_;
+  if (pending_obs_records_ >= config_.flush_batch_records ||
+      windows_since_flush_ >= std::max(1u, config_.flush_max_defer)) {
+    FlushObsNow();
+  }
+
   ++windows_;
+  if (!links_.empty()) {
+    RetireDrainedLinks();
+  }
+  MaybeAdaptWindow();
+  if (config_.auto_rebalance) {
+    MaybeRebalance();
+  }
+}
+
+void ParallelKernel::FlushObsNow() {
+  if (windows_since_flush_ == 0 && pending_obs_records_ == 0) {
+    return;
+  }
+  flush_records_.Add(
+      static_cast<double>(flusher_.Flush(obs_buffers_, targets_)));
+  pending_obs_records_ = 0;
+  windows_since_flush_ = 0;
+  ++flushes_;
+}
+
+void ParallelKernel::MaybeAdaptWindow() {
+  if (lookahead_bound_ <= lookahead_) {
+    return;  // widening not declared safe; the window stays at the floor
+  }
+  if (++adapt_windows_ < std::max(1u, config_.adapt_period)) {
+    return;
+  }
+  const uint64_t spills = channel_spills();
+  const uint64_t spill_delta = spills - adapt_last_spills_;
+  // Multiplicative increase/decrease between the declared bounds. Every
+  // input — merged cross-shard counts, executed-event counts, spill totals
+  // — is a pure function of the seed and the shard map, so the width
+  // trajectory is identical at every thread count.
+  if (spill_delta > 0 || adapt_cross_ * kShrinkCrossDen > adapt_events_) {
+    eff_lookahead_ = std::max(lookahead_, eff_lookahead_ / 2);
+  } else if (adapt_cross_ * kGrowCrossDen < adapt_events_) {
+    eff_lookahead_ = std::min(lookahead_bound_, eff_lookahead_ * 2);
+  }
+  adapt_last_spills_ = spills;
+  adapt_cross_ = 0;
+  adapt_events_ = 0;
+  adapt_windows_ = 0;
+}
+
+void ParallelKernel::RetireDrainedLinks() {
+  // A migration's source has drained: no event that predates the move can
+  // still touch the migrated rack's entities, so the sequential-execution
+  // fence can drop and the two shards become independent claim units again.
+  bool changed = false;
+  for (size_t i = 0; i < links_.size();) {
+    if (runtimes_[links_[i].src]->queue->empty() &&
+        Channel(links_[i].src, links_[i].dst).empty()) {
+      links_[i] = links_.back();
+      links_.pop_back();
+      changed = true;
+    } else {
+      ++i;
+    }
+  }
+  if (changed) {
+    RebuildGroups();
+  }
+}
+
+void ParallelKernel::RebuildGroups() {
+  // Tiny union-find over the worker shards; the leader is the smallest
+  // member id so group identity is stable and deterministic.
+  for (uint32_t s = 0; s < shard_total_; ++s) {
+    group_of_[s] = s;
+  }
+  auto find = [this](uint32_t s) {
+    while (group_of_[s] != s) {
+      group_of_[s] = group_of_[group_of_[s]];
+      s = group_of_[s];
+    }
+    return s;
+  };
+  for (const ShardLink& link : links_) {
+    const uint32_t a = find(link.src);
+    const uint32_t b = find(link.dst);
+    if (a != b) {
+      group_of_[std::max(a, b)] = std::min(a, b);
+    }
+  }
+  for (uint32_t s = 1; s < shard_total_; ++s) {
+    group_of_[s] = find(s);
+  }
+}
+
+void ParallelKernel::MaybeRebalance() {
+  if (windows_ % std::max(1u, config_.rebalance_period) != 0 ||
+      shard_total_ <= 2 || rack_to_shard_.empty()) {
+    return;
+  }
+  // Hot / cold worker shards by events executed since the last check.
+  uint64_t total = 0;
+  uint32_t hot = 0, cold = 0;
+  uint64_t hot_events = 0;
+  uint64_t cold_events = UINT64_MAX;
+  for (uint32_t s = 1; s < shard_total_; ++s) {
+    const uint64_t e = runtimes_[s]->period_events;
+    total += e;
+    if (e > hot_events) {
+      hot_events = e;
+      hot = s;
+    }
+    if (e < cold_events) {
+      cold_events = e;
+      cold = s;
+    }
+  }
+  const uint32_t workers = shard_total_ - 1;
+  const double mean = static_cast<double>(total) / workers;
+  const bool skewed =
+      total > 0 && hot != cold &&
+      static_cast<double>(hot_events) > config_.rebalance_trigger * mean;
+  if (skewed && group_of_[hot] != group_of_[cold]) {
+    // Pick the migration rack: the hot shard's most-loaded attributed rack
+    // whose traffic fits inside the excess (so one move cannot overshoot
+    // and flip the skew), falling back to its lightest nonzero rack. Racks
+    // on shard 0 are never touched — the coordinator domain is special.
+    const uint64_t excess =
+        hot_events - static_cast<uint64_t>(mean);
+    int pick = -1;
+    uint64_t pick_events = 0;
+    int fallback = -1;
+    uint64_t fallback_events = UINT64_MAX;
+    int hot_racks = 0;
+    for (size_t r = 0; r < rack_to_shard_.size(); ++r) {
+      if (rack_to_shard_[r] != hot) {
+        continue;
+      }
+      ++hot_racks;
+      const uint64_t e = rack_period_events_[r];
+      if (e == 0 || rack_move_cooldown_[r] > 0) {
+        continue;
+      }
+      if (e <= excess && e > pick_events) {
+        pick_events = e;
+        pick = static_cast<int>(r);
+      }
+      if (e < fallback_events) {
+        fallback_events = e;
+        fallback = static_cast<int>(r);
+      }
+    }
+    if (pick < 0) {
+      pick = fallback;
+    }
+    // A shard whose only rack is hot has nothing to shed — moving it would
+    // just relocate the whole problem and pay a link for it.
+    if (pick >= 0 && hot_racks >= 2) {
+      rack_to_shard_[static_cast<size_t>(pick)] = cold;
+      rack_move_cooldown_[static_cast<size_t>(pick)] =
+          kRackMoveCooldownPeriods;
+      links_.push_back(ShardLink{hot, cold});
+      RebuildGroups();
+      ++rebalances_;
+    }
+  }
+  for (auto& rt : runtimes_) {
+    rt->period_events = 0;
+  }
+  std::fill(rack_period_events_.begin(), rack_period_events_.end(), 0);
+  for (uint32_t& cd : rack_move_cooldown_) {
+    if (cd > 0) {
+      --cd;
+    }
+  }
 }
 
 SimTime ParallelKernel::FoldFinalTime(SimTime deadline) {
@@ -402,6 +800,19 @@ SimTime ParallelKernel::RunLoop(SimTime deadline) {
       break;
     }
     sharded_work_ = HasShardedWork();
+    if (!sharded_work_) {
+      // Leaving windowed mode: any deferred obs records must land before
+      // shard 0 resumes writing the shared sinks directly, and the idle
+      // queues are the natural moment for migration links to retire.
+      FlushObsNow();
+      if (!links_.empty()) {
+        RetireDrainedLinks();
+      }
+    }
+  }
+  FlushObsNow();
+  if (!links_.empty()) {
+    RetireDrainedLinks();
   }
   return FoldFinalTime(deadline);
 }
@@ -426,7 +837,11 @@ bool ParallelKernel::Step() {
     ++events_executed_;
     return true;
   }
-  return RunWindowBatch(SimTime::Max());
+  const bool ran = RunWindowBatch(SimTime::Max());
+  // Single-stepping is an inspection workflow: make the window's effects
+  // visible immediately instead of batching across steps.
+  FlushObsNow();
+  return ran;
 }
 
 }  // namespace udc

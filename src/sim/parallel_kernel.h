@@ -7,29 +7,64 @@
 // default — a run that never calls AssignRack() behaves exactly like
 // SimKernel::kFast, event for event and byte for byte. Shards 1..S are
 // *worker shards*: each owns a private slot-slab EventQueue and a
-// ShardObsBuffer, and is executed by a worker thread (static assignment,
-// shard (s-1) % threads).
+// ShardObsBuffer.
 //
 // Time advances in conservative lookahead windows. Each window spans
-// [W, W + lookahead) where W is the earliest pending event across all shards
-// and `lookahead` is the minimum cross-shard fabric latency: no event
-// executed inside the window can schedule a cross-shard effect earlier than
-// the window's end, so every shard may drain its own queue through the
-// window without synchronizing. Cross-shard schedules issued inside a window
-// ride per-(source, destination) lock-free SPSC channels and are merged at
-// the window barrier in canonical (when, source shard, emission seq) order;
-// buffered observability records flush in canonical (time, shard, seq)
-// order (src/obs/shard_buffer.h). Both orders are pure functions of the
-// seed and the shard map, so the same run at 1, 2, 4 or 8 worker threads
-// produces byte-identical traces and metric snapshots.
+// [W, W + L) where W is the earliest pending event across all shards and
+// `L` is the current window width (see the adaptive controller below): no
+// event executed inside the window can schedule a cross-shard effect
+// earlier than the window's end, so every shard may drain its own queue
+// through the window without synchronizing. Cross-shard schedules issued
+// inside a window ride per-(source, destination) lock-free SPSC channels
+// and are merged at the window barrier in canonical (when, source shard,
+// emission seq) order; buffered observability records flush in canonical
+// (time, shard, seq) order (src/obs/shard_buffer.h). Both orders are pure
+// functions of the seed and the shard map, so the same run at 1, 2, 4 or 8
+// worker threads produces byte-identical traces and metric snapshots.
+//
+// Execution inside a window is *work stealing* at shard granularity: the
+// coordinator publishes a worklist of claimable shard groups ordered by
+// predicted cost (last window's event count, heaviest first — LPT), and
+// every executor — the worker threads and the coordinator itself, once its
+// shard-0 slice is drained — claims groups off a shared atomic ticket until
+// the list is empty. Which thread runs a group is invisible to the output
+// (all state a window touches is shard-local or channel-buffered), so the
+// dynamic assignment is determinism-free by construction, and a skewed
+// shard no longer serializes behind whatever else a static stripe pinned to
+// its thread.
+//
+// Between windows — at the barrier, with every worker quiesced — the kernel
+// may *rebalance* the rack->shard map (auto_rebalance): per-shard event
+// counts are tracked per window, and when one worker shard runs hot
+// (max/mean above rebalance_trigger) a rack is migrated from it to the
+// coldest worker shard. Events already sitting in the hot shard's queue
+// cannot move (callbacks are opaque), so the migration *links* source and
+// destination: linked shards form one claim unit that interleaves its
+// member queues by event time — a kFast-style sub-simulation on a single
+// thread — until the source has fully drained. That preserves the
+// invariant that all events touching a rack's entities execute on one
+// thread at a time, and makes sub-lookahead traffic between the linked
+// shards legal (schedules within a claim unit insert directly instead of
+// riding a channel). The migration decision reads only sim-visible state
+// (window counts, the window index), so the rebalance trajectory — and
+// therefore the trace — is identical at every thread count.
+//
+// The window width L adapts between `lookahead` (the guaranteed-safe
+// minimum cross-shard latency) and `lookahead_bound` (a caller-declared
+// upper bound that must also be <= the true minimum cross-shard scheduling
+// delay of the workload): sparse cross-shard traffic widens the window
+// (fewer barriers per simulated second), channel spills or a high
+// cross-shard event fraction shrink it back. The controller's inputs —
+// merged channel-event counts and spill totals — are pure functions of the
+// seed, so the width trajectory is deterministic. When lookahead_bound is
+// unset (0) the window is fixed at `lookahead`, exactly the old behavior.
 //
 // Two fast paths keep the serial case honest:
 //   * while no worker shard has pending events, the coordinator drains
 //     shard 0 directly — no windows, no barriers, no buffering; this is the
 //     kFast inner loop verbatim.
-//   * when exactly one shard has events inside the coming window, the
-//     coordinator executes that shard's window inline instead of waking the
-//     worker pool (a "solo window").
+//   * when at most one claim unit has events inside the coming window, the
+//     coordinator executes the window inline instead of waking the pool.
 //
 // Contract for code running on worker shards: interact with the simulation
 // only through At/After/now/Cancel (which this kernel routes to the current
@@ -109,11 +144,57 @@ struct ParallelConfig {
   int shards = 8;
   // Worker threads; 0 = min(shards, hardware_concurrency - 1), at least 1.
   int threads = 0;
-  // Conservative window width. Must be <= the minimum cross-shard fabric
-  // latency; the default matches TopologyParams::inter_rack_latency.
+  // Minimum (guaranteed-safe) conservative window width. Must be <= the
+  // minimum cross-shard fabric latency; the default matches
+  // TopologyParams::inter_rack_latency.
   SimTime lookahead = SimTime::Micros(6);
+  // Upper bound the adaptive controller may widen the window to. The caller
+  // declares it safe: no cross-shard schedule may ever target a time closer
+  // than this to the emitting event (the in-window assert enforces the
+  // declaration). 0 disables widening — the window stays at `lookahead`.
+  SimTime lookahead_bound = SimTime(0);
+  // Windows between adaptive-controller decisions.
+  uint32_t adapt_period = 8;
   // Ring capacity of each cross-shard SPSC channel (bursts spill).
   size_t channel_capacity = 256;
+  // Barrier-time rack migration off hot shards (see file comment). The
+  // decision inputs are sim-deterministic, so enabling it never perturbs
+  // the cross-thread-count determinism contract.
+  bool auto_rebalance = true;
+  // Windows between rebalance checks.
+  uint32_t rebalance_period = 64;
+  // Per-shard event imbalance (max/mean over worker shards, measured across
+  // the last rebalance period) that arms a migration.
+  double rebalance_trigger = 2.0;
+  // Obs flush batching: a barrier skips the flush while fewer than
+  // `flush_batch_records` records are pending and fewer than
+  // `flush_max_defer` windows have elapsed since the last flush. Batching
+  // is deterministic (driven by pending-record counts); the flush still
+  // applies records in canonical order, and consecutive windows never
+  // overlap in time, so the merged stream is unchanged — only the registry
+  // staleness visible to shard-0 readers grows, bounded by flush_max_defer
+  // windows. 1/0 restores a flush at every barrier.
+  uint32_t flush_max_defer = 8;
+  size_t flush_batch_records = 4096;
+};
+
+// Point-in-time kernel counters for benches, SLO probes and tests.
+// Deliberately not registry series: the registry's exposition must stay
+// byte-identical to kFast, which runs no windows. Wall-clock-derived fields
+// (barrier_stall_pct) are observational only — no control decision reads
+// them.
+struct ParallelKernelStats {
+  uint64_t windows = 0;
+  uint64_t flushes = 0;           // obs flushes actually run (<= windows)
+  uint64_t rebalances = 0;        // racks migrated between worker shards
+  uint64_t cross_shard_events = 0;  // channel events merged at barriers
+  uint64_t steal_claims = 0;      // claim-units executed via the worklist
+  // Lifetime per-worker-shard executed events: max/mean, 1.0 = balanced.
+  double imbalance_ratio = 1.0;
+  // Coordinator time spent waiting at pooled-window barriers, as a percent
+  // of pooled-window wall time. 0 when no pooled window ran.
+  double barrier_stall_pct = 0.0;
+  SimTime effective_lookahead;    // current adaptive window width
 };
 
 class ParallelKernel {
@@ -137,10 +218,16 @@ class ParallelKernel {
                ? rack_to_shard_[rack]
                : 0;
   }
-  // Widens/narrows the window. Callers that raise cross-shard latency above
-  // the default (e.g. a bench topology) should raise lookahead to match.
-  void set_lookahead(SimTime lookahead) { lookahead_ = lookahead; }
+  // Widens/narrows the guaranteed-safe window floor. Callers that raise
+  // cross-shard latency above the default (e.g. a bench topology) should
+  // raise lookahead to match.
+  void set_lookahead(SimTime lookahead) {
+    lookahead_ = lookahead;
+    eff_lookahead_ = lookahead;
+  }
   SimTime lookahead() const { return lookahead_; }
+  // Declares the adaptive upper bound post-construction (serial phase).
+  void set_lookahead_bound(SimTime bound) { lookahead_bound_ = bound; }
 
   // Worker shard count S (domains are 0..S, 0 = coordinator).
   uint32_t shards() const { return shard_total_ - 1; }
@@ -189,8 +276,12 @@ class ParallelKernel {
   // schedules ride the SPSC channel and merge at the barrier (which is why
   // no cancellable handle is returned — handles are queue-local).
   // In-window cross-shard `when` must be >= the window end; any path whose
-  // delay is >= the configured lookahead satisfies this by construction.
-  void ScheduleOnShard(uint32_t shard, SimTime when, InlineCallback cb);
+  // delay is >= the effective lookahead satisfies this by construction.
+  // `rack`, when >= 0, attributes the event to a topology rack for the
+  // rebalancer's per-rack load accounting (the fabric/actor layers pass the
+  // destination rack; plain timers are unattributed).
+  void ScheduleOnShard(uint32_t shard, SimTime when, InlineCallback cb,
+                       int rack = -1);
 
   // Cancels a handle scheduled from this thread's shard. Handles do not
   // travel across shards.
@@ -206,7 +297,8 @@ class ParallelKernel {
   SimTime RunToCompletion();
   SimTime RunUntil(SimTime deadline);
   // Serial phase: runs one shard-0 event. Sharded phase: runs one whole
-  // window. Returns false when idle.
+  // window (and flushes buffered obs, so state is inspectable between
+  // steps). Returns false when idle.
   bool Step();
 
   bool HasShardedWork() const;
@@ -214,10 +306,16 @@ class ParallelKernel {
   uint64_t windows_run() const { return windows_; }
   // Total cross-shard events that overflowed a channel ring (diagnostic).
   uint64_t channel_spills() const;
-  // Distribution of buffered obs records applied per window-barrier flush.
-  // Deliberately kernel-internal, never a registry series: the registry's
-  // exposition must stay byte-identical to kFast, which runs no windows.
-  // SLO probes (SloSpec::SourceKind::kProbe) are the sanctioned reader.
+  // Counters/ratios for benches and SLO probes; see ParallelKernelStats.
+  ParallelKernelStats Stats() const;
+  // Lifetime executed-event counts for worker shards 1..S (index 0 of the
+  // returned vector is worker shard 1).
+  std::vector<uint64_t> PerShardEvents() const;
+  // Distribution of buffered obs records applied per barrier flush (a flush
+  // may cover several batched windows). Deliberately kernel-internal, never
+  // a registry series: the registry's exposition must stay byte-identical
+  // to kFast, which runs no windows. SLO probes (SloSpec::SourceKind::
+  // kProbe) are the sanctioned reader.
   const SketchHistogram& flush_records_per_window() const {
     return flush_records_;
   }
@@ -231,10 +329,15 @@ class ParallelKernel {
     SimTime now;        // local clock while executing a window
     uint64_t events = 0;    // window-local; folded at the barrier
     uint64_t emit_seq = 0;  // cross-shard emission order (merge key)
+    // Coordinator-only bookkeeping (written at the barrier):
+    uint64_t cost_pred = 0;     // last nonempty window's events (LPT key)
+    uint64_t total_events = 0;  // lifetime, for imbalance stats
+    uint64_t period_events = 0; // since the last rebalance check
   };
   struct CrossShardEvent {
     SimTime when;
     uint64_t seq = 0;
+    int32_t rack = -1;  // destination rack for rebalancer attribution
     InlineCallback cb;
   };
   struct MergeItem {
@@ -247,6 +350,14 @@ class ParallelKernel {
     uint64_t id = 0;
     std::function<void()> fn;
   };
+  // A migration's safety fence: shards `src` and `dst` execute as one
+  // time-interleaved claim unit until `src`'s queue fully drains (its
+  // leftover events may touch entities of the migrated rack, which now also
+  // receive events on `dst`).
+  struct ShardLink {
+    uint32_t src = 0;
+    uint32_t dst = 0;
+  };
 
   SpscChannel<CrossShardEvent>& Channel(uint32_t src, uint32_t dest) {
     return *channels_[src * shard_total_ + dest];
@@ -257,8 +368,18 @@ class ParallelKernel {
   // shards) is absent or past the deadline.
   bool RunWindowBatch(SimTime deadline);
   void RunShardWindow(ShardRuntime* rt, SimTime window_end, SimTime deadline);
+  // Claims groups off work_list_ until the ticket runs out; runs on worker
+  // threads and on the coordinator once its shard-0 slice is drained.
+  void ClaimLoop();
+  void RunClaimUnit(uint32_t leader, SimTime window_end, SimTime deadline);
   void MergeChannels();
   void FinishWindow();
+  // Applies pending obs records now (canonical order); no-op when empty.
+  void FlushObsNow();
+  void MaybeAdaptWindow();
+  void MaybeRebalance();
+  void RetireDrainedLinks();
+  void RebuildGroups();
   SimTime FoldFinalTime(SimTime deadline);
 
   void StartWorkers();
@@ -268,9 +389,12 @@ class ParallelKernel {
 
   EventQueue* root_queue_;
   SimTime* now_;
-  SimTime lookahead_;
+  SimTime lookahead_;        // guaranteed-safe floor
+  SimTime lookahead_bound_;  // adaptive ceiling; 0 = fixed window
+  SimTime eff_lookahead_;    // current width, in [lookahead_, bound]
   uint32_t shard_total_;  // worker shards + 1
   int thread_count_;
+  ParallelConfig config_;
   std::vector<uint32_t> rack_to_shard_;
   std::vector<std::unique_ptr<ShardRuntime>> runtimes_;
   std::vector<std::unique_ptr<SpscChannel<CrossShardEvent>>> channels_;
@@ -283,6 +407,30 @@ class ParallelKernel {
   std::vector<CrossShardEvent> drain_scratch_;
   std::vector<MergeItem> merge_scratch_;
 
+  // Rebalancer state (coordinator-only).
+  std::vector<uint64_t> rack_period_events_;  // arrivals since last check
+  std::vector<uint32_t> rack_move_cooldown_;  // checks until movable again
+  std::vector<ShardLink> links_;
+  std::vector<uint32_t> group_of_;  // worker shard -> group leader shard
+  uint64_t rebalances_ = 0;
+
+  // Adaptive-window accumulators (coordinator-only).
+  uint64_t adapt_events_ = 0;
+  uint64_t adapt_cross_ = 0;
+  uint64_t adapt_last_spills_ = 0;
+  uint32_t adapt_windows_ = 0;
+
+  // Obs flush batching (coordinator-only).
+  uint32_t windows_since_flush_ = 0;
+  size_t pending_obs_records_ = 0;
+  uint64_t flushes_ = 0;
+
+  // Lifetime stats (coordinator-only).
+  uint64_t cross_shard_events_ = 0;
+  uint64_t steal_claims_total_ = 0;
+  uint64_t stall_ns_ = 0;        // coordinator barrier wait, pooled windows
+  uint64_t pooled_wall_ns_ = 0;  // wall time of pooled windows
+
   // Run-loop state (coordinator-written; workers read window bounds after
   // the epoch release-store below).
   bool in_window_ = false;
@@ -292,15 +440,25 @@ class ParallelKernel {
   uint64_t events_executed_ = 0;
   uint64_t windows_ = 0;
 
-  // Worker pool: hybrid spin + condvar barrier. The coordinator publishes
-  // window bounds, then bumps `epoch_` (release); workers observe it
-  // (acquire), run their shards, and bump `done_count_`.
+  // Worker pool. The coordinator publishes the window bounds and the
+  // claimable worklist, then bumps `epoch_`; executors claim entries via
+  // `next_claim_` and bump `done_count_` when the ticket runs out. Condvars
+  // back the spin phases, but syscalls are conditional: the coordinator
+  // only takes the wake mutex when `parked_workers_` says someone actually
+  // sleeps, and the last worker only signals `cv_done_` when
+  // `coord_parked_` says the coordinator stopped spinning (both flag
+  // handoffs are seq_cst — the classic Dekker store/load pairs).
   std::vector<std::thread> workers_;
+  std::vector<uint32_t> work_list_;      // claimable group leaders, LPT order
+  std::vector<uint64_t> group_cost_;     // scratch, by leader shard id
   std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
   std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint32_t> next_claim_{0};
   std::atomic<int> done_count_{0};
+  std::atomic<int> parked_workers_{0};
+  std::atomic<bool> coord_parked_{false};
   std::atomic<bool> shutdown_{false};
 };
 

@@ -83,16 +83,22 @@ class SpscChannel {
 
   // Barrier-phase drain: appends everything (ring order first, then spill
   // order — which is push order, since the spill only fills after the ring)
-  // to `out`. Caller must guarantee the producer has quiesced.
-  void DrainAll(std::vector<T>* out) {
+  // to `out`. Caller must guarantee the producer has quiesced. Returns the
+  // number of items drained, so the merge loop can account traffic without
+  // re-measuring the output vector.
+  size_t DrainAll(std::vector<T>* out) {
+    size_t drained = 0;
     T item;
     while (TryPop(&item)) {
       out->push_back(std::move(item));
+      ++drained;
     }
     for (T& spilled : spill_) {
       out->push_back(std::move(spilled));
+      ++drained;
     }
     spill_.clear();
+    return drained;
   }
 
   bool empty() const {
