@@ -10,23 +10,30 @@ AttestationService::AttestationService(Simulation* sim, Key256 vendor_root)
 void AttestationService::ProvisionDevice(uint64_t device_identity) {
   ProvisionedRoot& entry = roots_[device_identity];
   if (entry.rot == nullptr) {
+    // First-ever provision of this identity: derive the fused key. Dormant
+    // (retired) entries keep their key, so churny re-provisioning skips
+    // the derivation chain entirely.
     entry.rot = std::make_unique<RootOfTrust>(vendor_root_, device_identity);
+  }
+  if (entry.refs == 0) {
+    ++live_roots_;
   }
   ++entry.refs;
 }
 
 void AttestationService::RetireDevice(uint64_t device_identity) {
   const auto it = roots_.find(device_identity);
-  if (it == roots_.end()) {
+  if (it == roots_.end() || it->second.refs == 0) {
     return;  // already retired (or never provisioned): idempotent
   }
-  if (--it->second.refs <= 0) {
-    roots_.erase(it);
+  if (--it->second.refs == 0) {
+    --live_roots_;  // key stays memoized; the root is dormant
   }
 }
 
 bool AttestationService::IsProvisioned(uint64_t device_identity) const {
-  return roots_.count(device_identity) > 0;
+  const auto it = roots_.find(device_identity);
+  return it != roots_.end() && it->second.refs > 0;
 }
 
 int64_t AttestationService::ProvisionRefs(uint64_t device_identity) const {
@@ -37,7 +44,7 @@ int64_t AttestationService::ProvisionRefs(uint64_t device_identity) const {
 Result<const RootOfTrust*> AttestationService::RotFor(
     uint64_t device_identity) const {
   const auto it = roots_.find(device_identity);
-  if (it == roots_.end()) {
+  if (it == roots_.end() || it->second.refs == 0) {
     return Status(NotFoundError(StrFormat(
         "device %llu has no provisioned root of trust",
         static_cast<unsigned long long>(device_identity))));

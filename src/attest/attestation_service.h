@@ -30,16 +30,19 @@ class AttestationService {
   // acquire and retires on teardown, and the root survives until the last
   // holder lets go.
   void ProvisionDevice(uint64_t device_identity);
-  // Drops one provisioning reference; the root of trust is destroyed when
+  // Drops one provisioning reference; the root of trust goes dormant when
   // the count reaches zero. Idempotent: retiring an unknown identity is a
-  // no-op.
+  // no-op. The derived key itself is memoized across retire/re-provision —
+  // derivation is deterministic in (vendor root, identity), so caching it
+  // only skips the Sha256 chain, never changes a quote. Dormant roots are
+  // invisible to every query (IsProvisioned/RotFor/provisioned_count).
   void RetireDevice(uint64_t device_identity);
   bool IsProvisioned(uint64_t device_identity) const;
   // Provisioning references currently held on `device_identity` (0 when
   // not provisioned).
   int64_t ProvisionRefs(uint64_t device_identity) const;
-  // Number of distinct identities with a live root of trust.
-  size_t provisioned_count() const { return roots_.size(); }
+  // Number of distinct identities with a live (ref'd) root of trust.
+  size_t provisioned_count() const { return live_roots_; }
 
   // Quote over a launched environment's measurement and isolation claim.
   Result<Quote> QuoteEnvironment(const ExecEnvironment& env);
@@ -73,6 +76,7 @@ class AttestationService {
   Key256 vendor_root_;
   IdGenerator<QuoteId> quote_ids_;
   std::unordered_map<uint64_t, ProvisionedRoot> roots_;
+  size_t live_roots_ = 0;  // entries with refs > 0
 };
 
 }  // namespace udc

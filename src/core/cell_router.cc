@@ -1,0 +1,285 @@
+#include "src/core/cell_router.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace udc {
+
+namespace {
+
+// Routing keys off cpu-blade headroom: every task DAG demands cpu, so the
+// cpu partition tracks overall cell pressure. Specs dominated by another
+// kind still land correctly — the home cell's rejection spills them through
+// the fallback order.
+constexpr DeviceKind kRoutingKind = DeviceKind::kCpuBlade;
+
+}  // namespace
+
+CellRouter::CellRouter(Simulation* sim, DisaggregatedDatacenter* datacenter,
+                       Fabric* fabric, EnvManager* env_manager,
+                       AttestationService* attestation,
+                       const PriceList* prices, SchedulerConfig base)
+    : sim_(sim), datacenter_(datacenter),
+      engine_(sim, datacenter, env_manager, attestation),
+      record_place_latency_(base.record_place_latency),
+      cross_cell_deploys_(
+          sim->metrics().CounterSeries("sched.cross_cell_deploys")),
+      cell_fallbacks_(sim->metrics().CounterSeries("sched.cell_fallbacks")) {
+  const int cells = datacenter->topology().cell_count();
+  assert(cells > 0 && "CellRouter requires a cell-partitioned topology");
+  cells_.reserve(static_cast<size_t>(cells));
+  cell_deploys_.reserve(static_cast<size_t>(cells));
+  cell_span_sets_.reserve(static_cast<size_t>(cells));
+  if (record_place_latency_) {
+    place_latency_us_ =
+        sim->metrics().EnableSketchHistogram("sched.cell_place_latency_us");
+    cell_place_latency_us_.reserve(static_cast<size_t>(cells));
+  }
+  for (int c = 0; c < cells; ++c) {
+    SchedulerConfig config = base;
+    config.cell = c;
+    // The cell schedulers never open their own deploy transactions (the
+    // router's engine owns those), so their per-deploy latency series would
+    // double-count; the router records routed latency itself.
+    config.record_place_latency = false;
+    cells_.push_back(std::make_unique<UdcScheduler>(
+        sim, datacenter, fabric, env_manager, attestation, prices, config));
+    const MetricLabels labels = {{"cell", StrFormat("%d", c)}};
+    cell_deploys_.push_back(
+        sim->metrics().CounterSeries("sched.cell_deploys", labels));
+    cell_span_sets_.push_back(
+        sim->spans().InternLabelSet({{"cell", StrFormat("%d", c)}}));
+    if (record_place_latency_) {
+      cell_place_latency_us_.push_back(sim->metrics().EnableSketchHistogram(
+          "sched.cell_place_latency_us", labels));
+    }
+  }
+}
+
+void CellRouter::SetSequencer(SwitchSequencer* sequencer) {
+  for (auto& cell : cells_) {
+    cell->SetSequencer(sequencer);
+  }
+}
+
+const std::vector<int64_t>& CellRouter::CellFreeSummary(
+    DeviceKind kind) const {
+  return datacenter_->pool(kind)
+      .PlacementIndex(datacenter_->topology())
+      .cell_free();
+}
+
+int64_t CellRouter::CellDeploys(int c) const {
+  return sim_->metrics().value(cell_deploys_[static_cast<size_t>(c)]);
+}
+
+int64_t CellRouter::cross_cell_deploys() const {
+  return sim_->metrics().value(cross_cell_deploys_);
+}
+
+int64_t CellRouter::cell_fallbacks() const {
+  return sim_->metrics().value(cell_fallbacks_);
+}
+
+int CellRouter::RouteCell() const {
+  const std::vector<int64_t>& free = CellFreeSummary(kRoutingKind);
+  int best = 0;
+  for (size_t c = 1; c < free.size(); ++c) {
+    if (free[c] > free[static_cast<size_t>(best)]) {
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+std::vector<int> CellRouter::FallbackOrder(int home) const {
+  const std::vector<int64_t>& free = CellFreeSummary(kRoutingKind);
+  std::vector<int> order;
+  order.reserve(cells_.size() - 1);
+  for (int c = 0; c < cell_count(); ++c) {
+    if (c != home) {
+      order.push_back(c);
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const int64_t fa = free[static_cast<size_t>(a)];
+    const int64_t fb = free[static_cast<size_t>(b)];
+    if (fa != fb) {
+      return fa > fb;
+    }
+    return a < b;
+  });
+  return order;
+}
+
+Result<std::unique_ptr<Deployment>> CellRouter::Deploy(TenantId tenant,
+                                                       const AppSpec& spec) {
+  return DeployOneRouted(tenant, std::make_shared<const AppSpec>(spec),
+                         /*batch=*/nullptr);
+}
+
+Result<std::unique_ptr<Deployment>> CellRouter::Deploy(
+    TenantId tenant, std::shared_ptr<const AppSpec> spec) {
+  return DeployOneRouted(tenant, std::move(spec), /*batch=*/nullptr);
+}
+
+std::vector<Result<std::unique_ptr<Deployment>>> CellRouter::DeployAll(
+    TenantId tenant, const std::vector<const AppSpec*>& specs) {
+  ScopedSpan span = sim_->Scope(
+      "sched", "sched.deploy_batch",
+      {{"specs", StrFormat("%zu", specs.size())},
+       {"tenant", StrFormat("%llu",
+                            static_cast<unsigned long long>(tenant.value()))}});
+  UdcScheduler::BatchContext batch;
+  std::vector<Result<std::unique_ptr<Deployment>>> results;
+  results.reserve(specs.size());
+  for (const AppSpec* spec : specs) {
+    results.push_back(
+        DeployOneRouted(tenant, std::make_shared<const AppSpec>(*spec),
+                        &batch));
+  }
+  return results;
+}
+
+Result<std::unique_ptr<Deployment>> CellRouter::DeployOneRouted(
+    TenantId tenant, std::shared_ptr<const AppSpec> shared_spec,
+    UdcScheduler::BatchContext* batch) {
+  const AppSpec& spec = *shared_spec;
+  // Wall-clock placement cost per routed deploy, observed on every exit
+  // path into the aggregate and home-cell sketches (the per-cell p99 the
+  // scale bench reports). Guarded like UdcScheduler's latency scope.
+  struct LatencyScope {
+    CellRouter* router;
+    int home = -1;
+    std::chrono::steady_clock::time_point start;
+    explicit LatencyScope(CellRouter* r) : router(r) {
+      if (router->record_place_latency_) {
+        start = std::chrono::steady_clock::now();
+      }
+    }
+    ~LatencyScope() {
+      if (router->record_place_latency_) {
+        const auto elapsed = std::chrono::steady_clock::now() - start;
+        const double us =
+            std::chrono::duration<double, std::micro>(elapsed).count();
+        router->sim_->metrics().Observe(router->place_latency_us_, us);
+        if (home >= 0) {
+          router->sim_->metrics().Observe(
+              router->cell_place_latency_us_[static_cast<size_t>(home)], us);
+        }
+      }
+    }
+  } latency_scope(this);
+
+  UDC_RETURN_IF_ERROR(spec.graph.Validate());
+  for (const auto& [module, aspects] : spec.aspects) {
+    UDC_RETURN_IF_ERROR(ValidateAspects(aspects));
+  }
+
+  const int home = RouteCell();
+  latency_scope.home = home;
+
+  // Interned per-cell label set: routed deploys are the hot path, so the
+  // span costs no label formatting (batched deploys ride the batch span).
+  uint64_t span_id = 0;
+  if (batch == nullptr) {
+    span_id = sim_->spans().BeginWithSet(
+        "sched", "sched.deploy",
+        cell_span_sets_[static_cast<size_t>(home)]);
+  }
+  auto deployment = std::make_unique<Deployment>(
+      tenant, std::move(shared_spec), datacenter_, sim_->now(),
+      engine_.env_manager(), engine_.attestation());
+  PlacementTxn txn = engine_.Begin("deploy");
+  bool spanned_cells = false;
+
+  const auto fail = [&](Status status) -> Status {
+    txn.Abort();
+    deployment->Abandon();
+    if (batch != nullptr) {
+      batch->free_by_rack_valid.fill(false);
+    }
+    if (span_id != 0) {
+      sim_->spans().End(span_id);
+    }
+    return status;
+  };
+
+  // Places one module: home cell first; on rejection the module's partial
+  // sub-plan unwinds in reverse (AbortTo) and the remaining cells are tried
+  // in free-capacity order. Earlier cells' staged sub-plans stay intact —
+  // the deploy remains one transaction.
+  const auto place = [&](ModuleId module, bool is_data) -> Status {
+    size_t mark = txn.staged_ops();
+    Status status = cells_[static_cast<size_t>(home)]->PlaceModuleInTxn(
+        tenant, spec, module, is_data, deployment.get(), txn, batch);
+    if (status.ok()) {
+      return status;
+    }
+    txn.AbortTo(mark);
+    if (batch != nullptr) {
+      // The failed attempt's cached rack debits were just undone.
+      batch->free_by_rack_valid.fill(false);
+    }
+    for (const int c : FallbackOrder(home)) {
+      mark = txn.staged_ops();
+      status = cells_[static_cast<size_t>(c)]->PlaceModuleInTxn(
+          tenant, spec, module, is_data, deployment.get(), txn, batch);
+      if (status.ok()) {
+        spanned_cells = true;
+        sim_->metrics().Increment(cell_fallbacks_);
+        return status;
+      }
+      txn.AbortTo(mark);
+      if (batch != nullptr) {
+        batch->free_by_rack_valid.fill(false);
+      }
+    }
+    return status;  // the last cell's rejection
+  };
+
+  // Same admission order as UdcScheduler::DeployOne: data modules first,
+  // then tasks topologically.
+  for (const ModuleId data : spec.graph.DataIds()) {
+    Status status = place(data, /*is_data=*/true);
+    if (!status.ok()) {
+      return fail(std::move(status));
+    }
+  }
+  const auto topo = spec.graph.TopoOrder();
+  if (!topo.ok()) {
+    return fail(topo.status());
+  }
+  for (const ModuleId task : *topo) {
+    Status status = place(task, /*is_data=*/false);
+    if (!status.ok()) {
+      return fail(std::move(status));
+    }
+  }
+  const Status committed = txn.Commit();
+  if (!committed.ok()) {
+    if (span_id != 0) {
+      sim_->spans().End(span_id);
+    }
+    return committed;
+  }
+
+  sim_->metrics().Increment(cell_deploys_[static_cast<size_t>(home)]);
+  if (spanned_cells) {
+    sim_->metrics().Increment(cross_cell_deploys_);
+  }
+  if (span_id != 0) {
+    sim_->spans().End(span_id);
+  }
+  UDC_LOG(Info) << "deployed " << spec.graph.app_name() << " for tenant "
+                << tenant.value() << " in cell " << home
+                << (spanned_cells ? " (+spill)" : "");
+  return deployment;
+}
+
+}  // namespace udc

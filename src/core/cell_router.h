@@ -1,0 +1,106 @@
+// Hierarchical control plane: per-cell schedulers under a thin root router.
+//
+// The topology's racks are partitioned into cells (Topology::SetCellCount);
+// each cell gets its own UdcScheduler scoped to that cell (SchedulerConfig::
+// cell), so every placement decision inside a cell touches only the cell's
+// slice of the FreeCapacityIndex — O(racks/cells) rack picks over a private
+// capacity partition. The router above them:
+//
+//   * routes each deploy to a home cell using the index's per-cell healthy
+//     free totals (FreeCapacityIndex::cell_free — a summary maintained by
+//     commit/release deltas, never by rescans);
+//   * runs the whole deploy as ONE placement transaction from its own
+//     PlacementEngine. When the home cell rejects a module, the module's
+//     partially-staged sub-plan is unwound in reverse with
+//     PlacementTxn::AbortTo and the module is retried in the remaining
+//     cells in free-capacity order (batched cross-cell admission). A module
+//     no cell admits aborts the full transaction — all cells' sub-plans
+//     unwind in reverse staging order, so multi-cell deploys keep exactly
+//     the single-scheduler atomicity contract (and the no-raw-Allocate
+//     invariant: every mutation still flows through PlacementTxn).
+//
+// The legacy single-scheduler path is untouched (UdcCloud uses the router
+// only when DatacenterConfig::cells > 0) and serves as the differential
+// oracle: same workload, same success/failure decisions, same final pool
+// occupancy (tests/cell_router_test.cc).
+
+#ifndef UDC_SRC_CORE_CELL_ROUTER_H_
+#define UDC_SRC_CORE_CELL_ROUTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/scheduler.h"
+
+namespace udc {
+
+class CellRouter {
+ public:
+  // `base` is the per-cell scheduler configuration; its `cell` field is
+  // overwritten per instance. Requires a cell-partitioned topology.
+  CellRouter(Simulation* sim, DisaggregatedDatacenter* datacenter,
+             Fabric* fabric, EnvManager* env_manager,
+             AttestationService* attestation, const PriceList* prices,
+             SchedulerConfig base = SchedulerConfig());
+
+  // Routed deploy: picks a home cell by free-capacity summary, places the
+  // DAG through that cell's scheduler inside one transaction, spilling
+  // modules to other cells only when the home cell rejects them.
+  Result<std::unique_ptr<Deployment>> Deploy(TenantId tenant,
+                                             const AppSpec& spec);
+  // Shared-spec overload: no per-deployment spec copy (see
+  // UdcScheduler::Deploy).
+  Result<std::unique_ptr<Deployment>> Deploy(
+      TenantId tenant, std::shared_ptr<const AppSpec> spec);
+  // Batched deploys share one demand/rack-score cache across the batch
+  // (and across cells). Results are positional, like UdcScheduler::DeployAll.
+  std::vector<Result<std::unique_ptr<Deployment>>> DeployAll(
+      TenantId tenant, const std::vector<const AppSpec*>& specs);
+
+  int cell_count() const { return static_cast<int>(cells_.size()); }
+  UdcScheduler& cell(int c) { return *cells_[static_cast<size_t>(c)]; }
+  PlacementEngine& engine() { return engine_; }
+
+  void SetSequencer(SwitchSequencer* sequencer);
+
+  // Per-cell healthy free capacity of `kind` — the routing summary.
+  const std::vector<int64_t>& CellFreeSummary(DeviceKind kind) const;
+  // Deploys homed to `c` / deploys that spanned more than one cell /
+  // module placements that left their home cell (from the interned
+  // sched.cell_* counters).
+  int64_t CellDeploys(int c) const;
+  int64_t cross_cell_deploys() const;
+  int64_t cell_fallbacks() const;
+
+ private:
+  // The cell with the most healthy free capacity of the routing kind
+  // (cpu blades: every spec's tasks demand cpu); ties to the lowest cell.
+  int RouteCell() const;
+  // Remaining cells ordered by (free desc, cell asc), excluding `home`.
+  std::vector<int> FallbackOrder(int home) const;
+
+  Result<std::unique_ptr<Deployment>> DeployOneRouted(
+      TenantId tenant, std::shared_ptr<const AppSpec> spec,
+      UdcScheduler::BatchContext* batch);
+
+  Simulation* sim_;
+  DisaggregatedDatacenter* datacenter_;
+  PlacementEngine engine_;
+  std::vector<std::unique_ptr<UdcScheduler>> cells_;
+  bool record_place_latency_;
+
+  // Interned per-cell series/labels: the router is on the per-deploy hot
+  // path, so nothing here formats strings per call.
+  std::vector<CounterHandle> cell_deploys_;
+  CounterHandle cross_cell_deploys_;
+  CounterHandle cell_fallbacks_;
+  std::vector<uint32_t> cell_span_sets_;  // {{"cell", c}} for sched.deploy
+  // Only interned when record_place_latency (wall-clock; see
+  // SchedulerConfig::record_place_latency): aggregate + per-cell sketches.
+  HistogramHandle place_latency_us_;
+  std::vector<HistogramHandle> cell_place_latency_us_;
+};
+
+}  // namespace udc
+
+#endif  // UDC_SRC_CORE_CELL_ROUTER_H_

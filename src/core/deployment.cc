@@ -10,6 +10,12 @@ namespace udc {
 Deployment::Deployment(TenantId tenant, AppSpec spec,
                        DisaggregatedDatacenter* datacenter, SimTime deployed_at,
                        EnvManager* env_manager, AttestationService* attestation)
+    : Deployment(tenant, std::make_shared<const AppSpec>(std::move(spec)),
+                 datacenter, deployed_at, env_manager, attestation) {}
+
+Deployment::Deployment(TenantId tenant, std::shared_ptr<const AppSpec> spec,
+                       DisaggregatedDatacenter* datacenter, SimTime deployed_at,
+                       EnvManager* env_manager, AttestationService* attestation)
     : tenant_(tenant), spec_(std::move(spec)), datacenter_(datacenter),
       deployed_at_(deployed_at), env_manager_(env_manager),
       attestation_(attestation) {}
@@ -140,7 +146,8 @@ std::string Deployment::DebugString() const {
   std::string out =
       StrFormat("deployment tenant=%llu app=%s: %zu objects, %zu units\n",
                 static_cast<unsigned long long>(tenant_.value()),
-                spec_.graph.app_name().c_str(), objects_.size(), units_.size());
+                spec_->graph.app_name().c_str(), objects_.size(),
+                units_.size());
   for (const auto& [module, p] : placements_) {
     out += StrFormat("  %-8s rack=%d home=%llu %s\n", p.name.c_str(), p.rack,
                      static_cast<unsigned long long>(p.home.value()),

@@ -52,13 +52,21 @@ class Deployment {
   Deployment(TenantId tenant, AppSpec spec, DisaggregatedDatacenter* datacenter,
              SimTime deployed_at, EnvManager* env_manager = nullptr,
              AttestationService* attestation = nullptr);
+  // Shared-spec overload: the deployment keeps a reference to the caller's
+  // immutable spec instead of deep-copying it. At 1M+ tenants deploying a
+  // catalog of app shapes, per-deployment spec copies dominate control-plane
+  // memory and a measurable slice of deploy latency.
+  Deployment(TenantId tenant, std::shared_ptr<const AppSpec> spec,
+             DisaggregatedDatacenter* datacenter, SimTime deployed_at,
+             EnvManager* env_manager = nullptr,
+             AttestationService* attestation = nullptr);
   ~Deployment();
 
   Deployment(const Deployment&) = delete;
   Deployment& operator=(const Deployment&) = delete;
 
   TenantId tenant() const { return tenant_; }
-  const AppSpec& spec() const { return spec_; }
+  const AppSpec& spec() const { return *spec_; }
   SimTime deployed_at() const { return deployed_at_; }
   DisaggregatedDatacenter* datacenter() const { return datacenter_; }
 
@@ -102,7 +110,7 @@ class Deployment {
 
  private:
   TenantId tenant_;
-  AppSpec spec_;
+  std::shared_ptr<const AppSpec> spec_;
   DisaggregatedDatacenter* datacenter_;
   SimTime deployed_at_;
   EnvManager* env_manager_;

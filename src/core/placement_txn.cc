@@ -144,37 +144,51 @@ Status PlacementTxn::Commit() {
   return status;
 }
 
+void PlacementTxn::UndoOp(Op& op) {
+  switch (op.kind) {
+    case Op::Kind::kAllocate:
+      (void)op.pool->Release(op.allocation);
+      ++undone_ops_;
+      break;
+    case Op::Kind::kLaunch:
+      (void)engine_->env_manager()->CancelLaunch(op.env);
+      ++undone_ops_;
+      break;
+    case Op::Kind::kProvision:
+      engine_->attestation()->RetireDevice(op.identity);
+      ++undone_ops_;
+      break;
+    case Op::Kind::kCustomUndo:
+      if (op.undo) {
+        op.undo();
+        ++undone_ops_;
+      }
+      break;
+    case Op::Kind::kRelease:
+    case Op::Kind::kStop:
+      break;  // commit-time ops were never applied
+  }
+}
+
 void PlacementTxn::Abort() {
   if (engine_ == nullptr || state_ != State::kOpen) {
     return;
   }
   for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) {
-    switch (it->kind) {
-      case Op::Kind::kAllocate:
-        (void)it->pool->Release(it->allocation);
-        ++undone_ops_;
-        break;
-      case Op::Kind::kLaunch:
-        (void)engine_->env_manager()->CancelLaunch(it->env);
-        ++undone_ops_;
-        break;
-      case Op::Kind::kProvision:
-        engine_->attestation()->RetireDevice(it->identity);
-        ++undone_ops_;
-        break;
-      case Op::Kind::kCustomUndo:
-        if (it->undo) {
-          it->undo();
-          ++undone_ops_;
-        }
-        break;
-      case Op::Kind::kRelease:
-      case Op::Kind::kStop:
-        break;  // commit-time ops were never applied
-    }
+    UndoOp(*it);
   }
   state_ = State::kAborted;
   engine_->NoteClosed(*this, /*committed=*/false);
+}
+
+void PlacementTxn::AbortTo(size_t mark) {
+  if (engine_ == nullptr || state_ != State::kOpen || mark >= ops_.size()) {
+    return;
+  }
+  for (size_t i = ops_.size(); i > mark; --i) {
+    UndoOp(ops_[i - 1]);
+  }
+  ops_.resize(mark);
 }
 
 }  // namespace udc

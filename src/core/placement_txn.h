@@ -92,6 +92,15 @@ class PlacementTxn {
   // Applies the undo log in reverse staging order. Idempotent.
   void Abort();
 
+  // Partial rollback: undoes every op staged at or after `mark` (a value
+  // previously read from staged_ops()) in reverse order, drops those ops,
+  // and leaves the transaction open. This is how a multi-cell admission
+  // aborts one cell's rejected sub-plan — the sub-plan's allocations,
+  // launches and provisions are unwound exactly like Abort would, while
+  // earlier cells' staged work survives for retry elsewhere or Commit.
+  // Commit-time ops inside the range are dropped unapplied.
+  void AbortTo(size_t mark);
+
   State state() const { return state_; }
   size_t staged_ops() const { return ops_.size(); }
 
@@ -116,6 +125,8 @@ class PlacementTxn {
     uint64_t identity = 0;
     std::function<void()> undo;
   };
+
+  void UndoOp(Op& op);
 
   PlacementEngine* engine_;  // null after move-from
   uint64_t span_id_ = 0;     // the sched.txn span, closed by Commit/Abort

@@ -75,22 +75,29 @@ UdcScheduler::UdcScheduler(Simulation* sim, DisaggregatedDatacenter* datacenter,
 int UdcScheduler::PickRack(const AppSpec& spec, ModuleId module,
                            const Deployment& deployment, ResourceKind dominant,
                            BatchContext* batch) {
+  const Topology& topology = datacenter_->topology();
   if (config_.use_locality_hints) {
+    // A cell scheduler only follows locality into racks it owns; a partner
+    // placed in another cell (cross-cell deploy) is not a usable hint.
+    const auto in_scope = [&](int rack) {
+      return config_.cell < 0 || topology.CellOf(rack) == config_.cell;
+    };
     for (const ModuleId partner : spec.graph.LocalityPartners(module)) {
       const Placement* p = deployment.PlacementOf(partner);
-      if (p != nullptr && p->rack >= 0) {
+      if (p != nullptr && p->rack >= 0 && in_scope(p->rack)) {
         return p->rack;
       }
     }
     // Second-order locality: a placed DAG neighbour.
     for (const ModuleId pred : spec.graph.Predecessors(module)) {
       const Placement* p = deployment.PlacementOf(pred);
-      if (p != nullptr && p->rack >= 0) {
+      if (p != nullptr && p->rack >= 0 && in_scope(p->rack)) {
         return p->rack;
       }
     }
   }
-  // Most free capacity of the dominant resource.
+  // Most free capacity of the dominant resource, over this scheduler's rack
+  // range: the whole datacenter, or just the cell's racks (O(racks/cells)).
   const DeviceKind device_kind = DeviceKindFor(dominant);
   const ResourcePool& pool = datacenter_->pool(device_kind);
   const std::vector<int64_t>* free_per_rack = nullptr;
@@ -100,34 +107,42 @@ int UdcScheduler::PickRack(const AppSpec& spec, ModuleId module,
     // by NoteBatchAllocation as slices land.
     const auto index = static_cast<size_t>(device_kind);
     if (!batch->free_by_rack_valid[index]) {
-      batch->free_by_rack[index] =
-          pool.HealthyFreeByRack(datacenter_->topology());
+      batch->free_by_rack[index] = pool.HealthyFreeByRack(topology);
       batch->free_by_rack_valid[index] = true;
     }
     free_per_rack = &batch->free_by_rack[index];
   } else if (config_.use_placement_index) {
-    // Incremental per-rack totals, O(racks).
-    scratch = pool.HealthyFreeByRack(datacenter_->topology());
-    free_per_rack = &scratch;
+    // Incremental per-rack totals, read in place (no per-module copy).
+    free_per_rack = &pool.PlacementIndex(topology).rack_free_totals();
   } else {
     // Legacy full-pool scan, kept as the benchmark baseline.
-    scratch.assign(static_cast<size_t>(datacenter_->topology().rack_count()),
-                   0);
+    scratch.assign(static_cast<size_t>(topology.rack_count()), 0);
     for (const Device* d : pool.devices()) {
-      const int rack = datacenter_->topology().RackOf(d->node());
+      const int rack = topology.RackOf(d->node());
       if (rack >= 0 && d->healthy()) {
         scratch[static_cast<size_t>(rack)] += d->free_capacity();
       }
     }
     free_per_rack = &scratch;
   }
-  int best = 0;
-  for (size_t r = 1; r < free_per_rack->size(); ++r) {
-    if ((*free_per_rack)[r] > (*free_per_rack)[static_cast<size_t>(best)]) {
-      best = static_cast<int>(r);
+  size_t r_begin = 0;
+  size_t r_end = free_per_rack->size();
+  if (config_.cell >= 0) {
+    r_begin = std::min(
+        static_cast<size_t>(topology.CellRackBegin(config_.cell)), r_end);
+    r_end = std::min(static_cast<size_t>(topology.CellRackEnd(config_.cell)),
+                     r_end);
+  }
+  if (r_begin >= r_end) {
+    return config_.cell >= 0 ? topology.CellRackBegin(config_.cell) : 0;
+  }
+  size_t best = r_begin;
+  for (size_t r = r_begin + 1; r < r_end; ++r) {
+    if ((*free_per_rack)[r] > (*free_per_rack)[best]) {
+      best = r;
     }
   }
-  return best;
+  return static_cast<int>(best);
 }
 
 void UdcScheduler::NoteBatchAllocation(BatchContext* batch, DeviceKind kind,
@@ -200,6 +215,10 @@ Status UdcScheduler::PlaceTask(TenantId tenant, const AppSpec& spec,
     }
     AllocationConstraints constraints;
     constraints.preferred_rack = rack;
+    if (config_.cell >= 0) {
+      constraints.preferred_cell = config_.cell;
+      constraints.strict_cell = true;
+    }
     constraints.single_device = IsComputeKind(kind);
     constraints.require_exclusive = single_tenant && IsComputeKind(kind);
     const DeviceKind device_kind = DeviceKindFor(kind);
@@ -334,6 +353,10 @@ Status UdcScheduler::PlaceData(TenantId tenant, const AppSpec& spec,
   std::vector<DeviceId> replica_devices;
   AllocationConstraints constraints;
   constraints.preferred_rack = rack;
+  if (config_.cell >= 0) {
+    constraints.preferred_cell = config_.cell;
+    constraints.strict_cell = true;
+  }
   constraints.single_device = true;
   const DeviceKind device_kind = DeviceKindFor(medium);
   for (int r = 0; r < replicas; ++r) {
@@ -398,7 +421,21 @@ Status UdcScheduler::PlaceData(TenantId tenant, const AppSpec& spec,
 
 Result<std::unique_ptr<Deployment>> UdcScheduler::Deploy(TenantId tenant,
                                                          const AppSpec& spec) {
-  return DeployOne(tenant, spec, /*batch=*/nullptr);
+  return DeployOne(tenant, std::make_shared<const AppSpec>(spec),
+                   /*batch=*/nullptr);
+}
+
+Result<std::unique_ptr<Deployment>> UdcScheduler::Deploy(
+    TenantId tenant, std::shared_ptr<const AppSpec> spec) {
+  return DeployOne(tenant, std::move(spec), /*batch=*/nullptr);
+}
+
+Status UdcScheduler::PlaceModuleInTxn(TenantId tenant, const AppSpec& spec,
+                                      ModuleId module, bool is_data,
+                                      Deployment* deployment,
+                                      PlacementTxn& txn, BatchContext* batch) {
+  return is_data ? PlaceData(tenant, spec, module, deployment, txn, batch)
+                 : PlaceTask(tenant, spec, module, deployment, txn, batch);
 }
 
 std::vector<Result<std::unique_ptr<Deployment>>> UdcScheduler::DeployAll(
@@ -412,13 +449,16 @@ std::vector<Result<std::unique_ptr<Deployment>>> UdcScheduler::DeployAll(
   std::vector<Result<std::unique_ptr<Deployment>>> results;
   results.reserve(specs.size());
   for (const AppSpec* spec : specs) {
-    results.push_back(DeployOne(tenant, *spec, &batch));
+    results.push_back(
+        DeployOne(tenant, std::make_shared<const AppSpec>(*spec), &batch));
   }
   return results;
 }
 
 Result<std::unique_ptr<Deployment>> UdcScheduler::DeployOne(
-    TenantId tenant, const AppSpec& spec, BatchContext* batch) {
+    TenantId tenant, std::shared_ptr<const AppSpec> shared_spec,
+    BatchContext* batch) {
+  const AppSpec& spec = *shared_spec;
   // Wall-clock (not sim-time) placement cost, observed on every exit path.
   // Guarded so runs without the flag never touch the host clock.
   struct LatencyScope {
@@ -456,7 +496,8 @@ Result<std::unique_ptr<Deployment>> UdcScheduler::DeployOne(
           StrFormat("%llu", static_cast<unsigned long long>(tenant.value()))}}));
   }
   auto deployment = std::make_unique<Deployment>(
-      tenant, spec, datacenter_, sim_->now(), env_manager_, attestation_);
+      tenant, std::move(shared_spec), datacenter_, sim_->now(), env_manager_,
+      attestation_);
   PlacementTxn txn = engine_.Begin("deploy");
 
   // On any failure: abort the transaction (undoing every staged allocation,

@@ -52,6 +52,11 @@ struct SchedulerConfig {
   // interned when this is set — even an empty histogram changes the
   // exposition text.
   bool record_place_latency = false;
+  // Scope this scheduler to one topology cell (control-plane shard): rack
+  // picks scan only the cell's racks, locality hints outside the cell are
+  // ignored, and every pool request carries strict_cell so placements never
+  // leave the capacity partition this scheduler owns. -1 = whole datacenter.
+  int cell = -1;
 };
 
 class UdcScheduler {
@@ -68,6 +73,12 @@ class UdcScheduler {
   // back.
   Result<std::unique_ptr<Deployment>> Deploy(TenantId tenant,
                                              const AppSpec& spec);
+  // Shared-spec overload: the deployment references the caller's immutable
+  // spec instead of deep-copying it — the cheap path when one catalog spec
+  // is deployed for many tenants. The spec must not be mutated while any
+  // deployment references it.
+  Result<std::unique_ptr<Deployment>> Deploy(
+      TenantId tenant, std::shared_ptr<const AppSpec> spec);
 
   // Batched deploy: realizes each spec for `tenant`, resolving module
   // demands and scoring racks once per batch instead of once per deploy.
@@ -83,16 +94,29 @@ class UdcScheduler {
   // Optional: attach a switch sequencer for in-network replication.
   void SetSequencer(SwitchSequencer* sequencer) { sequencer_ = sequencer; }
 
- private:
   // Per-batch caches for DeployAll: rack free-capacity vectors per device
   // kind (maintained incrementally as allocations land) and resolved module
   // demands keyed by module identity (batches redeploy the same specs).
+  // Public so the cell router can share one context across cell schedulers
+  // (demand resolution is cell-independent; the rack debits are rack-exact).
   struct BatchContext {
     std::array<std::vector<int64_t>, kNumDeviceKinds> free_by_rack;
     std::array<bool, kNumDeviceKinds> free_by_rack_valid{};
     std::map<const Module*, ResolvedDemand> demands;
   };
 
+  // Places one module of `spec` into an already-open transaction owned by
+  // the caller — the cell router's entry point for multi-cell admission.
+  // Stages allocations/launch/provisions into `txn` and records the module
+  // on `deployment` exactly like Deploy's per-module step. On failure the
+  // txn is left open with this module's partial sub-plan still staged; the
+  // caller unwinds it with PlacementTxn::AbortTo (or aborts the whole txn).
+  Status PlaceModuleInTxn(TenantId tenant, const AppSpec& spec,
+                          ModuleId module, bool is_data,
+                          Deployment* deployment, PlacementTxn& txn,
+                          BatchContext* batch);
+
+ private:
   // Picks the rack for `module`: the rack of an already-placed locality
   // partner when hints are on, else the rack with the most free capacity of
   // the module's dominant resource (served from `batch`'s cache when set).
@@ -108,9 +132,9 @@ class UdcScheduler {
                                    const ResourceAspect& aspect,
                                    BatchContext* batch);
 
-  Result<std::unique_ptr<Deployment>> DeployOne(TenantId tenant,
-                                                const AppSpec& spec,
-                                                BatchContext* batch);
+  Result<std::unique_ptr<Deployment>> DeployOne(
+      TenantId tenant, std::shared_ptr<const AppSpec> spec,
+      BatchContext* batch);
   Status PlaceTask(TenantId tenant, const AppSpec& spec, ModuleId module,
                    Deployment* deployment, PlacementTxn& txn,
                    BatchContext* batch);

@@ -17,6 +17,12 @@ UdcCloud::UdcCloud(const UdcCloudConfig& config)
       failure_injector_(&sim_),
       verifier_(&sim_, vendor_root_, &attestation_) {
   scheduler_.SetSequencer(&sequencer_);
+  if (datacenter_.topology().cell_count() > 0) {
+    cell_router_ = std::make_unique<CellRouter>(
+        &sim_, &datacenter_, &fabric_, &env_manager_, &attestation_, &prices_,
+        config.scheduler);
+    cell_router_->SetSequencer(&sequencer_);
+  }
 }
 
 TenantId UdcCloud::RegisterTenant(const std::string& name) {
@@ -34,11 +40,25 @@ const std::string& UdcCloud::TenantName(TenantId id) const {
 
 Result<std::unique_ptr<Deployment>> UdcCloud::Deploy(TenantId tenant,
                                                      const AppSpec& spec) {
+  if (cell_router_ != nullptr) {
+    return cell_router_->Deploy(tenant, spec);
+  }
   return scheduler_.Deploy(tenant, spec);
+}
+
+Result<std::unique_ptr<Deployment>> UdcCloud::Deploy(
+    TenantId tenant, std::shared_ptr<const AppSpec> spec) {
+  if (cell_router_ != nullptr) {
+    return cell_router_->Deploy(tenant, std::move(spec));
+  }
+  return scheduler_.Deploy(tenant, std::move(spec));
 }
 
 std::vector<Result<std::unique_ptr<Deployment>>> UdcCloud::DeployAll(
     TenantId tenant, const std::vector<const AppSpec*>& specs) {
+  if (cell_router_ != nullptr) {
+    return cell_router_->DeployAll(tenant, specs);
+  }
   return scheduler_.DeployAll(tenant, specs);
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/core/billing.h"
+#include "src/core/cell_router.h"
 #include "src/core/runtime.h"
 #include "src/core/scheduler.h"
 #include "src/core/verifier.h"
@@ -55,9 +56,17 @@ class UdcCloud {
   TenantId RegisterTenant(const std::string& name);
   const std::string& TenantName(TenantId id) const;
 
-  // --- Deployment.
+  // --- Deployment. With DatacenterConfig::cells > 0 deploys route through
+  // the hierarchical control plane (CellRouter over per-cell schedulers);
+  // otherwise the single scheduler places directly.
   Result<std::unique_ptr<Deployment>> Deploy(TenantId tenant,
                                              const AppSpec& spec);
+  // Shared-spec overload: the deployment references the caller's immutable
+  // spec instead of copying it — the cheap path when one catalog spec is
+  // deployed for many tenants (keep the spec alive and unchanged while
+  // deployments reference it).
+  Result<std::unique_ptr<Deployment>> Deploy(
+      TenantId tenant, std::shared_ptr<const AppSpec> spec);
   // Batched deploy: demands resolved and racks scored once per batch.
   // Each spec commits/aborts its own placement transaction; results are
   // positional.
@@ -74,6 +83,8 @@ class UdcCloud {
   EnvManager& envs() { return env_manager_; }
   AttestationService& attestation() { return attestation_; }
   UdcScheduler& scheduler() { return scheduler_; }
+  // Non-null only when the datacenter is cell-partitioned.
+  CellRouter* cell_router() { return cell_router_.get(); }
   BillingEngine& billing() { return billing_; }
   FailureInjector& failures() { return failure_injector_; }
   SwitchSequencer& sequencer() { return sequencer_; }
@@ -90,6 +101,7 @@ class UdcCloud {
   AttestationService attestation_;
   PriceList prices_;
   UdcScheduler scheduler_;
+  std::unique_ptr<CellRouter> cell_router_;  // only when cells > 0
   BillingEngine billing_;
   FailureInjector failure_injector_;
   FulfillmentVerifier verifier_;

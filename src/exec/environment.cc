@@ -177,22 +177,21 @@ EnvKind ProviderChoiceFor(IsolationLevel level, bool needs_gpu,
 ExecEnvironment::ExecEnvironment(uint64_t id, EnvKind kind, TenancyMode tenancy,
                                  TenantId tenant, NodeId node)
     : id_(id), kind_(kind), tenancy_(tenancy), tenant_(tenant), node_(node),
-      profile_(EnvProfile::DefaultFor(kind)) {
-  RecomputeMeasurement();
-}
+      profile_(EnvProfile::DefaultFor(kind)) {}
 
 void ExecEnvironment::SetImage(std::string_view image_name) {
   image_ = std::string(image_name);
-  RecomputeMeasurement();
+  measurement_dirty_ = true;
 }
 
-void ExecEnvironment::RecomputeMeasurement() {
+void ExecEnvironment::RecomputeMeasurement() const {
   const std::string manifest = StrFormat(
       "env kind=%s tenancy=%s tenant=%llu image=%s",
       std::string(EnvKindName(kind_)).c_str(),
       tenancy_ == TenancyMode::kSingleTenant ? "single" : "shared",
       static_cast<unsigned long long>(tenant_.value()), image_.c_str());
   measurement_ = Sha256::Hash(manifest);
+  measurement_dirty_ = false;
 }
 
 SimTime ExecEnvironment::AdjustCompute(SimTime raw) const {

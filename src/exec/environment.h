@@ -126,8 +126,15 @@ class ExecEnvironment {
   void set_started_warm(bool warm) { started_warm_ = warm; }
 
   // Measurement of the launched image+config, extended into attestation
-  // quotes. Deterministic over (kind, tenancy, tenant, image).
-  const Sha256Digest& measurement() const { return measurement_; }
+  // quotes. Deterministic over (kind, tenancy, tenant, image); hashed
+  // lazily on first read so launches that are never attested (the common
+  // case on the deploy hot path) pay no hashing cost.
+  const Sha256Digest& measurement() const {
+    if (measurement_dirty_) {
+      RecomputeMeasurement();
+    }
+    return measurement_;
+  }
   void SetImage(std::string_view image_name);
 
   // Compute time after applying this environment's CPU overhead.
@@ -136,7 +143,7 @@ class ExecEnvironment {
   std::string DebugString() const;
 
  private:
-  void RecomputeMeasurement();
+  void RecomputeMeasurement() const;
 
   uint64_t id_;
   EnvKind kind_;
@@ -148,7 +155,8 @@ class ExecEnvironment {
   SimTime ready_at_;
   bool started_warm_ = false;
   std::string image_ = "default";
-  Sha256Digest measurement_{};
+  mutable Sha256Digest measurement_{};
+  mutable bool measurement_dirty_ = true;
 };
 
 }  // namespace udc

@@ -8,6 +8,7 @@ void FreeCapacityIndex::Attach(Device* device) {
   DeviceState& state = states_[device];
   state.rack = -1;
   state.healthy = device->healthy();
+  state.rack_list = &per_rack_[-1];
   ++unassigned_;
   total_capacity_ += device->capacity();
   total_allocated_ += device->allocated();
@@ -17,6 +18,7 @@ void FreeCapacityIndex::Attach(Device* device) {
   }
   List(device, state);
   device->set_capacity_index(this);
+  device->set_index_state(&state);
 }
 
 void FreeCapacityIndex::AssignRacks(const Topology& topology) {
@@ -25,6 +27,11 @@ void FreeCapacityIndex::AssignRacks(const Topology& topology) {
   }
   if (static_cast<int>(rack_free_.size()) < topology.rack_count()) {
     rack_free_.resize(topology.rack_count(), 0);
+  }
+  if (topology.cell_count() > cell_count_) {
+    cell_count_ = topology.cell_count();
+    per_cell_.resize(cell_count_);
+    cell_free_.resize(cell_count_, 0);
   }
   for (auto& [device, state] : states_) {
     if (state.rack != -1) {
@@ -40,22 +47,44 @@ void FreeCapacityIndex::AssignRacks(const Topology& topology) {
     }
     Unlist(device, state);
     state.rack = rack;
+    state.cell = topology.CellOf(rack);
+    state.rack_list = &per_rack_[rack];
     if (rack >= static_cast<int>(rack_free_.size())) {
       rack_free_.resize(rack + 1, 0);
     }
     if (state.healthy) {
       rack_free_[rack] += device->free_capacity();
+      if (state.cell >= 0) {
+        cell_free_[state.cell] += device->free_capacity();
+      }
     }
     List(device, state);
   }
 }
 
-void FreeCapacityIndex::OnFreeChanged(Device* device, int64_t old_free) {
-  auto it = states_.find(device);
-  if (it == states_.end()) {
+namespace {
+
+// Moves `list`'s node for `old_entry` to key `new_free` without freeing or
+// reallocating the tree node (extract + reinsert) — alloc/release changes a
+// device's key in the same two lists, so the steady state churns no memory.
+void RelinkEntry(FreeCapacityIndex::OrderedFreeList& list,
+                 const FreeCapacityIndex::Entry& old_entry, int64_t new_free) {
+  auto node = list.extract(old_entry);
+  if (node.empty()) {
     return;
   }
-  DeviceState& state = it->second;
+  node.value().free = new_free;
+  list.insert(std::move(node));
+}
+
+}  // namespace
+
+void FreeCapacityIndex::OnFreeChanged(Device* device, int64_t old_free) {
+  DeviceState* cached = StateOf(device);
+  if (cached == nullptr) {
+    return;
+  }
+  DeviceState& state = *cached;
   const int64_t free = device->free_capacity();
   if (free == old_free) {
     return;
@@ -67,17 +96,30 @@ void FreeCapacityIndex::OnFreeChanged(Device* device, int64_t old_free) {
     if (state.rack >= 0) {
       rack_free_[state.rack] += delta;
     }
+    if (state.cell >= 0) {
+      cell_free_[state.cell] += delta;
+    }
+  }
+  if (state.listed && free > 0) {
+    // Stays on the same two lists with a new key: relink in place.
+    const Entry old_entry{state.listed_free, device->id().value(), device};
+    RelinkEntry(*state.rack_list, old_entry, free);
+    RelinkEntry(state.cell >= 0 ? per_cell_[static_cast<size_t>(state.cell)]
+                                : global_,
+                old_entry, free);
+    state.listed_free = free;
+    return;
   }
   Unlist(device, state);
   List(device, state);
 }
 
 void FreeCapacityIndex::OnHealthChanged(Device* device) {
-  auto it = states_.find(device);
-  if (it == states_.end()) {
+  DeviceState* cached = StateOf(device);
+  if (cached == nullptr) {
     return;
   }
-  DeviceState& state = it->second;
+  DeviceState& state = *cached;
   const bool healthy = device->healthy();
   if (healthy == state.healthy) {
     return;
@@ -88,6 +130,9 @@ void FreeCapacityIndex::OnHealthChanged(Device* device) {
   healthy_allocated_ += sign * device->allocated();
   if (state.rack >= 0) {
     rack_free_[state.rack] += sign * device->free_capacity();
+  }
+  if (state.cell >= 0) {
+    cell_free_[state.cell] += sign * device->free_capacity();
   }
   if (healthy) {
     List(device, state);
@@ -103,11 +148,24 @@ const FreeCapacityIndex::OrderedFreeList* FreeCapacityIndex::RackFreeList(
 }
 
 int FreeCapacityIndex::RackOf(const Device* device) const {
-  const auto it = states_.find(const_cast<Device*>(device));
-  if (it == states_.end() || it->second.rack < 0) {
+  const DeviceState* state = StateOf(device);
+  if (state == nullptr || state->rack < 0) {
     return -1;
   }
-  return it->second.rack;
+  return state->rack;
+}
+
+const FreeCapacityIndex::OrderedFreeList* FreeCapacityIndex::CellFreeList(
+    int cell) const {
+  if (cell < 0 || cell >= cell_count_) {
+    return nullptr;
+  }
+  return &per_cell_[static_cast<size_t>(cell)];
+}
+
+int FreeCapacityIndex::CellOf(const Device* device) const {
+  const DeviceState* state = StateOf(device);
+  return state == nullptr ? -1 : state->cell;
 }
 
 std::vector<int64_t> FreeCapacityIndex::HealthyFreeByRack(
@@ -127,8 +185,12 @@ void FreeCapacityIndex::List(Device* device, DeviceState& state) {
     return;
   }
   const Entry entry{free, device->id().value(), device};
-  per_rack_[state.rack >= 0 ? state.rack : -1].insert(entry);
-  global_.insert(entry);
+  state.rack_list->insert(entry);
+  if (state.cell >= 0) {
+    per_cell_[static_cast<size_t>(state.cell)].insert(entry);
+  } else {
+    global_.insert(entry);
+  }
   state.listed = true;
   state.listed_free = free;
 }
@@ -138,14 +200,14 @@ void FreeCapacityIndex::Unlist(Device* device, DeviceState& state) {
     return;
   }
   const Entry entry{state.listed_free, device->id().value(), device};
-  const int bucket = state.rack >= 0 ? state.rack : -1;
-  auto it = per_rack_.find(bucket);
-  if (it != per_rack_.end()) {
-    // Emptied lists are kept (not erased) so RackFreeList pointers held
-    // across allocation mutations stay valid.
-    it->second.erase(entry);
+  // Emptied lists are kept (not erased) so RackFreeList pointers held
+  // across allocation mutations stay valid.
+  state.rack_list->erase(entry);
+  if (state.cell >= 0) {
+    per_cell_[static_cast<size_t>(state.cell)].erase(entry);
+  } else {
+    global_.erase(entry);
   }
-  global_.erase(entry);
   state.listed = false;
 }
 

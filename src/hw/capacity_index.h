@@ -19,6 +19,13 @@
 // Rack membership needs a Topology, which the pool only sees at Allocate
 // time, so devices start in an "unassigned" bucket and AssignRacks moves
 // them to their rack lists on the first placement query.
+//
+// When the topology partitions racks into cells (Topology::SetCellCount),
+// AssignRacks switches the index into partitioned mode: instead of one
+// global list it keeps one ordered free-list per cell plus per-cell healthy
+// free totals (the root router's capacity summary, maintained by the same
+// O(log D) deltas — never by rescans). Devices outside every cell (rackless)
+// stay on the residual global list.
 
 #ifndef UDC_SRC_HW_CAPACITY_INDEX_H_
 #define UDC_SRC_HW_CAPACITY_INDEX_H_
@@ -74,13 +81,30 @@ class FreeCapacityIndex {
   // Healthy devices with free capacity in `rack`, ordered by (free, id).
   // nullptr when the rack has none.
   const OrderedFreeList* RackFreeList(int rack) const;
-  // All healthy devices with free capacity, ordered by (free, id).
+  // Healthy devices with free capacity, ordered by (free, id). In
+  // partitioned mode this holds only devices outside every cell (rackless);
+  // cell members live on their CellFreeList instead.
   const OrderedFreeList& GlobalFreeList() const { return global_; }
   // The rack a tracked device was assigned to (-1 when unassigned).
   int RackOf(const Device* device) const;
 
+  // --- Cell partition (valid after AssignRacks on a celled topology) ----
+  bool partitioned() const { return cell_count_ > 0; }
+  int cell_count() const { return cell_count_; }
+  // Healthy devices with free capacity in `cell`, ordered by (free, id).
+  const OrderedFreeList* CellFreeList(int cell) const;
+  // The cell a tracked device belongs to (-1 when none).
+  int CellOf(const Device* device) const;
+  // Healthy free capacity per cell — the router's summary. Maintained by
+  // the same commit/release deltas as the free-lists; reading it is O(1)
+  // per cell and never rescans devices.
+  const std::vector<int64_t>& cell_free() const { return cell_free_; }
+
   // Healthy free capacity per rack, sized to `rack_count`.
   std::vector<int64_t> HealthyFreeByRack(int rack_count) const;
+  // Zero-copy view of the per-rack totals (indexable up to the assigned
+  // rack count; may be shorter than the topology's rack_count).
+  const std::vector<int64_t>& rack_free_totals() const { return rack_free_; }
 
   // --- Aggregates (maintained incrementally) ---------------------------
   int64_t total_capacity() const { return total_capacity_; }
@@ -93,10 +117,22 @@ class FreeCapacityIndex {
  private:
   struct DeviceState {
     int rack = -1;       // -1 = not yet assigned
+    int cell = -1;       // -1 = no cell (unpartitioned or rackless)
     bool listed = false; // present in the free-lists (healthy && free > 0)
     int64_t listed_free = 0;  // the free value the listing was keyed with
     bool healthy = true;
+    // The per_rack_ bucket this device lists under (the -1 bucket until
+    // AssignRacks). unordered_map values are node-based, so the pointer
+    // stays valid across rehashes.
+    OrderedFreeList* rack_list = nullptr;
   };
+
+  // The cached state slot on `device`, or nullptr for untracked devices.
+  // Devices carry the pointer (Device::index_state) so the per-change hot
+  // path never touches the states_ hash.
+  static DeviceState* StateOf(const Device* device) {
+    return static_cast<DeviceState*>(device->index_state());
+  }
 
   void List(Device* device, DeviceState& state);
   void Unlist(Device* device, DeviceState& state);
@@ -104,7 +140,10 @@ class FreeCapacityIndex {
   std::unordered_map<Device*, DeviceState> states_;
   std::unordered_map<int, OrderedFreeList> per_rack_;
   OrderedFreeList global_;
+  std::vector<OrderedFreeList> per_cell_;  // sized cell_count_ (partitioned)
+  std::vector<int64_t> cell_free_;         // healthy free per cell
   std::vector<int64_t> rack_free_;  // healthy free per assigned rack
+  int cell_count_ = 0;
   size_t unassigned_ = 0;
   int64_t total_capacity_ = 0;
   int64_t total_allocated_ = 0;

@@ -16,6 +16,7 @@ DisaggregatedDatacenter::DisaggregatedDatacenter(const DatacenterConfig& config)
     const int rack = topology_.AddRack();
     PopulateRack(rack, config.rack);
   }
+  topology_.SetCellCount(config.cells);
 }
 
 void DisaggregatedDatacenter::AddDevices(int rack, DeviceKind kind, int count,

@@ -37,6 +37,9 @@ struct DatacenterConfig {
   int racks = 4;
   RackConfig rack;
   TopologyParams topology;
+  // Partition racks into this many control-plane cells (contiguous rack
+  // ranges; see Topology::SetCellCount). 0 = unpartitioned single scheduler.
+  int cells = 0;
 };
 
 class DisaggregatedDatacenter {

@@ -88,6 +88,12 @@ class Device {
     capacity_index_ = index;
   }
 
+  // Opaque slot owned by the capacity index: caches this device's index
+  // state so change notifications and membership queries skip the hash
+  // lookup. Only FreeCapacityIndex reads or writes it.
+  void set_index_state(void* state) { index_state_ = state; }
+  void* index_state() const { return index_state_; }
+
   // Tenancy ------------------------------------------------------------
 
   // Tenants currently holding any allocation on this device.
@@ -139,6 +145,7 @@ class Device {
   TenantId exclusive_tenant_;
   std::unordered_map<TenantId, int64_t> per_tenant_;
   FreeCapacityIndex* capacity_index_ = nullptr;
+  void* index_state_ = nullptr;
 };
 
 }  // namespace udc

@@ -20,25 +20,18 @@ ResourcePool::ResourcePool(PoolId id, DeviceKind kind) : id_(id), kind_(kind) {}
 void ResourcePool::AddDevice(std::unique_ptr<Device> device) {
   assert(device->kind() == kind_);
   index_.Attach(device.get());
+  devices_by_id_[device->id().value()] = device.get();
   devices_.push_back(std::move(device));
 }
 
 Device* ResourcePool::FindDevice(DeviceId id) {
-  for (auto& d : devices_) {
-    if (d->id() == id) {
-      return d.get();
-    }
-  }
-  return nullptr;
+  const auto it = devices_by_id_.find(id.value());
+  return it == devices_by_id_.end() ? nullptr : it->second;
 }
 
 const Device* ResourcePool::FindDevice(DeviceId id) const {
-  for (const auto& d : devices_) {
-    if (d->id() == id) {
-      return d.get();
-    }
-  }
-  return nullptr;
+  const auto it = devices_by_id_.find(id.value());
+  return it == devices_by_id_.end() ? nullptr : it->second;
 }
 
 std::vector<const Device*> ResourcePool::devices() const {
@@ -99,6 +92,10 @@ std::vector<Device*> ResourcePool::RankCandidates(
     const int rack = topology.RackOf(d->node());
     if (constraints.strict_rack && constraints.preferred_rack >= 0 &&
         rack != constraints.preferred_rack) {
+      continue;
+    }
+    if (constraints.strict_cell && constraints.preferred_cell >= 0 &&
+        topology.CellOf(rack) != constraints.preferred_cell) {
       continue;
     }
     if (d->free_capacity() <= 0) {
@@ -231,23 +228,46 @@ Result<PoolAllocation> ResourcePool::AllocateIndexed(
     return true;
   };
 
+  const int preferred_cell = constraints.preferred_cell;
+  const bool cell_only = constraints.strict_cell && preferred_cell >= 0;
+
   // The canonical candidate order — preferred rack by (free, id), then the
   // remaining devices by (free, id) — falls out of walking the preferred
-  // rack's free-list and then the global free-list minus that rack.
+  // rack's free-list and then the wider free-list(s) minus that rack. A
+  // cell-scoped request walks only its cell's list; an unscoped request on
+  // a partitioned index sweeps every cell list plus the rackless residual.
   struct Phase {
     const FreeCapacityIndex::OrderedFreeList* list;
     bool skip_preferred;
   };
-  Phase phases[2];
+  Phase inline_phases[2];
   int num_phases = 0;
   if (preferred >= 0) {
     const auto* rack_list = index_.RackFreeList(preferred);
     if (rack_list != nullptr) {
-      phases[num_phases++] = Phase{rack_list, false};
+      inline_phases[num_phases++] = Phase{rack_list, false};
     }
   }
+  const Phase* phases = inline_phases;
+  std::vector<Phase> sweep;  // partitioned, cell-unscoped (repair/defrag/tuner)
   if (!rack_only) {
-    phases[num_phases++] = Phase{&index_.GlobalFreeList(), preferred >= 0};
+    if (cell_only) {
+      const auto* cell_list = index_.CellFreeList(preferred_cell);
+      if (cell_list != nullptr) {
+        inline_phases[num_phases++] = Phase{cell_list, preferred >= 0};
+      }
+    } else if (index_.partitioned()) {
+      sweep.assign(inline_phases, inline_phases + num_phases);
+      for (int c = 0; c < index_.cell_count(); ++c) {
+        sweep.push_back(Phase{index_.CellFreeList(c), preferred >= 0});
+      }
+      sweep.push_back(Phase{&index_.GlobalFreeList(), preferred >= 0});
+      phases = sweep.data();
+      num_phases = static_cast<int>(sweep.size());
+    } else {
+      inline_phases[num_phases++] =
+          Phase{&index_.GlobalFreeList(), preferred >= 0};
+    }
   }
 
   if (constraints.single_device) {

@@ -14,8 +14,10 @@
 #ifndef UDC_SRC_HW_POOL_H_
 #define UDC_SRC_HW_POOL_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/ids.h"
@@ -48,6 +50,12 @@ struct AllocationConstraints {
   // Prefer devices in this rack (soft constraint unless `strict_rack`).
   int preferred_rack = -1;
   bool strict_rack = false;
+
+  // Restrict to this topology cell (control-plane shard). Only meaningful
+  // with `strict_cell` on a cell-partitioned topology; a cell scheduler sets
+  // both so its placements never leave the capacity partition it owns.
+  int preferred_cell = -1;
+  bool strict_cell = false;
 
   // The allocation must land on exactly one device.
   bool single_device = false;
@@ -118,6 +126,12 @@ class ResourcePool {
   void set_use_index(bool use_index) { use_index_ = use_index; }
   bool use_index() const { return use_index_; }
   const FreeCapacityIndex& index() const { return index_; }
+  // The index with rack/cell membership resolved against `topology` — the
+  // zero-copy read path for schedulers (rack_free_totals, cell_free).
+  const FreeCapacityIndex& PlacementIndex(const Topology& topology) const {
+    index_.AssignRacks(topology);
+    return index_;
+  }
 
   // Snapshot of the ledger for attestation.
   std::vector<LedgerEntry> LedgerSnapshot() const;
@@ -140,6 +154,9 @@ class ResourcePool {
   PoolId id_;
   DeviceKind kind_;
   std::vector<std::unique_ptr<Device>> devices_;
+  // O(1) release/lookup path (FindDevice was a linear scan, which made
+  // datacenter-wide sweeps quadratic at 100k+ devices).
+  std::unordered_map<uint64_t, Device*> devices_by_id_;
   // Mutable: rack assignment is resolved lazily on the first placement
   // query, which is logically const (cached derived state).
   mutable FreeCapacityIndex index_;

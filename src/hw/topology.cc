@@ -20,6 +20,19 @@ int Topology::AddRack() {
   return rack;
 }
 
+void Topology::SetCellCount(int cells) {
+  if (cells <= 0 || rack_count() == 0) {
+    cell_count_ = 0;
+    cell_size_ = 0;
+    return;
+  }
+  if (cells > rack_count()) {
+    cells = rack_count();
+  }
+  cell_size_ = (rack_count() + cells - 1) / cells;
+  cell_count_ = (rack_count() + cell_size_ - 1) / cell_size_;
+}
+
 NodeId Topology::AddNode(int rack, NodeRole role) {
   assert(rack >= 0 && rack < rack_count());
   const NodeId id = node_ids_.Next();

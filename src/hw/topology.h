@@ -41,6 +41,28 @@ class Topology {
   int AddRack();
   int rack_count() const { return static_cast<int>(rack_tor_.size()); }
 
+  // Partitions the racks into `cells` contiguous groups (cell c owns racks
+  // [c * cell_size, (c + 1) * cell_size)). Cells are the control-plane
+  // sharding unit: each cell gets its own scheduler over a private
+  // FreeCapacityIndex partition. Call after all racks exist; cells <= 0
+  // disables partitioning. Clamped to rack_count so every cell is non-empty.
+  void SetCellCount(int cells);
+  int cell_count() const { return cell_count_; }
+  int cell_size() const { return cell_size_; }  // racks per cell (last may be short)
+  // Cell owning `rack`; -1 when unpartitioned or rack is out of range.
+  int CellOf(int rack) const {
+    if (cell_count_ <= 0 || rack < 0 || rack >= rack_count()) {
+      return -1;
+    }
+    return rack / cell_size_;
+  }
+  // First rack of `cell` and one past its last rack.
+  int CellRackBegin(int cell) const { return cell * cell_size_; }
+  int CellRackEnd(int cell) const {
+    const int end = (cell + 1) * cell_size_;
+    return end < rack_count() ? end : rack_count();
+  }
+
   // Adds an endpoint node to `rack`. Returns the new node id.
   NodeId AddNode(int rack, NodeRole role);
 
@@ -74,6 +96,8 @@ class Topology {
   };
 
   TopologyParams params_;
+  int cell_count_ = 0;
+  int cell_size_ = 0;
   IdGenerator<NodeId> node_ids_;
   std::unordered_map<NodeId, NodeInfo> nodes_;
   std::vector<NodeId> rack_tor_;

@@ -25,6 +25,7 @@ Result<ModuleId> ModuleGraph::AddTask(const std::string& name,
   m.output_size = output_size;
   by_name_[name] = m.id;
   modules_.push_back(std::move(m));
+  topo_cached_ = false;
   return modules_.back().id;
 }
 
@@ -42,6 +43,7 @@ Result<ModuleId> ModuleGraph::AddData(const std::string& name, Bytes size) {
   m.data_size = size;
   by_name_[name] = m.id;
   modules_.push_back(std::move(m));
+  topo_cached_ = false;
   return modules_.back().id;
 }
 
@@ -64,6 +66,7 @@ Status ModuleGraph::AddEdge(ModuleId from, ModuleId to) {
     return InvalidArgumentError("data->data edges are not meaningful");
   }
   edges_.emplace_back(from, to);
+  topo_cached_ = false;
   return OkStatus();
 }
 
@@ -182,6 +185,11 @@ std::vector<ModuleId> ModuleGraph::AccessorsOf(ModuleId data) const {
 }
 
 Status ModuleGraph::Validate() const {
+  // Modules are never removed, so a cached topo verdict covers the edge
+  // check too (every edge was resolvable when it was added).
+  if (topo_cached_) {
+    return topo_error_;
+  }
   for (const auto& [from, to] : edges_) {
     if (Find(from) == nullptr || Find(to) == nullptr) {
       return InternalError("edge references missing module");
@@ -195,6 +203,12 @@ Status ModuleGraph::Validate() const {
 }
 
 Result<std::vector<ModuleId>> ModuleGraph::TopoOrder() const {
+  if (topo_cached_) {
+    if (!topo_error_.ok()) {
+      return Status(topo_error_);
+    }
+    return topo_order_;
+  }
   // Kahn's algorithm over task-to-task edges; data modules impose ordering
   // through task->data->task chains, which we collapse to task->task.
   std::unordered_map<ModuleId, std::vector<ModuleId>> adj;
@@ -245,9 +259,14 @@ Result<std::vector<ModuleId>> ModuleGraph::TopoOrder() const {
     }
   }
   if (order.size() != indegree.size()) {
-    return Status(InvalidArgumentError("module graph contains a cycle"));
+    topo_error_ = Status(InvalidArgumentError("module graph contains a cycle"));
+    topo_cached_ = true;
+    return Status(topo_error_);
   }
-  return order;
+  topo_order_ = std::move(order);
+  topo_error_ = OkStatus();
+  topo_cached_ = true;
+  return topo_order_;
 }
 
 std::string ModuleGraph::DebugString() const {

@@ -97,6 +97,14 @@ class ModuleGraph {
  private:
   Status CheckExists(ModuleId id) const;
 
+  // Deploy-path memo: a spec is immutable once built but deployed many
+  // times, so the cycle check / topological order is computed once per
+  // structural mutation, not once per deploy. AddTask/AddData/AddEdge
+  // invalidate; locality hints don't affect ordering.
+  mutable bool topo_cached_ = false;
+  mutable Status topo_error_;
+  mutable std::vector<ModuleId> topo_order_;
+
   std::string app_name_;
   IdGenerator<ModuleId> ids_;
   std::vector<Module> modules_;

@@ -23,11 +23,15 @@
 // SLO breach), 2 usage error (unknown subcommand or bad arguments).
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "src/common/strings.h"
 #include "src/core/runtime.h"
 #include "src/core/udc_cloud.h"
 #include "src/obs/chrome_trace.h"
@@ -69,6 +73,11 @@ int Usage() {
       "                            run the cycle, dump the always-on flight\n"
       "                            recorder: <path> gets the Chrome trace,\n"
       "                            <path>.metrics.json the metrics snapshot\n"
+      "  cells [--racks N] [--cells N] [--deploys N] [spec.udcl]\n"
+      "                            churn the spec through the cell-\n"
+      "                            partitioned control plane and print the\n"
+      "                            per-cell capacity/latency table\n"
+      "                            (defaults: 8 racks, 2 cells, 8 deploys)\n"
       "\n"
       "omitting [spec.udcl] uses the embedded medical app\n"
       "\n"
@@ -234,6 +243,99 @@ int Slo(const std::string& text) {
   return cloud.sim()->slos().AllOk() ? 0 : kExitRuntime;
 }
 
+// `udcctl cells`: the hierarchical control plane made visible. Builds a
+// cell-partitioned cloud, churns the spec through the router, and prints a
+// per-cell capacity/latency table — the operator's view of how the router
+// spread the load and what each cell's placement tail looks like.
+int Cells(const std::string& text, int racks, int cells, int deploys) {
+  udc::UdcCloudConfig config;
+  config.datacenter.racks = racks;
+  config.datacenter.cells = cells;
+  config.scheduler.record_place_latency = true;
+  udc::UdcCloud cloud(config);
+  if (cloud.cell_router() == nullptr) {
+    std::fprintf(stderr, "cells: need at least 1 cell (got --cells %d)\n",
+                 cells);
+    return kExitUsage;
+  }
+
+  const auto spec = udc::ParseAppSpec(text);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "spec: %s\n", spec.status().ToString().c_str());
+    return kExitRuntime;
+  }
+  const auto shared_spec = std::make_shared<const udc::AppSpec>(*spec);
+  // Deployments stay resident so the table shows a loaded datacenter.
+  std::vector<std::unique_ptr<udc::Deployment>> live;
+  int ok = 0, failed = 0;
+  for (int i = 0; i < deploys; ++i) {
+    const udc::TenantId tenant =
+        cloud.RegisterTenant("cells-" + std::to_string(i));
+    auto deployment = cloud.Deploy(tenant, shared_spec);
+    if (deployment.ok()) {
+      ++ok;
+      live.push_back(std::move(*deployment));
+    } else {
+      ++failed;
+    }
+    cloud.sim()->RunToCompletion();
+  }
+
+  udc::CellRouter* router = cloud.cell_router();
+  const udc::Topology& topo = cloud.datacenter().topology();
+  const udc::ResourcePool& cpu_pool =
+      cloud.datacenter().pool(udc::DeviceKind::kCpuBlade);
+  const udc::FreeCapacityIndex& index = cpu_pool.PlacementIndex(topo);
+  const std::vector<int64_t>& free =
+      router->CellFreeSummary(udc::DeviceKind::kCpuBlade);
+
+  // Per-cell cpu capacity from the device list (cells may be ragged: the
+  // last cell owns whatever racks remain).
+  std::vector<int64_t> capacity(static_cast<size_t>(router->cell_count()), 0);
+  for (udc::Device* device : cloud.datacenter().AllDevices()) {
+    if (device->kind() != udc::DeviceKind::kCpuBlade) {
+      continue;
+    }
+    const int cell = index.CellOf(device);
+    if (cell >= 0) {
+      capacity[static_cast<size_t>(cell)] += device->capacity();
+    }
+  }
+
+  std::printf("%d cells over %d racks (%zu devices), %d deploys (%d ok, "
+              "%d failed)\n\n",
+              router->cell_count(), topo.rack_count(),
+              cloud.datacenter().AllDevices().size(), deploys, ok, failed);
+  std::printf("cell   racks      cpu free/capacity      util  deploys"
+              "   place p50/p99 (us)\n");
+  for (int c = 0; c < router->cell_count(); ++c) {
+    const int64_t cap = capacity[static_cast<size_t>(c)];
+    const int64_t cell_free = free[static_cast<size_t>(c)];
+    const double util =
+        cap > 0 ? 100.0 * static_cast<double>(cap - cell_free) /
+                      static_cast<double>(cap)
+                : 0.0;
+    const udc::MetricHistogram* latency = cloud.sim()->metrics().histogram(
+        "sched.cell_place_latency_us",
+        {{"cell", udc::StrFormat("%d", c)}});
+    std::printf("%4d   [%2d,%2d)  %9lld / %-9lld  %5.1f%%  %7lld",
+                c, topo.CellRackBegin(c), topo.CellRackEnd(c),
+                static_cast<long long>(cell_free),
+                static_cast<long long>(cap), util,
+                static_cast<long long>(router->CellDeploys(c)));
+    if (latency != nullptr && latency->count() > 0) {
+      std::printf("   %8.1f / %-8.1f\n", latency->Quantile(0.5),
+                  latency->Quantile(0.99));
+    } else {
+      std::printf("          - / -\n");
+    }
+  }
+  std::printf("\ncross-cell deploys: %lld, module spills: %lld\n",
+              static_cast<long long>(router->cross_cell_deploys()),
+              static_cast<long long>(router->cell_fallbacks()));
+  return failed == 0 ? 0 : kExitRuntime;
+}
+
 int RecordDump(const std::string& text, const std::string& out_path) {
   udc::UdcCloud cloud;
   const int rc = RunCycle(text, &cloud, /*verbose=*/false);
@@ -290,6 +392,32 @@ int main(int argc, char** argv) {
       text = *file;
     }
     return Trace(text, argv[3]);
+  }
+  if (command == "cells") {
+    int racks = 8, cells = 2, deploys = 8;
+    std::string text = udc::MedicalAppUdcl();
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if ((arg == "--racks" || arg == "--cells" || arg == "--deploys") &&
+          i + 1 < argc) {
+        const int value = std::atoi(argv[++i]);
+        if (value <= 0) {
+          return Usage();
+        }
+        (arg == "--racks" ? racks : arg == "--cells" ? cells : deploys) =
+            value;
+      } else if (!arg.empty() && arg[0] == '-') {
+        return Usage();
+      } else {
+        const auto file = ReadFile(arg);
+        if (!file.ok()) {
+          std::fprintf(stderr, "%s\n", file.status().ToString().c_str());
+          return kExitRuntime;
+        }
+        text = *file;
+      }
+    }
+    return Cells(text, racks, cells, deploys);
   }
   if (command == "record") {
     if (argc < 5 || std::string(argv[2]) != "dump" ||
