@@ -661,6 +661,202 @@ AbortResult RunAbortChurn(int racks, int deploys,
   return result;
 }
 
+// --- Warm-store phase: the content-addressed environment store under churn.
+//
+// Two legs. The differential leg runs the same keep-warm churn twice — once
+// on the legacy (kind, tenant) pool, once on the store with cross-tenant
+// sharing disabled — and hashes every decision the env layer makes
+// (admit/reject, per-unit start mode, per-(kind, tenant) warm occupancy
+// after every step). The hashes must be byte-identical: sharing off, the
+// store IS the legacy pool. The abort leg then turns sharing on over the
+// same undersized one-rack datacenter the abort-heavy phase uses (~48% of
+// deploys abort on pool exhaustion) and checks exact rollback refunds — a
+// failed deploy leaves warm-slot totals and store refcounts untouched — and
+// a leak-free drain: zero live store refs once everything stops.
+
+struct DecisionLeg {
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  long long warm_starts = 0;
+  long long deploys = 0;
+};
+
+struct WarmStoreResult {
+  DecisionLeg legacy;
+  DecisionLeg oracle;
+  bool differential_ok = false;
+
+  long long attempts = 0;
+  long long deploys = 0;
+  long long aborts = 0;
+  double abort_fraction = 0;
+  long long refund_violations = 0;
+  double warm_hit_ratio = 0;
+  long long warm_starts = 0;
+  long long cross_tenant_warm = 0;
+  long long evictions = 0;
+  long long live_store_refs_after_drain = -1;
+  bool clean = false;
+};
+
+DecisionLeg RunDecisionLeg(const udc::EnvStoreConfig& store_config, int racks,
+                           int deploys, int window,
+                           const std::vector<udc::AppSpec>& specs) {
+  udc::UdcCloudConfig cloud_config;
+  cloud_config.datacenter.racks = racks;
+  cloud_config.scheduler.use_placement_index = true;
+  cloud_config.env_store = store_config;
+  udc::UdcCloud cloud(cloud_config);
+
+  DecisionLeg leg;
+  const auto mix = [&leg](uint64_t v) {
+    leg.hash = (leg.hash ^ v) * 1099511628211ull;
+  };
+  // A fixed tenant set cycled through, so (kind, tenant) warm pools are
+  // actually revisited and warm decisions happen in both legs.
+  std::vector<udc::TenantId> tenants;
+  for (int t = 0; t < 8; ++t) {
+    tenants.push_back(cloud.RegisterTenant("store-" + std::to_string(t)));
+  }
+  std::deque<std::unique_ptr<udc::Deployment>> live;
+  const auto mix_occupancy = [&] {
+    for (int k = 0; k < udc::kNumEnvKinds; ++k) {
+      for (const udc::TenantId tenant : tenants) {
+        mix(static_cast<uint64_t>(
+            cloud.envs().WarmSlots(static_cast<udc::EnvKind>(k), tenant)));
+      }
+    }
+  };
+  for (int i = 0; i < deploys; ++i) {
+    auto deployment =
+        cloud.Deploy(tenants[i % tenants.size()], specs[i % specs.size()]);
+    mix(deployment.ok() ? 0x600Du : 0xBADu);
+    if (deployment.ok()) {
+      ++leg.deploys;
+      for (udc::ResourceUnit* unit : (*deployment)->units()) {
+        if (unit->env != nullptr) {
+          mix(static_cast<uint64_t>(unit->env->start_mode()));
+        }
+      }
+      live.push_back(std::move(*deployment));
+    }
+    cloud.sim()->RunToCompletion();
+    while (static_cast<int>(live.size()) > window) {
+      for (udc::ResourceUnit* unit : live.front()->units()) {
+        if (unit->env != nullptr) {
+          (void)cloud.envs().Stop(unit->env, /*keep_warm=*/true);
+          unit->env = nullptr;
+        }
+      }
+      live.pop_front();
+    }
+    mix_occupancy();
+  }
+  for (auto& deployment : live) {
+    for (udc::ResourceUnit* unit : deployment->units()) {
+      if (unit->env != nullptr) {
+        (void)cloud.envs().Stop(unit->env, /*keep_warm=*/false);
+        unit->env = nullptr;
+      }
+    }
+  }
+  live.clear();
+  cloud.sim()->RunToCompletion();
+  mix(static_cast<uint64_t>(cloud.envs().live_count()));
+  mix_occupancy();
+  leg.warm_starts = cloud.sim()->metrics().counter("exec.warm_starts");
+  return leg;
+}
+
+WarmStoreResult RunWarmStorePhase(int diff_racks, int diff_deploys,
+                                  int diff_window, int abort_deploys,
+                                  const std::vector<udc::AppSpec>& specs,
+                                  const std::vector<udc::AppSpec>& heavy_specs) {
+  WarmStoreResult result;
+
+  // Leg 1: the differential. Legacy pool vs store-with-sharing-off on the
+  // identical workload must hash identically.
+  udc::EnvStoreConfig legacy_config;  // enabled = false: legacy pool
+  result.legacy =
+      RunDecisionLeg(legacy_config, diff_racks, diff_deploys, diff_window, specs);
+  udc::EnvStoreConfig oracle_config;
+  oracle_config.enabled = true;
+  oracle_config.share_across_tenants = false;
+  result.oracle =
+      RunDecisionLeg(oracle_config, diff_racks, diff_deploys, diff_window, specs);
+  result.differential_ok = result.legacy.hash == result.oracle.hash &&
+                           result.legacy.deploys == result.oracle.deploys;
+
+  // Leg 2: sharing on under abort churn. Undersized datacenter, oversized
+  // apps, keep-warm teardowns on the failure path so the store carries real
+  // warm credit while ~half the transactions roll back through it.
+  udc::UdcCloudConfig cloud_config;
+  cloud_config.datacenter.racks = 1;
+  cloud_config.scheduler.use_placement_index = true;
+  cloud_config.env_store.enabled = true;
+  cloud_config.env_store.share_across_tenants = true;
+  udc::UdcCloud cloud(cloud_config);
+  const udc::EnvStore* store = cloud.envs().store();
+
+  std::vector<udc::TenantId> tenants;
+  for (int t = 0; t < 4; ++t) {
+    tenants.push_back(cloud.RegisterTenant("churn-" + std::to_string(t)));
+  }
+  std::deque<std::unique_ptr<udc::Deployment>> live;
+  for (int i = 0; i < abort_deploys; ++i) {
+    ++result.attempts;
+    const int64_t slots_before = store->total_warm_slots();
+    const int64_t refs_before = store->live_env_refs();
+    auto deployment = cloud.Deploy(tenants[i % tenants.size()],
+                                   heavy_specs[i % heavy_specs.size()]);
+    if (deployment.ok()) {
+      ++result.deploys;
+      live.push_back(std::move(*deployment));
+    } else {
+      ++result.aborts;
+      // Exact refund: the rolled-back deploy must be invisible to the
+      // store — every warm slot it consumed refunded to its source, every
+      // content ref unwound.
+      if (store->total_warm_slots() != slots_before ||
+          store->live_env_refs() != refs_before) {
+        ++result.refund_violations;
+      }
+      if (!live.empty()) {
+        for (udc::ResourceUnit* unit : live.front()->units()) {
+          if (unit->env != nullptr) {
+            (void)cloud.envs().Stop(unit->env, /*keep_warm=*/true);
+            unit->env = nullptr;
+          }
+        }
+        live.pop_front();
+      }
+    }
+    cloud.sim()->RunToCompletion();
+  }
+  live.clear();
+  cloud.sim()->RunToCompletion();
+
+  result.abort_fraction =
+      result.attempts > 0
+          ? static_cast<double>(result.aborts) / result.attempts
+          : 0;
+  result.warm_hit_ratio = cloud.envs().warm_hit_ratio();
+  result.warm_starts = cloud.sim()->metrics().counter("exec.warm_starts");
+  result.cross_tenant_warm =
+      cloud.sim()->metrics().counter("exec.cross_tenant_warm_starts");
+  result.evictions = cloud.sim()->metrics().counter("exec.evictions");
+  result.live_store_refs_after_drain = store->live_env_refs();
+  // Leak-free drain: no live envs, no live store refs, no allocations, no
+  // provisioned identities. Warm slots banked on purpose are credit, not
+  // leakage — every remaining content ref must be backed by a warm slot,
+  // which live_env_refs() == 0 certifies.
+  result.clean =
+      cloud.datacenter().TotalAllocated() == udc::ResourceVector() &&
+      cloud.envs().live_count() == 0 &&
+      cloud.attestation().provisioned_count() == 0 &&
+      result.live_store_refs_after_drain == 0;
+  return result;
+}
+
 // The per-transaction cost of the wrapper itself: an empty Begin+Commit,
 // i.e. what every no-abort deploy pays for being transactional. CPU time,
 // not wall time: this feeds a 5% ratio gate against the indexed placement
@@ -1026,10 +1222,11 @@ void WriteScaleOnlyJson(bool smoke, const ScaleResult& scale) {
 void WriteJson(const ChurnConfig& config, bool smoke,
                const ChurnResult& linear, const ChurnResult& indexed,
                const ChurnResult& batched, int batch_size,
-               const AbortResult& abort, double empty_txn_us,
-               double overhead_pct, const RpcResult& rpc_single,
-               const RpcResult& rpc_batched, double rpc_speedup,
-               const ObsOverheadResult& obs, const ScaleResult& scale) {
+               const AbortResult& abort, const WarmStoreResult& warm_store,
+               double empty_txn_us, double overhead_pct,
+               const RpcResult& rpc_single, const RpcResult& rpc_batched,
+               double rpc_speedup, const ObsOverheadResult& obs,
+               const ScaleResult& scale) {
   udc::bench::JsonFile json("BENCH_hotpath.json");
   if (!json) {
     return;
@@ -1096,6 +1293,28 @@ void WriteJson(const ChurnConfig& config, bool smoke,
                rpc_speedup, abort.attempts, abort.deploys, abort.aborts,
                abort.abort_fraction, abort.txn_committed, abort.txn_aborted,
                abort.clean ? "true" : "false");
+  std::fprintf(f,
+               ",\n  \"warm_store\": {\n"
+               "    \"differential\": {\"legacy_hash\": \"%016llx\", "
+               "\"oracle_hash\": \"%016llx\", \"legacy_warm_starts\": %lld, "
+               "\"oracle_warm_starts\": %lld, \"identical\": %s},\n"
+               "    \"abort_churn\": {\"attempts\": %lld, \"deploys\": %lld, "
+               "\"aborts\": %lld, \"abort_fraction\": %.2f, "
+               "\"refund_violations\": %lld, \"warm_hit_ratio\": %.3f, "
+               "\"warm_starts\": %lld, \"cross_tenant_warm_starts\": %lld, "
+               "\"evictions\": %lld, \"live_store_refs_after_drain\": %lld, "
+               "\"clean_after_drain\": %s}\n"
+               "  }",
+               static_cast<unsigned long long>(warm_store.legacy.hash),
+               static_cast<unsigned long long>(warm_store.oracle.hash),
+               warm_store.legacy.warm_starts, warm_store.oracle.warm_starts,
+               warm_store.differential_ok ? "true" : "false",
+               warm_store.attempts, warm_store.deploys, warm_store.aborts,
+               warm_store.abort_fraction, warm_store.refund_violations,
+               warm_store.warm_hit_ratio, warm_store.warm_starts,
+               warm_store.cross_tenant_warm, warm_store.evictions,
+               warm_store.live_store_refs_after_drain,
+               warm_store.clean ? "true" : "false");
   std::fprintf(f,
                ",\n  \"obs_overhead\": {\n"
                "    \"deploys_on\": %lld,\n"
@@ -1256,6 +1475,26 @@ int main(int argc, char** argv) {
               abort.abort_fraction * 100, abort.txn_committed,
               abort.txn_aborted, abort.clean ? "clean" : "DIRTY");
 
+  const WarmStoreResult warm_store = RunWarmStorePhase(
+      /*diff_racks=*/smoke ? 24 : 96, /*diff_deploys=*/smoke ? 120 : 480,
+      /*diff_window=*/16, /*abort_deploys=*/smoke ? 60 : 400, specs,
+      heavy_specs);
+  std::printf("warm-store: differential %s (legacy %016llx / oracle %016llx, "
+              "%lld warm starts each leg)\n",
+              warm_store.differential_ok ? "identical" : "DIVERGED",
+              static_cast<unsigned long long>(warm_store.legacy.hash),
+              static_cast<unsigned long long>(warm_store.oracle.hash),
+              warm_store.oracle.warm_starts);
+  std::printf("warm-store abort churn: %lld attempts, %lld aborts (%.0f%%), "
+              "%lld refund violations, hit ratio %.2f (%lld warm, %lld "
+              "cross-tenant), drain %s (%lld live refs)\n",
+              warm_store.attempts, warm_store.aborts,
+              warm_store.abort_fraction * 100, warm_store.refund_violations,
+              warm_store.warm_hit_ratio, warm_store.warm_starts,
+              warm_store.cross_tenant_warm,
+              warm_store.clean ? "clean" : "DIRTY",
+              warm_store.live_store_refs_after_drain);
+
   const double empty_txn_us = MeasureEmptyTxnUs(smoke ? 20000 : 200000);
   const double indexed_p50 = indexed.placement_us.Quantile(0.5);
   const double overhead_pct =
@@ -1280,8 +1519,8 @@ int main(int argc, char** argv) {
   PrintScale(scale);
 
   WriteJson(config, smoke, linear, indexed, batched, batch_size, abort,
-            empty_txn_us, overhead_pct, rpc_single, rpc_batched, rpc_speedup,
-            obs, scale);
+            warm_store, empty_txn_us, overhead_pct, rpc_single, rpc_batched,
+            rpc_speedup, obs, scale);
   if (linear.deploys_per_sec > 0) {
     std::printf("speedup: %.2fx deploys/sec\n",
                 indexed.deploys_per_sec / linear.deploys_per_sec);
@@ -1299,6 +1538,34 @@ int main(int argc, char** argv) {
                  "FAIL: abort-heavy phase did not exercise aborts "
                  "(aborts=%lld, core.txn_aborted=%lld)\n",
                  abort.aborts, abort.txn_aborted);
+    ok = false;
+  }
+  if (!warm_store.differential_ok) {
+    std::fprintf(stderr,
+                 "FAIL: store with sharing off diverged from the legacy "
+                 "warm pool (legacy %016llx, oracle %016llx)\n",
+                 static_cast<unsigned long long>(warm_store.legacy.hash),
+                 static_cast<unsigned long long>(warm_store.oracle.hash));
+    ok = false;
+  }
+  if (warm_store.legacy.warm_starts == 0) {
+    std::fprintf(stderr,
+                 "FAIL: warm-store differential saw no warm starts — the "
+                 "legs never exercised the pools\n");
+    ok = false;
+  }
+  if (warm_store.aborts == 0 || warm_store.refund_violations > 0) {
+    std::fprintf(stderr,
+                 "FAIL: warm-store abort churn (aborts=%lld, refund "
+                 "violations=%lld, want aborts>0 and violations=0)\n",
+                 warm_store.aborts, warm_store.refund_violations);
+    ok = false;
+  }
+  if (!warm_store.clean) {
+    std::fprintf(stderr,
+                 "FAIL: warm-store abort churn leaked state after drain "
+                 "(%lld live store refs)\n",
+                 warm_store.live_store_refs_after_drain);
     ok = false;
   }
   if (rpc_speedup < 1.2) {

@@ -4,8 +4,20 @@
 
 namespace udc {
 
+namespace {
+
+// Reserved signing identity for the content-addressed image store: not a
+// device, never provisioned through ProvisionDevice, invisible to
+// provisioned_count.
+constexpr uint64_t kImageStoreIdentity = ~uint64_t{0};
+
+}  // namespace
+
 AttestationService::AttestationService(Simulation* sim, Key256 vendor_root)
-    : sim_(sim), vendor_root_(vendor_root) {}
+    : sim_(sim),
+      vendor_root_(vendor_root),
+      image_quotes_minted_metric_(
+          sim->metrics().CounterSeries("attest.image_quotes_minted")) {}
 
 void AttestationService::ProvisionDevice(uint64_t device_identity) {
   ProvisionedRoot& entry = roots_[device_identity];
@@ -90,6 +102,51 @@ Result<Quote> AttestationService::QuoteReplica(uint64_t replica_device,
   UDC_ASSIGN_OR_RETURN(const RootOfTrust* rot, RotFor(replica_device));
   return rot->Sign(quote_ids_.Next(), QuoteSubject::kReplication, sim_->now(),
                    ReplicationReport(object, replica_device, tenant.value()));
+}
+
+const Quote* AttestationService::AcquireImageQuote(
+    const Sha256Digest& image_digest, Bytes image_size) {
+  auto [it, inserted] = image_quotes_.try_emplace(image_digest);
+  ImageQuoteEntry& entry = it->second;
+  if (inserted) {
+    if (store_rot_ == nullptr) {
+      store_rot_ =
+          std::make_unique<RootOfTrust>(vendor_root_, kImageStoreIdentity);
+    }
+    entry.quote = store_rot_->Sign(
+        quote_ids_.Next(), QuoteSubject::kImage, sim_->now(),
+        ImageReport(image_digest,
+                    static_cast<uint64_t>(image_size.bytes())));
+    ++image_quotes_minted_;
+    sim_->metrics().Increment(image_quotes_minted_metric_);
+  }
+  if (entry.refs == 0) {
+    ++live_image_quotes_;
+  }
+  ++entry.refs;
+  return &entry.quote;
+}
+
+void AttestationService::ReleaseImageQuote(const Sha256Digest& image_digest) {
+  const auto it = image_quotes_.find(image_digest);
+  if (it == image_quotes_.end() || it->second.refs == 0) {
+    return;  // never acquired (or already fully released): idempotent
+  }
+  if (--it->second.refs == 0) {
+    --live_image_quotes_;  // quote stays memoized; the content is dormant
+  }
+}
+
+int64_t AttestationService::ImageQuoteRefs(
+    const Sha256Digest& image_digest) const {
+  const auto it = image_quotes_.find(image_digest);
+  return it == image_quotes_.end() ? 0 : it->second.refs;
+}
+
+const Quote* AttestationService::FindImageQuote(
+    const Sha256Digest& image_digest) const {
+  const auto it = image_quotes_.find(image_digest);
+  return it == image_quotes_.end() ? nullptr : &it->second.quote;
 }
 
 Result<Quote> AttestationService::QuoteSoftware(

@@ -8,6 +8,7 @@
 #ifndef UDC_SRC_ATTEST_ATTESTATION_SERVICE_H_
 #define UDC_SRC_ATTEST_ATTESTATION_SERVICE_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -62,11 +63,38 @@ class AttestationService {
                               const Sha256Digest& code_measurement,
                               const std::string& module_name);
 
+  // --- Content-bound image quotes (content-addressed env store).
+  //
+  // A quote over an image digest is minted once per content — ever — and
+  // refcounted like RetireDevice: the first acquire signs, later acquires
+  // bump the count, releases decrement it, and a re-acquire after the count
+  // hits zero reuses the memoized quote (signing is deterministic in the
+  // digest, so caching never changes the claim). Signed by a reserved
+  // store identity derived from the vendor root; it lives outside the
+  // device-root table, so provisioned_count never sees it.
+  const Quote* AcquireImageQuote(const Sha256Digest& image_digest,
+                                 Bytes image_size);
+  // Drops one reference; idempotent on unknown digests. The quote itself
+  // stays memoized.
+  void ReleaseImageQuote(const Sha256Digest& image_digest);
+  // References currently held on the image quote (0 when none or unknown).
+  int64_t ImageQuoteRefs(const Sha256Digest& image_digest) const;
+  // The memoized quote, or nullptr if never minted.
+  const Quote* FindImageQuote(const Sha256Digest& image_digest) const;
+  // Distinct contents ever signed (each exactly once).
+  uint64_t image_quotes_minted() const { return image_quotes_minted_; }
+  // Image quotes with refs > 0.
+  size_t live_image_quotes() const { return live_image_quotes_; }
+
   uint64_t quotes_issued() const { return quote_ids_.issued(); }
 
  private:
   struct ProvisionedRoot {
     std::unique_ptr<RootOfTrust> rot;
+    int64_t refs = 0;
+  };
+  struct ImageQuoteEntry {
+    Quote quote;
     int64_t refs = 0;
   };
 
@@ -77,6 +105,14 @@ class AttestationService {
   IdGenerator<QuoteId> quote_ids_;
   std::unordered_map<uint64_t, ProvisionedRoot> roots_;
   size_t live_roots_ = 0;  // entries with refs > 0
+
+  // Content-bound image quotes, keyed by digest (deterministic order for
+  // any iteration). The signing root is created lazily on first mint.
+  std::map<Sha256Digest, ImageQuoteEntry> image_quotes_;
+  std::unique_ptr<RootOfTrust> store_rot_;
+  uint64_t image_quotes_minted_ = 0;
+  size_t live_image_quotes_ = 0;
+  CounterHandle image_quotes_minted_metric_;
 };
 
 }  // namespace udc

@@ -118,4 +118,11 @@ std::string SoftwareReport(const Sha256Digest& code_measurement,
                    DigestToHex(code_measurement).c_str());
 }
 
+std::string ImageReport(const Sha256Digest& image_digest,
+                        uint64_t size_bytes) {
+  return StrFormat("image digest=%s size=%llu",
+                   DigestToHex(image_digest).c_str(),
+                   static_cast<unsigned long long>(size_bytes));
+}
+
 }  // namespace udc

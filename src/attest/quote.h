@@ -50,6 +50,7 @@ enum class QuoteSubject : int {
   kResources = 1,     // a pool-ledger row: device, tenant, amount
   kReplication = 2,   // a replica's acknowledgement of holding a copy
   kSoftware = 3,      // code identity running in an environment
+  kImage = 4,         // a content-addressed environment image digest
 };
 
 struct Quote {
@@ -105,6 +106,11 @@ std::string ReplicationReport(std::string_view object, uint64_t replica_device,
                               uint64_t tenant);
 std::string SoftwareReport(const Sha256Digest& code_measurement,
                            std::string_view module_name);
+// Claim over a content-addressed environment image: the digest IS the
+// identity, so the report binds no tenant — identical images from
+// different tenants verify against the same quote.
+std::string ImageReport(const Sha256Digest& image_digest,
+                        uint64_t size_bytes);
 
 }  // namespace udc
 

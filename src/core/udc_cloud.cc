@@ -7,7 +7,7 @@ UdcCloud::UdcCloud(const UdcCloudConfig& config)
       datacenter_(config.datacenter),
       fabric_(&sim_, &datacenter_.topology()),
       sequencer_(&sim_, &fabric_, datacenter_.topology().AggSwitch()),
-      env_manager_(&sim_),
+      env_manager_(&sim_, config.env_store),
       vendor_root_(KeyFromString(config.vendor_key_seed)),
       attestation_(&sim_, vendor_root_),
       prices_(PriceList::DefaultOnDemand()),
@@ -17,6 +17,18 @@ UdcCloud::UdcCloud(const UdcCloudConfig& config)
       failure_injector_(&sim_),
       verifier_(&sim_, vendor_root_, &attestation_) {
   scheduler_.SetSequencer(&sequencer_);
+  env_manager_.set_topology(&datacenter_.topology());
+  // Bind content-addressed images to attestation: the store's content
+  // refcount transitions drive once-per-content image quotes (exec cannot
+  // depend on attest directly, hence the hook).
+  env_manager_.set_content_quote_hook(
+      [this](const Sha256Digest& digest, Bytes size, bool live) {
+        if (live) {
+          attestation_.AcquireImageQuote(digest, size);
+        } else {
+          attestation_.ReleaseImageQuote(digest);
+        }
+      });
   if (datacenter_.topology().cell_count() > 0) {
     cell_router_ = std::make_unique<CellRouter>(
         &sim_, &datacenter_, &fabric_, &env_manager_, &attestation_, &prices_,

@@ -42,6 +42,10 @@ struct UdcCloudConfig {
   DatacenterConfig datacenter;
   SchedulerConfig scheduler;
   BillingConfig billing;
+  // Content-addressed warm-environment store (src/exec/env_store.h).
+  // Disabled by default: the legacy (kind, tenant) pool is the
+  // differential oracle the store is gated against.
+  EnvStoreConfig env_store;
   std::string vendor_key_seed = "udc-vendor-root-v1";
 };
 

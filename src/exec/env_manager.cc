@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/hw/topology.h"
+
 namespace udc {
 
 namespace {
@@ -12,23 +14,62 @@ std::pair<int, uint64_t> WarmKey(EnvKind kind, TenantId tenant) {
 
 }  // namespace
 
-EnvManager::EnvManager(Simulation* sim)
+EnvManager::EnvManager(Simulation* sim, const EnvStoreConfig& store_config)
     : sim_(sim),
       warm_starts_(sim->metrics().CounterSeries("exec.warm_starts")),
       cold_starts_(sim->metrics().CounterSeries("exec.cold_starts")),
+      tepid_starts_(sim->metrics().CounterSeries("exec.tepid_starts")),
+      prewarmed_(sim->metrics().CounterSeries("exec.prewarmed")),
+      cross_tenant_warm_starts_(
+          sim->metrics().CounterSeries("exec.cross_tenant_warm_starts")),
       launches_cancelled_(
           sim->metrics().CounterSeries("exec.launches_cancelled")),
       warm_start_latency_ms_(
           sim->metrics().HistogramSeries("exec.warm_start_latency_ms")),
       cold_start_latency_ms_(
           sim->metrics().HistogramSeries("exec.cold_start_latency_ms")),
+      tepid_start_latency_ms_(
+          sim->metrics().HistogramSeries("exec.tepid_start_latency_ms")),
       start_latency_ms_(
-          sim->metrics().HistogramSeries("exec.start_latency_ms")) {}
+          sim->metrics().HistogramSeries("exec.start_latency_ms")),
+      warm_hit_ratio_(sim->metrics().GaugeSeries("exec.warm_hit_ratio")) {
+  if (store_config.enabled) {
+    store_ = std::make_unique<EnvStore>(&sim->metrics(), store_config);
+  }
+  // No launches yet: a hit ratio of 1.0 is the vacuous truth and keeps the
+  // SLO objective green until a cold start actually happens.
+  sim_->metrics().Set(warm_hit_ratio_, 1.0);
+}
+
+void EnvManager::set_content_quote_hook(EnvStore::ContentLiveHook hook) {
+  if (store_ != nullptr) {
+    store_->set_content_live_hook(std::move(hook));
+  }
+}
 
 EnvProfile EnvManager::LaunchProfile(EnvKind kind,
                                      const LaunchOptions& options) {
   return options.profile_override.has_value() ? *options.profile_override
                                               : EnvProfile::DefaultFor(kind);
+}
+
+int EnvManager::RackForNode(NodeId node) const {
+  if (store_ == nullptr || !store_->config().share_across_tenants) {
+    return 0;  // oracle mode: rack-blind, like the legacy pool
+  }
+  if (topology_ == nullptr) {
+    return 0;
+  }
+  const int rack = topology_->RackOf(node);
+  return rack < 0 ? 0 : rack;
+}
+
+double EnvManager::warm_hit_ratio() const {
+  if (total_starts_ == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(warmish_starts_) /
+         static_cast<double>(total_starts_);
 }
 
 ExecEnvironment* EnvManager::Launch(
@@ -44,31 +85,67 @@ ExecEnvironment* EnvManager::Launch(
   envs_.emplace(id, std::move(env));
 
   SimTime start_latency = profile.cold_start;
-  bool warm = false;
-  const auto key = WarmKey(options.kind, tenant);
-  auto warm_it = warm_slots_.find(key);
-  if (options.allow_warm && warm_it != warm_slots_.end() &&
-      warm_it->second > 0) {
-    // Erase exhausted entries: long-running churn across many (kind,
-    // tenant) pairs must not grow the map with permanent zero slots.
-    if (--warm_it->second == 0) {
-      warm_slots_.erase(warm_it);
+  EnvStartMode mode = EnvStartMode::kCold;
+  if (store_ != nullptr) {
+    const Sha256Digest& digest =
+        store_->Intern(options.kind, options.tenancy, tenant, options.image,
+                       profile.memory_overhead);
+    const int rack = RackForNode(node);
+    const EnvStore::AcquireResult acq =
+        store_->AcquireForLaunch(digest, rack, tenant, options.allow_warm);
+    mode = acq.mode;
+    if (mode == EnvStartMode::kWarm) {
+      start_latency = profile.warm_start;
+    } else if (mode == EnvStartMode::kTepid) {
+      start_latency = profile.warm_start + acq.fetch_latency;
     }
-    start_latency = profile.warm_start;
-    warm = true;
-    sim_->metrics().Increment(warm_starts_);
-    sim_->metrics().Observe(warm_start_latency_ms_, start_latency.millis());
+    if (mode != EnvStartMode::kCold && acq.slot_tenant != tenant.value()) {
+      ++cross_tenant_warm_starts_count_;
+      sim_->metrics().Increment(cross_tenant_warm_starts_);
+    }
+    records_.emplace(id, StoreRecord{digest, mode, acq.source_rack,
+                                     acq.slot_tenant, rack});
   } else {
-    sim_->metrics().Increment(cold_starts_);
-    sim_->metrics().Observe(cold_start_latency_ms_, start_latency.millis());
+    const auto key = WarmKey(options.kind, tenant);
+    auto warm_it = warm_slots_.find(key);
+    if (options.allow_warm && warm_it != warm_slots_.end() &&
+        warm_it->second > 0) {
+      // Erase exhausted entries: long-running churn across many (kind,
+      // tenant) pairs must not grow the map with permanent zero slots.
+      if (--warm_it->second == 0) {
+        warm_slots_.erase(warm_it);
+      }
+      start_latency = profile.warm_start;
+      mode = EnvStartMode::kWarm;
+    }
+  }
+
+  switch (mode) {
+    case EnvStartMode::kWarm:
+      sim_->metrics().Increment(warm_starts_);
+      sim_->metrics().Observe(warm_start_latency_ms_, start_latency.millis());
+      break;
+    case EnvStartMode::kTepid:
+      sim_->metrics().Increment(tepid_starts_);
+      sim_->metrics().Observe(tepid_start_latency_ms_, start_latency.millis());
+      break;
+    case EnvStartMode::kCold:
+      sim_->metrics().Increment(cold_starts_);
+      sim_->metrics().Observe(cold_start_latency_ms_, start_latency.millis());
+      break;
   }
   sim_->metrics().Observe(start_latency_ms_, start_latency.millis());
-  raw->set_started_warm(warm);
+  ++total_starts_;
+  if (mode != EnvStartMode::kCold) {
+    ++warmish_starts_;
+  }
+  sim_->metrics().Set(warm_hit_ratio_, warm_hit_ratio());
+  raw->set_start_mode(mode);
 
   const uint64_t span = sim_->spans().Begin(
       "exec", "exec.env_start",
       {{"kind", std::string(EnvKindName(options.kind))},
-       {"mode", warm ? "warm" : "cold"},
+       {"mode", std::string(EnvStartModeName(mode))},
        {"image", options.image}});
   raw->set_state(EnvState::kStarting);
   raw->set_ready_at(sim_->now() + start_latency);
@@ -95,7 +172,14 @@ Status EnvManager::Stop(ExecEnvironment* env, bool keep_warm) {
   if (it == envs_.end() || it->second.get() != env) {
     return NotFoundError("environment not owned by this manager");
   }
-  if (keep_warm) {
+  if (store_ != nullptr) {
+    const auto rec = records_.find(env->id());
+    if (rec != records_.end()) {
+      store_->ReleaseEnv(rec->second.digest, rec->second.local_rack,
+                         env->tenant(), keep_warm);
+      records_.erase(rec);
+    }
+  } else if (keep_warm) {
     ++warm_slots_[WarmKey(env->kind(), env->tenant())];
   }
   envs_.erase(it);  // reap: stopped environments are not retained
@@ -107,7 +191,18 @@ Status EnvManager::CancelLaunch(ExecEnvironment* env) {
   if (it == envs_.end() || it->second.get() != env) {
     return NotFoundError("environment not owned by this manager");
   }
-  if (env->started_warm()) {
+  if (store_ != nullptr) {
+    const auto rec = records_.find(env->id());
+    if (rec != records_.end()) {
+      // The launch's slot (if any) goes back to the exact rack it was
+      // consumed from, with its original provenance: a rolled back deploy
+      // leaves the store exactly as it found it.
+      store_->RefundCancelled(rec->second.digest, rec->second.mode,
+                              rec->second.source_rack, rec->second.slot_tenant,
+                              rec->second.local_rack);
+      records_.erase(rec);
+    }
+  } else if (env->started_warm()) {
     // The launch consumed a warm slot; cancelling returns it, so a rolled
     // back deploy leaves the warm pool exactly as it found it.
     ++warm_slots_[WarmKey(env->kind(), env->tenant())];
@@ -117,18 +212,61 @@ Status EnvManager::CancelLaunch(ExecEnvironment* env) {
   return OkStatus();
 }
 
-void EnvManager::Prewarm(EnvKind kind, TenantId tenant, int count) {
+void EnvManager::Prewarm(EnvKind kind, TenantId tenant, int count,
+                         std::string_view image, TenancyMode tenancy,
+                         NodeId node) {
+  if (count <= 0) {
+    return;
+  }
+  sim_->metrics().Increment(prewarmed_, count);
+  if (store_ != nullptr) {
+    const Sha256Digest& digest = store_->Intern(
+        kind, tenancy, tenant, image, EnvProfile::DefaultFor(kind).memory_overhead);
+    store_->Prewarm(digest, RackForNode(node), tenant, count);
+    return;
+  }
   warm_slots_[WarmKey(kind, tenant)] += count;
 }
 
 int EnvManager::WarmSlots(EnvKind kind, TenantId tenant) const {
+  if (store_ != nullptr) {
+    return static_cast<int>(store_->TotalSlots(
+        store_->KeyDigest(kind, TenancyMode::kShared, tenant, "default")));
+  }
   const auto it = warm_slots_.find(WarmKey(kind, tenant));
   return it == warm_slots_.end() ? 0 : it->second;
 }
 
+size_t EnvManager::warm_slot_entries() const {
+  if (store_ != nullptr) {
+    return store_->live_contents();
+  }
+  return warm_slots_.size();
+}
+
 SimTime EnvManager::NextStartLatency(EnvKind kind, TenantId tenant,
                                      const LaunchOptions& options) const {
+  return NextStartLatency(kind, tenant, options, NodeId(0));
+}
+
+SimTime EnvManager::NextStartLatency(EnvKind kind, TenantId tenant,
+                                     const LaunchOptions& options,
+                                     NodeId node) const {
   const EnvProfile profile = LaunchProfile(kind, options);
+  if (store_ != nullptr) {
+    const Sha256Digest digest =
+        store_->KeyDigest(kind, options.tenancy, tenant, options.image);
+    const EnvStore::PeekResult peek =
+        store_->Peek(digest, RackForNode(node), options.allow_warm);
+    switch (peek.mode) {
+      case EnvStartMode::kWarm:
+        return profile.warm_start;
+      case EnvStartMode::kTepid:
+        return profile.warm_start + peek.fetch_latency;
+      case EnvStartMode::kCold:
+        return profile.cold_start;
+    }
+  }
   if (options.allow_warm && WarmSlots(kind, tenant) > 0) {
     return profile.warm_start;
   }

@@ -1,9 +1,17 @@
 // Environment lifecycle manager.
 //
 // Launches execution environments on the simulation clock, charging cold or
-// warm start per the environment's profile. Maintains a per-(kind, tenant)
-// warm pool — the mitigation the paper implies for the cold-start challenge
-// of fine-grained secure environments (bench E6 measures both paths).
+// warm start per the environment's profile. Two warm-pool backends:
+//
+//   - legacy (default): a per-(kind, tenant) slot map — the mitigation the
+//     paper implies for the cold-start challenge of fine-grained secure
+//     environments (bench E6 measures both paths). Kept as the
+//     differential oracle for the store.
+//   - content-addressed store (EnvStoreConfig::enabled): warm slots are
+//     banked against the SHA-256 content key of the image, in rack-local
+//     capacity-bounded caches — identical modules from different tenants
+//     share warm slots, a rack miss with a remote hit pays a "tepid"
+//     cross-rack fetch, and a global miss builds cold (see env_store.h).
 
 #ifndef UDC_SRC_EXEC_ENV_MANAGER_H_
 #define UDC_SRC_EXEC_ENV_MANAGER_H_
@@ -12,14 +20,18 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 
 #include "src/common/ids.h"
 #include "src/common/status.h"
+#include "src/exec/env_store.h"
 #include "src/exec/environment.h"
 #include "src/sim/simulation.h"
 
 namespace udc {
+
+class Topology;
 
 struct LaunchOptions {
   EnvKind kind = EnvKind::kContainer;
@@ -36,10 +48,20 @@ struct LaunchOptions {
 
 class EnvManager {
  public:
-  explicit EnvManager(Simulation* sim);
+  explicit EnvManager(Simulation* sim,
+                      const EnvStoreConfig& store_config = EnvStoreConfig());
 
   EnvManager(const EnvManager&) = delete;
   EnvManager& operator=(const EnvManager&) = delete;
+
+  // Rack mapping for the store's rack-local caches; without a topology all
+  // nodes share rack 0. Safe to leave unset in legacy mode.
+  void set_topology(const Topology* topology) { topology_ = topology; }
+  // Forwarded to the store (no-op in legacy mode): fires on content
+  // refcount 0 <-> 1 transitions so the owner can mint/release
+  // content-bound attestation quotes without a dependency cycle onto
+  // src/attest.
+  void set_content_quote_hook(EnvStore::ContentLiveHook hook);
 
   // Launches an environment for `tenant` on `node`. `on_ready` fires on the
   // simulation clock when the environment reaches kReady (and is skipped if
@@ -49,52 +71,103 @@ class EnvManager {
                           const LaunchOptions& options,
                           std::function<void(ExecEnvironment*)> on_ready);
 
-  // Stops and reaps the environment; when `keep_warm`, a warm slot for its
-  // (kind, tenant) is credited so a future launch starts warm. The
-  // environment is destroyed — churn workloads (launch/stop per request)
-  // hold no dead environments. `env` is invalid after a successful Stop.
+  // Stops and reaps the environment; when `keep_warm`, a warm slot is
+  // credited — against (kind, tenant) in legacy mode, against the content
+  // key on the environment's rack in store mode — so a future launch
+  // starts warm. The environment is destroyed — churn workloads
+  // (launch/stop per request) hold no dead environments. `env` is invalid
+  // after a successful Stop.
   Status Stop(ExecEnvironment* env, bool keep_warm);
 
   // Undoes a Launch: reaps the environment and refunds the warm slot the
-  // launch consumed (if it started warm), so cancelling restores the warm
-  // pool exactly. Used by placement transactions rolling back a deploy.
+  // launch consumed (to the exact rack it came from, with its original
+  // provenance, in store mode), so cancelling restores the warm pool
+  // exactly. Used by placement transactions rolling back a deploy.
   // `env` is invalid after a successful CancelLaunch.
   Status CancelLaunch(ExecEnvironment* env);
 
   // Pre-provisions `count` warm slots of `kind` for `tenant` (no time charge
-  // at call site; real systems fill pools in the background).
-  void Prewarm(EnvKind kind, TenantId tenant, int count);
+  // at call site; real systems fill pools in the background). Counted into
+  // `exec.prewarmed` so bench hit-ratio math can discount free credits. In
+  // store mode the slots bank against the content key of `image` on
+  // `node`'s rack.
+  void Prewarm(EnvKind kind, TenantId tenant, int count,
+               std::string_view image = "default",
+               TenancyMode tenancy = TenancyMode::kShared,
+               NodeId node = NodeId(0));
 
   size_t live_count() const { return envs_.size(); }
+  // Warm slots a launch of (kind, tenant) could consume. In store mode
+  // this resolves the default image's content key; content-specific counts
+  // come from store()->TotalSlots.
   int WarmSlots(EnvKind kind, TenantId tenant) const;
-  // Distinct (kind, tenant) warm-pool entries currently held. Exhausted
-  // entries are erased on the last warm launch, so churn across many pairs
-  // keeps this bounded by the live warm credit, not the history.
-  size_t warm_slot_entries() const { return warm_slots_.size(); }
+  // Distinct (kind, tenant) warm-pool entries currently held (legacy mode;
+  // store mode reports live contents). Exhausted entries are erased on the
+  // last warm launch, so churn across many pairs keeps this bounded by the
+  // live warm credit, not the history.
+  size_t warm_slot_entries() const;
 
   // Start latency the next Launch of (kind, tenant) would pay. Uses the
-  // same profile resolution as Launch (see LaunchOptions::profile_override).
+  // same profile resolution as Launch (see LaunchOptions::profile_override)
+  // and, in store mode, the same rack-tier decision Launch would make for
+  // `node` (warm on the local rack, tepid fetch from a remote one, cold).
   SimTime NextStartLatency(EnvKind kind, TenantId tenant,
                            const LaunchOptions& options) const;
+  SimTime NextStartLatency(EnvKind kind, TenantId tenant,
+                           const LaunchOptions& options, NodeId node) const;
+
+  // The content-addressed store, or nullptr in legacy mode.
+  EnvStore* store() { return store_.get(); }
+  const EnvStore* store() const { return store_.get(); }
+  // Warm/tepid starts over all starts so far (1.0 before any launch).
+  double warm_hit_ratio() const;
+  int64_t cross_tenant_warm_starts() const {
+    return cross_tenant_warm_starts_count_;
+  }
 
  private:
   // The cost profile a launch with `options` runs under.
   static EnvProfile LaunchProfile(EnvKind kind, const LaunchOptions& options);
+  // The store rack `node` maps to. Sharing-off mode collapses every node
+  // onto rack 0 so the oracle equivalence with the legacy pool holds on
+  // any topology.
+  int RackForNode(NodeId node) const;
+
+  // Store-mode provenance of one launch, consulted by Stop/CancelLaunch.
+  struct StoreRecord {
+    Sha256Digest digest{};
+    EnvStartMode mode = EnvStartMode::kCold;
+    int source_rack = -1;
+    uint64_t slot_tenant = 0;
+    int local_rack = 0;
+  };
 
   Simulation* sim_;
+  const Topology* topology_ = nullptr;
+  std::unique_ptr<EnvStore> store_;  // null in legacy mode
   uint64_t next_id_ = 0;
   // Keyed by environment id: O(1) reap on Stop, and the on_ready callback
   // can check liveness by id instead of risking a dangling pointer.
   std::unordered_map<uint64_t, std::unique_ptr<ExecEnvironment>> envs_;
   std::map<std::pair<int, uint64_t>, int> warm_slots_;  // (kind, tenant) -> n
+  std::unordered_map<uint64_t, StoreRecord> records_;   // store mode only
+
+  int64_t total_starts_ = 0;
+  int64_t warmish_starts_ = 0;  // warm + tepid
+  int64_t cross_tenant_warm_starts_count_ = 0;
 
   // Interned metric series for the per-launch hot path.
   CounterHandle warm_starts_;
   CounterHandle cold_starts_;
+  CounterHandle tepid_starts_;
+  CounterHandle prewarmed_;
+  CounterHandle cross_tenant_warm_starts_;
   CounterHandle launches_cancelled_;
   HistogramHandle warm_start_latency_ms_;
   HistogramHandle cold_start_latency_ms_;
+  HistogramHandle tepid_start_latency_ms_;
   HistogramHandle start_latency_ms_;
+  GaugeHandle warm_hit_ratio_;
 };
 
 }  // namespace udc

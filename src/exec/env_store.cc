@@ -1,0 +1,394 @@
+#include "src/exec/env_store.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace udc {
+
+EnvStore::EnvStore(MetricsRegistry* metrics, const EnvStoreConfig& config)
+    : metrics_(metrics),
+      config_(config),
+      store_bytes_gauge_(metrics->GaugeSeries("exec.store_bytes")),
+      evictions_metric_(metrics->CounterSeries("exec.evictions")),
+      bytes_deduped_metric_(metrics->CounterSeries("exec.store_bytes_deduped")) {
+}
+
+Sha256Digest EnvStore::KeyDigest(EnvKind kind, TenancyMode tenancy,
+                                 TenantId tenant,
+                                 std::string_view image) const {
+  // With sharing off the key binds exactly (kind, tenant) — the legacy
+  // pool's granularity — so the store's decisions match it byte-for-byte.
+  // With sharing on the key binds the content (kind, tenancy, image) and
+  // deliberately omits the tenant: identical modules from different
+  // tenants collapse into one warm pool.
+  if (!config_.share_across_tenants) {
+    return Sha256::Hash(
+        StrFormat("env-pool kind=%d tenant=%llu", static_cast<int>(kind),
+                  static_cast<unsigned long long>(tenant.value())));
+  }
+  return Sha256::Hash(StrFormat(
+      "env-image kind=%d tenancy=%d image=%s", static_cast<int>(kind),
+      static_cast<int>(tenancy), std::string(image).c_str()));
+}
+
+const Sha256Digest& EnvStore::Intern(EnvKind kind, TenancyMode tenancy,
+                                     TenantId tenant, std::string_view image,
+                                     Bytes size) {
+  std::string manifest;
+  if (!config_.share_across_tenants) {
+    manifest =
+        StrFormat("env-pool kind=%d tenant=%llu", static_cast<int>(kind),
+                  static_cast<unsigned long long>(tenant.value()));
+  } else {
+    manifest = StrFormat("env-image kind=%d tenancy=%d image=%s",
+                         static_cast<int>(kind), static_cast<int>(tenancy),
+                         std::string(image).c_str());
+  }
+  auto it = intern_.find(manifest);
+  if (it == intern_.end()) {
+    // First sight of this manifest: the only place the image is hashed.
+    const Sha256Digest digest = Sha256::Hash(manifest);
+    it = intern_.emplace(std::move(manifest), digest).first;
+  }
+  GlobalEntry& global = contents_[it->second];
+  if (global.size.bytes() == 0) {
+    global.size = size;
+  }
+  return it->second;
+}
+
+EnvStore::RackCache& EnvStore::Rack(int rack) {
+  const size_t idx = rack < 0 ? 0 : static_cast<size_t>(rack);
+  if (idx >= racks_.size()) {
+    racks_.resize(idx + 1);
+  }
+  return racks_[idx];
+}
+
+SimTime EnvStore::FetchLatency(Bytes size) const {
+  const double bytes_per_us =
+      config_.fetch_gib_per_s * 1024.0 * 1024.0 * 1024.0 / 1e6;
+  const auto transfer_us = static_cast<int64_t>(
+      static_cast<double>(size.bytes()) / bytes_per_us);
+  return config_.fetch_base + SimTime::Micros(transfer_us);
+}
+
+void EnvStore::AddRef(const Sha256Digest& digest, GlobalEntry& global) {
+  if (global.refs++ == 0) {
+    ++live_contents_;
+    if (content_live_hook_) {
+      content_live_hook_(digest, global.size, true);
+    }
+  }
+}
+
+void EnvStore::DropRef(const Sha256Digest& digest, GlobalEntry& global) {
+  if (--global.refs == 0) {
+    --live_contents_;
+    if (content_live_hook_) {
+      content_live_hook_(digest, global.size, false);
+    }
+  }
+}
+
+EnvStore::RackEntry& EnvStore::EnsureResident(int rack,
+                                              const Sha256Digest& digest,
+                                              GlobalEntry& global) {
+  RackCache& cache = Rack(rack);
+  auto [it, inserted] = cache.entries.try_emplace(digest);
+  if (!inserted) {
+    // Already cached here: the image pull is saved — that is the dedupe.
+    bytes_deduped_ += global.size.bytes();
+    metrics_->Increment(bytes_deduped_metric_, global.size.bytes());
+    Touch(it->second);
+    return it->second;
+  }
+  cache.resident = Bytes(cache.resident.bytes() + global.size.bytes());
+  resident_bytes_ = Bytes(resident_bytes_.bytes() + global.size.bytes());
+  Touch(it->second);
+  EvictIfNeeded(rack, digest);
+  metrics_->Set(store_bytes_gauge_,
+                static_cast<double>(resident_bytes_.bytes()));
+  // try_emplace iterators survive EvictIfNeeded: std::map erase never
+  // invalidates other nodes, and the pinned digest is never the victim.
+  return it->second;
+}
+
+void EnvStore::EvictIfNeeded(int rack, const Sha256Digest& pinned) {
+  if (config_.rack_cache_capacity.bytes() <= 0) {
+    return;  // unbounded
+  }
+  RackCache& cache = Rack(rack);
+  while (cache.resident.bytes() > config_.rack_cache_capacity.bytes()) {
+    // Size-aware LRU: the oldest unpinned entry with no live environments
+    // goes first, warm slots and all (cache pressure kills warm pools).
+    auto victim = cache.entries.end();
+    for (auto it = cache.entries.begin(); it != cache.entries.end(); ++it) {
+      if (it->second.live > 0 || DigestEqual(it->first, pinned)) {
+        continue;  // pinned: a running env (or the entry being inserted)
+      }
+      if (victim == cache.entries.end() ||
+          it->second.lru_tick < victim->second.lru_tick) {
+        victim = it;
+      }
+    }
+    if (victim == cache.entries.end()) {
+      return;  // everything pinned: soft bound, allow the overage
+    }
+    GlobalEntry& global = contents_.at(victim->first);
+    const auto dropped =
+        static_cast<int64_t>(victim->second.slot_tenants.size());
+    for (int64_t i = 0; i < dropped; ++i) {
+      DropRef(victim->first, global);
+    }
+    global.warm_slots -= dropped;
+    total_warm_slots_ -= dropped;
+    cache.resident = Bytes(cache.resident.bytes() - global.size.bytes());
+    resident_bytes_ = Bytes(resident_bytes_.bytes() - global.size.bytes());
+    ++cache.evictions;
+    ++evictions_;
+    metrics_->Increment(evictions_metric_);
+    cache.entries.erase(victim);
+  }
+  metrics_->Set(store_bytes_gauge_,
+                static_cast<double>(resident_bytes_.bytes()));
+}
+
+EnvStore::AcquireResult EnvStore::AcquireForLaunch(const Sha256Digest& digest,
+                                                   int rack, TenantId tenant,
+                                                   bool allow_warm) {
+  GlobalEntry& global = contents_.at(digest);
+  RackCache& local = Rack(rack);
+  AcquireResult result;
+
+  if (allow_warm) {
+    auto it = local.entries.find(digest);
+    if (it != local.entries.end() && !it->second.slot_tenants.empty()) {
+      // Rack hit: consume the most recently banked slot.
+      result.mode = EnvStartMode::kWarm;
+      result.source_rack = rack;
+      result.slot_tenant = it->second.slot_tenants.back();
+      it->second.slot_tenants.pop_back();
+      --global.warm_slots;
+      --total_warm_slots_;
+      ++local.hits;
+      ++hits_;
+      // The env ref replaces the slot ref: add before drop so the content
+      // never transitions through refs == 0.
+      AddRef(digest, global);
+      DropRef(digest, global);
+      ++it->second.live;
+      bytes_deduped_ += global.size.bytes();
+      metrics_->Increment(bytes_deduped_metric_, global.size.bytes());
+      Touch(it->second);
+      ++live_env_refs_;
+      return result;
+    }
+    // Rack miss: lowest-indexed rack holding a slot is the tepid source
+    // (deterministic by construction).
+    for (size_t r = 0; r < racks_.size(); ++r) {
+      if (static_cast<int>(r) == rack) {
+        continue;
+      }
+      auto remote = racks_[r].entries.find(digest);
+      if (remote == racks_[r].entries.end() ||
+          remote->second.slot_tenants.empty()) {
+        continue;
+      }
+      result.mode = EnvStartMode::kTepid;
+      result.source_rack = static_cast<int>(r);
+      result.slot_tenant = remote->second.slot_tenants.back();
+      remote->second.slot_tenants.pop_back();
+      --global.warm_slots;
+      --total_warm_slots_;
+      result.fetch_latency = FetchLatency(global.size);
+      ++local.tepid_hits;
+      ++tepid_hits_;
+      AddRef(digest, global);
+      DropRef(digest, global);
+      // Fill-on-miss: the fetched image lands in the local cache.
+      RackEntry& entry = EnsureResident(rack, digest, global);
+      ++entry.live;
+      ++live_env_refs_;
+      return result;
+    }
+  }
+
+  // Global miss (or warm disallowed): cold build + insert.
+  result.mode = EnvStartMode::kCold;
+  ++local.misses;
+  ++misses_;
+  AddRef(digest, global);
+  RackEntry& entry = EnsureResident(rack, digest, global);
+  ++entry.live;
+  ++live_env_refs_;
+  return result;
+}
+
+EnvStore::PeekResult EnvStore::Peek(const Sha256Digest& digest, int rack,
+                                    bool allow_warm) const {
+  PeekResult result;
+  if (!allow_warm) {
+    return result;
+  }
+  const size_t idx = rack < 0 ? 0 : static_cast<size_t>(rack);
+  if (idx < racks_.size()) {
+    auto it = racks_[idx].entries.find(digest);
+    if (it != racks_[idx].entries.end() && !it->second.slot_tenants.empty()) {
+      result.mode = EnvStartMode::kWarm;
+      return result;
+    }
+  }
+  for (size_t r = 0; r < racks_.size(); ++r) {
+    if (r == idx) {
+      continue;
+    }
+    auto it = racks_[r].entries.find(digest);
+    if (it != racks_[r].entries.end() && !it->second.slot_tenants.empty()) {
+      result.mode = EnvStartMode::kTepid;
+      const auto content = contents_.find(digest);
+      if (content != contents_.end()) {
+        result.fetch_latency = FetchLatency(content->second.size);
+      }
+      return result;
+    }
+  }
+  return result;
+}
+
+void EnvStore::ReleaseEnv(const Sha256Digest& digest, int rack,
+                          TenantId tenant, bool keep_warm) {
+  GlobalEntry& global = contents_.at(digest);
+  if (keep_warm) {
+    // Bank the slot before dropping the env ref so the content's refcount
+    // never dips to zero across the hand-off.
+    AddRef(digest, global);
+    RackEntry& entry = EnsureResident(rack, digest, global);
+    entry.slot_tenants.push_back(tenant.value());
+    ++global.warm_slots;
+    ++total_warm_slots_;
+  }
+  auto it = Rack(rack).entries.find(digest);
+  if (it != Rack(rack).entries.end() && it->second.live > 0) {
+    --it->second.live;
+  }
+  DropRef(digest, global);
+  --live_env_refs_;
+}
+
+void EnvStore::RefundCancelled(const Sha256Digest& digest, EnvStartMode mode,
+                               int source_rack, uint64_t slot_tenant,
+                               int local_rack) {
+  GlobalEntry& global = contents_.at(digest);
+  if (mode != EnvStartMode::kCold) {
+    // Return the consumed slot to the rack it came from, with its original
+    // provenance — exactly undoing AcquireForLaunch's consumption.
+    AddRef(digest, global);
+    RackEntry& entry = EnsureResident(source_rack, digest, global);
+    entry.slot_tenants.push_back(slot_tenant);
+    ++global.warm_slots;
+    ++total_warm_slots_;
+  }
+  auto it = Rack(local_rack).entries.find(digest);
+  if (it != Rack(local_rack).entries.end() && it->second.live > 0) {
+    --it->second.live;
+  }
+  DropRef(digest, global);
+  --live_env_refs_;
+}
+
+void EnvStore::Prewarm(const Sha256Digest& digest, int rack, TenantId tenant,
+                       int count) {
+  GlobalEntry& global = contents_.at(digest);
+  RackEntry* entry = nullptr;
+  for (int i = 0; i < count; ++i) {
+    AddRef(digest, global);
+    entry = &EnsureResident(rack, digest, global);
+    entry->slot_tenants.push_back(tenant.value());
+  }
+  global.warm_slots += count;
+  total_warm_slots_ += count;
+}
+
+int64_t EnvStore::TotalSlots(const Sha256Digest& digest) const {
+  const auto it = contents_.find(digest);
+  return it == contents_.end() ? 0 : it->second.warm_slots;
+}
+
+int64_t EnvStore::SlotsOnRack(const Sha256Digest& digest, int rack) const {
+  const size_t idx = rack < 0 ? 0 : static_cast<size_t>(rack);
+  if (idx >= racks_.size()) {
+    return 0;
+  }
+  const auto it = racks_[idx].entries.find(digest);
+  return it == racks_[idx].entries.end()
+             ? 0
+             : static_cast<int64_t>(it->second.slot_tenants.size());
+}
+
+int64_t EnvStore::ContentRefs(const Sha256Digest& digest) const {
+  const auto it = contents_.find(digest);
+  return it == contents_.end() ? 0 : it->second.refs;
+}
+
+double EnvStore::DedupeFactor() const {
+  if (resident_bytes_.bytes() <= 0) {
+    return 1.0;
+  }
+  int64_t logical = 0;
+  for (const auto& [digest, global] : contents_) {
+    logical += global.size.bytes() * std::max<int64_t>(global.refs, 0);
+  }
+  return std::max(1.0, static_cast<double>(logical) /
+                           static_cast<double>(resident_bytes_.bytes()));
+}
+
+std::vector<EnvStore::RackStats> EnvStore::PerRackStats() const {
+  std::vector<RackStats> stats;
+  stats.reserve(racks_.size());
+  for (size_t r = 0; r < racks_.size(); ++r) {
+    const RackCache& cache = racks_[r];
+    RackStats s;
+    s.rack = static_cast<int>(r);
+    s.entries = cache.entries.size();
+    for (const auto& [digest, entry] : cache.entries) {
+      s.warm_slots += static_cast<int64_t>(entry.slot_tenants.size());
+    }
+    s.resident = cache.resident;
+    s.hits = cache.hits;
+    s.tepid_hits = cache.tepid_hits;
+    s.misses = cache.misses;
+    s.evictions = cache.evictions;
+    stats.push_back(s);
+  }
+  return stats;
+}
+
+std::vector<EnvStore::ContentStats> EnvStore::TopByRefs(size_t n) const {
+  std::vector<ContentStats> all;
+  all.reserve(contents_.size());
+  for (const auto& [digest, global] : contents_) {
+    ContentStats s;
+    s.digest = digest;
+    s.size = global.size;
+    s.refs = global.refs;
+    s.warm_slots = global.warm_slots;
+    for (const RackCache& cache : racks_) {
+      if (cache.entries.count(digest) > 0) {
+        ++s.racks_resident;
+      }
+    }
+    all.push_back(s);
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const ContentStats& a, const ContentStats& b) {
+                     return a.refs > b.refs;
+                   });
+  if (all.size() > n) {
+    all.resize(n);
+  }
+  return all;
+}
+
+}  // namespace udc

@@ -28,6 +28,18 @@ std::string_view EnvKindName(EnvKind kind) {
   return "unknown";
 }
 
+std::string_view EnvStartModeName(EnvStartMode mode) {
+  switch (mode) {
+    case EnvStartMode::kCold:
+      return "cold";
+    case EnvStartMode::kWarm:
+      return "warm";
+    case EnvStartMode::kTepid:
+      return "tepid";
+  }
+  return "unknown";
+}
+
 std::string_view IsolationLevelName(IsolationLevel level) {
   switch (level) {
     case IsolationLevel::kWeak:

@@ -102,6 +102,17 @@ enum class EnvState {
   kStopped,
 };
 
+// How a launch's start latency was paid. Warm consumes a slot on the local
+// rack cache; tepid consumes a remote slot plus a modeled cross-rack fetch
+// (content-addressed store only); cold builds from nothing.
+enum class EnvStartMode : int {
+  kCold = 0,
+  kWarm = 1,
+  kTepid = 2,
+};
+
+std::string_view EnvStartModeName(EnvStartMode mode);
+
 // One launched environment instance.
 class ExecEnvironment {
  public:
@@ -121,9 +132,14 @@ class ExecEnvironment {
   void set_state(EnvState s) { state_ = s; }
   SimTime ready_at() const { return ready_at_; }
   void set_ready_at(SimTime t) { ready_at_ = t; }
-  // Whether this launch consumed a warm slot; a cancelled launch refunds it.
-  bool started_warm() const { return started_warm_; }
-  void set_started_warm(bool warm) { started_warm_ = warm; }
+  // Whether this launch consumed a warm slot (locally or via a tepid
+  // cross-rack fetch); a cancelled launch refunds it.
+  bool started_warm() const { return start_mode_ != EnvStartMode::kCold; }
+  void set_started_warm(bool warm) {
+    start_mode_ = warm ? EnvStartMode::kWarm : EnvStartMode::kCold;
+  }
+  EnvStartMode start_mode() const { return start_mode_; }
+  void set_start_mode(EnvStartMode mode) { start_mode_ = mode; }
 
   // Measurement of the launched image+config, extended into attestation
   // quotes. Deterministic over (kind, tenancy, tenant, image); hashed
@@ -153,7 +169,7 @@ class ExecEnvironment {
   EnvProfile profile_;
   EnvState state_ = EnvState::kStarting;
   SimTime ready_at_;
-  bool started_warm_ = false;
+  EnvStartMode start_mode_ = EnvStartMode::kCold;
   std::string image_ = "default";
   mutable Sha256Digest measurement_{};
   mutable bool measurement_dirty_ = true;

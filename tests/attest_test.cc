@@ -145,5 +145,50 @@ TEST_F(AttestationServiceTest, SoftwareQuoteBindsMeasurement) {
   EXPECT_FALSE(verifier_.VerifyClaim(*q, SoftwareReport(other, "A2")).ok());
 }
 
+TEST_F(AttestationServiceTest, ImageQuoteMintedOncePerContentAndRefCounted) {
+  const Sha256Digest digest = Sha256::Hash("env-image content");
+  const Bytes size = Bytes::MiB(96);
+
+  const Quote* first = service_.AcquireImageQuote(digest, size);
+  const Quote* second = service_.AcquireImageQuote(digest, size);
+  EXPECT_EQ(first, second);  // memoized: one quote object per content
+  EXPECT_EQ(service_.image_quotes_minted(), 1u);
+  EXPECT_EQ(service_.ImageQuoteRefs(digest), 2);
+  EXPECT_EQ(service_.live_image_quotes(), 1u);
+  // The store identity is reserved — it never shows up as a provisioned
+  // device, so drain checks on provisioned_count stay meaningful.
+  EXPECT_EQ(service_.provisioned_count(), 0u);
+
+  // The quote verifies against the vendor root and binds digest + size.
+  EXPECT_EQ(first->subject, QuoteSubject::kImage);
+  EXPECT_TRUE(verifier_.Verify(*first).ok());
+  EXPECT_TRUE(
+      verifier_
+          .VerifyClaim(*first,
+                       ImageReport(digest, static_cast<uint64_t>(size.bytes())))
+          .ok());
+  const Sha256Digest other = Sha256::Hash("other content");
+  EXPECT_FALSE(
+      verifier_
+          .VerifyClaim(*first,
+                       ImageReport(other, static_cast<uint64_t>(size.bytes())))
+          .ok());
+
+  // Release to zero, then re-acquire: the count goes dormant and comes
+  // back without a second mint.
+  service_.ReleaseImageQuote(digest);
+  service_.ReleaseImageQuote(digest);
+  EXPECT_EQ(service_.live_image_quotes(), 0u);
+  EXPECT_EQ(service_.ImageQuoteRefs(digest), 0);
+  service_.ReleaseImageQuote(digest);  // idempotent past zero
+  EXPECT_EQ(service_.ImageQuoteRefs(digest), 0);
+  ASSERT_NE(service_.FindImageQuote(digest), nullptr);  // stays memoized
+
+  const Quote* again = service_.AcquireImageQuote(digest, size);
+  EXPECT_EQ(again, first);
+  EXPECT_EQ(service_.image_quotes_minted(), 1u);
+  EXPECT_EQ(sim_.metrics().counter("attest.image_quotes_minted"), 1);
+}
+
 }  // namespace
 }  // namespace udc

@@ -157,6 +157,47 @@ TEST_F(PlacementTxnTest, AbortCancelsLaunchAndRefundsWarmSlot) {
   sim_.RunToCompletion();
 }
 
+TEST(StoreTxnTest, AbortRestoresStoreRefcountsAndWarmCreditsExactly) {
+  // Same abort contract, content-addressed store backend: cancelling a
+  // launch must return the consumed slot to its source rack and unwind the
+  // content refcount exactly — a placement abort is invisible to the store.
+  Simulation sim;
+  DisaggregatedDatacenter dc(DatacenterConfig{.racks = 2});
+  EnvStoreConfig store_config;
+  store_config.enabled = true;
+  store_config.share_across_tenants = true;
+  EnvManager envs(&sim, store_config);
+  envs.set_topology(&dc.topology());
+  AttestationService attest(&sim, KeyFromString("txn-test-vendor"));
+  PlacementEngine engine(&sim, &dc, &envs, &attest);
+
+  LaunchOptions options;
+  options.kind = EnvKind::kTeeEnclave;
+  options.image = "shared-model";
+  envs.Prewarm(options.kind, TenantId(1), 1, options.image);
+  const EnvStore* store = envs.store();
+  const Sha256Digest digest = store->KeyDigest(
+      options.kind, TenancyMode::kShared, TenantId(1), options.image);
+  const int64_t refs_before = store->ContentRefs(digest);
+  const int64_t slots_before = store->SlotsOnRack(digest, 0);
+  ASSERT_EQ(slots_before, 1);
+
+  PlacementTxn txn = engine.Begin("store_abort");
+  // Different tenant, same content: the launch consumes the shared slot.
+  ExecEnvironment* env = txn.Launch(TenantId(2), NodeId(1), options, nullptr);
+  ASSERT_NE(env, nullptr);
+  EXPECT_EQ(env->start_mode(), EnvStartMode::kWarm);
+  EXPECT_EQ(store->SlotsOnRack(digest, 0), 0);
+  EXPECT_EQ(store->live_env_refs(), 1);
+
+  txn.Abort();
+  EXPECT_EQ(envs.live_count(), 0u);
+  EXPECT_EQ(store->SlotsOnRack(digest, 0), slots_before);
+  EXPECT_EQ(store->ContentRefs(digest), refs_before);
+  EXPECT_EQ(store->live_env_refs(), 0);
+  sim.RunToCompletion();  // pending ready event must no-op
+}
+
 TEST_F(PlacementTxnTest, AbortRetiresProvisionedIdentities) {
   PlacementTxn txn = engine_.Begin("test");
   txn.Provision(7);
@@ -378,6 +419,22 @@ TEST(PlacementAtomicityTest, GpuExhaustionAbortsClean) {
   UdcCloud cloud(config);
   RunAtomicityScenario(cloud, /*seed=*/21, MicroserviceConfig{.chain_length = 4},
                        /*target_failures=*/3);
+}
+
+TEST(PlacementAtomicityTest, GpuExhaustionAbortsCleanWithStoreEnabled) {
+  // The same exhaustion scenario with the content-addressed store behind
+  // the env manager: aborts must additionally leave zero live store refs
+  // and release every content-bound image quote.
+  UdcCloudConfig config;
+  config.datacenter.racks = 1;
+  config.datacenter.rack.gpu_boards = 0;
+  config.env_store.enabled = true;
+  config.env_store.share_across_tenants = true;
+  UdcCloud cloud(config);
+  RunAtomicityScenario(cloud, /*seed=*/21, MicroserviceConfig{.chain_length = 4},
+                       /*target_failures=*/3);
+  EXPECT_EQ(cloud.envs().store()->live_env_refs(), 0);
+  EXPECT_EQ(cloud.attestation().live_image_quotes(), 0u);
 }
 
 TEST(PlacementAtomicityTest, StorageExhaustionAbortsClean) {

@@ -80,10 +80,33 @@ if [[ "$cat_found" -eq 0 ]]; then
   exit 1
 fi
 
+# Required series: the content-addressed env-store observability surface.
+# These names are load-bearing — benches gate on them and `udcctl slo`
+# registers slo.exec.warm_hit_ratio over the gauge — so renaming or
+# dropping any of them must fail this lint, not silently zero a dashboard.
+required_series=(
+  exec.warm_hit_ratio
+  exec.store_bytes
+  exec.store_bytes_deduped
+  exec.evictions
+  exec.prewarmed
+  exec.tepid_starts
+  exec.cross_tenant_warm_starts
+  attest.image_quotes_minted
+)
+for series in "${required_series[@]}"; do
+  if ! grep -rqF "\"$series\"" src; then
+    echo "missing required metric series: \"$series\" is not interned" \
+         "anywhere under src/" >&2
+    bad=1
+  fi
+done
+
 if [[ "$bad" -ne 0 ]]; then
   echo "names must match: metrics $pattern, SLOs $slo_pattern," \
        "span categories $category_pattern" >&2
   exit 1
 fi
 echo "check_metric_names.sh: $found metric + $slo_found slo +" \
-     "$cat_found span-category call sites OK"
+     "$cat_found span-category call sites OK," \
+     "${#required_series[@]} required env-store series present"

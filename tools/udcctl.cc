@@ -33,6 +33,7 @@
 
 #include "src/common/strings.h"
 #include "src/core/runtime.h"
+#include "src/crypto/sha256.h"
 #include "src/core/udc_cloud.h"
 #include "src/obs/chrome_trace.h"
 #include "src/obs/exposition.h"
@@ -78,6 +79,13 @@ int Usage() {
       "                            partitioned control plane and print the\n"
       "                            per-cell capacity/latency table\n"
       "                            (defaults: 8 racks, 2 cells, 8 deploys)\n"
+      "  store [--racks N] [--tenants N] [--deploys N] [spec.udcl]\n"
+      "                            churn the spec through several tenants on\n"
+      "                            a store-enabled cloud and print the\n"
+      "                            content-addressed store's per-rack\n"
+      "                            occupancy, hit/miss/eviction counts,\n"
+      "                            dedupe factor and top contents by refs\n"
+      "                            (defaults: 4 racks, 3 tenants, 9 deploys)\n"
       "\n"
       "omitting [spec.udcl] uses the embedded medical app\n"
       "\n"
@@ -227,6 +235,19 @@ void RegisterDefaultObjectives(udc::SloEngine* slos) {
     spec.window = udc::SimTime::Hours(2);
     slos->AddObjective(std::move(spec));
   }
+  {
+    udc::SloSpec spec;
+    spec.name = "slo.exec.warm_hit_ratio";
+    spec.kind = udc::SloSpec::SourceKind::kGauge;
+    spec.source = "exec.warm_hit_ratio";
+    spec.cmp = udc::SloSpec::Cmp::kGe;
+    // Generous on purpose: the gauge reads 1.0 before any start and a
+    // single-cycle run is all cold starts, so anything above zero passes.
+    // The tight fan-out budget lives in bench/coldstart_isolation.
+    spec.threshold = 0.0;
+    spec.window = udc::SimTime::Hours(2);
+    slos->AddObjective(std::move(spec));
+  }
 }
 
 int Slo(const std::string& text) {
@@ -336,6 +357,95 @@ int Cells(const std::string& text, int racks, int cells, int deploys) {
   return failed == 0 ? 0 : kExitRuntime;
 }
 
+// `udcctl store`: the content-addressed warm-environment store made
+// visible. Builds a store-enabled cloud, churns the same spec through
+// several tenants (identical module images, so contents dedupe and warm
+// slots cross tenants), and prints the operator's view: per-rack cache
+// occupancy, hit/miss/eviction counts, the dedupe factor, and the top
+// contents by refcount.
+int Store(const std::string& text, int racks, int tenants, int deploys) {
+  udc::UdcCloudConfig config;
+  config.datacenter.racks = racks;
+  config.env_store.enabled = true;
+  config.env_store.share_across_tenants = true;
+  udc::UdcCloud cloud(config);
+
+  const auto spec = udc::ParseAppSpec(text);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "spec: %s\n", spec.status().ToString().c_str());
+    return kExitRuntime;
+  }
+  const auto shared_spec = std::make_shared<const udc::AppSpec>(*spec);
+
+  std::vector<udc::TenantId> ids;
+  for (int t = 0; t < tenants; ++t) {
+    ids.push_back(cloud.RegisterTenant("store-" + std::to_string(t)));
+  }
+  // Each deploy is torn down keep-warm before the next tenant deploys, so
+  // later tenants ride the earlier tenants' warm slots by content.
+  int ok = 0, failed = 0;
+  for (int i = 0; i < deploys; ++i) {
+    auto deployment = cloud.Deploy(ids[static_cast<size_t>(i) % ids.size()],
+                                   shared_spec);
+    cloud.sim()->RunToCompletion();
+    if (!deployment.ok()) {
+      ++failed;
+      continue;
+    }
+    ++ok;
+    for (udc::ResourceUnit* unit : (*deployment)->units()) {
+      if (unit->env != nullptr) {
+        (void)cloud.envs().Stop(unit->env, /*keep_warm=*/true);
+        unit->env = nullptr;
+      }
+    }
+  }
+  cloud.sim()->RunToCompletion();
+
+  const udc::EnvStore* store = cloud.envs().store();
+  std::printf("content-addressed env store: %d racks, %d tenants, %d deploys "
+              "(%d ok, %d failed)\n\n",
+              racks, tenants, deploys, ok, failed);
+  std::printf("contents: %zu distinct (%zu live), %lld warm slots, "
+              "resident %s, dedupe %.2fx\n",
+              store->distinct_contents(), store->live_contents(),
+              static_cast<long long>(store->total_warm_slots()),
+              store->resident_bytes().ToString().c_str(),
+              store->DedupeFactor());
+  std::printf("starts: hit ratio %.2f (%lld warm / %lld tepid / %lld cold), "
+              "%lld cross-tenant, %lld evictions, quotes minted %llu\n\n",
+              cloud.envs().warm_hit_ratio(),
+              static_cast<long long>(store->hits()),
+              static_cast<long long>(store->tepid_hits()),
+              static_cast<long long>(store->misses()),
+              static_cast<long long>(cloud.envs().cross_tenant_warm_starts()),
+              static_cast<long long>(store->evictions()),
+              static_cast<unsigned long long>(
+                  cloud.attestation().image_quotes_minted()));
+
+  std::printf("rack   entries  warm   resident      hits  tepid  miss  "
+              "evict\n");
+  for (const udc::EnvStore::RackStats& r : store->PerRackStats()) {
+    std::printf("%4d   %7zu  %4lld   %-10s %5lld  %5lld  %4lld  %5lld\n",
+                r.rack, r.entries, static_cast<long long>(r.warm_slots),
+                r.resident.ToString().c_str(),
+                static_cast<long long>(r.hits),
+                static_cast<long long>(r.tepid_hits),
+                static_cast<long long>(r.misses),
+                static_cast<long long>(r.evictions));
+  }
+
+  std::printf("\ntop contents by refcount:\n");
+  std::printf("content           size        refs  warm  racks\n");
+  for (const udc::EnvStore::ContentStats& c : store->TopByRefs(10)) {
+    std::printf("%.16s  %-10s %5lld %5lld  %5d\n",
+                udc::DigestToHex(c.digest).c_str(),
+                c.size.ToString().c_str(), static_cast<long long>(c.refs),
+                static_cast<long long>(c.warm_slots), c.racks_resident);
+  }
+  return failed == 0 ? 0 : kExitRuntime;
+}
+
 int RecordDump(const std::string& text, const std::string& out_path) {
   udc::UdcCloud cloud;
   const int rc = RunCycle(text, &cloud, /*verbose=*/false);
@@ -418,6 +528,32 @@ int main(int argc, char** argv) {
       }
     }
     return Cells(text, racks, cells, deploys);
+  }
+  if (command == "store") {
+    int racks = 4, tenants = 3, deploys = 9;
+    std::string text = udc::MedicalAppUdcl();
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if ((arg == "--racks" || arg == "--tenants" || arg == "--deploys") &&
+          i + 1 < argc) {
+        const int value = std::atoi(argv[++i]);
+        if (value <= 0) {
+          return Usage();
+        }
+        (arg == "--racks" ? racks : arg == "--tenants" ? tenants : deploys) =
+            value;
+      } else if (!arg.empty() && arg[0] == '-') {
+        return Usage();
+      } else {
+        const auto file = ReadFile(arg);
+        if (!file.ok()) {
+          std::fprintf(stderr, "%s\n", file.status().ToString().c_str());
+          return kExitRuntime;
+        }
+        text = *file;
+      }
+    }
+    return Store(text, racks, tenants, deploys);
   }
   if (command == "record") {
     if (argc < 5 || std::string(argv[2]) != "dump" ||
