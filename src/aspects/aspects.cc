@@ -75,6 +75,12 @@ std::string DistAspect::ToString() const {
   if (checkpoint) {
     out += " checkpoint";
   }
+  if (region_affinity >= 0) {
+    out += StrFormat(" region=%d", region_affinity);
+  }
+  if (region_anti_affinity >= 0) {
+    out += StrFormat(" avoid_region=%d", region_anti_affinity);
+  }
   return out;
 }
 
@@ -115,6 +121,11 @@ Status ValidateAspects(const AspectSet& aspects) {
       aspects.resource.objective == ResourceObjective::kExplicit &&
       aspects.resource.demand.IsZero()) {
     return InvalidArgumentError("explicit resource aspect with empty demand");
+  }
+  if (aspects.dist.region_affinity >= 0 &&
+      aspects.dist.region_affinity == aspects.dist.region_anti_affinity) {
+    return InvalidArgumentError(
+        "region affinity and anti-affinity name the same region");
   }
   return OkStatus();
 }

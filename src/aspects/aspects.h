@@ -80,6 +80,12 @@ struct DistAspect {
   AccessPreference preference = AccessPreference::kNone;
   FailureHandling failure_handling = FailureHandling::kReexecute;
   bool checkpoint = false;
+  // Region federation steering (spec: `aspect m dist region=N` /
+  // `avoid_region=N`): pin the module's placement to one federation region,
+  // or forbid one (data-sovereignty / blast-radius separation). -1 = none.
+  // Ignored in single-region worlds.
+  int region_affinity = -1;
+  int region_anti_affinity = -1;
 
   std::string ToString() const;
 };

@@ -278,6 +278,18 @@ Status ParseDistAspect(const KvArgs& args, size_t line_no, DistAspect* aspect) {
       if (!ParseFailureHandling(value, &aspect->failure_handling)) {
         return LineError(line_no, "unknown failure handling: " + value);
       }
+    } else if (key == "region") {
+      uint64_t region = 0;
+      if (!ParseUint64(value, &region)) {
+        return LineError(line_no, "bad region id: " + value);
+      }
+      aspect->region_affinity = static_cast<int>(region);
+    } else if (key == "avoid_region") {
+      uint64_t region = 0;
+      if (!ParseUint64(value, &region)) {
+        return LineError(line_no, "bad avoid_region id: " + value);
+      }
+      aspect->region_anti_affinity = static_cast<int>(region);
     } else {
       return LineError(line_no, "unknown dist key: " + key);
     }

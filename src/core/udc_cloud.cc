@@ -29,7 +29,25 @@ UdcCloud::UdcCloud(const UdcCloudConfig& config)
           attestation_.ReleaseImageQuote(digest);
         }
       });
-  if (datacenter_.topology().cell_count() > 0) {
+  if (datacenter_.topology().region_count() > 0) {
+    // Region federation: WAN links between every region pair, a region
+    // router above per-cell schedulers, and WAN-priced cross-region env
+    // fetches. The env store's remote tier prices through the fabric's
+    // per-link model; a committing fetch shares FIFO bandwidth and
+    // accounts bytes, a Peek preview stays pure.
+    fabric_.ConfigureWan(config.wan);
+    env_manager_.set_wan_cost_hook(
+        [this](int src_region, int dst_region, Bytes size, bool commit) {
+          if (commit) {
+            return fabric_.WanTransferTime(src_region, dst_region, size);
+          }
+          return fabric_.WanPrice(src_region, dst_region, size);
+        });
+    region_router_ = std::make_unique<RegionRouter>(
+        &sim_, &datacenter_, &fabric_, &env_manager_, &attestation_, &prices_,
+        config.scheduler);
+    region_router_->SetSequencer(&sequencer_);
+  } else if (datacenter_.topology().cell_count() > 0) {
     cell_router_ = std::make_unique<CellRouter>(
         &sim_, &datacenter_, &fabric_, &env_manager_, &attestation_, &prices_,
         config.scheduler);
@@ -52,6 +70,9 @@ const std::string& UdcCloud::TenantName(TenantId id) const {
 
 Result<std::unique_ptr<Deployment>> UdcCloud::Deploy(TenantId tenant,
                                                      const AppSpec& spec) {
+  if (region_router_ != nullptr) {
+    return region_router_->Deploy(tenant, spec);
+  }
   if (cell_router_ != nullptr) {
     return cell_router_->Deploy(tenant, spec);
   }
@@ -60,6 +81,9 @@ Result<std::unique_ptr<Deployment>> UdcCloud::Deploy(TenantId tenant,
 
 Result<std::unique_ptr<Deployment>> UdcCloud::Deploy(
     TenantId tenant, std::shared_ptr<const AppSpec> spec) {
+  if (region_router_ != nullptr) {
+    return region_router_->Deploy(tenant, std::move(spec));
+  }
   if (cell_router_ != nullptr) {
     return cell_router_->Deploy(tenant, std::move(spec));
   }
@@ -68,6 +92,9 @@ Result<std::unique_ptr<Deployment>> UdcCloud::Deploy(
 
 std::vector<Result<std::unique_ptr<Deployment>>> UdcCloud::DeployAll(
     TenantId tenant, const std::vector<const AppSpec*>& specs) {
+  if (region_router_ != nullptr) {
+    return region_router_->DeployAll(tenant, specs);
+  }
   if (cell_router_ != nullptr) {
     return cell_router_->DeployAll(tenant, specs);
   }

@@ -24,6 +24,7 @@
 
 #include "src/core/billing.h"
 #include "src/core/cell_router.h"
+#include "src/core/region_router.h"
 #include "src/core/runtime.h"
 #include "src/core/scheduler.h"
 #include "src/core/verifier.h"
@@ -46,6 +47,10 @@ struct UdcCloudConfig {
   // Disabled by default: the legacy (kind, tenant) pool is the
   // differential oracle the store is gated against.
   EnvStoreConfig env_store;
+  // Default WAN link between regions (applies only when
+  // DatacenterConfig::regions > 0; per-link overrides via
+  // fabric().SetWanLink). Asymmetric routes get their params per direction.
+  WanLinkParams wan;
   std::string vendor_key_seed = "udc-vendor-root-v1";
 };
 
@@ -89,6 +94,9 @@ class UdcCloud {
   UdcScheduler& scheduler() { return scheduler_; }
   // Non-null only when the datacenter is cell-partitioned.
   CellRouter* cell_router() { return cell_router_.get(); }
+  // Non-null only when the datacenter is region-partitioned; when set it
+  // is the deploy entry point (above the cells path).
+  RegionRouter* region_router() { return region_router_.get(); }
   BillingEngine& billing() { return billing_; }
   FailureInjector& failures() { return failure_injector_; }
   SwitchSequencer& sequencer() { return sequencer_; }
@@ -106,6 +114,7 @@ class UdcCloud {
   PriceList prices_;
   UdcScheduler scheduler_;
   std::unique_ptr<CellRouter> cell_router_;  // only when cells > 0
+  std::unique_ptr<RegionRouter> region_router_;  // only when regions > 0
   BillingEngine billing_;
   FailureInjector failure_injector_;
   FulfillmentVerifier verifier_;

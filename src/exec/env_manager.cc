@@ -19,6 +19,7 @@ EnvManager::EnvManager(Simulation* sim, const EnvStoreConfig& store_config)
       warm_starts_(sim->metrics().CounterSeries("exec.warm_starts")),
       cold_starts_(sim->metrics().CounterSeries("exec.cold_starts")),
       tepid_starts_(sim->metrics().CounterSeries("exec.tepid_starts")),
+      remote_starts_(sim->metrics().CounterSeries("exec.remote_starts")),
       prewarmed_(sim->metrics().CounterSeries("exec.prewarmed")),
       cross_tenant_warm_starts_(
           sim->metrics().CounterSeries("exec.cross_tenant_warm_starts")),
@@ -30,6 +31,8 @@ EnvManager::EnvManager(Simulation* sim, const EnvStoreConfig& store_config)
           sim->metrics().HistogramSeries("exec.cold_start_latency_ms")),
       tepid_start_latency_ms_(
           sim->metrics().HistogramSeries("exec.tepid_start_latency_ms")),
+      remote_start_latency_ms_(
+          sim->metrics().HistogramSeries("exec.remote_start_latency_ms")),
       start_latency_ms_(
           sim->metrics().HistogramSeries("exec.start_latency_ms")),
       warm_hit_ratio_(sim->metrics().GaugeSeries("exec.warm_hit_ratio")) {
@@ -44,6 +47,29 @@ EnvManager::EnvManager(Simulation* sim, const EnvStoreConfig& store_config)
 void EnvManager::set_content_quote_hook(EnvStore::ContentLiveHook hook) {
   if (store_ != nullptr) {
     store_->set_content_live_hook(std::move(hook));
+  }
+}
+
+void EnvManager::set_topology(const Topology* topology) {
+  topology_ = topology;
+  if (store_ == nullptr || topology == nullptr ||
+      topology->region_count() <= 0) {
+    return;
+  }
+  // Region-partitioned world: hand the store its rack -> region map so a
+  // rack miss distinguishes same-region (tepid) from cross-region (remote)
+  // sources.
+  std::vector<int> rack_regions(static_cast<size_t>(topology->rack_count()));
+  for (int r = 0; r < topology->rack_count(); ++r) {
+    const int region = topology->RegionOfRack(r);
+    rack_regions[static_cast<size_t>(r)] = region < 0 ? 0 : region;
+  }
+  store_->set_rack_regions(std::move(rack_regions));
+}
+
+void EnvManager::set_wan_cost_hook(EnvStore::WanCostFn hook) {
+  if (store_ != nullptr) {
+    store_->set_wan_cost_hook(std::move(hook));
   }
 }
 
@@ -96,7 +122,8 @@ ExecEnvironment* EnvManager::Launch(
     mode = acq.mode;
     if (mode == EnvStartMode::kWarm) {
       start_latency = profile.warm_start;
-    } else if (mode == EnvStartMode::kTepid) {
+    } else if (mode == EnvStartMode::kTepid ||
+               mode == EnvStartMode::kRemote) {
       start_latency = profile.warm_start + acq.fetch_latency;
     }
     if (mode != EnvStartMode::kCold && acq.slot_tenant != tenant.value()) {
@@ -128,6 +155,11 @@ ExecEnvironment* EnvManager::Launch(
     case EnvStartMode::kTepid:
       sim_->metrics().Increment(tepid_starts_);
       sim_->metrics().Observe(tepid_start_latency_ms_, start_latency.millis());
+      break;
+    case EnvStartMode::kRemote:
+      sim_->metrics().Increment(remote_starts_);
+      sim_->metrics().Observe(remote_start_latency_ms_,
+                              start_latency.millis());
       break;
     case EnvStartMode::kCold:
       sim_->metrics().Increment(cold_starts_);
@@ -262,6 +294,7 @@ SimTime EnvManager::NextStartLatency(EnvKind kind, TenantId tenant,
       case EnvStartMode::kWarm:
         return profile.warm_start;
       case EnvStartMode::kTepid:
+      case EnvStartMode::kRemote:
         return profile.warm_start + peek.fetch_latency;
       case EnvStartMode::kCold:
         return profile.cold_start;

@@ -55,8 +55,14 @@ class EnvManager {
   EnvManager& operator=(const EnvManager&) = delete;
 
   // Rack mapping for the store's rack-local caches; without a topology all
-  // nodes share rack 0. Safe to leave unset in legacy mode.
-  void set_topology(const Topology* topology) { topology_ = topology; }
+  // nodes share rack 0. Safe to leave unset in legacy mode. On a
+  // region-partitioned topology this also hands the store its rack ->
+  // region map, arming the cross-region remote tier.
+  void set_topology(const Topology* topology);
+  // Forwarded to the store (no-op in legacy mode): prices cross-region
+  // remote fetches over the caller's WAN model (UdcCloud wires the
+  // fabric's per-link params in).
+  void set_wan_cost_hook(EnvStore::WanCostFn hook);
   // Forwarded to the store (no-op in legacy mode): fires on content
   // refcount 0 <-> 1 transitions so the owner can mint/release
   // content-bound attestation quotes without a dependency cycle onto
@@ -160,12 +166,14 @@ class EnvManager {
   CounterHandle warm_starts_;
   CounterHandle cold_starts_;
   CounterHandle tepid_starts_;
+  CounterHandle remote_starts_;
   CounterHandle prewarmed_;
   CounterHandle cross_tenant_warm_starts_;
   CounterHandle launches_cancelled_;
   HistogramHandle warm_start_latency_ms_;
   HistogramHandle cold_start_latency_ms_;
   HistogramHandle tepid_start_latency_ms_;
+  HistogramHandle remote_start_latency_ms_;
   HistogramHandle start_latency_ms_;
   GaugeHandle warm_hit_ratio_;
 };

@@ -74,6 +74,18 @@ SimTime EnvStore::FetchLatency(Bytes size) const {
   return config_.fetch_base + SimTime::Micros(transfer_us);
 }
 
+SimTime EnvStore::WanFetchLatency(int src_region, int dst_region, Bytes size,
+                                  bool commit) const {
+  if (wan_cost_hook_) {
+    return wan_cost_hook_(src_region, dst_region, size, commit);
+  }
+  const double bytes_per_us =
+      config_.wan_gib_per_s * 1024.0 * 1024.0 * 1024.0 / 1e6;
+  const auto transfer_us = static_cast<int64_t>(
+      static_cast<double>(size.bytes()) / bytes_per_us);
+  return config_.wan_fetch_base + SimTime::Micros(transfer_us);
+}
+
 void EnvStore::AddRef(const Sha256Digest& digest, GlobalEntry& global) {
   if (global.refs++ == 0) {
     ++live_contents_;
@@ -156,7 +168,8 @@ void EnvStore::EvictIfNeeded(int rack, const Sha256Digest& pinned) {
 }
 
 EnvStore::AcquireResult EnvStore::AcquireForLaunch(const Sha256Digest& digest,
-                                                   int rack, TenantId tenant,
+                                                   int rack,
+                                                   TenantId /*tenant*/,
                                                    bool allow_warm) {
   GlobalEntry& global = contents_.at(digest);
   RackCache& local = Rack(rack);
@@ -185,33 +198,64 @@ EnvStore::AcquireResult EnvStore::AcquireForLaunch(const Sha256Digest& digest,
       ++live_env_refs_;
       return result;
     }
-    // Rack miss: lowest-indexed rack holding a slot is the tepid source
-    // (deterministic by construction).
-    for (size_t r = 0; r < racks_.size(); ++r) {
-      if (static_cast<int>(r) == rack) {
-        continue;
-      }
+    // Rack miss: lowest-indexed rack holding a slot is the source, searched
+    // in two region tiers (deterministic by construction). The same-region
+    // pass is the PR-9 tepid tier — with no region map every rack is region
+    // 0 and this pass is byte-identical to the old single loop. The
+    // cross-region pass is the remote tier: the slot is consumed in the
+    // source region and the image pull-through-replicates into the local
+    // rack's cache, priced over the WAN model.
+    const int local_region = RegionOfRack(rack);
+    const auto consume_from = [&](size_t r, EnvStartMode mode) {
       auto remote = racks_[r].entries.find(digest);
-      if (remote == racks_[r].entries.end() ||
-          remote->second.slot_tenants.empty()) {
-        continue;
-      }
-      result.mode = EnvStartMode::kTepid;
+      result.mode = mode;
       result.source_rack = static_cast<int>(r);
       result.slot_tenant = remote->second.slot_tenants.back();
       remote->second.slot_tenants.pop_back();
       --global.warm_slots;
       --total_warm_slots_;
-      result.fetch_latency = FetchLatency(global.size);
-      ++local.tepid_hits;
-      ++tepid_hits_;
+      if (mode == EnvStartMode::kTepid) {
+        result.fetch_latency = FetchLatency(global.size);
+        ++local.tepid_hits;
+        ++tepid_hits_;
+      } else {
+        result.fetch_latency =
+            FetchLatency(global.size) +
+            WanFetchLatency(RegionOfRack(static_cast<int>(r)), local_region,
+                            global.size, /*commit=*/true);
+        ++local.remote_hits;
+        ++remote_hits_;
+      }
       AddRef(digest, global);
       DropRef(digest, global);
-      // Fill-on-miss: the fetched image lands in the local cache.
+      // Fill-on-miss: the fetched image lands in the local cache (for the
+      // remote tier this is the pull-through replication into the
+      // destination region).
       RackEntry& entry = EnsureResident(rack, digest, global);
       ++entry.live;
       ++live_env_refs_;
-      return result;
+    };
+    const auto has_slot = [&](size_t r) {
+      if (static_cast<int>(r) == rack) {
+        return false;
+      }
+      const auto remote = racks_[r].entries.find(digest);
+      return remote != racks_[r].entries.end() &&
+             !remote->second.slot_tenants.empty();
+    };
+    for (size_t r = 0; r < racks_.size(); ++r) {
+      if (has_slot(r) && RegionOfRack(static_cast<int>(r)) == local_region) {
+        consume_from(r, EnvStartMode::kTepid);
+        return result;
+      }
+    }
+    if (!rack_regions_.empty()) {
+      for (size_t r = 0; r < racks_.size(); ++r) {
+        if (has_slot(r) && RegionOfRack(static_cast<int>(r)) != local_region) {
+          consume_from(r, EnvStartMode::kRemote);
+          return result;
+        }
+      }
     }
   }
 
@@ -240,18 +284,38 @@ EnvStore::PeekResult EnvStore::Peek(const Sha256Digest& digest, int rack,
       return result;
     }
   }
-  for (size_t r = 0; r < racks_.size(); ++r) {
+  // Mirror AcquireForLaunch's two region tiers (same-region tepid first,
+  // then cross-region remote) so the preview names the mode and the
+  // uncongested price the launch would pay.
+  const int local_region = RegionOfRack(static_cast<int>(idx));
+  const auto has_slot = [&](size_t r) {
     if (r == idx) {
-      continue;
+      return false;
     }
-    auto it = racks_[r].entries.find(digest);
-    if (it != racks_[r].entries.end() && !it->second.slot_tenants.empty()) {
+    const auto it = racks_[r].entries.find(digest);
+    return it != racks_[r].entries.end() && !it->second.slot_tenants.empty();
+  };
+  const Bytes size = [&] {
+    const auto content = contents_.find(digest);
+    return content == contents_.end() ? Bytes(0) : content->second.size;
+  }();
+  for (size_t r = 0; r < racks_.size(); ++r) {
+    if (has_slot(r) && RegionOfRack(static_cast<int>(r)) == local_region) {
       result.mode = EnvStartMode::kTepid;
-      const auto content = contents_.find(digest);
-      if (content != contents_.end()) {
-        result.fetch_latency = FetchLatency(content->second.size);
-      }
+      result.fetch_latency = FetchLatency(size);
       return result;
+    }
+  }
+  if (!rack_regions_.empty()) {
+    for (size_t r = 0; r < racks_.size(); ++r) {
+      if (has_slot(r) && RegionOfRack(static_cast<int>(r)) != local_region) {
+        result.mode = EnvStartMode::kRemote;
+        result.fetch_latency =
+            FetchLatency(size) +
+            WanFetchLatency(RegionOfRack(static_cast<int>(r)), local_region,
+                            size, /*commit=*/false);
+        return result;
+      }
     }
   }
   return result;
@@ -358,6 +422,7 @@ std::vector<EnvStore::RackStats> EnvStore::PerRackStats() const {
     s.resident = cache.resident;
     s.hits = cache.hits;
     s.tepid_hits = cache.tepid_hits;
+    s.remote_hits = cache.remote_hits;
     s.misses = cache.misses;
     s.evictions = cache.evictions;
     stats.push_back(s);

@@ -8,11 +8,23 @@
 // LRU eviction) over a global content index; a launch resolves to one of
 // three tiers:
 //
-//   rack hit    -> warm start (slot on the local rack cache)
-//   remote hit  -> "tepid" start (slot on another rack: pay a modeled
-//                  cross-rack fabric fetch for the warm snapshot, fill
-//                  the local cache with the image on the way)
-//   global miss -> cold build, image inserted into the local cache
+//   rack hit         -> warm start (slot on the local rack cache)
+//   same-region hit  -> "tepid" start (slot on another rack in the same
+//                       region: pay a modeled cross-rack fabric fetch for
+//                       the warm snapshot, fill the local cache with the
+//                       image on the way)
+//   cross-region hit -> "remote" start (slot in another federation region:
+//                       pay a WAN-priced cross-region fetch; the image
+//                       pull-through-replicates into the destination
+//                       rack's cache, so the next launch there is warm)
+//   global miss      -> cold build, image inserted into the local cache
+//
+// Regions come from set_rack_regions (rack index -> region id; unset = one
+// region, which disables the remote tier and keeps the PR-9 three-tier
+// behavior byte-identical). The WAN price comes from the wan-cost hook
+// (wired to the fabric's WAN link model by UdcCloud); the hook's `commit`
+// flag distinguishes a consuming fetch (FIFO bandwidth sharing + byte
+// accounting) from a pure Peek preview.
 //
 // Sharing mode is the differential bridge to the legacy (kind, tenant)
 // pool: with `share_across_tenants` off the content key binds exactly
@@ -64,6 +76,12 @@ struct EnvStoreConfig {
   // setup cost plus image size over the fabric's rack-to-rack bandwidth.
   SimTime fetch_base = SimTime::Millis(2);
   double fetch_gib_per_s = 8.0;
+  // Cross-region fetch fallback pricing (the "remote" tier), used only
+  // when no wan-cost hook is installed: a WAN setup cost plus image size
+  // over a WAN-grade bandwidth. The hook (UdcCloud wires it to the
+  // fabric's per-link WAN model) supersedes these.
+  SimTime wan_fetch_base = SimTime::Millis(40);
+  double wan_gib_per_s = 1.0;
 };
 
 class EnvStore {
@@ -75,7 +93,7 @@ class EnvStore {
     EnvStartMode mode = EnvStartMode::kCold;
     int source_rack = -1;      // rack the slot came from; -1 on cold
     uint64_t slot_tenant = 0;  // provenance of the consumed slot
-    SimTime fetch_latency;     // non-zero only for tepid starts
+    SimTime fetch_latency;     // non-zero only for tepid/remote starts
   };
   // NextStartLatency's side of AcquireResult: the decision without the
   // mutation.
@@ -90,6 +108,14 @@ class EnvStore {
   using ContentLiveHook =
       std::function<void(const Sha256Digest&, Bytes size, bool live)>;
 
+  // Prices a cross-region content fetch over the WAN. `commit` is true for
+  // a consuming fetch (the caller may account bytes and advance a FIFO
+  // bandwidth-sharing horizon) and false for a pure Peek preview (must not
+  // mutate anything).
+  using WanCostFn =
+      std::function<SimTime(int src_region, int dst_region, Bytes size,
+                            bool commit)>;
+
   EnvStore(MetricsRegistry* metrics, const EnvStoreConfig& config);
 
   EnvStore(const EnvStore&) = delete;
@@ -99,6 +125,12 @@ class EnvStore {
   void set_content_live_hook(ContentLiveHook hook) {
     content_live_hook_ = std::move(hook);
   }
+  // Region federation: rack index -> region id. Unset (or empty) = one
+  // region; the remote tier never fires and PR-9 behavior is unchanged.
+  void set_rack_regions(std::vector<int> rack_regions) {
+    rack_regions_ = std::move(rack_regions);
+  }
+  void set_wan_cost_hook(WanCostFn hook) { wan_cost_hook_ = std::move(hook); }
 
   // Content key for a launch. Hashed once per distinct manifest (the
   // digest is memoized); registers the image's size on first sight.
@@ -146,6 +178,7 @@ class EnvStore {
   Bytes resident_bytes() const { return resident_bytes_; }
   int64_t hits() const { return hits_; }
   int64_t tepid_hits() const { return tepid_hits_; }
+  int64_t remote_hits() const { return remote_hits_; }
   int64_t misses() const { return misses_; }
   int64_t evictions() const { return evictions_; }
   int64_t bytes_deduped() const { return bytes_deduped_; }
@@ -160,6 +193,7 @@ class EnvStore {
     Bytes resident;
     int64_t hits = 0;
     int64_t tepid_hits = 0;
+    int64_t remote_hits = 0;
     int64_t misses = 0;
     int64_t evictions = 0;
   };
@@ -192,6 +226,7 @@ class EnvStore {
     std::map<Sha256Digest, RackEntry> entries;  // presence == resident
     int64_t hits = 0;
     int64_t tepid_hits = 0;
+    int64_t remote_hits = 0;
     int64_t misses = 0;
     int64_t evictions = 0;
   };
@@ -206,10 +241,20 @@ class EnvStore {
   void DropRef(const Sha256Digest& digest, GlobalEntry& global);
   void Touch(RackEntry& entry) { entry.lru_tick = ++lru_clock_; }
   SimTime FetchLatency(Bytes size) const;
+  // The region `rack` belongs to; 0 when no region map is set.
+  int RegionOfRack(int rack) const {
+    return rack >= 0 && static_cast<size_t>(rack) < rack_regions_.size()
+               ? rack_regions_[static_cast<size_t>(rack)]
+               : 0;
+  }
+  SimTime WanFetchLatency(int src_region, int dst_region, Bytes size,
+                          bool commit) const;
 
   MetricsRegistry* metrics_;
   EnvStoreConfig config_;
   ContentLiveHook content_live_hook_;
+  WanCostFn wan_cost_hook_;
+  std::vector<int> rack_regions_;  // empty = single region
 
   std::map<Sha256Digest, GlobalEntry> contents_;
   std::vector<RackCache> racks_;
@@ -223,6 +268,7 @@ class EnvStore {
   Bytes resident_bytes_;
   int64_t hits_ = 0;
   int64_t tepid_hits_ = 0;
+  int64_t remote_hits_ = 0;
   int64_t misses_ = 0;
   int64_t evictions_ = 0;
   int64_t bytes_deduped_ = 0;

@@ -36,6 +36,8 @@ std::string_view EnvStartModeName(EnvStartMode mode) {
       return "warm";
     case EnvStartMode::kTepid:
       return "tepid";
+    case EnvStartMode::kRemote:
+      return "remote";
   }
   return "unknown";
 }

@@ -104,11 +104,15 @@ enum class EnvState {
 
 // How a launch's start latency was paid. Warm consumes a slot on the local
 // rack cache; tepid consumes a remote slot plus a modeled cross-rack fetch
-// (content-addressed store only); cold builds from nothing.
+// (content-addressed store only); remote consumes a slot in another
+// federation region plus a WAN-priced cross-region fetch (the fetched
+// image replicates into the destination rack's cache on the way); cold
+// builds from nothing.
 enum class EnvStartMode : int {
   kCold = 0,
   kWarm = 1,
   kTepid = 2,
+  kRemote = 3,
 };
 
 std::string_view EnvStartModeName(EnvStartMode mode);

@@ -33,6 +33,10 @@ void FreeCapacityIndex::AssignRacks(const Topology& topology) {
     per_cell_.resize(cell_count_);
     cell_free_.resize(cell_count_, 0);
   }
+  if (topology.region_count() > region_count_) {
+    region_count_ = topology.region_count();
+    region_free_.resize(region_count_, 0);
+  }
   for (auto& [device, state] : states_) {
     if (state.rack != -1) {
       continue;
@@ -48,6 +52,7 @@ void FreeCapacityIndex::AssignRacks(const Topology& topology) {
     Unlist(device, state);
     state.rack = rack;
     state.cell = topology.CellOf(rack);
+    state.region = topology.RegionOf(state.cell);
     state.rack_list = &per_rack_[rack];
     if (rack >= static_cast<int>(rack_free_.size())) {
       rack_free_.resize(rack + 1, 0);
@@ -56,6 +61,9 @@ void FreeCapacityIndex::AssignRacks(const Topology& topology) {
       rack_free_[rack] += device->free_capacity();
       if (state.cell >= 0) {
         cell_free_[state.cell] += device->free_capacity();
+      }
+      if (state.region >= 0) {
+        region_free_[state.region] += device->free_capacity();
       }
     }
     List(device, state);
@@ -99,6 +107,9 @@ void FreeCapacityIndex::OnFreeChanged(Device* device, int64_t old_free) {
     if (state.cell >= 0) {
       cell_free_[state.cell] += delta;
     }
+    if (state.region >= 0) {
+      region_free_[state.region] += delta;
+    }
   }
   if (state.listed && free > 0) {
     // Stays on the same two lists with a new key: relink in place.
@@ -134,6 +145,9 @@ void FreeCapacityIndex::OnHealthChanged(Device* device) {
   if (state.cell >= 0) {
     cell_free_[state.cell] += sign * device->free_capacity();
   }
+  if (state.region >= 0) {
+    region_free_[state.region] += sign * device->free_capacity();
+  }
   if (healthy) {
     List(device, state);
   } else {
@@ -166,6 +180,11 @@ const FreeCapacityIndex::OrderedFreeList* FreeCapacityIndex::CellFreeList(
 int FreeCapacityIndex::CellOf(const Device* device) const {
   const DeviceState* state = StateOf(device);
   return state == nullptr ? -1 : state->cell;
+}
+
+int FreeCapacityIndex::RegionOf(const Device* device) const {
+  const DeviceState* state = StateOf(device);
+  return state == nullptr ? -1 : state->region;
 }
 
 std::vector<int64_t> FreeCapacityIndex::HealthyFreeByRack(

@@ -100,6 +100,14 @@ class FreeCapacityIndex {
   // per cell and never rescans devices.
   const std::vector<int64_t>& cell_free() const { return cell_free_; }
 
+  // --- Region partition (valid after AssignRacks on a regioned topology) -
+  int region_count() const { return region_count_; }
+  // The region a tracked device belongs to (-1 when none).
+  int RegionOf(const Device* device) const;
+  // Healthy free capacity per region — the region router's summary, one
+  // level above cell_free(): maintained by the same deltas, never rescans.
+  const std::vector<int64_t>& region_free() const { return region_free_; }
+
   // Healthy free capacity per rack, sized to `rack_count`.
   std::vector<int64_t> HealthyFreeByRack(int rack_count) const;
   // Zero-copy view of the per-rack totals (indexable up to the assigned
@@ -118,6 +126,7 @@ class FreeCapacityIndex {
   struct DeviceState {
     int rack = -1;       // -1 = not yet assigned
     int cell = -1;       // -1 = no cell (unpartitioned or rackless)
+    int region = -1;     // -1 = no region (unregioned or cell-less)
     bool listed = false; // present in the free-lists (healthy && free > 0)
     int64_t listed_free = 0;  // the free value the listing was keyed with
     bool healthy = true;
@@ -142,8 +151,10 @@ class FreeCapacityIndex {
   OrderedFreeList global_;
   std::vector<OrderedFreeList> per_cell_;  // sized cell_count_ (partitioned)
   std::vector<int64_t> cell_free_;         // healthy free per cell
+  std::vector<int64_t> region_free_;       // healthy free per region
   std::vector<int64_t> rack_free_;  // healthy free per assigned rack
   int cell_count_ = 0;
+  int region_count_ = 0;
   size_t unassigned_ = 0;
   int64_t total_capacity_ = 0;
   int64_t total_allocated_ = 0;

@@ -17,6 +17,7 @@ DisaggregatedDatacenter::DisaggregatedDatacenter(const DatacenterConfig& config)
     PopulateRack(rack, config.rack);
   }
   topology_.SetCellCount(config.cells);
+  topology_.SetRegionCount(config.regions);
 }
 
 void DisaggregatedDatacenter::AddDevices(int rack, DeviceKind kind, int count,

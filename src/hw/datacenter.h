@@ -40,6 +40,10 @@ struct DatacenterConfig {
   // Partition racks into this many control-plane cells (contiguous rack
   // ranges; see Topology::SetCellCount). 0 = unpartitioned single scheduler.
   int cells = 0;
+  // Partition cells into this many federation regions (contiguous cell
+  // ranges; see Topology::SetRegionCount). 0 = single-region world: no WAN
+  // links, no region router, env store never goes remote.
+  int regions = 0;
 };
 
 class DisaggregatedDatacenter {

@@ -31,6 +31,22 @@ void Topology::SetCellCount(int cells) {
   }
   cell_size_ = (rack_count() + cells - 1) / cells;
   cell_count_ = (rack_count() + cell_size_ - 1) / cell_size_;
+  if (region_count_ > 0) {
+    SetRegionCount(region_count_);  // re-clamp to the new cell count
+  }
+}
+
+void Topology::SetRegionCount(int regions) {
+  if (regions <= 0 || cell_count_ == 0) {
+    region_count_ = 0;
+    region_size_ = 0;
+    return;
+  }
+  if (regions > cell_count_) {
+    regions = cell_count_;
+  }
+  region_size_ = (cell_count_ + regions - 1) / regions;
+  region_count_ = (cell_count_ + region_size_ - 1) / region_size_;
 }
 
 NodeId Topology::AddNode(int rack, NodeRole role) {

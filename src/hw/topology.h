@@ -63,6 +63,32 @@ class Topology {
     return end < rack_count() ? end : rack_count();
   }
 
+  // Partitions the cells into `regions` contiguous groups (region r owns
+  // cells [r * region_size, (r + 1) * region_size)), mirroring the cell
+  // partitioning contract one level up: regions are the federation unit —
+  // each region gets its own router leg, WAN links price traffic between
+  // them, and the env store replicates content across them. Call after
+  // SetCellCount; regions <= 0 disables partitioning. Clamped to
+  // cell_count so every region is non-empty.
+  void SetRegionCount(int regions);
+  int region_count() const { return region_count_; }
+  int region_size() const { return region_size_; }  // cells per region
+  // Region owning `cell`; -1 when unpartitioned or cell is out of range.
+  int RegionOf(int cell) const {
+    if (region_count_ <= 0 || cell < 0 || cell >= cell_count_) {
+      return -1;
+    }
+    return cell / region_size_;
+  }
+  // Region owning `rack` (via its cell); -1 when unpartitioned.
+  int RegionOfRack(int rack) const { return RegionOf(CellOf(rack)); }
+  // First cell of `region` and one past its last cell.
+  int RegionCellBegin(int region) const { return region * region_size_; }
+  int RegionCellEnd(int region) const {
+    const int end = (region + 1) * region_size_;
+    return end < cell_count_ ? end : cell_count_;
+  }
+
   // Adds an endpoint node to `rack`. Returns the new node id.
   NodeId AddNode(int rack, NodeRole role);
 
@@ -98,6 +124,8 @@ class Topology {
   TopologyParams params_;
   int cell_count_ = 0;
   int cell_size_ = 0;
+  int region_count_ = 0;
+  int region_size_ = 0;
   IdGenerator<NodeId> node_ids_;
   std::unordered_map<NodeId, NodeInfo> nodes_;
   std::vector<NodeId> rack_tor_;

@@ -1,6 +1,8 @@
 #include "src/net/fabric.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <utility>
 
 namespace udc {
@@ -28,6 +30,104 @@ void Fabric::AssertSerialPhase() const {
   const ParallelKernel* kernel = sim_->parallel();
   assert(kernel == nullptr || !kernel->InWindow());
 #endif
+}
+
+void Fabric::ConfigureWan(const WanLinkParams& default_link) {
+  AssertSerialPhase();
+  const int regions = topology_->region_count();
+  assert(regions > 0 && "ConfigureWan needs a regioned topology");
+  wan_regions_ = regions;
+  wan_links_.assign(static_cast<size_t>(regions) * regions,
+                    WanLinkState{default_link, SimTime()});
+  wan_bytes_out_.assign(regions, 0);
+  wan_bytes_in_.assign(regions, 0);
+  wan_messages_metric_ = sim_->metrics().CounterSeries("net.wan_messages_sent");
+  wan_bytes_metric_ = sim_->metrics().CounterSeries("net.wan_bytes_sent");
+  wan_queue_metric_ = sim_->metrics().HistogramSeries("net.wan_queue_us");
+}
+
+void Fabric::SetWanLink(int src_region, int dst_region,
+                        const WanLinkParams& link) {
+  AssertSerialPhase();
+  assert(wan_regions_ > 0);
+  assert(src_region >= 0 && src_region < wan_regions_);
+  assert(dst_region >= 0 && dst_region < wan_regions_);
+  wan_links_[static_cast<size_t>(src_region) * wan_regions_ + dst_region]
+      .params = link;
+}
+
+const WanLinkParams& Fabric::WanLink(int src_region, int dst_region) const {
+  return wan_links_[static_cast<size_t>(src_region) * wan_regions_ +
+                    dst_region]
+      .params;
+}
+
+int64_t Fabric::wan_bytes_out(int region) const {
+  return region >= 0 && region < wan_regions_ ? wan_bytes_out_[region] : 0;
+}
+
+int64_t Fabric::wan_bytes_in(int region) const {
+  return region >= 0 && region < wan_regions_ ? wan_bytes_in_[region] : 0;
+}
+
+SimTime Fabric::WanTransferTime(int src_region, int dst_region, Bytes size) {
+  AssertSerialPhase();
+  assert(src_region >= 0 && src_region < wan_regions_);
+  assert(dst_region >= 0 && dst_region < wan_regions_);
+  WanLinkState& link =
+      wan_links_[static_cast<size_t>(src_region) * wan_regions_ + dst_region];
+  const SimTime now = sim_->now();
+  const double serialization_us = size.mib() / link.params.bw_mbps * 1e6;
+  const SimTime serialization(
+      static_cast<int64_t>(std::llround(serialization_us)));
+  // FIFO bandwidth sharing: a transfer starts when the link's previous
+  // queued transfer finishes serializing, so simultaneous bulk movers split
+  // the link in arrival order — deterministic, and the aggregate completion
+  // time equals the ideal shared-bandwidth schedule.
+  const SimTime start = std::max(now, link.busy_until);
+  link.busy_until = start + serialization;
+  const SimTime queue = start - now;
+  wan_bytes_out_[src_region] += size.bytes();
+  wan_bytes_in_[dst_region] += size.bytes();
+  ++wan_messages_sent_;
+  wan_bytes_sent_ += size.bytes();
+  sim_->metrics().Increment(wan_messages_metric_);
+  sim_->metrics().Increment(wan_bytes_metric_, size.bytes());
+  sim_->metrics().Observe(wan_queue_metric_,
+                          static_cast<double>(queue.micros()));
+  return queue + serialization + link.params.latency;
+}
+
+SimTime Fabric::WanPrice(int src_region, int dst_region, Bytes size) const {
+  if (src_region < 0 || dst_region < 0 || src_region >= wan_regions_ ||
+      dst_region >= wan_regions_ || src_region == dst_region) {
+    return SimTime(0);
+  }
+  const WanLinkParams& params = WanLink(src_region, dst_region);
+  const double serialization_us = size.mib() / params.bw_mbps * 1e6;
+  return params.latency +
+         SimTime(static_cast<int64_t>(std::llround(serialization_us)));
+}
+
+SimTime Fabric::WanExtraDelay(NodeId from, NodeId to, Bytes size,
+                              bool allow_queue) {
+  const int src = topology_->RegionOfRack(topology_->RackOf(from));
+  const int dst = topology_->RegionOfRack(topology_->RackOf(to));
+  if (src < 0 || dst < 0 || src == dst || src >= wan_regions_ ||
+      dst >= wan_regions_) {
+    return SimTime(0);
+  }
+  if (allow_queue) {
+    return WanTransferTime(src, dst, size);
+  }
+  // Worker-shard send: stateless price (propagation + serialization, no
+  // FIFO queue) so the hot path never mutates shared link state. Counter
+  // deltas ride the shard state and fold at the barrier.
+  const WanLinkState& link =
+      wan_links_[static_cast<size_t>(src) * wan_regions_ + dst];
+  const double serialization_us = size.mib() / link.params.bw_mbps * 1e6;
+  return link.params.latency +
+         SimTime(static_cast<int64_t>(std::llround(serialization_us)));
 }
 
 void Fabric::Bind(NodeId node, Handler handler) {
@@ -144,7 +244,10 @@ MessageId Fabric::Send(NodeId from, NodeId to, std::string_view type,
                                        types_[msg->type_id - 1].span_label_set)
           : sim_->spans().Begin("net", "net.message", {{"type", msg->type}});
 
-  const SimTime delay = topology_->TransferTime(from, to, size);
+  SimTime delay = topology_->TransferTime(from, to, size);
+  if (wan_regions_ > 0) {
+    delay = delay + WanExtraDelay(from, to, size, /*allow_queue=*/true);
+  }
   // 24-byte capture: stays in InlineCallback's inline buffer.
   sim_->After(delay, [this, msg, span] { Deliver(msg, span); });
   return id;
@@ -195,7 +298,13 @@ MessageId Fabric::SendSharded(ParallelKernel* kernel, uint32_t src_shard,
   // rack-granular), satisfying ScheduleOnShard's window constraint.
   // The destination rack rides along so the kernel's rebalancer can
   // attribute per-rack load and pick migration candidates.
-  const SimTime delay = topology_->TransferTime(from, to, size);
+  SimTime delay = topology_->TransferTime(from, to, size);
+  if (wan_regions_ > 0) {
+    // Coordinator sends may queue on the FIFO link; worker-shard sends take
+    // the stateless WAN price (never mutate shared link state).
+    delay = delay + WanExtraDelay(from, to, size,
+                                  /*allow_queue=*/src_shard == 0);
+  }
   kernel->ScheduleOnShard(dest_shard, msg->sent_at + delay,
                           InlineCallback([this, msg] { DeliverSharded(msg); }),
                           dest_rack);

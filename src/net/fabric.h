@@ -82,11 +82,52 @@ struct Message {
   int64_t tag2 = 0;
 };
 
+// One directed WAN link between two regions. Latency is one-way
+// propagation; bandwidth is the serialization rate for bulk payloads.
+// Asymmetric routes (cheap east->west, slow west->east) are expressed by
+// giving the two directions different params.
+struct WanLinkParams {
+  SimTime latency = SimTime::Millis(30);
+  double bw_mbps = 1250.0;  // 10 Gbit/s in MiB/s
+};
+
 class Fabric {
  public:
   using Handler = std::function<void(const Message&)>;
 
   Fabric(Simulation* sim, const Topology* topology);
+
+  // --- WAN link model (region federation) ------------------------------
+  //
+  // ConfigureWan arms the cross-region path: sends whose endpoints live in
+  // different topology regions pay a WAN delay on top of the intra-DC
+  // transfer time. Intra-region sends are byte-for-byte unchanged — the
+  // WAN branch is a single integer compare when unconfigured. Serial phase
+  // only (interns per-region metric labels).
+  void ConfigureWan(const WanLinkParams& default_link);
+  // Overrides one directed link; ConfigureWan must have run first.
+  void SetWanLink(int src_region, int dst_region, const WanLinkParams& link);
+  bool wan_configured() const { return wan_regions_ > 0; }
+  const WanLinkParams& WanLink(int src_region, int dst_region) const;
+
+  // One-way completion time for `size` bytes over the directed WAN link,
+  // with deterministic FIFO bandwidth sharing: concurrent bulk transfers on
+  // the same directed link serialize behind each other, so the k-th
+  // simultaneous transfer sees k times the serialization delay. Advances
+  // the link's busy-horizon; serial phase only (the bulk movers — env-store
+  // replication, data migration — are control-plane operations). Returns
+  // queue wait + serialization + propagation.
+  SimTime WanTransferTime(int src_region, int dst_region, Bytes size);
+  // The uncongested price of the same transfer — serialization +
+  // propagation with no queueing, no byte accounting, no link mutation.
+  // Planner/Peek paths use this so previews stay pure.
+  SimTime WanPrice(int src_region, int dst_region, Bytes size) const;
+
+  // Per-region WAN byte accounting (for udcctl regions and benches).
+  int64_t wan_bytes_out(int region) const;
+  int64_t wan_bytes_in(int region) const;
+  uint64_t wan_messages_sent() const { return wan_messages_sent_; }
+  int64_t wan_bytes_sent() const { return wan_bytes_sent_; }
 
   // Registers the message handler for `node`; replaces any previous one.
   void Bind(NodeId node, Handler handler);
@@ -147,6 +188,19 @@ class Fabric {
     int64_t bytes = 0;
   };
 
+  struct WanLinkState {
+    WanLinkParams params;
+    // FIFO busy-horizon: the sim time at which the directed link's last
+    // queued transfer finishes serializing.
+    SimTime busy_until;
+  };
+
+  // Extra delay a cross-region send pays, or zero for intra-region /
+  // unconfigured sends. `allow_queue` selects the FIFO bandwidth-sharing
+  // model (serial phase); worker-shard sends take the stateless
+  // latency+serialization price so they never mutate shared link state.
+  SimTime WanExtraDelay(NodeId from, NodeId to, Bytes size, bool allow_queue);
+
   // Returns the interned id for `type` (creating one if the table is not
   // full), or 0 when the type must stay uninterned. Inside a window the
   // table is read-only and unknown types return 0.
@@ -203,6 +257,17 @@ class Fabric {
   uint64_t messages_delivered_ = 0;
   uint64_t messages_dropped_ = 0;
   int64_t bytes_sent_ = 0;
+  // WAN link model; sized regions^2 when configured (regions is small —
+  // single digits — so the dense matrix is cheap and O(1) to index).
+  int wan_regions_ = 0;
+  std::vector<WanLinkState> wan_links_;
+  std::vector<int64_t> wan_bytes_out_;  // per src region
+  std::vector<int64_t> wan_bytes_in_;   // per dst region
+  CounterHandle wan_messages_metric_;
+  CounterHandle wan_bytes_metric_;
+  HistogramHandle wan_queue_metric_;
+  uint64_t wan_messages_sent_ = 0;
+  int64_t wan_bytes_sent_ = 0;
   // kParallel only; empty otherwise. Sized shards+1 at construction.
   std::vector<ShardState> shard_states_;
   // Deregisters the FoldShardCounters barrier hook when this fabric dies.

@@ -93,11 +93,36 @@ required_series=(
   exec.tepid_starts
   exec.cross_tenant_warm_starts
   attest.image_quotes_minted
+  net.wan_messages_sent
+  net.wan_bytes_sent
+  net.wan_queue_us
+  exec.remote_starts
+  exec.remote_start_latency_ms
+  sched.region_deploys
+  sched.cross_region_deploys
+  sched.region_fallbacks
+  sched.region_place_latency_us
 )
 for series in "${required_series[@]}"; do
   if ! grep -rqF "\"$series\"" src; then
     echo "missing required metric series: \"$series\" is not interned" \
          "anywhere under src/" >&2
+    bad=1
+  fi
+done
+
+# Required SLO objectives that live outside src/: the federation bench
+# registers slo.sched.region_place_p99 over the region-place sketch and
+# gates on it — dropping the registration would silently un-gate the
+# region placement tail, so it is pinned here (bench/ is its home; src/
+# never registers SLOs itself).
+required_slos=(
+  slo.sched.region_place_p99
+)
+for slo in "${required_slos[@]}"; do
+  if ! grep -rqF "\"$slo\"" src bench tools; then
+    echo "missing required SLO objective: \"$slo\" is not registered" \
+         "anywhere under src/, bench/ or tools/" >&2
     bad=1
   fi
 done
@@ -109,4 +134,5 @@ if [[ "$bad" -ne 0 ]]; then
 fi
 echo "check_metric_names.sh: $found metric + $slo_found slo +" \
      "$cat_found span-category call sites OK," \
-     "${#required_series[@]} required env-store series present"
+     "${#required_series[@]} required series +" \
+     "${#required_slos[@]} required SLOs present"

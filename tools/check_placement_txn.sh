@@ -48,23 +48,26 @@ if [[ "${allowed:-0}" -eq 0 ]]; then
   exit 1
 fi
 
-# Hierarchical control plane: the cell scheduler sources must exist, be
-# inside the scanned tree (so the offender grep above covers them), and
-# stage their mutations through PlacementTxn — a cell path that stopped
-# using the transaction would silently regrow hand-rolled rollback.
+# Hierarchical control plane: the cell- and region-router sources must
+# exist, be inside the scanned tree (so the offender grep above covers
+# them), and stage their mutations through PlacementTxn — a routing path
+# that stopped using the transaction would silently regrow hand-rolled
+# rollback.
 txn_users=0
-for f in src/core/cell_router.cc src/core/scheduler.cc; do
+txn_sources=(src/core/cell_router.cc src/core/region_router.cc
+             src/core/scheduler.cc)
+for f in "${txn_sources[@]}"; do
   if [[ ! -f "$f" ]]; then
-    echo "check_placement_txn.sh: expected cell-scheduler source $f missing" >&2
+    echo "check_placement_txn.sh: expected control-plane source $f missing" >&2
     exit 1
   fi
   if grep -qE '\bPlacementTxn\b|\btxn\.(Allocate|StageRelease|StageUndo|AbortTo)\(' "$f"; then
     txn_users=$((txn_users + 1))
   fi
 done
-if [[ "$txn_users" -lt 2 ]]; then
-  echo "check_placement_txn.sh: cell-scheduler sources no longer stage through PlacementTxn — check the deploy path" >&2
+if [[ "$txn_users" -lt ${#txn_sources[@]} ]]; then
+  echo "check_placement_txn.sh: control-plane sources no longer stage through PlacementTxn — check the deploy path" >&2
   exit 1
 fi
 
-echo "check_placement_txn.sh: OK (engine call sites: $allowed, cell-scheduler txn sources: $txn_users)"
+echo "check_placement_txn.sh: OK (engine call sites: $allowed, control-plane txn sources: $txn_users)"

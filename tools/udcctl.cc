@@ -14,6 +14,9 @@
 //                                           run the cycle, dump the flight
 //                                           recorder (Chrome trace + metrics
 //                                           snapshot)
+//   udcctl regions [flags] [spec.udcl]      churn the spec through the
+//                                           region-federated control plane,
+//                                           print the per-region table
 //
 // Reads udcl from a file (or the embedded medical app when the spec argument
 // is omitted), runs the full deploy/run/verify/bill cycle on a fresh
@@ -24,6 +27,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -31,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/aspects/aspects.h"
 #include "src/common/strings.h"
 #include "src/core/runtime.h"
 #include "src/crypto/sha256.h"
@@ -86,6 +91,14 @@ int Usage() {
       "                            occupancy, hit/miss/eviction counts,\n"
       "                            dedupe factor and top contents by refs\n"
       "                            (defaults: 4 racks, 3 tenants, 9 deploys)\n"
+      "  regions [--racks N] [--cells N] [--regions N] [--deploys N]\n"
+      "          [spec.udcl]\n"
+      "                            churn the spec through the federated\n"
+      "                            (region-partitioned) control plane and\n"
+      "                            print the per-region capacity, deploy,\n"
+      "                            WAN-traffic and store-replication table\n"
+      "                            (defaults: 8 racks, 4 cells, 2 regions,\n"
+      "                            12 deploys)\n"
       "\n"
       "omitting [spec.udcl] uses the embedded medical app\n"
       "\n"
@@ -357,6 +370,175 @@ int Cells(const std::string& text, int racks, int cells, int deploys) {
   return failed == 0 ? 0 : kExitRuntime;
 }
 
+// `udcctl regions`: the federated control plane made visible. Builds a
+// region-partitioned, store-enabled cloud and churns the spec with
+// deploys pinned to regions in phases: the first phase all lands in
+// region 0, later phases move to the remaining regions. Deployments
+// past a small live window are torn down keep-warm, so by the time a
+// later phase starts, its content is banked only in earlier regions —
+// its first deploys pull it across the WAN (a remote start) and
+// replicate it into their own region, after which starts there are
+// served locally again. The table is the
+// operator's view of that federation: per-region cell range, capacity
+// and utilisation, deploy counts, WAN bytes out/in, and remote fetches;
+// the footer gives the WAN totals and the store's replication hit ratio
+// (warmish starts served in-region vs. needing the WAN).
+int Regions(const std::string& text, int racks, int cells, int regions,
+            int deploys) {
+  udc::UdcCloudConfig config;
+  config.datacenter.racks = racks;
+  config.datacenter.cells = cells;
+  config.datacenter.regions = regions;
+  config.env_store.enabled = true;
+  config.env_store.share_across_tenants = true;
+  config.scheduler.record_place_latency = true;
+  udc::UdcCloud cloud(config);
+  if (cloud.region_router() == nullptr) {
+    std::fprintf(stderr, "regions: need at least 1 region (got --regions %d)\n",
+                 regions);
+    return kExitUsage;
+  }
+
+  const auto spec = udc::ParseAppSpec(text);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "spec: %s\n", spec.status().ToString().c_str());
+    return kExitRuntime;
+  }
+  udc::RegionRouter* router = cloud.region_router();
+  // One copy of the spec per region, whole-app pinned there via the region
+  // affinity aspect, so demand provably lands in every region and the
+  // cross-region store tier gets exercised.
+  std::vector<std::shared_ptr<const udc::AppSpec>> pinned;
+  for (int r = 0; r < router->region_count(); ++r) {
+    udc::AppSpec copy = *spec;
+    for (const udc::ModuleId id : copy.graph.ModuleIds()) {
+      udc::AspectSet aspects = copy.AspectsFor(id);
+      aspects.dist.region_affinity = r;
+      copy.aspects[id] = aspects;
+    }
+    pinned.push_back(std::make_shared<const udc::AppSpec>(std::move(copy)));
+  }
+
+  // Keep a small window of deployments live (so the table shows load) and
+  // tear down the rest keep-warm (so the store's replication tier runs).
+  std::deque<std::unique_ptr<udc::Deployment>> live;
+  const size_t window =
+      static_cast<size_t>(deploys / 4 > 1 ? deploys / 4 : 1);
+  int ok = 0, failed = 0;
+  for (int i = 0; i < deploys; ++i) {
+    const udc::TenantId tenant =
+        cloud.RegisterTenant("regions-" + std::to_string(i));
+    // Phased pinning: deploys sweep region 0 first, then the rest, so
+    // later regions start with nothing local and must replicate.
+    const int target = i * router->region_count() / deploys;
+    auto deployment = cloud.Deploy(tenant, pinned[static_cast<size_t>(target)]);
+    cloud.sim()->RunToCompletion();
+    if (deployment.ok()) {
+      ++ok;
+      live.push_back(std::move(*deployment));
+    } else {
+      ++failed;
+    }
+    while (live.size() > window) {
+      for (udc::ResourceUnit* unit : live.front()->units()) {
+        if (unit->env != nullptr) {
+          (void)cloud.envs().Stop(unit->env, /*keep_warm=*/true);
+          unit->env = nullptr;
+        }
+      }
+      live.pop_front();
+    }
+  }
+  cloud.sim()->RunToCompletion();
+
+  const udc::Topology& topo = cloud.datacenter().topology();
+  const udc::ResourcePool& cpu_pool =
+      cloud.datacenter().pool(udc::DeviceKind::kCpuBlade);
+  const udc::FreeCapacityIndex& index = cpu_pool.PlacementIndex(topo);
+  const std::vector<int64_t>& free =
+      router->RegionFreeSummary(udc::DeviceKind::kCpuBlade);
+
+  // Per-region cpu capacity from the device list (regions may be ragged:
+  // the last region owns whatever cells remain).
+  std::vector<int64_t> capacity(static_cast<size_t>(router->region_count()),
+                                0);
+  for (udc::Device* device : cloud.datacenter().AllDevices()) {
+    if (device->kind() != udc::DeviceKind::kCpuBlade) {
+      continue;
+    }
+    const int cell = index.CellOf(device);
+    const int region = topo.RegionOf(cell);
+    if (region >= 0) {
+      capacity[static_cast<size_t>(region)] += device->capacity();
+    }
+  }
+  // Remote fetches aggregated onto the region that did the fetching.
+  const udc::EnvStore* store = cloud.envs().store();
+  std::vector<int64_t> remote(static_cast<size_t>(router->region_count()), 0);
+  for (const udc::EnvStore::RackStats& r : store->PerRackStats()) {
+    const int region = topo.RegionOfRack(r.rack);
+    if (region >= 0) {
+      remote[static_cast<size_t>(region)] += r.remote_hits;
+    }
+  }
+
+  std::printf("%d regions over %d cells / %d racks (%zu devices), %d deploys "
+              "(%d ok, %d failed)\n\n",
+              router->region_count(), router->cell_count(), topo.rack_count(),
+              cloud.datacenter().AllDevices().size(), deploys, ok, failed);
+  std::printf("region  cells     cpu free/capacity      util  deploys"
+              "   wan out/in (MiB)  remote   place p50/p99 (us)\n");
+  for (int r = 0; r < router->region_count(); ++r) {
+    const int64_t cap = capacity[static_cast<size_t>(r)];
+    const int64_t region_free = free[static_cast<size_t>(r)];
+    const double util =
+        cap > 0 ? 100.0 * static_cast<double>(cap - region_free) /
+                      static_cast<double>(cap)
+                : 0.0;
+    const udc::MetricHistogram* latency = cloud.sim()->metrics().histogram(
+        "sched.region_place_latency_us",
+        {{"region", udc::StrFormat("%d", r)}});
+    std::printf("%6d  [%2d,%2d)  %9lld / %-9lld  %5.1f%%  %7lld"
+                "   %7.1f / %-7.1f  %6lld",
+                r, topo.RegionCellBegin(r), topo.RegionCellEnd(r),
+                static_cast<long long>(region_free),
+                static_cast<long long>(cap), util,
+                static_cast<long long>(router->RegionDeploys(r)),
+                static_cast<double>(cloud.fabric().wan_bytes_out(r)) /
+                    (1024.0 * 1024.0),
+                static_cast<double>(cloud.fabric().wan_bytes_in(r)) /
+                    (1024.0 * 1024.0),
+                static_cast<long long>(remote[static_cast<size_t>(r)]));
+    if (latency != nullptr && latency->count() > 0) {
+      std::printf("   %8.1f / %-8.1f\n", latency->Quantile(0.5),
+                  latency->Quantile(0.99));
+    } else {
+      std::printf("          - / -\n");
+    }
+  }
+
+  const int64_t local_warmish = store->hits() + store->tepid_hits();
+  const int64_t warmish = local_warmish + store->remote_hits();
+  std::printf("\ncross-region deploys: %lld, module spills: %lld\n",
+              static_cast<long long>(router->cross_region_deploys()),
+              static_cast<long long>(router->region_fallbacks()));
+  std::printf("wan: %llu transfers, %.1f MiB total\n",
+              static_cast<unsigned long long>(
+                  cloud.fabric().wan_messages_sent()),
+              static_cast<double>(cloud.fabric().wan_bytes_sent()) /
+                  (1024.0 * 1024.0));
+  std::printf("store: %lld warm / %lld tepid / %lld remote / %lld cold; "
+              "replication hit ratio %.2f (in-region warmish starts)\n",
+              static_cast<long long>(store->hits()),
+              static_cast<long long>(store->tepid_hits()),
+              static_cast<long long>(store->remote_hits()),
+              static_cast<long long>(store->misses()),
+              warmish > 0 ? static_cast<double>(local_warmish) /
+                                static_cast<double>(warmish)
+                          : 1.0);
+  return failed == 0 ? 0 : kExitRuntime;
+}
+
 // `udcctl store`: the content-addressed warm-environment store made
 // visible. Builds a store-enabled cloud, churns the same spec through
 // several tenants (identical module images, so contents dedupe and warm
@@ -528,6 +710,35 @@ int main(int argc, char** argv) {
       }
     }
     return Cells(text, racks, cells, deploys);
+  }
+  if (command == "regions") {
+    int racks = 8, cells = 4, regions = 2, deploys = 12;
+    std::string text = udc::MedicalAppUdcl();
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if ((arg == "--racks" || arg == "--cells" || arg == "--regions" ||
+           arg == "--deploys") &&
+          i + 1 < argc) {
+        const int value = std::atoi(argv[++i]);
+        if (value <= 0) {
+          return Usage();
+        }
+        (arg == "--racks"     ? racks
+         : arg == "--cells"   ? cells
+         : arg == "--regions" ? regions
+                              : deploys) = value;
+      } else if (!arg.empty() && arg[0] == '-') {
+        return Usage();
+      } else {
+        const auto file = ReadFile(arg);
+        if (!file.ok()) {
+          std::fprintf(stderr, "%s\n", file.status().ToString().c_str());
+          return kExitRuntime;
+        }
+        text = *file;
+      }
+    }
+    return Regions(text, racks, cells, regions, deploys);
   }
   if (command == "store") {
     int racks = 4, tenants = 3, deploys = 9;
